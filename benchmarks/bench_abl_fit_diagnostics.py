@@ -1,0 +1,43 @@
+"""Ablation: auditing the regression fits themselves.
+
+Runs the profiling campaign for both replicable subtasks at the default
+noise level and prints the fit diagnostics (per-level R², residual
+summary, heteroscedasticity).  Asserts the health criteria that all
+other experiments implicitly rely on.
+"""
+
+from __future__ import annotations
+
+from repro.bench.app import aaw_task
+from repro.bench.profiler import profile_subtask
+from repro.regression.diagnostics import diagnose_latency_fit
+
+from benchmarks.conftest import run_once
+
+
+def test_abl_fit_diagnostics(benchmark, emit, baseline):
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+
+    def profile_and_diagnose():
+        out = {}
+        for index in (3, 5):
+            result = profile_subtask(
+                task.subtask(index),
+                repetitions=3,
+                seed=baseline.seed + index,
+            )
+            out[index] = diagnose_latency_fit(result)
+        return out
+
+    diagnostics = run_once(benchmark, profile_and_diagnose)
+    emit(
+        "abl_fit_diagnostics",
+        "\n\n".join(diagnostics[index].render() for index in (3, 5)),
+    )
+
+    for index, diag in diagnostics.items():
+        assert diag.is_healthy, f"subtask {index} fit is unhealthy"
+        assert diag.r_squared > 0.95
+        # Multiplicative noise on quadratic demand: residuals grow with
+        # data size (documented heteroscedasticity).
+        assert diag.heteroscedasticity_ratio > 1.0

@@ -1,0 +1,65 @@
+"""Ablation: processor-sharing vs exact quantum round-robin.
+
+DESIGN.md §2 substitutes the testbed's 1 ms-quantum round-robin
+scheduler with its processor-sharing limit.  This bench quantifies both
+sides of that substitution on a full experiment: metric agreement and
+the simulation-speed advantage of PS.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.cluster.processor import Discipline
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _run(baseline, estimator, discipline):
+    config = ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=15.0,
+        baseline=baseline.with_overrides(discipline=discipline, n_periods=30),
+    )
+    start = time.perf_counter()
+    result = run_experiment(config, estimator=estimator)
+    elapsed = time.perf_counter() - start
+    return result.metrics, elapsed
+
+
+def test_abl_processor_model(benchmark, emit, baseline, estimator):
+    ps_metrics, ps_elapsed = run_once(
+        benchmark,
+        lambda: _run(baseline, estimator, Discipline.PROCESSOR_SHARING),
+    )
+    rr_metrics, rr_elapsed = _run(baseline, estimator, Discipline.ROUND_ROBIN)
+
+    rows = [
+        ["missed", ps_metrics.missed_deadline_ratio, rr_metrics.missed_deadline_ratio],
+        ["cpu", ps_metrics.avg_cpu_utilization, rr_metrics.avg_cpu_utilization],
+        ["net", ps_metrics.avg_network_utilization, rr_metrics.avg_network_utilization],
+        ["replicas", ps_metrics.avg_replicas, rr_metrics.avg_replicas],
+        ["combined", ps_metrics.combined, rr_metrics.combined],
+        ["wall time (s)", ps_elapsed, rr_elapsed],
+    ]
+    emit(
+        "abl_processor_model",
+        format_table(
+            ["metric", "processor sharing", "round robin (1 ms)"],
+            rows,
+            title="Processor-model ablation (predictive, triangular, 15 units)",
+        ),
+    )
+
+    # The substitution is sound: metrics agree closely.
+    assert abs(
+        ps_metrics.missed_deadline_ratio - rr_metrics.missed_deadline_ratio
+    ) <= 0.15
+    assert abs(
+        ps_metrics.avg_cpu_utilization - rr_metrics.avg_cpu_utilization
+    ) <= 0.05
+    assert abs(ps_metrics.combined - rr_metrics.combined) <= 0.35

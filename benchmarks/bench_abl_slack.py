@@ -1,0 +1,34 @@
+"""E-X2 — ablation: the desired slack fraction ``sl``.
+
+The paper fixes ``sl = 0.2 x dl(st)`` (Figure 5's comment).  This bench
+sweeps the fraction and shows the trade-off it controls: small slack
+targets replicate later/less (fewer replicas, more misses), large ones
+replicate earlier/more.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import ablation_slack_fraction
+
+from benchmarks.conftest import run_once
+
+FRACTIONS = (0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+def test_abl_slack_fraction(benchmark, emit, baseline, estimator):
+    data = run_once(
+        benchmark,
+        lambda: ablation_slack_fraction(
+            fractions=FRACTIONS,
+            max_workload_units=20.0,
+            baseline=baseline,
+            estimator=estimator,
+        ),
+    )
+    emit("abl_slack_fraction", data.render())
+
+    ratios = data.series["replica_ratio"]
+    # Larger desired slack => at least as many replicas held.
+    assert ratios[-1] >= ratios[0] - 0.05
+    # All configurations stay functional.
+    assert all(m <= 0.8 for m in data.series["missed"])

@@ -1,0 +1,33 @@
+"""E-X3 — ablation: the non-predictive utilization threshold ``UT``.
+
+Table 1 fixes ``UT = 20 %``.  This bench sweeps it: a higher threshold
+admits more processors per replication event, amplifying the baseline's
+over-replication (higher replica ratio), while a very low threshold
+starves it of targets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import ablation_utilization_threshold
+
+from benchmarks.conftest import run_once
+
+THRESHOLDS = (0.1, 0.2, 0.3, 0.4, 0.6)
+
+
+def test_abl_utilization_threshold(benchmark, emit, baseline, estimator):
+    data = run_once(
+        benchmark,
+        lambda: ablation_utilization_threshold(
+            thresholds=THRESHOLDS,
+            max_workload_units=20.0,
+            baseline=baseline,
+            estimator=estimator,
+        ),
+    )
+    emit("abl_utilization_threshold", data.render())
+
+    ratios = data.series["replica_ratio"]
+    # A more permissive threshold never reduces replica usage much.
+    assert ratios[-1] >= ratios[0] - 0.05
+    assert all(0.0 <= m <= 1.0 for m in data.series["missed"])

@@ -1,0 +1,88 @@
+"""E-X6 — extension: forecast-aware replica shutdown.
+
+The paper's Figure 6 shuts down purely on observed slack; under a
+fluctuating workload that can oscillate (shut down at the trough, miss
+and re-replicate at the peak).  This bench compares Figure 6 (LIFO)
+against the forecast-aware strategy that simulates the removal through
+the regression models first — an application of the paper's own
+predictive idea to the de-allocation path (its "future work" direction
+of using predictions throughout the management loop).
+"""
+
+from __future__ import annotations
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
+from repro.experiments.metrics import compute_metrics
+from repro.experiments.report import format_table
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import TriangularPattern
+
+from benchmarks.conftest import run_once
+
+N_PERIODS = 60
+
+
+def run_with_strategy(baseline, estimator, strategy):
+    system = build_system(n_processors=baseline.n_nodes, seed=baseline.seed)
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    pattern = TriangularPattern(
+        min_tracks=250.0, max_tracks=10_000.0, n_periods=N_PERIODS,
+        cycle_periods=20,
+    )
+    executor = PeriodicTaskExecutor(system, task, assignment, workload=pattern)
+    manager = AdaptiveResourceManager(
+        system,
+        executor,
+        estimator,
+        policy=PredictivePolicy(),
+        config=RMConfig(initial_d_tracks=250.0),
+        shutdown_strategy=strategy,
+    )
+    manager.start(N_PERIODS)
+    executor.start(N_PERIODS)
+    system.engine.run_until(N_PERIODS + 3.0)
+    metrics = compute_metrics(system, executor, manager, 0.0, float(N_PERIODS))
+    shutdown_count = sum(len(event.shutdowns) for event in manager.history)
+    return metrics, shutdown_count
+
+
+def test_ext_forecast_shutdown(benchmark, emit, baseline, estimator):
+    lifo_metrics, lifo_shutdowns = run_once(
+        benchmark, lambda: run_with_strategy(baseline, estimator, LifoShutdown())
+    )
+    fc_metrics, fc_shutdowns = run_with_strategy(
+        baseline, estimator, ForecastAwareShutdown()
+    )
+
+    rows = [
+        ["missed", lifo_metrics.missed_deadline_ratio, fc_metrics.missed_deadline_ratio],
+        ["replicas", lifo_metrics.avg_replicas, fc_metrics.avg_replicas],
+        ["rm actions", lifo_metrics.rm_actions, fc_metrics.rm_actions],
+        ["shutdowns", lifo_shutdowns, fc_shutdowns],
+        ["combined", lifo_metrics.combined, fc_metrics.combined],
+    ]
+    emit(
+        "ext_forecast_shutdown",
+        format_table(
+            ["metric", "Figure 6 (LIFO)", "forecast-aware"],
+            rows,
+            title="E-X6. Shutdown-strategy comparison "
+            "(predictive, triangular, 20 units)",
+        ),
+    )
+
+    # Forecast-aware shutdown declines removals the model calls unsafe,
+    # so it never shuts down more often than Figure 6...
+    assert fc_shutdowns <= lifo_shutdowns
+    # ...and never misses more deadlines.
+    assert fc_metrics.missed_deadline_ratio <= (
+        lifo_metrics.missed_deadline_ratio + 0.05
+    )

@@ -1,0 +1,70 @@
+"""E-X10 — extension: heterogeneous processors.
+
+The paper assumes homogeneous processors (§3, property 12); its eq. 3
+latency surfaces carry no notion of node speed, so the predictive
+algorithm forecasts the same execution time on a fast node and a slow
+one.  This bench runs the triangular study on a machine whose nodes
+span 0.5x-1.5x the reference speed (same total capacity as the 6-node
+homogeneous baseline) and quantifies how much the speed-blind forecasts
+cost — the motivation for per-node profiling as future work.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+
+from benchmarks.conftest import run_once
+
+#: Total capacity 6.0, like six reference nodes.
+SPEEDS = (1.5, 1.25, 1.0, 1.0, 0.75, 0.5)
+MAX_UNITS = 15.0
+
+
+def test_ext_heterogeneous(benchmark, emit, baseline, estimator):
+    def sweep():
+        out = {}
+        for label, factors in (("homogeneous", None), ("heterogeneous", SPEEDS)):
+            for policy in ("predictive", "nonpredictive"):
+                config = ExperimentConfig(
+                    policy=policy,
+                    pattern="triangular",
+                    max_workload_units=MAX_UNITS,
+                    baseline=baseline.with_overrides(speed_factors=factors),
+                )
+                out[(label, policy)] = run_experiment(
+                    config, estimator=estimator
+                ).metrics
+        return out
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        [
+            label,
+            policy,
+            m.missed_deadline_ratio,
+            m.avg_replicas,
+            m.combined,
+        ]
+        for (label, policy), m in sorted(results.items())
+    ]
+    emit(
+        "ext_heterogeneous",
+        format_table(
+            ["machine", "policy", "MD", "replicas", "C"],
+            rows,
+            title=f"E-X10. Heterogeneous machine (speeds {SPEEDS}, "
+            f"triangular, {MAX_UNITS:g} units)",
+        ),
+    )
+
+    # Heterogeneity never helps: the speed-blind forecasts misjudge slow
+    # nodes, so misses do not decrease.
+    for policy in ("predictive", "nonpredictive"):
+        assert results[("heterogeneous", policy)].missed_deadline_ratio >= (
+            results[("homogeneous", policy)].missed_deadline_ratio - 0.02
+        )
+    # The system still functions (the RM compensates with replicas).
+    for metrics in results.values():
+        assert metrics.combined < 3.0

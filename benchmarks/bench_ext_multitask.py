@@ -1,0 +1,69 @@
+"""E-X7 — extension: multi-task deployments.
+
+The paper's model (§3) defines a task *set* but evaluates one task;
+this bench scales the benchmark to 1-3 concurrent tasks on the same
+6-node machine (phase-shifted triangular workloads) and shows that the
+decentralized managers keep every task timely while contention drives
+utilizations up — and that eq. 5's total-workload coupling is live
+(the ledger feeds every manager the sum over tasks).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.multitask import run_multi_task_experiment
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+TASK_COUNTS = (1, 2, 3)
+MAX_UNITS = 10.0
+
+
+def test_ext_multitask_scaling(benchmark, emit, baseline, estimator):
+    config = ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=MAX_UNITS,
+        baseline=baseline,
+    )
+
+    def sweep():
+        return {
+            n: run_multi_task_experiment(config, n_tasks=n, estimator=estimator)
+            for n in TASK_COUNTS
+        }
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        [
+            n,
+            results[n].aggregate.missed_deadline_ratio,
+            results[n].aggregate.avg_cpu_utilization,
+            results[n].aggregate.avg_network_utilization,
+            results[n].aggregate.avg_replicas,
+            results[n].aggregate.rm_actions,
+        ]
+        for n in TASK_COUNTS
+    ]
+    emit(
+        "ext_multitask_scaling",
+        format_table(
+            ["tasks", "MD", "cpu", "net", "total replicas", "rm actions"],
+            rows,
+            title=f"E-X7. Multi-task scaling (predictive, triangular, "
+            f"{MAX_UNITS:g} units each)",
+        ),
+    )
+
+    # Contention grows with task count.
+    cpu = [results[n].aggregate.avg_cpu_utilization for n in TASK_COUNTS]
+    net = [results[n].aggregate.avg_network_utilization for n in TASK_COUNTS]
+    assert cpu[0] < cpu[1] < cpu[2]
+    assert net[0] < net[1] < net[2]
+    # The managers keep the fleet functional even with 3 tasks.
+    assert results[3].aggregate.missed_deadline_ratio < 0.3
+    # Every task adapted.
+    for n in TASK_COUNTS:
+        for metrics in results[n].per_task_metrics.values():
+            assert metrics.rm_actions > 0

@@ -1,0 +1,81 @@
+"""E-X12 — extension: online refinement of the static forecasts.
+
+The paper's related work ([RSYJ97], [BN+98]) refines a-priori estimates
+with run-time observations.  We wrap the fitted estimator in an EWMA
+correction layer fed by the manager and re-run the E-X11 calibration
+audit.
+
+**Measured outcome (an honest negative result):** the correction moves
+MAPE and bias only marginally.  E-X11's optimism is *transient* — it
+appears at allocation instants, when the trailing-window ``ut(p, t)``
+readings have not yet caught up with the just-changed placement —
+whereas the EWMA is dominated by steady-state observations where the
+static forecast is already accurate.  Fixing the bias would require
+modelling the allocation's own utilization impact (forecasting
+``u_after``), not averaging the past harder.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.forecast_eval import evaluate_forecasts
+from repro.experiments.report import format_table
+
+from benchmarks.conftest import run_once
+
+UNITS = (20.0, 30.0)
+
+
+def test_ext_online_refinement(benchmark, emit, baseline, estimator):
+    def sweep():
+        out = {}
+        for units in UNITS:
+            config = ExperimentConfig(
+                policy="predictive",
+                pattern="triangular",
+                max_workload_units=units,
+                baseline=baseline,
+            )
+            for online in (False, True):
+                out[(units, online)] = evaluate_forecasts(
+                    config, estimator=estimator, online=online
+                )
+        return out
+
+    reports = run_once(benchmark, sweep)
+    rows = [
+        [
+            f"{units:g}",
+            "online" if online else "static",
+            reports[(units, online)].n,
+            reports[(units, online)].mape,
+            reports[(units, online)].mean_error_s * 1e3,
+            reports[(units, online)].missed_deadline_ratio,
+        ]
+        for units in UNITS
+        for online in (False, True)
+    ]
+    emit(
+        "ext_online_refinement",
+        format_table(
+            ["max workload", "estimator", "decisions", "MAPE",
+             "mean error (ms)", "MD"],
+            rows,
+            title="E-X12. Online EWMA refinement vs static forecasts "
+            "(triangular)",
+        ),
+    )
+
+    for units in UNITS:
+        static = reports[(units, False)]
+        online = reports[(units, True)]
+        # The refinement never degrades calibration or timeliness much...
+        assert online.mape <= static.mape + 0.1
+        assert online.missed_deadline_ratio <= (
+            static.missed_deadline_ratio + 0.05
+        )
+        # ...but (the negative result) it also does not repair the
+        # transient optimism: the bias stays within 25% of the static
+        # estimator's at the saturated scale.
+        if units == 30.0:
+            assert abs(online.mean_error_s) >= 0.5 * abs(static.mean_error_s)

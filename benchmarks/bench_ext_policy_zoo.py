@@ -1,0 +1,71 @@
+"""E-X5 — extension: the full policy spectrum.
+
+Brackets the paper's two algorithms with the no-adaptation lower bound,
+the static-max upper bound and the hybrid variant, all on the
+triangular pattern at a replication-relevant workload.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_experiment
+
+from benchmarks.conftest import run_once
+
+POLICIES = ("noadapt", "predictive", "hybrid", "nonpredictive", "staticmax")
+MAX_UNITS = 20.0
+
+
+def test_ext_policy_zoo(benchmark, emit, baseline, estimator):
+    def sweep():
+        results = {}
+        for policy in POLICIES:
+            config = ExperimentConfig(
+                policy=policy,
+                pattern="triangular",
+                max_workload_units=MAX_UNITS,
+                baseline=baseline,
+            )
+            results[policy] = run_experiment(config, estimator=estimator).metrics
+        return results
+
+    results = run_once(benchmark, sweep)
+    rows = [
+        [
+            policy,
+            m.missed_deadline_ratio,
+            m.avg_cpu_utilization,
+            m.avg_network_utilization,
+            m.avg_replicas,
+            m.combined,
+        ]
+        for policy, m in ((p, results[p]) for p in POLICIES)
+    ]
+    emit(
+        "ext_policy_zoo",
+        format_table(
+            ["policy", "MD", "cpu", "net", "replicas", "C"],
+            rows,
+            title=f"E-X5. Policy spectrum (triangular, {MAX_UNITS:g} units)",
+        ),
+    )
+
+    # The brackets hold:
+    assert results["noadapt"].missed_deadline_ratio >= max(
+        results[p].missed_deadline_ratio for p in ("predictive", "nonpredictive")
+    )
+    assert results["noadapt"].avg_replicas == min(
+        results[p].avg_replicas for p in POLICIES
+    )
+    # Static-max sits at the top of the replica range (the shutdown path
+    # prunes both greedy policies similarly, so allow a small tolerance
+    # against the equally-saturating non-predictive heuristic).
+    assert results["staticmax"].avg_replicas >= results["predictive"].avg_replicas
+    assert results["staticmax"].avg_replicas >= (
+        results["nonpredictive"].avg_replicas - 0.3
+    )
+    # The paper's two policies both beat the no-adaptation bound on the
+    # combined metric.
+    assert results["predictive"].combined < results["noadapt"].combined
+    assert results["nonpredictive"].combined < results["noadapt"].combined

@@ -1,0 +1,35 @@
+"""E-X1 — extension: the beyond-threshold fluctuation region.
+
+§5.2 reports that past ~28 workload units the two algorithms' ordering
+on monotone ramps fluctuates.  The paper does not show this data
+("The results of this study are not shown here"); this bench generates
+it: an extended increasing-ramp sweep from 25 to 50 units.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import extended_threshold_sweep
+
+from benchmarks.conftest import run_once
+
+UNITS = (25.0, 28.0, 31.0, 34.0, 37.0, 40.0, 45.0, 50.0)
+
+
+def test_ext_threshold_study(benchmark, emit, baseline, estimator):
+    data = run_once(
+        benchmark,
+        lambda: extended_threshold_sweep(
+            units=UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit("ext_threshold_study", data.render())
+
+    predictive = data.series["predictive"]
+    nonpredictive = data.series["nonpredictive"]
+    # Both remain bounded deep into saturation.
+    assert max(predictive) < 4.0
+    assert max(nonpredictive) < 4.0
+    # The gap between the two shrinks relative to the metric scale —
+    # the 'fluctuating' regime: no policy dominates by a wide margin.
+    gaps = [abs(a - b) for a, b in zip(predictive, nonpredictive)]
+    assert max(gaps) < 0.5 * max(max(predictive), max(nonpredictive))

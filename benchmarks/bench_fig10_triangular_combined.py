@@ -1,0 +1,40 @@
+"""E-F10 — Figure 10: combined performance metric, triangular pattern.
+
+The paper's headline figure: under the fluctuating (triangular)
+workload the predictive algorithm's combined metric
+``C = MD + U_cpu + U_net + R/Max(R)`` is equal to the baseline's at
+small workloads (no replication) and lower once replication matters.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SWEEP_UNITS
+from repro.experiments.figures import fig10_triangular_combined
+
+from benchmarks.conftest import run_once
+
+
+def test_fig10_triangular_combined(benchmark, emit, baseline, estimator):
+    data = run_once(
+        benchmark,
+        lambda: fig10_triangular_combined(
+            units=DEFAULT_SWEEP_UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit("fig10_triangular_combined", data.render())
+
+    predictive = data.series["predictive"]
+    nonpredictive = data.series["nonpredictive"]
+
+    # Identical at the smallest workload (no replication needed).
+    assert abs(predictive[0] - nonpredictive[0]) / nonpredictive[0] < 0.05
+
+    # The predictive algorithm wins at the majority of
+    # replication-relevant workloads (the paper's headline).
+    heavy = [i for i, u in enumerate(DEFAULT_SWEEP_UNITS) if u >= 5.0]
+    wins = sum(1 for i in heavy if predictive[i] <= nonpredictive[i])
+    assert wins >= len(heavy) * 0.6
+
+    # Lower-is-better metric grows with workload for both.
+    assert predictive[-1] > predictive[0]
+    assert nonpredictive[-1] > nonpredictive[0]

@@ -1,0 +1,31 @@
+"""E-F11 — Figure 11(a-d): four metrics under the increasing ramp."""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SWEEP_UNITS
+from repro.experiments.figures import fig11_increasing_panels
+
+from benchmarks.conftest import run_once
+
+
+def test_fig11_increasing_metrics(benchmark, emit, baseline, estimator):
+    panels = run_once(
+        benchmark,
+        lambda: fig11_increasing_panels(
+            units=DEFAULT_SWEEP_UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit(
+        "fig11_increasing_metrics",
+        "\n\n".join(panels[letter].render() for letter in "abcd"),
+    )
+
+    replicas = panels["d"].series
+    heavy = [i for i, u in enumerate(DEFAULT_SWEEP_UNITS) if u >= 10.0]
+    # The baseline's over-replication shows on ramps too.
+    assert sum(
+        replicas["nonpredictive"][i] >= replicas["predictive"][i] for i in heavy
+    ) >= len(heavy) * 0.6
+    # Replica usage grows with the maximum workload for both policies.
+    for policy in ("predictive", "nonpredictive"):
+        assert replicas[policy][-1] > replicas[policy][0]

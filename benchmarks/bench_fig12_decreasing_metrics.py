@@ -1,0 +1,38 @@
+"""E-F12 — Figure 12(a-d): four metrics under the decreasing ramp.
+
+The decreasing ramp *starts* at the maximum workload, so early periods
+overload an unadapted system; the missed-deadline panel therefore sits
+above the increasing ramp's at large workloads — as in the paper,
+where the decreasing-ramp miss ratios (Fig. 12a) exceed the increasing
+ramp's (Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SWEEP_UNITS
+from repro.experiments.figures import fig12_decreasing_panels
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12_decreasing_metrics(benchmark, emit, baseline, estimator):
+    panels = run_once(
+        benchmark,
+        lambda: fig12_decreasing_panels(
+            units=DEFAULT_SWEEP_UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit(
+        "fig12_decreasing_metrics",
+        "\n\n".join(panels[letter].render() for letter in "abcd"),
+    )
+
+    missed = panels["a"].series
+    replicas = panels["d"].series
+    # Non-trivial misses appear at large workloads (the cold-start
+    # overload) for both policies.
+    assert missed["predictive"][-1] > 0.0
+    assert missed["nonpredictive"][-1] > 0.0
+    # Replication was engaged.
+    assert replicas["predictive"][-1] > 2.0
+    assert replicas["nonpredictive"][-1] > 2.0

@@ -1,0 +1,45 @@
+"""E-F13 — Figure 13(a, b): combined metric under both ramps.
+
+Paper §5.2: for monotone ramps the predictive algorithm wins up to a
+threshold workload (~28 units), beyond which the ordering fluctuates.
+The assertions therefore check dominance on the below-threshold region
+and mere boundedness beyond it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SWEEP_UNITS
+from repro.experiments.figures import fig13_ramp_combined
+
+from benchmarks.conftest import run_once
+
+THRESHOLD_UNITS = 28.0
+
+
+def test_fig13_ramp_combined(benchmark, emit, baseline, estimator):
+    figures = run_once(
+        benchmark,
+        lambda: fig13_ramp_combined(
+            units=DEFAULT_SWEEP_UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit(
+        "fig13_ramp_combined",
+        figures["a"].render() + "\n\n" + figures["b"].render(),
+    )
+
+    for key in ("a", "b"):
+        data = figures[key]
+        predictive = data.series["predictive"]
+        nonpredictive = data.series["nonpredictive"]
+        below = [
+            i for i, u in enumerate(DEFAULT_SWEEP_UNITS)
+            if 5.0 <= u < THRESHOLD_UNITS
+        ]
+        wins = sum(
+            1 for i in below if predictive[i] <= nonpredictive[i] * 1.02
+        )
+        assert wins >= len(below) * 0.5
+        # Beyond the threshold both stay finite and same order.
+        assert predictive[-1] < 3.0
+        assert nonpredictive[-1] < 3.0

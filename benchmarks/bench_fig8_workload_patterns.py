@@ -1,0 +1,35 @@
+"""E-F8 — Figure 8: the workload patterns used by the evaluation.
+
+Regenerates the increasing-ramp, decreasing-ramp and triangular series
+and asserts their defining shape properties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import fig8_workload_patterns
+
+from benchmarks.conftest import run_once
+
+
+def test_fig8_workload_patterns(benchmark, emit):
+    data = run_once(
+        benchmark,
+        lambda: fig8_workload_patterns(max_workload_units=20.0, n_periods=60),
+    )
+    emit("fig8_workload_patterns", data.render())
+
+    increasing = np.array(data.series["increasing"])
+    decreasing = np.array(data.series["decreasing"])
+    triangular = np.array(data.series["triangular"])
+
+    assert np.all(np.diff(increasing) >= 0)
+    assert np.all(np.diff(decreasing) <= 0)
+    # The triangular pattern alternates: both signs occur in its slope.
+    slopes = np.diff(triangular)
+    assert (slopes > 0).any() and (slopes < 0).any()
+    # All three share the same bounds.
+    for series in (increasing, decreasing, triangular):
+        assert series.max() == 10_000.0
+        assert series.min() == 250.0

@@ -1,0 +1,49 @@
+"""E-F9 — Figure 9(a-d): four metrics under the triangular pattern.
+
+Runs the full predictive-vs-non-predictive sweep over the paper's
+maximum-workload axis and prints the four panels: missed-deadline
+ratio, average CPU utilization, average network utilization, and
+average replica count.
+
+Shape assertions (paper §5.2):
+* the non-predictive algorithm uses at least as many replicas and at
+  least as much network as the predictive one at replication-relevant
+  workloads;
+* its CPU utilization is not higher (more parallelism splits the
+  quadratic work);
+* metrics grow with the maximum workload.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import DEFAULT_SWEEP_UNITS
+from repro.experiments.figures import fig9_triangular_panels
+
+from benchmarks.conftest import run_once
+
+
+def test_fig9_triangular_metrics(benchmark, emit, baseline, estimator):
+    panels = run_once(
+        benchmark,
+        lambda: fig9_triangular_panels(
+            units=DEFAULT_SWEEP_UNITS, baseline=baseline, estimator=estimator
+        ),
+    )
+    emit(
+        "fig9_triangular_metrics",
+        "\n\n".join(panels[letter].render() for letter in "abcd"),
+    )
+
+    replicas = panels["d"].series
+    net = panels["c"].series
+    cpu = panels["b"].series
+    # Indices past the no-replication region (>= 10 units).
+    heavy = [i for i, u in enumerate(DEFAULT_SWEEP_UNITS) if u >= 10.0]
+    for i in heavy:
+        assert replicas["nonpredictive"][i] >= replicas["predictive"][i] - 0.5
+        assert net["nonpredictive"][i] >= 0.9 * net["predictive"][i]
+        assert cpu["nonpredictive"][i] <= cpu["predictive"][i] + 0.03
+    # Utilizations rise with workload for both policies.
+    for policy in ("predictive", "nonpredictive"):
+        assert cpu[policy][-1] > cpu[policy][0]
+        assert net[policy][-1] > net[policy][0]

@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrate layers.
+
+Not a paper artefact — these keep the simulator's own performance
+honest (the figure sweeps run hundreds of simulated minutes, so engine
+and processor throughput matter) and give pytest-benchmark stable,
+repeatable timing targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.network import Network
+from repro.cluster.processor import Processor
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.sim.engine import Engine
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + execute 10k chained events."""
+
+    def run():
+        engine = Engine()
+        remaining = {"n": 10_000}
+
+        def tick():
+            if remaining["n"] > 0:
+                remaining["n"] -= 1
+                engine.schedule(0.001, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+        return engine.executed_count
+
+    executed = benchmark(run)
+    assert executed == 10_001
+
+
+def test_processor_sharing_churn(benchmark):
+    """1k overlapping jobs through one PS processor."""
+
+    def run():
+        engine = Engine()
+        processor = Processor(engine, "p")
+        rng = np.random.default_rng(0)
+        for i in range(1000):
+            engine.schedule_at(
+                float(i) * 0.001, processor.run_for, float(rng.uniform(0.001, 0.01))
+            )
+        engine.run()
+        return processor.completed_jobs
+
+    assert benchmark(run) == 1000
+
+
+def test_network_message_churn(benchmark):
+    """1k queued messages through the shared medium."""
+
+    def run():
+        engine = Engine()
+        network = Network(engine)
+        for _ in range(1000):
+            network.send_bytes(10_000.0)
+        engine.run()
+        return network.delivered_count
+
+    assert benchmark(run) == 1000
+
+
+def test_regression_prediction_throughput(benchmark):
+    """Vectorized surface evaluation over a 100x100 grid."""
+    model = ExecutionLatencyModel("s", a=(0.5, -0.1, 0.3), b=(2.0, 0.5, 1.0))
+    d = np.tile(np.linspace(0.0, 30.0, 100), 100)
+    u = np.repeat(np.linspace(0.0, 0.8, 100), 100)
+
+    result = benchmark(lambda: model.predict_ms_grid(d, u))
+    assert result.shape == (10_000,)
+    assert (result >= 0).all()

@@ -1,0 +1,41 @@
+"""E-T1 — Table 1: baseline parameters of the experimental study.
+
+Regenerates the published parameter table from the default
+:class:`~repro.experiments.config.BaselineConfig` and asserts the
+published values, timing a full system construction as the benchmark
+body.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.topology import build_system
+from repro.experiments.config import BaselineConfig
+from repro.experiments.tables import render_table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_baseline(benchmark, emit):
+    config = BaselineConfig()
+
+    def build():
+        return build_system(
+            n_processors=config.n_nodes,
+            bandwidth_bps=config.bandwidth_bps,
+            quantum=config.quantum,
+        )
+
+    system = run_once(benchmark, build)
+    assert system.size == 6
+
+    text = render_table1(config)
+    emit("table1_baseline", text)
+
+    # The published Table 1 values, asserted.
+    assert config.n_nodes == 6
+    assert config.quantum == 0.001
+    assert config.bandwidth_bps == 100e6
+    assert config.track_bytes == 80
+    assert config.period == 1.0
+    assert abs(config.deadline - 0.990) < 1e-12
+    assert config.utilization_threshold == 0.20

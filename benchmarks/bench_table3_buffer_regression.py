@@ -1,0 +1,29 @@
+"""E-T3 — Table 3: the buffer-delay regression slope.
+
+Runs the §4.2.1.2 campaign (message-pattern replay at increasing total
+periodic workloads), fits eq. 5's through-origin line, and prints the
+fitted slope next to the published k = 0.7 (per 500-track unit).
+Reproduction target: positive, well-fitting linear growth of buffer
+delay with total periodic workload, same order of magnitude as the
+published slope.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.tables import render_table3, reproduce_table3
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_buffer_regression(benchmark, emit):
+    baseline = BaselineConfig()
+    result = run_once(benchmark, lambda: reproduce_table3(baseline))
+    emit("table3_buffer_regression", render_table3(result))
+
+    fitted = result.fitted
+    assert fitted.k_ms_per_track > 0.0
+    assert fitted.r_squared > 0.7
+    # Same order of magnitude as the paper's 0.7 ms per 500-track unit.
+    fitted_per_unit = fitted.k_ms_per_track * 500.0
+    assert 0.07 < fitted_per_unit < 70.0

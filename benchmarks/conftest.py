@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs
+the experiment(s) under pytest-benchmark timing, prints the resulting
+series (visible with ``pytest benchmarks/ --benchmark-only -s``), and
+writes the same text to ``benchmarks/out/<name>.txt`` so the artefacts
+survive the run.  The profiled estimator is fitted once per session and
+cached on disk under ``benchmarks/.cache``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.runner import get_default_estimator
+
+BENCH_DIR = Path(__file__).parent
+OUT_DIR = BENCH_DIR / "out"
+CACHE_DIR = BENCH_DIR / ".cache"
+
+
+@pytest.fixture(scope="session")
+def baseline() -> BaselineConfig:
+    """The Table 1 baseline used by every figure bench."""
+    return BaselineConfig()
+
+
+@pytest.fixture(scope="session")
+def estimator(baseline):
+    """The profiled + fitted regression models (disk-cached)."""
+    return get_default_estimator(baseline, cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a bench artefact and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Time ``fn`` exactly once (figure sweeps are too slow to repeat)."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Capacity planning: size the machine before the mission.
+
+The regression models the predictive algorithm uses online double as an
+offline planning tool.  This example:
+
+1. fits the models (cached),
+2. prints the capacity curve — replicas needed per sustained workload,
+   and where the 6-node machine saturates,
+3. verifies one planned point against a live run,
+4. shows what an 8-node machine would buy.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BaselineConfig,
+    ExperimentConfig,
+    get_default_estimator,
+    run_experiment,
+)
+from repro.experiments.capacity import plan_capacity
+
+GRID = (1000.0, 2500.0, 5000.0, 7500.0, 10000.0, 12500.0, 15000.0, 17500.0)
+
+
+def main() -> None:
+    baseline = BaselineConfig()
+    estimator = get_default_estimator(baseline)
+
+    print("Capacity curve for the Table 1 machine (6 nodes):\n")
+    plan6 = plan_capacity(estimator, GRID, n_processors=6, utilization=0.3)
+    print(plan6.render())
+    saturation = plan6.saturation_tracks()
+    if saturation:
+        print(f"\n-> the 6-node machine saturates at ~{saturation:.0f} "
+              "tracks/period.")
+
+    # Verify one mid-curve point against a live run.
+    probe = 10000.0
+    planned = next(p for p in plan6.points if p.d_tracks == probe)
+    result = run_experiment(
+        ExperimentConfig(
+            policy="predictive",
+            pattern="constant",
+            max_workload_units=probe / 500.0,
+            baseline=baseline,
+        ),
+        estimator=estimator,
+    )
+    online = {j: len(ps) for j, ps in result.final_placement.items() if j in (3, 5)}
+    print(f"\nLive check at {probe:.0f} tracks/period:")
+    print(f"  planned  replicas: st3={planned.replicas[3]}, "
+          f"st5={planned.replicas[5]}")
+    print(f"  online   replicas: st3={online[3]}, st5={online[5]} "
+          f"(MD={result.metrics.missed_deadline_ratio:.2f})")
+    print("  (the online loop parks a little above the plan — its "
+          "monitoring hysteresis; the plan is the sizing floor)")
+
+    print("\nWhat would 8 nodes buy?\n")
+    plan8 = plan_capacity(estimator, GRID, n_processors=8, utilization=0.3)
+    print(plan8.render())
+    saturation8 = plan8.saturation_tracks()
+    if saturation8 == saturation:
+        print(
+            f"\n-> saturation stays at ~{saturation:.0f} tracks/period: "
+            "past this point the bottleneck is the serial part of the "
+            "chain (the non-replicable subtasks and the message stages), "
+            "not replica capacity — Amdahl's law for replication.  More "
+            "nodes only help the replicable stages."
+        )
+    else:
+        print(
+            f"\n-> saturation moves from ~{saturation or 0:.0f} to "
+            + (f"~{saturation8:.0f}" if saturation8 else "beyond the grid")
+            + " tracks/period."
+        )
+
+
+if __name__ == "__main__":
+    main()

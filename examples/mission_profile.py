@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""A full mission: composite workload + latency breakdown.
+
+Runs the "skirmishes" mission profile — quiet patrol punctuated by two
+triangular engagements — under the predictive manager, then answers two
+operator questions:
+
+1. *How did the system behave over the mission?* (ASCII timeline)
+2. *Where did the period go?* (per-stage latency breakdown, computed
+   separately for the quiet stretches and the engagements)
+
+Run:  python examples/mission_profile.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveResourceManager,
+    BaselineConfig,
+    PeriodicTaskExecutor,
+    PredictivePolicy,
+    ReplicaAssignment,
+    RMConfig,
+    aaw_task,
+    build_system,
+    default_initial_placement,
+    get_default_estimator,
+)
+from repro.experiments.breakdown import compute_breakdown
+from repro.experiments.timeline import extract_timeline, render_timeline
+from repro.workloads.patterns import mission_profile
+
+
+def main() -> None:
+    baseline = BaselineConfig()
+    estimator = get_default_estimator(baseline)
+    profile = mission_profile("skirmishes", max_tracks=9000.0, quiet_tracks=500.0)
+    print(f"Mission: 'skirmishes', {profile.n_periods} periods, "
+          f"{profile.min_tracks:.0f}-{profile.max_tracks:.0f} tracks/period\n")
+
+    system = build_system(n_processors=baseline.n_nodes, seed=23)
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    executor = PeriodicTaskExecutor(system, task, assignment, workload=profile)
+    manager = AdaptiveResourceManager(
+        system,
+        executor,
+        estimator,
+        policy=PredictivePolicy(),
+        config=RMConfig(initial_d_tracks=500.0),
+    )
+    manager.start(profile.n_periods)
+    executor.start(profile.n_periods)
+    system.engine.run_until(profile.n_periods + 3.0)
+
+    print(render_timeline(extract_timeline(executor, manager),
+                          deadline_s=task.deadline))
+
+    # Quiet patrol: periods 0-5.  First engagement: periods 6-17.
+    print("\n--- quiet patrol (periods 0-5) ---")
+    print(compute_breakdown(executor, first_period=0, last_period=5).render())
+    print("\n--- first engagement (periods 6-17) ---")
+    engaged = compute_breakdown(executor, first_period=6, last_period=17)
+    print(engaged.render())
+
+    dominant = engaged.dominant_stage()
+    print(f"\nDuring the engagement the period is dominated by "
+          f"st{dominant.subtask_index} ({dominant.subtask_name}): "
+          f"{dominant.mean_stage_s * 1e3:.0f} ms with "
+          f"{dominant.mean_replicas:.1f} replicas on average.")
+
+
+if __name__ == "__main__":
+    main()

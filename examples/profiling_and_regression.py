@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Inside the predictive machinery: profiles, fits, and forecasts.
+
+Walks through §4.2.1 of the paper step by step:
+
+1. profile the Filter subtask over a (CPU utilization x data size)
+   grid — the measurements behind Figures 2 and 4;
+2. fit eq. 3 with the paper's two-stage procedure and with direct OLS,
+   and compare the surfaces;
+3. fit eq. 5's buffer-delay line from message-pattern replay;
+4. validate forecasts against fresh simulated executions the models
+   never saw (the "does prediction work?" check the paper relies on);
+5. save the models to JSON and load them back.
+
+Run:  python examples/profiling_and_regression.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import aaw_task, build_system
+from repro.bench.datasets import PAPER_TABLE2_COEFFICIENTS
+from repro.bench.profiler import profile_buffer_delay, profile_subtask
+from repro.cluster.background import BackgroundLoad
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.serialization import (
+    latency_model_from_dict,
+    latency_model_to_dict,
+)
+
+
+def measure_fresh_latency(task, subtask_index, d_tracks, u_target, seed):
+    """One out-of-sample measurement on a fresh simulated node."""
+    import numpy as np
+
+    from repro.cluster.processor import Processor
+    from repro.sim.engine import Engine
+
+    engine = Engine()
+    processor = Processor(engine, "probe", utilization_window=2.0)
+    rng = np.random.default_rng(seed)
+    load = BackgroundLoad(processor, u_target, interval=0.01, jitter=0.3, rng=rng)
+    load.start()
+    engine.run_until(0.5)
+    done = {}
+    demand = task.subtask(subtask_index).service.demand(d_tracks, rng)
+    processor.run_for(demand, on_complete=lambda j, t: done.setdefault("lat", j.latency))
+    while "lat" not in done:
+        engine.step()
+    return done["lat"]
+
+
+def main() -> None:
+    task = aaw_task()
+    filter_subtask = task.subtask(3)
+
+    print("Step 1 - profiling Filter over the (u, d) grid...")
+    profile = profile_subtask(
+        filter_subtask,
+        u_grid=(0.0, 0.2, 0.4, 0.6, 0.8),
+        d_grid_tracks=(250.0, 500.0, 1000.0, 2000.0, 4000.0),
+        repetitions=3,
+        seed=21,
+    )
+    print(f"  {len(profile.samples)} measurements collected")
+
+    print("\nStep 2 - fitting eq. 3 (two-stage vs direct OLS):")
+    d, u, y = profile.arrays()
+    two_stage = profile.model
+    direct = ExecutionLatencyModel.fit_direct("Filter", d, u, y)
+    print(f"  two-stage : a={tuple(round(v, 4) for v in two_stage.a)} "
+          f"b={tuple(round(v, 3) for v in two_stage.b)} R^2={two_stage.r_squared:.4f}")
+    print(f"  direct    : a={tuple(round(v, 4) for v in direct.a)} "
+          f"b={tuple(round(v, 3) for v in direct.b)} R^2={direct.r_squared:.4f}")
+    paper = PAPER_TABLE2_COEFFICIENTS[3]
+    print(f"  paper     : a=({paper['a1']}, {paper['a2']}, {paper['a3']}) "
+          f"b=({paper['b1']}, {paper['b2']}, {paper['b3']})  "
+          "(different application - structure matches, values differ)")
+
+    print("\nStep 3 - fitting eq. 5's buffer-delay line:")
+    buffer_profile = profile_buffer_delay(task)
+    model = buffer_profile.model
+    print(f"  k = {model.k_ms_per_track * 500:.2f} ms per 500-track unit "
+          f"(paper: 0.70), R^2 = {model.r_squared:.3f}")
+
+    print("\nStep 4 - out-of-sample forecast check "
+          "(points the fit never saw):")
+    print("  d(tracks)   u     forecast(ms)  fresh-measured(ms)  error")
+    for d_tracks, u_target, seed in (
+        (750.0, 0.1, 1), (1500.0, 0.3, 2), (3000.0, 0.5, 3), (2500.0, 0.7, 4),
+    ):
+        forecast = two_stage.predict_seconds(d_tracks, u_target) * 1e3
+        measured = measure_fresh_latency(task, 3, d_tracks, u_target, seed) * 1e3
+        err = abs(forecast - measured) / measured
+        print(f"  {d_tracks:>9.0f}  {u_target:.1f}  {forecast:>12.1f}  "
+              f"{measured:>18.1f}  {err:>5.0%}")
+
+    print("\nStep 5 - JSON round-trip:")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "filter_model.json"
+        import json
+
+        path.write_text(json.dumps(latency_model_to_dict(two_stage)))
+        restored = latency_model_from_dict(json.loads(path.read_text()))
+        assert restored == two_stage
+        print(f"  saved and restored identical model ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: profile the benchmark, run one adaptive experiment.
+
+This is the five-minute tour of the library:
+
+1. take the Table 1 baseline configuration,
+2. profile the synthetic AAW benchmark and fit the paper's regression
+   models (eq. 3 latency surfaces, eq. 4-6 communication model),
+3. run the predictive resource-management algorithm against a
+   triangular workload,
+4. print the §5.2 metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    BaselineConfig,
+    ExperimentConfig,
+    get_default_estimator,
+    run_experiment,
+)
+
+
+def main() -> None:
+    baseline = BaselineConfig()  # Table 1: 6 nodes, 1 s period, 990 ms deadline
+    print("Profiling the benchmark and fitting regression models "
+          "(a few seconds, cached afterwards)...")
+    estimator = get_default_estimator(baseline)
+
+    for index, model in sorted(estimator.latency_models.items()):
+        print(
+            f"  subtask {index} ({model.subtask_name:>10}): "
+            f"eex(d=10, u=0.4) = {model.predict_ms(10.0, 0.4):7.1f} ms, "
+            f"fit R^2 = {model.r_squared:.3f}"
+        )
+    print(
+        f"  buffer-delay slope k = "
+        f"{estimator.comm_model.buffer.k_ms_per_track * 500:.2f} ms per "
+        "500-track unit\n"
+    )
+
+    config = ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=20.0,  # peaks at 10,000 tracks/period
+        baseline=baseline,
+    )
+    print(f"Running {config.policy!r} on a {config.pattern!r} workload "
+          f"peaking at {config.max_tracks:.0f} tracks/period...")
+    result = run_experiment(config, estimator=estimator)
+
+    metrics = result.metrics
+    print(f"\n  periods released        : {metrics.periods_released}")
+    print(f"  missed-deadline ratio   : {metrics.missed_deadline_ratio:.3f}")
+    print(f"  avg CPU utilization     : {metrics.avg_cpu_utilization:.3f}")
+    print(f"  avg network utilization : {metrics.avg_network_utilization:.3f}")
+    print(f"  avg subtask replicas    : {metrics.avg_replicas:.2f} "
+          f"(of {metrics.max_replicas} max)")
+    print(f"  RM actions taken        : {metrics.rm_actions}")
+    print(f"  combined metric C       : {metrics.combined:.3f}  (lower is better)")
+    print("\nFinal replica placement:")
+    for index, processors in sorted(result.final_placement.items()):
+        print(f"  subtask {index}: {list(processors)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+"""repro — predictive adaptive resource management for periodic tasks.
+
+A production-quality reproduction of:
+
+    Binoy Ravindran and Tamir Hegazy, "A Predictive Algorithm for
+    Adaptive Resource Management of Periodic Tasks in Asynchronous
+    Real-Time Distributed Systems", IPPS/SPDP Workshops 2001.
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — discrete-event simulation engine
+* :mod:`repro.cluster` — processors (RR/PS), shared Ethernet, clocks
+* :mod:`repro.tasks` — the periodic subtask/message chain model
+* :mod:`repro.bench` — the DynBench/AAW-like synthetic benchmark and
+  the profiling campaigns
+* :mod:`repro.regression` — the paper's eq. 3-6 regression models
+* :mod:`repro.runtime` — periodic task execution with replication
+* :mod:`repro.core` — **the contribution**: EQF deadline assignment,
+  run-time monitoring, the predictive (Fig. 5) and non-predictive
+  (Fig. 7) allocation algorithms, replica shutdown (Fig. 6), and the
+  adaptive resource manager
+* :mod:`repro.workloads` — Figure 8 workload patterns
+* :mod:`repro.experiments` — the §5 evaluation harness (metrics,
+  sweeps, figure/table reproduction)
+
+Quickstart
+----------
+.. code-block:: python
+
+    from repro import (
+        BaselineConfig, ExperimentConfig, run_experiment,
+        get_default_estimator,
+    )
+
+    baseline = BaselineConfig()
+    estimator = get_default_estimator(baseline)   # profile + fit once
+    result = run_experiment(
+        ExperimentConfig(
+            policy="predictive", pattern="triangular",
+            max_workload_units=20.0, baseline=baseline,
+        ),
+        estimator=estimator,
+    )
+    print(result.metrics.combined)
+"""
+
+from repro.bench import aaw_task, build_estimator, default_initial_placement
+from repro.cluster import System, build_system
+from repro.core import (
+    AdaptiveResourceManager,
+    NonPredictivePolicy,
+    PredictivePolicy,
+    RMConfig,
+    assign_deadlines,
+    shut_down_a_replica,
+)
+from repro.experiments import (
+    BaselineConfig,
+    ExperimentConfig,
+    ExperimentMetrics,
+    get_default_estimator,
+    run_experiment,
+    sweep_workloads,
+)
+from repro.regression import TimingEstimator
+from repro.runtime import PeriodicTaskExecutor
+from repro.tasks import PeriodicTask, ReplicaAssignment, TaskBuilder
+from repro.workloads import make_pattern
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveResourceManager",
+    "BaselineConfig",
+    "ExperimentConfig",
+    "ExperimentMetrics",
+    "NonPredictivePolicy",
+    "PeriodicTask",
+    "PeriodicTaskExecutor",
+    "PredictivePolicy",
+    "RMConfig",
+    "ReplicaAssignment",
+    "System",
+    "TaskBuilder",
+    "TimingEstimator",
+    "__version__",
+    "aaw_task",
+    "assign_deadlines",
+    "build_estimator",
+    "build_system",
+    "default_initial_placement",
+    "get_default_estimator",
+    "make_pattern",
+    "run_experiment",
+    "shut_down_a_replica",
+    "sweep_workloads",
+]

@@ -1,0 +1,87 @@
+"""Published regression coefficients (paper Tables 2 and 3).
+
+The paper measured its benchmark and reports, for the two replicable
+subtasks (chain indices 3 and 5), the eq. 3 surface coefficients
+(Table 2) and the eq. 5 buffer-delay slope (Table 3).  We ship them
+verbatim so that
+
+* experiments can run with the *authors'* timing models instead of (or
+  compared against) models we fit from the synthetic benchmark, and
+* the Table 2 reproduction bench can print fitted-vs-published
+  coefficients side by side.
+
+Unit note: the paper states ``u`` is "CPU utilization in percentage",
+but with ``u`` in percent the published ``a1 u^2`` term alone would make
+the ``d^2`` coefficient negative beyond ``u ≈ 9 %`` for subtask 3
+(a1 = -0.00155), i.e. negative latencies over most of the measured
+range.  With ``u`` as a fraction in [0, 1] the surfaces are positive and
+monotone over the profiled region, so — as our DESIGN.md records — we
+interpret ``u`` as a fraction.
+"""
+
+from __future__ import annotations
+
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.transmission import TransmissionModel
+from repro.units import ETHERNET_100_MBPS
+
+#: Table 2 — coefficients of the execution-latency regression equation.
+#: Keys are chain indices; values are the paper's (a1, a2, a3, b1, b2, b3).
+PAPER_TABLE2_COEFFICIENTS: dict[int, dict[str, float]] = {
+    3: {
+        "a1": -0.00155,
+        "a2": 1.535e-05,
+        "a3": 0.11816174,
+        "b1": 0.0298276,
+        "b2": -0.000285,
+        "b3": 0.983699,
+    },
+    5: {
+        "a1": 0.002123,
+        "a2": -1.596e-05,
+        "a3": 0.022324,
+        "b1": -0.023927,
+        "b2": 0.000108,
+        "b3": 1.443762,
+    },
+}
+
+#: Table 3 — slope of the buffer-delay regression line (both subtasks).
+PAPER_BUFFER_K: float = 0.7
+
+#: The paper's Table 3 slope is "per unit of periodic workload"; scaled to
+#: per-track via the experiment's 500-track workload unit this is
+#: ``0.7 ms / 500 tracks``.
+PAPER_BUFFER_K_MS_PER_TRACK: float = PAPER_BUFFER_K / 500.0
+
+
+def paper_latency_model(subtask_index: int) -> ExecutionLatencyModel:
+    """The published eq. 3 surface for chain index 3 or 5."""
+    try:
+        coeffs = PAPER_TABLE2_COEFFICIENTS[subtask_index]
+    except KeyError:
+        raise KeyError(
+            f"the paper publishes coefficients only for subtasks "
+            f"{sorted(PAPER_TABLE2_COEFFICIENTS)}, not {subtask_index}"
+        ) from None
+    return ExecutionLatencyModel(
+        subtask_name=f"paper-st{subtask_index}",
+        a=(coeffs["a1"], coeffs["a2"], coeffs["a3"]),
+        b=(coeffs["b1"], coeffs["b2"], coeffs["b3"]),
+        r_squared=1.0,
+        n_samples=0,
+    )
+
+
+def paper_comm_model(
+    bandwidth_bps: float = ETHERNET_100_MBPS, overhead_bytes: float = 1500.0
+) -> CommunicationDelayModel:
+    """Eq. 4 model using the published Table 3 buffer slope."""
+    return CommunicationDelayModel(
+        buffer=BufferDelayModel(k_ms_per_track=PAPER_BUFFER_K_MS_PER_TRACK),
+        transmission=TransmissionModel(
+            bandwidth_bps=bandwidth_bps, overhead_bytes=overhead_bytes
+        ),
+    )

@@ -1,0 +1,294 @@
+"""Profiling campaigns (paper §4.2.1.1 and §4.2.1.2).
+
+The paper derives its regression equations from *measurements* of the
+benchmark under controlled conditions:
+
+* **execution latency** — each subtask is timed while its host processor
+  is held at a sequence of CPU utilizations and fed a sequence of data
+  sizes (the measurement grids behind Figs. 2-4);
+* **buffer delay** — the benchmark's message pattern is replayed at a
+  sequence of total periodic workloads and the queueing delay of each
+  message is recorded (the data behind eq. 5 / Table 3).
+
+This module reproduces both campaigns against the simulated hardware and
+fits the corresponding models.  :func:`build_estimator` is the one-call
+entry point used by examples, experiments and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.background import BackgroundLoad
+from repro.cluster.network import Network
+from repro.cluster.processor import Discipline, Processor
+from repro.errors import ProfilingError
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.estimator import TimingEstimator
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.transmission import TransmissionModel
+from repro.sim.engine import Engine
+from repro.tasks.model import PeriodicTask, Subtask
+from repro.units import ETHERNET_100_MBPS, s_to_ms, tracks_to_regression_units
+
+#: Default utilization grid (fractions) — the paper profiles up to 80 %.
+DEFAULT_U_GRID: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8)
+
+#: Default data-size grid in tracks (paper Figs. 2-3 span ~0-25 hundred
+#: items; we extend a bit for extrapolation headroom).
+DEFAULT_D_GRID: tuple[float, ...] = (
+    100.0,
+    250.0,
+    500.0,
+    750.0,
+    1000.0,
+    1500.0,
+    2000.0,
+    3000.0,
+    4500.0,
+    6000.0,
+)
+
+
+@dataclass(frozen=True)
+class ProfileSample:
+    """One latency measurement at a grid point."""
+
+    subtask_name: str
+    u_target: float
+    u_measured: float
+    d_tracks: float
+    latency_s: float
+
+
+@dataclass
+class LatencyProfileResult:
+    """All samples of one subtask's campaign plus the fitted surface."""
+
+    subtask_name: str
+    samples: list[ProfileSample]
+    model: ExecutionLatencyModel
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(d_hundreds, u_target, latency_ms)`` sample arrays."""
+        d = np.array(
+            [tracks_to_regression_units(s.d_tracks) for s in self.samples]
+        )
+        u = np.array([s.u_target for s in self.samples])
+        y = np.array([s_to_ms(s.latency_s) for s in self.samples])
+        return d, u, y
+
+
+@dataclass
+class BufferProfileResult:
+    """Buffer-delay campaign data plus the fitted eq. 5 line."""
+
+    total_tracks: np.ndarray
+    mean_buffer_delay_ms: np.ndarray
+    model: BufferDelayModel
+    per_message_delays: dict[float, list[float]] = field(default_factory=dict)
+
+
+def _measure_once(
+    subtask: Subtask,
+    d_tracks: float,
+    u_target: float,
+    rng: np.random.Generator,
+    warmup: float,
+    bg_interval: float,
+) -> tuple[float, float]:
+    """One isolated measurement: latency and measured utilization."""
+    engine = Engine()
+    processor = Processor(
+        engine, "probe", discipline=Discipline.PROCESSOR_SHARING,
+        utilization_window=max(warmup, 1.0),
+    )
+    background = BackgroundLoad(
+        processor, u_target, interval=bg_interval, jitter=0.3, rng=rng
+    )
+    background.start()
+    engine.run_until(warmup)
+    u_measured = processor.utilization(window=warmup * 0.8)
+
+    done: dict[str, float] = {}
+    demand = subtask.service.demand(d_tracks, rng)
+    job = processor.run_for(
+        demand,
+        kind="profile",
+        label=f"profile:{subtask.name}",
+        on_complete=lambda j, t: done.setdefault("t", t),
+    )
+    # Run the sim until the probe job completes; the background generator
+    # never stops, so step until the completion callback fires.
+    max_steps = 2_000_000
+    steps = 0
+    while "t" not in done:
+        if not engine.step():
+            raise ProfilingError("engine drained before the probe completed")
+        steps += 1
+        if steps > max_steps:
+            raise ProfilingError(
+                f"probe job did not complete within {max_steps} events "
+                f"(u={u_target}, d={d_tracks})"
+            )
+    return job.latency, u_measured
+
+
+def profile_subtask(
+    subtask: Subtask,
+    u_grid: tuple[float, ...] = DEFAULT_U_GRID,
+    d_grid_tracks: tuple[float, ...] = DEFAULT_D_GRID,
+    repetitions: int = 3,
+    seed: int = 0,
+    warmup: float = 0.5,
+    bg_interval: float = 0.010,
+    fit: str = "two_stage",
+) -> LatencyProfileResult:
+    """Run the §4.2.1.1 campaign for one subtask and fit eq. 3.
+
+    Parameters
+    ----------
+    subtask:
+        The subtask to measure (its ground-truth service model is
+        invoked, noise included).
+    u_grid / d_grid_tracks:
+        The measurement grid.  Two-stage fitting needs >= 3 utilization
+        levels and >= 2 data sizes.
+    repetitions:
+        Measurements per grid point.
+    fit:
+        ``"two_stage"`` (the paper's procedure) or ``"direct"``.
+    """
+    if repetitions < 1:
+        raise ProfilingError(f"repetitions must be >= 1, got {repetitions}")
+    if fit not in ("two_stage", "direct"):
+        raise ProfilingError(f"unknown fit procedure {fit!r}")
+    rng = np.random.default_rng(seed)
+    samples: list[ProfileSample] = []
+    for u_target in u_grid:
+        for d_tracks in d_grid_tracks:
+            for _ in range(repetitions):
+                latency, u_measured = _measure_once(
+                    subtask, d_tracks, u_target, rng, warmup, bg_interval
+                )
+                samples.append(
+                    ProfileSample(
+                        subtask_name=subtask.name,
+                        u_target=u_target,
+                        u_measured=u_measured,
+                        d_tracks=d_tracks,
+                        latency_s=latency,
+                    )
+                )
+    d = np.array([tracks_to_regression_units(s.d_tracks) for s in samples])
+    u = np.array([s.u_target for s in samples])
+    y = np.array([s_to_ms(s.latency_s) for s in samples])
+    if fit == "two_stage":
+        model = ExecutionLatencyModel.fit_two_stage(subtask.name, d, u, y)
+    else:
+        model = ExecutionLatencyModel.fit_direct(subtask.name, d, u, y)
+    return LatencyProfileResult(subtask_name=subtask.name, samples=samples, model=model)
+
+
+def profile_buffer_delay(
+    task: PeriodicTask,
+    total_tracks_grid: tuple[float, ...] = (500.0, 2000.0, 4000.0, 8000.0, 12000.0, 17500.0),
+    periods: int = 5,
+    fanout: int = 3,
+    bandwidth_bps: float = ETHERNET_100_MBPS,
+    overhead_bytes: float = 1500.0,
+    stage_offset: float = 0.15,
+) -> BufferProfileResult:
+    """Run the §4.2.1.2 campaign: buffer delay vs total periodic workload.
+
+    The task's message pattern is replayed on an otherwise idle medium:
+    each period, every message stage sends a ``fanout``-way burst (as a
+    replicated predecessor would), stages staggered by ``stage_offset``
+    of the period.  The queueing ("buffer") delay of every message is
+    recorded and eq. 5's through-origin line fitted to the per-load
+    means.
+    """
+    if fanout < 1:
+        raise ProfilingError(f"fanout must be >= 1, got {fanout}")
+    if periods < 1:
+        raise ProfilingError(f"periods must be >= 1, got {periods}")
+    mean_delays: list[float] = []
+    per_message: dict[float, list[float]] = {}
+    for total in total_tracks_grid:
+        engine = Engine()
+        network = Network(
+            engine,
+            bandwidth_bps=bandwidth_bps,
+            default_overhead_bytes=overhead_bytes,
+        )
+        sent = []
+        for period_index in range(periods):
+            base = period_index * task.period
+            for message in task.messages:
+                at = base + (message.index - 1) * stage_offset * task.period
+                payload = message.wire_payload_bytes(total / fanout, total)
+
+                def _send(payload_bytes: float = payload, index: int = message.index) -> None:
+                    for _ in range(fanout):
+                        sent.append(
+                            network.send_bytes(payload_bytes, label=f"m{index}")
+                        )
+
+                engine.schedule_at(at, _send)
+        engine.run_until(periods * task.period + 5.0)
+        delays_ms = [s_to_ms(m.buffer_delay) for m in sent if m.start_time is not None]
+        if not delays_ms:
+            raise ProfilingError(f"no messages transmitted at load {total}")
+        per_message[float(total)] = delays_ms
+        mean_delays.append(float(np.mean(delays_ms)))
+    loads = np.asarray(total_tracks_grid, dtype=float)
+    means = np.asarray(mean_delays)
+    model = BufferDelayModel.fit(loads, means)
+    return BufferProfileResult(
+        total_tracks=loads,
+        mean_buffer_delay_ms=means,
+        model=model,
+        per_message_delays=per_message,
+    )
+
+
+def build_estimator(
+    task: PeriodicTask,
+    u_grid: tuple[float, ...] = DEFAULT_U_GRID,
+    d_grid_tracks: tuple[float, ...] = DEFAULT_D_GRID,
+    repetitions: int = 2,
+    seed: int = 0,
+    bandwidth_bps: float = ETHERNET_100_MBPS,
+    overhead_bytes: float = 1500.0,
+    fit: str = "two_stage",
+) -> TimingEstimator:
+    """Profile every subtask and the medium, fit all models, return the
+    :class:`~repro.regression.estimator.TimingEstimator` the resource
+    manager consumes.
+    """
+    latency_models: dict[int, ExecutionLatencyModel] = {}
+    for subtask in task.subtasks:
+        result = profile_subtask(
+            subtask,
+            u_grid=u_grid,
+            d_grid_tracks=d_grid_tracks,
+            repetitions=repetitions,
+            seed=seed + subtask.index,
+            fit=fit,
+        )
+        latency_models[subtask.index] = result.model
+    buffer_result = profile_buffer_delay(
+        task, bandwidth_bps=bandwidth_bps, overhead_bytes=overhead_bytes
+    )
+    comm_model = CommunicationDelayModel(
+        buffer=buffer_result.model,
+        transmission=TransmissionModel(
+            bandwidth_bps=bandwidth_bps, overhead_bytes=overhead_bytes
+        ),
+    )
+    return TimingEstimator(
+        task=task, latency_models=latency_models, comm_model=comm_model
+    )

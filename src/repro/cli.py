@@ -1,0 +1,394 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``table {1,2,3}``
+    Regenerate a paper table.
+``figure {8,9,10,11,12,13}``
+    Regenerate a paper figure's series (optionally reduced ``--units``).
+``run``
+    One experiment: ``--policy``, ``--pattern``, ``--max-units`` etc.,
+    with optional ``--tasks N`` (multi-task) and ``--seeds N``
+    (replication statistics) and ``--csv/--json`` export.
+``profile``
+    Profile one subtask and print the fitted eq. 3 coefficients.
+``patterns``
+    Print the Figure 8 workload series.
+``capacity``
+    Offline capacity plan from the fitted models.
+``validate``
+    Run the paper-claims validation suite (exit code 1 on any FAIL).
+``report``
+    Regenerate the whole evaluation as one Markdown document.
+
+Global options (``--periods``, ``--seed``, ``--nodes``,
+``--network-mode``) precede the subcommand.  Every command is
+importable and testable via :func:`main(argv)`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.experiments.config import (
+    DEFAULT_SWEEP_UNITS,
+    BaselineConfig,
+    ExperimentConfig,
+)
+from repro.experiments.report import format_table
+
+
+def _baseline_from_args(args: argparse.Namespace) -> BaselineConfig:
+    overrides = {}
+    if getattr(args, "periods", None) is not None:
+        overrides["n_periods"] = args.periods
+    if getattr(args, "seed", None) is not None:
+        overrides["seed"] = args.seed
+    if getattr(args, "nodes", None) is not None:
+        overrides["n_nodes"] = args.nodes
+    if getattr(args, "network_mode", None):
+        overrides["network_mode"] = args.network_mode
+    return BaselineConfig(**overrides)
+
+
+def _units_from_args(args: argparse.Namespace) -> tuple[float, ...]:
+    if getattr(args, "units", None):
+        return tuple(args.units)
+    return DEFAULT_SWEEP_UNITS
+
+
+# -- command handlers -----------------------------------------------------------
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """Handle ``repro table {1,2,3}``."""
+    from repro.experiments import tables
+
+    baseline = _baseline_from_args(args)
+    if args.number == 1:
+        print(tables.render_table1(baseline))
+    elif args.number == 2:
+        print(tables.render_table2(tables.reproduce_table2(baseline)))
+    else:
+        print(tables.render_table3(tables.reproduce_table3(baseline)))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    """Handle ``repro figure {8..13}`` (optionally exporting CSV)."""
+    from repro.experiments import figures
+    from repro.experiments.runner import get_default_estimator
+
+    baseline = _baseline_from_args(args)
+    units = _units_from_args(args)
+    if args.number == 8:
+        print(figures.fig8_workload_patterns(baseline=baseline).render())
+        return 0
+    estimator = get_default_estimator(baseline)
+    kwargs = dict(units=units, baseline=baseline, estimator=estimator)
+    produced: list = []
+    if args.number == 9:
+        panels = figures.fig9_triangular_panels(**kwargs)
+        produced = [panels[letter] for letter in "abcd"]
+    elif args.number == 10:
+        produced = [figures.fig10_triangular_combined(**kwargs)]
+    elif args.number == 11:
+        panels = figures.fig11_increasing_panels(**kwargs)
+        produced = [panels[letter] for letter in "abcd"]
+    elif args.number == 12:
+        panels = figures.fig12_decreasing_panels(**kwargs)
+        produced = [panels[letter] for letter in "abcd"]
+    else:
+        parts = figures.fig13_ramp_combined(**kwargs)
+        produced = [parts["a"], parts["b"]]
+    print("\n\n".join(data.render() for data in produced))
+    if args.csv:
+        from pathlib import Path
+
+        from repro.experiments.export import figure_to_csv
+
+        base = Path(args.csv)
+        for i, data in enumerate(produced):
+            target = (
+                base
+                if len(produced) == 1
+                else base.with_name(f"{base.stem}_{i + 1}{base.suffix}")
+            )
+            figure_to_csv(data, target)
+            print(f"series written to {target}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Handle ``repro run`` (single, multi-task or replicated)."""
+    from repro.experiments.runner import get_default_estimator, run_experiment
+
+    baseline = _baseline_from_args(args)
+    config = ExperimentConfig(
+        policy=args.policy,
+        pattern=args.pattern,
+        max_workload_units=args.max_units,
+        baseline=baseline,
+    )
+    estimator = get_default_estimator(baseline)
+
+    if args.tasks > 1:
+        from repro.experiments.multitask import run_multi_task_experiment
+
+        result = run_multi_task_experiment(
+            config, n_tasks=args.tasks, estimator=estimator
+        )
+        metrics = result.aggregate
+        rows = [
+            [name, m.missed_deadline_ratio, m.avg_replicas, m.rm_actions]
+            for name, m in sorted(result.per_task_metrics.items())
+        ]
+        print(
+            format_table(
+                ["task", "missed", "avg replicas", "rm actions"],
+                rows,
+                title=f"{args.tasks} tasks, {args.policy}, {args.pattern}, "
+                f"{args.max_units:g} units",
+            )
+        )
+    elif args.seeds > 1:
+        from repro.experiments.replication import replicate_experiment
+
+        replicated = replicate_experiment(
+            config, n_seeds=args.seeds, estimator=estimator
+        )
+        rows = [
+            [s.name, s.mean, s.std, f"[{s.ci_low:.3f}, {s.ci_high:.3f}]"]
+            for s in replicated.summaries.values()
+        ]
+        print(
+            format_table(
+                ["metric", "mean", "sd", "95% CI"],
+                rows,
+                title=f"{args.seeds} seeds, {args.policy}, {args.pattern}, "
+                f"{args.max_units:g} units",
+            )
+        )
+        metrics = replicated.runs[0]
+    else:
+        result = run_experiment(config, estimator=estimator)
+        metrics = result.metrics
+        rows = [[k, v] for k, v in metrics.as_dict().items()]
+        rows.append(["rm_actions", metrics.rm_actions])
+        rows.append(["periods", metrics.periods_released])
+        print(
+            format_table(
+                ["metric", "value"],
+                rows,
+                title=f"{args.policy}, {args.pattern}, {args.max_units:g} units",
+            )
+        )
+
+    if args.json:
+        from repro.experiments.export import metrics_to_json
+
+        metrics_to_json(
+            metrics,
+            args.json,
+            extra={
+                "policy": args.policy,
+                "pattern": args.pattern,
+                "max_units": args.max_units,
+            },
+        )
+        print(f"metrics written to {args.json}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Handle ``repro profile``: fit eq. 3 for one subtask."""
+    from repro.bench.app import aaw_task
+    from repro.bench.profiler import profile_subtask
+
+    baseline = _baseline_from_args(args)
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+    result = profile_subtask(
+        task.subtask(args.subtask), repetitions=args.repetitions,
+        seed=baseline.seed,
+    )
+    model = result.model
+    rows = [[k, v] for k, v in model.coefficients().items()]
+    rows.append(["R^2", model.r_squared])
+    rows.append(["samples", model.n_samples])
+    print(
+        format_table(
+            ["coefficient", "value"],
+            rows,
+            title=f"eq. 3 fit for subtask {args.subtask} ({model.subtask_name})",
+        )
+    )
+    return 0
+
+
+def cmd_patterns(args: argparse.Namespace) -> int:
+    """Handle ``repro patterns``: print the Figure 8 series."""
+    from repro.experiments.figures import fig8_workload_patterns
+
+    baseline = _baseline_from_args(args)
+    print(
+        fig8_workload_patterns(
+            max_workload_units=args.max_units,
+            n_periods=baseline.n_periods,
+            baseline=baseline,
+        ).render()
+    )
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    """Handle ``repro capacity``: the offline capacity plan."""
+    from repro.experiments.capacity import plan_capacity
+    from repro.experiments.runner import get_default_estimator
+
+    baseline = _baseline_from_args(args)
+    estimator = get_default_estimator(baseline)
+    grid = tuple(
+        sorted(float(u) * 500.0 for u in (args.units or (2, 5, 10, 20, 30, 35)))
+    )
+    plan = plan_capacity(
+        estimator,
+        grid,
+        n_processors=baseline.n_nodes,
+        utilization=args.utilization,
+        slack_fraction=baseline.slack_fraction,
+    )
+    print(plan.render())
+    saturation = plan.saturation_tracks()
+    if saturation is not None:
+        print(f"\nsaturation: infeasible from {saturation:.0f} tracks/period")
+    else:
+        print("\nall planned workloads are feasible")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Handle ``repro report``: the full evaluation as Markdown."""
+    from repro.experiments.paper_report import generate_report
+
+    baseline = _baseline_from_args(args)
+    report = generate_report(
+        baseline=baseline,
+        units=_units_from_args(args),
+        include_tables=not args.skip_tables,
+        include_figures=not args.skip_figures,
+        include_validation=not args.skip_validation,
+    )
+    if args.out:
+        path = report.write(args.out)
+        print(f"report ({len(report.sections)} sections, "
+              f"{report.elapsed_s:.1f} s) written to {path}")
+    else:
+        print(report.to_markdown())
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    """Handle ``repro validate``: paper-claims checks (exit 1 on FAIL)."""
+    from repro.experiments.validation import render_checks, validate_reproduction
+
+    baseline = _baseline_from_args(args)
+    checks = validate_reproduction(baseline=baseline)
+    print(render_checks(checks))
+    return 0 if all(check.passed for check in checks) else 1
+
+
+# -- parser ---------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predictive adaptive resource management "
+        "(Ravindran & Hegazy 2001) - reproduction toolkit",
+    )
+    parser.add_argument("--periods", type=int, help="periods per experiment")
+    parser.add_argument("--seed", type=int, help="master random seed")
+    parser.add_argument("--nodes", type=int, help="number of processors")
+    parser.add_argument(
+        "--network-mode", choices=("shared", "switched"), help="medium model"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=(1, 2, 3))
+    p_table.set_defaults(func=cmd_table)
+
+    p_figure = sub.add_parser("figure", help="regenerate a paper figure")
+    p_figure.add_argument("number", type=int, choices=(8, 9, 10, 11, 12, 13))
+    p_figure.add_argument(
+        "--units", type=float, nargs="+", help="max-workload sweep points"
+    )
+    p_figure.add_argument("--csv", help="also write the series as CSV here")
+    p_figure.set_defaults(func=cmd_figure)
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("--policy", default="predictive")
+    p_run.add_argument("--pattern", default="triangular")
+    p_run.add_argument("--max-units", type=float, default=20.0)
+    p_run.add_argument("--tasks", type=int, default=1, help="number of tasks")
+    p_run.add_argument("--seeds", type=int, default=1, help="replication seeds")
+    p_run.add_argument("--json", help="write metrics JSON here")
+    p_run.set_defaults(func=cmd_run)
+
+    p_profile = sub.add_parser("profile", help="profile one subtask, fit eq. 3")
+    p_profile.add_argument("--subtask", type=int, default=3, choices=range(1, 6))
+    p_profile.add_argument("--repetitions", type=int, default=2)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_patterns = sub.add_parser("patterns", help="print the Figure 8 series")
+    p_patterns.add_argument("--max-units", type=float, default=20.0)
+    p_patterns.set_defaults(func=cmd_patterns)
+
+    p_validate = sub.add_parser("validate", help="check the paper's claims")
+    p_validate.set_defaults(func=cmd_validate)
+
+    p_capacity = sub.add_parser(
+        "capacity", help="offline capacity plan from the fitted models"
+    )
+    p_capacity.add_argument(
+        "--units", type=float, nargs="+",
+        help="workload points (1 unit = 500 tracks)",
+    )
+    p_capacity.add_argument(
+        "--utilization", type=float, default=0.3,
+        help="assumed background utilization",
+    )
+    p_capacity.set_defaults(func=cmd_capacity)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the whole evaluation as Markdown"
+    )
+    p_report.add_argument("--out", help="write the Markdown here (else stdout)")
+    p_report.add_argument(
+        "--units", type=float, nargs="+", help="max-workload sweep points"
+    )
+    p_report.add_argument("--skip-tables", action="store_true")
+    p_report.add_argument("--skip-figures", action="store_true")
+    p_report.add_argument("--skip-validation", action="store_true")
+    p_report.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

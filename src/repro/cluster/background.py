@@ -1,0 +1,107 @@
+"""Background load generation.
+
+Two uses in the reproduction:
+
+* the **profiler** (paper §4.2.1.1) pins a processor at each target CPU
+  utilization of the measurement grid before timing a subtask, exactly as
+  the authors loaded their testbed nodes; and
+* experiments can add ambient load on the nodes to model the rest of the
+  mission application.
+
+The generator is open-loop: every ``interval`` seconds it submits one job
+of demand ``target_utilization * interval`` (optionally jittered), so as
+long as the processor is not saturated its long-run busy fraction from
+background work alone equals the target.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.processor import Processor
+from repro.errors import ClusterError
+
+
+class BackgroundLoad:
+    """Holds a processor at a target utilization with periodic jobs.
+
+    Parameters
+    ----------
+    processor:
+        Target processor.
+    target_utilization:
+        Long-run busy fraction contributed by this generator, in
+        ``[0, 0.95]``.  Zero produces no jobs.
+    interval:
+        Spacing of job arrivals (seconds).  Smaller intervals approximate
+        a fluid load better but cost more events.
+    jitter:
+        Fractional uniform jitter applied to each job's demand
+        (``demand *= 1 + U(-jitter, +jitter)``); keeps profiling runs from
+        phase-locking with the measured subtask.
+    rng:
+        Random generator used for jitter (required if ``jitter > 0``).
+    """
+
+    MAX_TARGET = 0.95
+
+    def __init__(
+        self,
+        processor: Processor,
+        target_utilization: float,
+        interval: float = 0.050,
+        jitter: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if not 0.0 <= target_utilization <= self.MAX_TARGET:
+            raise ClusterError(
+                f"target utilization must be in [0, {self.MAX_TARGET}], "
+                f"got {target_utilization}"
+            )
+        if interval <= 0.0:
+            raise ClusterError(f"interval must be positive, got {interval}")
+        if jitter < 0.0 or jitter >= 1.0:
+            raise ClusterError(f"jitter must be in [0, 1), got {jitter}")
+        if jitter > 0.0 and rng is None:
+            raise ClusterError("jitter > 0 requires an rng")
+        self.processor = processor
+        self.target_utilization = float(target_utilization)
+        self.interval = float(interval)
+        self.jitter = float(jitter)
+        self.rng = rng
+        self._stop: Callable[[], None] | None = None
+        self.jobs_submitted = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the generator is currently emitting jobs."""
+        return self._stop is not None
+
+    def start(self) -> None:
+        """Begin emitting background jobs (idempotent)."""
+        if self._stop is not None or self.target_utilization == 0.0:
+            return
+        engine = self.processor.engine
+        self._stop = engine.every(
+            self.interval,
+            self._emit,
+            start_delay=0.0,
+            label=f"{self.processor.name}.bg",
+        )
+
+    def stop(self) -> None:
+        """Stop emitting background jobs (idempotent)."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def _emit(self) -> None:
+        demand = self.target_utilization * self.interval
+        if self.jitter > 0.0:
+            assert self.rng is not None
+            demand *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)
+        if demand > 0.0:
+            self.processor.run_for(demand, kind="background", label="bg")
+            self.jobs_submitted += 1

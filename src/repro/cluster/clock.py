@@ -1,0 +1,128 @@
+"""Clock synchronization substrate.
+
+The paper assumes node clocks are synchronized "using an algorithm such
+as [Mills95]" (NTP) so that monitoring data lives on a global time scale
+(§3, property 12; Figure 1).  We model the *effect* of such an algorithm
+rather than the protocol itself:
+
+* each :class:`NodeClock` has an offset and a drift rate relative to true
+  (simulation) time;
+* a :class:`ClockSyncService` periodically re-disciplines every clock,
+  drawing a fresh small residual offset within ``sync_bound`` — between
+  syncs the offset grows with drift, as in a real NTP client.
+
+The run-time monitor timestamps observations through node clocks, so
+tests can inject desynchronization and check the resource manager's
+robustness to bounded timestamp error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+class NodeClock:
+    """A local clock with offset and drift relative to global time.
+
+    ``local = global + offset + drift * (global - last_sync)``.
+
+    Parameters
+    ----------
+    name:
+        Node identifier.
+    offset:
+        Initial offset in seconds.
+    drift:
+        Drift rate in seconds per second (e.g. ``20e-6`` for 20 ppm).
+    """
+
+    def __init__(self, name: str, offset: float = 0.0, drift: float = 0.0) -> None:
+        self.name = name
+        self.offset = float(offset)
+        self.drift = float(drift)
+        self.last_sync = 0.0
+
+    def local_time(self, global_time: float) -> float:
+        """Local reading of the clock at true time ``global_time``."""
+        return global_time + self.offset + self.drift * (global_time - self.last_sync)
+
+    def error(self, global_time: float) -> float:
+        """Current absolute deviation from true time."""
+        return abs(self.local_time(global_time) - global_time)
+
+    def discipline(self, global_time: float, residual_offset: float) -> None:
+        """Re-synchronize: absorb drift so far and set a new small offset."""
+        self.offset = float(residual_offset)
+        self.last_sync = float(global_time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NodeClock {self.name} offset={self.offset:+.6e} drift={self.drift:+.2e}>"
+
+
+class ClockSyncService:
+    """Periodic clock disciplining for a set of node clocks.
+
+    Parameters
+    ----------
+    engine:
+        The discrete-event engine.
+    clocks:
+        The clocks to keep synchronized.
+    sync_interval:
+        Seconds between synchronization rounds (default 16 s, an NTP-ish
+        poll interval).
+    sync_bound:
+        Residual offsets after a round are drawn uniformly from
+        ``[-sync_bound, +sync_bound]``.
+    rng:
+        Random generator for residual offsets.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        clocks: list[NodeClock],
+        sync_interval: float = 16.0,
+        sync_bound: float = 0.5e-3,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if sync_interval <= 0.0:
+            raise ClusterError(f"sync interval must be positive, got {sync_interval}")
+        if sync_bound < 0.0:
+            raise ClusterError(f"sync bound must be non-negative, got {sync_bound}")
+        self.engine = engine
+        self.clocks = list(clocks)
+        self.sync_interval = float(sync_interval)
+        self.sync_bound = float(sync_bound)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rounds = 0
+        self._stop = None
+
+    def start(self) -> None:
+        """Begin periodic synchronization (idempotent)."""
+        if self._stop is None:
+            self._stop = self.engine.every(
+                self.sync_interval, self.sync_now, start_delay=0.0, label="clock.sync"
+            )
+
+    def stop(self) -> None:
+        """Stop periodic synchronization (idempotent)."""
+        if self._stop is not None:
+            self._stop()
+            self._stop = None
+
+    def sync_now(self) -> None:
+        """Run one synchronization round immediately."""
+        now = self.engine.now
+        for clock in self.clocks:
+            residual = self.rng.uniform(-self.sync_bound, self.sync_bound)
+            clock.discipline(now, residual)
+        self.rounds += 1
+
+    def max_error(self) -> float:
+        """Largest current deviation across all clocks."""
+        now = self.engine.now
+        return max((c.error(now) for c in self.clocks), default=0.0)

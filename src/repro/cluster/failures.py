@@ -1,0 +1,76 @@
+"""Failure injection.
+
+The paper's motivating requirement is *survivability* — "continued
+availability of application functionality" under node loss (§1).
+:class:`FailureInjector` schedules crash/recovery events against the
+processors so experiments and tests can measure how fast the adaptive
+resource manager restores timeliness after losing a node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import System
+from repro.errors import ClusterError
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One scheduled crash (and optional recovery)."""
+
+    processor: str
+    fail_at: float
+    recover_at: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.fail_at < 0.0:
+            raise ClusterError(f"fail_at must be >= 0, got {self.fail_at}")
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ClusterError(
+                f"recover_at {self.recover_at} must follow fail_at {self.fail_at}"
+            )
+
+
+@dataclass
+class FailureInjector:
+    """Applies a failure plan to a system.
+
+    Example
+    -------
+    .. code-block:: python
+
+        injector = FailureInjector(system)
+        injector.plan(FailureEvent("p3", fail_at=20.0, recover_at=35.0))
+        injector.arm()
+    """
+
+    system: System
+    events: list[FailureEvent] = field(default_factory=list)
+    _armed: bool = False
+
+    def plan(self, *events: FailureEvent) -> "FailureInjector":
+        """Add events to the plan (before :meth:`arm`)."""
+        if self._armed:
+            raise ClusterError("injector already armed")
+        for event in events:
+            self.system.processor(event.processor)  # validates the name
+            self.events.append(event)
+        return self
+
+    def arm(self) -> None:
+        """Schedule every planned event on the engine (once)."""
+        if self._armed:
+            raise ClusterError("injector already armed")
+        self._armed = True
+        for event in self.events:
+            processor = self.system.processor(event.processor)
+            self.system.engine.schedule_at(
+                event.fail_at, processor.fail, label=f"{event.processor}.fail"
+            )
+            if event.recover_at is not None:
+                self.system.engine.schedule_at(
+                    event.recover_at,
+                    processor.recover,
+                    label=f"{event.processor}.recover",
+                )

@@ -1,0 +1,117 @@
+"""Allocation-policy abstraction (Figure 1, box 2).
+
+Both step-2 algorithms answer the same question — *given a replication
+candidate, how many replicas and on which processors?* — so they share
+an interface: :class:`AllocationPolicy`.  The request bundle carries
+everything a policy may consult (current placement, utilizations,
+regression estimator, budgets, current workload); the outcome reports
+what changed.
+
+A tiny registry maps policy names (``"predictive"``,
+``"nonpredictive"``) to factories so experiment configs can select
+policies by string.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.cluster.topology import System
+from repro.core.deadlines import DeadlineAssignment
+from repro.errors import AllocationError
+from repro.regression.estimator import TimingEstimator
+from repro.tasks.model import PeriodicTask
+from repro.tasks.state import ReplicaAssignment
+
+
+@dataclass(frozen=True)
+class AllocationRequest:
+    """Everything a policy may consult when handling one candidate.
+
+    Attributes
+    ----------
+    task / subtask_index:
+        The replication candidate.
+    assignment:
+        Live placement; policies mutate it via its invariant-checked API.
+    system:
+        The cluster (source of ``ut(p, t)`` readings).
+    estimator:
+        Regression-backed ``eex``/``ecd`` (the predictive policy's
+        forecasting oracle; the non-predictive policy ignores it).
+    deadlines:
+        Current per-stage budgets.
+    d_tracks:
+        ``ds(T, c)``: data items in the current period.
+    total_periodic_tracks:
+        Total workload across all tasks this period (drives eq. 5).
+    """
+
+    task: PeriodicTask
+    subtask_index: int
+    assignment: ReplicaAssignment
+    system: System
+    estimator: TimingEstimator
+    deadlines: DeadlineAssignment
+    d_tracks: float
+    total_periodic_tracks: float
+
+
+@dataclass(frozen=True)
+class AllocationOutcome:
+    """What a policy did with one candidate.
+
+    ``success`` mirrors Figure 5's SUCCESS/FAILURE: the predictive
+    policy reports FAILURE when it ran out of processors before the
+    forecast satisfied the budget (replicas added along the way are
+    kept, as in the paper's pseudo-code, which never rolls back).
+    """
+
+    subtask_index: int
+    success: bool
+    added_processors: tuple[str, ...] = field(default_factory=tuple)
+    forecast_latency: float | None = None
+
+    @property
+    def changed(self) -> bool:
+        """Whether the placement was modified."""
+        return bool(self.added_processors)
+
+
+class AllocationPolicy(Protocol):
+    """Step-2 algorithm interface."""
+
+    name: str
+
+    def replicate(self, request: AllocationRequest) -> AllocationOutcome:
+        """Handle one replication candidate (Figure 5 / Figure 7)."""
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., AllocationPolicy]] = {}
+
+
+def register_policy(name: str, factory: Callable[..., AllocationPolicy]) -> None:
+    """Register a policy factory under ``name`` (overwrites silently
+    only for the same factory; otherwise raises)."""
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not factory:
+        raise AllocationError(f"policy {name!r} already registered")
+    _REGISTRY[name] = factory
+
+
+def get_policy(name: str, **kwargs: object) -> AllocationPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise AllocationError(
+            f"unknown policy {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def registered_policies() -> tuple[str, ...]:
+    """Names of all registered policies."""
+    return tuple(sorted(_REGISTRY))

@@ -1,0 +1,177 @@
+"""Subtask/message deadline assignment (paper §4.1, eqs. 1-2).
+
+The end-to-end task deadline is decomposed into per-stage *budgets* so
+the monitor can judge each subtask and message individually.  The paper
+uses "a variant of the equal flexibility (EQF) strategy proposed in
+[KG97]"; its eqs. 1-2 simplify algebraically to
+
+``dl(x_i) = est(x_i) * dl(T) / RemainingWork(x_i)``
+
+where ``RemainingWork(x_i)`` is the estimated work (execution +
+communication) from stage ``x_i`` to the end of the chain.  Three
+strategies are provided (the E-X4 ablation compares them):
+
+``sequential_eqf`` (default)
+    Kao & Garcia-Molina's original EQF applied stage by stage with the
+    running start-time estimate; budgets sum exactly to the deadline.
+``paper_eqf``
+    The literal eqs. 1-2 form above.  Note its terminal-stage budget is
+    the *entire* end-to-end deadline (``RemainingWork(st_n) = est_n``),
+    which makes the last subtask effectively unmonitorable — we believe
+    this is an artifact of how the equations are typeset and that the
+    authors' "variant" behaved like sequential EQF, so sequential EQF is
+    the default; the literal form is kept for the E-X4 ablation.
+``proportional``
+    ``est_i * dl(T) / TotalWork`` — the equal-slack baseline.
+
+Index convention (see :mod:`repro.tasks.model`): the chain is
+``st1, m1, st2, ..., m(n-1), stn``; message ``m_j`` follows subtask
+``st_j``.  Deadlines are recomputed (same strategy, fresh estimates)
+after every resource-management action, as §4.1 requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tasks.model import PeriodicTask
+
+#: Known strategies, for validation and the ablation bench.
+STRATEGIES = ("paper_eqf", "sequential_eqf", "proportional")
+
+
+@dataclass(frozen=True)
+class DeadlineAssignment:
+    """Per-stage budgets derived from the end-to-end deadline.
+
+    Attributes
+    ----------
+    subtask_deadlines:
+        ``dl(st_j)`` in seconds, keyed by chain index.
+    message_deadlines:
+        ``dl(m_j)`` in seconds, keyed by message index.
+    strategy:
+        Which decomposition produced these budgets.
+    """
+
+    subtask_deadlines: dict[int, float]
+    message_deadlines: dict[int, float]
+    strategy: str
+
+    def stage_budget(self, subtask_index: int) -> float:
+        """Budget for the monitored stage latency of subtask ``j``.
+
+        Per the paper's footnote 3, the delay of the message feeding a
+        replica is incorporated into the successor subtask's deadline,
+        so the stage budget is ``dl(m_{j-1}) + dl(st_j)`` (just
+        ``dl(st_1)`` for the first stage).
+        """
+        budget = self.subtask_deadlines[subtask_index]
+        if subtask_index > 1:
+            budget += self.message_deadlines[subtask_index - 1]
+        return budget
+
+    def total_budget(self) -> float:
+        """Sum of all subtask and message budgets."""
+        return sum(self.subtask_deadlines.values()) + sum(
+            self.message_deadlines.values()
+        )
+
+
+def assign_deadlines(
+    task: PeriodicTask,
+    exec_estimates: list[float],
+    comm_estimates: list[float],
+    strategy: str = "sequential_eqf",
+) -> DeadlineAssignment:
+    """Decompose ``dl(T)`` into per-stage budgets.
+
+    Parameters
+    ----------
+    task:
+        The task whose chain is being budgeted.
+    exec_estimates:
+        ``eex`` estimate per subtask, in chain order (seconds).  The
+        paper seeds these with ``(dinit, uinit)`` estimates and refreshes
+        them with current conditions on every re-assignment.
+    comm_estimates:
+        ``ecd`` estimate per message, in chain order (seconds).
+    strategy:
+        One of :data:`STRATEGIES`.
+    """
+    if strategy not in STRATEGIES:
+        raise ConfigurationError(
+            f"unknown deadline strategy {strategy!r}; choose from {STRATEGIES}"
+        )
+    n = task.n_subtasks
+    if len(exec_estimates) != n:
+        raise ConfigurationError(
+            f"need {n} execution estimates, got {len(exec_estimates)}"
+        )
+    if len(comm_estimates) != n - 1:
+        raise ConfigurationError(
+            f"need {n - 1} communication estimates, got {len(comm_estimates)}"
+        )
+    if any(e <= 0.0 for e in exec_estimates):
+        raise ConfigurationError("execution estimates must be positive")
+    if any(c < 0.0 for c in comm_estimates):
+        raise ConfigurationError("communication estimates must be non-negative")
+
+    # Interleave the chain: st1, m1, st2, m2, ..., stn.
+    # Entries are (kind, index, estimate).
+    chain: list[tuple[str, int, float]] = []
+    for j in range(1, n + 1):
+        chain.append(("st", j, float(exec_estimates[j - 1])))
+        if j < n:
+            # Zero-cost messages still need a positive sliver of budget
+            # for the EQF ratios to be well defined.
+            chain.append(("m", j, max(float(comm_estimates[j - 1]), 1e-9)))
+
+    deadline = task.deadline
+    total = sum(est for _, _, est in chain)
+    subtask_deadlines: dict[int, float] = {}
+    message_deadlines: dict[int, float] = {}
+
+    if strategy == "proportional":
+        for kind, index, est in chain:
+            budget = est * deadline / total
+            _store(kind, index, budget, subtask_deadlines, message_deadlines)
+    elif strategy == "paper_eqf":
+        remaining = total
+        for kind, index, est in chain:
+            budget = est * deadline / remaining
+            _store(kind, index, budget, subtask_deadlines, message_deadlines)
+            remaining -= est
+    else:  # sequential_eqf
+        start = 0.0
+        remaining = total
+        for kind, index, est in chain:
+            slack = deadline - start - remaining
+            budget = est + slack * est / remaining
+            # Under overload (negative slack) EQF can drive a budget
+            # negative; floor it at a fraction of the estimate so the
+            # monitor still has a meaningful threshold.
+            budget = max(budget, 0.1 * est)
+            _store(kind, index, budget, subtask_deadlines, message_deadlines)
+            start += budget
+            remaining -= est
+
+    return DeadlineAssignment(
+        subtask_deadlines=subtask_deadlines,
+        message_deadlines=message_deadlines,
+        strategy=strategy,
+    )
+
+
+def _store(
+    kind: str,
+    index: int,
+    budget: float,
+    subtask_deadlines: dict[int, float],
+    message_deadlines: dict[int, float],
+) -> None:
+    if kind == "st":
+        subtask_deadlines[index] = budget
+    else:
+        message_deadlines[index] = budget

@@ -1,0 +1,152 @@
+"""Graceful degradation: application-level load shedding.
+
+Beyond the paper: when even maximal replication cannot satisfy the
+deadline (Figure 5 returns FAILURE — the machine is simply too small
+for the offered load), a mission system does not fail silently; it
+*degrades the quality of its results*, processing only the
+highest-priority fraction of the track stream.  This is the
+imprecise-computation idea of the paper's own citations ([LL+91]: a
+mandatory portion plus an optional portion that can be dropped).
+
+:class:`DataShedder` wraps the workload callable the executor consumes
+with a mutable processing cap, and its controller loop adjusts the cap
+from the manager's outcomes:
+
+* any FAILURE outcome (budget unreachable with the whole machine) ⇒
+  multiply the cap by ``shed_factor`` (< 1);
+* a healthy window (no candidates, no misses) ⇒ relax the cap by
+  ``recover_factor`` toward "process everything".
+
+The shed fraction is an explicit quality metric: operators see exactly
+how much of the picture was traded for timeliness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.manager import AdaptiveResourceManager
+from repro.core.monitoring import MonitorAction
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class DataShedder:
+    """A workload wrapper with a controllable processing cap.
+
+    Attributes
+    ----------
+    offered:
+        The original workload callable (period index -> tracks).
+    cap_tracks:
+        Current processing cap (``inf`` = no shedding).
+    min_cap_tracks:
+        The mandatory portion: the cap never goes below this.
+    """
+
+    offered: Callable[[int], float]
+    cap_tracks: float = float("inf")
+    min_cap_tracks: float = 250.0
+    offered_total: float = field(default=0.0, init=False)
+    processed_total: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.min_cap_tracks <= 0.0:
+            raise ConfigurationError(
+                f"min_cap_tracks must be positive, got {self.min_cap_tracks}"
+            )
+
+    def __call__(self, period_index: int) -> float:
+        offered = float(self.offered(period_index))
+        processed = min(offered, self.cap_tracks)
+        self.offered_total += offered
+        self.processed_total += processed
+        return processed
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of offered tracks dropped so far (quality cost)."""
+        if self.offered_total <= 0.0:
+            return 0.0
+        return 1.0 - self.processed_total / self.offered_total
+
+    def tighten(self, factor: float, reference_tracks: float) -> None:
+        """Lower the cap by ``factor`` (bounded by the mandatory floor)."""
+        current = min(self.cap_tracks, reference_tracks)
+        self.cap_tracks = max(self.min_cap_tracks, current * factor)
+
+    def relax(self, factor: float, offered_tracks: float) -> None:
+        """Raise the cap toward the offered load; release it entirely
+        once it clears the current offer."""
+        if self.cap_tracks == float("inf"):
+            return
+        self.cap_tracks *= factor
+        if self.cap_tracks >= offered_tracks:
+            self.cap_tracks = float("inf")
+
+
+@dataclass
+class DegradationController:
+    """Adjusts a :class:`DataShedder` from the manager's step outcomes.
+
+    Call :meth:`step` once per period *after* the manager's step (it
+    reads the most recent :class:`~repro.core.manager.RMEvent`).
+    """
+
+    manager: AdaptiveResourceManager
+    shedder: DataShedder
+    shed_factor: float = 0.8
+    recover_factor: float = 1.1
+    healthy_window: int = 3
+    _healthy_streak: int = field(default=0, init=False)
+    sheds: int = field(default=0, init=False)
+    relaxations: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.shed_factor < 1.0:
+            raise ConfigurationError(
+                f"shed_factor must be in (0, 1), got {self.shed_factor}"
+            )
+        if self.recover_factor <= 1.0:
+            raise ConfigurationError(
+                f"recover_factor must exceed 1, got {self.recover_factor}"
+            )
+
+    def start(self, n_periods: int, first: float = 0.0) -> None:
+        """Schedule one controller step per period, after the RM step."""
+        engine = self.manager.system.engine
+        period = self.manager.task.period
+        for c in range(n_periods):
+            engine.schedule_at(
+                first + c * period, self.step, priority=-5, label="qos.step"
+            )
+
+    def step(self) -> None:
+        """One control decision from the latest manager event."""
+        if not self.manager.history:
+            return
+        event = self.manager.history[-1]
+        offered = self.manager.executor.current_d_tracks or (
+            self.manager.config.initial_d_tracks
+        )
+        failed = any(not outcome.success for outcome in event.outcomes)
+        if failed:
+            self.shedder.tighten(self.shed_factor, offered)
+            self._healthy_streak = 0
+            self.sheds += 1
+            return
+        flagged = any(
+            verdict.action is not MonitorAction.OK
+            for verdict in event.report.verdicts
+        )
+        if flagged:
+            self._healthy_streak = 0
+            return
+        self._healthy_streak += 1
+        if (
+            self._healthy_streak >= self.healthy_window
+            and self.shedder.cap_tracks != float("inf")
+        ):
+            self.shedder.relax(self.recover_factor, offered)
+            self.relaxations += 1

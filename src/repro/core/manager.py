@@ -1,0 +1,370 @@
+"""The adaptive resource manager — the control loop of Figure 1.
+
+Once per task period (just *before* the next release, so a new
+allocation takes effect immediately) the manager:
+
+1. reads the executor's finished-period records and overdue in-flight
+   stages;
+2. runs the :class:`~repro.core.monitoring.RuntimeMonitor` to classify
+   every replicable subtask;
+3. hands each REPLICATE candidate to the configured allocation policy
+   (predictive Figure 5 or non-predictive Figure 7) and each SHUTDOWN
+   candidate to Figure 6's LIFO de-allocation;
+4. re-assigns the EQF deadlines whenever the placement changed (§4.1:
+   "at each time a resource management action ... is taken, the subtask
+   deadlines are re-assigned"), feeding the estimator with *current*
+   conditions (per-replica data shares, mean observed utilization);
+5. appends an :class:`RMEvent` to its history — the experiment metrics
+   derive the "average number of subtask replicas" from these samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.topology import System
+from repro.core.allocator import (
+    AllocationOutcome,
+    AllocationPolicy,
+    AllocationRequest,
+)
+from repro.core.deadlines import DeadlineAssignment, assign_deadlines
+from repro.core.monitoring import MonitorAction, MonitorReport, RuntimeMonitor
+from repro.core.shutdown import LifoShutdown, ShutdownStrategy
+from repro.errors import ConfigurationError
+from repro.regression.estimator import TimingEstimator
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+#: RM steps run before releases that share their timestamp.
+RM_PRIORITY = -10
+
+
+@dataclass(frozen=True)
+class RMConfig:
+    """Tunables of the resource-management loop.
+
+    Attributes
+    ----------
+    slack_fraction:
+        Desired slack on stage budgets, as a fraction (paper: 0.2).
+        Used by both the monitor's replicate rule and Figure 5's ``sl``.
+    shutdown_slack_fraction:
+        Slack fraction above which replicas are shut down.
+    monitor_window:
+        Periods averaged per monitoring verdict.
+    deadline_strategy:
+        Budget decomposition (see :mod:`repro.core.deadlines`).
+    initial_d_tracks:
+        ``dinit``: the data size assumed for the initial deadline
+        assignment (before anything has been observed).
+    initial_utilization:
+        ``uinit``: the utilization assumed initially.
+    deadline_reference:
+        What workload the per-stage budgets are derived from when
+        deadlines are re-assigned after an RM action.
+
+        ``"initial"`` (default, the paper's §4.1 scheme): always the
+        reference conditions ``(dinit, uinit)`` — budgets are a stable
+        decomposition of the end-to-end deadline, refreshed only through
+        the current mean utilization.
+
+        ``"current"``: the current period's workload split across the
+        current replica sets.  This makes budgets track whatever the
+        allocation currently achieves, which is self-referential — after
+        every replication the budget shrinks to match, so the subtask is
+        flagged again and allocation creeps to the maximum.  Kept for
+        the ablation study that demonstrates exactly that failure mode.
+    """
+
+    slack_fraction: float = 0.2
+    shutdown_slack_fraction: float = 0.6
+    monitor_window: int = 3
+    deadline_strategy: str = "sequential_eqf"
+    initial_d_tracks: float = 500.0
+    initial_utilization: float = 0.1
+    deadline_reference: str = "initial"
+
+    def __post_init__(self) -> None:
+        if self.deadline_reference not in ("initial", "current"):
+            raise ConfigurationError(
+                f"deadline_reference must be 'initial' or 'current', got "
+                f"{self.deadline_reference!r}"
+            )
+        if self.initial_d_tracks <= 0.0:
+            raise ConfigurationError(
+                f"initial_d_tracks must be positive, got {self.initial_d_tracks}"
+            )
+        if not 0.0 <= self.initial_utilization <= 1.0:
+            raise ConfigurationError(
+                f"initial_utilization must be in [0, 1], got "
+                f"{self.initial_utilization}"
+            )
+
+
+@dataclass(frozen=True)
+class RMEvent:
+    """One manager step's outcome (the replica-history sample)."""
+
+    time: float
+    report: MonitorReport
+    outcomes: tuple[AllocationOutcome, ...]
+    shutdowns: tuple[tuple[int, str], ...]  # (subtask index, processor)
+    total_replicas: int
+    placement: dict[int, tuple[str, ...]] = field(compare=False, default_factory=dict)
+    #: Failure handling this step: (subtask index, dead processor,
+    #: migration target or None when surviving replicas absorbed it).
+    recoveries: tuple[tuple[int, str, str | None], ...] = ()
+
+    @property
+    def acted(self) -> bool:
+        """Whether this step changed the placement."""
+        return (
+            bool(self.shutdowns)
+            or bool(self.recoveries)
+            or any(o.changed for o in self.outcomes)
+        )
+
+
+class AdaptiveResourceManager:
+    """Periodic monitoring + adaptation driver for one task."""
+
+    def __init__(
+        self,
+        system: System,
+        executor: PeriodicTaskExecutor,
+        estimator: TimingEstimator,
+        policy: AllocationPolicy,
+        config: RMConfig | None = None,
+        shutdown_strategy: ShutdownStrategy | None = None,
+        total_workload_fn: "Callable[[], float] | None" = None,
+    ) -> None:
+        self.system = system
+        self.executor = executor
+        self.task = executor.task
+        self.assignment: ReplicaAssignment = executor.assignment
+        self.estimator = estimator
+        self.policy = policy
+        self.config = config if config is not None else RMConfig()
+        self.shutdown_strategy: ShutdownStrategy = (
+            shutdown_strategy if shutdown_strategy is not None else LifoShutdown()
+        )
+        # In multi-task deployments eq. 5's buffer term is driven by the
+        # *total* periodic workload across tasks (paper §3, property 4 /
+        # eq. 5); the coordinator supplies this hook.  Single-task runs
+        # default to this task's own workload.
+        self.total_workload_fn = total_workload_fn
+        self.monitor = RuntimeMonitor(
+            self.task,
+            slack_fraction=self.config.slack_fraction,
+            shutdown_slack_fraction=self.config.shutdown_slack_fraction,
+            window=self.config.monitor_window,
+        )
+        self.history: list[RMEvent] = []
+        self.deadlines: DeadlineAssignment = self._initial_deadlines()
+
+    # -- deadline management --------------------------------------------------------
+
+    def _initial_deadlines(self) -> DeadlineAssignment:
+        """§4.1: derive initial budgets from (dinit, uinit, cinit)."""
+        exec_est, comm_est = self.estimator.chain_estimate_seconds(
+            self.config.initial_d_tracks, self.config.initial_utilization
+        )
+        return assign_deadlines(
+            self.task, exec_est, comm_est, strategy=self.config.deadline_strategy
+        )
+
+    def _reassign_deadlines(self, d_tracks: float) -> None:
+        """Re-derive budgets after an RM action (§4.1).
+
+        Under the default ``"initial"`` reference the stage estimates use
+        the fixed ``(dinit, uinit)`` conditions refreshed with the current
+        mean utilization, so budgets stay a stable decomposition of the
+        deadline; under ``"current"`` they chase the live allocation (see
+        :class:`RMConfig`).
+        """
+        utilizations = [p.utilization() for p in self.system.processors]
+        mean_u = sum(utilizations) / len(utilizations)
+        if self.config.deadline_reference == "initial":
+            d_ref = self.config.initial_d_tracks
+            share_of = {s.index: d_ref for s in self.task.subtasks}
+        else:
+            d_ref = d_tracks
+            share_of = {
+                s.index: d_tracks / self.assignment.replica_count(s.index)
+                for s in self.task.subtasks
+            }
+        exec_est: list[float] = []
+        for subtask in self.task.subtasks:
+            exec_est.append(
+                max(
+                    self.estimator.eex_seconds(
+                        subtask.index, share_of[subtask.index], mean_u
+                    ),
+                    1e-6,
+                )
+            )
+        comm_est: list[float] = []
+        for message in self.task.messages:
+            comm_est.append(
+                self.estimator.ecd_seconds(
+                    message.index, share_of[message.index + 1], d_ref
+                )
+            )
+        self.deadlines = assign_deadlines(
+            self.task, exec_est, comm_est, strategy=self.config.deadline_strategy
+        )
+
+    # -- the control loop ------------------------------------------------------------
+
+    def start(self, n_periods: int, first_release: float = 0.0) -> None:
+        """Schedule one RM step per period boundary (before the release)."""
+        engine = self.system.engine
+        for c in range(n_periods):
+            engine.schedule_at(
+                first_release + c * self.task.period,
+                self.step,
+                priority=RM_PRIORITY,
+                label="rm.step",
+            )
+
+    def _handle_failures(self) -> list[tuple[int, str, str | None]]:
+        """Evict/migrate replicas stranded on failed processors.
+
+        Survivability handling (the paper's motivating requirement): a
+        dead processor's replicas are removed; a subtask whose *only*
+        replica died is migrated to the least-utilized live processor.
+        Returns the recovery actions taken.
+        """
+        failed = self.system.failed_processor_names()
+        if not failed:
+            return []
+        recoveries: list[tuple[int, str, str | None]] = []
+        for subtask in self.task.subtasks:
+            for dead in list(self.assignment.processors_of(subtask.index)):
+                if dead not in failed:
+                    continue
+                if self.assignment.replica_count(subtask.index) > 1:
+                    self.assignment.reset(
+                        subtask.index,
+                        [
+                            name
+                            for name in self.assignment.processors_of(subtask.index)
+                            if name != dead
+                        ],
+                    )
+                    recoveries.append((subtask.index, dead, None))
+                else:
+                    hosting = set(
+                        self.assignment.processors_of(subtask.index)
+                    )
+                    target = self.system.least_utilized(exclude=hosting)
+                    if target is None:
+                        continue  # nothing live to migrate to
+                    self.assignment.replace_processor(
+                        subtask.index, dead, target.name
+                    )
+                    recoveries.append((subtask.index, dead, target.name))
+        return recoveries
+
+    def _feed_observations(self, records) -> None:
+        """Push fresh stage measurements to a learning estimator.
+
+        Duck-typed: if the estimator exposes ``observe_stage`` (see
+        :class:`repro.regression.online.OnlineCorrectedEstimator`), the
+        most recent completed period's execution latencies are reported,
+        with the per-replica share and the current mean utilization as
+        the query conditions.
+        """
+        observe = getattr(self.estimator, "observe_stage", None)
+        if observe is None or not records:
+            return
+        record = records[-1]
+        if record.period_index <= getattr(self, "_last_observed_period", -1):
+            return
+        self._last_observed_period = record.period_index
+        utilizations = [p.utilization() for p in self.system.processors]
+        mean_u = min(1.0, sum(utilizations) / len(utilizations))
+        for stage in record.stages:
+            if stage.exec_latency is None or record.d_tracks <= 0.0:
+                continue
+            share = record.d_tracks / max(stage.replica_count, 1)
+            observe(stage.subtask_index, share, mean_u, stage.exec_latency)
+
+    def step(self) -> RMEvent:
+        """Run one monitor/adapt pass (callable directly in tests)."""
+        now = self.system.engine.now
+        recoveries = self._handle_failures()
+        records = self.executor.completed_records()
+        self._feed_observations(records)
+        overdue = self.executor.overdue_subtasks()
+        report = self.monitor.classify(
+            now, records, self.deadlines, self.assignment, overdue
+        )
+        d_tracks = self.executor.current_d_tracks
+        if d_tracks <= 0.0:
+            d_tracks = self.config.initial_d_tracks
+        total_tracks = (
+            self.total_workload_fn()
+            if self.total_workload_fn is not None
+            else d_tracks
+        )
+        total_tracks = max(total_tracks, d_tracks)
+
+        def request_for(subtask_index: int) -> AllocationRequest:
+            return AllocationRequest(
+                task=self.task,
+                subtask_index=subtask_index,
+                assignment=self.assignment,
+                system=self.system,
+                estimator=self.estimator,
+                deadlines=self.deadlines,
+                d_tracks=d_tracks,
+                total_periodic_tracks=total_tracks,
+            )
+
+        outcomes: list[AllocationOutcome] = []
+        shutdowns: list[tuple[int, str]] = []
+        for verdict in report.candidates(MonitorAction.REPLICATE):
+            outcomes.append(self.policy.replicate(request_for(verdict.subtask_index)))
+        for verdict in report.candidates(MonitorAction.SHUTDOWN):
+            removed = self.shutdown_strategy.shutdown(
+                request_for(verdict.subtask_index)
+            )
+            if removed is not None:
+                shutdowns.append((verdict.subtask_index, removed))
+
+        event = RMEvent(
+            time=now,
+            report=report,
+            outcomes=tuple(outcomes),
+            shutdowns=tuple(shutdowns),
+            total_replicas=self.assignment.total_replicas(),
+            placement=self.assignment.snapshot(),
+            recoveries=tuple(recoveries),
+        )
+        if event.acted:
+            self._reassign_deadlines(d_tracks)
+            self.system.engine.tracer.record(
+                now,
+                "rm",
+                f"{self.policy.name}.acted",
+                {
+                    "replicas": event.total_replicas,
+                    "added": sum(len(o.added_processors) for o in outcomes),
+                    "removed": len(shutdowns),
+                },
+            )
+        self.history.append(event)
+        return event
+
+    # -- metric views -----------------------------------------------------------------
+
+    def replica_samples(self) -> list[tuple[float, int]]:
+        """``(time, total replicas)`` per step, for the R-bar metric."""
+        return [(event.time, event.total_replicas) for event in self.history]
+
+    def actions_taken(self) -> int:
+        """Number of steps that changed the placement."""
+        return sum(1 for event in self.history if event.acted)

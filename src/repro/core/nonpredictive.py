@@ -1,0 +1,77 @@
+"""The non-predictive baseline — paper Figure 7.
+
+``ReplicateSubtask(st, t)`` replicates the candidate onto **every**
+processor whose observed utilization is below the threshold ``UT``
+(Table 1: 20 %), with no forecasting whatsoever:
+
+.. code-block:: text
+
+    for every p in PR - PS(st):
+        if ut(p, t) < UT:
+            PS(st) := PS(st) + {p}
+
+This greedy resource grab is what drives the baseline's behaviour in
+the paper's evaluation: low missed-deadline ratio and CPU utilization
+(lots of parallelism) at the cost of far more replicas and network
+utilization — which the combined metric penalizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocator import (
+    AllocationOutcome,
+    AllocationRequest,
+    register_policy,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NonPredictivePolicy:
+    """Figure 7, parameterized by the utilization threshold ``UT``.
+
+    Attributes
+    ----------
+    utilization_threshold:
+        ``UT``: processors at or above this busy fraction are considered
+        highly utilized and skipped (Table 1: 0.20).
+    utilization_window:
+        Optional override of the window used to read ``ut(p, t)``.
+    """
+
+    utilization_threshold: float = 0.20
+    utilization_window: float | None = None
+    name: str = "nonpredictive"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.utilization_threshold <= 1.0:
+            raise ConfigurationError(
+                f"utilization_threshold must be in (0, 1], got "
+                f"{self.utilization_threshold}"
+            )
+
+    def replicate(self, request: AllocationRequest) -> AllocationOutcome:
+        """Add every below-threshold processor to ``PS(st)``."""
+        subtask_index = request.subtask_index
+        hosting = set(request.assignment.processors_of(subtask_index))
+        added: list[str] = []
+        for processor in request.system.live_processors():
+            if processor.name in hosting:
+                continue
+            if (
+                processor.utilization(window=self.utilization_window)
+                < self.utilization_threshold
+            ):
+                request.assignment.add_replica(subtask_index, processor.name)
+                added.append(processor.name)
+        # Figure 7 has no failure branch; the heuristic always "succeeds".
+        return AllocationOutcome(
+            subtask_index=subtask_index,
+            success=True,
+            added_processors=tuple(added),
+        )
+
+
+register_policy("nonpredictive", NonPredictivePolicy)

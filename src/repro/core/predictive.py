@@ -1,0 +1,109 @@
+"""The predictive allocation algorithm — paper Figure 5.
+
+``ReplicateSubtask(st, t)`` grows the replica set one processor at a
+time, always taking the least-utilized processor not already hosting a
+replica, and after each growth step *forecasts* every replica's stage
+latency with the regression models:
+
+* each of the ``k`` replicas will process ``d / k`` items
+  (``d = ds(T, c)``, the current period's workload);
+* its execution latency is forecast by eq. 3 at the hosting processor's
+  *observed* utilization;
+* its incoming message (from the predecessor subtask) is forecast by
+  eqs. 4-6 at the current total periodic workload.
+
+Growth stops as soon as every replica's forecast ``eex + ecd`` fits
+within the stage budget minus the desired slack ``sl = slack_fraction *
+budget`` (paper: 20 %); it fails — keeping the replicas added so far,
+as the pseudo-code does — when no processors remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocator import (
+    AllocationOutcome,
+    AllocationRequest,
+    register_policy,
+)
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PredictivePolicy:
+    """Figure 5, parameterized by the desired slack fraction.
+
+    Attributes
+    ----------
+    slack_fraction:
+        ``sl`` as a fraction of the stage budget (paper: 0.2).
+    utilization_window:
+        Optional override of the window used to read ``ut(p, t)``.
+    """
+
+    slack_fraction: float = 0.2
+    utilization_window: float | None = None
+    name: str = "predictive"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.slack_fraction < 1.0:
+            raise ConfigurationError(
+                f"slack_fraction must be in [0, 1), got {self.slack_fraction}"
+            )
+
+    def replicate(self, request: AllocationRequest) -> AllocationOutcome:
+        """Grow ``PS(st)`` until the forecast satisfies the budget."""
+        subtask_index = request.subtask_index
+        budget = request.deadlines.stage_budget(subtask_index)
+        threshold = budget - self.slack_fraction * budget
+        added: list[str] = []
+        worst_forecast: float | None = None
+
+        while True:
+            hosting = set(request.assignment.processors_of(subtask_index))
+            candidate = request.system.least_utilized(
+                exclude=hosting, window=self.utilization_window
+            )
+            if candidate is None:
+                # Step 2: PT is empty -> FAILURE (added replicas stay).
+                return AllocationOutcome(
+                    subtask_index=subtask_index,
+                    success=False,
+                    added_processors=tuple(added),
+                    forecast_latency=worst_forecast,
+                )
+            request.assignment.add_replica(subtask_index, candidate.name)
+            added.append(candidate.name)
+            worst_forecast = self._forecast_worst_replica(request)
+            if worst_forecast <= threshold:
+                return AllocationOutcome(
+                    subtask_index=subtask_index,
+                    success=True,
+                    added_processors=tuple(added),
+                    forecast_latency=worst_forecast,
+                )
+            # Step 6.6.1: forecast too slow -> add another replica.
+
+    def _forecast_worst_replica(self, request: AllocationRequest) -> float:
+        """Max forecast ``eex + ecd`` over the current replica set (step 6)."""
+        subtask_index = request.subtask_index
+        replicas = request.assignment.processors_of(subtask_index)
+        share = request.d_tracks / len(replicas)
+        worst = 0.0
+        for name in replicas:
+            utilization = request.system.processor(name).utilization(
+                window=self.utilization_window
+            )
+            eex = request.estimator.eex_seconds(subtask_index, share, utilization)
+            if subtask_index > 1:
+                ecd = request.estimator.ecd_seconds(
+                    subtask_index - 1, share, request.total_periodic_tracks
+                )
+            else:
+                ecd = 0.0
+            worst = max(worst, eex + ecd)
+        return worst
+
+
+register_policy("predictive", PredictivePolicy)

@@ -1,0 +1,104 @@
+"""Replica shutdown — paper Figure 6 (``ShutDownAReplica``).
+
+When a subtask exhibits very high slack the manager de-allocates one
+replica per monitoring pass, always the **most recently added** one
+(LIFO), and never the original:
+
+.. code-block:: text
+
+    ShutDownAReplica(st):
+        if |PS(st)| == 1: return            # keep the original
+        p := last added element of PS(st)
+        PS(st) := PS(st) - {p}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Protocol
+
+from repro.tasks.state import ReplicaAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.allocator import AllocationRequest
+
+
+def shut_down_a_replica(
+    assignment: ReplicaAssignment, subtask_index: int
+) -> str | None:
+    """Remove the last-added replica of ``st`` (Figure 6).
+
+    Returns the name of the processor the replica was removed from, or
+    ``None`` when only the original replica remained and nothing was
+    done.
+    """
+    return assignment.remove_last_replica(subtask_index)
+
+
+class ShutdownStrategy(Protocol):
+    """How the manager de-allocates when the monitor says SHUTDOWN."""
+
+    name: str
+
+    def shutdown(self, request: "AllocationRequest") -> str | None:
+        """Possibly remove one replica; return the freed processor."""
+        ...
+
+
+@dataclass(frozen=True)
+class LifoShutdown:
+    """The paper's Figure 6: unconditionally drop the last-added replica."""
+
+    name: str = "lifo"
+
+    def shutdown(self, request: "AllocationRequest") -> str | None:
+        """Remove the newest replica of the candidate subtask."""
+        return shut_down_a_replica(request.assignment, request.subtask_index)
+
+
+@dataclass(frozen=True)
+class ForecastAwareShutdown:
+    """Extension: drop a replica only if the forecast says it is safe.
+
+    Figure 6 shuts down purely on observed slack, which under a
+    fluctuating workload can oscillate: high slack at the trough
+    triggers a shutdown whose effect only shows at the next peak, where
+    the subtask misses and is re-replicated.  This strategy simulates
+    the removal first: it forecasts every remaining replica's latency
+    (eq. 3 + eq. 4 at current conditions, exactly the Figure 5 check)
+    for the ``k - 1``-replica configuration and proceeds only if the
+    forecast still clears the stage budget with the desired slack.
+
+    Attributes
+    ----------
+    slack_fraction:
+        The same ``sl`` as Figure 5 (paper: 0.2).
+    """
+
+    slack_fraction: float = 0.2
+    name: str = "forecast-aware"
+
+    def shutdown(self, request: "AllocationRequest") -> str | None:
+        """Remove the newest replica iff the k-1 forecast stays timely."""
+        assignment = request.assignment
+        subtask_index = request.subtask_index
+        count = assignment.replica_count(subtask_index)
+        if count <= 1:
+            return None
+        survivors = assignment.processors_of(subtask_index)[:-1]
+        share = request.d_tracks / len(survivors)
+        budget = request.deadlines.stage_budget(subtask_index)
+        threshold = budget - self.slack_fraction * budget
+        worst = 0.0
+        for name in survivors:
+            utilization = request.system.processor(name).utilization()
+            eex = request.estimator.eex_seconds(subtask_index, share, utilization)
+            ecd = 0.0
+            if subtask_index > 1:
+                ecd = request.estimator.ecd_seconds(
+                    subtask_index - 1, share, request.total_periodic_tracks
+                )
+            worst = max(worst, eex + ecd)
+        if worst > threshold:
+            return None  # removing would (per the model) break timeliness
+        return assignment.remove_last_replica(subtask_index)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are grouped by subsystem; each carries a
+human-readable message and, where useful, structured context attributes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid operations on the discrete-event engine."""
+
+
+class SchedulingError(SimulationError):
+    """Raised when an event is scheduled into the past or after shutdown."""
+
+
+class ClusterError(ReproError):
+    """Raised for invalid operations on the hardware model."""
+
+
+class PlacementError(ClusterError):
+    """Raised when a replica cannot be placed (e.g. unknown processor)."""
+
+
+class TaskModelError(ReproError):
+    """Raised when a task definition violates the chain-structure invariants."""
+
+
+class RegressionError(ReproError):
+    """Raised when a regression fit is ill-posed or a model is misused."""
+
+
+class InsufficientDataError(RegressionError):
+    """Raised when a fit is attempted with fewer samples than parameters."""
+
+
+class ProfilingError(ReproError):
+    """Raised when a profiling campaign is misconfigured."""
+
+
+class AllocationError(ReproError):
+    """Raised for invalid resource-allocation requests."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment configuration is inconsistent."""

@@ -1,0 +1,148 @@
+"""Per-stage latency breakdown: where does the period go?
+
+Aggregates a run's stage records into, per subtask: mean execution
+latency, mean incoming-message delay, their shares of end-to-end
+latency, and mean replica count.  This is the diagnostic view behind
+statements like "Filter dominated until it got 3 replicas, then the
+message fan-in became the bottleneck".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import format_table
+from repro.runtime.executor import PeriodicTaskExecutor
+
+
+@dataclass(frozen=True)
+class StageBreakdown:
+    """Aggregated timing of one subtask stage across periods."""
+
+    subtask_index: int
+    subtask_name: str
+    periods_observed: int
+    mean_exec_s: float
+    mean_message_in_s: float
+    mean_replicas: float
+
+    @property
+    def mean_stage_s(self) -> float:
+        """Mean total stage latency (message-in + execution)."""
+        return self.mean_exec_s + self.mean_message_in_s
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """A whole run's per-stage decomposition."""
+
+    stages: tuple[StageBreakdown, ...]
+    mean_end_to_end_s: float
+    periods_completed: int
+
+    def stage(self, subtask_index: int) -> StageBreakdown:
+        """Look up one stage by chain index."""
+        for stage in self.stages:
+            if stage.subtask_index == subtask_index:
+                return stage
+        raise ConfigurationError(f"no stage {subtask_index} in the breakdown")
+
+    def dominant_stage(self) -> StageBreakdown:
+        """The stage with the largest mean share of the period."""
+        return max(self.stages, key=lambda s: s.mean_stage_s)
+
+    def render(self) -> str:
+        """ASCII table of the decomposition."""
+        rows = []
+        for stage in self.stages:
+            share = (
+                stage.mean_stage_s / self.mean_end_to_end_s
+                if self.mean_end_to_end_s > 0
+                else 0.0
+            )
+            rows.append(
+                [
+                    f"st{stage.subtask_index} {stage.subtask_name}",
+                    stage.mean_exec_s * 1e3,
+                    stage.mean_message_in_s * 1e3,
+                    stage.mean_stage_s * 1e3,
+                    f"{share:.0%}",
+                    stage.mean_replicas,
+                ]
+            )
+        rows.append(
+            [
+                "end-to-end",
+                "-",
+                "-",
+                self.mean_end_to_end_s * 1e3,
+                "100%",
+                "-",
+            ]
+        )
+        return format_table(
+            ["stage", "exec (ms)", "msg-in (ms)", "total (ms)", "share",
+             "replicas"],
+            rows,
+            title=f"Latency breakdown over {self.periods_completed} "
+            "completed periods",
+        )
+
+
+def compute_breakdown(
+    executor: PeriodicTaskExecutor,
+    first_period: int = 0,
+    last_period: int | None = None,
+) -> LatencyBreakdown:
+    """Aggregate stage records of ``[first_period, last_period]``.
+
+    Only *completed* periods contribute (shed periods have partial
+    stage data and no end-to-end latency).
+    """
+    records = [
+        r
+        for r in executor.records
+        if r.completed
+        and r.d_tracks > 0
+        and r.period_index >= first_period
+        and (last_period is None or r.period_index <= last_period)
+    ]
+    if not records:
+        raise ConfigurationError(
+            "no completed periods in the requested range"
+        )
+    task = executor.task
+    stages: list[StageBreakdown] = []
+    for subtask in task.subtasks:
+        exec_values: list[float] = []
+        message_values: list[float] = []
+        replica_values: list[float] = []
+        for record in records:
+            stage = record.stage(subtask.index)
+            if stage is None or stage.exec_latency is None:
+                continue
+            exec_values.append(stage.exec_latency)
+            message_values.append(stage.message_in_delay)
+            replica_values.append(stage.replica_count)
+        stages.append(
+            StageBreakdown(
+                subtask_index=subtask.index,
+                subtask_name=subtask.name,
+                periods_observed=len(exec_values),
+                mean_exec_s=float(np.mean(exec_values)) if exec_values else 0.0,
+                mean_message_in_s=(
+                    float(np.mean(message_values)) if message_values else 0.0
+                ),
+                mean_replicas=(
+                    float(np.mean(replica_values)) if replica_values else 0.0
+                ),
+            )
+        )
+    return LatencyBreakdown(
+        stages=tuple(stages),
+        mean_end_to_end_s=float(np.mean([r.latency for r in records])),
+        periods_completed=len(records),
+    )

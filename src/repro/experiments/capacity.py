@@ -1,0 +1,193 @@
+"""Offline capacity planning from the fitted models.
+
+The predictive algorithm answers "how many replicas *now*?" online;
+the same regression models answer the planning question offline: *for
+a given sustained workload, how many replicas of each replicable
+subtask does the machine need, and at what workload does it saturate?*
+
+:func:`plan_capacity` replays Figure 5's budget check analytically —
+no simulation — over a workload grid, producing the capacity curve
+operators would use to size the machine for a mission.
+
+A subtlety inherited from Figure 5's greedy semantics: each subtask
+independently takes the *minimum* replica count meeting its own stage
+budget, which is not end-to-end optimal.  Right at a replica-step
+boundary a slightly *larger* workload can flip a subtask to one more
+replica, lowering the end-to-end forecast enough to turn an infeasible
+point feasible again.  Feasibility is therefore monotone only once the
+allocation saturates (every replicable subtask at ``n_processors``);
+within the stepping region the curve may briefly flicker at budget
+boundaries — the property tests pin down exactly this contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.deadlines import DeadlineAssignment, assign_deadlines
+from repro.errors import ConfigurationError
+from repro.experiments.report import format_table
+from repro.regression.estimator import TimingEstimator
+
+
+@dataclass(frozen=True)
+class CapacityPoint:
+    """Planned allocation at one sustained workload."""
+
+    d_tracks: float
+    replicas: dict[int, int]
+    feasible: bool
+    forecast_end_to_end_s: float
+
+    @property
+    def total_replicas(self) -> int:
+        """Total replicas across replicable subtasks."""
+        return sum(self.replicas.values())
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """The capacity curve over a workload grid."""
+
+    points: tuple[CapacityPoint, ...]
+    n_processors: int
+    utilization_assumption: float
+
+    def saturation_tracks(self) -> float | None:
+        """The smallest planned workload that is infeasible (or None)."""
+        for point in self.points:
+            if not point.feasible:
+                return point.d_tracks
+        return None
+
+    def render(self) -> str:
+        """ASCII capacity table."""
+        indices = sorted(self.points[0].replicas) if self.points else []
+        headers = ["tracks/period"] + [f"k(st{j})" for j in indices] + [
+            "forecast e2e (ms)",
+            "feasible",
+        ]
+        rows = []
+        for point in self.points:
+            rows.append(
+                [point.d_tracks]
+                + [point.replicas[j] for j in indices]
+                + [point.forecast_end_to_end_s * 1e3, str(point.feasible)]
+            )
+        return format_table(
+            headers,
+            rows,
+            title=f"Capacity plan ({self.n_processors} processors, "
+            f"assumed utilization {self.utilization_assumption:.0%})",
+        )
+
+
+def _plan_one(
+    estimator: TimingEstimator,
+    deadlines: DeadlineAssignment,
+    d_tracks: float,
+    n_processors: int,
+    utilization: float,
+    slack_fraction: float,
+) -> CapacityPoint:
+    task = estimator.task
+    replicas: dict[int, int] = {}
+    feasible = True
+    for subtask in task.subtasks:
+        if not subtask.replicable:
+            continue
+        budget = deadlines.stage_budget(subtask.index)
+        threshold = budget * (1.0 - slack_fraction)
+        chosen = None
+        for k in range(1, n_processors + 1):
+            share = d_tracks / k
+            eex = estimator.eex_seconds(subtask.index, share, utilization)
+            ecd = 0.0
+            if subtask.index > 1:
+                ecd = estimator.ecd_seconds(
+                    subtask.index - 1, share, d_tracks
+                )
+            if eex + ecd <= threshold:
+                chosen = k
+                break
+        if chosen is None:
+            chosen = n_processors
+            feasible = False
+        replicas[subtask.index] = chosen
+
+    # Forecast end-to-end with the planned allocation.
+    total = 0.0
+    for subtask in task.subtasks:
+        k = replicas.get(subtask.index, 1)
+        total += estimator.eex_seconds(subtask.index, d_tracks / k, utilization)
+    for message in task.messages:
+        k_next = replicas.get(message.index + 1, 1)
+        total += estimator.ecd_seconds(
+            message.index, d_tracks / k_next, d_tracks
+        )
+    if total > task.deadline:
+        feasible = False
+    return CapacityPoint(
+        d_tracks=d_tracks,
+        replicas=replicas,
+        feasible=feasible,
+        forecast_end_to_end_s=total,
+    )
+
+
+def plan_capacity(
+    estimator: TimingEstimator,
+    workload_grid: tuple[float, ...],
+    n_processors: int = 6,
+    utilization: float = 0.3,
+    slack_fraction: float = 0.2,
+    deadline_strategy: str = "sequential_eqf",
+    reference_d_tracks: float | None = None,
+) -> CapacityPlan:
+    """Plan replica counts for each sustained workload in the grid.
+
+    Parameters
+    ----------
+    estimator:
+        The fitted timing models.
+    workload_grid:
+        Sustained tracks/period values to plan for (ascending).
+    n_processors:
+        Replica ceiling per subtask.
+    utilization:
+        Assumed background utilization of every node (the planning
+        pessimism knob).
+    slack_fraction:
+        Figure 5's ``sl``.
+    reference_d_tracks:
+        Workload used for the EQF budget decomposition (defaults to the
+        grid's smallest value, mirroring ``dinit``).
+    """
+    if not workload_grid:
+        raise ConfigurationError("workload grid must be non-empty")
+    if any(d <= 0 for d in workload_grid):
+        raise ConfigurationError("workloads must be positive")
+    if list(workload_grid) != sorted(workload_grid):
+        raise ConfigurationError("workload grid must be ascending")
+    task = estimator.task
+    d_ref = (
+        reference_d_tracks if reference_d_tracks is not None else workload_grid[0]
+    )
+    exec_est, comm_est = estimator.chain_estimate_seconds(d_ref, utilization)
+    deadlines = assign_deadlines(
+        task,
+        [max(e, 1e-6) for e in exec_est],
+        comm_est,
+        strategy=deadline_strategy,
+    )
+    points = tuple(
+        _plan_one(
+            estimator, deadlines, d, n_processors, utilization, slack_fraction
+        )
+        for d in workload_grid
+    )
+    return CapacityPlan(
+        points=points,
+        n_processors=n_processors,
+        utilization_assumption=utilization,
+    )

@@ -1,0 +1,171 @@
+"""Experiment configuration (paper §5.1, Table 1).
+
+:class:`BaselineConfig` captures the published baseline parameters plus
+the reproduction's own knobs (documented substitutions: event counts,
+noise, overheads).  :class:`ExperimentConfig` adds the per-run axes —
+policy, workload pattern, maximum workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.cluster.processor import Discipline
+from repro.errors import ConfigurationError
+from repro.units import ETHERNET_100_MBPS, MS, TRACK_BYTES, workload_units_to_tracks
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Table 1 baseline parameters plus reproduction knobs.
+
+    Published (Table 1)
+    -------------------
+    * ``n_nodes`` = 6
+    * round-robin CPU scheduling, 1 ms time slice (we default to its
+      processor-sharing limit; set ``discipline`` to ``ROUND_ROBIN`` for
+      quantum-exact runs)
+    * Ethernet at 100 Mbit/s
+    * 80-byte tracks, 1 s data arrival period, 990 ms relative deadline
+    * 1 periodic task, 5 subtasks, 2 replicable
+    * non-predictive utilization threshold ``UT`` = 20 %
+
+    Reproduction knobs
+    ------------------
+    * ``n_periods`` — periods simulated per experiment
+    * ``min_workload_units`` — the pattern's floor (Figure 8's minimum)
+    * ``noise_sigma`` — execution-time noise of the synthetic benchmark
+    * ``message_overhead_bytes`` — per-message protocol overhead
+    * ``slack_fraction`` etc. — RM loop tunables (paper's §4 defaults)
+    """
+
+    # Table 1
+    n_nodes: int = 6
+    discipline: Discipline = Discipline.PROCESSOR_SHARING
+    quantum: float = 1.0 * MS
+    bandwidth_bps: float = ETHERNET_100_MBPS
+    track_bytes: int = TRACK_BYTES
+    period: float = 1.0
+    deadline: float = 990.0 * MS
+    utilization_threshold: float = 0.20
+
+    # Reproduction
+    n_periods: int = 60
+    min_workload_units: float = 0.5
+    noise_sigma: float = 0.08
+    message_overhead_bytes: float = 1500.0
+    network_mode: str = "shared"
+    #: Per-transmission loss probability (0 = the reliable baseline).
+    message_loss_probability: float = 0.0
+    #: One service-rate factor per node (None = homogeneous, Table 1).
+    speed_factors: tuple[float, ...] | None = None
+    utilization_window: float = 5.0
+    slack_fraction: float = 0.2
+    shutdown_slack_fraction: float = 0.6
+    monitor_window: int = 3
+    deadline_strategy: str = "sequential_eqf"
+    shutdown_strategy: str = "lifo"
+    drop_factor: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ConfigurationError(f"n_nodes must be >= 1, got {self.n_nodes}")
+        if self.n_periods < 1:
+            raise ConfigurationError(
+                f"n_periods must be >= 1, got {self.n_periods}"
+            )
+        if self.deadline > self.period:
+            raise ConfigurationError(
+                "the benchmark task is constrained-deadline: deadline "
+                f"{self.deadline} must not exceed period {self.period}"
+            )
+        if self.min_workload_units <= 0.0:
+            raise ConfigurationError(
+                f"min_workload_units must be positive, got "
+                f"{self.min_workload_units}"
+            )
+        if self.shutdown_strategy not in ("lifo", "forecast_aware"):
+            raise ConfigurationError(
+                "shutdown_strategy must be 'lifo' or 'forecast_aware', got "
+                f"{self.shutdown_strategy!r}"
+            )
+
+    def with_overrides(self, **overrides: Any) -> "BaselineConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **overrides)
+
+    def as_table_rows(self) -> list[tuple[str, str]]:
+        """Table 1 rendered as (parameter, value) rows."""
+        scheduler = (
+            f"Round-Robin (time slice = {self.quantum * 1e3:g} ms; "
+            "simulated as its processor-sharing limit)"
+            if self.discipline is Discipline.PROCESSOR_SHARING
+            else f"Round-Robin (time slice = {self.quantum * 1e3:g} ms; exact)"
+        )
+        return [
+            ("Number of nodes", str(self.n_nodes)),
+            ("CPU scheduler at each node", scheduler),
+            (
+                "Network",
+                f"Ethernet (transmission speed = "
+                f"{self.bandwidth_bps / 1e6:g} Mbps)",
+            ),
+            ("Data item (track) size", f"{self.track_bytes} bytes"),
+            ("Data arrival period", f"{self.period:g} sec"),
+            ("Relative end-to-end deadline", f"{self.deadline * 1e3:g} ms"),
+            ("Number of periodic tasks", "1"),
+            ("Number of subtasks per task", "5"),
+            ("Number of replicable subtasks per task", "2"),
+            (
+                "CPU utilization threshold (non-predictive)",
+                f"{self.utilization_threshold * 100:g}%",
+            ),
+        ]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One experiment: a policy meets a workload pattern.
+
+    Attributes
+    ----------
+    policy:
+        ``"predictive"`` or ``"nonpredictive"``.
+    pattern:
+        One of :data:`repro.workloads.patterns.PATTERN_NAMES`.
+    max_workload_units:
+        Figure 9-13 x-axis value (1 unit = 500 tracks).
+    baseline:
+        Shared baseline parameters.
+    """
+
+    policy: str
+    pattern: str
+    max_workload_units: float
+    baseline: BaselineConfig = field(default_factory=BaselineConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_workload_units <= 0.0:
+            raise ConfigurationError(
+                f"max_workload_units must be positive, got "
+                f"{self.max_workload_units}"
+            )
+
+    @property
+    def max_tracks(self) -> float:
+        """Pattern maximum in tracks."""
+        return workload_units_to_tracks(self.max_workload_units)
+
+    @property
+    def min_tracks(self) -> float:
+        """Pattern minimum in tracks (never above the maximum)."""
+        return min(
+            workload_units_to_tracks(self.baseline.min_workload_units),
+            self.max_tracks,
+        )
+
+
+#: The Figure 9-13 sweep (x-axis points, 1 unit = 500 tracks).
+DEFAULT_SWEEP_UNITS: tuple[float, ...] = (1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0)

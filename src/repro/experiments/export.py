@@ -1,0 +1,131 @@
+"""CSV/JSON export of experiment artefacts.
+
+Figures and sweeps become portable data files so downstream users can
+plot them with their own tooling.  The formats are deliberately plain:
+CSV with a header row for series, flat JSON for metric sets.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import ExperimentMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.figures import FigureData
+
+
+def figure_to_csv(data: "FigureData", path: str | Path) -> Path:
+    """Write a figure's x-axis and series as CSV (one row per x)."""
+    path = Path(path)
+    names = list(data.series)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([data.x_label] + names)
+        for i, x in enumerate(data.x_values):
+            writer.writerow([x] + [data.series[name][i] for name in names])
+    return path
+
+
+def figure_from_csv(path: str | Path) -> tuple[str, list[float], dict[str, list[float]]]:
+    """Read back a figure CSV: ``(x_label, x_values, series)``."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ConfigurationError(f"{path} is empty") from None
+        if len(header) < 2:
+            raise ConfigurationError(f"{path} has no series columns")
+        x_label, names = header[0], header[1:]
+        x_values: list[float] = []
+        series: dict[str, list[float]] = {name: [] for name in names}
+        for row in reader:
+            if not row:
+                continue
+            x_values.append(float(row[0]))
+            for name, cell in zip(names, row[1:]):
+                series[name].append(float(cell))
+    return x_label, x_values, series
+
+
+def metrics_to_json(
+    metrics: ExperimentMetrics, path: str | Path, extra: dict | None = None
+) -> Path:
+    """Write one experiment's metric set as a flat JSON object."""
+    path = Path(path)
+    payload = dict(metrics.as_dict())
+    payload.update(
+        {
+            "periods_released": metrics.periods_released,
+            "periods_missed": metrics.periods_missed,
+            "periods_aborted": metrics.periods_aborted,
+            "rm_actions": metrics.rm_actions,
+            "max_replicas": metrics.max_replicas,
+        }
+    )
+    if extra:
+        payload.update(extra)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def metrics_from_json(path: str | Path) -> dict:
+    """Read back a metrics JSON file as a dict."""
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot load metrics from {path}: {exc}") from exc
+
+
+def rm_history_to_csv(manager, path: str | Path) -> Path:
+    """Export a manager's decision log as CSV (one row per step action).
+
+    Columns: time, kind (replicate/shutdown/recovery), subtask index,
+    processors touched, total replicas after the step.  Steps that took
+    no action are omitted.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["time", "kind", "subtask", "processors", "total_replicas"]
+        )
+        for event in manager.history:
+            for outcome in event.outcomes:
+                if outcome.changed:
+                    writer.writerow(
+                        [
+                            event.time,
+                            "replicate",
+                            outcome.subtask_index,
+                            "+".join(outcome.added_processors),
+                            event.total_replicas,
+                        ]
+                    )
+            for subtask_index, processor in event.shutdowns:
+                writer.writerow(
+                    [
+                        event.time,
+                        "shutdown",
+                        subtask_index,
+                        processor,
+                        event.total_replicas,
+                    ]
+                )
+            for subtask_index, dead, target in event.recoveries:
+                writer.writerow(
+                    [
+                        event.time,
+                        "recovery",
+                        subtask_index,
+                        f"{dead}->{target or 'evicted'}",
+                        event.total_replicas,
+                    ]
+                )
+    return path

@@ -1,0 +1,198 @@
+"""In-vivo forecast calibration (the paper's core mechanism, audited).
+
+The predictive algorithm is exactly as good as its forecasts.  This
+module runs an experiment and, for every replication decision the
+manager takes, pairs Figure 5's *forecast* stage latency (the value
+that satisfied the budget check) with the stage latency actually
+*observed* in the following periods — then summarizes the calibration
+(mean error, mean absolute percentage error, pessimism rate).
+
+A well-calibrated forecast errs slightly on the pessimistic side
+(observed <= forecast) so the 20 % slack target translates into met
+deadlines; a systematically optimistic forecast would convert directly
+into misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import get_default_estimator
+from repro.regression.estimator import TimingEstimator
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import make_pattern
+
+
+@dataclass(frozen=True)
+class ForecastSample:
+    """One decision's forecast paired with the realized stage latency."""
+
+    time: float
+    subtask_index: int
+    replica_count: int
+    forecast_s: float
+    observed_s: float
+
+    @property
+    def error_s(self) -> float:
+        """Signed error (positive = pessimistic forecast)."""
+        return self.forecast_s - self.observed_s
+
+    @property
+    def absolute_percentage_error(self) -> float:
+        """|forecast - observed| / observed."""
+        return abs(self.error_s) / max(self.observed_s, 1e-9)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Aggregate calibration statistics over a run's decisions."""
+
+    samples: tuple[ForecastSample, ...]
+    missed_deadline_ratio: float = 0.0
+
+    @property
+    def n(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mape(self) -> float:
+        """Mean absolute percentage error of the forecasts."""
+        if not self.samples:
+            return 0.0
+        return float(
+            np.mean([s.absolute_percentage_error for s in self.samples])
+        )
+
+    @property
+    def mean_error_s(self) -> float:
+        """Mean signed error (positive = pessimistic on average)."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.error_s for s in self.samples]))
+
+    @property
+    def pessimism_rate(self) -> float:
+        """Fraction of decisions whose forecast was >= the observation."""
+        if not self.samples:
+            return 0.0
+        return float(np.mean([s.error_s >= 0.0 for s in self.samples]))
+
+
+def evaluate_forecasts(
+    config: ExperimentConfig,
+    estimator: TimingEstimator | None = None,
+    settle_periods: int = 1,
+    online: bool = False,
+) -> CalibrationReport:
+    """Run the predictive policy and audit every replication forecast.
+
+    For each manager step that replicated subtask ``j`` with forecast
+    ``f``, the observation is the mean stage latency of ``j`` over the
+    next periods that ran with the *same* replica count (stopping at the
+    next placement change).  ``settle_periods`` skips the first period
+    after the decision (the stage may already be mid-flight).
+
+    With ``online=True`` the estimator is wrapped in
+    :class:`repro.regression.online.OnlineCorrectedEstimator`, so the
+    audit measures the *refined* forecasts (extension E-X12).
+    """
+    if config.policy != "predictive":
+        raise ConfigurationError(
+            "forecast evaluation requires the predictive policy, got "
+            f"{config.policy!r}"
+        )
+    baseline = config.baseline
+    if estimator is None:
+        estimator = get_default_estimator(baseline)
+    if online:
+        from repro.regression.online import OnlineCorrectedEstimator
+
+        estimator = OnlineCorrectedEstimator(base=estimator)
+    system = build_system(
+        n_processors=baseline.n_nodes,
+        bandwidth_bps=baseline.bandwidth_bps,
+        message_overhead_bytes=baseline.message_overhead_bytes,
+        seed=baseline.seed,
+    )
+    task = aaw_task(
+        period=baseline.period,
+        deadline=baseline.deadline,
+        noise_sigma=baseline.noise_sigma,
+    )
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    pattern = make_pattern(
+        config.pattern,
+        min_tracks=config.min_tracks,
+        max_tracks=config.max_tracks,
+        n_periods=baseline.n_periods,
+    )
+    executor = PeriodicTaskExecutor(
+        system, task, assignment, workload=pattern,
+        config=ExecutorConfig(drop_factor=baseline.drop_factor),
+    )
+    manager = AdaptiveResourceManager(
+        system,
+        executor,
+        estimator,
+        policy=PredictivePolicy(slack_fraction=baseline.slack_fraction),
+        config=RMConfig(initial_d_tracks=config.min_tracks),
+    )
+    manager.start(baseline.n_periods)
+    executor.start(baseline.n_periods)
+    system.engine.run_until(
+        baseline.n_periods * baseline.period
+        + (baseline.drop_factor + 1.0) * baseline.period
+    )
+
+    # Pair forecasts with realized stage latencies.
+    by_period = {r.period_index: r for r in executor.records}
+    samples: list[ForecastSample] = []
+    for event in manager.history:
+        decision_period = int(round(event.time / task.period))
+        for outcome in event.outcomes:
+            if outcome.forecast_latency is None or not outcome.changed:
+                continue
+            replica_count = len(event.placement[outcome.subtask_index])
+            observed: list[float] = []
+            for period in range(
+                decision_period + settle_periods, baseline.n_periods
+            ):
+                record = by_period.get(period)
+                if record is None:
+                    continue
+                stage = record.stage(outcome.subtask_index)
+                if stage is None or stage.stage_latency is None:
+                    continue
+                if stage.replica_count != replica_count:
+                    break  # the placement changed; stop the window
+                observed.append(stage.stage_latency)
+                if len(observed) >= 3:
+                    break
+            if observed:
+                samples.append(
+                    ForecastSample(
+                        time=event.time,
+                        subtask_index=outcome.subtask_index,
+                        replica_count=replica_count,
+                        forecast_s=outcome.forecast_latency,
+                        observed_s=float(np.mean(observed)),
+                    )
+                )
+    released = [r for r in executor.records]
+    missed = sum(1 for r in released if r.missed)
+    return CalibrationReport(
+        samples=tuple(samples),
+        missed_deadline_ratio=missed / len(released) if released else 0.0,
+    )

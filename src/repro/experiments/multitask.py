@@ -1,0 +1,245 @@
+"""Multi-task deployments (paper §3: ``T = {T1, T2, T3, ...}``).
+
+The paper's evaluation uses a single periodic task (Table 1), but its
+model — and crucially eq. 5's buffer-delay term, which sums
+``ds(T_i, c)`` **over all tasks** — is defined for a set.  This module
+runs several benchmark tasks side by side on one system:
+
+* each task gets its own executor, replica map and resource manager
+  (decentralized management, as the paper's supervisory architecture
+  prescribes);
+* all share the processors and the Ethernet segment, so they contend
+  for real;
+* a :class:`WorkloadLedger` feeds every manager the *total* periodic
+  workload, which drives both eq. 5 forecasts and the buffer delays
+  the network actually produces.
+
+Metrics aggregate across tasks (misses over all released periods,
+replicas summed, ``Max(R) = m x total replicable subtasks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import System, build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import ExperimentMetrics
+from repro.experiments.runner import _make_policy, get_default_estimator
+from repro.regression.estimator import TimingEstimator
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import make_pattern
+
+
+class WorkloadLedger:
+    """Tracks each task's current periodic workload; answers the total.
+
+    Executors publish ``ds(T_i, c)`` as they release periods; managers
+    read :meth:`total` when forecasting eq. 5's buffer term.
+    """
+
+    def __init__(self) -> None:
+        self._current: dict[str, float] = {}
+
+    def publish(self, task_name: str, d_tracks: float) -> None:
+        """Record task ``task_name``'s current period workload."""
+        self._current[task_name] = float(d_tracks)
+
+    def total(self) -> float:
+        """``sum_i ds(T_i, c)`` over all registered tasks."""
+        return sum(self._current.values())
+
+    def of(self, task_name: str) -> float:
+        """One task's current workload (0 before its first release)."""
+        return self._current.get(task_name, 0.0)
+
+
+@dataclass(frozen=True)
+class MultiTaskResult:
+    """Aggregated outcome of a multi-task experiment."""
+
+    per_task_metrics: dict[str, ExperimentMetrics]
+    aggregate: ExperimentMetrics
+    n_tasks: int
+
+
+def _ledgered_workload(pattern, ledger: WorkloadLedger, task_name: str):
+    """Wrap a pattern so each release is published to the ledger."""
+
+    def workload(period_index: int) -> float:
+        d = pattern(period_index)
+        ledger.publish(task_name, d)
+        return d
+
+    return workload
+
+
+def run_multi_task_experiment(
+    config: ExperimentConfig,
+    n_tasks: int = 2,
+    estimator: TimingEstimator | None = None,
+    phase_shift_periods: int = 7,
+) -> MultiTaskResult:
+    """Run ``n_tasks`` copies of the benchmark task on one system.
+
+    Each task runs the configured workload pattern, phase-shifted by
+    ``phase_shift_periods`` per task so the peaks do not align exactly;
+    the *combined* load is what the machine must absorb.
+
+    Parameters mirror :func:`repro.experiments.runner.run_experiment`;
+    the policy applies to every task's manager.
+    """
+    if n_tasks < 1:
+        raise ConfigurationError(f"need at least one task, got {n_tasks}")
+    baseline = config.baseline
+    if estimator is None:
+        estimator = get_default_estimator(baseline)
+
+    system: System = build_system(
+        n_processors=baseline.n_nodes,
+        bandwidth_bps=baseline.bandwidth_bps,
+        discipline=baseline.discipline,
+        quantum=baseline.quantum,
+        utilization_window=baseline.utilization_window,
+        message_overhead_bytes=baseline.message_overhead_bytes,
+        network_mode=baseline.network_mode,
+        message_loss_probability=baseline.message_loss_probability,
+        speed_factors=baseline.speed_factors,
+        seed=baseline.seed,
+    )
+    ledger = WorkloadLedger()
+    names = [p.name for p in system.processors]
+
+    executors: list[PeriodicTaskExecutor] = []
+    managers: list[AdaptiveResourceManager] = []
+    for t in range(n_tasks):
+        task = aaw_task(
+            period=baseline.period,
+            deadline=baseline.deadline,
+            noise_sigma=baseline.noise_sigma,
+        )
+        # Rename so records/ledger entries are distinguishable.
+        task = task.__class__(
+            name=f"{task.name}{t + 1}",
+            period=task.period,
+            deadline=task.deadline,
+            subtasks=task.subtasks,
+            messages=task.messages,
+        )
+        # Stagger initial placements so originals spread over the machine.
+        rotated = names[t % len(names):] + names[: t % len(names)]
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, rotated)
+        )
+        base_pattern = make_pattern(
+            config.pattern,
+            min_tracks=config.min_tracks,
+            max_tracks=config.max_tracks,
+            n_periods=baseline.n_periods,
+        )
+        shift = t * phase_shift_periods
+
+        def shifted(period_index: int, _p=base_pattern, _s=shift) -> float:
+            return _p((period_index + _s) % max(baseline.n_periods, 1))
+
+        executor = PeriodicTaskExecutor(
+            system,
+            task,
+            assignment,
+            workload=_ledgered_workload(shifted, ledger, task.name),
+            config=ExecutorConfig(
+                drop_factor=baseline.drop_factor,
+                noise_stream=f"exec-noise-{t}",
+            ),
+        )
+        manager = AdaptiveResourceManager(
+            system,
+            executor,
+            estimator.__class__(
+                task=task,
+                latency_models=estimator.latency_models,
+                comm_model=estimator.comm_model,
+            ),
+            policy=_make_policy(config),
+            config=RMConfig(
+                slack_fraction=baseline.slack_fraction,
+                shutdown_slack_fraction=baseline.shutdown_slack_fraction,
+                monitor_window=baseline.monitor_window,
+                deadline_strategy=baseline.deadline_strategy,
+                initial_d_tracks=config.min_tracks,
+            ),
+            total_workload_fn=ledger.total,
+        )
+        executors.append(executor)
+        managers.append(manager)
+
+    horizon = baseline.n_periods * baseline.period
+    for manager in managers:
+        manager.start(baseline.n_periods)
+    for executor in executors:
+        executor.start(baseline.n_periods)
+    system.engine.run_until(horizon + (baseline.drop_factor + 1.0) * baseline.period)
+
+    # -- aggregate metrics ---------------------------------------------------------
+    span = horizon
+    per_task: dict[str, ExperimentMetrics] = {}
+    total_released = total_missed = total_aborted = total_actions = 0
+    replica_sum = 0.0
+    n_replicable_total = 0
+    cpu = sum(
+        p.meter.busy_between(0.0, horizon) / span for p in system.processors
+    ) / len(system.processors)
+    net = system.network.meter.busy_between(0.0, horizon) / span
+
+    for executor, manager in zip(executors, managers):
+        records = [r for r in executor.records if r.release_time < horizon]
+        released = len(records)
+        missed = sum(
+            1 for r in records if r.missed or (not r.completed and not r.aborted)
+        )
+        aborted = sum(1 for r in records if r.aborted)
+        samples = [c for _, c in manager.replica_samples()]
+        avg_replicas = (
+            sum(samples) / len(samples)
+            if samples
+            else float(executor.assignment.total_replicas())
+        )
+        n_replicable = len(executor.task.replicable_indices())
+        per_task[executor.task.name] = ExperimentMetrics(
+            missed_deadline_ratio=missed / released if released else 0.0,
+            avg_cpu_utilization=cpu,
+            avg_network_utilization=net,
+            avg_replicas=avg_replicas,
+            max_replicas=system.size * n_replicable,
+            periods_released=released,
+            periods_missed=missed,
+            periods_aborted=aborted,
+            rm_actions=manager.actions_taken(),
+        )
+        total_released += released
+        total_missed += missed
+        total_aborted += aborted
+        total_actions += manager.actions_taken()
+        replica_sum += avg_replicas
+        n_replicable_total += n_replicable
+
+    aggregate = ExperimentMetrics(
+        missed_deadline_ratio=(
+            total_missed / total_released if total_released else 0.0
+        ),
+        avg_cpu_utilization=cpu,
+        avg_network_utilization=net,
+        avg_replicas=replica_sum,
+        max_replicas=system.size * n_replicable_total,
+        periods_released=total_released,
+        periods_missed=total_missed,
+        periods_aborted=total_aborted,
+        rm_actions=total_actions,
+    )
+    return MultiTaskResult(
+        per_task_metrics=per_task, aggregate=aggregate, n_tasks=n_tasks
+    )

@@ -1,0 +1,229 @@
+"""Experiment execution.
+
+:func:`run_experiment` assembles the full stack — system, benchmark
+task, profiled estimator, executor, policy, resource manager — runs the
+configured number of periods, and returns the §5.2 metrics.
+:func:`sweep_workloads` repeats it over the Figure 9-13 x-axis.
+
+Profiling the regression models is the expensive step, so estimators
+are cached: in-process by configuration key, and optionally on disk via
+:mod:`repro.regression.serialization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.bench.profiler import build_estimator
+from repro.cluster.topology import System, build_system
+from repro.core.allocator import get_policy
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.nonpredictive import NonPredictivePolicy
+from repro.core.predictive import PredictivePolicy
+from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
+from repro.errors import ConfigurationError
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.metrics import ExperimentMetrics, compute_metrics
+from repro.regression.estimator import TimingEstimator
+from repro.regression.serialization import load_models, save_models
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import make_pattern
+
+_ESTIMATOR_CACHE: dict[tuple, TimingEstimator] = {}
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Everything a sweep needs from one run."""
+
+    config: ExperimentConfig
+    metrics: ExperimentMetrics
+    final_placement: dict[int, tuple[str, ...]]
+
+
+def get_default_estimator(
+    baseline: BaselineConfig,
+    cache_dir: str | Path | None = None,
+    repetitions: int = 2,
+) -> TimingEstimator:
+    """Profile the benchmark once per configuration and cache the fit.
+
+    The cache key covers everything that shapes the fitted models:
+    noise, bandwidth, overhead and the profiling seed.  With
+    ``cache_dir`` set, fits are persisted as JSON across processes.
+    """
+    key = (
+        round(baseline.noise_sigma, 6),
+        round(baseline.bandwidth_bps, 3),
+        round(baseline.message_overhead_bytes, 3),
+        baseline.seed,
+        repetitions,
+    )
+    cached = _ESTIMATOR_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    task = aaw_task(
+        period=baseline.period,
+        deadline=baseline.deadline,
+        noise_sigma=baseline.noise_sigma,
+    )
+    path: Path | None = None
+    if cache_dir is not None:
+        path = Path(cache_dir) / (
+            "models_"
+            + "_".join(str(part).replace(".", "p") for part in key)
+            + ".json"
+        )
+        if path.exists():
+            latency_models, comm_model = load_models(path)
+            estimator = TimingEstimator(
+                task=task, latency_models=latency_models, comm_model=comm_model
+            )
+            _ESTIMATOR_CACHE[key] = estimator
+            return estimator
+
+    estimator = build_estimator(
+        task,
+        repetitions=repetitions,
+        seed=baseline.seed,
+        bandwidth_bps=baseline.bandwidth_bps,
+        overhead_bytes=baseline.message_overhead_bytes,
+    )
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_models(path, estimator.latency_models, estimator.comm_model)
+    _ESTIMATOR_CACHE[key] = estimator
+    return estimator
+
+
+def _make_policy(config: ExperimentConfig):
+    """Instantiate the configured step-2 policy with Table 1 parameters."""
+    if config.policy == "predictive":
+        return PredictivePolicy(slack_fraction=config.baseline.slack_fraction)
+    if config.policy == "nonpredictive":
+        return NonPredictivePolicy(
+            utilization_threshold=config.baseline.utilization_threshold
+        )
+    # Fall through to the registry for user-registered policies.
+    return get_policy(config.policy)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    estimator: TimingEstimator | None = None,
+    seed_offset: int = 0,
+) -> ExperimentResult:
+    """Run one experiment end to end and compute its metrics.
+
+    Parameters
+    ----------
+    config:
+        The experiment descriptor.
+    estimator:
+        A pre-built estimator (profiled once, shared across a sweep).
+        Built on demand when omitted.
+    seed_offset:
+        Added to the baseline seed for replication studies.
+    """
+    baseline = config.baseline
+    if estimator is None:
+        estimator = get_default_estimator(baseline)
+
+    system: System = build_system(
+        n_processors=baseline.n_nodes,
+        bandwidth_bps=baseline.bandwidth_bps,
+        discipline=baseline.discipline,
+        quantum=baseline.quantum,
+        utilization_window=baseline.utilization_window,
+        message_overhead_bytes=baseline.message_overhead_bytes,
+        network_mode=baseline.network_mode,
+        message_loss_probability=baseline.message_loss_probability,
+        speed_factors=baseline.speed_factors,
+        seed=baseline.seed + seed_offset,
+    )
+    task = aaw_task(
+        period=baseline.period,
+        deadline=baseline.deadline,
+        noise_sigma=baseline.noise_sigma,
+    )
+    if estimator.task.n_subtasks != task.n_subtasks:
+        raise ConfigurationError(
+            "estimator was fitted for a different task shape"
+        )
+    placement = default_initial_placement(
+        task, [p.name for p in system.processors]
+    )
+    assignment = ReplicaAssignment(task, placement)
+    pattern = make_pattern(
+        config.pattern,
+        min_tracks=config.min_tracks,
+        max_tracks=config.max_tracks,
+        n_periods=baseline.n_periods,
+    )
+    executor = PeriodicTaskExecutor(
+        system,
+        task,
+        assignment,
+        workload=pattern,
+        config=ExecutorConfig(drop_factor=baseline.drop_factor),
+    )
+    shutdown_strategy = (
+        ForecastAwareShutdown(slack_fraction=baseline.slack_fraction)
+        if baseline.shutdown_strategy == "forecast_aware"
+        else LifoShutdown()
+    )
+    manager = AdaptiveResourceManager(
+        system,
+        executor,
+        estimator,
+        policy=_make_policy(config),
+        config=RMConfig(
+            slack_fraction=baseline.slack_fraction,
+            shutdown_slack_fraction=baseline.shutdown_slack_fraction,
+            monitor_window=baseline.monitor_window,
+            deadline_strategy=baseline.deadline_strategy,
+            initial_d_tracks=config.min_tracks,
+            initial_utilization=0.1,
+        ),
+        shutdown_strategy=shutdown_strategy,
+    )
+
+    horizon = baseline.n_periods * baseline.period
+    manager.start(baseline.n_periods)
+    executor.start(baseline.n_periods)
+    # Let stragglers finish or hit the shedding watchdog.
+    system.engine.run_until(horizon + (baseline.drop_factor + 1.0) * baseline.period)
+
+    metrics = compute_metrics(system, executor, manager, 0.0, horizon)
+    return ExperimentResult(
+        config=config,
+        metrics=metrics,
+        final_placement=assignment.snapshot(),
+    )
+
+
+def sweep_workloads(
+    policy: str,
+    pattern: str,
+    units: tuple[float, ...],
+    baseline: BaselineConfig | None = None,
+    estimator: TimingEstimator | None = None,
+) -> list[ExperimentResult]:
+    """Run one experiment per maximum-workload point (a figure's x-axis)."""
+    baseline = baseline if baseline is not None else BaselineConfig()
+    if estimator is None:
+        estimator = get_default_estimator(baseline)
+    results = []
+    for max_units in units:
+        config = ExperimentConfig(
+            policy=policy,
+            pattern=pattern,
+            max_workload_units=max_units,
+            baseline=baseline,
+        )
+        results.append(run_experiment(config, estimator=estimator))
+    return results

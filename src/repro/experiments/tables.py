@@ -1,0 +1,146 @@
+"""Table reproduction (paper Tables 1-3).
+
+* Table 1 — the baseline parameters (rendered from
+  :class:`~repro.experiments.config.BaselineConfig`, which carries the
+  published values as defaults).
+* Table 2 — execution-latency regression coefficients for the two
+  replicable subtasks: the published values next to the coefficients we
+  fit from profiling the synthetic benchmark.  Absolute values differ
+  (different application), but the *structure* should match: a
+  dominant positive ``d^2`` curvature growing with utilization.
+* Table 3 — the buffer-delay slope ``k``: published next to fitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.app import aaw_task
+from repro.bench.datasets import PAPER_BUFFER_K, PAPER_TABLE2_COEFFICIENTS
+from repro.bench.profiler import profile_buffer_delay, profile_subtask
+from repro.experiments.config import BaselineConfig
+from repro.experiments.report import format_table
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+
+
+def render_table1(baseline: BaselineConfig | None = None) -> str:
+    """Table 1: the baseline parameters of the experimental study."""
+    baseline = baseline if baseline is not None else BaselineConfig()
+    return format_table(
+        ["Parameter", "Value"],
+        baseline.as_table_rows(),
+        title="Table 1. Baseline parameters",
+    )
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One subtask's fitted-vs-published coefficient comparison."""
+
+    subtask_index: int
+    fitted: ExecutionLatencyModel
+    published: dict[str, float]
+
+
+def reproduce_table2(
+    baseline: BaselineConfig | None = None,
+    repetitions: int = 2,
+) -> list[Table2Row]:
+    """Fit eq. 3 for the replicable subtasks and pair with Table 2."""
+    baseline = baseline if baseline is not None else BaselineConfig()
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+    rows: list[Table2Row] = []
+    for index in sorted(PAPER_TABLE2_COEFFICIENTS):
+        result = profile_subtask(
+            task.subtask(index),
+            repetitions=repetitions,
+            seed=baseline.seed + index,
+        )
+        rows.append(
+            Table2Row(
+                subtask_index=index,
+                fitted=result.model,
+                published=PAPER_TABLE2_COEFFICIENTS[index],
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    """ASCII rendering of the Table 2 comparison."""
+    headers = ["subtask", "source", "a1", "a2", "a3", "b1", "b2", "b3", "R^2"]
+    body: list[list[object]] = []
+    for row in rows:
+        c = row.fitted.coefficients()
+        body.append(
+            [
+                row.subtask_index,
+                "fitted",
+                c["a1"],
+                c["a2"],
+                c["a3"],
+                c["b1"],
+                c["b2"],
+                c["b3"],
+                row.fitted.r_squared,
+            ]
+        )
+        p = row.published
+        body.append(
+            [
+                row.subtask_index,
+                "paper",
+                p["a1"],
+                p["a2"],
+                p["a3"],
+                p["b1"],
+                p["b2"],
+                p["b3"],
+                "-",
+            ]
+        )
+    return format_table(
+        headers,
+        body,
+        title="Table 2. Execution-latency regression coefficients "
+        "(fitted from the synthetic benchmark vs published)",
+    )
+
+
+@dataclass(frozen=True)
+class Table3Result:
+    """Fitted buffer-delay slope next to the published one."""
+
+    fitted: BufferDelayModel
+    published_k: float
+
+
+def reproduce_table3(baseline: BaselineConfig | None = None) -> Table3Result:
+    """Fit eq. 5's slope from the simulated medium."""
+    baseline = baseline if baseline is not None else BaselineConfig()
+    task = aaw_task(noise_sigma=baseline.noise_sigma)
+    result = profile_buffer_delay(
+        task,
+        bandwidth_bps=baseline.bandwidth_bps,
+        overhead_bytes=baseline.message_overhead_bytes,
+    )
+    return Table3Result(fitted=result.model, published_k=PAPER_BUFFER_K)
+
+
+def render_table3(result: Table3Result) -> str:
+    """ASCII rendering of the Table 3 comparison."""
+    rows = [
+        [
+            "fitted",
+            result.fitted.k_ms_per_track,
+            result.fitted.k_ms_per_track * 500.0,
+            result.fitted.r_squared,
+        ],
+        ["paper", result.published_k / 500.0, result.published_k, "-"],
+    ]
+    return format_table(
+        ["source", "k (ms/track)", "k (ms/500-track unit)", "R^2"],
+        rows,
+        title="Table 3. Buffer-delay regression slope",
+    )

@@ -1,0 +1,132 @@
+"""Per-period time-series extraction and ASCII timeline rendering.
+
+Aggregated metrics hide the *story* of a run — when replication kicked
+in, how latency tracked the workload, where deadlines were lost.
+:func:`extract_timeline` pulls an aligned per-period series from an
+executor/manager pair, and :func:`render_timeline` draws it as an
+ASCII strip chart for terminals, examples and bench artefacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.manager import AdaptiveResourceManager
+from repro.errors import ConfigurationError
+from repro.runtime.executor import PeriodicTaskExecutor
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Aligned per-period series of one run.
+
+    All arrays share the index ``period``; latency is NaN for periods
+    that never completed (shed by the watchdog).
+    """
+
+    periods: np.ndarray
+    workload_tracks: np.ndarray
+    latency_s: np.ndarray
+    missed: np.ndarray
+    total_replicas: np.ndarray
+    rm_acted: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.periods.size)
+
+    def miss_ratio(self) -> float:
+        """Fraction of periods missed."""
+        if self.periods.size == 0:
+            return 0.0
+        return float(self.missed.mean())
+
+    def adaptation_periods(self) -> list[int]:
+        """Period indices at which the manager changed the placement."""
+        return [int(p) for p, acted in zip(self.periods, self.rm_acted) if acted]
+
+
+def extract_timeline(
+    executor: PeriodicTaskExecutor, manager: AdaptiveResourceManager
+) -> Timeline:
+    """Build the aligned per-period series from a finished run."""
+    records = sorted(executor.records, key=lambda r: r.period_index)
+    if not records:
+        raise ConfigurationError("executor has no records; run it first")
+    n = records[-1].period_index + 1
+    periods = np.arange(n)
+    workload = np.full(n, np.nan)
+    latency = np.full(n, np.nan)
+    missed = np.zeros(n, dtype=bool)
+    replicas = np.full(n, np.nan)
+    acted = np.zeros(n, dtype=bool)
+    for record in records:
+        idx = record.period_index
+        workload[idx] = record.d_tracks
+        if record.latency is not None:
+            latency[idx] = record.latency
+        missed[idx] = record.missed
+    period_len = executor.task.period
+    for event in manager.history:
+        idx = int(round(event.time / period_len))
+        if 0 <= idx < n:
+            replicas[idx] = event.total_replicas
+            acted[idx] = acted[idx] or event.acted
+    # Forward-fill replica counts between manager samples.
+    last = np.nan
+    for i in range(n):
+        if np.isnan(replicas[i]):
+            replicas[i] = last
+        else:
+            last = replicas[i]
+    return Timeline(
+        periods=periods,
+        workload_tracks=workload,
+        latency_s=latency,
+        missed=missed,
+        total_replicas=replicas,
+        rm_acted=acted,
+    )
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def _strip(values: np.ndarray, lo: float | None = None, hi: float | None = None) -> str:
+    finite = values[np.isfinite(values)]
+    if finite.size == 0:
+        return " " * values.size
+    lo = float(finite.min()) if lo is None else lo
+    hi = float(finite.max()) if hi is None else hi
+    span = (hi - lo) or 1.0
+    chars = []
+    for v in values:
+        if not np.isfinite(v):
+            chars.append("x")
+        else:
+            chars.append(_BLOCKS[int((v - lo) / span * (len(_BLOCKS) - 1))])
+    return "".join(chars)
+
+
+def render_timeline(timeline: Timeline, deadline_s: float | None = None) -> str:
+    """ASCII strip chart: workload, latency, replicas, misses per period.
+
+    ``x`` marks shed periods in the latency strip; ``!`` marks misses.
+    """
+    lines = [
+        f"periods 0..{len(timeline) - 1}  "
+        f"(miss ratio {timeline.miss_ratio():.2f}, "
+        f"{len(timeline.adaptation_periods())} adaptation points)",
+        f"workload  |{_strip(timeline.workload_tracks)}|",
+        f"latency   |{_strip(timeline.latency_s, lo=0.0)}|"
+        + (f"  (deadline {deadline_s * 1e3:.0f} ms)" if deadline_s else ""),
+        f"replicas  |{_strip(timeline.total_replicas, lo=0.0)}|",
+        "misses    |"
+        + "".join("!" if m else "." for m in timeline.missed)
+        + "|",
+        "adapted   |"
+        + "".join("A" if a else "." for a in timeline.rm_acted)
+        + "|",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,176 @@
+"""Programmatic paper-claims validation.
+
+:func:`validate_reproduction` runs a (reduced, configurable) version of
+the §5 study and checks each qualitative claim of the paper against the
+measured series, returning structured :class:`ClaimCheck` results.  It
+backs the `repro validate` CLI command, a bench, and EXPERIMENTS.md's
+summary table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.report import format_table
+from repro.experiments.runner import get_default_estimator, sweep_workloads
+from repro.regression.estimator import TimingEstimator
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper claim and its measured verdict."""
+
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _series(results, key: str) -> list[float]:
+    return [r.metrics.as_dict()[key] for r in results]
+
+
+def validate_reproduction(
+    baseline: BaselineConfig | None = None,
+    estimator: TimingEstimator | None = None,
+    units: tuple[float, ...] = (1.0, 10.0, 20.0, 30.0),
+) -> list[ClaimCheck]:
+    """Run the triangular-pattern study and check the paper's claims.
+
+    Uses the triangular (fluctuating) pattern — the paper's headline
+    setting.  ``units`` should include one no-replication point (~1),
+    mid-range points, and one near-saturation point (~30).
+    """
+    baseline = baseline if baseline is not None else BaselineConfig()
+    if estimator is None:
+        estimator = get_default_estimator(baseline)
+    sweeps = {
+        policy: sweep_workloads(
+            policy, "triangular", units, baseline=baseline, estimator=estimator
+        )
+        for policy in ("predictive", "nonpredictive")
+    }
+    pred, nonpred = sweeps["predictive"], sweeps["nonpredictive"]
+    checks: list[ClaimCheck] = []
+
+    # Claim 1 — identical when no replication is needed.
+    c_pred = pred[0].metrics.combined
+    c_non = nonpred[0].metrics.combined
+    same = abs(c_pred - c_non) <= 0.05 * max(c_non, 1e-9)
+    checks.append(
+        ClaimCheck(
+            claim="policies identical at small workloads (no replication)",
+            passed=same and pred[0].metrics.rm_actions == 0,
+            detail=f"combined {c_pred:.3f} vs {c_non:.3f} at {units[0]:g} units",
+        )
+    )
+
+    # Claim 2 — non-predictive uses more replicas.
+    heavy = range(1, len(units))
+    replica_ok = all(
+        nonpred[i].metrics.avg_replicas >= pred[i].metrics.avg_replicas - 0.25
+        for i in heavy
+    ) and any(
+        nonpred[i].metrics.avg_replicas > pred[i].metrics.avg_replicas
+        for i in heavy
+    )
+    checks.append(
+        ClaimCheck(
+            claim="non-predictive uses more subtask replicas",
+            passed=replica_ok,
+            detail="avg replicas "
+            + ", ".join(
+                f"{units[i]:g}u: {nonpred[i].metrics.avg_replicas:.2f} vs "
+                f"{pred[i].metrics.avg_replicas:.2f}"
+                for i in heavy
+            ),
+        )
+    )
+
+    # Claim 3 — ... and hence more network utilization.
+    net_ok = all(
+        nonpred[i].metrics.avg_network_utilization
+        >= 0.9 * pred[i].metrics.avg_network_utilization
+        for i in heavy
+    )
+    checks.append(
+        ClaimCheck(
+            claim="non-predictive drives network utilization at least as high",
+            passed=net_ok,
+            detail="net util "
+            + ", ".join(
+                f"{units[i]:g}u: {nonpred[i].metrics.avg_network_utilization:.3f}"
+                f" vs {pred[i].metrics.avg_network_utilization:.3f}"
+                for i in heavy
+            ),
+        )
+    )
+
+    # Claim 4 — non-predictive CPU utilization is not higher.
+    cpu_ok = all(
+        nonpred[i].metrics.avg_cpu_utilization
+        <= pred[i].metrics.avg_cpu_utilization + 0.03
+        for i in heavy
+    )
+    checks.append(
+        ClaimCheck(
+            claim="non-predictive CPU utilization is not higher "
+            "(replicas split quadratic work)",
+            passed=cpu_ok,
+            detail="cpu util "
+            + ", ".join(
+                f"{units[i]:g}u: {nonpred[i].metrics.avg_cpu_utilization:.3f}"
+                f" vs {pred[i].metrics.avg_cpu_utilization:.3f}"
+                for i in heavy
+            ),
+        )
+    )
+
+    # Claim 5 — predictive wins the combined metric on the fluctuating
+    # pattern at replication-relevant workloads.
+    wins = sum(
+        1
+        for i in heavy
+        if pred[i].metrics.combined <= nonpred[i].metrics.combined * 1.01
+    )
+    checks.append(
+        ClaimCheck(
+            claim="predictive wins the combined metric on the "
+            "fluctuating workload",
+            passed=wins >= max(1, int(0.6 * len(list(heavy)))),
+            detail=f"wins {wins}/{len(list(heavy))} replication-relevant points",
+        )
+    )
+
+    # Claim 6 — the adaptation loop is live (actions at heavy loads).
+    acted = all(
+        pred[i].metrics.rm_actions > 0 and nonpred[i].metrics.rm_actions > 0
+        for i in heavy
+        if units[i] >= 10.0
+    )
+    checks.append(
+        ClaimCheck(
+            claim="both algorithms adapt (replicate/shutdown) under load",
+            passed=acted,
+            detail="rm actions "
+            + ", ".join(
+                f"{units[i]:g}u: {pred[i].metrics.rm_actions}/"
+                f"{nonpred[i].metrics.rm_actions}"
+                for i in heavy
+            ),
+        )
+    )
+    return checks
+
+
+def render_checks(checks: list[ClaimCheck]) -> str:
+    """ASCII rendering of a validation run."""
+    rows = [
+        [("PASS" if check.passed else "FAIL"), check.claim, check.detail]
+        for check in checks
+    ]
+    return format_table(
+        ["verdict", "claim", "measured"],
+        rows,
+        title="Paper-claims validation (triangular pattern)",
+    )

@@ -1,0 +1,43 @@
+"""Statistical regression substrate (paper §4.2.1.1 - §4.2.1.2).
+
+The predictive algorithm's forecasts come from three fitted models:
+
+* :class:`~repro.regression.latency_model.ExecutionLatencyModel` —
+  paper eq. 3, the two-stage polynomial surface
+  ``eex(d, u) = (a1 u^2 + a2 u + a3) d^2 + (b1 u^2 + b2 u + b3) d``
+  fitted from profiled subtask latencies;
+* :class:`~repro.regression.buffer_model.BufferDelayModel` — paper
+  eq. 5, the through-origin line ``Dbuf = k * sum_i ds(T_i, c)`` fitted
+  from observed message queueing delays;
+* :class:`~repro.regression.transmission.TransmissionModel` — paper
+  eq. 6, the deterministic ``Dtrans = d / ls``.
+
+They are combined by
+:class:`~repro.regression.comm.CommunicationDelayModel` (eq. 4) and
+exposed to the resource manager through
+:class:`~repro.regression.estimator.TimingEstimator`.
+
+All fitting is ordinary least squares on explicit design matrices
+(:mod:`repro.regression.design`, :mod:`repro.regression.polyfit`) —
+no black boxes, so tests can verify coefficient recovery exactly.
+"""
+
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.design import poly2_features, surface_features
+from repro.regression.estimator import TimingEstimator
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.polyfit import OLSResult, ols_fit
+from repro.regression.transmission import TransmissionModel
+
+__all__ = [
+    "BufferDelayModel",
+    "CommunicationDelayModel",
+    "ExecutionLatencyModel",
+    "OLSResult",
+    "TimingEstimator",
+    "TransmissionModel",
+    "ols_fit",
+    "poly2_features",
+    "surface_features",
+]

@@ -1,0 +1,81 @@
+"""Buffer-delay regression — paper eq. 5.
+
+``Dbuf(d, c) = k * sum_i ds(T_i, c)``
+
+The paper observed that the time a message spends in host/network buffers
+before transmission grows linearly with the *total* periodic workload
+(all tasks' data items in the current period) and fit a single slope
+``k`` (Table 3: k = 0.7 for both replicable subtasks).  We reproduce
+that: a through-origin linear fit of measured queueing delays against
+total periodic track counts.
+
+Units: the model stores ``k`` in **milliseconds per track** so that a
+Table 3-style coefficient can be plugged in directly; helper methods
+convert to seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RegressionError
+from repro.regression.design import linear_through_origin_features
+from repro.regression.polyfit import ols_fit
+from repro.units import ms_to_s
+
+
+@dataclass(frozen=True)
+class BufferDelayModel:
+    """Fitted eq. 5 line: buffer delay vs total periodic workload.
+
+    Attributes
+    ----------
+    k_ms_per_track:
+        Slope: milliseconds of buffer delay per data item in the period's
+        total workload.
+    r_squared:
+        Goodness of fit (1.0 for hand-specified models).
+    n_samples:
+        Observations used by the fit.
+    """
+
+    k_ms_per_track: float
+    r_squared: float = 1.0
+    n_samples: int = 0
+
+    def predict_ms(self, total_tracks: float) -> float:
+        """Forecast buffer delay in milliseconds for a period carrying
+        ``total_tracks`` items across all tasks."""
+        if total_tracks < 0.0:
+            raise RegressionError(f"negative workload {total_tracks}")
+        return max(0.0, self.k_ms_per_track * total_tracks)
+
+    def predict_seconds(self, total_tracks: float) -> float:
+        """Forecast buffer delay in seconds."""
+        return ms_to_s(self.predict_ms(total_tracks))
+
+    @classmethod
+    def fit(
+        cls, total_tracks: np.ndarray, buffer_delay_ms: np.ndarray
+    ) -> "BufferDelayModel":
+        """Fit the through-origin line from measurements.
+
+        Parameters
+        ----------
+        total_tracks:
+            Per-observation total periodic workload (items).
+        buffer_delay_ms:
+            Observed buffer delays in milliseconds.
+        """
+        x = np.asarray(total_tracks, dtype=float).ravel()
+        y = np.asarray(buffer_delay_ms, dtype=float).ravel()
+        if x.shape != y.shape:
+            raise RegressionError("workload and delay arrays must align")
+        result = ols_fit(linear_through_origin_features(x), y)
+        return cls(
+            k_ms_per_track=float(result.coefficients[0]),
+            r_squared=result.r_squared,
+            n_samples=result.n_samples,
+        )

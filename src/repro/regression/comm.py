@@ -1,0 +1,42 @@
+"""Combined communication-delay model — paper eq. 4.
+
+``ecd(m, d, c) = Dbuf(d, c) + Dtrans(d)``
+
+Bundles the fitted :class:`~repro.regression.buffer_model.BufferDelayModel`
+(eq. 5) with the deterministic
+:class:`~repro.regression.transmission.TransmissionModel` (eq. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.transmission import TransmissionModel
+
+
+@dataclass(frozen=True)
+class CommunicationDelayModel:
+    """Forecast of one message's end-to-end communication delay."""
+
+    buffer: BufferDelayModel
+    transmission: TransmissionModel
+
+    def predict_seconds(self, payload_bytes: float, total_tracks: float) -> float:
+        """``ecd`` in seconds.
+
+        Parameters
+        ----------
+        payload_bytes:
+            Application payload carried by this message.
+        total_tracks:
+            Total periodic workload (data items across all tasks in the
+            current period) — the driver of eq. 5's buffer delay.
+        """
+        return self.buffer.predict_seconds(total_tracks) + (
+            self.transmission.predict_seconds(payload_bytes)
+        )
+
+    def predict_ms(self, payload_bytes: float, total_tracks: float) -> float:
+        """``ecd`` in milliseconds."""
+        return self.predict_seconds(payload_bytes, total_tracks) * 1e3

@@ -1,0 +1,69 @@
+"""Design-matrix builders for the paper's regression forms.
+
+Two shapes are needed:
+
+* the **per-utilization** stage of eq. 3: a through-origin quadratic in
+  data size, ``Y = A d^2 + B d`` (:func:`poly2_features`);
+* the **direct one-stage** alternative to eq. 3's two-stage procedure:
+  the full surface ``(u^2, u, 1) x (d^2, d)`` cross basis
+  (:func:`surface_features`), columns ordered
+  ``[u^2 d^2, u d^2, d^2, u^2 d, u d, d]`` to match the paper's
+  ``(a1, a2, a3, b1, b2, b3)`` coefficient layout.
+
+All builders validate and broadcast inputs, returning C-contiguous float
+arrays ready for :func:`repro.regression.polyfit.ols_fit`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RegressionError
+
+
+def _as_1d(name: str, values: np.ndarray) -> np.ndarray:
+    arr = np.atleast_1d(np.asarray(values, dtype=float))
+    if arr.ndim != 1:
+        raise RegressionError(f"{name} must be 1-D, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise RegressionError(f"{name} contains non-finite values")
+    return arr
+
+
+def poly2_features(d: np.ndarray) -> np.ndarray:
+    """Through-origin quadratic features ``[d^2, d]`` for eq. 3 stage 1.
+
+    Omitting the intercept encodes the physical constraint that zero data
+    items cost zero execution time, which the paper's eq. 3 also encodes
+    (no constant term).
+    """
+    d1 = _as_1d("d", d)
+    return np.column_stack([d1 * d1, d1])
+
+
+def quadratic_features(u: np.ndarray) -> np.ndarray:
+    """Quadratic-with-intercept features ``[u^2, u, 1]`` for eq. 3 stage 2."""
+    u1 = _as_1d("u", u)
+    return np.column_stack([u1 * u1, u1, np.ones_like(u1)])
+
+
+def surface_features(d: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Full eq. 3 surface basis; columns ``[u^2 d^2, u d^2, d^2, u^2 d, u d, d]``.
+
+    ``d`` and ``u`` must have equal length (one row per observation).
+    """
+    d1 = _as_1d("d", d)
+    u1 = _as_1d("u", u)
+    if d1.shape[0] != u1.shape[0]:
+        raise RegressionError(
+            f"d and u must have equal length, got {d1.shape[0]} and {u1.shape[0]}"
+        )
+    d2 = d1 * d1
+    u2 = u1 * u1
+    return np.column_stack([u2 * d2, u1 * d2, d2, u2 * d1, u1 * d1, d1])
+
+
+def linear_through_origin_features(x: np.ndarray) -> np.ndarray:
+    """Single-column design ``[x]`` for eq. 5's ``Dbuf = k * load`` fit."""
+    x1 = _as_1d("x", x)
+    return x1.reshape(-1, 1)

@@ -1,0 +1,110 @@
+"""Regression diagnostics for the fitted latency surfaces.
+
+The paper ships coefficients and plots; a production reproduction also
+needs to *audit* its fits.  :func:`diagnose_latency_fit` examines a
+profiling campaign's samples against its fitted surface and reports:
+
+* overall and per-utilization-level R²,
+* residual summary (bias, RMSE, worst relative error),
+* a heteroscedasticity indicator (ratio of residual RMS between the
+  largest-d and smallest-d halves of the sample — multiplicative noise
+  on a quadratic demand makes residuals grow with d, which is why the
+  two-stage fit weights the big-d region implicitly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.profiler import LatencyProfileResult
+from repro.errors import RegressionError
+from repro.experiments.report import format_table
+
+
+@dataclass(frozen=True)
+class FitDiagnostics:
+    """Audit results for one fitted eq. 3 surface."""
+
+    subtask_name: str
+    n_samples: int
+    r_squared: float
+    per_level_r_squared: dict[float, float]
+    mean_residual_ms: float
+    rmse_ms: float
+    worst_relative_error: float
+    heteroscedasticity_ratio: float
+
+    @property
+    def is_healthy(self) -> bool:
+        """A usable fit: explains the data, no gross outliers."""
+        return (
+            self.r_squared > 0.9
+            and self.worst_relative_error < 1.0
+            and all(v > 0.8 for v in self.per_level_r_squared.values())
+        )
+
+    def render(self) -> str:
+        """ASCII summary."""
+        rows = [
+            ["samples", self.n_samples],
+            ["overall R^2", self.r_squared],
+            ["mean residual (ms)", self.mean_residual_ms],
+            ["RMSE (ms)", self.rmse_ms],
+            ["worst relative error", self.worst_relative_error],
+            ["heteroscedasticity ratio", self.heteroscedasticity_ratio],
+            ["healthy", str(self.is_healthy)],
+        ]
+        for level, r2 in sorted(self.per_level_r_squared.items()):
+            rows.append([f"R^2 at u={level:.0%}", r2])
+        return format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"Fit diagnostics — {self.subtask_name}",
+        )
+
+
+def diagnose_latency_fit(result: LatencyProfileResult) -> FitDiagnostics:
+    """Audit a profiling campaign's fitted surface against its samples."""
+    if not result.samples:
+        raise RegressionError("profile has no samples to diagnose")
+    d, u, y = result.arrays()
+    predicted = result.model.predict_ms_grid(d, u)
+    residuals = y - predicted
+
+    centered = y - y.mean()
+    ss_tot = float(centered @ centered)
+    r_squared = (
+        1.0 - float(residuals @ residuals) / ss_tot if ss_tot > 0 else 1.0
+    )
+
+    per_level: dict[float, float] = {}
+    for level in np.unique(u):
+        mask = u == level
+        y_level = y[mask]
+        res_level = residuals[mask]
+        centered_level = y_level - y_level.mean()
+        ss = float(centered_level @ centered_level)
+        per_level[float(level)] = (
+            1.0 - float(res_level @ res_level) / ss if ss > 0 else 1.0
+        )
+
+    relative = np.abs(residuals) / np.maximum(np.abs(y), 1e-9)
+
+    order = np.argsort(d)
+    half = len(order) // 2
+    small_rms = float(np.sqrt(np.mean(residuals[order[:half]] ** 2)))
+    large_rms = float(np.sqrt(np.mean(residuals[order[half:]] ** 2)))
+    hetero = large_rms / max(small_rms, 1e-12)
+
+    return FitDiagnostics(
+        subtask_name=result.subtask_name,
+        n_samples=len(result.samples),
+        r_squared=r_squared,
+        per_level_r_squared=per_level,
+        mean_residual_ms=float(residuals.mean()),
+        rmse_ms=float(np.sqrt(np.mean(residuals**2))),
+        worst_relative_error=float(relative.max()),
+        heteroscedasticity_ratio=hetero,
+    )

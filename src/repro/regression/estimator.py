@@ -1,0 +1,117 @@
+"""The timing-estimator facade used by the resource manager.
+
+:class:`TimingEstimator` binds one
+:class:`~repro.regression.latency_model.ExecutionLatencyModel` per
+subtask and one
+:class:`~repro.regression.comm.CommunicationDelayModel` per task to a
+:class:`~repro.tasks.model.PeriodicTask`, and answers the two questions
+the algorithms of §4 ask:
+
+* ``eex(st, d, u)`` — estimated execution time of a subtask (replica)
+  processing ``d`` items on a processor at utilization ``u``;
+* ``ecd(m, d, c)`` — estimated communication delay of a message carrying
+  ``d`` items in a period whose total workload is known.
+
+Both the predictive and the non-predictive algorithm consume the
+estimator (the paper's step 1 — EQF deadline assignment and monitoring —
+is common to both); only the predictive algorithm uses it for allocation
+forecasting (step 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegressionError
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.tasks.model import PeriodicTask
+
+
+@dataclass(frozen=True)
+class TimingEstimator:
+    """Regression-backed implementation of the paper's ``eex``/``ecd``.
+
+    Attributes
+    ----------
+    task:
+        The task whose subtasks/messages are estimated.
+    latency_models:
+        One fitted eq. 3 surface per subtask index (1-based; **every**
+        subtask needs one — deadline assignment covers the whole chain).
+    comm_model:
+        The fitted eq. 4/5/6 communication model.
+    """
+
+    task: PeriodicTask
+    latency_models: dict[int, ExecutionLatencyModel]
+    comm_model: CommunicationDelayModel
+
+    def __post_init__(self) -> None:
+        missing = [
+            s.index for s in self.task.subtasks if s.index not in self.latency_models
+        ]
+        if missing:
+            raise RegressionError(
+                f"no latency model for subtask indices {missing} of task "
+                f"{self.task.name}"
+            )
+
+    # -- paper interface ---------------------------------------------------------
+
+    def eex_seconds(self, subtask_index: int, d_tracks: float, u: float) -> float:
+        """``eex(st, d, u)`` in seconds (§3 property 9)."""
+        model = self.latency_models.get(subtask_index)
+        if model is None:
+            raise RegressionError(
+                f"unknown subtask index {subtask_index} for task {self.task.name}"
+            )
+        return model.predict_seconds(d_tracks, u)
+
+    def ecd_seconds(
+        self, message_index: int, d_tracks: float, total_periodic_tracks: float
+    ) -> float:
+        """``ecd(m, d, c)`` in seconds (§3 property 10).
+
+        ``d_tracks`` is the share carried by *this* message (plus the
+        per-replica context traffic the message spec defines); the
+        buffer term uses the total periodic workload per eq. 5.
+        """
+        message = self.task.message(message_index)
+        return self.comm_model.predict_seconds(
+            message.wire_payload_bytes(
+                d_tracks, max(d_tracks, total_periodic_tracks)
+            ),
+            total_periodic_tracks,
+        )
+
+    # -- chain-level helpers -------------------------------------------------------
+
+    def chain_estimate_seconds(
+        self, d_tracks: float, u: float, total_periodic_tracks: float | None = None
+    ) -> tuple[list[float], list[float]]:
+        """Estimated per-stage durations for the whole unreplicated chain.
+
+        Returns ``(subtask_seconds, message_seconds)`` where the data
+        stream of size ``d_tracks`` flows through every stage and every
+        processor sits at utilization ``u``.  This is what the EQF
+        deadline assignment feeds on (paper §4.1, with ``dinit``,
+        ``uinit``, ``cinit``).
+        """
+        total = d_tracks if total_periodic_tracks is None else total_periodic_tracks
+        exec_times = [
+            self.eex_seconds(s.index, d_tracks, u) for s in self.task.subtasks
+        ]
+        comm_times = [
+            self.ecd_seconds(m.index, d_tracks, total) for m in self.task.messages
+        ]
+        return exec_times, comm_times
+
+    def end_to_end_estimate_seconds(
+        self, d_tracks: float, u: float, total_periodic_tracks: float | None = None
+    ) -> float:
+        """Estimated unreplicated end-to-end latency of the chain."""
+        exec_times, comm_times = self.chain_estimate_seconds(
+            d_tracks, u, total_periodic_tracks
+        )
+        return sum(exec_times) + sum(comm_times)

@@ -1,0 +1,208 @@
+"""Execution-latency regression surface — paper eq. 3.
+
+``eex(st, d, u) = (a1 u^2 + a2 u + a3) d^2 + (b1 u^2 + b2 u + b3) d``
+
+Units follow the paper: the latency is in **milliseconds**, ``d`` is in
+**hundreds of data items** and ``u`` is the CPU utilization as a
+**fraction** in ``[0, 1]`` (the paper says "percentage" but its Table 2
+coefficients are only dimensionally sensible with a fractional ``u``; see
+``repro.bench.datasets``).  :meth:`ExecutionLatencyModel.predict_seconds`
+converts from tracks/seconds for internal callers.
+
+Two fitting procedures are provided:
+
+* :meth:`ExecutionLatencyModel.fit_two_stage` — the paper's §4.2.1.1
+  procedure: per-utilization through-origin quadratics ``Y = A(u) d^2 +
+  B(u) d`` (the red "Y" curves of Figs. 2-3), then quadratic fits of
+  ``A(u)`` and ``B(u)`` over utilization (the green "Y-" surface).
+* :meth:`ExecutionLatencyModel.fit_direct` — one-stage OLS on the full
+  6-column surface basis; used as a cross-check (tests assert the two
+  agree on noiseless data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InsufficientDataError, RegressionError
+from repro.regression.design import (
+    poly2_features,
+    quadratic_features,
+    surface_features,
+)
+from repro.regression.polyfit import OLSResult, ols_fit
+from repro.units import ms_to_s, tracks_to_regression_units
+
+
+@dataclass(frozen=True)
+class ExecutionLatencyModel:
+    """The fitted eq. 3 surface for one subtask.
+
+    Attributes
+    ----------
+    subtask_name:
+        Which subtask this surface describes.
+    a:
+        ``(a1, a2, a3)`` — the quadratic-in-``u`` coefficient of ``d^2``.
+    b:
+        ``(b1, b2, b3)`` — the quadratic-in-``u`` coefficient of ``d``.
+    r_squared:
+        Goodness of fit over the training profile (1.0 for exact models).
+    n_samples:
+        Profile points used for the fit (0 for hand-specified models).
+    """
+
+    subtask_name: str
+    a: tuple[float, float, float]
+    b: tuple[float, float, float]
+    r_squared: float = 1.0
+    n_samples: int = 0
+    stage1_r_squared: dict[float, float] = field(default_factory=dict, compare=False)
+
+    # -- prediction -------------------------------------------------------------
+
+    def d2_coefficient(self, u: float) -> float:
+        """``A(u) = a1 u^2 + a2 u + a3``."""
+        a1, a2, a3 = self.a
+        return a1 * u * u + a2 * u + a3
+
+    def d_coefficient(self, u: float) -> float:
+        """``B(u) = b1 u^2 + b2 u + b3``."""
+        b1, b2, b3 = self.b
+        return b1 * u * u + b2 * u + b3
+
+    def predict_ms(self, d_hundreds: float, u: float) -> float:
+        """Forecast latency in milliseconds (paper units).
+
+        Negative predictions (possible when extrapolating a quadratic
+        outside the profiled region) are clamped to zero — a latency
+        forecast below zero carries no physical meaning.
+        """
+        if d_hundreds < 0.0:
+            raise RegressionError(f"negative data size {d_hundreds}")
+        if not 0.0 <= u <= 1.0:
+            raise RegressionError(f"utilization {u} outside [0, 1]")
+        value = (
+            self.d2_coefficient(u) * d_hundreds * d_hundreds
+            + self.d_coefficient(u) * d_hundreds
+        )
+        return max(0.0, value)
+
+    def predict_seconds(self, d_tracks: float, u: float) -> float:
+        """Forecast latency in seconds for ``d_tracks`` raw data items."""
+        return ms_to_s(self.predict_ms(tracks_to_regression_units(d_tracks), u))
+
+    def predict_ms_grid(self, d_hundreds: np.ndarray, u: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`predict_ms` over parallel arrays."""
+        d_arr = np.asarray(d_hundreds, dtype=float)
+        u_arr = np.asarray(u, dtype=float)
+        a_u = self.a[0] * u_arr**2 + self.a[1] * u_arr + self.a[2]
+        b_u = self.b[0] * u_arr**2 + self.b[1] * u_arr + self.b[2]
+        return np.maximum(0.0, a_u * d_arr**2 + b_u * d_arr)
+
+    # -- fitting -----------------------------------------------------------------
+
+    @classmethod
+    def fit_two_stage(
+        cls,
+        subtask_name: str,
+        d_hundreds: np.ndarray,
+        u: np.ndarray,
+        latency_ms: np.ndarray,
+    ) -> "ExecutionLatencyModel":
+        """Fit by the paper's two-stage procedure (§4.2.1.1, Figs. 2-4).
+
+        Stage 1 groups samples by utilization level and fits
+        ``Y = A d^2 + B d`` per level; stage 2 fits quadratics
+        ``A(u)``, ``B(u)`` across levels.  Needs >= 3 distinct
+        utilization levels and >= 2 distinct data sizes per level.
+        """
+        d_arr = np.asarray(d_hundreds, dtype=float).ravel()
+        u_arr = np.asarray(u, dtype=float).ravel()
+        y_arr = np.asarray(latency_ms, dtype=float).ravel()
+        if not (d_arr.shape == u_arr.shape == y_arr.shape):
+            raise RegressionError("d, u and latency arrays must align")
+
+        levels = np.unique(u_arr)
+        if levels.size < 3:
+            raise InsufficientDataError(
+                f"two-stage fit needs >= 3 utilization levels, got {levels.size}"
+            )
+        a_vals: list[float] = []
+        b_vals: list[float] = []
+        stage1_r2: dict[float, float] = {}
+        for level in levels:
+            mask = u_arr == level
+            d_level = d_arr[mask]
+            if np.unique(d_level).size < 2:
+                raise InsufficientDataError(
+                    f"utilization level {level} has "
+                    f"{np.unique(d_level).size} distinct data sizes; need >= 2"
+                )
+            result = ols_fit(poly2_features(d_level), y_arr[mask])
+            a_vals.append(float(result.coefficients[0]))
+            b_vals.append(float(result.coefficients[1]))
+            stage1_r2[float(level)] = result.r_squared
+
+        a_fit = ols_fit(quadratic_features(levels), np.asarray(a_vals))
+        b_fit = ols_fit(quadratic_features(levels), np.asarray(b_vals))
+
+        model = cls(
+            subtask_name=subtask_name,
+            a=tuple(float(c) for c in a_fit.coefficients),  # type: ignore[arg-type]
+            b=tuple(float(c) for c in b_fit.coefficients),  # type: ignore[arg-type]
+            r_squared=0.0,
+            n_samples=int(d_arr.size),
+            stage1_r_squared=stage1_r2,
+        )
+        # Overall R^2 of the final surface against the raw samples.
+        predictions = model.predict_ms_grid(d_arr, u_arr)
+        resid = y_arr - predictions
+        centered = y_arr - y_arr.mean()
+        ss_tot = float(centered @ centered)
+        r2 = 1.0 - float(resid @ resid) / ss_tot if ss_tot > 0.0 else 1.0
+        return cls(
+            subtask_name=model.subtask_name,
+            a=model.a,
+            b=model.b,
+            r_squared=r2,
+            n_samples=model.n_samples,
+            stage1_r_squared=stage1_r2,
+        )
+
+    @classmethod
+    def fit_direct(
+        cls,
+        subtask_name: str,
+        d_hundreds: np.ndarray,
+        u: np.ndarray,
+        latency_ms: np.ndarray,
+    ) -> "ExecutionLatencyModel":
+        """Fit the 6-coefficient surface in one OLS solve (cross-check)."""
+        d_arr = np.asarray(d_hundreds, dtype=float).ravel()
+        u_arr = np.asarray(u, dtype=float).ravel()
+        y_arr = np.asarray(latency_ms, dtype=float).ravel()
+        result: OLSResult = ols_fit(surface_features(d_arr, u_arr), y_arr)
+        c = result.coefficients
+        return cls(
+            subtask_name=subtask_name,
+            a=(float(c[0]), float(c[1]), float(c[2])),
+            b=(float(c[3]), float(c[4]), float(c[5])),
+            r_squared=result.r_squared,
+            n_samples=result.n_samples,
+        )
+
+    # -- introspection ---------------------------------------------------------
+
+    def coefficients(self) -> dict[str, float]:
+        """Named coefficients in the paper's Table 2 layout."""
+        return {
+            "a1": self.a[0],
+            "a2": self.a[1],
+            "a3": self.a[2],
+            "b1": self.b[0],
+            "b2": self.b[1],
+            "b3": self.b[2],
+        }

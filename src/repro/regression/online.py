@@ -1,0 +1,150 @@
+"""Online refinement of the regression estimates.
+
+The paper's forecasts are *static*: eq. 3/5 coefficients are fitted
+once from offline profiles.  Its related work (§2: [RSYJ97], [BN+98])
+refines a-priori estimates with run-time observations — and our in-vivo
+audit (E-X11) shows exactly why that matters here: the static forecasts
+drift optimistic near saturation because the profiled conditions no
+longer match the live ones.
+
+:class:`OnlineCorrectedEstimator` wraps a fitted
+:class:`~repro.regression.estimator.TimingEstimator` with one
+multiplicative correction factor per subtask, updated as an
+exponentially-weighted moving average of observed/predicted execution
+ratios:
+
+``c_j <- (1 - alpha) * c_j + alpha * observed / predicted``
+
+The resource manager feeds it observations automatically (duck-typed
+``observe_stage`` hook) when it is used as the manager's estimator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegressionError
+from repro.regression.estimator import TimingEstimator
+
+
+@dataclass
+class OnlineCorrectedEstimator:
+    """EWMA-corrected wrapper around a fitted estimator.
+
+    Implements the same interface the resource manager consumes
+    (``task``, ``eex_seconds``, ``ecd_seconds``,
+    ``chain_estimate_seconds``) plus the ``observe_stage`` feedback
+    hook.
+
+    Attributes
+    ----------
+    base:
+        The statically fitted estimator.
+    alpha:
+        EWMA weight of each new observation (0 disables learning).
+    clamp:
+        Correction factors are clamped to ``[1/clamp, clamp]`` so a few
+        pathological observations cannot destabilize allocation.
+    """
+
+    base: TimingEstimator
+    alpha: float = 0.3
+    clamp: float = 5.0
+    corrections: dict[int, float] = field(default_factory=dict)
+    observations: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise RegressionError(f"alpha must be in [0, 1], got {self.alpha}")
+        if self.clamp < 1.0:
+            raise RegressionError(f"clamp must be >= 1, got {self.clamp}")
+        for subtask in self.base.task.subtasks:
+            self.corrections.setdefault(subtask.index, 1.0)
+
+    # -- estimator interface ------------------------------------------------------
+
+    @property
+    def task(self):
+        """The task the base estimator was fitted for."""
+        return self.base.task
+
+    @property
+    def latency_models(self):
+        """The base eq. 3 surfaces (corrections are applied on top)."""
+        return self.base.latency_models
+
+    @property
+    def comm_model(self):
+        """The base eq. 4 communication model."""
+        return self.base.comm_model
+
+    def correction(self, subtask_index: int) -> float:
+        """Current multiplicative correction for a subtask."""
+        try:
+            return self.corrections[subtask_index]
+        except KeyError:
+            raise RegressionError(
+                f"unknown subtask index {subtask_index}"
+            ) from None
+
+    def eex_seconds(self, subtask_index: int, d_tracks: float, u: float) -> float:
+        """Corrected ``eex``: base forecast times the learned factor."""
+        return self.base.eex_seconds(subtask_index, d_tracks, u) * (
+            self.correction(subtask_index)
+        )
+
+    def ecd_seconds(
+        self, message_index: int, d_tracks: float, total_periodic_tracks: float
+    ) -> float:
+        """``ecd`` passes through uncorrected (eq. 5/6 are structural)."""
+        return self.base.ecd_seconds(message_index, d_tracks, total_periodic_tracks)
+
+    def chain_estimate_seconds(
+        self, d_tracks: float, u: float, total_periodic_tracks: float | None = None
+    ) -> tuple[list[float], list[float]]:
+        """Corrected whole-chain estimates (for deadline assignment)."""
+        exec_est, comm_est = self.base.chain_estimate_seconds(
+            d_tracks, u, total_periodic_tracks
+        )
+        corrected = [
+            est * self.correction(subtask.index)
+            for est, subtask in zip(exec_est, self.base.task.subtasks)
+        ]
+        return corrected, comm_est
+
+    def end_to_end_estimate_seconds(
+        self, d_tracks: float, u: float, total_periodic_tracks: float | None = None
+    ) -> float:
+        """Corrected end-to-end estimate."""
+        exec_est, comm_est = self.chain_estimate_seconds(
+            d_tracks, u, total_periodic_tracks
+        )
+        return sum(exec_est) + sum(comm_est)
+
+    # -- feedback -----------------------------------------------------------------
+
+    def observe_stage(
+        self,
+        subtask_index: int,
+        share_tracks: float,
+        utilization: float,
+        observed_exec_s: float,
+    ) -> None:
+        """Update the subtask's correction from one observed execution.
+
+        ``share_tracks``/``utilization`` are the conditions the base
+        model would have been queried with; ``observed_exec_s`` is the
+        stage's measured execution latency.
+        """
+        if observed_exec_s <= 0.0 or share_tracks <= 0.0:
+            return
+        predicted = self.base.eex_seconds(subtask_index, share_tracks, utilization)
+        if predicted <= 0.0:
+            return
+        ratio = observed_exec_s / predicted
+        current = self.correction(subtask_index)
+        updated = (1.0 - self.alpha) * current + self.alpha * ratio
+        self.corrections[subtask_index] = min(
+            self.clamp, max(1.0 / self.clamp, updated)
+        )
+        self.observations += 1

@@ -1,0 +1,122 @@
+"""JSON persistence for fitted regression models.
+
+Profiling a full (utilization x data size) grid is the slow part of an
+experiment, so fitted models can be saved once and reloaded by later
+runs (the benchmark harness caches them per configuration).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import RegressionError
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.transmission import TransmissionModel
+
+_FORMAT_VERSION = 1
+
+
+def latency_model_to_dict(model: ExecutionLatencyModel) -> dict[str, Any]:
+    """Serializable representation of an eq. 3 surface."""
+    return {
+        "kind": "execution_latency",
+        "version": _FORMAT_VERSION,
+        "subtask_name": model.subtask_name,
+        "a": list(model.a),
+        "b": list(model.b),
+        "r_squared": model.r_squared,
+        "n_samples": model.n_samples,
+    }
+
+
+def latency_model_from_dict(data: dict[str, Any]) -> ExecutionLatencyModel:
+    """Inverse of :func:`latency_model_to_dict`."""
+    _check_kind(data, "execution_latency")
+    a = data["a"]
+    b = data["b"]
+    if len(a) != 3 or len(b) != 3:
+        raise RegressionError("latency model requires 3 a- and 3 b-coefficients")
+    return ExecutionLatencyModel(
+        subtask_name=str(data["subtask_name"]),
+        a=(float(a[0]), float(a[1]), float(a[2])),
+        b=(float(b[0]), float(b[1]), float(b[2])),
+        r_squared=float(data.get("r_squared", 1.0)),
+        n_samples=int(data.get("n_samples", 0)),
+    )
+
+
+def comm_model_to_dict(model: CommunicationDelayModel) -> dict[str, Any]:
+    """Serializable representation of an eq. 4 model."""
+    return {
+        "kind": "communication_delay",
+        "version": _FORMAT_VERSION,
+        "buffer": {
+            "k_ms_per_track": model.buffer.k_ms_per_track,
+            "r_squared": model.buffer.r_squared,
+            "n_samples": model.buffer.n_samples,
+        },
+        "transmission": {
+            "bandwidth_bps": model.transmission.bandwidth_bps,
+            "overhead_bytes": model.transmission.overhead_bytes,
+        },
+    }
+
+
+def comm_model_from_dict(data: dict[str, Any]) -> CommunicationDelayModel:
+    """Inverse of :func:`comm_model_to_dict`."""
+    _check_kind(data, "communication_delay")
+    buf = data["buffer"]
+    trans = data["transmission"]
+    return CommunicationDelayModel(
+        buffer=BufferDelayModel(
+            k_ms_per_track=float(buf["k_ms_per_track"]),
+            r_squared=float(buf.get("r_squared", 1.0)),
+            n_samples=int(buf.get("n_samples", 0)),
+        ),
+        transmission=TransmissionModel(
+            bandwidth_bps=float(trans["bandwidth_bps"]),
+            overhead_bytes=float(trans["overhead_bytes"]),
+        ),
+    )
+
+
+def save_models(
+    path: str | Path,
+    latency_models: dict[int, ExecutionLatencyModel],
+    comm_model: CommunicationDelayModel,
+) -> None:
+    """Save an estimator's model set to a JSON file."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "latency_models": {
+            str(idx): latency_model_to_dict(m) for idx, m in latency_models.items()
+        },
+        "comm_model": comm_model_to_dict(comm_model),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_models(
+    path: str | Path,
+) -> tuple[dict[int, ExecutionLatencyModel], CommunicationDelayModel]:
+    """Load a model set saved by :func:`save_models`."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise RegressionError(f"cannot load models from {path}: {exc}") from exc
+    latency_models = {
+        int(idx): latency_model_from_dict(entry)
+        for idx, entry in payload["latency_models"].items()
+    }
+    comm_model = comm_model_from_dict(payload["comm_model"])
+    return latency_models, comm_model
+
+
+def _check_kind(data: dict[str, Any], expected: str) -> None:
+    kind = data.get("kind")
+    if kind != expected:
+        raise RegressionError(f"expected a {expected!r} payload, got {kind!r}")

@@ -1,0 +1,52 @@
+"""Transmission-delay model — paper eq. 6.
+
+``Dtrans(d) = d / ls`` where ``d`` is the message size in bits and
+``ls`` the link transmission speed.  Unlike eqs. 3 and 5 this is not
+fitted: link speed is a known constant of the deployment.  The model
+also accounts for the fixed per-message overhead the network charges,
+so the estimator's forecast matches what the simulated medium does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RegressionError
+from repro.units import ETHERNET_100_MBPS, transmission_time
+
+
+@dataclass(frozen=True)
+class TransmissionModel:
+    """Deterministic wire-clocking delay for a message.
+
+    Attributes
+    ----------
+    bandwidth_bps:
+        Link speed ``ls`` in bits/second.
+    overhead_bytes:
+        Fixed per-message framing/protocol overhead included in the
+        forecast (must mirror the network's configuration).
+    """
+
+    bandwidth_bps: float = ETHERNET_100_MBPS
+    overhead_bytes: float = 1500.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0.0:
+            raise RegressionError(
+                f"bandwidth must be positive, got {self.bandwidth_bps}"
+            )
+        if self.overhead_bytes < 0.0:
+            raise RegressionError(
+                f"overhead must be non-negative, got {self.overhead_bytes}"
+            )
+
+    def predict_seconds(self, payload_bytes: float) -> float:
+        """``Dtrans`` in seconds for a payload of ``payload_bytes``."""
+        return transmission_time(
+            payload_bytes + self.overhead_bytes, self.bandwidth_bps
+        )
+
+    def predict_ms(self, payload_bytes: float) -> float:
+        """``Dtrans`` in milliseconds."""
+        return self.predict_seconds(payload_bytes) * 1e3

@@ -1,0 +1,19 @@
+"""Execution of periodic tasks on the simulated cluster.
+
+:class:`~repro.runtime.executor.PeriodicTaskExecutor` releases the task
+every period, fans each replicated stage out across its assigned
+processors, routes inter-stage messages over the shared medium, and
+records per-stage and end-to-end timing into
+:class:`~repro.runtime.records.PeriodRecord` objects — the observations
+the run-time monitor (paper Figure 1, box 1) consumes.
+"""
+
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.runtime.records import PeriodRecord, StageRecord
+
+__all__ = [
+    "ExecutorConfig",
+    "PeriodRecord",
+    "PeriodicTaskExecutor",
+    "StageRecord",
+]

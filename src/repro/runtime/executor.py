@@ -1,0 +1,331 @@
+"""Periodic task execution on the simulated cluster.
+
+Each period the executor:
+
+1. releases ``ds(T, c)`` tracks into stage 1;
+2. for every stage, snapshots the stage's replica set ``PS(st)`` and
+   submits one CPU job per replica, each processing ``1/|PS|`` of the
+   stream (§3 property 6 — replicas share the data stream evenly);
+3. when the last replica finishes (stage barrier), sends the
+   inter-stage message burst: one message per *downstream* replica,
+   each carrying that replica's share — exactly the message pattern the
+   predictive algorithm prices in Figure 5 (``k+1`` messages of
+   ``d/(k+1)`` payload);
+4. records per-stage and end-to-end timing into
+   :class:`~repro.runtime.records.PeriodRecord`.
+
+Overload shedding
+-----------------
+Under severe overload a period's quadratic-demand stages can outlast
+many periods, and without intervention backlogged jobs snowball (each
+new release contends with the old ones, slowing everything further —
+the real phenomenon, but one that also stops the monitor from ever
+seeing a completed stage).  Real-time mission systems shed such work;
+the executor aborts any period still in flight ``drop_factor`` periods
+after its release, cancelling its outstanding jobs and counting it as a
+missed deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.network import Message
+from repro.cluster.processor import Job
+from repro.cluster.topology import System
+from repro.errors import ConfigurationError
+from repro.runtime.records import PeriodRecord, StageRecord
+from repro.tasks.model import PeriodicTask
+from repro.tasks.state import ReplicaAssignment
+
+#: Event priority of task releases (after RM steps, which use -10).
+RELEASE_PRIORITY = 0
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Tunables of the execution model.
+
+    Attributes
+    ----------
+    drop_factor:
+        Periods still in flight this many periods after release are
+        aborted (overload shedding).  Must be >= 1.
+    noise_stream:
+        Name of the RNG stream used for execution-time noise.
+    use_node_clocks:
+        When ``True``, stage timestamps are taken from the *local clock
+        of the node involved* (the last-finishing replica's processor)
+        instead of true simulation time — so the monitoring data lives
+        on the imperfect "global time scale" the paper's clock-sync
+        assumption (§3 property 12, [Mills95]) provides.  Off by
+        default: with sync running the difference is sub-millisecond,
+        but the robustness tests enable it with *desynchronized* clocks
+        to measure how much timestamp error the RM loop tolerates.
+    """
+
+    drop_factor: float = 2.0
+    noise_stream: str = "exec-noise"
+    use_node_clocks: bool = False
+
+    def __post_init__(self) -> None:
+        if self.drop_factor < 1.0:
+            raise ConfigurationError(
+                f"drop_factor must be >= 1, got {self.drop_factor}"
+            )
+
+
+class _InFlight:
+    """Bookkeeping for one released period."""
+
+    __slots__ = ("record", "jobs", "done")
+
+    def __init__(self, record: PeriodRecord) -> None:
+        self.record = record
+        self.jobs: list[tuple[str, Job]] = []  # (processor name, job)
+        self.done = False
+
+
+class PeriodicTaskExecutor:
+    """Drives one periodic task against the system.
+
+    Parameters
+    ----------
+    system:
+        The cluster to run on.
+    task:
+        The task definition.
+    assignment:
+        The live ``PS(st)`` map; the resource manager mutates it and the
+        executor snapshots it at every stage start.
+    workload:
+        ``ds(T, c)``: maps period index to the number of tracks released.
+    config:
+        Execution-model tunables.
+    on_period_complete:
+        Optional callback ``(PeriodRecord) -> None`` fired at completion
+        or abort.
+    """
+
+    def __init__(
+        self,
+        system: System,
+        task: PeriodicTask,
+        assignment: ReplicaAssignment,
+        workload: Callable[[int], float],
+        config: ExecutorConfig | None = None,
+        on_period_complete: Callable[[PeriodRecord], None] | None = None,
+    ) -> None:
+        self.system = system
+        self.task = task
+        self.assignment = assignment
+        self.workload = workload
+        self.config = config if config is not None else ExecutorConfig()
+        self.on_period_complete = on_period_complete
+        self.rng: np.random.Generator = system.rng.stream(self.config.noise_stream)
+        self.records: list[PeriodRecord] = []
+        self.current_period_index = -1
+        self.current_d_tracks = 0.0
+        self._in_flight: dict[int, _InFlight] = {}
+
+    # -- driving -----------------------------------------------------------------
+
+    def start(self, n_periods: int, first_release: float = 0.0) -> None:
+        """Schedule ``n_periods`` releases starting at ``first_release``."""
+        if n_periods < 1:
+            raise ConfigurationError(f"need at least one period, got {n_periods}")
+        engine = self.system.engine
+        for c in range(n_periods):
+            engine.schedule_at(
+                first_release + c * self.task.period,
+                self._release,
+                c,
+                priority=RELEASE_PRIORITY,
+                label=f"{self.task.name}.release",
+            )
+
+    # -- release / stages -----------------------------------------------------------
+
+    def _release(self, period_index: int) -> None:
+        now = self.system.engine.now
+        d_tracks = float(self.workload(period_index))
+        if d_tracks < 0.0:
+            raise ConfigurationError(
+                f"workload for period {period_index} is negative: {d_tracks}"
+            )
+        self.current_period_index = period_index
+        self.current_d_tracks = d_tracks
+        record = PeriodRecord(
+            period_index=period_index,
+            release_time=now,
+            d_tracks=d_tracks,
+            deadline=self.task.deadline,
+        )
+        self.records.append(record)
+        if d_tracks == 0.0:
+            # Nothing to process: the period trivially completes.
+            record.completion_time = now
+            self._notify(record)
+            return
+        flight = _InFlight(record)
+        self._in_flight[period_index] = flight
+        self.system.engine.schedule(
+            self.config.drop_factor * self.task.period,
+            self._watchdog,
+            period_index,
+            label=f"{self.task.name}.watchdog",
+        )
+        self._start_stage(flight, 1, message_in_delay=0.0)
+
+    def _stamp(self, processor_name: str) -> float:
+        """A timestamp on the monitoring time scale.
+
+        True simulation time by default; the hosting node's local clock
+        when ``use_node_clocks`` is enabled (stage records then carry
+        the bounded clock error the paper's sync assumption permits).
+        """
+        now = self.system.engine.now
+        if not self.config.use_node_clocks:
+            return now
+        return self.system.clock_of(processor_name).local_time(now)
+
+    def _start_stage(
+        self, flight: _InFlight, subtask_index: int, message_in_delay: float
+    ) -> None:
+        if flight.done:
+            return
+        subtask = self.task.subtask(subtask_index)
+        replicas = self.assignment.processors_of(subtask_index)
+        stage = StageRecord(
+            subtask_index=subtask_index,
+            replica_count=len(replicas),
+            start_time=self._stamp(replicas[0]),
+            message_in_delay=message_in_delay,
+        )
+        flight.record.stages.append(stage)
+        share = flight.record.d_tracks / len(replicas)
+        remaining = {"count": len(replicas)}
+
+        def job_done(job: Job, t: float, name: str) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0 and not flight.done:
+                stage.exec_finish_time = self._stamp(name)
+                self._stage_finished(flight, subtask_index)
+
+        for name in replicas:
+            processor = self.system.processor(name)
+            demand = subtask.service.demand(share, self.rng)
+            job = processor.run_for(
+                demand,
+                kind="app",
+                label=f"{self.task.name}.st{subtask_index}",
+                on_complete=lambda job, t, _n=name: job_done(job, t, _n),
+            )
+            flight.jobs.append((name, job))
+
+    def _stage_finished(self, flight: _InFlight, subtask_index: int) -> None:
+        if subtask_index == self.task.n_subtasks:
+            self._complete(flight)
+            return
+        self._send_messages(flight, subtask_index)
+
+    def _send_messages(self, flight: _InFlight, subtask_index: int) -> None:
+        """Send the burst feeding stage ``subtask_index + 1``."""
+        next_index = subtask_index + 1
+        message_spec = self.task.message(subtask_index)
+        receivers = self.assignment.processors_of(next_index)
+        senders = self.assignment.processors_of(subtask_index)
+        share = flight.record.d_tracks / len(receivers)
+        sent_at = self._stamp(senders[0])
+        remaining = {"count": len(receivers)}
+
+        def delivered(message: Message, t: float, receiver: str) -> None:
+            remaining["count"] -= 1
+            if remaining["count"] == 0 and not flight.done:
+                # Monitoring sees the cross-node delay: receiver stamp
+                # minus sender stamp (clock error included when node
+                # clocks are enabled; never below zero).
+                delay = max(0.0, self._stamp(receiver) - sent_at)
+                self._start_stage(flight, next_index, message_in_delay=delay)
+
+        for position, receiver in enumerate(receivers):
+            sender = senders[position % len(senders)]
+            self.system.network.send_bytes(
+                message_spec.wire_payload_bytes(share, flight.record.d_tracks),
+                source=sender,
+                destination=receiver,
+                label=f"{self.task.name}.m{subtask_index}",
+                on_delivered=lambda m, t, _r=receiver: delivered(m, t, _r),
+            )
+
+    # -- completion / shedding ----------------------------------------------------------
+
+    def _complete(self, flight: _InFlight) -> None:
+        flight.done = True
+        flight.record.completion_time = self.system.engine.now
+        self._in_flight.pop(flight.record.period_index, None)
+        self.system.engine.tracer.record(
+            self.system.engine.now,
+            "period",
+            f"{self.task.name}.complete",
+            {
+                "period": flight.record.period_index,
+                "latency": flight.record.latency,
+                "missed": flight.record.missed,
+            },
+        )
+        self._notify(flight.record)
+
+    def _watchdog(self, period_index: int) -> None:
+        flight = self._in_flight.get(period_index)
+        if flight is None or flight.done:
+            return
+        self._abort(flight)
+
+    def _abort(self, flight: _InFlight) -> None:
+        flight.done = True
+        flight.record.aborted = True
+        self._in_flight.pop(flight.record.period_index, None)
+        for name, job in flight.jobs:
+            if job.completion_time is None:
+                self.system.processor(name).cancel_job(job)
+        self.system.engine.tracer.record(
+            self.system.engine.now,
+            "period",
+            f"{self.task.name}.abort",
+            {"period": flight.record.period_index},
+        )
+        self._notify(flight.record)
+
+    def _notify(self, record: PeriodRecord) -> None:
+        if self.on_period_complete is not None:
+            self.on_period_complete(record)
+
+    # -- views for the monitor -------------------------------------------------------
+
+    def completed_records(self) -> list[PeriodRecord]:
+        """All records that have finished (completed or aborted)."""
+        return [r for r in self.records if r.completed or r.aborted]
+
+    def overdue_subtasks(self) -> set[int]:
+        """Subtask indices whose stage is in flight past the period deadline.
+
+        This is how the monitor detects "missed its individual deadline"
+        for work that has not completed (e.g. the very first periods of a
+        decreasing-ramp experiment, where an unreplicated stage may run
+        for multiple periods).
+        """
+        now = self.system.engine.now
+        overdue: set[int] = set()
+        for flight in self._in_flight.values():
+            if flight.record.overdue_at(now) and flight.record.stages:
+                overdue.add(flight.record.stages[-1].subtask_index)
+        return overdue
+
+    @property
+    def in_flight_count(self) -> int:
+        """Number of periods currently executing."""
+        return len(self._in_flight)

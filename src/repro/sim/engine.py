@@ -1,0 +1,220 @@
+"""The discrete-event simulation engine.
+
+:class:`Engine` owns the simulation clock and the event calendar (a binary
+heap).  Components schedule callbacks with :meth:`Engine.schedule` /
+:meth:`Engine.schedule_at` and the experiment driver advances time with
+:meth:`Engine.run_until` or :meth:`Engine.run`.
+
+Design notes
+------------
+* The clock only moves forward; scheduling into the past raises
+  :class:`~repro.errors.SchedulingError`.  Scheduling *at the current
+  time* is allowed (zero-delay events) and runs after the current event,
+  in FIFO order.
+* Cancellation is lazy (cancelled events are skipped when popped), which
+  keeps ``cancel`` O(1) — important for the processor model, which
+  reschedules its next-completion event on every arrival.
+* Determinism: at equal timestamps events run ordered by ``priority`` and
+  then insertion sequence, so a simulation is a pure function of its
+  inputs and RNG seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event
+from repro.sim.trace import NullTracer, Tracer
+
+
+class Engine:
+    """A deterministic discrete-event simulation engine.
+
+    Parameters
+    ----------
+    tracer:
+        Optional :class:`~repro.sim.trace.Tracer` receiving a record for
+        every executed event.  Defaults to a no-op tracer.
+    start_time:
+        Initial simulation clock value in seconds (default ``0.0``).
+    """
+
+    def __init__(self, tracer: Tracer | None = None, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._executed = 0
+        self._running = False
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def pending_count(self) -> int:
+        """Number of events on the calendar (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def executed_count(self) -> int:
+        """Total number of events executed so far."""
+        return self._executed
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`~repro.sim.events.Event` handle, which may be
+        cancelled while pending.
+        """
+        if delay < 0.0:
+            raise SchedulingError(f"negative delay {delay!r} at t={self._now}")
+        return self.schedule_at(
+            self._now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback(*args)`` at the absolute time ``time``."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, callback, args, priority=priority, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution ----------------------------------------------------------
+
+    def _pop_next(self) -> Event | None:
+        """Pop the earliest pending event, discarding cancelled ones."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.pending:
+                return event
+        return None
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` if the calendar is empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def step(self) -> bool:
+        """Execute the single next event.
+
+        Returns ``True`` if an event was executed, ``False`` if the
+        calendar was empty.
+        """
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self._executed += 1
+        self.tracer.record(self._now, "event", event.label, {"seq": event.seq})
+        event._execute()
+        return True
+
+    def run_until(self, until: float) -> None:
+        """Run events with ``time <= until``, then set the clock to ``until``.
+
+        The clock always lands exactly on ``until`` so that periodic
+        drivers observing :attr:`now` after the call see the boundary time.
+        """
+        if until < self._now:
+            raise SchedulingError(f"run_until({until}) is before now={self._now}")
+        self._running = True
+        try:
+            while True:
+                next_time = self.peek_time()
+                if next_time is None or next_time > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        self._now = until
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until the calendar is exhausted (or ``max_events`` executed).
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        self._running = True
+        try:
+            while max_events is None or executed < max_events:
+                if not self.step():
+                    break
+                executed += 1
+        finally:
+            self._running = False
+        return executed
+
+    # -- periodic helpers -----------------------------------------------------
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        start_delay: float | None = None,
+        priority: int = 0,
+        label: str = "",
+    ) -> Callable[[], None]:
+        """Run ``callback`` every ``interval`` seconds until cancelled.
+
+        Returns a zero-argument function that stops the recurrence.  The
+        first firing happens after ``start_delay`` (default: ``interval``).
+        """
+        if interval <= 0.0:
+            raise SchedulingError(f"interval must be positive, got {interval}")
+        state: dict[str, Any] = {"stopped": False, "event": None}
+
+        def fire() -> None:
+            if state["stopped"]:
+                return
+            callback(*args)
+            if not state["stopped"]:
+                state["event"] = self.schedule(
+                    interval, fire, priority=priority, label=label
+                )
+
+        first = interval if start_delay is None else start_delay
+        state["event"] = self.schedule(first, fire, priority=priority, label=label)
+
+        def stop() -> None:
+            state["stopped"] = True
+            event = state["event"]
+            if event is not None:
+                event.cancel()
+
+        return stop
+
+    def drain(self) -> Iterator[Event]:
+        """Cancel and yield all pending events (mainly for tests/teardown)."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.pending:
+                event.cancel()
+                yield event

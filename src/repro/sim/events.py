@@ -1,0 +1,113 @@
+"""Event objects for the discrete-event engine.
+
+An :class:`Event` is a cancellable handle for a callback scheduled at a
+simulated time.  Events are totally ordered by ``(time, priority, seq)``:
+ties at the same timestamp break first on an explicit integer priority
+(lower runs earlier) and then on insertion order, which makes simulations
+deterministic regardless of heap internals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable
+
+
+class EventState(enum.Enum):
+    """Lifecycle of an event on the calendar."""
+
+    PENDING = "pending"
+    EXECUTED = "executed"
+    CANCELLED = "cancelled"
+
+
+class Event:
+    """A scheduled callback.
+
+    Parameters
+    ----------
+    time:
+        Absolute simulation time (seconds) at which the callback fires.
+    seq:
+        Monotonically increasing sequence number assigned by the engine;
+        used as the final tie-break so FIFO order holds at equal times.
+    callback:
+        Zero-or-more-argument callable invoked when the event fires.
+    args:
+        Positional arguments passed to ``callback``.
+    priority:
+        Secondary ordering key; events at the same time run in increasing
+        priority order.  Defaults to 0.
+    label:
+        Optional human-readable tag used by tracing and ``repr``.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "priority", "label", "_state")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...] = (),
+        priority: int = 0,
+        label: str = "",
+    ) -> None:
+        self.time = float(time)
+        self.seq = int(seq)
+        self.callback = callback
+        self.args = args
+        self.priority = int(priority)
+        self.label = label
+        self._state = EventState.PENDING
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> EventState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def pending(self) -> bool:
+        """``True`` while the event is still on the calendar."""
+        return self._state is EventState.PENDING
+
+    @property
+    def cancelled(self) -> bool:
+        """``True`` once :meth:`cancel` has been called."""
+        return self._state is EventState.CANCELLED
+
+    def cancel(self) -> bool:
+        """Cancel the event if still pending.
+
+        Returns ``True`` if this call performed the cancellation, ``False``
+        if the event had already executed or been cancelled.  Cancellation
+        is lazy: the engine discards cancelled events when they surface at
+        the top of the heap.
+        """
+        if self._state is EventState.PENDING:
+            self._state = EventState.CANCELLED
+            return True
+        return False
+
+    def _execute(self) -> None:
+        """Run the callback (engine internal)."""
+        self._state = EventState.EXECUTED
+        self.callback(*self.args)
+
+    # -- ordering ----------------------------------------------------------
+
+    def sort_key(self) -> tuple[float, int, int]:
+        """Total-order key: time, then priority, then insertion order."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tag = f" {self.label!r}" if self.label else ""
+        return (
+            f"<Event{tag} t={self.time:.6f} prio={self.priority} "
+            f"seq={self.seq} {self._state.value}>"
+        )

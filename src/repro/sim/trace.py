@@ -1,0 +1,101 @@
+"""Structured tracing for simulations.
+
+A :class:`Tracer` receives one :class:`TraceRecord` per interesting
+occurrence (event execution, job completion, allocation decision, ...).
+The default :class:`NullTracer` drops everything with near-zero overhead;
+:class:`Tracer` buffers records for later inspection and can filter by
+category, which is how integration tests assert on simulation internals
+without reaching into private state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    Attributes
+    ----------
+    time:
+        Simulation time of the occurrence (seconds).
+    category:
+        Coarse grouping, e.g. ``"job"``, ``"message"``, ``"rm"``.
+    label:
+        Free-form short description.
+    data:
+        Structured payload (kept small; values should be plain scalars).
+    """
+
+    time: float
+    category: str
+    label: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Buffering tracer with optional category allow-list.
+
+    Parameters
+    ----------
+    categories:
+        If given, only records whose category is in this set are kept.
+    max_records:
+        Hard cap on buffered records; the oldest are dropped beyond it.
+        Prevents multi-hour sweeps from accumulating unbounded memory.
+    """
+
+    def __init__(
+        self,
+        categories: Iterable[str] | None = None,
+        max_records: int = 1_000_000,
+    ) -> None:
+        self._allow = frozenset(categories) if categories is not None else None
+        self._max = int(max_records)
+        self.records: list[TraceRecord] = []
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer keeps records (used to skip payload building)."""
+        return True
+
+    def record(
+        self, time: float, category: str, label: str, data: dict[str, Any] | None = None
+    ) -> None:
+        """Append a record if its category passes the filter."""
+        if self._allow is not None and category not in self._allow:
+            return
+        self.records.append(TraceRecord(time, category, label, data or {}))
+        if len(self.records) > self._max:
+            del self.records[: len(self.records) - self._max]
+
+    def by_category(self, category: str) -> list[TraceRecord]:
+        """All buffered records in ``category``, in time order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        """Drop all buffered records."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything (the default)."""
+
+    def __init__(self) -> None:
+        super().__init__(categories=())
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def record(
+        self, time: float, category: str, label: str, data: dict[str, Any] | None = None
+    ) -> None:
+        """Discard the record."""
+        return

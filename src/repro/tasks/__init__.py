@@ -1,0 +1,28 @@
+"""Application model substrate.
+
+Implements the paper's §3 task model: a periodic task ``Ti`` is a serial
+chain ``[st1, m1, st2, m2, ..., stn]`` of subtasks (executable programs)
+and inter-subtask messages.  Subtasks may be *replicable*: replicas split
+the period's track stream evenly and run concurrently on distinct
+processors (§3, properties 6-8).
+
+* :mod:`repro.tasks.model` — :class:`Subtask`, :class:`MessageSpec`,
+  :class:`PeriodicTask` and their invariants.
+* :mod:`repro.tasks.builder` — fluent :class:`TaskBuilder` plus the
+  AAW-benchmark-shaped default task factory.
+* :mod:`repro.tasks.state` — :class:`ReplicaAssignment`, the mutable
+  ``PS(st)`` map manipulated by the resource-management algorithms.
+"""
+
+from repro.tasks.builder import TaskBuilder
+from repro.tasks.model import MessageSpec, PeriodicTask, ServiceModel, Subtask
+from repro.tasks.state import ReplicaAssignment
+
+__all__ = [
+    "MessageSpec",
+    "PeriodicTask",
+    "ReplicaAssignment",
+    "ServiceModel",
+    "Subtask",
+    "TaskBuilder",
+]

@@ -1,0 +1,94 @@
+"""Fluent construction of :class:`~repro.tasks.model.PeriodicTask` chains.
+
+Example
+-------
+.. code-block:: python
+
+    task = (
+        TaskBuilder("aaw", period=1.0, deadline=0.990)
+        .subtask("SensorIntake", service=intake_model)
+        .message(bytes_per_item=80)
+        .subtask("Filter", service=filter_model, replicable=True)
+        .message(bytes_per_item=80)
+        .subtask("EvalDecide", service=eval_model, replicable=True)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from repro.errors import TaskModelError
+from repro.tasks.model import MessageSpec, PeriodicTask, ServiceModel, Subtask
+from repro.units import TRACK_BYTES
+
+
+class TaskBuilder:
+    """Incrementally assembles a subtask/message chain.
+
+    The grammar is ``subtask (message subtask)*``: the builder enforces
+    strict alternation so a malformed chain fails at construction time
+    rather than deep inside a simulation.
+    """
+
+    def __init__(self, name: str, period: float, deadline: float) -> None:
+        self.name = name
+        self.period = float(period)
+        self.deadline = float(deadline)
+        self._subtasks: list[Subtask] = []
+        self._messages: list[MessageSpec] = []
+        self._expect_subtask = True
+
+    def subtask(
+        self, name: str, service: ServiceModel, replicable: bool = False
+    ) -> "TaskBuilder":
+        """Append the next subtask in the chain."""
+        if not self._expect_subtask:
+            raise TaskModelError(
+                f"expected a message before subtask {name!r}; "
+                "chains alternate subtask/message"
+            )
+        self._subtasks.append(
+            Subtask(
+                index=len(self._subtasks) + 1,
+                name=name,
+                replicable=replicable,
+                service=service,
+            )
+        )
+        self._expect_subtask = False
+        return self
+
+    def message(
+        self,
+        bytes_per_item: float = float(TRACK_BYTES),
+        context_bytes_per_item: float = 0.0,
+    ) -> "TaskBuilder":
+        """Append the message following the most recent subtask."""
+        if self._expect_subtask:
+            raise TaskModelError(
+                "expected a subtask before the next message; "
+                "chains alternate subtask/message"
+            )
+        self._messages.append(
+            MessageSpec(
+                index=len(self._messages) + 1,
+                bytes_per_item=bytes_per_item,
+                context_bytes_per_item=context_bytes_per_item,
+            )
+        )
+        self._expect_subtask = True
+        return self
+
+    def build(self) -> PeriodicTask:
+        """Validate and freeze the chain."""
+        if self._expect_subtask and self._subtasks:
+            raise TaskModelError(
+                "chain ends with a dangling message; append the final subtask"
+            )
+        return PeriodicTask(
+            name=self.name,
+            period=self.period,
+            deadline=self.deadline,
+            subtasks=tuple(self._subtasks),
+            messages=tuple(self._messages),
+        )

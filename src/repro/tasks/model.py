@@ -1,0 +1,229 @@
+"""Structural model of periodic tasks (paper §3).
+
+A :class:`PeriodicTask` is a serial chain of :class:`Subtask` objects
+joined by :class:`MessageSpec` objects:
+
+.. code-block:: text
+
+    st1 --m1--> st2 --m2--> ... --m(n-1)--> stn
+
+Notation mapping to the paper:
+
+==============================  =========================================
+Paper                           Here
+==============================  =========================================
+``T_i``                         :class:`PeriodicTask`
+``st_j^i``                      :class:`Subtask` (``index`` is ``j``)
+``m_j^i``                       :class:`MessageSpec` between ``st_j`` and
+                                ``st_{j+1}``
+``cy(T_i)``                     :attr:`PeriodicTask.period`
+``dl(T_i)``                     :attr:`PeriodicTask.deadline`
+``ds(T_i, c)``                  supplied per period by the workload
+                                pattern (see :mod:`repro.workloads`)
+``rl(st, t)`` / ``PS(st)``      :class:`repro.tasks.state.ReplicaAssignment`
+==============================  =========================================
+
+The chain in the paper's model nominally carries a message after every
+subtask; the benchmark task's final subtask (the actuator) produces no
+downstream message, so we model ``n`` subtasks with ``n - 1`` inter-subtask
+messages.  A trailing output message can simply be modelled as an extra
+lightweight sink subtask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import TaskModelError
+from repro.units import TRACK_BYTES
+
+
+@runtime_checkable
+class ServiceModel(Protocol):
+    """Ground-truth CPU demand of one subtask (supplied by the benchmark).
+
+    Implementations return the CPU seconds required to process ``d_tracks``
+    data items.  ``rng`` supplies measurement/execution noise; pass ``None``
+    for the deterministic mean demand.
+    """
+
+    def demand(self, d_tracks: float, rng: np.random.Generator | None = None) -> float:
+        """CPU seconds to process ``d_tracks`` items (≥ 0)."""
+        ...
+
+
+@dataclass(frozen=True)
+class Subtask:
+    """One executable program in the task chain.
+
+    Attributes
+    ----------
+    index:
+        1-based position in the chain (paper subscript ``j``).
+    name:
+        Human-readable name (e.g. ``"Filter"``).
+    replicable:
+        Whether the RM algorithms may replicate this subtask (§3,
+        property 6).  Table 1: 2 of the 5 benchmark subtasks.
+    service:
+        Ground-truth CPU demand model used by the executor and the
+        profiler.  The RM algorithms never read this — they only see
+        profiled measurements and regression fits.
+    """
+
+    index: int
+    name: str
+    replicable: bool
+    service: ServiceModel
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise TaskModelError(f"subtask index must be >= 1, got {self.index}")
+        if not self.name:
+            raise TaskModelError("subtask name must be non-empty")
+
+
+@dataclass(frozen=True)
+class MessageSpec:
+    """The message between chain positions ``index`` and ``index + 1``.
+
+    Attributes
+    ----------
+    index:
+        1-based index; message ``j`` carries the output of subtask ``j``.
+    bytes_per_item:
+        Wire payload per track carried (Table 1: 80 bytes/track).
+    context_bytes_per_item:
+        Per-item *global context* shipped to **every** replica in
+        addition to its share.  Track-processing replicas need the whole
+        tactical picture (for gating/correlation) even though they only
+        process ``1/k`` of the stream, so each replica message carries
+        ``bytes_per_item * share + context_bytes_per_item * total``.
+        This is the mechanism by which replica fan-out costs network
+        capacity — the effect behind the paper's observation that the
+        over-replicating non-predictive algorithm drives network
+        utilization up (Figs. 9c/11c/12c).
+    """
+
+    index: int
+    bytes_per_item: float = float(TRACK_BYTES)
+    context_bytes_per_item: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise TaskModelError(f"message index must be >= 1, got {self.index}")
+        if self.bytes_per_item < 0.0:
+            raise TaskModelError(
+                f"bytes_per_item must be non-negative, got {self.bytes_per_item}"
+            )
+        if self.context_bytes_per_item < 0.0:
+            raise TaskModelError(
+                "context_bytes_per_item must be non-negative, got "
+                f"{self.context_bytes_per_item}"
+            )
+
+    def payload_bytes(self, d_tracks: float) -> float:
+        """Share-only payload in bytes when carrying ``d_tracks`` items."""
+        if d_tracks < 0.0:
+            raise TaskModelError(f"negative data size {d_tracks}")
+        return self.bytes_per_item * float(d_tracks)
+
+    def wire_payload_bytes(self, share_tracks: float, total_tracks: float) -> float:
+        """Payload of one replica message: its share plus global context."""
+        if share_tracks < 0.0 or total_tracks < 0.0:
+            raise TaskModelError(
+                f"negative data size (share={share_tracks}, total={total_tracks})"
+            )
+        if share_tracks > total_tracks:
+            raise TaskModelError(
+                f"share {share_tracks} exceeds total {total_tracks}"
+            )
+        return (
+            self.bytes_per_item * float(share_tracks)
+            + self.context_bytes_per_item * float(total_tracks)
+        )
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task: a serial subtask/message chain with a deadline.
+
+    Attributes
+    ----------
+    name:
+        Task identifier.
+    period:
+        Release period ``cy(T_i)`` in seconds (Table 1: 1 s).
+    deadline:
+        Relative end-to-end deadline ``dl(T_i)`` in seconds (Table 1:
+        990 ms).
+    subtasks:
+        The chain ``ST(T_i)``, ordered by index, indices ``1..n``.
+    messages:
+        The chain ``MS(T_i)``, ordered by index, indices ``1..n-1``.
+    """
+
+    name: str
+    period: float
+    deadline: float
+    subtasks: tuple[Subtask, ...]
+    messages: tuple[MessageSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.period <= 0.0:
+            raise TaskModelError(f"period must be positive, got {self.period}")
+        if self.deadline <= 0.0:
+            raise TaskModelError(f"deadline must be positive, got {self.deadline}")
+        if not self.subtasks:
+            raise TaskModelError("a task needs at least one subtask")
+        for pos, subtask in enumerate(self.subtasks, start=1):
+            if subtask.index != pos:
+                raise TaskModelError(
+                    f"subtask at position {pos} has index {subtask.index}; "
+                    "the chain must be indexed 1..n in order"
+                )
+        if len(self.messages) != len(self.subtasks) - 1:
+            raise TaskModelError(
+                f"{len(self.subtasks)} subtasks require "
+                f"{len(self.subtasks) - 1} messages, got {len(self.messages)}"
+            )
+        for pos, message in enumerate(self.messages, start=1):
+            if message.index != pos:
+                raise TaskModelError(
+                    f"message at position {pos} has index {message.index}"
+                )
+
+    # -- convenience views -------------------------------------------------------
+
+    @property
+    def n_subtasks(self) -> int:
+        """Chain length ``n``."""
+        return len(self.subtasks)
+
+    def subtask(self, index: int) -> Subtask:
+        """Subtask ``st_index`` (1-based)."""
+        if not 1 <= index <= len(self.subtasks):
+            raise TaskModelError(
+                f"subtask index {index} out of range 1..{len(self.subtasks)}"
+            )
+        return self.subtasks[index - 1]
+
+    def message(self, index: int) -> MessageSpec:
+        """Message ``m_index`` (1-based; carries subtask ``index`` output)."""
+        if not 1 <= index <= len(self.messages):
+            raise TaskModelError(
+                f"message index {index} out of range 1..{len(self.messages)}"
+            )
+        return self.messages[index - 1]
+
+    def replicable_indices(self) -> tuple[int, ...]:
+        """Indices of subtasks the RM algorithms may replicate."""
+        return tuple(s.index for s in self.subtasks if s.replicable)
+
+    @property
+    def slack_budget(self) -> float:
+        """``deadline`` is the total budget; kept for readability at call sites."""
+        return self.deadline

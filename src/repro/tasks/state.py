@@ -1,0 +1,166 @@
+"""Mutable run-time allocation state: the ``PS(st)`` map.
+
+:class:`ReplicaAssignment` tracks, for every subtask of a task, the
+*ordered* list of processors currently executing its replicas — the set
+``PS(st_j^i)`` manipulated by Figures 5-7 of the paper.  Order matters
+because the shutdown rule (Figure 6) removes the **last added** replica.
+
+Invariants enforced here (violations raise
+:class:`~repro.errors.AllocationError`):
+
+* every subtask always has at least one replica (the original);
+* a subtask's replicas live on pairwise-distinct processors;
+* only subtasks marked replicable may ever have more than one replica.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AllocationError
+from repro.tasks.model import PeriodicTask
+
+
+class ReplicaAssignment:
+    """Ordered processor sets ``PS(st)`` for every subtask of one task.
+
+    Parameters
+    ----------
+    task:
+        The task whose subtasks are being placed.
+    initial:
+        Mapping ``subtask index -> processor name`` giving the home of
+        each original (first) replica.
+    """
+
+    def __init__(self, task: PeriodicTask, initial: dict[int, str]) -> None:
+        self.task = task
+        missing = [s.index for s in task.subtasks if s.index not in initial]
+        if missing:
+            raise AllocationError(f"no initial placement for subtasks {missing}")
+        self._placement: dict[int, list[str]] = {
+            s.index: [initial[s.index]] for s in task.subtasks
+        }
+
+    # -- queries --------------------------------------------------------------
+
+    def processors_of(self, subtask_index: int) -> tuple[str, ...]:
+        """``PS(st)``: ordered processor names hosting replicas (oldest first)."""
+        return tuple(self._placement[self._check(subtask_index)])
+
+    def replica_count(self, subtask_index: int) -> int:
+        """``|PS(st)|`` = ``|rl(st, t)|``."""
+        return len(self._placement[self._check(subtask_index)])
+
+    def total_replicas(self, replicable_only: bool = True) -> int:
+        """Total replica count across the task's subtasks.
+
+        With ``replicable_only`` (the default, matching the paper's
+        "average number of subtask replicas" metric) only replicable
+        subtasks are counted.
+        """
+        total = 0
+        for subtask in self.task.subtasks:
+            if replicable_only and not subtask.replicable:
+                continue
+            total += len(self._placement[subtask.index])
+        return total
+
+    def snapshot(self) -> dict[int, tuple[str, ...]]:
+        """Immutable copy of the whole placement."""
+        return {idx: tuple(procs) for idx, procs in self._placement.items()}
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add_replica(self, subtask_index: int, processor: str) -> None:
+        """Place a new replica of ``st`` on ``processor`` (Figure 5, step 5)."""
+        idx = self._check(subtask_index)
+        subtask = self.task.subtask(idx)
+        current = self._placement[idx]
+        if not subtask.replicable and current:
+            raise AllocationError(
+                f"subtask {subtask.name} (index {idx}) is not replicable"
+            )
+        if processor in current:
+            raise AllocationError(
+                f"processor {processor!r} already hosts a replica of "
+                f"subtask {idx}"
+            )
+        current.append(processor)
+
+    def evict_processor(self, processor: str) -> list[int]:
+        """Remove every replica hosted on ``processor`` (failure handling).
+
+        Replicas of a subtask whose *only* copy lived on ``processor``
+        are NOT silently removed — the subtask keeps its (dead) home so
+        the invariant "at least one replica" holds, and the caller (the
+        resource manager's failure-recovery path) must migrate it with
+        :meth:`replace_processor`.  Returns the indices of subtasks that
+        lost a replica (including ones left stranded on the dead node).
+        """
+        affected: list[int] = []
+        for index, processors in self._placement.items():
+            if processor in processors:
+                affected.append(index)
+                if len(processors) > 1:
+                    processors.remove(processor)
+        return affected
+
+    def replace_processor(
+        self, subtask_index: int, old: str, new: str
+    ) -> None:
+        """Migrate one replica from ``old`` to ``new`` (position kept)."""
+        idx = self._check(subtask_index)
+        processors = self._placement[idx]
+        if old not in processors:
+            raise AllocationError(
+                f"subtask {idx} has no replica on {old!r}"
+            )
+        if new in processors:
+            raise AllocationError(
+                f"processor {new!r} already hosts a replica of subtask {idx}"
+            )
+        processors[processors.index(old)] = new
+
+    def hosts(self, subtask_index: int, processor: str) -> bool:
+        """Whether ``processor`` currently hosts a replica of the subtask."""
+        return processor in self._placement[self._check(subtask_index)]
+
+    def remove_last_replica(self, subtask_index: int) -> str | None:
+        """Shut down the most recently added replica (Figure 6).
+
+        Returns the processor the replica was removed from, or ``None``
+        when only the original replica remains (Figure 6, step 1).
+        """
+        idx = self._check(subtask_index)
+        current = self._placement[idx]
+        if len(current) <= 1:
+            return None
+        return current.pop()
+
+    def reset(self, subtask_index: int, processors: list[str]) -> None:
+        """Replace the whole placement of a subtask (used by tests/tools)."""
+        idx = self._check(subtask_index)
+        if not processors:
+            raise AllocationError("a subtask must keep at least one replica")
+        if len(set(processors)) != len(processors):
+            raise AllocationError("replica processors must be distinct")
+        subtask = self.task.subtask(idx)
+        if not subtask.replicable and len(processors) > 1:
+            raise AllocationError(
+                f"subtask {subtask.name} (index {idx}) is not replicable"
+            )
+        self._placement[idx] = list(processors)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check(self, subtask_index: int) -> int:
+        if subtask_index not in self._placement:
+            raise AllocationError(
+                f"unknown subtask index {subtask_index} for task {self.task.name}"
+            )
+        return subtask_index
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        inner = ", ".join(
+            f"st{idx}={list(procs)}" for idx, procs in sorted(self._placement.items())
+        )
+        return f"<ReplicaAssignment {self.task.name}: {inner}>"

@@ -1,0 +1,98 @@
+"""Unit conventions and conversion helpers used throughout :mod:`repro`.
+
+The simulator keeps **all internal quantities in SI base units**:
+
+* time in **seconds** (``float``),
+* data volume in **bytes**,
+* bandwidth in **bits per second**,
+* CPU utilization as a **fraction** in ``[0, 1]``.
+
+The paper mixes units freely (milliseconds for latencies, "hundreds of
+data items" for regression data sizes, percent for utilization, Mbit/s for
+bandwidth).  Every conversion between the paper's presentation units and
+internal units goes through this module so there is exactly one place where
+a factor of 1000 can hide.
+
+The regression equations of the paper (eq. 3) are expressed in *paper
+units*: latency in milliseconds, ``d`` in hundreds of data items, ``u`` as a
+fraction.  :mod:`repro.regression` documents, per function, which unit
+system its arguments use.
+"""
+
+from __future__ import annotations
+
+#: Number of seconds in one millisecond.
+MS = 1e-3
+
+#: Number of seconds in one microsecond.
+US = 1e-6
+
+#: Bytes per track (sensor report) in the paper's baseline (Table 1).
+TRACK_BYTES = 80
+
+#: The paper's experiment sweep expresses workload in units of 500 tracks
+#: ("1 scale unit = 500 Track" in Figures 9-13).
+WORKLOAD_SCALE_TRACKS = 500
+
+#: The regression equations express data size in hundreds of data items.
+REGRESSION_DATA_UNIT = 100
+
+#: Ethernet bandwidth in the baseline configuration (Table 1): 100 Mbit/s.
+ETHERNET_100_MBPS = 100e6
+
+
+def ms_to_s(value_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value_ms * MS
+
+
+def s_to_ms(value_s: float) -> float:
+    """Convert seconds to milliseconds."""
+    return value_s / MS
+
+
+def mbps_to_bps(value_mbps: float) -> float:
+    """Convert megabits per second to bits per second."""
+    return value_mbps * 1e6
+
+
+def tracks_to_bytes(n_tracks: float, track_bytes: int = TRACK_BYTES) -> float:
+    """Size in bytes of a batch of ``n_tracks`` sensor reports."""
+    return float(n_tracks) * float(track_bytes)
+
+
+def tracks_to_regression_units(n_tracks: float) -> float:
+    """Convert a raw track count to the regression ``d`` unit (hundreds)."""
+    return float(n_tracks) / REGRESSION_DATA_UNIT
+
+
+def regression_units_to_tracks(d_hundreds: float) -> float:
+    """Convert the regression ``d`` unit (hundreds of items) to tracks."""
+    return float(d_hundreds) * REGRESSION_DATA_UNIT
+
+
+def workload_units_to_tracks(units: float) -> float:
+    """Convert Figure 9-13 workload scale units (500 tracks) to tracks."""
+    return float(units) * WORKLOAD_SCALE_TRACKS
+
+
+def transmission_time(payload_bytes: float, bandwidth_bps: float) -> float:
+    """Time in seconds to clock ``payload_bytes`` onto a link (paper eq. 6).
+
+    ``Dtrans(d) = d / ls`` with ``d`` in bits and ``ls`` the link speed.
+    """
+    if bandwidth_bps <= 0.0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if payload_bytes < 0.0:
+        raise ValueError(f"payload must be non-negative, got {payload_bytes}")
+    return (payload_bytes * 8.0) / bandwidth_bps
+
+
+def fraction_to_percent(u: float) -> float:
+    """Convert a utilization fraction to percent."""
+    return u * 100.0
+
+
+def percent_to_fraction(u_pct: float) -> float:
+    """Convert a utilization percentage to a fraction."""
+    return u_pct / 100.0

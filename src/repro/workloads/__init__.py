@@ -1,0 +1,38 @@
+"""Workload generation.
+
+:mod:`repro.workloads.patterns` implements the paper's Figure 8 shapes
+(increasing ramp, decreasing ramp, triangular) plus extra patterns used
+by the extension studies; :mod:`repro.workloads.sensors` generates the
+track streams themselves for examples that want per-item data.
+"""
+
+from repro.workloads.patterns import (
+    BurstyPattern,
+    CompositePattern,
+    ConstantPattern,
+    DecreasingRamp,
+    IncreasingRamp,
+    SinusoidPattern,
+    StepPattern,
+    TriangularPattern,
+    WorkloadPattern,
+    make_pattern,
+    mission_profile,
+)
+from repro.workloads.sensors import Track, TrackStreamGenerator
+
+__all__ = [
+    "BurstyPattern",
+    "CompositePattern",
+    "ConstantPattern",
+    "DecreasingRamp",
+    "IncreasingRamp",
+    "SinusoidPattern",
+    "StepPattern",
+    "Track",
+    "TrackStreamGenerator",
+    "TriangularPattern",
+    "WorkloadPattern",
+    "make_pattern",
+    "mission_profile",
+]

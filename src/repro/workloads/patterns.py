@@ -1,0 +1,322 @@
+"""Workload patterns (paper Figure 8 and extensions).
+
+A pattern maps a period index to the number of data items (tracks)
+released that period.  The paper's three evaluation patterns are
+parameterized by a workload interval ``[min_tracks, max_tracks]``:
+
+* **increasing ramp** — starts at the minimum, rises linearly to the
+  maximum over the run;
+* **decreasing ramp** — the mirror image;
+* **triangular** — alternates linear rises and falls between the bounds
+  (the "fluctuating" workload where the predictive algorithm wins).
+
+Extra patterns (constant, step, sinusoid, bursty) support the extension
+studies and examples.  All patterns are deterministic except
+:class:`BurstyPattern`, which takes a seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class WorkloadPattern:
+    """Base class: a deterministic map ``period index -> tracks``.
+
+    Attributes
+    ----------
+    min_tracks / max_tracks:
+        The workload interval (Figure 8's "Maximum Workload" sweeps
+        ``max_tracks``; the paper's minimum is small but non-zero).
+    n_periods:
+        Nominal experiment length; patterns remain defined beyond it.
+    """
+
+    min_tracks: float
+    max_tracks: float
+    n_periods: int
+
+    def __post_init__(self) -> None:
+        if self.min_tracks < 0.0:
+            raise ConfigurationError(
+                f"min_tracks must be non-negative, got {self.min_tracks}"
+            )
+        if self.max_tracks < self.min_tracks:
+            raise ConfigurationError(
+                f"max_tracks {self.max_tracks} below min_tracks {self.min_tracks}"
+            )
+        if self.n_periods < 1:
+            raise ConfigurationError(
+                f"n_periods must be >= 1, got {self.n_periods}"
+            )
+
+    # -- interface -------------------------------------------------------------
+
+    def tracks_at(self, period_index: int) -> float:
+        """Tracks released in period ``period_index`` (>= 0)."""
+        raise NotImplementedError
+
+    def __call__(self, period_index: int) -> float:
+        if period_index < 0:
+            raise ConfigurationError(f"negative period index {period_index}")
+        value = self.tracks_at(period_index)
+        return float(max(0.0, value))
+
+    def series(self, n: int | None = None) -> np.ndarray:
+        """The first ``n`` (default ``n_periods``) values as an array."""
+        count = self.n_periods if n is None else n
+        return np.array([self(i) for i in range(count)])
+
+    def _progress(self, period_index: int) -> float:
+        """Position in the run mapped to [0, 1] (clamped beyond the end)."""
+        if self.n_periods == 1:
+            return 1.0
+        return min(1.0, period_index / (self.n_periods - 1))
+
+
+@dataclass(frozen=True)
+class IncreasingRamp(WorkloadPattern):
+    """Linear rise from ``min_tracks`` to ``max_tracks``."""
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        span = self.max_tracks - self.min_tracks
+        return self.min_tracks + span * self._progress(period_index)
+
+
+@dataclass(frozen=True)
+class DecreasingRamp(WorkloadPattern):
+    """Linear fall from ``max_tracks`` to ``min_tracks``."""
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        span = self.max_tracks - self.min_tracks
+        return self.max_tracks - span * self._progress(period_index)
+
+
+@dataclass(frozen=True)
+class TriangularPattern(WorkloadPattern):
+    """Alternating rises and falls between the bounds (Figure 8).
+
+    Attributes
+    ----------
+    cycle_periods:
+        Length of one full up-down cycle.  The default of
+        ``n_periods // 2`` (set lazily when 0) gives two cycles per run.
+    """
+
+    cycle_periods: int = 0
+
+    def _cycle(self) -> int:
+        if self.cycle_periods > 0:
+            return self.cycle_periods
+        return max(2, self.n_periods // 2)
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        cycle = self._cycle()
+        phase = (period_index % cycle) / cycle  # [0, 1)
+        # Triangle wave: up for the first half-cycle, down for the second.
+        position = 2.0 * phase if phase < 0.5 else 2.0 * (1.0 - phase)
+        return self.min_tracks + (self.max_tracks - self.min_tracks) * position
+
+
+@dataclass(frozen=True)
+class ConstantPattern(WorkloadPattern):
+    """Flat workload at ``max_tracks`` (``min_tracks`` is ignored)."""
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        return self.max_tracks
+
+
+@dataclass(frozen=True)
+class StepPattern(WorkloadPattern):
+    """Minimum workload, then a step to the maximum at ``step_period``."""
+
+    step_period: int = 0
+
+    def _step_at(self) -> int:
+        return self.step_period if self.step_period > 0 else self.n_periods // 2
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        return (
+            self.max_tracks
+            if period_index >= self._step_at()
+            else self.min_tracks
+        )
+
+
+@dataclass(frozen=True)
+class SinusoidPattern(WorkloadPattern):
+    """Smooth oscillation between the bounds."""
+
+    cycle_periods: int = 0
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        cycle = self.cycle_periods if self.cycle_periods > 0 else max(
+            2, self.n_periods // 2
+        )
+        mid = 0.5 * (self.min_tracks + self.max_tracks)
+        amplitude = 0.5 * (self.max_tracks - self.min_tracks)
+        return mid - amplitude * math.cos(2.0 * math.pi * period_index / cycle)
+
+
+@dataclass(frozen=True)
+class BurstyPattern(WorkloadPattern):
+    """Random bursts: baseline ``min_tracks`` with seeded spikes.
+
+    Each period independently bursts to a uniform draw in
+    ``[min_tracks, max_tracks]`` with probability ``burst_probability``.
+    """
+
+    burst_probability: float = 0.25
+    seed: int = 0
+    _values: tuple[float, ...] = field(init=False, compare=False, repr=False, default=())
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.burst_probability <= 1.0:
+            raise ConfigurationError(
+                f"burst_probability must be in [0, 1], got {self.burst_probability}"
+            )
+        rng = np.random.default_rng(self.seed)
+        values = []
+        for _ in range(self.n_periods):
+            if rng.random() < self.burst_probability:
+                values.append(float(rng.uniform(self.min_tracks, self.max_tracks)))
+            else:
+                values.append(self.min_tracks)
+        object.__setattr__(self, "_values", tuple(values))
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        if period_index < len(self._values):
+            return self._values[period_index]
+        return self.min_tracks
+
+
+@dataclass(frozen=True)
+class CompositePattern(WorkloadPattern):
+    """A sequence of patterns played back to back (mission profiles).
+
+    ``segments`` is a tuple of patterns; each runs for its own
+    ``n_periods``, then the next takes over (its local period index
+    restarts at 0).  Beyond the last segment, the last segment's final
+    behaviour continues.  ``min_tracks``/``max_tracks`` of the composite
+    are informational bounds; each segment enforces its own.
+    """
+
+    segments: tuple[WorkloadPattern, ...] = ()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.segments:
+            raise ConfigurationError("composite needs at least one segment")
+
+    def tracks_at(self, period_index: int) -> float:
+        """See :meth:`WorkloadPattern.tracks_at`."""
+        offset = period_index
+        for segment in self.segments[:-1]:
+            if offset < segment.n_periods:
+                return segment(offset)
+            offset -= segment.n_periods
+        return self.segments[-1](offset)
+
+    @classmethod
+    def of(cls, *segments: WorkloadPattern) -> "CompositePattern":
+        """Build a composite, deriving bounds and length from segments."""
+        if not segments:
+            raise ConfigurationError("composite needs at least one segment")
+        return cls(
+            min_tracks=min(s.min_tracks for s in segments),
+            max_tracks=max(s.max_tracks for s in segments),
+            n_periods=sum(s.n_periods for s in segments),
+            segments=tuple(segments),
+        )
+
+
+def mission_profile(
+    name: str, max_tracks: float = 10_000.0, quiet_tracks: float = 500.0
+) -> CompositePattern:
+    """Named mission scenarios composed from the basic patterns.
+
+    * ``"raid"`` — quiet patrol, sudden raid plateau, gradual clear.
+    * ``"escort"`` — slow build-up, sustained high tempo, drawdown.
+    * ``"skirmishes"`` — quiet baseline with repeated short engagements.
+    """
+    if name == "raid":
+        return CompositePattern.of(
+            ConstantPattern(quiet_tracks, quiet_tracks, 10),
+            ConstantPattern(quiet_tracks, max_tracks, 15),
+            DecreasingRamp(quiet_tracks, max_tracks, 15),
+        )
+    if name == "escort":
+        return CompositePattern.of(
+            IncreasingRamp(quiet_tracks, max_tracks, 20),
+            ConstantPattern(quiet_tracks, max_tracks, 20),
+            DecreasingRamp(quiet_tracks, max_tracks, 10),
+        )
+    if name == "skirmishes":
+        engagement = TriangularPattern(
+            quiet_tracks, max_tracks, 12, cycle_periods=12
+        )
+        quiet = ConstantPattern(quiet_tracks, quiet_tracks, 6)
+        return CompositePattern.of(
+            quiet, engagement, quiet, engagement, quiet,
+        )
+    raise ConfigurationError(
+        f"unknown mission profile {name!r}; choose raid/escort/skirmishes"
+    )
+
+
+#: Names accepted by :func:`make_pattern` (the experiment configuration
+#: references patterns by these strings).
+PATTERN_NAMES = (
+    "increasing",
+    "decreasing",
+    "triangular",
+    "constant",
+    "step",
+    "sinusoid",
+    "bursty",
+)
+
+
+def make_pattern(
+    name: str,
+    min_tracks: float,
+    max_tracks: float,
+    n_periods: int,
+    **kwargs: float,
+) -> WorkloadPattern:
+    """Factory for patterns by name (see :data:`PATTERN_NAMES`)."""
+    classes: dict[str, type[WorkloadPattern]] = {
+        "increasing": IncreasingRamp,
+        "decreasing": DecreasingRamp,
+        "triangular": TriangularPattern,
+        "constant": ConstantPattern,
+        "step": StepPattern,
+        "sinusoid": SinusoidPattern,
+        "bursty": BurstyPattern,
+    }
+    try:
+        cls = classes[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown pattern {name!r}; choose from {PATTERN_NAMES}"
+        ) from None
+    return cls(
+        min_tracks=min_tracks,
+        max_tracks=max_tracks,
+        n_periods=n_periods,
+        **kwargs,  # type: ignore[arg-type]
+    )

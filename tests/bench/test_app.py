@@ -1,0 +1,103 @@
+"""Unit tests for the synthetic AAW benchmark task."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import (
+    DEMAND_CONSTANTS,
+    MESSAGE_BYTES_PER_ITEM,
+    REPLICABLE_INDICES,
+    SUBTASK_NAMES,
+    aaw_task,
+    default_initial_placement,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTaskShape:
+    def test_table1_structure(self):
+        task = aaw_task()
+        assert task.n_subtasks == 5
+        assert len(task.messages) == 4
+        assert task.period == 1.0
+        assert task.deadline == pytest.approx(0.990)
+
+    def test_replicable_subtasks_are_3_and_5(self):
+        task = aaw_task()
+        assert task.replicable_indices() == REPLICABLE_INDICES == (3, 5)
+
+    def test_subtask_names(self):
+        task = aaw_task()
+        assert tuple(s.name for s in task.subtasks) == SUBTASK_NAMES
+
+    def test_message_payload_shrinks_along_chain(self):
+        assert MESSAGE_BYTES_PER_ITEM[0] >= MESSAGE_BYTES_PER_ITEM[-1]
+        task = aaw_task()
+        assert task.message(1).bytes_per_item == 80.0
+
+    def test_replicable_subtasks_have_quadratic_demand(self):
+        for index in REPLICABLE_INDICES:
+            assert DEMAND_CONSTANTS[index]["q2"] > 0.0
+
+    def test_non_replicable_subtasks_are_linear(self):
+        for index in (1, 2, 4):
+            assert DEMAND_CONSTANTS[index]["q2"] == 0.0
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aaw_task(period=1.0, deadline=1.5)
+
+    def test_noise_sigma_propagates(self):
+        task = aaw_task(noise_sigma=0.25)
+        assert task.subtask(3).service.noise_sigma == 0.25
+
+    def test_noise_free_variant(self):
+        task = aaw_task(noise_sigma=0.0)
+        assert task.subtask(3).service.noise_sigma == 0.0
+
+
+class TestCalibration:
+    """The demand calibration documented in DESIGN.md/app.py."""
+
+    def test_small_workload_fits_without_replication(self):
+        """At ~2 units (1000 tracks) the unreplicated chain fits easily."""
+        task = aaw_task(noise_sigma=0.0)
+        total = sum(
+            s.service.mean_demand_seconds(1000.0) for s in task.subtasks
+        )
+        assert total < 0.5 * task.deadline
+
+    def test_large_workload_needs_replication(self):
+        """At 20 units (10000 tracks) the unreplicated chain cannot fit."""
+        task = aaw_task(noise_sigma=0.0)
+        total = sum(
+            s.service.mean_demand_seconds(10000.0) for s in task.subtasks
+        )
+        assert total > task.deadline
+
+    def test_full_replication_recovers_feasibility_at_moderate_load(self):
+        """At 20 units with 6-way replication the chain fits again."""
+        task = aaw_task(noise_sigma=0.0)
+        total = 0.0
+        for subtask in task.subtasks:
+            share = 10000.0 / 6.0 if subtask.replicable else 10000.0
+            total += subtask.service.mean_demand_seconds(share)
+        assert total < task.deadline
+
+
+class TestInitialPlacement:
+    def test_round_robin_over_processors(self):
+        task = aaw_task()
+        placement = default_initial_placement(task, ["p1", "p2", "p3"])
+        assert placement == {1: "p1", 2: "p2", 3: "p3", 4: "p1", 5: "p2"}
+
+    def test_six_nodes_leaves_one_idle(self):
+        task = aaw_task()
+        names = [f"p{i}" for i in range(1, 7)]
+        placement = default_initial_placement(task, names)
+        assert "p6" not in placement.values()
+
+    def test_empty_processor_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            default_initial_placement(aaw_task(), [])

@@ -1,0 +1,57 @@
+"""Unit tests for the published Table 2/3 coefficients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.datasets import (
+    PAPER_BUFFER_K,
+    PAPER_TABLE2_COEFFICIENTS,
+    paper_comm_model,
+    paper_latency_model,
+)
+
+
+class TestTable2:
+    def test_exact_published_values_subtask3(self):
+        c = PAPER_TABLE2_COEFFICIENTS[3]
+        assert c["a1"] == -0.00155
+        assert c["a2"] == 1.535e-05
+        assert c["a3"] == 0.11816174
+        assert c["b1"] == 0.0298276
+        assert c["b2"] == -0.000285
+        assert c["b3"] == 0.983699
+
+    def test_exact_published_values_subtask5(self):
+        c = PAPER_TABLE2_COEFFICIENTS[5]
+        assert c["a1"] == 0.002123
+        assert c["b3"] == 1.443762
+
+    def test_only_replicable_subtasks_published(self):
+        assert sorted(PAPER_TABLE2_COEFFICIENTS) == [3, 5]
+
+    def test_paper_latency_model_positive_over_profiled_region(self):
+        """With u as a fraction the surfaces are positive where profiled."""
+        for index in (3, 5):
+            model = paper_latency_model(index)
+            for u in (0.0, 0.2, 0.4, 0.6, 0.8):
+                for d in (1.0, 5.0, 10.0, 20.0):
+                    assert model.predict_ms(d, u) > 0.0
+
+    def test_paper_latency_model_unknown_subtask(self):
+        with pytest.raises(KeyError):
+            paper_latency_model(2)
+
+
+class TestTable3:
+    def test_published_slope(self):
+        assert PAPER_BUFFER_K == 0.7
+
+    def test_paper_comm_model_uses_published_slope(self):
+        model = paper_comm_model()
+        # 500 tracks of total load -> 0.7 ms of buffer delay.
+        assert model.buffer.predict_ms(500.0) == pytest.approx(0.7)
+
+    def test_paper_comm_model_transmission_configurable(self):
+        model = paper_comm_model(bandwidth_bps=10e6, overhead_bytes=0.0)
+        assert model.transmission.predict_seconds(1_250_000) == pytest.approx(1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the ground-truth service models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.ground_truth import LinearServiceModel, QuadraticServiceModel
+from repro.errors import TaskModelError
+from repro.tasks.model import ServiceModel
+
+
+class TestQuadraticServiceModel:
+    def test_mean_demand_formula(self):
+        model = QuadraticServiceModel(q2_ms=0.3, q1_ms=2.0)
+        # d = 1000 tracks -> d_h = 10 -> 0.3*100 + 2*10 = 50 ms.
+        assert model.mean_demand_seconds(1000.0) == pytest.approx(0.050)
+
+    def test_floor_applies_at_tiny_data(self):
+        model = QuadraticServiceModel(q2_ms=0.3, q1_ms=2.0, floor_ms=0.5)
+        assert model.mean_demand_seconds(1.0) == pytest.approx(0.0005)
+
+    def test_demand_without_rng_is_deterministic(self):
+        model = QuadraticServiceModel(q2_ms=0.3, q1_ms=2.0, noise_sigma=0.5)
+        assert model.demand(1000.0) == model.demand(1000.0)
+
+    def test_noise_is_multiplicative_and_unbiased_in_log(self):
+        model = QuadraticServiceModel(q2_ms=0.3, q1_ms=2.0, noise_sigma=0.1)
+        rng = np.random.default_rng(0)
+        samples = np.array([model.demand(1000.0, rng) for _ in range(4000)])
+        assert np.median(samples) == pytest.approx(0.050, rel=0.02)
+        assert samples.std() > 0.0
+
+    def test_zero_sigma_ignores_rng(self):
+        model = QuadraticServiceModel(q2_ms=0.3, q1_ms=2.0, noise_sigma=0.0)
+        rng = np.random.default_rng(0)
+        assert model.demand(1000.0, rng) == model.mean_demand_seconds(1000.0)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(TaskModelError):
+            QuadraticServiceModel(q2_ms=-0.1, q1_ms=1.0)
+        with pytest.raises(TaskModelError):
+            QuadraticServiceModel(q2_ms=0.1, q1_ms=1.0, floor_ms=0.0)
+        with pytest.raises(TaskModelError):
+            QuadraticServiceModel(q2_ms=0.1, q1_ms=1.0, noise_sigma=-0.1)
+        model = QuadraticServiceModel(q2_ms=0.1, q1_ms=1.0)
+        with pytest.raises(TaskModelError):
+            model.mean_demand_seconds(-5.0)
+
+    def test_satisfies_service_model_protocol(self):
+        assert isinstance(QuadraticServiceModel(q2_ms=0.1, q1_ms=1.0), ServiceModel)
+
+
+class TestLinearServiceModel:
+    def test_is_quadratic_with_zero_q2(self):
+        model = LinearServiceModel(2.0)
+        assert model.q2_ms == 0.0
+        assert model.mean_demand_seconds(1000.0) == pytest.approx(0.020)
+
+    def test_demand_scales_linearly(self):
+        model = LinearServiceModel(2.0)
+        assert model.mean_demand_seconds(2000.0) == pytest.approx(
+            2 * model.mean_demand_seconds(1000.0)
+        )

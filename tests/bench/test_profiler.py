@@ -1,0 +1,114 @@
+"""Unit tests for the profiling campaigns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task
+from repro.bench.profiler import (
+    build_estimator,
+    profile_buffer_delay,
+    profile_subtask,
+)
+from repro.errors import ProfilingError
+
+SMALL_U = (0.0, 0.3, 0.6)
+SMALL_D = (200.0, 1000.0, 3000.0)
+
+
+@pytest.fixture(scope="module")
+def quiet_task():
+    return aaw_task(noise_sigma=0.0)
+
+
+@pytest.fixture(scope="module")
+def filter_profile(quiet_task):
+    return profile_subtask(
+        quiet_task.subtask(3), u_grid=SMALL_U, d_grid_tracks=SMALL_D,
+        repetitions=1, seed=11,
+    )
+
+
+class TestLatencyProfiling:
+    def test_sample_count(self, filter_profile):
+        assert len(filter_profile.samples) == len(SMALL_U) * len(SMALL_D)
+
+    def test_samples_cover_grid(self, filter_profile):
+        targets = {(s.u_target, s.d_tracks) for s in filter_profile.samples}
+        assert len(targets) == len(SMALL_U) * len(SMALL_D)
+
+    def test_latency_at_zero_util_matches_demand(self, quiet_task, filter_profile):
+        truth = quiet_task.subtask(3).service
+        for sample in filter_profile.samples:
+            if sample.u_target == 0.0:
+                assert sample.latency_s == pytest.approx(
+                    truth.mean_demand_seconds(sample.d_tracks), rel=1e-6
+                )
+
+    def test_latency_grows_with_utilization(self, filter_profile):
+        by_target = {}
+        for sample in filter_profile.samples:
+            if sample.d_tracks == 3000.0:
+                by_target[sample.u_target] = sample.latency_s
+        assert by_target[0.6] > by_target[0.3] > by_target[0.0]
+
+    def test_measured_utilization_near_target(self, filter_profile):
+        for sample in filter_profile.samples:
+            assert sample.u_measured == pytest.approx(sample.u_target, abs=0.08)
+
+    def test_fitted_model_attached(self, filter_profile):
+        assert filter_profile.model.subtask_name == "Filter"
+        assert filter_profile.model.r_squared > 0.95
+
+    def test_arrays_shapes_align(self, filter_profile):
+        d, u, y = filter_profile.arrays()
+        assert d.shape == u.shape == y.shape
+
+    def test_direct_fit_option(self, quiet_task):
+        result = profile_subtask(
+            quiet_task.subtask(3), u_grid=SMALL_U, d_grid_tracks=SMALL_D,
+            repetitions=1, seed=11, fit="direct",
+        )
+        assert result.model.r_squared > 0.95
+
+    def test_invalid_parameters_rejected(self, quiet_task):
+        with pytest.raises(ProfilingError):
+            profile_subtask(quiet_task.subtask(3), repetitions=0)
+        with pytest.raises(ProfilingError):
+            profile_subtask(quiet_task.subtask(3), fit="magic")
+
+
+class TestBufferProfiling:
+    def test_buffer_delay_grows_with_load(self, quiet_task):
+        result = profile_buffer_delay(
+            quiet_task, total_tracks_grid=(500.0, 5000.0, 15000.0), periods=3
+        )
+        delays = list(result.mean_buffer_delay_ms)
+        assert delays[2] > delays[0]
+
+    def test_fit_is_roughly_linear(self, quiet_task):
+        result = profile_buffer_delay(quiet_task, periods=3)
+        assert result.model.k_ms_per_track > 0.0
+        assert result.model.r_squared > 0.7
+
+    def test_per_message_delays_recorded(self, quiet_task):
+        grid = (500.0, 5000.0)
+        result = profile_buffer_delay(quiet_task, total_tracks_grid=grid, periods=2)
+        assert set(result.per_message_delays) == set(grid)
+
+    def test_invalid_parameters_rejected(self, quiet_task):
+        with pytest.raises(ProfilingError):
+            profile_buffer_delay(quiet_task, fanout=0)
+        with pytest.raises(ProfilingError):
+            profile_buffer_delay(quiet_task, periods=0)
+
+
+class TestBuildEstimator:
+    def test_builds_complete_estimator(self, quiet_task):
+        estimator = build_estimator(
+            quiet_task, u_grid=SMALL_U, d_grid_tracks=SMALL_D, repetitions=1
+        )
+        assert set(estimator.latency_models) == {1, 2, 3, 4, 5}
+        assert estimator.comm_model.buffer.k_ms_per_track > 0.0
+        # Whole-chain estimate is usable immediately.
+        assert estimator.end_to_end_estimate_seconds(1000.0, 0.1) > 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for background load generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.background import BackgroundLoad
+from repro.cluster.processor import Processor
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+def make(target, **kwargs):
+    engine = Engine()
+    proc = Processor(engine, "p1", utilization_window=20.0)
+    return engine, proc, BackgroundLoad(proc, target, **kwargs)
+
+
+class TestValidation:
+    def test_target_out_of_range_rejected(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        with pytest.raises(ClusterError):
+            BackgroundLoad(proc, -0.1)
+        with pytest.raises(ClusterError):
+            BackgroundLoad(proc, 0.99)
+
+    def test_bad_interval_rejected(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        with pytest.raises(ClusterError):
+            BackgroundLoad(proc, 0.5, interval=0.0)
+
+    def test_jitter_requires_rng(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        with pytest.raises(ClusterError):
+            BackgroundLoad(proc, 0.5, jitter=0.2)
+
+    def test_bad_jitter_rejected(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        with pytest.raises(ClusterError):
+            BackgroundLoad(proc, 0.5, jitter=1.0, rng=np.random.default_rng(0))
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("target", [0.2, 0.5, 0.8])
+    def test_achieves_target_utilization(self, target):
+        engine, proc, load = make(target, interval=0.020)
+        load.start()
+        engine.run_until(10.0)
+        assert proc.utilization(window=10.0) == pytest.approx(target, abs=0.02)
+
+    def test_zero_target_produces_nothing(self):
+        engine, proc, load = make(0.0)
+        load.start()
+        assert not load.running
+        engine.run_until(2.0)
+        assert load.jobs_submitted == 0
+        assert proc.utilization(window=2.0) == 0.0
+
+    def test_start_is_idempotent(self):
+        engine, proc, load = make(0.3)
+        load.start()
+        load.start()
+        engine.run_until(1.0)
+        # One generator, not two: utilization stays near target.
+        assert proc.utilization(window=1.0) == pytest.approx(0.3, abs=0.05)
+
+    def test_stop_halts_generation(self):
+        engine, proc, load = make(0.5)
+        load.start()
+        engine.run_until(2.0)
+        load.stop()
+        submitted = load.jobs_submitted
+        engine.run_until(5.0)
+        assert load.jobs_submitted == submitted
+        assert not load.running
+
+    def test_jittered_load_still_hits_target_on_average(self):
+        engine, proc, load = make(
+            0.4, interval=0.010, jitter=0.3, rng=np.random.default_rng(3)
+        )
+        load.start()
+        engine.run_until(15.0)
+        assert proc.utilization(window=15.0) == pytest.approx(0.4, abs=0.03)
+
+    def test_jobs_are_tagged_background(self):
+        engine, proc, load = make(0.3)
+        load.start()
+        engine.run_until(0.2)
+        jobs = proc.active_jobs()
+        # Any in-flight jobs carry the background tag.
+        assert all(job.kind == "background" for job in jobs)

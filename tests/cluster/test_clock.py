@@ -1,0 +1,80 @@
+"""Unit tests for the clock-sync substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.clock import ClockSyncService, NodeClock
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+class TestNodeClock:
+    def test_perfect_clock(self):
+        clock = NodeClock("n1")
+        assert clock.local_time(10.0) == 10.0
+        assert clock.error(10.0) == 0.0
+
+    def test_offset(self):
+        clock = NodeClock("n1", offset=0.002)
+        assert clock.local_time(10.0) == pytest.approx(10.002)
+
+    def test_drift_accumulates(self):
+        clock = NodeClock("n1", drift=1e-4)
+        assert clock.error(100.0) == pytest.approx(0.01)
+
+    def test_discipline_resets_drift_accumulation(self):
+        clock = NodeClock("n1", drift=1e-4)
+        clock.discipline(100.0, residual_offset=1e-4)
+        assert clock.error(100.0) == pytest.approx(1e-4)
+        # Drift resumes from the sync point.
+        assert clock.error(110.0) == pytest.approx(1e-4 + 10 * 1e-4, rel=0.01)
+
+
+class TestClockSyncService:
+    def make(self, n=3, drift=1e-4, interval=10.0, bound=1e-3):
+        engine = Engine()
+        clocks = [NodeClock(f"n{i}", offset=0.05, drift=drift) for i in range(n)]
+        service = ClockSyncService(
+            engine,
+            clocks,
+            sync_interval=interval,
+            sync_bound=bound,
+            rng=np.random.default_rng(1),
+        )
+        return engine, clocks, service
+
+    def test_sync_now_bounds_offsets(self):
+        engine, clocks, service = self.make()
+        assert service.max_error() == pytest.approx(0.05)
+        service.sync_now()
+        assert service.max_error() <= 1e-3
+
+    def test_error_bounded_while_running(self):
+        engine, clocks, service = self.make(drift=1e-5, interval=10.0, bound=1e-3)
+        service.start()
+        engine.run_until(100.0)
+        # Worst case: residual bound + drift over one interval.
+        assert service.max_error() <= 1e-3 + 10.0 * 1e-5 + 1e-12
+        assert service.rounds == 11  # t=0,10,...,100
+
+    def test_stop_lets_drift_grow(self):
+        engine, clocks, service = self.make(drift=1e-4, interval=5.0)
+        service.start()
+        engine.run_until(10.0)
+        service.stop()
+        engine.run_until(110.0)
+        assert service.max_error() >= 5e-3  # ~100 s of 1e-4 drift
+
+    def test_invalid_parameters_rejected(self):
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            ClockSyncService(engine, [], sync_interval=0.0)
+        with pytest.raises(ClusterError):
+            ClockSyncService(engine, [], sync_bound=-1.0)
+
+    def test_empty_clock_list_max_error_zero(self):
+        engine = Engine()
+        service = ClockSyncService(engine, [])
+        assert service.max_error() == 0.0

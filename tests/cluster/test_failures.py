@@ -1,0 +1,117 @@
+"""Unit tests for processor failure and the failure injector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.failures import FailureEvent, FailureInjector
+from repro.cluster.processor import Processor
+from repro.cluster.topology import build_system
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+class TestProcessorFailure:
+    def test_fail_loses_active_jobs(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        done = []
+        proc.run_for(1.0, on_complete=lambda j, t: done.append(t))
+        proc.run_for(2.0, on_complete=lambda j, t: done.append(t))
+        engine.run_until(0.5)
+        lost = proc.fail()
+        assert lost == 2
+        engine.run_until(10.0)
+        assert done == []
+        assert proc.active_count == 0
+        assert not proc.is_busy
+
+    def test_fail_is_idempotent(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        proc.run_for(1.0)
+        assert proc.fail() == 1
+        assert proc.fail() == 0
+        assert proc.failure_count == 1
+
+    def test_submissions_while_failed_never_complete(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        proc.fail()
+        done = []
+        proc.run_for(0.1, on_complete=lambda j, t: done.append(t))
+        engine.run_until(10.0)
+        assert done == []
+
+    def test_recover_restores_service(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        proc.fail()
+        proc.recover()
+        done = []
+        proc.run_for(0.5, on_complete=lambda j, t: done.append(t))
+        engine.run_until(1.0)
+        assert len(done) == 1
+
+    def test_recover_without_failure_is_noop(self):
+        engine = Engine()
+        proc = Processor(engine, "p1")
+        proc.recover()
+        assert not proc.failed
+
+
+class TestSystemFailureViews:
+    def test_least_utilized_skips_failed(self):
+        system = build_system(n_processors=3)
+        system.processor("p1").fail()
+        assert system.least_utilized().name == "p2"
+
+    def test_all_failed_returns_none(self):
+        system = build_system(n_processors=2)
+        for p in system.processors:
+            p.fail()
+        assert system.least_utilized() is None
+
+    def test_live_and_failed_views(self):
+        system = build_system(n_processors=3)
+        system.processor("p2").fail()
+        assert [p.name for p in system.live_processors()] == ["p1", "p3"]
+        assert system.failed_processor_names() == {"p2"}
+
+
+class TestFailureInjector:
+    def test_scheduled_fail_and_recover(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        injector.plan(FailureEvent("p1", fail_at=1.0, recover_at=2.0))
+        injector.arm()
+        system.engine.run_until(1.5)
+        assert system.processor("p1").failed
+        system.engine.run_until(2.5)
+        assert not system.processor("p1").failed
+
+    def test_permanent_failure(self):
+        system = build_system(n_processors=2)
+        FailureInjector(system).plan(FailureEvent("p2", fail_at=1.0)).arm()
+        system.engine.run_until(100.0)
+        assert system.processor("p2").failed
+
+    def test_unknown_processor_rejected(self):
+        system = build_system(n_processors=2)
+        with pytest.raises(ClusterError):
+            FailureInjector(system).plan(FailureEvent("p9", fail_at=1.0))
+
+    def test_bad_event_times_rejected(self):
+        with pytest.raises(ClusterError):
+            FailureEvent("p1", fail_at=-1.0)
+        with pytest.raises(ClusterError):
+            FailureEvent("p1", fail_at=2.0, recover_at=1.0)
+
+    def test_double_arm_rejected(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        injector.arm()
+        with pytest.raises(ClusterError):
+            injector.arm()
+        with pytest.raises(ClusterError):
+            injector.plan(FailureEvent("p1", fail_at=1.0))

@@ -1,0 +1,84 @@
+"""Unit tests for heterogeneous processor speeds."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.processor import Discipline, Processor
+from repro.cluster.topology import build_system
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+class TestSpeedFactor:
+    def test_invalid_speed_rejected(self):
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            Processor(engine, "p", speed=0.0)
+
+    def test_fast_processor_finishes_sooner(self):
+        engine = Engine()
+        fast = Processor(engine, "fast", speed=2.0)
+        slow = Processor(engine, "slow", speed=0.5)
+        fast_job = fast.run_for(1.0)
+        slow_job = slow.run_for(1.0)
+        engine.run()
+        assert fast_job.completion_time == pytest.approx(0.5)
+        assert slow_job.completion_time == pytest.approx(2.0)
+
+    def test_ps_sharing_scales_with_speed(self):
+        engine = Engine()
+        proc = Processor(engine, "p", speed=2.0)
+        a = proc.run_for(1.0)
+        b = proc.run_for(1.0)
+        engine.run()
+        # Combined demand 2.0 at rate 2.0: both finish at t=1.
+        assert a.completion_time == pytest.approx(1.0)
+        assert b.completion_time == pytest.approx(1.0)
+
+    def test_rr_respects_speed(self):
+        engine = Engine()
+        proc = Processor(
+            engine, "p", discipline=Discipline.ROUND_ROBIN,
+            quantum=0.001, speed=2.0,
+        )
+        job = proc.run_for(0.010)
+        engine.run()
+        assert job.completion_time == pytest.approx(0.005)
+
+    def test_rr_and_ps_agree_under_speed(self):
+        results = {}
+        for discipline in (Discipline.PROCESSOR_SHARING, Discipline.ROUND_ROBIN):
+            engine = Engine()
+            proc = Processor(
+                engine, "p", discipline=discipline, quantum=0.001, speed=0.5
+            )
+            jobs = [proc.run_for(0.100), proc.run_for(0.050)]
+            engine.run()
+            results[discipline] = [j.completion_time for j in jobs]
+        ps, rr = results.values()
+        for a, b in zip(ps, rr):
+            assert a == pytest.approx(b, abs=0.004)
+
+    def test_busy_time_reflects_wall_clock_not_demand(self):
+        engine = Engine()
+        proc = Processor(engine, "p", speed=0.5)
+        proc.run_for(1.0)  # runs for 2 wall seconds
+        engine.run_until(4.0)
+        assert proc.meter.busy_between(0.0, 4.0) == pytest.approx(2.0)
+
+
+class TestHeterogeneousSystem:
+    def test_speed_factors_applied(self):
+        system = build_system(
+            n_processors=3, speed_factors=(2.0, 1.0, 0.5)
+        )
+        assert [p.speed for p in system.processors] == [2.0, 1.0, 0.5]
+
+    def test_wrong_factor_count_rejected(self):
+        with pytest.raises(ClusterError):
+            build_system(n_processors=3, speed_factors=(1.0, 1.0))
+
+    def test_default_is_homogeneous(self):
+        system = build_system(n_processors=3)
+        assert all(p.speed == 1.0 for p in system.processors)

@@ -1,0 +1,114 @@
+"""Unit tests for the utilization meter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metering import UtilizationMeter
+
+
+class TestBasics:
+    def test_idle_meter_reports_zero(self):
+        meter = UtilizationMeter()
+        assert meter.utilization(10.0, 5.0) == 0.0
+        assert not meter.is_busy
+
+    def test_fully_busy_window(self):
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        assert meter.utilization(10.0, 5.0) == pytest.approx(1.0)
+        assert meter.is_busy
+
+    def test_half_busy_window(self):
+        meter = UtilizationMeter()
+        meter.set_busy(5.0, True)
+        meter.set_busy(7.5, False)
+        assert meter.utilization(10.0, 5.0) == pytest.approx(0.5)
+
+    def test_busy_between_simple(self):
+        meter = UtilizationMeter()
+        meter.set_busy(1.0, True)
+        meter.set_busy(3.0, False)
+        assert meter.busy_between(0.0, 4.0) == pytest.approx(2.0)
+        assert meter.busy_between(2.0, 4.0) == pytest.approx(1.0)
+
+    def test_interpolation_inside_busy_span(self):
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        meter.set_busy(10.0, False)
+        assert meter.busy_between(0.0, 4.0) == pytest.approx(4.0)
+        assert meter.busy_between(3.0, 7.0) == pytest.approx(4.0)
+
+    def test_interpolation_inside_idle_span(self):
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        meter.set_busy(2.0, False)
+        meter.set_busy(8.0, True)
+        meter.set_busy(9.0, False)
+        assert meter.busy_between(3.0, 7.0) == pytest.approx(0.0)
+
+    def test_redundant_transitions_ignored(self):
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        meter.set_busy(1.0, True)  # no-op
+        meter.set_busy(2.0, False)
+        meter.set_busy(3.0, False)  # no-op
+        assert meter.busy_between(0.0, 4.0) == pytest.approx(2.0)
+
+
+class TestValidation:
+    def test_time_going_backwards_rejected(self):
+        meter = UtilizationMeter()
+        meter.set_busy(5.0, True)
+        with pytest.raises(ValueError):
+            meter.set_busy(4.0, False)
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationMeter().busy_between(3.0, 2.0)
+
+    def test_non_positive_window_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationMeter().utilization(1.0, 0.0)
+
+    def test_window_beyond_max_rejected(self):
+        meter = UtilizationMeter(max_window=5.0)
+        with pytest.raises(ValueError):
+            meter.utilization(100.0, 10.0)
+
+    def test_non_positive_max_window_rejected(self):
+        with pytest.raises(ValueError):
+            UtilizationMeter(max_window=0.0)
+
+
+class TestWarmup:
+    def test_warmup_uses_elapsed_not_window(self):
+        """At t=2 with a 5 s window, a fully busy [0,2] reads 1.0, not 0.4."""
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        assert meter.utilization(2.0, 5.0) == pytest.approx(1.0)
+
+    def test_at_time_zero_reflects_current_state(self):
+        meter = UtilizationMeter()
+        assert meter.utilization(0.0, 5.0) == 0.0
+        meter.set_busy(0.0, True)
+        assert meter.utilization(0.0, 5.0) == 1.0
+
+
+class TestPruning:
+    def test_long_history_stays_accurate_in_window(self):
+        meter = UtilizationMeter(max_window=5.0)
+        # Alternate 0.5 busy / 0.5 idle for 200 s -> 50% utilization.
+        t = 0.0
+        for _ in range(200):
+            meter.set_busy(t, True)
+            meter.set_busy(t + 0.5, False)
+            t += 1.0
+        assert meter.utilization(200.0, 5.0) == pytest.approx(0.5)
+
+    def test_lifetime_utilization(self):
+        meter = UtilizationMeter()
+        meter.set_busy(0.0, True)
+        meter.set_busy(5.0, False)
+        assert meter.lifetime_utilization(10.0) == pytest.approx(0.5)
+        assert meter.lifetime_utilization(0.0) == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for the shared network medium."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import Message, Network
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+def make(bandwidth=100e6, overhead=0.0):
+    engine = Engine()
+    return engine, Network(
+        engine, bandwidth_bps=bandwidth, default_overhead_bytes=overhead
+    )
+
+
+class TestMessage:
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ClusterError):
+            Message(-1.0)
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ClusterError):
+            Message(10.0, overhead_bytes=-1.0)
+
+    def test_delays_before_transmission_raise(self):
+        message = Message(10.0)
+        with pytest.raises(ClusterError):
+            message.buffer_delay
+        with pytest.raises(ClusterError):
+            message.total_delay
+
+    def test_wire_bytes(self):
+        assert Message(100.0, overhead_bytes=20.0).wire_bytes == 120.0
+
+
+class TestTransmission:
+    def test_single_message_delay_is_bits_over_bandwidth(self):
+        engine, net = make(bandwidth=100e6)
+        message = net.send_bytes(1_250_000)  # 10 Mbit
+        engine.run()
+        assert message.delivery_time == pytest.approx(0.1)
+        assert message.buffer_delay == 0.0
+        assert message.total_delay == pytest.approx(0.1)
+
+    def test_default_overhead_applied(self):
+        engine, net = make(overhead=500.0)
+        message = net.send_bytes(500.0)
+        engine.run()
+        assert message.wire_bytes == 1000.0
+        assert message.total_delay == pytest.approx(1000 * 8 / 100e6)
+
+    def test_explicit_overhead_not_overwritten(self):
+        engine, net = make(overhead=500.0)
+        message = net.send(Message(500.0, overhead_bytes=100.0))
+        engine.run()
+        assert message.wire_bytes == 600.0
+
+    def test_fifo_queueing_creates_buffer_delay(self):
+        engine, net = make(bandwidth=100e6)
+        first = net.send_bytes(1_250_000)   # 100 ms on the wire
+        second = net.send_bytes(1_250_000)
+        engine.run()
+        assert first.buffer_delay == 0.0
+        assert second.buffer_delay == pytest.approx(0.1)
+        assert second.delivery_time == pytest.approx(0.2)
+
+    def test_burst_of_k_messages_serializes(self):
+        engine, net = make(bandwidth=100e6)
+        messages = [net.send_bytes(125_000) for _ in range(5)]  # 10 ms each
+        engine.run()
+        for i, message in enumerate(messages):
+            assert message.buffer_delay == pytest.approx(i * 0.010)
+
+    def test_delivery_callback(self):
+        engine, net = make()
+        got = []
+        net.send_bytes(1000.0, on_delivered=lambda m, t: got.append(t))
+        engine.run()
+        assert len(got) == 1
+
+    def test_counters(self):
+        engine, net = make()
+        net.send_bytes(1000.0)
+        net.send_bytes(2000.0)
+        engine.run()
+        assert net.delivered_count == 2
+        assert net.delivered_bytes == 3000.0
+
+    def test_queue_length(self):
+        engine, net = make()
+        net.send_bytes(1_250_000)
+        net.send_bytes(1_250_000)
+        net.send_bytes(1_250_000)
+        assert net.queue_length == 2  # one transmitting, two waiting
+        engine.run()
+        assert net.queue_length == 0
+
+    def test_idle_between_sends(self):
+        engine, net = make(bandwidth=100e6)
+        net.send_bytes(125_000)  # 10 ms
+        engine.run_until(1.0)
+        second = net.send_bytes(125_000)
+        engine.run()
+        assert second.buffer_delay == 0.0
+        assert second.start_time == pytest.approx(1.0)
+
+    def test_utilization_reflects_wire_time(self):
+        engine, net = make(bandwidth=100e6)
+        net.send_bytes(2_500_000)  # 200 ms
+        engine.run_until(1.0)
+        assert net.utilization(window=1.0) == pytest.approx(0.2, abs=1e-6)
+
+    def test_zero_payload_with_overhead_still_transmits(self):
+        engine, net = make(overhead=100.0)
+        message = net.send_bytes(0.0)
+        engine.run()
+        assert message.delivery_time is not None
+
+    def test_invalid_bandwidth_rejected(self):
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            Network(engine, bandwidth_bps=0.0)

@@ -1,0 +1,74 @@
+"""Tests for per-label network traffic accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.sim.engine import Engine
+
+
+def make(mode="shared"):
+    engine = Engine()
+    return engine, Network(
+        engine, bandwidth_bps=100e6, default_overhead_bytes=0.0, mode=mode
+    )
+
+
+class TestPerLabelAccounting:
+    def test_labels_accumulate_counts_and_bytes(self):
+        engine, net = make()
+        net.send_bytes(1000.0, label="m1")
+        net.send_bytes(2000.0, label="m1")
+        net.send_bytes(500.0, label="m2")
+        engine.run()
+        assert net.delivered_by_label["m1"] == (2, 3000.0)
+        assert net.delivered_by_label["m2"] == (1, 500.0)
+
+    def test_unlabelled_messages_not_tracked(self):
+        engine, net = make()
+        net.send_bytes(1000.0)
+        engine.run()
+        assert net.delivered_by_label == {}
+        assert net.delivered_count == 1
+
+    def test_switched_mode_accounts_identically(self):
+        engine, net = make(mode="switched")
+        net.send_bytes(1000.0, label="a")
+        net.send_bytes(1000.0, label="a")
+        engine.run()
+        assert net.delivered_by_label["a"] == (2, 2000.0)
+
+    def test_totals_match_sum_over_labels(self):
+        engine, net = make()
+        for i in range(6):
+            net.send_bytes(100.0 * (i + 1), label=f"m{i % 2}")
+        engine.run()
+        by_label = sum(b for _, b in net.delivered_by_label.values())
+        assert by_label == pytest.approx(net.delivered_bytes)
+
+    def test_experiment_traffic_split_by_stage(self):
+        """End-to-end: an executor run yields per-message-stage totals."""
+        from repro.bench.app import aaw_task, default_initial_placement
+        from repro.cluster.topology import build_system
+        from repro.runtime.executor import PeriodicTaskExecutor
+        from repro.tasks.state import ReplicaAssignment
+
+        system = build_system(n_processors=6, seed=2)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=lambda c: 2000.0
+        )
+        executor.start(2)
+        system.engine.run_until(4.0)
+        labels = set(system.network.delivered_by_label)
+        assert labels == {"aaw.m1", "aaw.m2", "aaw.m3", "aaw.m4"}
+        # m1 (80 B/item + 16 context) outweighs m4 (16 + 16).
+        assert (
+            system.network.delivered_by_label["aaw.m1"][1]
+            > system.network.delivered_by_label["aaw.m4"][1]
+        )

@@ -1,0 +1,75 @@
+"""Unit tests for the switched network mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.network import Network
+from repro.errors import ClusterError
+from repro.sim.engine import Engine
+
+
+def make(mode="switched"):
+    engine = Engine()
+    return engine, Network(
+        engine, bandwidth_bps=100e6, default_overhead_bytes=0.0, mode=mode
+    )
+
+
+class TestSwitchedMode:
+    def test_unknown_mode_rejected(self):
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            Network(engine, mode="quantum")
+
+    def test_concurrent_messages_do_not_queue(self):
+        engine, net = make()
+        first = net.send_bytes(1_250_000)   # 100 ms
+        second = net.send_bytes(1_250_000)
+        engine.run()
+        assert first.buffer_delay == 0.0
+        assert second.buffer_delay == 0.0
+        assert first.delivery_time == pytest.approx(0.1)
+        assert second.delivery_time == pytest.approx(0.1)
+
+    def test_shared_mode_same_messages_queue(self):
+        engine, net = make(mode="shared")
+        net.send_bytes(1_250_000)
+        second = net.send_bytes(1_250_000)
+        engine.run()
+        assert second.buffer_delay == pytest.approx(0.1)
+
+    def test_counters_still_track(self):
+        engine, net = make()
+        for _ in range(5):
+            net.send_bytes(1000.0)
+        engine.run()
+        assert net.delivered_count == 5
+        assert net.delivered_bytes == 5000.0
+
+    def test_delivery_callbacks_fire(self):
+        engine, net = make()
+        got = []
+        for _ in range(3):
+            net.send_bytes(1000.0, on_delivered=lambda m, t: got.append(t))
+        engine.run()
+        assert len(got) == 3
+
+    def test_utilization_counts_any_in_flight(self):
+        engine, net = make()
+        net.send_bytes(1_250_000)  # 100 ms
+        net.send_bytes(2_500_000)  # 200 ms, concurrent
+        engine.run_until(1.0)
+        # Busy while >= 1 transmission in flight: 200 ms of 1 s.
+        assert net.utilization(window=1.0) == pytest.approx(0.2, abs=1e-6)
+
+    def test_burst_latency_advantage_over_shared(self):
+        """The buffer-delay mechanism (eq. 5) vanishes on a switch."""
+        engine_sw, net_sw = make("switched")
+        engine_sh, net_sh = make("shared")
+        last_sw = [net_sw.send_bytes(125_000) for _ in range(8)][-1]
+        last_sh = [net_sh.send_bytes(125_000) for _ in range(8)][-1]
+        engine_sw.run()
+        engine_sh.run()
+        assert last_sw.total_delay == pytest.approx(0.01)
+        assert last_sh.total_delay == pytest.approx(0.08)

@@ -1,0 +1,93 @@
+"""Unit tests for the assembled system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.topology import System, build_system
+from repro.errors import ClusterError
+
+
+class TestBuildSystem:
+    def test_baseline_shape(self):
+        system = build_system()
+        assert system.size == 6
+        assert [p.name for p in system.processors] == [
+            "p1", "p2", "p3", "p4", "p5", "p6",
+        ]
+        assert len(system.clocks) == 6
+        assert system.clock_sync is not None
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ClusterError):
+            build_system(n_processors=0)
+
+    def test_clock_sync_optional(self):
+        system = build_system(clock_sync_enabled=False)
+        assert system.clock_sync is None
+
+    def test_deterministic_given_seed(self):
+        a = build_system(seed=3)
+        b = build_system(seed=3)
+        assert [c.offset for c in a.clocks] == [c.offset for c in b.clocks]
+
+    def test_different_seeds_differ(self):
+        a = build_system(seed=3)
+        b = build_system(seed=4)
+        assert [c.offset for c in a.clocks] != [c.offset for c in b.clocks]
+
+
+class TestLookups:
+    def test_processor_lookup(self):
+        system = build_system(n_processors=3)
+        assert system.processor("p2").name == "p2"
+        with pytest.raises(ClusterError):
+            system.processor("p9")
+
+    def test_clock_lookup(self):
+        system = build_system(n_processors=3)
+        assert system.clock_of("p1").name == "p1"
+        with pytest.raises(ClusterError):
+            system.clock_of("p9")
+
+    def test_utilizations_map(self):
+        system = build_system(n_processors=3)
+        utils = system.utilizations()
+        assert set(utils) == {"p1", "p2", "p3"}
+        assert all(u == 0.0 for u in utils.values())
+
+
+class TestLeastUtilized:
+    def test_ties_break_by_name(self):
+        system = build_system(n_processors=4)
+        assert system.least_utilized().name == "p1"
+
+    def test_exclusion(self):
+        system = build_system(n_processors=3)
+        chosen = system.least_utilized(exclude={"p1"})
+        assert chosen.name == "p2"
+
+    def test_all_excluded_returns_none(self):
+        system = build_system(n_processors=2)
+        assert system.least_utilized(exclude={"p1", "p2"}) is None
+
+    def test_prefers_truly_least_utilized(self):
+        system = build_system(n_processors=3)
+        system.processor("p1").run_for(3.0)
+        system.processor("p2").run_for(1.0)
+        system.engine.run_until(4.0)
+        # p3 never worked.
+        assert system.least_utilized().name == "p3"
+        assert system.least_utilized(exclude={"p3"}).name == "p2"
+
+    def test_duplicate_processor_names_rejected(self):
+        system = build_system(n_processors=2)
+        with pytest.raises(ClusterError):
+            System(
+                engine=system.engine,
+                processors=[system.processors[0], system.processors[0]],
+                network=system.network,
+                clocks=system.clocks,
+                clock_sync=None,
+                rng=system.rng,
+            )

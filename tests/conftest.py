@@ -1,0 +1,97 @@
+"""Shared fixtures.
+
+The expensive artifact is the profiled+fitted :class:`TimingEstimator`;
+it is built once per test session (with a reduced grid for speed) and
+shared by every test that needs realistic regression models.  Tests that
+need *exact* models use hand-built ones instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.bench.profiler import build_estimator
+from repro.cluster.topology import System, build_system
+from repro.experiments.config import BaselineConfig
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.estimator import TimingEstimator
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.transmission import TransmissionModel
+from repro.tasks.state import ReplicaAssignment
+
+
+@pytest.fixture()
+def system() -> System:
+    """A fresh 6-node Table 1 system."""
+    return build_system(n_processors=6, seed=42)
+
+
+@pytest.fixture()
+def task():
+    """The benchmark task without execution noise (deterministic)."""
+    return aaw_task(noise_sigma=0.0)
+
+
+@pytest.fixture()
+def noisy_task():
+    """The benchmark task with its default noise."""
+    return aaw_task()
+
+
+@pytest.fixture()
+def assignment(task, system):
+    """Default round-robin initial placement for the benchmark task."""
+    placement = default_initial_placement(task, [p.name for p in system.processors])
+    return ReplicaAssignment(task, placement)
+
+
+@pytest.fixture(scope="session")
+def fitted_estimator() -> TimingEstimator:
+    """A realistically fitted estimator (reduced grid, noise-free app).
+
+    Session-scoped: profiling even the reduced grid costs ~1 s.
+    """
+    quiet_task = aaw_task(noise_sigma=0.0)
+    return build_estimator(
+        quiet_task,
+        u_grid=(0.0, 0.2, 0.4, 0.6),
+        d_grid_tracks=(200.0, 500.0, 1000.0, 2000.0, 4000.0),
+        repetitions=1,
+        seed=7,
+    )
+
+
+def exact_estimator(task) -> TimingEstimator:
+    """An estimator whose eq. 3 surfaces equal the ground-truth demands.
+
+    ``eex(d, u) = demand(d)`` exactly (no utilization stretch), and a
+    zero-buffer, overhead-free communication model.  Useful when a test
+    needs analytically predictable forecasts.
+    """
+    models = {}
+    for subtask in task.subtasks:
+        service = subtask.service
+        models[subtask.index] = ExecutionLatencyModel(
+            subtask_name=subtask.name,
+            a=(0.0, 0.0, service.q2_ms),
+            b=(0.0, 0.0, service.q1_ms),
+        )
+    comm = CommunicationDelayModel(
+        buffer=BufferDelayModel(k_ms_per_track=0.0),
+        transmission=TransmissionModel(bandwidth_bps=100e6, overhead_bytes=0.0),
+    )
+    return TimingEstimator(task=task, latency_models=models, comm_model=comm)
+
+
+@pytest.fixture()
+def analytic_estimator(task) -> TimingEstimator:
+    """Fixture wrapper around :func:`exact_estimator`."""
+    return exact_estimator(task)
+
+
+@pytest.fixture(scope="session")
+def baseline() -> BaselineConfig:
+    """The Table 1 baseline configuration."""
+    return BaselineConfig()

@@ -1,0 +1,156 @@
+"""Unit tests for EQF-variant deadline assignment (eqs. 1-2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task
+from repro.core.deadlines import STRATEGIES, assign_deadlines
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def task():
+    return aaw_task(noise_sigma=0.0)
+
+
+def uniform_estimates(task, exec_s=0.05, comm_s=0.01):
+    return (
+        [exec_s] * task.n_subtasks,
+        [comm_s] * (task.n_subtasks - 1),
+    )
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, task):
+        exec_est, comm_est = uniform_estimates(task)
+        with pytest.raises(ConfigurationError):
+            assign_deadlines(task, exec_est, comm_est, strategy="magic")
+
+    def test_wrong_exec_count_rejected(self, task):
+        _, comm_est = uniform_estimates(task)
+        with pytest.raises(ConfigurationError):
+            assign_deadlines(task, [0.1] * 3, comm_est)
+
+    def test_wrong_comm_count_rejected(self, task):
+        exec_est, _ = uniform_estimates(task)
+        with pytest.raises(ConfigurationError):
+            assign_deadlines(task, exec_est, [0.1])
+
+    def test_non_positive_exec_rejected(self, task):
+        exec_est, comm_est = uniform_estimates(task)
+        exec_est[2] = 0.0
+        with pytest.raises(ConfigurationError):
+            assign_deadlines(task, exec_est, comm_est)
+
+    def test_negative_comm_rejected(self, task):
+        exec_est, comm_est = uniform_estimates(task)
+        comm_est[0] = -0.1
+        with pytest.raises(ConfigurationError):
+            assign_deadlines(task, exec_est, comm_est)
+
+    def test_zero_comm_allowed(self, task):
+        exec_est, comm_est = uniform_estimates(task)
+        comm_est[0] = 0.0
+        result = assign_deadlines(task, exec_est, comm_est)
+        assert result.message_deadlines[1] >= 0.0
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_all_budgets_positive(self, task, strategy):
+        exec_est, comm_est = uniform_estimates(task)
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        assert all(v > 0 for v in result.subtask_deadlines.values())
+        assert all(v > 0 for v in result.message_deadlines.values())
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_budget_at_least_estimate_when_slack_positive(self, task, strategy):
+        exec_est, comm_est = uniform_estimates(task, exec_s=0.05, comm_s=0.01)
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        for j, est in enumerate(exec_est, start=1):
+            assert result.subtask_deadlines[j] >= est
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_stage_budget_combines_message_and_subtask(self, task, strategy):
+        exec_est, comm_est = uniform_estimates(task)
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        assert result.stage_budget(1) == result.subtask_deadlines[1]
+        assert result.stage_budget(3) == pytest.approx(
+            result.message_deadlines[2] + result.subtask_deadlines[3]
+        )
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_budgets_scale_with_estimates(self, task, strategy):
+        """A subtask with a larger estimate gets a larger budget."""
+        exec_est, comm_est = uniform_estimates(task)
+        exec_est[2] = 0.5  # subtask 3 dominates
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        assert result.subtask_deadlines[3] > result.subtask_deadlines[1]
+
+
+class TestSequentialEqf:
+    def test_budgets_sum_exactly_to_deadline(self, task):
+        exec_est, comm_est = uniform_estimates(task, exec_s=0.05, comm_s=0.01)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="sequential_eqf")
+        assert result.total_budget() == pytest.approx(task.deadline)
+
+    def test_equal_estimates_get_equal_budgets(self, task):
+        exec_est, comm_est = uniform_estimates(task, exec_s=0.05, comm_s=0.05)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="sequential_eqf")
+        budgets = list(result.subtask_deadlines.values())
+        assert budgets == pytest.approx([budgets[0]] * len(budgets))
+
+    def test_overload_floors_at_fraction_of_estimate(self, task):
+        # Total estimated work far beyond the deadline.
+        exec_est = [2.0] * task.n_subtasks
+        comm_est = [0.5] * (task.n_subtasks - 1)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="sequential_eqf")
+        for j, est in enumerate(exec_est, start=1):
+            assert result.subtask_deadlines[j] >= 0.1 * est
+
+
+class TestPaperEqf:
+    def test_matches_closed_form(self, task):
+        """dl(x_i) = est_i * D / RemainingWork_i."""
+        exec_est, comm_est = uniform_estimates(task, exec_s=0.04, comm_s=0.02)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="paper_eqf")
+        # Build the interleaved chain and verify each budget.
+        chain = []
+        for j in range(1, task.n_subtasks + 1):
+            chain.append(("st", j, exec_est[j - 1]))
+            if j < task.n_subtasks:
+                chain.append(("m", j, comm_est[j - 1]))
+        remaining = sum(e for _, _, e in chain)
+        for kind, index, est in chain:
+            expected = est * task.deadline / remaining
+            if kind == "st":
+                assert result.subtask_deadlines[index] == pytest.approx(expected)
+            else:
+                assert result.message_deadlines[index] == pytest.approx(expected)
+            remaining -= est
+
+    def test_terminal_stage_gets_full_deadline(self, task):
+        """The documented pathology of the literal eq. 1 form."""
+        exec_est, comm_est = uniform_estimates(task)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="paper_eqf")
+        assert result.subtask_deadlines[task.n_subtasks] == pytest.approx(
+            task.deadline
+        )
+
+
+class TestProportional:
+    def test_budgets_proportional_to_estimates(self, task):
+        exec_est = [0.01, 0.02, 0.04, 0.02, 0.01]
+        comm_est = [0.01] * 4
+        result = assign_deadlines(task, exec_est, comm_est, strategy="proportional")
+        total = sum(exec_est) + sum(comm_est)
+        for j, est in enumerate(exec_est, start=1):
+            assert result.subtask_deadlines[j] == pytest.approx(
+                est * task.deadline / total
+            )
+
+    def test_budgets_sum_to_deadline(self, task):
+        exec_est, comm_est = uniform_estimates(task)
+        result = assign_deadlines(task, exec_est, comm_est, strategy="proportional")
+        assert result.total_budget() == pytest.approx(task.deadline)

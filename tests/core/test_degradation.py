@@ -1,0 +1,132 @@
+"""Tests for graceful degradation (data shedding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.degradation import DataShedder, DegradationController
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.errors import ConfigurationError
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+from tests.conftest import exact_estimator
+
+
+class TestDataShedder:
+    def test_uncapped_passes_through(self):
+        shedder = DataShedder(offered=lambda c: 1000.0)
+        assert shedder(0) == 1000.0
+        assert shedder.shed_fraction == 0.0
+
+    def test_cap_limits_processing(self):
+        shedder = DataShedder(offered=lambda c: 1000.0, cap_tracks=600.0)
+        assert shedder(0) == 600.0
+        assert shedder.shed_fraction == pytest.approx(0.4)
+
+    def test_tighten_respects_mandatory_floor(self):
+        shedder = DataShedder(
+            offered=lambda c: 1000.0, min_cap_tracks=300.0
+        )
+        for _ in range(20):
+            shedder.tighten(0.5, reference_tracks=1000.0)
+        assert shedder.cap_tracks == 300.0
+
+    def test_relax_releases_cap_above_offer(self):
+        shedder = DataShedder(offered=lambda c: 1000.0, cap_tracks=900.0)
+        shedder.relax(1.2, offered_tracks=1000.0)
+        assert shedder.cap_tracks == float("inf")
+
+    def test_relax_noop_when_uncapped(self):
+        shedder = DataShedder(offered=lambda c: 1000.0)
+        shedder.relax(1.2, offered_tracks=1000.0)
+        assert shedder.cap_tracks == float("inf")
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataShedder(offered=lambda c: 1.0, min_cap_tracks=0.0)
+
+
+class TestDegradationController:
+    def test_bad_factors_rejected(self):
+        shedder = DataShedder(offered=lambda c: 1.0)
+        manager = object.__new__(AdaptiveResourceManager)  # placeholder
+        with pytest.raises(ConfigurationError):
+            DegradationController(manager, shedder, shed_factor=1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationController(manager, shedder, recover_factor=1.0)
+
+    @staticmethod
+    def build_stack(workload_tracks, n_processors=3):
+        """A deliberately undersized machine to force Fig-5 FAILUREs."""
+        system = build_system(n_processors=n_processors, seed=2)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        shedder = DataShedder(
+            offered=lambda c: workload_tracks, min_cap_tracks=500.0
+        )
+        executor = PeriodicTaskExecutor(system, task, assignment, workload=shedder)
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=1000.0),
+        )
+        controller = DegradationController(manager, shedder)
+        return system, executor, manager, shedder, controller
+
+    def test_overload_triggers_shedding(self):
+        system, executor, manager, shedder, controller = self.build_stack(
+            12000.0
+        )
+        manager.start(25)
+        controller.start(25)
+        executor.start(25)
+        system.engine.run_until(28.0)
+        assert controller.sheds > 0
+        assert shedder.shed_fraction > 0.1
+        # With shedding, the tail of the run meets deadlines that the
+        # 3-node machine could never meet at the full offered load.
+        tail = executor.records[-5:]
+        assert sum(1 for r in tail if r.missed) <= 1
+
+    def test_feasible_load_never_sheds(self):
+        system, executor, manager, shedder, controller = self.build_stack(
+            1500.0, n_processors=6
+        )
+        manager.start(12)
+        controller.start(12)
+        executor.start(12)
+        system.engine.run_until(14.0)
+        assert controller.sheds == 0
+        assert shedder.shed_fraction == 0.0
+
+    def test_cap_recovers_when_load_drops(self):
+        state = {"load": 12000.0}
+        system = build_system(n_processors=3, seed=2)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        shedder = DataShedder(
+            offered=lambda c: state["load"], min_cap_tracks=500.0
+        )
+        executor = PeriodicTaskExecutor(system, task, assignment, workload=shedder)
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=1000.0),
+        )
+        controller = DegradationController(manager, shedder)
+        manager.start(40)
+        controller.start(40)
+        executor.start(40)
+        system.engine.schedule_at(15.0, lambda: state.update(load=1200.0))
+        system.engine.run_until(43.0)
+        assert controller.sheds > 0
+        assert controller.relaxations > 0
+        assert shedder.cap_tracks == float("inf")  # fully recovered

@@ -1,0 +1,103 @@
+"""Unit tests for the extension policies and shutdown strategies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.allocator import get_policy, registered_policies
+from repro.core.extra_policies import (
+    HybridPolicy,
+    NoAdaptationPolicy,
+    StaticMaxPolicy,
+)
+from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
+
+from tests.core.test_policies import make_request
+
+
+class TestNoAdaptationPolicy:
+    def test_never_touches_placement(self):
+        request = make_request()
+        before = request.assignment.snapshot()
+        outcome = NoAdaptationPolicy().replicate(request)
+        assert not outcome.success
+        assert outcome.added_processors == ()
+        assert request.assignment.snapshot() == before
+
+
+class TestStaticMaxPolicy:
+    def test_grabs_every_processor(self):
+        request = make_request()
+        outcome = StaticMaxPolicy().replicate(request)
+        assert outcome.success
+        assert request.assignment.replica_count(3) == 6
+
+    def test_idempotent_on_full_machine(self):
+        request = make_request()
+        StaticMaxPolicy().replicate(request)
+        outcome = StaticMaxPolicy().replicate(request)
+        assert outcome.added_processors == ()
+        assert request.assignment.replica_count(3) == 6
+
+    def test_ignores_utilization(self):
+        request = make_request()
+        for p in request.system.processors:
+            p.run_for(10.0)
+        request.system.engine.run_until(4.0)
+        outcome = StaticMaxPolicy().replicate(request)
+        assert len(outcome.added_processors) == 5
+
+
+class TestHybridPolicy:
+    def test_behaves_like_predictive_when_feasible(self):
+        request = make_request(d_tracks=5000.0, budget=0.35)
+        outcome = HybridPolicy().replicate(request)
+        assert outcome.success
+        assert request.assignment.replica_count(3) == 2
+
+    def test_falls_back_when_budget_unreachable(self):
+        # Impossible budget on a small machine: predictive FAILs after
+        # grabbing everything; the fallback finds nothing left but the
+        # outcome is reported via the heuristic path.
+        request = make_request(d_tracks=20000.0, budget=0.01, n_processors=3)
+        outcome = HybridPolicy().replicate(request)
+        assert request.assignment.replica_count(3) == 3
+        assert outcome.success  # Figure 7 semantics: always succeeds
+
+
+class TestPolicyRegistry:
+    def test_extension_policies_registered(self):
+        assert {"noadapt", "staticmax", "hybrid"} <= set(registered_policies())
+
+    def test_instantiable_by_name(self):
+        assert get_policy("staticmax").name == "staticmax"
+
+
+class TestLifoShutdown:
+    def test_matches_figure6(self):
+        request = make_request()
+        request.assignment.add_replica(3, "p6")
+        assert LifoShutdown().shutdown(request) == "p6"
+        assert LifoShutdown().shutdown(request) is None
+
+
+class TestForecastAwareShutdown:
+    def test_refuses_unsafe_shutdown(self):
+        """With 2 replicas barely fitting, removal is forecast to break
+        timeliness, so the strategy declines."""
+        request = make_request(d_tracks=5000.0, budget=0.35)
+        request.assignment.add_replica(3, "p6")  # k=2 fits, k=1 would not
+        strategy = ForecastAwareShutdown(slack_fraction=0.2)
+        assert strategy.shutdown(request) is None
+        assert request.assignment.replica_count(3) == 2
+
+    def test_allows_safe_shutdown(self):
+        """At a tiny workload even one replica fits: removal proceeds."""
+        request = make_request(d_tracks=300.0, budget=0.35)
+        request.assignment.add_replica(3, "p6")
+        strategy = ForecastAwareShutdown(slack_fraction=0.2)
+        assert strategy.shutdown(request) == "p6"
+
+    def test_never_removes_original(self):
+        request = make_request(d_tracks=100.0, budget=0.9)
+        assert ForecastAwareShutdown().shutdown(request) is None

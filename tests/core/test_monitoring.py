@@ -1,0 +1,176 @@
+"""Unit tests for the run-time monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.core.deadlines import DeadlineAssignment
+from repro.core.monitoring import MonitorAction, RuntimeMonitor
+from repro.errors import ConfigurationError
+from repro.runtime.records import PeriodRecord, StageRecord
+from repro.tasks.state import ReplicaAssignment
+
+
+@pytest.fixture()
+def task():
+    return aaw_task(noise_sigma=0.0)
+
+
+@pytest.fixture()
+def assignment(task):
+    names = [f"p{i}" for i in range(1, 7)]
+    return ReplicaAssignment(task, default_initial_placement(task, names))
+
+
+def budgets(task, per_stage=0.2):
+    """A flat DeadlineAssignment for tests."""
+    return DeadlineAssignment(
+        subtask_deadlines={s.index: per_stage for s in task.subtasks},
+        message_deadlines={m.index: 0.0 for m in task.messages},
+        strategy="test",
+    )
+
+
+def record_with_latencies(task, latencies, period_index=0, release=0.0):
+    """A completed PeriodRecord with the given per-subtask stage latencies."""
+    record = PeriodRecord(
+        period_index=period_index,
+        release_time=release,
+        d_tracks=1000.0,
+        deadline=task.deadline,
+    )
+    t = release
+    for subtask in task.subtasks:
+        latency = latencies.get(subtask.index, 0.01)
+        record.stages.append(
+            StageRecord(
+                subtask_index=subtask.index,
+                replica_count=1,
+                start_time=t,
+                exec_finish_time=t + latency,
+                message_in_delay=0.0,
+            )
+        )
+        t += latency
+    record.completion_time = t
+    return record
+
+
+class TestValidation:
+    def test_bad_slack_fraction_rejected(self, task):
+        with pytest.raises(ConfigurationError):
+            RuntimeMonitor(task, slack_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            RuntimeMonitor(task, slack_fraction=1.0)
+
+    def test_shutdown_fraction_must_exceed_slack_fraction(self, task):
+        with pytest.raises(ConfigurationError):
+            RuntimeMonitor(task, slack_fraction=0.5, shutdown_slack_fraction=0.4)
+
+    def test_bad_window_rejected(self, task):
+        with pytest.raises(ConfigurationError):
+            RuntimeMonitor(task, window=0)
+
+
+class TestClassification:
+    def test_only_replicable_subtasks_judged(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        report = monitor.classify(0.0, [], budgets(task), assignment)
+        assert {v.subtask_index for v in report.verdicts} == {3, 5}
+
+    def test_no_records_means_ok(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        report = monitor.classify(0.0, [], budgets(task), assignment)
+        assert all(v.action is MonitorAction.OK for v in report.verdicts)
+        assert all(v.mean_stage_latency is None for v in report.verdicts)
+
+    def test_low_slack_triggers_replicate(self, task, assignment):
+        monitor = RuntimeMonitor(task, slack_fraction=0.2)
+        # Budget 0.2, latency 0.19 -> slack 0.01 < 0.04.
+        records = [record_with_latencies(task, {3: 0.19})]
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.action is MonitorAction.REPLICATE
+        assert verdict.slack == pytest.approx(0.01)
+
+    def test_missed_stage_deadline_triggers_replicate(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        records = [record_with_latencies(task, {3: 0.35})]  # > budget
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.action is MonitorAction.REPLICATE
+        assert verdict.slack < 0
+
+    def test_comfortable_slack_is_ok(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        # slack = 0.1/0.2 = 50%, between 20% and 60%.
+        records = [record_with_latencies(task, {3: 0.10, 5: 0.10})]
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        assert all(v.action is MonitorAction.OK for v in report.verdicts)
+
+    def test_high_slack_triggers_shutdown_only_with_replicas(
+        self, task, assignment
+    ):
+        monitor = RuntimeMonitor(task, shutdown_slack_fraction=0.6)
+        records = [record_with_latencies(task, {3: 0.01, 5: 0.01})]
+        # Without extra replicas: OK (nothing to shut down).
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        assert all(v.action is MonitorAction.OK for v in report.verdicts)
+        # With an extra replica on subtask 3: SHUTDOWN.
+        assignment.add_replica(3, "p6")
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        verdicts = {v.subtask_index: v for v in report.verdicts}
+        assert verdicts[3].action is MonitorAction.SHUTDOWN
+        assert verdicts[5].action is MonitorAction.OK
+
+    def test_overdue_flag_trumps_history(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        records = [record_with_latencies(task, {3: 0.01})]  # looks great
+        report = monitor.classify(
+            1.0, records, budgets(task), assignment, overdue_subtasks={3}
+        )
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.action is MonitorAction.REPLICATE
+        assert verdict.overdue
+
+    def test_window_averages_recent_periods(self, task, assignment):
+        monitor = RuntimeMonitor(task, window=3)
+        records = [
+            record_with_latencies(task, {3: 0.05}, period_index=0),
+            record_with_latencies(task, {3: 0.10}, period_index=1),
+            record_with_latencies(task, {3: 0.15}, period_index=2),
+        ]
+        report = monitor.classify(3.0, records, budgets(task), assignment)
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.mean_stage_latency == pytest.approx(0.10)
+        assert verdict.observed_periods == 3
+
+    def test_window_ignores_old_periods(self, task, assignment):
+        monitor = RuntimeMonitor(task, window=2)
+        records = [
+            record_with_latencies(task, {3: 10.0}, period_index=0),  # ancient spike
+            record_with_latencies(task, {3: 0.05}, period_index=1),
+            record_with_latencies(task, {3: 0.05}, period_index=2),
+        ]
+        report = monitor.classify(3.0, records, budgets(task), assignment)
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.mean_stage_latency == pytest.approx(0.05)
+
+    def test_message_in_delay_counts_toward_stage_latency(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        record = record_with_latencies(task, {3: 0.10})
+        record.stage(3).message_in_delay = 0.15  # pushes 0.25 over budget 0.2
+        report = monitor.classify(1.0, [record], budgets(task), assignment)
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        assert verdict.action is MonitorAction.REPLICATE
+
+
+class TestReport:
+    def test_candidates_filter(self, task, assignment):
+        monitor = RuntimeMonitor(task)
+        records = [record_with_latencies(task, {3: 0.19, 5: 0.10})]
+        report = monitor.classify(1.0, records, budgets(task), assignment)
+        replicate = report.candidates(MonitorAction.REPLICATE)
+        assert [v.subtask_index for v in replicate] == [3]
+        assert report.candidates(MonitorAction.SHUTDOWN) == []

@@ -1,0 +1,84 @@
+"""Tests for the per-stage latency breakdown."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.errors import ConfigurationError
+from repro.experiments.breakdown import compute_breakdown
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+
+@pytest.fixture(scope="module")
+def run():
+    system = build_system(n_processors=6, seed=21)
+    task = aaw_task(noise_sigma=0.0)
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    assignment.add_replica(3, "p6")
+    executor = PeriodicTaskExecutor(
+        system, task, assignment, workload=lambda c: 3000.0
+    )
+    executor.start(6)
+    system.engine.run_until(9.0)
+    return executor, task
+
+
+class TestComputeBreakdown:
+    def test_all_stages_present(self, run):
+        executor, task = run
+        breakdown = compute_breakdown(executor)
+        assert [s.subtask_index for s in breakdown.stages] == [1, 2, 3, 4, 5]
+        assert breakdown.periods_completed == 6
+
+    def test_shares_sum_to_end_to_end(self, run):
+        executor, _ = run
+        breakdown = compute_breakdown(executor)
+        total = sum(s.mean_stage_s for s in breakdown.stages)
+        assert total == pytest.approx(breakdown.mean_end_to_end_s, rel=1e-6)
+
+    def test_exec_matches_ground_truth(self, run):
+        executor, task = run
+        breakdown = compute_breakdown(executor)
+        # Subtask 3 runs with 2 replicas on 1500 tracks each.
+        expected = task.subtask(3).service.mean_demand_seconds(1500.0)
+        assert breakdown.stage(3).mean_exec_s == pytest.approx(expected, rel=1e-6)
+        assert breakdown.stage(3).mean_replicas == 2.0
+
+    def test_dominant_stage_is_a_heavy_one(self, run):
+        executor, _ = run
+        breakdown = compute_breakdown(executor)
+        assert breakdown.dominant_stage().subtask_index in (3, 5)
+
+    def test_first_stage_has_no_message_in(self, run):
+        executor, _ = run
+        breakdown = compute_breakdown(executor)
+        assert breakdown.stage(1).mean_message_in_s == 0.0
+        assert breakdown.stage(2).mean_message_in_s > 0.0
+
+    def test_period_range_filter(self, run):
+        executor, _ = run
+        partial = compute_breakdown(executor, first_period=2, last_period=4)
+        assert partial.periods_completed == 3
+
+    def test_empty_range_rejected(self, run):
+        executor, _ = run
+        with pytest.raises(ConfigurationError):
+            compute_breakdown(executor, first_period=99)
+
+    def test_unknown_stage_lookup_rejected(self, run):
+        executor, _ = run
+        breakdown = compute_breakdown(executor)
+        with pytest.raises(ConfigurationError):
+            breakdown.stage(9)
+
+    def test_render(self, run):
+        executor, _ = run
+        text = compute_breakdown(executor).render()
+        assert "Filter" in text
+        assert "end-to-end" in text
+        assert "share" in text

@@ -1,0 +1,130 @@
+"""Tests for CSV/JSON export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.export import (
+    figure_from_csv,
+    figure_to_csv,
+    metrics_from_json,
+    metrics_to_json,
+)
+from repro.experiments.figures import FigureData
+from repro.experiments.metrics import ExperimentMetrics
+
+
+def sample_figure():
+    return FigureData(
+        figure_id="F",
+        title="t",
+        x_label="x",
+        x_values=[1.0, 2.0, 3.0],
+        series={"a": [0.1, 0.2, 0.3], "b": [1.0, 2.0, 3.0]},
+    )
+
+
+def sample_metrics():
+    return ExperimentMetrics(
+        missed_deadline_ratio=0.1,
+        avg_cpu_utilization=0.2,
+        avg_network_utilization=0.3,
+        avg_replicas=4.0,
+        max_replicas=12,
+        periods_released=60,
+        periods_missed=6,
+        rm_actions=9,
+    )
+
+
+class TestFigureCsv:
+    def test_round_trip(self, tmp_path):
+        path = figure_to_csv(sample_figure(), tmp_path / "fig.csv")
+        x_label, x_values, series = figure_from_csv(path)
+        assert x_label == "x"
+        assert x_values == [1.0, 2.0, 3.0]
+        assert series == {"a": [0.1, 0.2, 0.3], "b": [1.0, 2.0, 3.0]}
+
+    def test_header_row_written(self, tmp_path):
+        path = figure_to_csv(sample_figure(), tmp_path / "fig.csv")
+        first = path.read_text().splitlines()[0]
+        assert first == "x,a,b"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ConfigurationError):
+            figure_from_csv(path)
+
+    def test_headerless_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("justone\n1\n")
+        with pytest.raises(ConfigurationError):
+            figure_from_csv(path)
+
+
+class TestRmHistoryCsv:
+    def test_decision_log_round_trip(self, tmp_path):
+        from repro.bench.app import aaw_task, default_initial_placement
+        from repro.cluster.topology import build_system
+        from repro.core.manager import AdaptiveResourceManager, RMConfig
+        from repro.core.predictive import PredictivePolicy
+        from repro.experiments.export import rm_history_to_csv
+        from repro.runtime.executor import PeriodicTaskExecutor
+        from repro.tasks.state import ReplicaAssignment
+
+        from tests.conftest import exact_estimator
+
+        system = build_system(n_processors=6, seed=2)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        executor = PeriodicTaskExecutor(
+            system, task, assignment,
+            workload=lambda c: 6000.0 if c < 8 else 300.0,
+        )
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=300.0),
+        )
+        manager.start(16)
+        executor.start(16)
+        system.engine.run_until(18.0)
+
+        path = rm_history_to_csv(manager, tmp_path / "rm.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "time,kind,subtask,processors,total_replicas"
+        kinds = {line.split(",")[1] for line in lines[1:]}
+        # Load step up then down: both action kinds appear.
+        assert "replicate" in kinds
+        assert "shutdown" in kinds
+        # One row per action taken.
+        actions = sum(
+            sum(1 for o in ev.outcomes if o.changed) + len(ev.shutdowns)
+            + len(ev.recoveries)
+            for ev in manager.history
+        )
+        assert len(lines) - 1 == actions
+
+
+class TestMetricsJson:
+    def test_round_trip(self, tmp_path):
+        path = metrics_to_json(sample_metrics(), tmp_path / "m.json")
+        data = metrics_from_json(path)
+        assert data["missed"] == 0.1
+        assert data["combined"] == pytest.approx(0.1 + 0.2 + 0.3 + 4 / 12)
+        assert data["rm_actions"] == 9
+        assert data["periods_released"] == 60
+
+    def test_extra_fields(self, tmp_path):
+        path = metrics_to_json(
+            sample_metrics(), tmp_path / "m.json", extra={"policy": "predictive"}
+        )
+        assert metrics_from_json(path)["policy"] == "predictive"
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            metrics_from_json(tmp_path / "ghost.json")

@@ -1,0 +1,135 @@
+"""Tests for the figure-series generators (reduced sweeps for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.figures import (
+    PANEL_METRICS,
+    ablation_deadline_strategy,
+    ablation_slack_fraction,
+    ablation_utilization_threshold,
+    combined_figure,
+    extended_threshold_sweep,
+    fig8_workload_patterns,
+    metric_panels,
+)
+
+UNITS = (1.0, 10.0, 20.0)
+
+
+@pytest.fixture(scope="module")
+def fast_baseline():
+    return BaselineConfig(n_periods=12, noise_sigma=0.0, seed=5)
+
+
+class TestFig8:
+    def test_three_patterns_generated(self):
+        data = fig8_workload_patterns(max_workload_units=10.0, n_periods=20)
+        assert set(data.series) == {"increasing", "decreasing", "triangular"}
+        assert len(data.x_values) == 20
+
+    def test_series_respect_bounds(self):
+        data = fig8_workload_patterns(max_workload_units=10.0, n_periods=20)
+        for series in data.series.values():
+            assert max(series) <= 5000.0
+            assert min(series) >= 0.0
+
+    def test_render_contains_title(self):
+        text = fig8_workload_patterns(n_periods=5).render()
+        assert "Figure 8" in text
+
+
+class TestMetricPanels:
+    def test_four_panels_two_series_each(self, fast_baseline, fitted_estimator):
+        panels = metric_panels(
+            "Figure 9",
+            "triangular",
+            units=UNITS,
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert set(panels) == set(PANEL_METRICS)
+        for panel in panels.values():
+            assert set(panel.series) == {"predictive", "nonpredictive"}
+            assert all(len(s) == len(UNITS) for s in panel.series.values())
+
+    def test_replica_panel_shows_overallocation(
+        self, fast_baseline, fitted_estimator
+    ):
+        panels = metric_panels(
+            "Figure 9",
+            "triangular",
+            units=(20.0,),
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        replicas = panels["d"].series
+        assert replicas["nonpredictive"][0] >= replicas["predictive"][0]
+
+
+class TestCombinedFigure:
+    def test_combined_series_shape(self, fast_baseline, fitted_estimator):
+        data = combined_figure(
+            "Figure 10",
+            "triangular",
+            units=UNITS,
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert set(data.series) == {"predictive", "nonpredictive"}
+        assert len(data.x_values) == 3
+
+    def test_identical_at_tiny_workload(self, fast_baseline, fitted_estimator):
+        """Paper: both algorithms perform the same when no replication is
+        needed."""
+        data = combined_figure(
+            "Figure 10",
+            "triangular",
+            units=(1.0,),
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert data.series["predictive"][0] == pytest.approx(
+            data.series["nonpredictive"][0], rel=0.05
+        )
+
+
+class TestExtensionStudies:
+    def test_extended_sweep_axis(self, fast_baseline, fitted_estimator):
+        data = extended_threshold_sweep(
+            units=(25.0, 30.0),
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert data.x_values == [25.0, 30.0]
+
+    def test_slack_ablation(self, fast_baseline, fitted_estimator):
+        data = ablation_slack_fraction(
+            fractions=(0.1, 0.3),
+            max_workload_units=10.0,
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert set(data.series) == {"missed", "replica_ratio", "combined"}
+        assert len(data.series["combined"]) == 2
+
+    def test_threshold_ablation(self, fast_baseline, fitted_estimator):
+        data = ablation_utilization_threshold(
+            thresholds=(0.2, 0.6),
+            max_workload_units=10.0,
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert len(data.series["replica_ratio"]) == 2
+
+    def test_deadline_strategy_ablation(self, fast_baseline, fitted_estimator):
+        data = ablation_deadline_strategy(
+            strategies=("sequential_eqf", "proportional"),
+            max_workload_units=10.0,
+            baseline=fast_baseline,
+            estimator=fitted_estimator,
+        )
+        assert data.strategy_names == ["sequential_eqf", "proportional"]
+        assert len(data.series["combined"]) == 2

@@ -1,0 +1,40 @@
+"""Unit tests for the §5.2 metric set."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.metrics import ExperimentMetrics
+
+
+def metrics(**kwargs):
+    defaults = dict(
+        missed_deadline_ratio=0.1,
+        avg_cpu_utilization=0.2,
+        avg_network_utilization=0.3,
+        avg_replicas=6.0,
+        max_replicas=12,
+    )
+    defaults.update(kwargs)
+    return ExperimentMetrics(**defaults)
+
+
+class TestCombinedMetric:
+    def test_combined_is_sum_of_four_terms(self):
+        m = metrics()
+        assert m.replica_ratio == pytest.approx(0.5)
+        assert m.combined == pytest.approx(0.1 + 0.2 + 0.3 + 0.5)
+
+    def test_zero_max_replicas_guarded(self):
+        m = metrics(max_replicas=0)
+        assert m.replica_ratio == 0.0
+
+    def test_lower_is_better_ordering(self):
+        good = metrics(missed_deadline_ratio=0.0, avg_replicas=2.0)
+        bad = metrics(missed_deadline_ratio=0.5, avg_replicas=12.0)
+        assert good.combined < bad.combined
+
+    def test_as_dict_keys(self):
+        assert set(metrics().as_dict()) == {
+            "missed", "cpu", "net", "replicas", "replica_ratio", "combined",
+        }

@@ -1,0 +1,97 @@
+"""Tests for multi-task experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.multitask import (
+    WorkloadLedger,
+    run_multi_task_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_baseline():
+    return BaselineConfig(n_periods=12, noise_sigma=0.0, seed=4)
+
+
+def config(baseline, units=10.0, policy="predictive"):
+    return ExperimentConfig(
+        policy=policy,
+        pattern="triangular",
+        max_workload_units=units,
+        baseline=baseline,
+    )
+
+
+class TestWorkloadLedger:
+    def test_total_sums_tasks(self):
+        ledger = WorkloadLedger()
+        ledger.publish("a", 100.0)
+        ledger.publish("b", 250.0)
+        assert ledger.total() == 350.0
+
+    def test_publish_replaces(self):
+        ledger = WorkloadLedger()
+        ledger.publish("a", 100.0)
+        ledger.publish("a", 50.0)
+        assert ledger.total() == 50.0
+
+    def test_of_unknown_task_is_zero(self):
+        assert WorkloadLedger().of("ghost") == 0.0
+
+
+class TestMultiTaskExperiment:
+    def test_single_task_matches_structure(self, fast_baseline, fitted_estimator):
+        result = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=1, estimator=fitted_estimator
+        )
+        assert result.n_tasks == 1
+        assert set(result.per_task_metrics) == {"aaw1"}
+        assert result.aggregate.periods_released == 12
+
+    def test_two_tasks_share_the_machine(self, fast_baseline, fitted_estimator):
+        result = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=2, estimator=fitted_estimator
+        )
+        assert set(result.per_task_metrics) == {"aaw1", "aaw2"}
+        assert result.aggregate.periods_released == 24
+        # Aggregate replica ceiling scales with task count.
+        assert result.aggregate.max_replicas == 6 * 2 * 2
+
+    def test_contention_raises_utilization(self, fast_baseline, fitted_estimator):
+        one = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=1, estimator=fitted_estimator
+        )
+        two = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=2, estimator=fitted_estimator
+        )
+        assert two.aggregate.avg_cpu_utilization > one.aggregate.avg_cpu_utilization
+        assert (
+            two.aggregate.avg_network_utilization
+            > one.aggregate.avg_network_utilization
+        )
+
+    def test_all_tasks_adapt_under_load(self, fast_baseline, fitted_estimator):
+        result = run_multi_task_experiment(
+            config(fast_baseline, units=15.0), n_tasks=2, estimator=fitted_estimator
+        )
+        for metrics in result.per_task_metrics.values():
+            assert metrics.rm_actions > 0
+
+    def test_invalid_task_count_rejected(self, fast_baseline, fitted_estimator):
+        with pytest.raises(ConfigurationError):
+            run_multi_task_experiment(
+                config(fast_baseline), n_tasks=0, estimator=fitted_estimator
+            )
+
+    def test_deterministic(self, fast_baseline, fitted_estimator):
+        a = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=2, estimator=fitted_estimator
+        )
+        b = run_multi_task_experiment(
+            config(fast_baseline), n_tasks=2, estimator=fitted_estimator
+        )
+        assert a.aggregate == b.aggregate

@@ -1,0 +1,62 @@
+"""Tests for the one-shot reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.paper_report import PaperReport, generate_report
+
+
+@pytest.fixture(scope="module")
+def small_report(fitted_estimator):
+    return generate_report(
+        baseline=BaselineConfig(n_periods=10, noise_sigma=0.0, seed=3),
+        units=(1.0, 10.0),
+        estimator=fitted_estimator,
+        include_tables=False,  # table 2/3 re-profile; keep the test fast
+    )
+
+
+class TestGenerateReport:
+    def test_sections_present(self, small_report):
+        titles = [s.title for s in small_report.sections]
+        assert any("Figure 8" in t for t in titles)
+        assert any("Figure 10" in t for t in titles)
+        assert any("Figure 13" in t for t in titles)
+        assert any("validation" in t for t in titles)
+
+    def test_elapsed_recorded(self, small_report):
+        assert small_report.elapsed_s > 0.0
+
+    def test_markdown_structure(self, small_report):
+        text = small_report.to_markdown()
+        assert text.startswith("# Reproduction report")
+        assert text.count("## ") == len(small_report.sections)
+        assert "predictive" in text
+
+    def test_write(self, small_report, tmp_path):
+        path = small_report.write(tmp_path / "report.md")
+        assert path.exists()
+        assert path.read_text() == small_report.to_markdown()
+
+    def test_section_toggles(self, fitted_estimator):
+        report = generate_report(
+            baseline=BaselineConfig(n_periods=6, noise_sigma=0.0, seed=3),
+            units=(1.0,),
+            estimator=fitted_estimator,
+            include_tables=False,
+            include_figures=False,
+            include_validation=False,
+        )
+        assert report.sections == []
+
+
+class TestPaperReportContainer:
+    def test_add_and_render(self):
+        report = PaperReport()
+        report.add("A", "body-a")
+        report.add("B", "body-b")
+        text = report.to_markdown()
+        assert "## A" in text and "body-a" in text
+        assert text.index("## A") < text.index("## B")

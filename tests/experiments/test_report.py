@@ -1,0 +1,59 @@
+"""Unit tests for text rendering."""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    format_series_table,
+    format_sparkline,
+    format_table,
+    paper_vs_measured,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ["name", "value"], [["x", 1.0], ["longer", 2.5]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456], [12345.6], [0.0]])
+        assert "0.123" in text
+        assert "1.235e+04" in text
+
+    def test_zero_renders_compactly(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestSeriesTable:
+    def test_columns_per_series(self):
+        text = format_series_table(
+            "x", [1.0, 2.0], {"a": [0.1, 0.2], "b": [0.3, 0.4]}
+        )
+        header = text.splitlines()[0]
+        assert "x" in header and "a" in header and "b" in header
+
+
+class TestSparkline:
+    def test_length_bounded(self):
+        assert len(format_sparkline(list(range(100)), width=40)) <= 40
+
+    def test_empty(self):
+        assert format_sparkline([]) == ""
+
+    def test_flat_series(self):
+        line = format_sparkline([1.0, 1.0, 1.0])
+        assert len(set(line)) == 1
+
+
+class TestPaperVsMeasured:
+    def test_headers(self):
+        text = paper_vs_measured([("MD ordering", "nonpred lower", "equal")])
+        assert "aspect" in text
+        assert "paper" in text
+        assert "measured" in text

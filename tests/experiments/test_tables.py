@@ -1,0 +1,70 @@
+"""Tests for Table 1/2/3 reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    reproduce_table2,
+    reproduce_table3,
+)
+
+
+class TestTable1:
+    def test_contains_every_published_row(self):
+        text = render_table1()
+        for fragment in (
+            "Number of nodes",
+            "6",
+            "Ethernet",
+            "100 Mbps",
+            "80 bytes",
+            "990 ms",
+            "20%",
+        ):
+            assert fragment in text
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return reproduce_table2(
+        baseline=BaselineConfig(noise_sigma=0.0, seed=1), repetitions=1
+    )
+
+
+class TestTable2:
+    def test_rows_for_subtasks_3_and_5(self, table2_rows):
+        assert [row.subtask_index for row in table2_rows] == [3, 5]
+
+    def test_fitted_surfaces_fit_well(self, table2_rows):
+        for row in table2_rows:
+            assert row.fitted.r_squared > 0.95
+
+    def test_fitted_d2_curvature_positive(self, table2_rows):
+        """Both replicable subtasks have positive d^2 curvature (a3 > 0),
+        the structural property shared with the published Table 2."""
+        for row in table2_rows:
+            assert row.fitted.a[2] > 0.0
+
+    def test_render_shows_fitted_and_paper(self, table2_rows):
+        text = render_table2(table2_rows)
+        assert "fitted" in text
+        assert "paper" in text
+        assert "Table 2" in text
+
+
+class TestTable3:
+    def test_fitted_slope_positive(self):
+        result = reproduce_table3(BaselineConfig(noise_sigma=0.0))
+        assert result.fitted.k_ms_per_track > 0.0
+        assert result.published_k == 0.7
+
+    def test_render(self):
+        result = reproduce_table3(BaselineConfig(noise_sigma=0.0))
+        text = render_table3(result)
+        assert "Table 3" in text
+        assert "paper" in text

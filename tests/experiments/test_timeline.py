@@ -1,0 +1,126 @@
+"""Tests for timeline extraction and rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.errors import ConfigurationError
+from repro.experiments.timeline import Timeline, extract_timeline, render_timeline
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+from tests.conftest import exact_estimator
+
+
+@pytest.fixture(scope="module")
+def finished_run():
+    system = build_system(n_processors=6, seed=13)
+    task = aaw_task(noise_sigma=0.0)
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    executor = PeriodicTaskExecutor(
+        system, task, assignment, workload=lambda c: 6000.0 if c >= 5 else 400.0
+    )
+    manager = AdaptiveResourceManager(
+        system, executor, exact_estimator(task),
+        policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=400.0),
+    )
+    manager.start(20)
+    executor.start(20)
+    system.engine.run_until(23.0)
+    return executor, manager, task
+
+
+class TestExtractTimeline:
+    def test_aligned_lengths(self, finished_run):
+        executor, manager, _ = finished_run
+        timeline = extract_timeline(executor, manager)
+        assert len(timeline) == 20
+        for array in (
+            timeline.workload_tracks,
+            timeline.latency_s,
+            timeline.missed,
+            timeline.total_replicas,
+            timeline.rm_acted,
+        ):
+            assert array.shape == (20,)
+
+    def test_workload_matches_pattern(self, finished_run):
+        executor, manager, _ = finished_run
+        timeline = extract_timeline(executor, manager)
+        assert timeline.workload_tracks[0] == 400.0
+        assert timeline.workload_tracks[10] == 6000.0
+
+    def test_replicas_forward_filled(self, finished_run):
+        executor, manager, _ = finished_run
+        timeline = extract_timeline(executor, manager)
+        assert np.isfinite(timeline.total_replicas[1:]).all()
+
+    def test_adaptation_points_match_history(self, finished_run):
+        executor, manager, _ = finished_run
+        timeline = extract_timeline(executor, manager)
+        adapted = timeline.adaptation_periods()
+        assert adapted  # the workload step forces adaptation
+        acted_times = {
+            int(round(ev.time)) for ev in manager.history if ev.acted
+        }
+        assert set(adapted) == acted_times
+
+    def test_miss_ratio_matches_records(self, finished_run):
+        executor, manager, _ = finished_run
+        timeline = extract_timeline(executor, manager)
+        expected = sum(1 for r in executor.records if r.missed) / 20
+        assert timeline.miss_ratio() == pytest.approx(expected)
+
+    def test_empty_run_rejected(self):
+        system = build_system(n_processors=2, seed=1)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, ["p1", "p2"])
+        )
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=lambda c: 100.0
+        )
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task), policy=PredictivePolicy()
+        )
+        with pytest.raises(ConfigurationError):
+            extract_timeline(executor, manager)
+
+
+class TestRenderTimeline:
+    def test_contains_all_strips(self, finished_run):
+        executor, manager, task = finished_run
+        text = render_timeline(
+            extract_timeline(executor, manager), deadline_s=task.deadline
+        )
+        for label in ("workload", "latency", "replicas", "misses", "adapted"):
+            assert label in text
+        assert "990 ms" in text
+
+    def test_strip_width_matches_periods(self, finished_run):
+        executor, manager, _ = finished_run
+        text = render_timeline(extract_timeline(executor, manager))
+        miss_line = next(l for l in text.splitlines() if l.startswith("misses"))
+        assert miss_line.count(".") + miss_line.count("!") == 20
+
+    def test_shed_periods_marked(self):
+        timeline = Timeline(
+            periods=np.arange(3),
+            workload_tracks=np.array([1.0, 2.0, 3.0]),
+            latency_s=np.array([0.1, np.nan, 0.2]),
+            missed=np.array([False, True, False]),
+            total_replicas=np.array([2.0, 2.0, 2.0]),
+            rm_acted=np.array([False, False, True]),
+        )
+        text = render_timeline(timeline)
+        latency_line = next(
+            l for l in text.splitlines() if l.startswith("latency")
+        )
+        assert "x" in latency_line

@@ -1,0 +1,45 @@
+"""Tests for the paper-claims validation module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig
+from repro.experiments.validation import render_checks, validate_reproduction
+
+
+@pytest.fixture(scope="module")
+def checks(fitted_estimator):
+    return validate_reproduction(
+        baseline=BaselineConfig(n_periods=20, seed=8),
+        estimator=fitted_estimator,
+        units=(1.0, 10.0, 20.0),
+    )
+
+
+class TestValidation:
+    def test_all_claims_checked(self, checks):
+        assert len(checks) == 6
+        claims = [c.claim for c in checks]
+        assert any("identical at small workloads" in c for c in claims)
+        assert any("combined metric" in c for c in claims)
+
+    def test_core_claims_pass(self, checks):
+        """The reproduction's headline claims hold on the reduced sweep."""
+        by_claim = {c.claim: c for c in checks}
+        assert by_claim[
+            "policies identical at small workloads (no replication)"
+        ].passed
+        assert by_claim["non-predictive uses more subtask replicas"].passed
+
+    def test_majority_of_claims_pass(self, checks):
+        assert sum(1 for c in checks if c.passed) >= 5
+
+    def test_details_populated(self, checks):
+        for check in checks:
+            assert check.detail
+
+    def test_render(self, checks):
+        text = render_checks(checks)
+        assert "verdict" in text
+        assert "PASS" in text

@@ -1,0 +1,105 @@
+"""Monitoring on the node-clock time scale (§3 property 12 made real).
+
+With node-clock timestamping enabled, stage records carry bounded clock
+error.  These tests check (a) synced clocks leave the RM's behaviour
+essentially unchanged, and (b) grossly desynchronized clocks distort
+the monitoring data in the expected direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+from tests.conftest import exact_estimator
+
+
+def run_stack(use_node_clocks, sync_enabled, workload=4000.0, offset=None):
+    system = build_system(
+        n_processors=6, seed=5, clock_sync_enabled=sync_enabled
+    )
+    if offset is not None:
+        # Desynchronize one node grossly.
+        system.clock_of("p3").offset = offset
+    task = aaw_task(noise_sigma=0.0)
+    assignment = ReplicaAssignment(
+        task, default_initial_placement(task, [p.name for p in system.processors])
+    )
+    executor = PeriodicTaskExecutor(
+        system,
+        task,
+        assignment,
+        workload=lambda c: workload,
+        config=ExecutorConfig(use_node_clocks=use_node_clocks),
+    )
+    manager = AdaptiveResourceManager(
+        system, executor, exact_estimator(task),
+        policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=1000.0),
+    )
+    manager.start(15)
+    executor.start(15)
+    system.engine.run_until(18.0)
+    return system, executor, manager
+
+
+class TestSyncedClocks:
+    def test_synced_node_clocks_barely_perturb_metrics(self):
+        _, engine_exec, engine_mgr = run_stack(False, True)
+        _, node_exec, node_mgr = run_stack(True, True)
+        engine_missed = sum(1 for r in engine_exec.records if r.missed)
+        node_missed = sum(1 for r in node_exec.records if r.missed)
+        assert abs(engine_missed - node_missed) <= 1
+        # Final placements agree in size.
+        assert abs(
+            node_exec.assignment.total_replicas()
+            - engine_exec.assignment.total_replicas()
+        ) <= 1
+
+    def test_stage_latencies_close_to_truth(self):
+        _, node_exec, _ = run_stack(True, True)
+        for record in node_exec.records:
+            if record.latency is None:
+                continue
+            stage_sum = sum(
+                s.stage_latency for s in record.stages
+                if s.stage_latency is not None
+            )
+            # Sub-ms clock residuals over 5 stages: within a few ms.
+            assert stage_sum == pytest.approx(record.latency, abs=0.01)
+
+
+class TestDesynchronizedClocks:
+    def test_gross_offset_inflates_observed_stage_latency(self):
+        """A +50 ms offset on Filter's node inflates its observed stage
+        latency (its finish stamp is ahead of the sender's clock)."""
+        _, baseline_exec, _ = run_stack(True, True, workload=2000.0)
+        _, skewed_exec, _ = run_stack(
+            True, False, workload=2000.0, offset=0.050
+        )
+
+        def mean_stage3(executor):
+            values = [
+                r.stage(3).stage_latency
+                for r in executor.records
+                if r.completed and r.stage(3) is not None
+                and r.stage(3).stage_latency is not None
+                and r.stage(3).replica_count == 1
+            ]
+            return sum(values) / len(values)
+
+        assert mean_stage3(skewed_exec) > mean_stage3(baseline_exec) + 0.030
+
+    def test_rm_survives_desynchronization(self):
+        """Even with a 50 ms skew the loop remains stable: it may hold
+        extra replicas (inflated readings), but deadlines are met."""
+        _, skewed_exec, skewed_mgr = run_stack(
+            True, False, workload=4000.0, offset=0.050
+        )
+        tail = skewed_exec.records[-6:]
+        assert sum(1 for r in tail if r.missed) <= 1

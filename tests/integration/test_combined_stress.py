@@ -1,0 +1,141 @@
+"""Integration stress tests: combinations of the hard scenarios.
+
+Each test stacks several mechanisms (multi-task + failure, mission
+profile + breakdown, switched network + heavy replication) to catch
+interactions no single-feature test would see.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.failures import FailureEvent, FailureInjector
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.experiments.breakdown import compute_breakdown
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.multitask import run_multi_task_experiment
+from repro.experiments.runner import run_experiment
+from repro.experiments.timeline import extract_timeline
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import mission_profile
+
+from tests.conftest import exact_estimator
+
+
+class TestMissionProfileRun:
+    @pytest.fixture(scope="class")
+    def mission_run(self):
+        system = build_system(n_processors=6, seed=31)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        profile = mission_profile("raid", max_tracks=8000.0, quiet_tracks=400.0)
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=profile
+        )
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=400.0),
+        )
+        manager.start(profile.n_periods)
+        executor.start(profile.n_periods)
+        system.engine.run_until(profile.n_periods + 3.0)
+        return executor, manager, profile
+
+    def test_mission_completes_with_bounded_misses(self, mission_run):
+        executor, _, profile = mission_run
+        missed = sum(1 for r in executor.records if r.missed)
+        assert missed <= profile.n_periods * 0.25
+
+    def test_replicas_track_the_raid(self, mission_run):
+        executor, manager, _ = mission_run
+        timeline = extract_timeline(executor, manager)
+        quiet = timeline.total_replicas[:8]
+        raid = timeline.total_replicas[12:22]
+        assert raid.mean() > quiet[~__import__("numpy").isnan(quiet)].mean()
+
+    def test_breakdown_distinguishes_phases(self, mission_run):
+        executor, _, _ = mission_run
+        quiet = compute_breakdown(executor, first_period=1, last_period=8)
+        raid = compute_breakdown(executor, first_period=13, last_period=22)
+        assert raid.mean_end_to_end_s > 2 * quiet.mean_end_to_end_s
+        assert raid.stage(3).mean_replicas > quiet.stage(3).mean_replicas
+
+
+class TestMultiTaskWithFailureTolerance:
+    def test_two_tasks_on_switched_network(self, fitted_estimator):
+        """Multi-task contention without the shared-medium coupling."""
+        baseline = BaselineConfig(
+            n_periods=15, noise_sigma=0.0, seed=5, network_mode="switched"
+        )
+        config = ExperimentConfig(
+            policy="predictive",
+            pattern="triangular",
+            max_workload_units=10.0,
+            baseline=baseline,
+        )
+        result = run_multi_task_experiment(
+            config, n_tasks=2, estimator=fitted_estimator
+        )
+        assert result.aggregate.missed_deadline_ratio <= 0.2
+        # Switched fabric keeps network busy-fraction low even with
+        # two tasks' message bursts.
+        assert result.aggregate.avg_network_utilization < 0.25
+
+
+class TestHeterogeneousWithFailure:
+    def test_slowest_node_failure_is_survivable(self, fitted_estimator):
+        """Crash the slowest node of a heterogeneous machine mid-run."""
+        system = build_system(
+            n_processors=6, seed=9,
+            speed_factors=(1.5, 1.25, 1.0, 1.0, 0.75, 0.5),
+        )
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=lambda c: 4000.0
+        )
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=1000.0),
+        )
+        FailureInjector(system).plan(FailureEvent("p6", fail_at=8.5)).arm()
+        manager.start(25)
+        executor.start(25)
+        system.engine.run_until(28.0)
+        tail = executor.records[-6:]
+        assert sum(1 for r in tail if r.missed) <= 1
+        for index in (1, 2, 3, 4, 5):
+            assert "p6" not in assignment.processors_of(index)
+
+
+class TestSwitchedNetworkExperiment:
+    def test_switched_run_dominates_shared_on_latency(self, fitted_estimator):
+        baseline = BaselineConfig(n_periods=15, noise_sigma=0.0, seed=7)
+        results = {}
+        for mode in ("shared", "switched"):
+            config = ExperimentConfig(
+                policy="nonpredictive",
+                pattern="constant",
+                max_workload_units=20.0,
+                baseline=baseline.with_overrides(network_mode=mode),
+            )
+            results[mode] = run_experiment(
+                config, estimator=fitted_estimator
+            ).metrics
+        assert (
+            results["switched"].avg_network_utilization
+            <= results["shared"].avg_network_utilization
+        )
+        assert results["switched"].missed_deadline_ratio <= (
+            results["shared"].missed_deadline_ratio + 0.02
+        )

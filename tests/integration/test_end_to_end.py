@@ -1,0 +1,146 @@
+"""End-to-end integration tests: full experiments, paper-level claims.
+
+These assert the *qualitative shapes* the paper reports (§5.2), on
+reduced sweeps so the whole suite stays fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.runner import run_experiment, sweep_workloads
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return BaselineConfig(n_periods=30, seed=1)
+
+
+@pytest.fixture(scope="module")
+def triangular_results(baseline, fitted_estimator):
+    units = (1.0, 10.0, 20.0, 30.0)
+    return {
+        policy: sweep_workloads(
+            policy, "triangular", units, baseline=baseline,
+            estimator=fitted_estimator,
+        )
+        for policy in ("predictive", "nonpredictive")
+    }
+
+
+class TestPaperClaims:
+    def test_identical_at_small_workload(self, triangular_results):
+        """§5.2: 'for smaller workloads where no replication is needed,
+        the performance of both algorithms is the same'."""
+        pred = triangular_results["predictive"][0].metrics
+        nonpred = triangular_results["nonpredictive"][0].metrics
+        assert pred.rm_actions == nonpred.rm_actions == 0
+        assert pred.combined == pytest.approx(nonpred.combined, rel=0.05)
+
+    def test_nonpredictive_uses_more_replicas(self, triangular_results):
+        """Fig 9(d): the heuristic over-replicates at real workloads."""
+        for i in (1, 2, 3):
+            pred = triangular_results["predictive"][i].metrics
+            nonpred = triangular_results["nonpredictive"][i].metrics
+            assert nonpred.avg_replicas >= pred.avg_replicas
+
+    def test_nonpredictive_network_utilization_not_lower(self, triangular_results):
+        """Fig 9(c): more replicas -> more network."""
+        for i in (2, 3):
+            pred = triangular_results["predictive"][i].metrics
+            nonpred = triangular_results["nonpredictive"][i].metrics
+            assert nonpred.avg_network_utilization >= 0.95 * (
+                pred.avg_network_utilization
+            )
+
+    def test_predictive_wins_combined_metric_at_moderate_workloads(
+        self, triangular_results
+    ):
+        """Fig 10: predictive has the lower combined metric once
+        replication matters (the paper's headline result)."""
+        wins = 0
+        for i in (1, 2):
+            pred = triangular_results["predictive"][i].metrics
+            nonpred = triangular_results["nonpredictive"][i].metrics
+            if pred.combined <= nonpred.combined:
+                wins += 1
+        assert wins >= 1
+
+    def test_combined_metric_increases_with_workload(self, triangular_results):
+        for policy in ("predictive", "nonpredictive"):
+            series = [r.metrics.combined for r in triangular_results[policy]]
+            assert series[-1] > series[0]
+
+    def test_miss_ratio_bounded_even_at_saturation(self, triangular_results):
+        for policy in ("predictive", "nonpredictive"):
+            for result in triangular_results[policy]:
+                assert result.metrics.missed_deadline_ratio <= 0.8
+
+
+class TestRampPatterns:
+    @pytest.mark.parametrize("pattern", ["increasing", "decreasing"])
+    def test_adaptation_tracks_monotone_load(
+        self, pattern, baseline, fitted_estimator
+    ):
+        config = ExperimentConfig(
+            policy="predictive",
+            pattern=pattern,
+            max_workload_units=20.0,
+            baseline=baseline,
+        )
+        result = run_experiment(config, estimator=fitted_estimator)
+        assert result.metrics.rm_actions > 0
+        # By the end of an increasing ramp the system holds replicas; by
+        # the end of a decreasing ramp most replicas are shut down again.
+        total_final = sum(len(v) for k, v in result.final_placement.items()
+                          if k in (3, 5))
+        if pattern == "increasing":
+            assert total_final > 2
+        else:
+            assert total_final <= 8
+
+    def test_decreasing_ramp_recovers_after_initial_overload(
+        self, baseline, fitted_estimator
+    ):
+        """The hardest scenario: the run *starts* at maximum workload."""
+        config = ExperimentConfig(
+            policy="predictive",
+            pattern="decreasing",
+            max_workload_units=20.0,
+            baseline=baseline,
+        )
+        result = run_experiment(config, estimator=fitted_estimator)
+        # Early periods are missed (nothing adapted yet) but the tail of
+        # the run must be healthy.
+        assert result.metrics.missed_deadline_ratio < 0.5
+
+
+class TestQuantumRoundRobinParity:
+    def test_rr_and_ps_agree_qualitatively(self, fitted_estimator):
+        """The processor-model substitution (DESIGN.md §2) is sound:
+        quantum-exact RR and PS produce close metrics."""
+        from repro.cluster.processor import Discipline
+
+        results = {}
+        for discipline in (Discipline.PROCESSOR_SHARING, Discipline.ROUND_ROBIN):
+            baseline = BaselineConfig(
+                n_periods=12, seed=2, discipline=discipline, noise_sigma=0.0
+            )
+            config = ExperimentConfig(
+                policy="predictive",
+                pattern="triangular",
+                max_workload_units=10.0,
+                baseline=baseline,
+            )
+            results[discipline] = run_experiment(
+                config, estimator=fitted_estimator
+            ).metrics
+        ps = results[Discipline.PROCESSOR_SHARING]
+        rr = results[Discipline.ROUND_ROBIN]
+        assert ps.missed_deadline_ratio == pytest.approx(
+            rr.missed_deadline_ratio, abs=0.15
+        )
+        assert ps.avg_cpu_utilization == pytest.approx(
+            rr.avg_cpu_utilization, abs=0.05
+        )

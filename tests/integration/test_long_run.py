@@ -1,0 +1,90 @@
+"""Long-horizon stability: memory and bookkeeping stay bounded."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.predictive import PredictivePolicy
+from repro.runtime.executor import PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import TriangularPattern
+
+from tests.conftest import exact_estimator
+
+N_PERIODS = 300
+
+
+class TestLongRun:
+    @pytest.fixture(scope="class")
+    def long_run(self):
+        system = build_system(n_processors=6, seed=42)
+        task = aaw_task(noise_sigma=0.05)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        pattern = TriangularPattern(
+            min_tracks=250.0, max_tracks=8000.0,
+            n_periods=N_PERIODS, cycle_periods=20,
+        )
+        executor = PeriodicTaskExecutor(system, task, assignment, workload=pattern)
+        manager = AdaptiveResourceManager(
+            system, executor, exact_estimator(task),
+            policy=PredictivePolicy(), config=RMConfig(initial_d_tracks=250.0),
+        )
+        started = time.perf_counter()
+        manager.start(N_PERIODS)
+        executor.start(N_PERIODS)
+        system.engine.run_until(N_PERIODS + 3.0)
+        elapsed = time.perf_counter() - started
+        return system, executor, manager, elapsed
+
+    def test_every_period_accounted(self, long_run):
+        _, executor, _, _ = long_run
+        assert len(executor.records) == N_PERIODS
+        assert all(r.completed or r.aborted for r in executor.records)
+
+    def test_simulation_speed(self, long_run):
+        """300 simulated seconds should take well under 10 wall seconds."""
+        _, _, _, elapsed = long_run
+        assert elapsed < 10.0
+
+    def test_meter_history_is_pruned(self, long_run):
+        system, _, _, _ = long_run
+        for processor in system.processors:
+            # Checkpoints bounded by pruning, not O(events).
+            assert len(processor.meter._times) < 5000
+        assert len(system.network.meter._times) < 20000
+
+    def test_utilization_accounting_exact_over_long_horizon(self, long_run):
+        """Windowed pruning must not corrupt lifetime integrals."""
+        system, executor, _, _ = long_run
+        for processor in system.processors:
+            busy = processor.meter.busy_between(0.0, float(N_PERIODS))
+            assert 0.0 <= busy <= N_PERIODS
+
+    def test_adaptation_remains_live_through_the_run(self, long_run):
+        _, _, manager, _ = long_run
+        # Actions occur in the last third of the run, not only at start.
+        late_actions = [
+            ev for ev in manager.history if ev.acted and ev.time > N_PERIODS * 2 / 3
+        ]
+        assert late_actions
+
+    def test_miss_ratio_stable_over_time(self, long_run):
+        """No degradation drift: the last third misses no more than the
+        middle third."""
+        _, executor, _, _ = long_run
+        third = N_PERIODS // 3
+        middle = executor.records[third : 2 * third]
+        last = executor.records[2 * third :]
+
+        def ratio(records):
+            return sum(1 for r in records if r.missed) / len(records)
+
+        assert ratio(last) <= ratio(middle) + 0.1

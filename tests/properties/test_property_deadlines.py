@@ -1,0 +1,99 @@
+"""Property-based tests for deadline assignment invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.ground_truth import LinearServiceModel
+from repro.core.deadlines import STRATEGIES, assign_deadlines
+from repro.tasks.builder import TaskBuilder
+
+estimates = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def chains(draw):
+    n = draw(st.integers(min_value=1, max_value=8))
+    deadline = draw(st.floats(min_value=0.05, max_value=2.0, allow_nan=False))
+    builder = TaskBuilder("t", period=max(deadline, 2.0), deadline=deadline)
+    for i in range(n):
+        builder.subtask(f"s{i}", LinearServiceModel(1.0))
+        if i < n - 1:
+            builder.message()
+    task = builder.build()
+    exec_est = [draw(estimates) for _ in range(n)]
+    comm_est = [draw(estimates) for _ in range(n - 1)]
+    return task, exec_est, comm_est
+
+
+class TestInvariants:
+    @settings(max_examples=80)
+    @given(data=chains(), strategy=st.sampled_from(STRATEGIES))
+    def test_budgets_positive_and_complete(self, data, strategy):
+        task, exec_est, comm_est = data
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        assert set(result.subtask_deadlines) == set(
+            s.index for s in task.subtasks
+        )
+        assert set(result.message_deadlines) == set(
+            m.index for m in task.messages
+        )
+        assert all(v > 0 for v in result.subtask_deadlines.values())
+        assert all(v > 0 for v in result.message_deadlines.values())
+
+    @settings(max_examples=80)
+    @given(data=chains())
+    def test_sequential_eqf_sums_to_deadline_when_feasible(self, data):
+        task, exec_est, comm_est = data
+        total = sum(exec_est) + sum(comm_est)
+        if total > task.deadline:
+            return  # overload path floors budgets; sum may exceed D
+        result = assign_deadlines(
+            task, exec_est, comm_est, strategy="sequential_eqf"
+        )
+        assert result.total_budget() == pytest.approx(task.deadline, rel=1e-9)
+
+    @settings(max_examples=80)
+    @given(data=chains())
+    def test_proportional_sums_to_deadline_always(self, data):
+        task, exec_est, comm_est = data
+        result = assign_deadlines(task, exec_est, comm_est, strategy="proportional")
+        assert result.total_budget() == pytest.approx(task.deadline, rel=1e-9)
+
+    @settings(max_examples=80)
+    @given(data=chains(), strategy=st.sampled_from(STRATEGIES))
+    def test_scaling_estimates_preserves_budget_ratios(self, data, strategy):
+        """Deadline decomposition is scale-invariant in the estimates."""
+        task, exec_est, comm_est = data
+        one = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        scaled = assign_deadlines(
+            task,
+            [3.0 * e for e in exec_est],
+            [3.0 * c for c in comm_est],
+            strategy=strategy,
+        )
+        # Guard: the sequential overload floor breaks scale invariance.
+        if strategy == "sequential_eqf":
+            total = sum(exec_est) + sum(comm_est)
+            if 3.0 * total > task.deadline:
+                return
+        for index in one.subtask_deadlines:
+            ratio = one.subtask_deadlines[index] / one.stage_budget(index)
+            ratio_scaled = scaled.subtask_deadlines[index] / scaled.stage_budget(
+                index
+            )
+            assert ratio == pytest.approx(ratio_scaled, rel=1e-6)
+
+    @settings(max_examples=80)
+    @given(data=chains(), strategy=st.sampled_from(STRATEGIES))
+    def test_stage_budget_decomposition(self, data, strategy):
+        task, exec_est, comm_est = data
+        result = assign_deadlines(task, exec_est, comm_est, strategy=strategy)
+        for subtask in task.subtasks:
+            budget = result.stage_budget(subtask.index)
+            expected = result.subtask_deadlines[subtask.index]
+            if subtask.index > 1:
+                expected += result.message_deadlines[subtask.index - 1]
+            assert budget == pytest.approx(expected)

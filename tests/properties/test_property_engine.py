@@ -1,0 +1,78 @@
+"""Property-based tests for the DES engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestEventOrdering:
+    @given(delays=delays)
+    def test_events_execute_in_nondecreasing_time(self, delays):
+        engine = Engine()
+        fired: list[float] = []
+        for delay in delays:
+            engine.schedule(delay, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(delays=delays)
+    def test_clock_never_goes_backwards(self, delays):
+        engine = Engine()
+        observed: list[float] = []
+        for delay in delays:
+            engine.schedule(delay, lambda: observed.append(engine.now))
+        last = -1.0
+        while engine.step():
+            assert engine.now >= last
+            last = engine.now
+
+    @given(delays=delays, cancel_mask=st.lists(st.booleans(), min_size=50, max_size=50))
+    def test_cancelled_events_never_fire(self, delays, cancel_mask):
+        engine = Engine()
+        fired: list[int] = []
+        events = []
+        for i, delay in enumerate(delays):
+            events.append(engine.schedule(delay, fired.append, i))
+        expected = set(range(len(delays)))
+        for i, event in enumerate(events):
+            if cancel_mask[i % len(cancel_mask)]:
+                event.cancel()
+                expected.discard(i)
+        engine.run()
+        assert set(fired) == expected
+
+    @given(
+        delays=delays,
+        boundary=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    def test_run_until_executes_exactly_prefix(self, delays, boundary):
+        engine = Engine()
+        fired: list[float] = []
+        for delay in delays:
+            engine.schedule(delay, lambda d=delay: fired.append(d))
+        engine.run_until(boundary)
+        assert all(d <= boundary for d in fired)
+        assert sorted(fired) == sorted(d for d in delays if d <= boundary)
+
+    @settings(max_examples=25)
+    @given(
+        same_time=st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        count=st.integers(min_value=1, max_value=20),
+    )
+    def test_fifo_among_simultaneous_events(self, same_time, count):
+        engine = Engine()
+        fired: list[int] = []
+        for i in range(count):
+            engine.schedule(same_time, fired.append, i)
+        engine.run()
+        assert fired == list(range(count))

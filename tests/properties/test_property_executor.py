@@ -1,0 +1,120 @@
+"""Property-based tests of executor record invariants.
+
+Random workload sequences and random static replica placements must
+always produce structurally consistent timing records.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+
+workloads = st.lists(
+    st.floats(min_value=0.0, max_value=6000.0, allow_nan=False),
+    min_size=1,
+    max_size=8,
+)
+replica_counts = st.tuples(
+    st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6)
+)
+
+
+def run(workload_values, k3=1, k5=1, drop_factor=3.0):
+    system = build_system(n_processors=6, seed=3)
+    task = aaw_task(noise_sigma=0.0)
+    names = [p.name for p in system.processors]
+    assignment = ReplicaAssignment(task, default_initial_placement(task, names))
+    home3 = assignment.processors_of(3)[0]
+    for name in names:
+        if len(assignment.processors_of(3)) >= k3:
+            break
+        if name != home3:
+            assignment.add_replica(3, name)
+    home5 = assignment.processors_of(5)[0]
+    for name in names:
+        if len(assignment.processors_of(5)) >= k5:
+            break
+        if name != home5:
+            assignment.add_replica(5, name)
+    executor = PeriodicTaskExecutor(
+        system,
+        task,
+        assignment,
+        workload=lambda c: workload_values[c],
+        config=ExecutorConfig(drop_factor=drop_factor),
+    )
+    executor.start(len(workload_values))
+    system.engine.run_until(len(workload_values) + drop_factor + 1.0)
+    return executor, task
+
+
+class TestRecordInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(values=workloads, counts=replica_counts)
+    def test_every_period_terminates(self, values, counts):
+        executor, _ = run(values, *counts)
+        assert len(executor.records) == len(values)
+        for record in executor.records:
+            assert record.completed or record.aborted
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=workloads, counts=replica_counts)
+    def test_stage_times_are_ordered(self, values, counts):
+        executor, task = run(values, *counts)
+        for record in executor.records:
+            previous_finish = record.release_time
+            for stage in record.stages:
+                assert stage.start_time >= previous_finish - 1e-9
+                if stage.exec_finish_time is not None:
+                    assert stage.exec_finish_time >= stage.start_time
+                    previous_finish = stage.exec_finish_time
+            if record.completed and record.d_tracks > 0.0:
+                assert len(record.stages) == task.n_subtasks
+                assert record.completion_time == pytest.approx(
+                    record.stages[-1].exec_finish_time
+                )
+            elif record.completed:  # zero workload: trivially complete
+                assert record.stages == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=workloads, counts=replica_counts)
+    def test_latency_nonnegative_and_consistent(self, values, counts):
+        executor, _ = run(values, *counts)
+        for record in executor.records:
+            if record.latency is not None:
+                assert record.latency >= 0.0
+                stage_sum = sum(
+                    s.stage_latency for s in record.stages
+                    if s.stage_latency is not None
+                )
+                assert record.latency == pytest.approx(stage_sum, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(values=workloads, counts=replica_counts)
+    def test_stage_replica_counts_match_placement(self, values, counts):
+        executor, _ = run(values, *counts)
+        k3, k5 = counts
+        for record in executor.records:
+            stage3 = record.stage(3)
+            stage5 = record.stage(5)
+            if stage3 is not None:
+                assert stage3.replica_count == k3
+            if stage5 is not None:
+                assert stage5.replica_count == k5
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=workloads)
+    def test_zero_workload_periods_never_miss(self, values):
+        zeroed = [0.0 if i % 2 == 0 else v for i, v in enumerate(values)]
+        executor, _ = run(zeroed)
+        for record in executor.records:
+            if record.d_tracks == 0.0:
+                assert record.completed
+                assert not record.missed
+                assert record.latency == 0.0

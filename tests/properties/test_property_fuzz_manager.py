@@ -1,0 +1,105 @@
+"""Fuzz battery: the whole RM stack under random configurations.
+
+Short random experiments (any policy, any pattern, random workload
+scale, optional failure) must never raise and must always leave the
+placement invariants intact — the catch-all net under every feature
+interaction.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.allocator import get_policy
+from repro.core.manager import AdaptiveResourceManager, RMConfig
+from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
+from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.tasks.state import ReplicaAssignment
+from repro.workloads.patterns import make_pattern
+
+from tests.conftest import exact_estimator
+
+configurations = st.fixed_dictionaries(
+    {
+        "policy": st.sampled_from(
+            ["predictive", "nonpredictive", "staticmax", "noadapt", "hybrid"]
+        ),
+        "pattern": st.sampled_from(
+            ["increasing", "decreasing", "triangular", "constant", "step",
+             "bursty"]
+        ),
+        "max_tracks": st.floats(min_value=100.0, max_value=18_000.0,
+                                allow_nan=False),
+        "n_processors": st.integers(min_value=2, max_value=8),
+        "seed": st.integers(min_value=0, max_value=50),
+        "forecast_shutdown": st.booleans(),
+        "fail_node": st.booleans(),
+        "node_clocks": st.booleans(),
+    }
+)
+
+N_PERIODS = 6
+
+
+class TestFuzzedRuns:
+    @settings(max_examples=60, deadline=None)
+    @given(config=configurations)
+    def test_random_runs_preserve_invariants(self, config):
+        system = build_system(
+            n_processors=config["n_processors"], seed=config["seed"]
+        )
+        task = aaw_task(noise_sigma=0.05)
+        names = [p.name for p in system.processors]
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, names)
+        )
+        pattern = make_pattern(
+            config["pattern"],
+            min_tracks=min(100.0, config["max_tracks"]),
+            max_tracks=config["max_tracks"],
+            n_periods=N_PERIODS,
+        )
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=pattern,
+            config=ExecutorConfig(use_node_clocks=config["node_clocks"]),
+        )
+        manager = AdaptiveResourceManager(
+            system,
+            executor,
+            exact_estimator(task),
+            policy=get_policy(config["policy"]),
+            config=RMConfig(initial_d_tracks=100.0),
+            shutdown_strategy=(
+                ForecastAwareShutdown()
+                if config["forecast_shutdown"]
+                else LifoShutdown()
+            ),
+        )
+        manager.start(N_PERIODS)
+        executor.start(N_PERIODS)
+        if config["fail_node"]:
+            system.engine.schedule_at(
+                2.5, system.processors[config["seed"] % len(names)].fail
+            )
+        system.engine.run_until(N_PERIODS + 3.0)
+
+        # Every period terminated.
+        assert len(executor.records) == N_PERIODS
+        for record in executor.records:
+            assert record.completed or record.aborted
+        # Placement invariants held.
+        failed = system.failed_processor_names()
+        for subtask in task.subtasks:
+            processors = assignment.processors_of(subtask.index)
+            assert 1 <= len(processors) <= config["n_processors"]
+            assert len(set(processors)) == len(processors)
+            if not subtask.replicable:
+                assert len(processors) == 1
+        # The manager stepped every period.
+        assert len(manager.history) == N_PERIODS
+        # Replica totals stayed in range at every step.
+        for event in manager.history:
+            assert 2 <= event.total_replicas <= 2 * config["n_processors"]

@@ -1,0 +1,82 @@
+"""Property-based tests for the utilization meter."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.metering import UtilizationMeter
+
+# Alternating busy/idle span lengths.
+spans = st.lists(
+    st.floats(min_value=1e-4, max_value=5.0, allow_nan=False),
+    min_size=1,
+    max_size=40,
+)
+
+
+def build_meter(spans, start_busy=True):
+    meter = UtilizationMeter(max_window=1000.0)
+    t = 0.0
+    busy = start_busy
+    intervals = []
+    for span in spans:
+        meter.set_busy(t, busy)
+        if busy:
+            intervals.append((t, t + span))
+        t += span
+    meter.set_busy(t, False)
+    return meter, intervals, t
+
+
+def exact_busy(intervals, a, b):
+    total = 0.0
+    for lo, hi in intervals:
+        total += max(0.0, min(hi, b) - max(lo, a))
+    return total
+
+
+class TestMeterMatchesExactIntegral:
+    @settings(max_examples=60)
+    @given(spans=spans, start_busy=st.booleans())
+    def test_busy_between_matches_interval_arithmetic(self, spans, start_busy):
+        meter, intervals, end = build_meter(spans, start_busy)
+        # Probe a handful of windows.
+        probes = [
+            (0.0, end),
+            (0.0, end / 2),
+            (end / 3, end),
+            (end / 4, 3 * end / 4),
+        ]
+        for a, b in probes:
+            if b < a:
+                continue
+            assert abs(meter.busy_between(a, b) - exact_busy(intervals, a, b)) < 1e-9
+
+    @settings(max_examples=60)
+    @given(spans=spans)
+    def test_utilization_bounded(self, spans):
+        meter, _, end = build_meter(spans)
+        if end > 0:
+            u = meter.utilization(end, min(end, 999.0) or 1.0)
+            assert 0.0 <= u <= 1.0
+
+    @settings(max_examples=60)
+    @given(spans=spans)
+    def test_busy_between_is_additive(self, spans):
+        meter, _, end = build_meter(spans)
+        mid = end / 2
+        whole = meter.busy_between(0.0, end)
+        parts = meter.busy_between(0.0, mid) + meter.busy_between(mid, end)
+        assert abs(whole - parts) < 1e-9
+
+    @settings(max_examples=60)
+    @given(spans=spans)
+    def test_busy_between_monotone_in_right_endpoint(self, spans):
+        meter, _, end = build_meter(spans)
+        previous = 0.0
+        steps = 10
+        for i in range(1, steps + 1):
+            value = meter.busy_between(0.0, end * i / steps)
+            assert value >= previous - 1e-12
+            previous = value

@@ -1,0 +1,127 @@
+"""Property-based tests for the run-time monitor's classification."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.core.deadlines import DeadlineAssignment
+from repro.core.monitoring import MonitorAction, RuntimeMonitor
+from repro.runtime.records import PeriodRecord, StageRecord
+from repro.tasks.state import ReplicaAssignment
+
+TASK = aaw_task(noise_sigma=0.0)
+PROCESSORS = [f"p{i}" for i in range(1, 7)]
+
+latencies = st.dictionaries(
+    keys=st.sampled_from([3, 5]),
+    values=st.floats(min_value=1e-4, max_value=1.0, allow_nan=False),
+    min_size=2,
+    max_size=2,
+)
+budget_values = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+replica_counts = st.integers(min_value=1, max_value=6)
+
+
+def make_record(stage_latencies):
+    record = PeriodRecord(
+        period_index=0, release_time=0.0, d_tracks=1000.0, deadline=0.99
+    )
+    t = 0.0
+    for subtask in TASK.subtasks:
+        latency = stage_latencies.get(subtask.index, 0.005)
+        record.stages.append(
+            StageRecord(
+                subtask_index=subtask.index,
+                replica_count=1,
+                start_time=t,
+                exec_finish_time=t + latency,
+            )
+        )
+        t += latency
+    record.completion_time = t
+    return record
+
+
+def make_budgets(value):
+    return DeadlineAssignment(
+        subtask_deadlines={s.index: value for s in TASK.subtasks},
+        message_deadlines={m.index: 0.0 for m in TASK.messages},
+        strategy="test",
+    )
+
+
+class TestClassificationProperties:
+    @settings(max_examples=100)
+    @given(stage_latencies=latencies, budget=budget_values, k=replica_counts)
+    def test_verdict_matches_threshold_arithmetic(
+        self, stage_latencies, budget, k
+    ):
+        assignment = ReplicaAssignment(
+            TASK, default_initial_placement(TASK, PROCESSORS)
+        )
+        home = assignment.processors_of(3)[0]
+        for name in PROCESSORS:
+            if assignment.replica_count(3) >= k:
+                break
+            if name != home:
+                assignment.add_replica(3, name)
+        monitor = RuntimeMonitor(
+            TASK, slack_fraction=0.2, shutdown_slack_fraction=0.6, window=1
+        )
+        report = monitor.classify(
+            1.0, [make_record(stage_latencies)], make_budgets(budget), assignment
+        )
+        verdict = {v.subtask_index: v for v in report.verdicts}[3]
+        latency = stage_latencies[3]
+        slack = budget - latency
+        if slack < 0.2 * budget:
+            assert verdict.action is MonitorAction.REPLICATE
+        elif slack > 0.6 * budget and assignment.replica_count(3) > 1:
+            assert verdict.action is MonitorAction.SHUTDOWN
+        else:
+            assert verdict.action is MonitorAction.OK
+
+    @settings(max_examples=100)
+    @given(stage_latencies=latencies, budget=budget_values)
+    def test_single_replica_never_gets_shutdown(self, stage_latencies, budget):
+        assignment = ReplicaAssignment(
+            TASK, default_initial_placement(TASK, PROCESSORS)
+        )
+        monitor = RuntimeMonitor(TASK, window=1)
+        report = monitor.classify(
+            1.0, [make_record(stage_latencies)], make_budgets(budget), assignment
+        )
+        assert not report.candidates(MonitorAction.SHUTDOWN)
+
+    @settings(max_examples=100)
+    @given(stage_latencies=latencies, budget=budget_values)
+    def test_overdue_always_yields_replicate(self, stage_latencies, budget):
+        assignment = ReplicaAssignment(
+            TASK, default_initial_placement(TASK, PROCESSORS)
+        )
+        monitor = RuntimeMonitor(TASK, window=1)
+        report = monitor.classify(
+            1.0,
+            [make_record(stage_latencies)],
+            make_budgets(budget),
+            assignment,
+            overdue_subtasks={3, 5},
+        )
+        for verdict in report.verdicts:
+            assert verdict.action is MonitorAction.REPLICATE
+
+    @settings(max_examples=60)
+    @given(stage_latencies=latencies, budget=budget_values)
+    def test_verdicts_cover_exactly_the_replicable_subtasks(
+        self, stage_latencies, budget
+    ):
+        assignment = ReplicaAssignment(
+            TASK, default_initial_placement(TASK, PROCESSORS)
+        )
+        monitor = RuntimeMonitor(TASK, window=1)
+        report = monitor.classify(
+            1.0, [make_record(stage_latencies)], make_budgets(budget), assignment
+        )
+        assert {v.subtask_index for v in report.verdicts} == {3, 5}

@@ -1,0 +1,91 @@
+"""Property-based tests of the shared-medium queueing discipline."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Network
+from repro.sim.engine import Engine
+
+sends = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),   # time
+        st.floats(min_value=1.0, max_value=500_000.0, allow_nan=False),  # bytes
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def run(send_specs, mode="shared"):
+    engine = Engine()
+    network = Network(
+        engine, bandwidth_bps=100e6, default_overhead_bytes=100.0, mode=mode
+    )
+    messages = []
+    for at, payload in send_specs:
+        engine.schedule_at(
+            at, lambda p=payload: messages.append(network.send_bytes(p))
+        )
+    engine.run()
+    return network, messages
+
+
+class TestSharedMediumInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(specs=sends)
+    def test_all_messages_delivered(self, specs):
+        network, messages = run(specs)
+        assert network.delivered_count == len(specs)
+        assert all(m.delivery_time is not None for m in messages)
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=sends)
+    def test_fifo_delivery_order(self, specs):
+        _, messages = run(specs)
+        ordered = sorted(messages, key=lambda m: (m.enqueue_time, m.message_id))
+        deliveries = [m.delivery_time for m in ordered]
+        assert deliveries == sorted(deliveries)
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=sends)
+    def test_no_overlapping_transmissions(self, specs):
+        _, messages = run(specs)
+        spans = sorted(
+            (m.start_time, m.delivery_time) for m in messages
+        )
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=sends)
+    def test_busy_time_equals_total_wire_time(self, specs):
+        network, messages = run(specs)
+        engine_end = max(m.delivery_time for m in messages) + 1.0
+        wire = sum(
+            network.transmission_delay(m.wire_bytes) for m in messages
+        )
+        busy = network.meter.busy_between(0.0, engine_end)
+        assert busy == pytest.approx(wire, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=sends)
+    def test_total_delay_decomposes(self, specs):
+        network, messages = run(specs)
+        for m in messages:
+            assert m.total_delay == pytest.approx(
+                m.buffer_delay + network.transmission_delay(m.wire_bytes),
+                rel=1e-9,
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(specs=sends)
+    def test_switched_never_slower_per_message(self, specs):
+        _, shared = run(specs, mode="shared")
+        _, switched = run(specs, mode="switched")
+        shared_by_id = sorted(shared, key=lambda m: m.enqueue_time)
+        switched_by_id = sorted(switched, key=lambda m: m.enqueue_time)
+        for a, b in zip(shared_by_id, switched_by_id):
+            assert b.total_delay <= a.total_delay + 1e-12

@@ -1,0 +1,76 @@
+"""Property-based tests for the online-corrected estimator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task
+from repro.regression.online import OnlineCorrectedEstimator
+
+from tests.conftest import exact_estimator
+
+TASK = aaw_task(noise_sigma=0.0)
+
+observations = st.lists(
+    st.tuples(
+        st.sampled_from([3, 5]),
+        st.floats(min_value=100.0, max_value=10_000.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+        st.floats(min_value=0.01, max_value=100.0, allow_nan=False),  # ratio
+    ),
+    max_size=40,
+)
+
+
+class TestOnlineEstimatorProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(obs=observations, alpha=st.floats(min_value=0.0, max_value=1.0))
+    def test_corrections_always_clamped(self, obs, alpha):
+        online = OnlineCorrectedEstimator(
+            base=exact_estimator(TASK), alpha=alpha, clamp=5.0
+        )
+        for subtask_index, d, u, ratio in obs:
+            predicted = online.base.eex_seconds(subtask_index, d, u)
+            online.observe_stage(subtask_index, d, u, ratio * predicted)
+        for subtask in TASK.subtasks:
+            c = online.correction(subtask.index)
+            assert 1.0 / 5.0 <= c <= 5.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(obs=observations)
+    def test_corrected_forecast_scales_with_correction(self, obs):
+        online = OnlineCorrectedEstimator(base=exact_estimator(TASK), alpha=0.4)
+        for subtask_index, d, u, ratio in obs:
+            predicted = online.base.eex_seconds(subtask_index, d, u)
+            online.observe_stage(subtask_index, d, u, ratio * predicted)
+        for subtask_index in (3, 5):
+            base = online.base.eex_seconds(subtask_index, 2000.0, 0.3)
+            corrected = online.eex_seconds(subtask_index, 2000.0, 0.3)
+            assert corrected == pytest.approx(
+                base * online.correction(subtask_index), rel=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ratio=st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+        n=st.integers(min_value=5, max_value=60),
+    )
+    def test_constant_ratio_converges_to_it(self, ratio, n):
+        online = OnlineCorrectedEstimator(base=exact_estimator(TASK), alpha=0.3)
+        predicted = online.base.eex_seconds(3, 1000.0, 0.2)
+        for _ in range(n):
+            online.observe_stage(3, 1000.0, 0.2, ratio * predicted)
+        expected = 1.0 + (ratio - 1.0) * (1.0 - (1.0 - 0.3) ** n)
+        assert online.correction(3) == pytest.approx(expected, rel=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(obs=observations)
+    def test_zero_alpha_never_learns(self, obs):
+        online = OnlineCorrectedEstimator(base=exact_estimator(TASK), alpha=0.0)
+        for subtask_index, d, u, ratio in obs:
+            predicted = online.base.eex_seconds(subtask_index, d, u)
+            online.observe_stage(subtask_index, d, u, ratio * predicted)
+        for subtask in TASK.subtasks:
+            assert online.correction(subtask.index) == 1.0

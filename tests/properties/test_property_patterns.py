@@ -1,0 +1,79 @@
+"""Property-based tests for workload patterns."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import PATTERN_NAMES, make_pattern
+
+bounds = st.tuples(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+).map(lambda pair: (min(pair), max(pair)))
+
+
+class TestPatternInvariants:
+    @settings(max_examples=60)
+    @given(
+        name=st.sampled_from(PATTERN_NAMES),
+        bounds=bounds,
+        n_periods=st.integers(min_value=1, max_value=120),
+        probe=st.integers(min_value=0, max_value=500),
+    )
+    def test_values_always_within_bounds(self, name, bounds, n_periods, probe):
+        lo, hi = bounds
+        pattern = make_pattern(name, lo, hi, n_periods)
+        value = pattern(probe)
+        if name == "constant":
+            assert value == hi
+        else:
+            assert lo - 1e-9 <= value <= hi + 1e-9
+
+    @settings(max_examples=60)
+    @given(
+        name=st.sampled_from(PATTERN_NAMES),
+        bounds=bounds,
+        n_periods=st.integers(min_value=1, max_value=120),
+    )
+    def test_series_matches_pointwise_evaluation(self, name, bounds, n_periods):
+        lo, hi = bounds
+        pattern = make_pattern(name, lo, hi, n_periods)
+        series = pattern.series()
+        assert len(series) == n_periods
+        for i, value in enumerate(series):
+            assert value == pattern(i)
+
+    @settings(max_examples=60)
+    @given(bounds=bounds, n_periods=st.integers(min_value=2, max_value=120))
+    def test_increasing_ramp_monotone(self, bounds, n_periods):
+        lo, hi = bounds
+        pattern = make_pattern("increasing", lo, hi, n_periods)
+        series = pattern.series()
+        assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+
+    @settings(max_examples=60)
+    @given(bounds=bounds, n_periods=st.integers(min_value=2, max_value=120))
+    def test_ramps_are_mirrors(self, bounds, n_periods):
+        lo, hi = bounds
+        inc = make_pattern("increasing", lo, hi, n_periods)
+        dec = make_pattern("decreasing", lo, hi, n_periods)
+        for i in range(n_periods):
+            assert inc(i) + dec(i) == max(
+                lo + hi, 0.0
+            ) or abs(inc(i) + dec(i) - (lo + hi)) < 1e-6
+
+    @settings(max_examples=60)
+    @given(
+        bounds=bounds,
+        cycle=st.integers(min_value=2, max_value=40),
+        k=st.integers(min_value=0, max_value=5),
+        i=st.integers(min_value=0, max_value=39),
+    )
+    def test_triangular_periodicity(self, bounds, cycle, k, i):
+        lo, hi = bounds
+        pattern = make_pattern(
+            "triangular", lo, hi, 200, cycle_periods=cycle
+        )
+        if i < cycle:
+            assert pattern(i) == pattern(i + k * cycle)

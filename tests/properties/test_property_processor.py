@@ -1,0 +1,80 @@
+"""Property-based tests for the processor-sharing queue."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.processor import Discipline, Processor
+from repro.sim.engine import Engine
+
+job_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),  # arrival
+        st.floats(min_value=1e-3, max_value=1.0, allow_nan=False),  # demand
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+def run_ps(specs):
+    engine = Engine()
+    proc = Processor(engine, "p")
+    jobs = []
+    for arrival, demand in specs:
+        engine.schedule_at(
+            arrival, lambda d=demand: jobs.append(proc.run_for(d))
+        )
+    engine.run()
+    return proc, jobs, engine
+
+
+class TestWorkConservation:
+    @settings(max_examples=60, deadline=None)
+    @given(specs=job_specs)
+    def test_all_jobs_complete(self, specs):
+        proc, jobs, _ = run_ps(specs)
+        assert proc.completed_jobs == len(specs)
+        assert all(job.completion_time is not None for job in jobs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=job_specs)
+    def test_total_busy_time_equals_total_demand(self, specs):
+        """PS is work conserving: busy time == sum of demands (no gaps
+        if jobs overlap; with gaps, busy time still equals total work)."""
+        proc, jobs, engine = run_ps(specs)
+        total_demand = sum(d for _, d in specs)
+        busy = proc.meter.busy_between(0.0, engine.now + 1.0)
+        assert busy == pytest.approx(total_demand, rel=1e-6, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=job_specs)
+    def test_latency_at_least_demand(self, specs):
+        """Sojourn time can never beat a dedicated processor."""
+        _, jobs, _ = run_ps(specs)
+        for job in jobs:
+            assert job.latency >= job.demand - 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(specs=job_specs)
+    def test_completion_no_earlier_than_analytic_lower_bound(self, specs):
+        """Completion >= arrival + demand for every job."""
+        _, jobs, _ = run_ps(specs)
+        for job in jobs:
+            assert job.completion_time >= job.arrival_time + 1e-9 / 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=job_specs)
+    def test_ps_and_rr_agree_on_total_busy_time(self, specs):
+        engine_rr = Engine()
+        rr = Processor(engine_rr, "p", discipline=Discipline.ROUND_ROBIN,
+                       quantum=0.001)
+        for arrival, demand in specs:
+            engine_rr.schedule_at(arrival, lambda d=demand: rr.run_for(d))
+        engine_rr.run()
+        proc_ps, _, engine_ps = run_ps(specs)
+        busy_rr = rr.meter.busy_between(0.0, engine_rr.now + 1.0)
+        busy_ps = proc_ps.meter.busy_between(0.0, engine_ps.now + 1.0)
+        assert busy_rr == pytest.approx(busy_ps, rel=1e-6, abs=1e-9)

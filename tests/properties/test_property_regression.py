@@ -1,0 +1,83 @@
+"""Property-based tests for the regression substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+
+coefficients = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+positive = st.floats(min_value=1e-3, max_value=2.0, allow_nan=False)
+
+
+@st.composite
+def surfaces(draw):
+    """Random eq. 3 surfaces that stay positive over the profiled region."""
+    a3 = draw(positive)
+    b3 = draw(positive)
+    a = (draw(positive), draw(positive), a3)
+    b = (draw(positive), draw(positive), b3)
+    return a, b
+
+
+class TestLatencySurfaceRecovery:
+    @settings(max_examples=40, deadline=None)
+    @given(surface=surfaces())
+    def test_two_stage_fit_recovers_exact_surface(self, surface):
+        a, b = surface
+        u_levels = np.array([0.0, 0.2, 0.4, 0.6, 0.8])
+        d_values = np.array([1.0, 2.0, 5.0, 10.0, 20.0])
+        d_all, u_all, y_all = [], [], []
+        for u in u_levels:
+            a_u = a[0] * u * u + a[1] * u + a[2]
+            b_u = b[0] * u * u + b[1] * u + b[2]
+            for d in d_values:
+                d_all.append(d)
+                u_all.append(u)
+                y_all.append(a_u * d * d + b_u * d)
+        model = ExecutionLatencyModel.fit_two_stage(
+            "s", np.array(d_all), np.array(u_all), np.array(y_all)
+        )
+        assert model.a == pytest.approx(a, rel=1e-5, abs=1e-7)
+        assert model.b == pytest.approx(b, rel=1e-5, abs=1e-7)
+
+    @settings(max_examples=40, deadline=None)
+    @given(surface=surfaces(),
+           d=st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+           u=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    def test_predictions_never_negative(self, surface, d, u):
+        a, b = surface
+        model = ExecutionLatencyModel("s", a=a, b=b)
+        assert model.predict_ms(d, u) >= 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(surface=surfaces(), u=st.floats(min_value=0.0, max_value=1.0))
+    def test_monotone_in_data_size_for_positive_surfaces(self, surface, u):
+        a, b = surface
+        model = ExecutionLatencyModel("s", a=a, b=b)
+        values = [model.predict_ms(d, u) for d in (0.0, 1.0, 5.0, 10.0, 30.0)]
+        assert all(x <= y + 1e-12 for x, y in zip(values, values[1:]))
+
+
+class TestBufferModelRecovery:
+    @settings(max_examples=40, deadline=None)
+    @given(k=st.floats(min_value=1e-5, max_value=1.0, allow_nan=False))
+    def test_fit_recovers_slope_exactly(self, k):
+        loads = np.array([100.0, 1000.0, 5000.0, 10000.0])
+        model = BufferDelayModel.fit(loads, k * loads)
+        assert model.k_ms_per_track == pytest.approx(k, rel=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        k=st.floats(min_value=1e-5, max_value=1.0, allow_nan=False),
+        load=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    )
+    def test_prediction_linear_homogeneous(self, k, load):
+        model = BufferDelayModel(k_ms_per_track=k)
+        assert model.predict_ms(2 * load) == pytest.approx(
+            2 * model.predict_ms(load), rel=1e-9, abs=1e-12
+        )

@@ -1,0 +1,93 @@
+"""Property-based tests for replica-assignment invariants under random
+operation sequences (stateful-style)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.errors import AllocationError
+from repro.tasks.state import ReplicaAssignment
+
+PROCESSORS = [f"p{i}" for i in range(1, 7)]
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove"]),
+        st.sampled_from([3, 5]),            # replicable subtasks
+        st.sampled_from(PROCESSORS),
+    ),
+    max_size=60,
+)
+
+
+class TestAssignmentInvariants:
+    @settings(max_examples=100)
+    @given(ops=operations)
+    def test_invariants_hold_under_any_sequence(self, ops):
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, PROCESSORS)
+        )
+        for op, subtask_index, processor in ops:
+            if op == "add":
+                try:
+                    assignment.add_replica(subtask_index, processor)
+                except AllocationError:
+                    pass  # duplicate placement attempts are rejected
+            else:
+                assignment.remove_last_replica(subtask_index)
+            # Invariant 1: at least one replica everywhere.
+            for subtask in task.subtasks:
+                assert assignment.replica_count(subtask.index) >= 1
+            # Invariant 2: replicas on distinct processors.
+            for subtask in task.subtasks:
+                processors = assignment.processors_of(subtask.index)
+                assert len(set(processors)) == len(processors)
+            # Invariant 3: replica count bounded by the machine size.
+            for index in (3, 5):
+                assert assignment.replica_count(index) <= len(PROCESSORS)
+            # Invariant 4: non-replicable subtasks stay single.
+            for index in (1, 2, 4):
+                assert assignment.replica_count(index) == 1
+
+    @settings(max_examples=100)
+    @given(ops=operations)
+    def test_total_replicas_matches_sum(self, ops):
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, PROCESSORS)
+        )
+        for op, subtask_index, processor in ops:
+            try:
+                if op == "add":
+                    assignment.add_replica(subtask_index, processor)
+                else:
+                    assignment.remove_last_replica(subtask_index)
+            except AllocationError:
+                pass
+        expected = sum(
+            assignment.replica_count(i) for i in task.replicable_indices()
+        )
+        assert assignment.total_replicas() == expected
+
+    @settings(max_examples=50)
+    @given(ops=operations)
+    def test_remove_is_lifo_inverse_of_add(self, ops):
+        """After any adds, repeatedly removing returns to the original."""
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task, default_initial_placement(task, PROCESSORS)
+        )
+        original = assignment.snapshot()
+        for op, subtask_index, processor in ops:
+            if op == "add":
+                try:
+                    assignment.add_replica(subtask_index, processor)
+                except AllocationError:
+                    pass
+        for index in (3, 5):
+            while assignment.remove_last_replica(index) is not None:
+                pass
+        assert assignment.snapshot() == original

@@ -1,0 +1,87 @@
+"""Unit tests for the eq. 4/5/6 communication models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RegressionError
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.transmission import TransmissionModel
+
+
+class TestBufferModel:
+    def test_prediction_is_linear(self):
+        model = BufferDelayModel(k_ms_per_track=0.002)
+        assert model.predict_ms(1000.0) == pytest.approx(2.0)
+        assert model.predict_seconds(1000.0) == pytest.approx(0.002)
+
+    def test_zero_load_zero_delay(self):
+        assert BufferDelayModel(k_ms_per_track=0.5).predict_ms(0.0) == 0.0
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(RegressionError):
+            BufferDelayModel(k_ms_per_track=0.5).predict_ms(-1.0)
+
+    def test_negative_slope_clamped_in_prediction(self):
+        model = BufferDelayModel(k_ms_per_track=-0.1)
+        assert model.predict_ms(100.0) == 0.0
+
+    def test_fit_recovers_slope(self):
+        loads = np.array([100.0, 500.0, 1000.0, 5000.0])
+        delays = 0.7e-3 * loads * 1e3  # 0.7 ms per track... in ms: 0.7*loads
+        model = BufferDelayModel.fit(loads, 0.7 * loads)
+        assert model.k_ms_per_track == pytest.approx(0.7)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_fit_with_noise(self):
+        rng = np.random.default_rng(0)
+        loads = np.linspace(100, 10000, 50)
+        delays = 0.3 * loads + rng.normal(0, 5.0, 50)
+        model = BufferDelayModel.fit(loads, delays)
+        assert model.k_ms_per_track == pytest.approx(0.3, rel=0.05)
+
+    def test_fit_misaligned_rejected(self):
+        with pytest.raises(RegressionError):
+            BufferDelayModel.fit(np.ones(3), np.ones(4))
+
+
+class TestTransmissionModel:
+    def test_known_delay(self):
+        model = TransmissionModel(bandwidth_bps=100e6, overhead_bytes=0.0)
+        # 1.25 MB = 10 Mbit -> 100 ms at 100 Mbit/s.
+        assert model.predict_seconds(1_250_000) == pytest.approx(0.1)
+        assert model.predict_ms(1_250_000) == pytest.approx(100.0)
+
+    def test_overhead_included(self):
+        model = TransmissionModel(bandwidth_bps=8e6, overhead_bytes=1000.0)
+        assert model.predict_seconds(0.0) == pytest.approx(0.001)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(RegressionError):
+            TransmissionModel(bandwidth_bps=0.0)
+        with pytest.raises(RegressionError):
+            TransmissionModel(overhead_bytes=-1.0)
+
+
+class TestCommunicationDelayModel:
+    def test_eq4_is_sum_of_parts(self):
+        model = CommunicationDelayModel(
+            buffer=BufferDelayModel(k_ms_per_track=0.001),
+            transmission=TransmissionModel(bandwidth_bps=100e6, overhead_bytes=0.0),
+        )
+        payload = 1_250_000
+        total_tracks = 2000.0
+        expected = 0.001 * 2000.0 / 1e3 + 0.1
+        assert model.predict_seconds(payload, total_tracks) == pytest.approx(expected)
+        assert model.predict_ms(payload, total_tracks) == pytest.approx(expected * 1e3)
+
+    def test_delay_monotone_in_both_drivers(self):
+        model = CommunicationDelayModel(
+            buffer=BufferDelayModel(k_ms_per_track=0.001),
+            transmission=TransmissionModel(),
+        )
+        base = model.predict_seconds(1000.0, 1000.0)
+        assert model.predict_seconds(2000.0, 1000.0) > base
+        assert model.predict_seconds(1000.0, 2000.0) > base

@@ -1,0 +1,65 @@
+"""Unit tests for design-matrix builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import RegressionError
+from repro.regression.design import (
+    linear_through_origin_features,
+    poly2_features,
+    quadratic_features,
+    surface_features,
+)
+
+
+class TestPoly2:
+    def test_columns_are_d2_d(self):
+        out = poly2_features(np.array([1.0, 2.0, 3.0]))
+        assert out.shape == (3, 2)
+        assert out[:, 0] == pytest.approx([1.0, 4.0, 9.0])
+        assert out[:, 1] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_scalar_promoted(self):
+        assert poly2_features(2.0).shape == (1, 2)
+
+    def test_nan_rejected(self):
+        with pytest.raises(RegressionError):
+            poly2_features(np.array([1.0, np.nan]))
+
+
+class TestQuadratic:
+    def test_columns_are_u2_u_1(self):
+        out = quadratic_features(np.array([0.5]))
+        assert out[0] == pytest.approx([0.25, 0.5, 1.0])
+
+
+class TestSurface:
+    def test_column_order_matches_paper_layout(self):
+        d = np.array([2.0])
+        u = np.array([0.5])
+        out = surface_features(d, u)
+        # [u^2 d^2, u d^2, d^2, u^2 d, u d, d]
+        assert out[0] == pytest.approx([1.0, 2.0, 4.0, 0.5, 1.0, 2.0])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RegressionError):
+            surface_features(np.array([1.0, 2.0]), np.array([0.5]))
+
+    def test_multiple_rows(self):
+        out = surface_features(np.array([1.0, 2.0]), np.array([0.0, 1.0]))
+        assert out.shape == (2, 6)
+        # u=0 row: only d^2 and d columns non-zero.
+        assert out[0] == pytest.approx([0, 0, 1, 0, 0, 1])
+
+
+class TestLinearThroughOrigin:
+    def test_single_column(self):
+        out = linear_through_origin_features(np.array([1.0, 2.0]))
+        assert out.shape == (2, 1)
+        assert out[:, 0] == pytest.approx([1.0, 2.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(RegressionError):
+            linear_through_origin_features(np.ones((2, 2)))

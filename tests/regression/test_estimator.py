@@ -1,0 +1,111 @@
+"""Unit tests for the TimingEstimator facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task
+from repro.errors import RegressionError
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.estimator import TimingEstimator
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.transmission import TransmissionModel
+
+from tests.conftest import exact_estimator
+
+
+@pytest.fixture()
+def task():
+    return aaw_task(noise_sigma=0.0)
+
+
+@pytest.fixture()
+def estimator(task):
+    return exact_estimator(task)
+
+
+class TestConstruction:
+    def test_missing_model_rejected(self, task):
+        comm = CommunicationDelayModel(
+            buffer=BufferDelayModel(k_ms_per_track=0.0),
+            transmission=TransmissionModel(),
+        )
+        models = {
+            1: ExecutionLatencyModel("x", a=(0, 0, 0), b=(0, 0, 1)),
+        }
+        with pytest.raises(RegressionError):
+            TimingEstimator(task=task, latency_models=models, comm_model=comm)
+
+
+class TestEex:
+    def test_matches_ground_truth_demand(self, task, estimator):
+        # The analytic estimator encodes eex == mean demand at any u.
+        for subtask in task.subtasks:
+            expected = subtask.service.mean_demand_seconds(2000.0)
+            got = estimator.eex_seconds(subtask.index, 2000.0, 0.5)
+            # The analytic surface has no floor, so compare above floor.
+            assert got == pytest.approx(expected, rel=1e-6)
+
+    def test_unknown_subtask_rejected(self, estimator):
+        with pytest.raises(RegressionError):
+            estimator.eex_seconds(99, 100.0, 0.1)
+
+    def test_eex_monotone_in_data(self, estimator):
+        small = estimator.eex_seconds(3, 500.0, 0.2)
+        large = estimator.eex_seconds(3, 5000.0, 0.2)
+        assert large > small
+
+
+class TestEcd:
+    def test_transmission_only_model(self, task, estimator):
+        # 1000 tracks on m1 (80 B/item + 16 B/item context at total=1000):
+        # (80*1000 + 16*1000) * 8 bits / 100e6 bps.
+        expected = (80 * 1000 + 16 * 1000) * 8 / 100e6
+        assert estimator.ecd_seconds(1, 1000.0, 1000.0) == pytest.approx(expected)
+
+    def test_share_below_total(self, estimator):
+        # Share of 500 out of 1000 total: context still covers the total.
+        expected = (80 * 500 + 16 * 1000) * 8 / 100e6
+        assert estimator.ecd_seconds(1, 500.0, 1000.0) == pytest.approx(expected)
+
+    def test_unknown_message_rejected(self, estimator):
+        with pytest.raises(Exception):
+            estimator.ecd_seconds(9, 100.0, 100.0)
+
+
+class TestChainEstimates:
+    def test_chain_lengths(self, task, estimator):
+        exec_times, comm_times = estimator.chain_estimate_seconds(1000.0, 0.1)
+        assert len(exec_times) == task.n_subtasks
+        assert len(comm_times) == task.n_subtasks - 1
+
+    def test_end_to_end_is_sum(self, estimator):
+        exec_times, comm_times = estimator.chain_estimate_seconds(1000.0, 0.1)
+        total = estimator.end_to_end_estimate_seconds(1000.0, 0.1)
+        assert total == pytest.approx(sum(exec_times) + sum(comm_times))
+
+    def test_end_to_end_grows_with_workload(self, estimator):
+        assert estimator.end_to_end_estimate_seconds(
+            5000.0, 0.1
+        ) > estimator.end_to_end_estimate_seconds(500.0, 0.1)
+
+
+class TestFittedEstimatorSanity:
+    """The session-fitted estimator must track ground truth reasonably."""
+
+    def test_fitted_eex_tracks_demand_at_zero_util(self, fitted_estimator):
+        task = fitted_estimator.task
+        for index in (3, 5):
+            truth = task.subtask(index).service.mean_demand_seconds(2000.0)
+            fitted = fitted_estimator.eex_seconds(index, 2000.0, 0.0)
+            assert fitted == pytest.approx(truth, rel=0.35)
+
+    def test_fitted_eex_increases_with_utilization(self, fitted_estimator):
+        low = fitted_estimator.eex_seconds(3, 2000.0, 0.0)
+        high = fitted_estimator.eex_seconds(3, 2000.0, 0.6)
+        assert high > low
+
+    def test_fitted_surfaces_have_good_r2(self, fitted_estimator):
+        for model in fitted_estimator.latency_models.values():
+            assert model.r_squared > 0.9

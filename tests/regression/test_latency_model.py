@@ -1,0 +1,132 @@
+"""Unit tests for the eq. 3 execution-latency surface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError, RegressionError
+from repro.regression.latency_model import ExecutionLatencyModel
+
+
+def synth_samples(a, b, u_levels, d_values, noise=0.0, seed=0):
+    """Generate samples from an exact eq. 3 surface."""
+    rng = np.random.default_rng(seed)
+    d_list, u_list, y_list = [], [], []
+    for u in u_levels:
+        a_u = a[0] * u * u + a[1] * u + a[2]
+        b_u = b[0] * u * u + b[1] * u + b[2]
+        for d in d_values:
+            y = a_u * d * d + b_u * d
+            if noise:
+                y *= 1.0 + rng.normal(0, noise)
+            d_list.append(d)
+            u_list.append(u)
+            y_list.append(y)
+    return np.array(d_list), np.array(u_list), np.array(y_list)
+
+
+TRUE_A = (0.5, -0.1, 0.3)
+TRUE_B = (2.0, 0.5, 1.0)
+U_LEVELS = (0.0, 0.2, 0.4, 0.6, 0.8)
+D_VALUES = (1.0, 2.0, 5.0, 10.0, 20.0)
+
+
+class TestPrediction:
+    def test_known_surface_values(self):
+        model = ExecutionLatencyModel("s", a=(0, 0, 1.0), b=(0, 0, 2.0))
+        # eex = d^2 + 2 d
+        assert model.predict_ms(3.0, 0.0) == pytest.approx(15.0)
+
+    def test_utilization_dependence(self):
+        model = ExecutionLatencyModel("s", a=(1.0, 0.0, 1.0), b=(0, 0, 0))
+        assert model.predict_ms(2.0, 0.0) == pytest.approx(4.0)
+        assert model.predict_ms(2.0, 1.0) == pytest.approx(8.0)
+
+    def test_negative_prediction_clamped(self):
+        model = ExecutionLatencyModel("s", a=(0, 0, -1.0), b=(0, 0, 0))
+        assert model.predict_ms(5.0, 0.0) == 0.0
+
+    def test_zero_data_zero_latency(self):
+        model = ExecutionLatencyModel("s", a=TRUE_A, b=TRUE_B)
+        assert model.predict_ms(0.0, 0.5) == 0.0
+
+    def test_unit_conversion_predict_seconds(self):
+        model = ExecutionLatencyModel("s", a=(0, 0, 0), b=(0, 0, 100.0))
+        # 100 ms per hundred items: 500 tracks = 5 units -> 500 ms.
+        assert model.predict_seconds(500.0, 0.0) == pytest.approx(0.5)
+
+    def test_invalid_inputs_rejected(self):
+        model = ExecutionLatencyModel("s", a=TRUE_A, b=TRUE_B)
+        with pytest.raises(RegressionError):
+            model.predict_ms(-1.0, 0.5)
+        with pytest.raises(RegressionError):
+            model.predict_ms(1.0, 1.5)
+
+    def test_grid_prediction_matches_scalar(self):
+        model = ExecutionLatencyModel("s", a=TRUE_A, b=TRUE_B)
+        d = np.array([1.0, 5.0, 10.0])
+        u = np.array([0.1, 0.5, 0.8])
+        grid = model.predict_ms_grid(d, u)
+        for i in range(3):
+            assert grid[i] == pytest.approx(model.predict_ms(d[i], u[i]))
+
+    def test_coefficients_dict_layout(self):
+        model = ExecutionLatencyModel("s", a=(1, 2, 3), b=(4, 5, 6))
+        assert model.coefficients() == {
+            "a1": 1, "a2": 2, "a3": 3, "b1": 4, "b2": 5, "b3": 6,
+        }
+
+
+class TestTwoStageFit:
+    def test_exact_recovery(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, D_VALUES)
+        model = ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+        assert model.a == pytest.approx(TRUE_A, abs=1e-8)
+        assert model.b == pytest.approx(TRUE_B, abs=1e-8)
+        assert model.r_squared == pytest.approx(1.0)
+
+    def test_noisy_recovery(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, D_VALUES, noise=0.02)
+        model = ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+        assert model.a[2] == pytest.approx(TRUE_A[2], rel=0.3)
+        assert model.r_squared > 0.98
+
+    def test_stage1_r2_recorded_per_level(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, D_VALUES)
+        model = ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+        assert set(model.stage1_r_squared) == set(U_LEVELS)
+
+    def test_too_few_levels_rejected(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, (0.0, 0.4), D_VALUES)
+        with pytest.raises(InsufficientDataError):
+            ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+
+    def test_too_few_data_sizes_rejected(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, (5.0,))
+        with pytest.raises(InsufficientDataError):
+            ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(RegressionError):
+            ExecutionLatencyModel.fit_two_stage(
+                "s", np.ones(3), np.ones(4), np.ones(3)
+            )
+
+
+class TestDirectFit:
+    def test_exact_recovery(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, D_VALUES)
+        model = ExecutionLatencyModel.fit_direct("s", d, u, y)
+        assert model.a == pytest.approx(TRUE_A, abs=1e-8)
+        assert model.b == pytest.approx(TRUE_B, abs=1e-8)
+
+    def test_agrees_with_two_stage_on_noiseless_data(self):
+        d, u, y = synth_samples(TRUE_A, TRUE_B, U_LEVELS, D_VALUES)
+        two_stage = ExecutionLatencyModel.fit_two_stage("s", d, u, y)
+        direct = ExecutionLatencyModel.fit_direct("s", d, u, y)
+        for d_test in (1.0, 10.0, 30.0):
+            for u_test in (0.0, 0.5, 0.8):
+                assert two_stage.predict_ms(d_test, u_test) == pytest.approx(
+                    direct.predict_ms(d_test, u_test), rel=1e-6, abs=1e-9
+                )

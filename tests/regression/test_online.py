@@ -1,0 +1,128 @@
+"""Unit tests for the online-corrected estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task
+from repro.errors import RegressionError
+from repro.regression.online import OnlineCorrectedEstimator
+
+from tests.conftest import exact_estimator
+
+
+@pytest.fixture()
+def online():
+    task = aaw_task(noise_sigma=0.0)
+    return OnlineCorrectedEstimator(base=exact_estimator(task), alpha=0.5)
+
+
+class TestConstruction:
+    def test_corrections_start_at_unity(self, online):
+        for subtask in online.task.subtasks:
+            assert online.correction(subtask.index) == 1.0
+
+    def test_invalid_alpha_rejected(self, online):
+        with pytest.raises(RegressionError):
+            OnlineCorrectedEstimator(base=online.base, alpha=1.5)
+
+    def test_invalid_clamp_rejected(self, online):
+        with pytest.raises(RegressionError):
+            OnlineCorrectedEstimator(base=online.base, clamp=0.5)
+
+    def test_unknown_subtask_rejected(self, online):
+        with pytest.raises(RegressionError):
+            online.correction(42)
+
+
+class TestInterfacePassThrough:
+    def test_uncorrected_equals_base(self, online):
+        assert online.eex_seconds(3, 1000.0, 0.2) == pytest.approx(
+            online.base.eex_seconds(3, 1000.0, 0.2)
+        )
+        assert online.ecd_seconds(1, 500.0, 1000.0) == pytest.approx(
+            online.base.ecd_seconds(1, 500.0, 1000.0)
+        )
+
+    def test_chain_estimates_match_base_initially(self, online):
+        ours = online.chain_estimate_seconds(1000.0, 0.1)
+        base = online.base.chain_estimate_seconds(1000.0, 0.1)
+        assert ours[0] == pytest.approx(base[0])
+        assert ours[1] == pytest.approx(base[1])
+
+    def test_task_and_models_exposed(self, online):
+        assert online.task is online.base.task
+        assert online.latency_models is online.base.latency_models
+        assert online.comm_model is online.base.comm_model
+
+
+class TestLearning:
+    def test_observation_moves_correction_toward_ratio(self, online):
+        predicted = online.base.eex_seconds(3, 1000.0, 0.2)
+        online.observe_stage(3, 1000.0, 0.2, observed_exec_s=2.0 * predicted)
+        # alpha = 0.5: correction = 0.5*1 + 0.5*2 = 1.5.
+        assert online.correction(3) == pytest.approx(1.5)
+        assert online.eex_seconds(3, 1000.0, 0.2) == pytest.approx(
+            1.5 * predicted
+        )
+        assert online.observations == 1
+
+    def test_repeated_observations_converge(self, online):
+        predicted = online.base.eex_seconds(3, 1000.0, 0.2)
+        for _ in range(20):
+            online.observe_stage(3, 1000.0, 0.2, observed_exec_s=1.4 * predicted)
+        assert online.correction(3) == pytest.approx(1.4, rel=1e-3)
+
+    def test_corrections_are_per_subtask(self, online):
+        predicted3 = online.base.eex_seconds(3, 1000.0, 0.2)
+        online.observe_stage(3, 1000.0, 0.2, observed_exec_s=2.0 * predicted3)
+        assert online.correction(5) == 1.0
+
+    def test_clamping(self, online):
+        predicted = online.base.eex_seconds(3, 1000.0, 0.2)
+        for _ in range(50):
+            online.observe_stage(3, 1000.0, 0.2, observed_exec_s=100 * predicted)
+        assert online.correction(3) == online.clamp
+
+    def test_degenerate_observations_ignored(self, online):
+        online.observe_stage(3, 0.0, 0.2, observed_exec_s=1.0)
+        online.observe_stage(3, 1000.0, 0.2, observed_exec_s=0.0)
+        assert online.correction(3) == 1.0
+        assert online.observations == 0
+
+    def test_corrected_deadline_chain(self, online):
+        predicted = online.base.eex_seconds(3, 1000.0, 0.2)
+        online.observe_stage(3, 1000.0, 0.2, observed_exec_s=2.0 * predicted)
+        exec_est, _ = online.chain_estimate_seconds(1000.0, 0.2)
+        base_exec, _ = online.base.chain_estimate_seconds(1000.0, 0.2)
+        assert exec_est[2] == pytest.approx(1.5 * base_exec[2])
+        assert exec_est[0] == pytest.approx(base_exec[0])
+
+
+class TestManagerIntegration:
+    def test_manager_feeds_observations(self):
+        from repro.bench.app import default_initial_placement
+        from repro.cluster.topology import build_system
+        from repro.core.manager import AdaptiveResourceManager, RMConfig
+        from repro.core.predictive import PredictivePolicy
+        from repro.runtime.executor import PeriodicTaskExecutor
+        from repro.tasks.state import ReplicaAssignment
+
+        system = build_system(n_processors=6, seed=3)
+        task = aaw_task(noise_sigma=0.0)
+        assignment = ReplicaAssignment(
+            task,
+            default_initial_placement(task, [p.name for p in system.processors]),
+        )
+        online = OnlineCorrectedEstimator(base=exact_estimator(task))
+        executor = PeriodicTaskExecutor(
+            system, task, assignment, workload=lambda c: 2000.0
+        )
+        manager = AdaptiveResourceManager(
+            system, executor, online, policy=PredictivePolicy(),
+            config=RMConfig(initial_d_tracks=2000.0),
+        )
+        manager.start(8)
+        executor.start(8)
+        system.engine.run_until(10.0)
+        assert online.observations > 0

@@ -1,0 +1,98 @@
+"""Unit tests for the OLS core."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientDataError, RegressionError
+from repro.regression.polyfit import ols_fit
+
+
+class TestExactRecovery:
+    def test_recovers_line(self):
+        x = np.linspace(0, 10, 20)
+        design = np.column_stack([x, np.ones_like(x)])
+        y = 3.0 * x + 2.0
+        result = ols_fit(design, y)
+        assert result.coefficients == pytest.approx([3.0, 2.0])
+        assert result.r_squared == pytest.approx(1.0)
+        assert result.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_quadratic_through_origin(self):
+        x = np.linspace(1, 5, 10)
+        design = np.column_stack([x * x, x])
+        y = 0.5 * x * x + 2.0 * x
+        result = ols_fit(design, y)
+        assert result.coefficients == pytest.approx([0.5, 2.0])
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 10, 200)
+        design = np.column_stack([x, np.ones_like(x)])
+        y = 3.0 * x + 2.0 + rng.normal(0, 0.1, x.size)
+        result = ols_fit(design, y)
+        assert result.coefficients == pytest.approx([3.0, 2.0], abs=0.1)
+        assert 0.99 < result.r_squared <= 1.0
+        assert result.rmse == pytest.approx(0.1, abs=0.05)
+
+    def test_std_errors_shrink_with_samples(self):
+        rng = np.random.default_rng(1)
+
+        def fit(n):
+            x = np.linspace(0, 10, n)
+            design = np.column_stack([x, np.ones_like(x)])
+            y = x + rng.normal(0, 0.5, n)
+            return ols_fit(design, y)
+
+        assert fit(400).std_errors[0] < fit(20).std_errors[0]
+
+
+class TestValidation:
+    def test_underdetermined_rejected(self):
+        with pytest.raises(InsufficientDataError):
+            ols_fit(np.ones((1, 2)), np.ones(1))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(RegressionError):
+            ols_fit(np.ones((3, 1)), np.ones(4))
+
+    def test_non_2d_design_rejected(self):
+        with pytest.raises(RegressionError):
+            ols_fit(np.ones(3), np.ones(3))
+
+    def test_empty_design_rejected(self):
+        with pytest.raises(RegressionError):
+            ols_fit(np.ones((3, 0)), np.ones(3))
+
+    def test_nan_rejected(self):
+        design = np.ones((3, 1))
+        y = np.array([1.0, np.nan, 2.0])
+        with pytest.raises(RegressionError):
+            ols_fit(design, y)
+
+    def test_rank_deficient_rejected(self):
+        x = np.ones(5)
+        design = np.column_stack([x, 2 * x])  # collinear
+        with pytest.raises(RegressionError):
+            ols_fit(design, x)
+
+
+class TestPredict:
+    def test_prediction_matches_training(self):
+        x = np.linspace(1, 5, 10)
+        design = np.column_stack([x, np.ones_like(x)])
+        result = ols_fit(design, 2 * x + 1)
+        assert result.predict(design) == pytest.approx(2 * x + 1)
+
+    def test_incompatible_design_rejected(self):
+        x = np.linspace(1, 5, 10)
+        design = np.column_stack([x, np.ones_like(x)])
+        result = ols_fit(design, 2 * x + 1)
+        with pytest.raises(RegressionError):
+            result.predict(np.ones((3, 3)))
+
+    def test_constant_response_r2_is_one(self):
+        design = np.ones((5, 1))
+        result = ols_fit(design, np.full(5, 7.0))
+        assert result.r_squared == pytest.approx(1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for model persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import RegressionError
+from repro.regression.buffer_model import BufferDelayModel
+from repro.regression.comm import CommunicationDelayModel
+from repro.regression.latency_model import ExecutionLatencyModel
+from repro.regression.serialization import (
+    comm_model_from_dict,
+    comm_model_to_dict,
+    latency_model_from_dict,
+    latency_model_to_dict,
+    load_models,
+    save_models,
+)
+from repro.regression.transmission import TransmissionModel
+
+
+def latency_model():
+    return ExecutionLatencyModel(
+        "Filter", a=(0.1, 0.2, 0.3), b=(1.0, 2.0, 3.0), r_squared=0.99, n_samples=50
+    )
+
+
+def comm_model():
+    return CommunicationDelayModel(
+        buffer=BufferDelayModel(k_ms_per_track=0.002, r_squared=0.95, n_samples=6),
+        transmission=TransmissionModel(bandwidth_bps=100e6, overhead_bytes=1500.0),
+    )
+
+
+class TestRoundTrips:
+    def test_latency_model_round_trip(self):
+        model = latency_model()
+        restored = latency_model_from_dict(latency_model_to_dict(model))
+        assert restored == model
+
+    def test_comm_model_round_trip(self):
+        model = comm_model()
+        restored = comm_model_from_dict(comm_model_to_dict(model))
+        assert restored.buffer.k_ms_per_track == model.buffer.k_ms_per_track
+        assert restored.transmission == model.transmission
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "models.json"
+        models = {3: latency_model(), 5: latency_model()}
+        save_models(path, models, comm_model())
+        loaded_models, loaded_comm = load_models(path)
+        assert set(loaded_models) == {3, 5}
+        assert loaded_models[3] == models[3]
+        assert loaded_comm.buffer.k_ms_per_track == pytest.approx(0.002)
+
+    def test_saved_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "models.json"
+        save_models(path, {1: latency_model()}, comm_model())
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+
+
+class TestErrors:
+    def test_wrong_kind_rejected(self):
+        data = latency_model_to_dict(latency_model())
+        data["kind"] = "other"
+        with pytest.raises(RegressionError):
+            latency_model_from_dict(data)
+
+    def test_bad_coefficient_count_rejected(self):
+        data = latency_model_to_dict(latency_model())
+        data["a"] = [1.0, 2.0]
+        with pytest.raises(RegressionError):
+            latency_model_from_dict(data)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(RegressionError):
+            load_models(tmp_path / "nope.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(RegressionError):
+            load_models(path)

@@ -1,0 +1,85 @@
+"""Unit tests for period/stage records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.records import PeriodRecord, StageRecord
+
+
+class TestStageRecord:
+    def test_latencies_none_until_finished(self):
+        stage = StageRecord(subtask_index=1, replica_count=1, start_time=1.0)
+        assert stage.exec_latency is None
+        assert stage.stage_latency is None
+
+    def test_exec_latency(self):
+        stage = StageRecord(
+            subtask_index=1, replica_count=2, start_time=1.0, exec_finish_time=1.5
+        )
+        assert stage.exec_latency == pytest.approx(0.5)
+
+    def test_stage_latency_includes_message_in(self):
+        stage = StageRecord(
+            subtask_index=2,
+            replica_count=1,
+            start_time=1.0,
+            exec_finish_time=1.5,
+            message_in_delay=0.2,
+        )
+        assert stage.stage_latency == pytest.approx(0.7)
+
+
+class TestPeriodRecord:
+    def make(self, **kwargs):
+        defaults = dict(
+            period_index=0, release_time=10.0, d_tracks=100.0, deadline=0.99
+        )
+        defaults.update(kwargs)
+        return PeriodRecord(**defaults)
+
+    def test_in_flight_state(self):
+        record = self.make()
+        assert not record.completed
+        assert record.latency is None
+        assert not record.missed
+
+    def test_met_deadline(self):
+        record = self.make(completion_time=10.5)
+        assert record.completed
+        assert record.latency == pytest.approx(0.5)
+        assert not record.missed
+
+    def test_missed_deadline(self):
+        record = self.make(completion_time=11.5)
+        assert record.missed
+
+    def test_boundary_exactly_at_deadline_is_met(self):
+        record = self.make(deadline=0.5, completion_time=10.5)
+        assert not record.missed
+
+    def test_aborted_counts_missed(self):
+        record = self.make(aborted=True)
+        assert record.missed
+        assert not record.completed
+
+    def test_overdue_detection(self):
+        record = self.make()
+        assert not record.overdue_at(10.5)
+        assert record.overdue_at(11.5)
+
+    def test_completed_record_not_overdue(self):
+        record = self.make(completion_time=10.5)
+        assert not record.overdue_at(20.0)
+
+    def test_aborted_record_not_overdue(self):
+        record = self.make(aborted=True)
+        assert not record.overdue_at(20.0)
+
+    def test_stage_lookup(self):
+        record = self.make()
+        record.stages.append(
+            StageRecord(subtask_index=1, replica_count=1, start_time=10.0)
+        )
+        assert record.stage(1) is not None
+        assert record.stage(2) is None

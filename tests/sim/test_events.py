@@ -1,0 +1,56 @@
+"""Unit tests for Event objects."""
+
+from __future__ import annotations
+
+from repro.sim.events import Event, EventState
+
+
+def make(time=1.0, seq=1, priority=0, label=""):
+    return Event(time, seq, lambda: None, priority=priority, label=label)
+
+
+class TestLifecycle:
+    def test_starts_pending(self):
+        event = make()
+        assert event.state is EventState.PENDING
+        assert event.pending
+        assert not event.cancelled
+
+    def test_cancel_transitions(self):
+        event = make()
+        assert event.cancel()
+        assert event.state is EventState.CANCELLED
+        assert event.cancelled
+        assert not event.pending
+
+    def test_execute_transitions(self):
+        fired = []
+        event = Event(1.0, 1, fired.append, args=(42,))
+        event._execute()
+        assert event.state is EventState.EXECUTED
+        assert fired == [42]
+
+    def test_cancel_after_execute_fails(self):
+        event = make()
+        event._execute()
+        assert not event.cancel()
+
+
+class TestOrdering:
+    def test_time_dominates(self):
+        assert make(time=1.0, seq=99) < make(time=2.0, seq=1)
+
+    def test_priority_breaks_time_ties(self):
+        assert make(time=1.0, priority=-1, seq=99) < make(time=1.0, priority=0, seq=1)
+
+    def test_seq_breaks_remaining_ties(self):
+        assert make(time=1.0, seq=1) < make(time=1.0, seq=2)
+
+    def test_sort_key_shape(self):
+        event = make(time=2.0, seq=7, priority=3)
+        assert event.sort_key() == (2.0, 3, 7)
+
+    def test_sorting_a_list(self):
+        events = [make(time=t, seq=i) for i, t in enumerate([3.0, 1.0, 2.0])]
+        ordered = sorted(events)
+        assert [e.time for e in ordered] == [1.0, 2.0, 3.0]

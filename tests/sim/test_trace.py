@@ -1,0 +1,51 @@
+"""Unit tests for tracing."""
+
+from __future__ import annotations
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+class TestTracer:
+    def test_records_accumulate(self):
+        tracer = Tracer()
+        tracer.record(1.0, "job", "a")
+        tracer.record(2.0, "message", "b", {"bytes": 10})
+        assert len(tracer) == 2
+        assert tracer.records[1].data["bytes"] == 10
+
+    def test_category_filter(self):
+        tracer = Tracer(categories=["job"])
+        tracer.record(1.0, "job", "kept")
+        tracer.record(1.0, "message", "dropped")
+        assert [r.label for r in tracer.records] == ["kept"]
+
+    def test_by_category(self):
+        tracer = Tracer()
+        tracer.record(1.0, "job", "a")
+        tracer.record(2.0, "rm", "b")
+        tracer.record(3.0, "job", "c")
+        assert [r.label for r in tracer.by_category("job")] == ["a", "c"]
+
+    def test_max_records_bounds_memory(self):
+        tracer = Tracer(max_records=10)
+        for i in range(25):
+            tracer.record(float(i), "job", str(i))
+        assert len(tracer) == 10
+        assert tracer.records[-1].label == "24"
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(1.0, "job", "a")
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_enabled_flag(self):
+        assert Tracer().enabled
+        assert not NullTracer().enabled
+
+
+class TestNullTracer:
+    def test_drops_everything(self):
+        tracer = NullTracer()
+        tracer.record(1.0, "job", "a")
+        assert len(tracer) == 0

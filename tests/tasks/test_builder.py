@@ -1,0 +1,74 @@
+"""Unit tests for the fluent task builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ground_truth import LinearServiceModel
+from repro.errors import TaskModelError
+from repro.tasks.builder import TaskBuilder
+
+
+def service():
+    return LinearServiceModel(1.0)
+
+
+class TestBuilder:
+    def test_builds_valid_chain(self):
+        task = (
+            TaskBuilder("t", period=1.0, deadline=0.9)
+            .subtask("a", service())
+            .message(bytes_per_item=80)
+            .subtask("b", service(), replicable=True)
+            .build()
+        )
+        assert task.n_subtasks == 2
+        assert task.subtask(2).replicable
+        assert task.message(1).bytes_per_item == 80
+
+    def test_message_context_forwarded(self):
+        task = (
+            TaskBuilder("t", period=1.0, deadline=0.9)
+            .subtask("a", service())
+            .message(bytes_per_item=80, context_bytes_per_item=16)
+            .subtask("b", service())
+            .build()
+        )
+        assert task.message(1).context_bytes_per_item == 16
+
+    def test_two_subtasks_in_a_row_rejected(self):
+        builder = TaskBuilder("t", period=1.0, deadline=0.9).subtask("a", service())
+        with pytest.raises(TaskModelError):
+            builder.subtask("b", service())
+
+    def test_message_first_rejected(self):
+        with pytest.raises(TaskModelError):
+            TaskBuilder("t", period=1.0, deadline=0.9).message()
+
+    def test_two_messages_in_a_row_rejected(self):
+        builder = (
+            TaskBuilder("t", period=1.0, deadline=0.9)
+            .subtask("a", service())
+            .message()
+        )
+        with pytest.raises(TaskModelError):
+            builder.message()
+
+    def test_dangling_message_rejected_at_build(self):
+        builder = (
+            TaskBuilder("t", period=1.0, deadline=0.9)
+            .subtask("a", service())
+            .message()
+        )
+        with pytest.raises(TaskModelError):
+            builder.build()
+
+    def test_indices_assigned_in_order(self):
+        builder = TaskBuilder("t", period=1.0, deadline=0.9)
+        for i in range(4):
+            builder.subtask(f"s{i}", service())
+            if i < 3:
+                builder.message()
+        task = builder.build()
+        assert [s.index for s in task.subtasks] == [1, 2, 3, 4]
+        assert [m.index for m in task.messages] == [1, 2, 3]

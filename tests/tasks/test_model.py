@@ -1,0 +1,147 @@
+"""Unit tests for the task structural model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.ground_truth import LinearServiceModel
+from repro.errors import TaskModelError
+from repro.tasks.model import MessageSpec, PeriodicTask, Subtask
+
+
+def subtask(index, name="st", replicable=False):
+    return Subtask(
+        index=index,
+        name=f"{name}{index}",
+        replicable=replicable,
+        service=LinearServiceModel(1.0),
+    )
+
+
+def chain(n, replicable=()):
+    return PeriodicTask(
+        name="t",
+        period=1.0,
+        deadline=0.9,
+        subtasks=tuple(
+            subtask(i, replicable=i in replicable) for i in range(1, n + 1)
+        ),
+        messages=tuple(MessageSpec(index=i) for i in range(1, n)),
+    )
+
+
+class TestSubtask:
+    def test_bad_index_rejected(self):
+        with pytest.raises(TaskModelError):
+            subtask(0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TaskModelError):
+            Subtask(index=1, name="", replicable=False, service=LinearServiceModel(1.0))
+
+
+class TestMessageSpec:
+    def test_payload_scales_with_items(self):
+        spec = MessageSpec(index=1, bytes_per_item=80.0)
+        assert spec.payload_bytes(100) == 8000.0
+
+    def test_negative_data_rejected(self):
+        with pytest.raises(TaskModelError):
+            MessageSpec(index=1).payload_bytes(-1)
+
+    def test_negative_bytes_per_item_rejected(self):
+        with pytest.raises(TaskModelError):
+            MessageSpec(index=1, bytes_per_item=-1.0)
+
+    def test_wire_payload_includes_context(self):
+        spec = MessageSpec(index=1, bytes_per_item=80.0, context_bytes_per_item=16.0)
+        assert spec.wire_payload_bytes(50, 100) == 80 * 50 + 16 * 100
+
+    def test_wire_payload_share_cannot_exceed_total(self):
+        spec = MessageSpec(index=1)
+        with pytest.raises(TaskModelError):
+            spec.wire_payload_bytes(200, 100)
+
+    def test_wire_payload_without_context_equals_payload(self):
+        spec = MessageSpec(index=1, bytes_per_item=80.0)
+        assert spec.wire_payload_bytes(50, 100) == spec.payload_bytes(50)
+
+    def test_negative_context_rejected(self):
+        with pytest.raises(TaskModelError):
+            MessageSpec(index=1, context_bytes_per_item=-1.0)
+
+
+class TestPeriodicTaskInvariants:
+    def test_valid_chain_builds(self):
+        task = chain(5, replicable=(3, 5))
+        assert task.n_subtasks == 5
+        assert task.replicable_indices() == (3, 5)
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask("t", period=0.0, deadline=0.5, subtasks=(subtask(1),))
+
+    def test_bad_deadline_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask("t", period=1.0, deadline=-1.0, subtasks=(subtask(1),))
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask("t", period=1.0, deadline=0.5, subtasks=())
+
+    def test_out_of_order_subtasks_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask(
+                "t",
+                period=1.0,
+                deadline=0.5,
+                subtasks=(subtask(2), subtask(1)),
+                messages=(MessageSpec(index=1),),
+            )
+
+    def test_wrong_message_count_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask(
+                "t",
+                period=1.0,
+                deadline=0.5,
+                subtasks=(subtask(1), subtask(2)),
+                messages=(),
+            )
+
+    def test_wrong_message_indices_rejected(self):
+        with pytest.raises(TaskModelError):
+            PeriodicTask(
+                "t",
+                period=1.0,
+                deadline=0.5,
+                subtasks=(subtask(1), subtask(2)),
+                messages=(MessageSpec(index=2),),
+            )
+
+    def test_single_subtask_no_messages(self):
+        task = PeriodicTask("t", period=1.0, deadline=0.5, subtasks=(subtask(1),))
+        assert task.n_subtasks == 1
+
+
+class TestAccessors:
+    def test_subtask_lookup_is_one_based(self):
+        task = chain(3)
+        assert task.subtask(1).index == 1
+        assert task.subtask(3).index == 3
+
+    def test_subtask_out_of_range(self):
+        task = chain(3)
+        with pytest.raises(TaskModelError):
+            task.subtask(0)
+        with pytest.raises(TaskModelError):
+            task.subtask(4)
+
+    def test_message_lookup(self):
+        task = chain(3)
+        assert task.message(2).index == 2
+        with pytest.raises(TaskModelError):
+            task.message(3)
+
+    def test_no_replicable_indices(self):
+        assert chain(3).replicable_indices() == ()

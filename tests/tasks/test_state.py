@@ -1,0 +1,92 @@
+"""Unit tests for the ReplicaAssignment (the PS(st) map)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.errors import AllocationError
+from repro.tasks.state import ReplicaAssignment
+
+
+@pytest.fixture()
+def assignment():
+    task = aaw_task(noise_sigma=0.0)
+    names = [f"p{i}" for i in range(1, 7)]
+    return ReplicaAssignment(task, default_initial_placement(task, names))
+
+
+class TestInitialState:
+    def test_every_subtask_has_one_replica(self, assignment):
+        for subtask in assignment.task.subtasks:
+            assert assignment.replica_count(subtask.index) == 1
+
+    def test_missing_initial_placement_rejected(self):
+        task = aaw_task(noise_sigma=0.0)
+        with pytest.raises(AllocationError):
+            ReplicaAssignment(task, {1: "p1"})
+
+    def test_total_replicas_counts_replicable_only_by_default(self, assignment):
+        # 2 replicable subtasks, 1 replica each.
+        assert assignment.total_replicas() == 2
+        assert assignment.total_replicas(replicable_only=False) == 5
+
+
+class TestAddReplica:
+    def test_add_extends_ordered_set(self, assignment):
+        assignment.add_replica(3, "p6")
+        assignment.add_replica(3, "p1")
+        assert assignment.processors_of(3)[-2:] == ("p6", "p1")
+        assert assignment.replica_count(3) == 3
+
+    def test_duplicate_processor_rejected(self, assignment):
+        assignment.add_replica(3, "p6")
+        with pytest.raises(AllocationError):
+            assignment.add_replica(3, "p6")
+
+    def test_non_replicable_subtask_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.add_replica(1, "p6")
+
+    def test_unknown_subtask_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.add_replica(99, "p6")
+
+
+class TestRemoveLastReplica:
+    def test_lifo_removal(self, assignment):
+        assignment.add_replica(3, "p6")
+        assignment.add_replica(3, "p1")
+        assert assignment.remove_last_replica(3) == "p1"
+        assert assignment.remove_last_replica(3) == "p6"
+
+    def test_original_never_removed(self, assignment):
+        assert assignment.remove_last_replica(3) is None
+        assert assignment.replica_count(3) == 1
+
+    def test_unknown_subtask_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.remove_last_replica(99)
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_immutable_copy(self, assignment):
+        snap = assignment.snapshot()
+        assignment.add_replica(3, "p6")
+        assert len(snap[3]) == 1  # unchanged
+
+    def test_reset_replaces_placement(self, assignment):
+        assignment.reset(3, ["p2", "p4"])
+        assert assignment.processors_of(3) == ("p2", "p4")
+
+    def test_reset_empty_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.reset(3, [])
+
+    def test_reset_duplicates_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.reset(3, ["p2", "p2"])
+
+    def test_reset_non_replicable_multi_rejected(self, assignment):
+        with pytest.raises(AllocationError):
+            assignment.reset(1, ["p1", "p2"])

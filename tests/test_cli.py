@@ -1,0 +1,171 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+    def test_rejects_bad_table_number(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "4"])
+
+
+class TestTableCommands:
+    def test_table1(self, capsys):
+        code, out, _ = run_cli(capsys, "table", "1")
+        assert code == 0
+        assert "Number of nodes" in out
+        assert "990 ms" in out
+
+    def test_table3(self, capsys):
+        code, out, _ = run_cli(capsys, "table", "3")
+        assert code == 0
+        assert "Table 3" in out
+        assert "paper" in out
+
+
+class TestRunCommand:
+    def test_single_run_prints_metrics(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "run",
+            "--policy", "predictive", "--pattern", "triangular",
+            "--max-units", "5",
+        )
+        assert code == 0
+        assert "combined" in out
+        assert "rm_actions" in out
+
+    def test_multi_task_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "run", "--tasks", "2", "--max-units", "5"
+        )
+        assert code == 0
+        assert "aaw1" in out and "aaw2" in out
+
+    def test_replicated_run(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "run", "--seeds", "2", "--max-units", "5"
+        )
+        assert code == 0
+        assert "95% CI" in out
+
+    def test_json_export(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "run", "--max-units", "5",
+            "--json", str(path),
+        )
+        assert code == 0
+        data = json.loads(path.read_text())
+        assert data["policy"] == "predictive"
+        assert "combined" in data
+
+
+class TestErrorHandling:
+    def test_repro_error_exits_2_with_message(self, capsys):
+        code, out, err = run_cli(capsys, "--periods", "0", "table", "1")
+        assert code == 2
+        assert "error:" in err
+
+    def test_validate_exit_code_reflects_verdicts(self, capsys):
+        code, out, _ = run_cli(capsys, "--periods", "20", "validate")
+        assert "verdict" in out
+        # On the reduced-but-representative run the claims hold.
+        assert code == 0
+        assert "FAIL" not in out
+
+
+class TestCapacityCommand:
+    def test_capacity_plan_printed(self, capsys):
+        code, out, _ = run_cli(capsys, "capacity", "--units", "2", "35")
+        assert code == 0
+        assert "k(st3)" in out
+        assert "feasible" in out
+        assert "saturation" in out or "all planned workloads" in out
+
+    def test_capacity_utilization_knob(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "capacity", "--units", "10", "--utilization", "0.6"
+        )
+        assert code == 0
+        assert "60%" in out
+
+
+class TestReportCommand:
+    def test_report_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "report", "--units", "1",
+            "--skip-tables", "--skip-validation",
+        )
+        assert code == 0
+        assert "# Reproduction report" in out
+        assert "Figure 10" in out
+
+
+class TestOtherCommands:
+    def test_patterns(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "patterns", "--max-units", "4"
+        )
+        assert code == 0
+        assert "triangular" in out
+
+    def test_profile(self, capsys):
+        code, out, _ = run_cli(capsys, "profile", "--subtask", "3",
+                               "--repetitions", "1")
+        assert code == 0
+        assert "a1" in out and "R^2" in out
+
+    def test_figure8(self, capsys):
+        code, out, _ = run_cli(capsys, "figure", "8")
+        assert code == 0
+        assert "Figure 8" in out
+
+    def test_figure10_reduced(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "figure", "10", "--units", "1", "10"
+        )
+        assert code == 0
+        assert "predictive" in out and "nonpredictive" in out
+
+    def test_figure10_csv_export(self, capsys, tmp_path):
+        path = tmp_path / "fig10.csv"
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "figure", "10", "--units", "1", "5",
+            "--csv", str(path),
+        )
+        assert code == 0
+        from repro.experiments.export import figure_from_csv
+
+        x_label, x_values, series = figure_from_csv(path)
+        assert x_values == [1.0, 5.0]
+        assert set(series) == {"predictive", "nonpredictive"}
+
+    def test_multi_panel_csv_gets_suffixes(self, capsys, tmp_path):
+        path = tmp_path / "fig9.csv"
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "figure", "9", "--units", "5",
+            "--csv", str(path),
+        )
+        assert code == 0
+        written = sorted(p.name for p in tmp_path.glob("fig9_*.csv"))
+        assert written == ["fig9_1.csv", "fig9_2.csv", "fig9_3.csv", "fig9_4.csv"]

@@ -1,0 +1,40 @@
+"""Unit tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.SimulationError,
+            errors.SchedulingError,
+            errors.ClusterError,
+            errors.PlacementError,
+            errors.TaskModelError,
+            errors.RegressionError,
+            errors.InsufficientDataError,
+            errors.ProfilingError,
+            errors.AllocationError,
+            errors.ConfigurationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_scheduling_is_simulation_error(self):
+        assert issubclass(errors.SchedulingError, errors.SimulationError)
+
+    def test_insufficient_data_is_regression_error(self):
+        assert issubclass(errors.InsufficientDataError, errors.RegressionError)
+
+    def test_placement_is_cluster_error(self):
+        assert issubclass(errors.PlacementError, errors.ClusterError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.AllocationError("nope")

@@ -1,0 +1,52 @@
+"""Unit tests for unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import units
+
+
+class TestTimeConversions:
+    def test_ms_round_trip(self):
+        assert units.s_to_ms(units.ms_to_s(990.0)) == pytest.approx(990.0)
+
+    def test_constants(self):
+        assert units.MS == 1e-3
+        assert units.US == 1e-6
+
+
+class TestDataConversions:
+    def test_tracks_to_bytes_table1(self):
+        assert units.tracks_to_bytes(1) == 80
+        assert units.tracks_to_bytes(500) == 40_000
+
+    def test_regression_units(self):
+        assert units.tracks_to_regression_units(500) == 5.0
+        assert units.regression_units_to_tracks(5.0) == 500.0
+
+    def test_workload_units(self):
+        assert units.workload_units_to_tracks(35) == 17_500
+
+
+class TestBandwidth:
+    def test_mbps(self):
+        assert units.mbps_to_bps(100) == 100e6
+        assert units.ETHERNET_100_MBPS == 100e6
+
+    def test_transmission_time_eq6(self):
+        # 1.25 MB at 100 Mbit/s = 0.1 s.
+        assert units.transmission_time(1_250_000, 100e6) == pytest.approx(0.1)
+
+    def test_transmission_validation(self):
+        with pytest.raises(ValueError):
+            units.transmission_time(10.0, 0.0)
+        with pytest.raises(ValueError):
+            units.transmission_time(-1.0, 1.0)
+
+
+class TestUtilization:
+    def test_percent_round_trip(self):
+        assert units.percent_to_fraction(units.fraction_to_percent(0.35)) == (
+            pytest.approx(0.35)
+        )

@@ -1,0 +1,86 @@
+"""Tests for composite patterns and mission profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import (
+    CompositePattern,
+    ConstantPattern,
+    DecreasingRamp,
+    IncreasingRamp,
+    mission_profile,
+)
+
+
+class TestCompositePattern:
+    def test_segments_play_in_sequence(self):
+        composite = CompositePattern.of(
+            ConstantPattern(0.0, 100.0, 3),
+            ConstantPattern(0.0, 900.0, 2),
+        )
+        assert [composite(i) for i in range(5)] == [100, 100, 100, 900, 900]
+
+    def test_local_indices_restart_per_segment(self):
+        composite = CompositePattern.of(
+            ConstantPattern(0.0, 100.0, 2),
+            IncreasingRamp(0.0, 1000.0, 11),
+        )
+        assert composite(2) == 0.0       # ramp period 0
+        assert composite(12) == 1000.0   # ramp period 10
+
+    def test_last_segment_continues_beyond_end(self):
+        composite = CompositePattern.of(
+            ConstantPattern(0.0, 100.0, 2),
+            DecreasingRamp(50.0, 500.0, 5),
+        )
+        assert composite(100) == 50.0  # ramp clamps at its minimum
+
+    def test_total_length_is_sum(self):
+        composite = CompositePattern.of(
+            ConstantPattern(0.0, 1.0, 3), ConstantPattern(0.0, 2.0, 4)
+        )
+        assert composite.n_periods == 7
+
+    def test_bounds_derived_from_segments(self):
+        composite = CompositePattern.of(
+            ConstantPattern(10.0, 100.0, 2),
+            ConstantPattern(5.0, 900.0, 2),
+        )
+        assert composite.min_tracks == 5.0
+        assert composite.max_tracks == 900.0
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositePattern.of()
+        with pytest.raises(ConfigurationError):
+            CompositePattern(
+                min_tracks=0.0, max_tracks=1.0, n_periods=1, segments=()
+            )
+
+
+class TestMissionProfiles:
+    @pytest.mark.parametrize("name", ["raid", "escort", "skirmishes"])
+    def test_profiles_build_and_stay_bounded(self, name):
+        profile = mission_profile(name, max_tracks=8000.0, quiet_tracks=400.0)
+        series = profile.series()
+        assert len(series) == profile.n_periods
+        assert series.min() >= 400.0
+        assert series.max() <= 8000.0
+
+    def test_raid_shape(self):
+        profile = mission_profile("raid", max_tracks=8000.0, quiet_tracks=400.0)
+        assert profile(0) == 400.0        # patrol
+        assert profile(12) == 8000.0      # raid plateau
+        assert profile(profile.n_periods - 1) < 8000.0  # clearing
+
+    def test_skirmishes_alternate(self):
+        profile = mission_profile("skirmishes", max_tracks=8000.0)
+        series = profile.series()
+        assert (series == 500.0).sum() >= 12  # quiet stretches
+        assert series.max() > 4000.0          # engagements
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mission_profile("armageddon")

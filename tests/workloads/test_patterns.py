@@ -1,0 +1,173 @@
+"""Unit tests for workload patterns (Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patterns import (
+    PATTERN_NAMES,
+    BurstyPattern,
+    ConstantPattern,
+    DecreasingRamp,
+    IncreasingRamp,
+    SinusoidPattern,
+    StepPattern,
+    TriangularPattern,
+    make_pattern,
+)
+
+
+class TestValidation:
+    def test_negative_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncreasingRamp(min_tracks=-1.0, max_tracks=10.0, n_periods=10)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncreasingRamp(min_tracks=10.0, max_tracks=5.0, n_periods=10)
+
+    def test_zero_periods_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IncreasingRamp(min_tracks=0.0, max_tracks=10.0, n_periods=0)
+
+    def test_negative_period_index_rejected(self):
+        pattern = IncreasingRamp(min_tracks=0.0, max_tracks=10.0, n_periods=10)
+        with pytest.raises(ConfigurationError):
+            pattern(-1)
+
+
+class TestIncreasingRamp:
+    def test_endpoints(self):
+        pattern = IncreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=10)
+        assert pattern(0) == 100.0
+        assert pattern(9) == 1000.0
+
+    def test_monotone_nondecreasing(self):
+        pattern = IncreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=20)
+        series = pattern.series()
+        assert np.all(np.diff(series) >= 0)
+
+    def test_clamped_beyond_run(self):
+        pattern = IncreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=10)
+        assert pattern(100) == 1000.0
+
+
+class TestDecreasingRamp:
+    def test_endpoints(self):
+        pattern = DecreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=10)
+        assert pattern(0) == 1000.0
+        assert pattern(9) == 100.0
+
+    def test_mirror_of_increasing(self):
+        inc = IncreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=10)
+        dec = DecreasingRamp(min_tracks=100.0, max_tracks=1000.0, n_periods=10)
+        for i in range(10):
+            assert inc(i) + dec(i) == pytest.approx(1100.0)
+
+
+class TestTriangular:
+    def test_starts_at_min(self):
+        pattern = TriangularPattern(
+            min_tracks=100.0, max_tracks=1000.0, n_periods=40, cycle_periods=20
+        )
+        assert pattern(0) == 100.0
+
+    def test_peaks_at_half_cycle(self):
+        pattern = TriangularPattern(
+            min_tracks=100.0, max_tracks=1000.0, n_periods=40, cycle_periods=20
+        )
+        assert pattern(10) == pytest.approx(1000.0)
+
+    def test_periodicity(self):
+        pattern = TriangularPattern(
+            min_tracks=100.0, max_tracks=1000.0, n_periods=100, cycle_periods=20
+        )
+        for i in range(20):
+            assert pattern(i) == pytest.approx(pattern(i + 20))
+
+    def test_stays_within_bounds(self):
+        pattern = TriangularPattern(
+            min_tracks=100.0, max_tracks=1000.0, n_periods=60
+        )
+        series = pattern.series()
+        assert series.min() >= 100.0
+        assert series.max() <= 1000.0
+
+    def test_alternates_up_and_down(self):
+        pattern = TriangularPattern(
+            min_tracks=0.0, max_tracks=100.0, n_periods=40, cycle_periods=20
+        )
+        diffs = np.diff(pattern.series(20))
+        assert (diffs[:9] > 0).all()
+        assert (diffs[11:19] < 0).all()
+
+    def test_default_cycle_gives_two_cycles(self):
+        pattern = TriangularPattern(min_tracks=0.0, max_tracks=100.0, n_periods=60)
+        assert pattern._cycle() == 30
+
+
+class TestOtherPatterns:
+    def test_constant(self):
+        pattern = ConstantPattern(min_tracks=0.0, max_tracks=500.0, n_periods=10)
+        assert set(pattern.series()) == {500.0}
+
+    def test_step(self):
+        pattern = StepPattern(
+            min_tracks=100.0, max_tracks=900.0, n_periods=10, step_period=5
+        )
+        assert pattern(4) == 100.0
+        assert pattern(5) == 900.0
+
+    def test_step_default_midpoint(self):
+        pattern = StepPattern(min_tracks=1.0, max_tracks=2.0, n_periods=10)
+        assert pattern(4) == 1.0
+        assert pattern(5) == 2.0
+
+    def test_sinusoid_bounds_and_start(self):
+        pattern = SinusoidPattern(
+            min_tracks=100.0, max_tracks=900.0, n_periods=40, cycle_periods=20
+        )
+        series = pattern.series()
+        assert series.min() >= 100.0 - 1e-9
+        assert series.max() <= 900.0 + 1e-9
+        assert pattern(0) == pytest.approx(100.0)
+
+    def test_bursty_reproducible(self):
+        a = BurstyPattern(min_tracks=100.0, max_tracks=900.0, n_periods=30, seed=5)
+        b = BurstyPattern(min_tracks=100.0, max_tracks=900.0, n_periods=30, seed=5)
+        assert list(a.series()) == list(b.series())
+
+    def test_bursty_respects_bounds(self):
+        pattern = BurstyPattern(
+            min_tracks=100.0, max_tracks=900.0, n_periods=50, seed=1
+        )
+        series = pattern.series()
+        assert series.min() >= 100.0
+        assert series.max() <= 900.0
+
+    def test_bursty_probability_extremes(self):
+        never = BurstyPattern(
+            min_tracks=1.0, max_tracks=2.0, n_periods=20, burst_probability=0.0
+        )
+        assert set(never.series()) == {1.0}
+
+    def test_bursty_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstyPattern(
+                min_tracks=1.0, max_tracks=2.0, n_periods=5, burst_probability=1.5
+            )
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_all_names_construct(self, name):
+        pattern = make_pattern(name, 100.0, 1000.0, 20)
+        series = pattern.series()
+        assert len(series) == 20
+        assert (series >= 0).all()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_pattern("sawtooth", 0.0, 1.0, 10)

@@ -1,0 +1,79 @@
+"""Unit tests for track-stream generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import TRACK_BYTES
+from repro.workloads.patterns import ConstantPattern, IncreasingRamp
+from repro.workloads.sensors import Track, TrackStreamGenerator
+
+
+def generator(pattern=None, seed=0):
+    pattern = pattern or ConstantPattern(min_tracks=0.0, max_tracks=10.0, n_periods=5)
+    return TrackStreamGenerator(pattern, seed=seed)
+
+
+class TestTrack:
+    def test_size_is_table1_value(self):
+        track = Track(track_id=1, x=0, y=0, vx=0, vy=0, threat=0.5)
+        assert track.size_bytes == TRACK_BYTES == 80
+
+
+class TestGenerator:
+    def test_batch_size_follows_pattern(self):
+        pattern = IncreasingRamp(min_tracks=2.0, max_tracks=10.0, n_periods=5)
+        gen = generator(pattern)
+        assert len(gen.batch(0)) == 2
+        assert len(gen.batch(4)) == 10
+
+    def test_identities_persist_across_periods(self):
+        gen = generator()
+        first = {t.track_id for t in gen.batch(0)}
+        second = {t.track_id for t in gen.batch(1)}
+        assert first == second
+
+    def test_shrinking_picture_drops_newest(self):
+        pattern = IncreasingRamp(min_tracks=5.0, max_tracks=5.0, n_periods=3)
+        gen = generator(pattern)
+        gen.batch(0)
+        # Force shrink by switching to a smaller pattern value via a new
+        # generator with a decreasing shape.
+        from repro.workloads.patterns import DecreasingRamp
+
+        pattern = DecreasingRamp(min_tracks=2.0, max_tracks=6.0, n_periods=3)
+        gen = TrackStreamGenerator(pattern, seed=0)
+        big = {t.track_id for t in gen.batch(0)}
+        small = {t.track_id for t in gen.batch(2)}
+        assert small < big  # survivors are the oldest tracks
+
+    def test_tracks_move_between_periods(self):
+        gen = generator()
+        before = {t.track_id: (t.x, t.y) for t in gen.batch(0)}
+        after = {t.track_id: (t.x, t.y) for t in gen.batch(1)}
+        moved = [
+            tid for tid in before
+            if before[tid] != after[tid]
+        ]
+        assert moved  # at least some tracks have non-zero velocity
+
+    def test_threat_stays_in_unit_interval(self):
+        gen = generator()
+        for period in range(5):
+            for track in gen.batch(period):
+                assert 0.0 <= track.threat <= 1.0
+
+    def test_reproducible_given_seed(self):
+        a = generator(seed=3).batch(0)
+        b = generator(seed=3).batch(0)
+        assert [(t.track_id, t.x) for t in a] == [(t.track_id, t.x) for t in b]
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generator().batch(-1)
+
+    def test_total_bytes(self):
+        pattern = ConstantPattern(min_tracks=0.0, max_tracks=10.0, n_periods=2)
+        gen = generator(pattern)
+        assert gen.total_bytes(0) == 10 * TRACK_BYTES

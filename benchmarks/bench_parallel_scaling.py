@@ -1,0 +1,147 @@
+"""E-PAR — parallel scaling of a Figure-9-style campaign.
+
+Runs the same predictive-vs-non-predictive triangular sweep (heavier
+than the paper's: more periods, replicated seeds) serially and under
+2/4/8 process-pool workers, then records wall-clock, speedup and a
+**bit-identical determinism check** (every parallel row must equal the
+serial row) in ``benchmarks/out/BENCH_parallel_scaling.json``.
+
+The estimator-cache effect is measured separately: a cold profile+fit
+versus a warm disk load — the cache is what keeps workers from
+re-profiling (the fit costs ~50x one experiment run).
+
+Interpretation: the speedup ceiling is ``min(n_jobs, cpu_count)``; on a
+single-CPU container the parallel widths measure pool overhead only,
+while the determinism check and the cache speedup are CPU-independent.
+
+Run standalone (``python benchmarks/bench_parallel_scaling.py``) or via
+``pytest benchmarks/bench_parallel_scaling.py -m "slow or not slow"``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_parallel_scaling.json"
+
+#: Heavier-than-paper Fig. 9 sweep: every workload point, both policies,
+#: two seeds, 4x the periods.
+N_PERIODS = 240
+N_SEEDS = 2
+WORKER_COUNTS = (2, 4, 8)
+
+
+def _campaign_spec():
+    from repro.experiments.campaign import CampaignSpec
+    from repro.experiments.config import DEFAULT_SWEEP_UNITS, BaselineConfig
+
+    return CampaignSpec(
+        policies=("predictive", "nonpredictive"),
+        patterns=("triangular",),
+        units=DEFAULT_SWEEP_UNITS,
+        n_seeds=N_SEEDS,
+        baseline=BaselineConfig(n_periods=N_PERIODS),
+    )
+
+
+def measure_scaling(cache_dir: Path) -> dict:
+    """Time the campaign at each worker count; verify bit-identical rows."""
+    from repro.experiments import estimator_cache
+    from repro.experiments.campaign import run_campaign
+
+    spec = _campaign_spec()
+
+    # Estimator cache: cold profile+fit vs warm disk load.
+    estimator_cache.clear_memory_cache()
+    t0 = time.perf_counter()
+    estimator_cache.get_estimator(spec.baseline, cache_dir=cache_dir)
+    cold_fit_s = time.perf_counter() - t0
+    estimator_cache.clear_memory_cache()
+    t0 = time.perf_counter()
+    estimator_cache.get_estimator(spec.baseline, cache_dir=cache_dir)
+    disk_load_s = time.perf_counter() - t0
+
+    def run(n_jobs: int):
+        t0 = time.perf_counter()
+        result = run_campaign(spec, n_jobs=n_jobs, cache_dir=cache_dir)
+        return result, time.perf_counter() - t0
+
+    serial, serial_s = run(1)
+    serial_rows = [row.metrics.as_dict() for row in serial.rows]
+
+    widths = []
+    for n_jobs in WORKER_COUNTS:
+        parallel, wall_s = run(n_jobs)
+        parallel_rows = [row.metrics.as_dict() for row in parallel.rows]
+        widths.append(
+            {
+                "n_jobs": n_jobs,
+                "wall_clock_s": wall_s,
+                "speedup_vs_serial": serial_s / wall_s if wall_s else None,
+                "bit_identical_to_serial": parallel_rows == serial_rows,
+                "max_rss_kb": max(row.max_rss_kb for row in parallel.rows),
+                "distinct_worker_pids": len({row.pid for row in parallel.rows}),
+            }
+        )
+
+    return {
+        "bench": "parallel_scaling",
+        "sweep": {
+            "policies": list(spec.policies),
+            "patterns": list(spec.patterns),
+            "units": list(spec.units),
+            "n_seeds": spec.n_seeds,
+            "n_periods": N_PERIODS,
+            "n_runs": spec.n_runs,
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "sched_affinity": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else None,
+            "python": sys.version.split()[0],
+        },
+        "estimator_cache": {
+            "cold_fit_s": cold_fit_s,
+            "disk_load_s": disk_load_s,
+            "speedup": cold_fit_s / disk_load_s if disk_load_s else None,
+        },
+        "serial_wall_clock_s": serial_s,
+        "workers": widths,
+        "note": "speedup ceiling is min(n_jobs, cpu_count); on a 1-CPU "
+        "container the parallel widths measure pool overhead only",
+    }
+
+
+def write_report(report: dict) -> Path:
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
+@pytest.mark.slow
+def test_parallel_scaling(tmp_path):
+    report = measure_scaling(tmp_path / "cache")
+    path = write_report(report)
+    print(f"\nparallel scaling report written to {path}")
+    # Determinism is a hard requirement at every width; speedup is
+    # hardware-dependent (ceiling = min(n_jobs, cpu_count)).
+    for width in report["workers"]:
+        assert width["bit_identical_to_serial"], width
+    assert report["estimator_cache"]["speedup"] > 10.0
+
+
+if __name__ == "__main__":
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        report = measure_scaling(Path(tmp))
+    path = write_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {path}")

@@ -5,7 +5,9 @@ the experiment(s) under pytest-benchmark timing, prints the resulting
 series (visible with ``pytest benchmarks/ --benchmark-only -s``), and
 writes the same text to ``benchmarks/out/<name>.txt`` so the artefacts
 survive the run.  The profiled estimator is fitted once per session and
-cached on disk under ``benchmarks/.cache``.
+cached on disk under ``benchmarks/.cache`` (override with
+``--cache-dir``); ``--jobs N`` fans sweep-shaped benches out over the
+:mod:`repro.parallel` process pool.
 """
 
 from __future__ import annotations
@@ -22,6 +24,34 @@ OUT_DIR = BENCH_DIR / "out"
 CACHE_DIR = BENCH_DIR / ".cache"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for parallel-capable benches "
+        "(1 = serial, 0 = all CPUs)",
+    )
+    parser.addoption(
+        "--cache-dir",
+        default=None,
+        help=f"estimator cache directory (default: {CACHE_DIR})",
+    )
+
+
+@pytest.fixture(scope="session")
+def n_jobs(request) -> int:
+    """Worker-process count from ``--jobs``."""
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def cache_dir(request) -> Path:
+    """Estimator cache directory from ``--cache-dir``."""
+    override = request.config.getoption("--cache-dir")
+    return Path(override) if override else CACHE_DIR
+
+
 @pytest.fixture(scope="session")
 def baseline() -> BaselineConfig:
     """The Table 1 baseline used by every figure bench."""
@@ -29,9 +59,9 @@ def baseline() -> BaselineConfig:
 
 
 @pytest.fixture(scope="session")
-def estimator(baseline):
+def estimator(baseline, cache_dir):
     """The profiled + fitted regression models (disk-cached)."""
-    return get_default_estimator(baseline, cache_dir=CACHE_DIR)
+    return get_default_estimator(baseline, cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")

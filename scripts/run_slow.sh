@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Run the FULL test suite, including tests marked @pytest.mark.slow
+# (multi-worker determinism checks and other long-running cases) that
+# the tier-1 command (`pytest -x -q`) skips via pyproject's addopts.
+#
+# Usage: scripts/run_slow.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m pytest -q -m "slow or not slow" "$@"

@@ -20,10 +20,14 @@ Commands
     Run the paper-claims validation suite (exit code 1 on any FAIL).
 ``report``
     Regenerate the whole evaluation as one Markdown document.
+``campaign``
+    A whole policy × pattern × workload × seed grid in one shot, with
+    ``--jobs N`` process-pool parallelism and per-run accounting.
 
 Global options (``--periods``, ``--seed``, ``--nodes``,
-``--network-mode``) precede the subcommand.  Every command is
-importable and testable via :func:`main(argv)`.
+``--network-mode``, ``--jobs``, ``--cache-dir``) precede the
+subcommand.  Every command is importable and testable via
+:func:`main(argv)`.
 """
 
 from __future__ import annotations
@@ -60,6 +64,16 @@ def _units_from_args(args: argparse.Namespace) -> tuple[float, ...]:
     return DEFAULT_SWEEP_UNITS
 
 
+def _jobs_from_args(args: argparse.Namespace) -> int:
+    jobs = getattr(args, "jobs", None)
+    # 0 / negative means "all CPUs" (resolved by the pool).
+    return 1 if jobs is None else jobs
+
+
+def _cache_dir_from_args(args: argparse.Namespace):
+    return getattr(args, "cache_dir", None)
+
+
 # -- command handlers -----------------------------------------------------------
 
 
@@ -87,8 +101,13 @@ def cmd_figure(args: argparse.Namespace) -> int:
     if args.number == 8:
         print(figures.fig8_workload_patterns(baseline=baseline).render())
         return 0
-    estimator = get_default_estimator(baseline)
-    kwargs = dict(units=units, baseline=baseline, estimator=estimator)
+    estimator = get_default_estimator(baseline, cache_dir=_cache_dir_from_args(args))
+    kwargs = dict(
+        units=units,
+        baseline=baseline,
+        estimator=estimator,
+        n_jobs=_jobs_from_args(args),
+    )
     produced: list = []
     if args.number == 9:
         panels = figures.fig9_triangular_panels(**kwargs)
@@ -133,7 +152,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_workload_units=args.max_units,
         baseline=baseline,
     )
-    estimator = get_default_estimator(baseline)
+    estimator = get_default_estimator(baseline, cache_dir=_cache_dir_from_args(args))
 
     if args.tasks > 1:
         from repro.experiments.multitask import run_multi_task_experiment
@@ -158,7 +177,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         from repro.experiments.replication import replicate_experiment
 
         replicated = replicate_experiment(
-            config, n_seeds=args.seeds, estimator=estimator
+            config,
+            n_seeds=args.seeds,
+            estimator=estimator,
+            n_jobs=_jobs_from_args(args),
+            cache_dir=_cache_dir_from_args(args),
         )
         rows = [
             [s.name, s.mean, s.std, f"[{s.ci_low:.3f}, {s.ci_high:.3f}]"]
@@ -290,6 +313,30 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Handle ``repro campaign``: a full grid, optionally in parallel."""
+    from repro.experiments.campaign import CampaignSpec, run_campaign
+
+    spec = CampaignSpec(
+        policies=tuple(args.policies),
+        patterns=tuple(args.patterns),
+        units=_units_from_args(args),
+        n_seeds=args.seeds,
+        baseline=_baseline_from_args(args),
+    )
+    result = run_campaign(
+        spec,
+        n_jobs=_jobs_from_args(args),
+        cache_dir=_cache_dir_from_args(args),
+        progress=None if args.quiet else print,
+    )
+    print(result.render(metric=args.metric))
+    if args.json:
+        target = result.write_json(args.json)
+        print(f"campaign written to {target}")
+    return 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Handle ``repro validate``: paper-claims checks (exit 1 on FAIL)."""
     from repro.experiments.validation import render_checks, validate_reproduction
@@ -315,6 +362,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--nodes", type=int, help="number of processors")
     parser.add_argument(
         "--network-mode", choices=("shared", "switched"), help="medium model"
+    )
+    parser.add_argument(
+        "--jobs", type=int,
+        help="worker processes for sweeps/replications/campaigns "
+        "(1 = serial, 0 = all CPUs)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="directory for the disk-backed estimator cache "
+        "(fits are reused across processes and invocations)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -350,6 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_validate = sub.add_parser("validate", help="check the paper's claims")
     p_validate.set_defaults(func=cmd_validate)
+
+    p_campaign = sub.add_parser(
+        "campaign", help="run a policy x pattern x workload x seed grid"
+    )
+    p_campaign.add_argument(
+        "--policies", nargs="+", default=["predictive", "nonpredictive"]
+    )
+    p_campaign.add_argument("--patterns", nargs="+", default=["triangular"])
+    p_campaign.add_argument(
+        "--units", type=float, nargs="+", help="max-workload sweep points"
+    )
+    p_campaign.add_argument("--seeds", type=int, default=1, help="seeds per cell")
+    p_campaign.add_argument(
+        "--metric", default="combined", help="metric shown in the summary table"
+    )
+    p_campaign.add_argument("--json", help="write the full campaign JSON here")
+    p_campaign.add_argument(
+        "--quiet", action="store_true", help="suppress per-run progress lines"
+    )
+    p_campaign.set_defaults(func=cmd_campaign)
 
     p_capacity = sub.add_parser(
         "capacity", help="offline capacity plan from the fitted models"

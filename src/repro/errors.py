@@ -50,3 +50,7 @@ class AllocationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an experiment configuration is inconsistent."""
+
+
+class ParallelExecutionError(ReproError):
+    """Raised when a worker job of the process-pool runner fails."""

@@ -14,6 +14,11 @@
 """
 
 from repro.experiments.breakdown import LatencyBreakdown, compute_breakdown
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    run_campaign,
+)
 from repro.experiments.capacity import CapacityPlan, plan_capacity
 from repro.experiments.config import BaselineConfig, ExperimentConfig
 from repro.experiments.forecast_eval import CalibrationReport, evaluate_forecasts
@@ -33,6 +38,8 @@ from repro.experiments.validation import validate_reproduction
 __all__ = [
     "BaselineConfig",
     "CalibrationReport",
+    "CampaignResult",
+    "CampaignSpec",
     "CapacityPlan",
     "ExperimentConfig",
     "ExperimentMetrics",
@@ -51,6 +58,7 @@ __all__ = [
     "plan_capacity",
     "render_timeline",
     "replicate_experiment",
+    "run_campaign",
     "run_experiment",
     "run_multi_task_experiment",
     "sweep_workloads",

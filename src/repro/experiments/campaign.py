@@ -1,0 +1,226 @@
+"""Experiment campaigns: a policy × pattern × workload × seed grid.
+
+A :class:`CampaignSpec` names a whole study — every
+:class:`~repro.experiments.config.ExperimentConfig` in the cross
+product of its axes, replicated under ``n_seeds`` seed offsets — and
+:func:`run_campaign` executes it in one shot, serially or across the
+:mod:`repro.parallel` process pool, with progress reporting and
+per-job wall-clock/peak-RSS accounting.
+
+The grid is enumerated in a fixed order (policy, then pattern, then
+workload, then seed offset) and results keep that order, so a campaign
+is reproducible row-for-row regardless of ``n_jobs``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    DEFAULT_SWEEP_UNITS,
+    BaselineConfig,
+    ExperimentConfig,
+)
+from repro.experiments.metrics import ExperimentMetrics
+from repro.experiments.replication import MetricSummary, summarize
+from repro.experiments.report import format_table
+
+#: Progress sink: receives one human-readable line per finished job.
+Progress = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The axes of one campaign grid."""
+
+    policies: tuple[str, ...] = ("predictive", "nonpredictive")
+    patterns: tuple[str, ...] = ("triangular",)
+    units: tuple[float, ...] = DEFAULT_SWEEP_UNITS
+    n_seeds: int = 1
+    baseline: BaselineConfig = field(default_factory=BaselineConfig)
+    repetitions: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.policies or not self.patterns or not self.units:
+            raise ConfigurationError("campaign axes must be non-empty")
+        if self.n_seeds < 1:
+            raise ConfigurationError(f"n_seeds must be >= 1, got {self.n_seeds}")
+
+    @property
+    def n_runs(self) -> int:
+        """Total experiment runs in the grid."""
+        return (
+            len(self.policies) * len(self.patterns) * len(self.units) * self.n_seeds
+        )
+
+    def enumerate(self) -> list[tuple[ExperimentConfig, int, str]]:
+        """The grid in canonical order: ``(config, seed_offset, tag)``."""
+        cells = []
+        for policy in self.policies:
+            for pattern in self.patterns:
+                for units in self.units:
+                    config = ExperimentConfig(
+                        policy=policy,
+                        pattern=pattern,
+                        max_workload_units=units,
+                        baseline=self.baseline,
+                    )
+                    for offset in range(self.n_seeds):
+                        tag = f"{policy}/{pattern}/u{units:g}/s{offset}"
+                        cells.append((config, offset, tag))
+        return cells
+
+
+@dataclass(frozen=True)
+class CampaignRow:
+    """One finished grid cell with its execution accounting."""
+
+    policy: str
+    pattern: str
+    max_workload_units: float
+    seed_offset: int
+    metrics: ExperimentMetrics
+    wall_clock_s: float
+    max_rss_kb: int
+    pid: int
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (used by ``write_json``)."""
+        return {
+            "policy": self.policy,
+            "pattern": self.pattern,
+            "max_workload_units": self.max_workload_units,
+            "seed_offset": self.seed_offset,
+            "metrics": self.metrics.as_dict(),
+            "wall_clock_s": self.wall_clock_s,
+            "max_rss_kb": self.max_rss_kb,
+            "pid": self.pid,
+        }
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Every row of a finished campaign plus run-level accounting."""
+
+    spec: CampaignSpec
+    rows: tuple[CampaignRow, ...]
+    n_jobs: int
+    elapsed_s: float
+
+    def series(
+        self, policy: str, pattern: str, metric: str
+    ) -> dict[float, MetricSummary]:
+        """Per-workload summaries of one metric along one (policy, pattern)."""
+        by_units: dict[float, list[float]] = {}
+        for row in self.rows:
+            if row.policy == policy and row.pattern == pattern:
+                by_units.setdefault(row.max_workload_units, []).append(
+                    row.metrics.as_dict()[metric]
+                )
+        if not by_units:
+            raise ConfigurationError(
+                f"no campaign rows for policy={policy!r}, pattern={pattern!r}"
+            )
+        return {
+            units: summarize(metric, values)
+            for units, values in sorted(by_units.items())
+        }
+
+    def render(self, metric: str = "combined") -> str:
+        """A compact per-cell table of one metric (mean over seeds)."""
+        rows = []
+        for policy in self.spec.policies:
+            for pattern in self.spec.patterns:
+                for units, summary in self.series(policy, pattern, metric).items():
+                    rows.append([policy, pattern, units, summary.mean, summary.std])
+        return format_table(
+            ["policy", "pattern", "max units", f"{metric} mean", "sd"],
+            rows,
+            title=f"campaign: {self.spec.n_runs} runs, "
+            f"{self.n_jobs} worker(s), {self.elapsed_s:.1f} s",
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation of the whole campaign."""
+        return {
+            "policies": list(self.spec.policies),
+            "patterns": list(self.spec.patterns),
+            "units": list(self.spec.units),
+            "n_seeds": self.spec.n_seeds,
+            "n_runs": self.spec.n_runs,
+            "n_jobs": self.n_jobs,
+            "elapsed_s": self.elapsed_s,
+            "total_job_wall_clock_s": sum(r.wall_clock_s for r in self.rows),
+            "max_rss_kb": max((r.max_rss_kb for r in self.rows), default=0),
+            "rows": [row.as_dict() for row in self.rows],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Persist :meth:`to_dict` as pretty-printed JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        return target
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    n_jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    progress: Progress | None = None,
+) -> CampaignResult:
+    """Execute every cell of the grid; results keep enumeration order.
+
+    ``n_jobs=1`` runs in-process (same code path as single experiments);
+    larger values fan out over :func:`repro.parallel.map_jobs` after the
+    parent warms the estimator cache once.  ``progress`` (e.g. ``print``)
+    receives one line per finished run, in completion order.
+    """
+    from repro.parallel import effective_n_jobs, run_configs_parallel
+
+    n_jobs = effective_n_jobs(n_jobs)
+    cells = spec.enumerate()
+    configs = [config for config, _, _ in cells]
+    offsets = [offset for _, offset, _ in cells]
+    tags = [tag for _, _, tag in cells]
+
+    def on_result(index: int, total: int, job_result) -> None:
+        if progress is None:
+            return
+        progress(
+            f"[{index + 1:>{len(str(total))}}/{total}] "
+            f"{job_result.spec.tag}: combined={job_result.metrics.combined:.3f} "
+            f"({job_result.wall_clock_s:.2f} s, {job_result.max_rss_kb} KiB, "
+            f"pid {job_result.pid})"
+        )
+
+    start = time.perf_counter()
+    job_results = run_configs_parallel(
+        configs,
+        n_jobs=n_jobs,
+        cache_dir=cache_dir,
+        seed_offsets=offsets,
+        repetitions=spec.repetitions,
+        tags=tags,
+        on_result=on_result,
+    )
+    elapsed = time.perf_counter() - start
+    rows = tuple(
+        CampaignRow(
+            policy=jr.spec.config.policy,
+            pattern=jr.spec.config.pattern,
+            max_workload_units=jr.spec.config.max_workload_units,
+            seed_offset=jr.spec.seed_offset,
+            metrics=jr.metrics,
+            wall_clock_s=jr.wall_clock_s,
+            max_rss_kb=jr.max_rss_kb,
+            pid=jr.pid,
+        )
+        for jr in job_results
+    )
+    return CampaignResult(spec=spec, rows=rows, n_jobs=n_jobs, elapsed_s=elapsed)

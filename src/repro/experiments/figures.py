@@ -70,13 +70,15 @@ def _pattern_sweep(
     units: tuple[float, ...],
     baseline: BaselineConfig,
     estimator: TimingEstimator | None,
+    n_jobs: int = 1,
 ) -> dict[str, list[ExperimentMetrics]]:
-    if estimator is None:
+    if estimator is None and n_jobs == 1:
         estimator = get_default_estimator(baseline)
     out: dict[str, list[ExperimentMetrics]] = {}
     for policy in POLICIES:
         results = sweep_workloads(
-            policy, pattern, units, baseline=baseline, estimator=estimator
+            policy, pattern, units, baseline=baseline, estimator=estimator,
+            n_jobs=n_jobs,
         )
         out[policy] = [r.metrics for r in results]
     return out
@@ -125,10 +127,11 @@ def metric_panels(
     units: tuple[float, ...] = DEFAULT_SWEEP_UNITS,
     baseline: BaselineConfig | None = None,
     estimator: TimingEstimator | None = None,
+    n_jobs: int = 1,
 ) -> dict[str, FigureData]:
     """The four (a)-(d) panels of a Figure 9/11/12-style comparison."""
     baseline = baseline if baseline is not None else BaselineConfig()
-    metrics_by_policy = _pattern_sweep(pattern, units, baseline, estimator)
+    metrics_by_policy = _pattern_sweep(pattern, units, baseline, estimator, n_jobs)
     panels: dict[str, FigureData] = {}
     for letter, (key, label) in PANEL_METRICS.items():
         data = FigureData(
@@ -151,10 +154,11 @@ def combined_figure(
     units: tuple[float, ...] = DEFAULT_SWEEP_UNITS,
     baseline: BaselineConfig | None = None,
     estimator: TimingEstimator | None = None,
+    n_jobs: int = 1,
 ) -> FigureData:
     """A Figure 10/13-style combined-performance-metric comparison."""
     baseline = baseline if baseline is not None else BaselineConfig()
-    metrics_by_policy = _pattern_sweep(pattern, units, baseline, estimator)
+    metrics_by_policy = _pattern_sweep(pattern, units, baseline, estimator, n_jobs)
     data = FigureData(
         figure_id=figure_id,
         title=f"Combined performance metric — {pattern} pattern",

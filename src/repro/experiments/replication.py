@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
 
 import numpy as np
 from scipy import stats
@@ -58,6 +60,17 @@ class ReplicatedResult:
             ) from None
 
 
+@lru_cache(maxsize=None)
+def _t_critical(confidence: float, df: int) -> float:
+    """Memoized Student-t critical value.
+
+    ``summarize`` is called once per metric per replication study with
+    identical ``(confidence, df)`` arguments, and ``scipy.stats.t.ppf``
+    dominates its cost — cache the quantile instead of recomputing it.
+    """
+    return float(stats.t.ppf(0.5 + confidence / 2.0, df=df))
+
+
 def summarize(name: str, values: list[float], confidence: float = 0.95) -> MetricSummary:
     """Mean, sd and Student-t CI of a sample of metric values."""
     if not values:
@@ -68,7 +81,7 @@ def summarize(name: str, values: list[float], confidence: float = 0.95) -> Metri
     if n == 1:
         return MetricSummary(name, mean, 0.0, mean, mean, 1)
     sd = float(arr.std(ddof=1))
-    half = stats.t.ppf(0.5 + confidence / 2.0, df=n - 1) * sd / math.sqrt(n)
+    half = _t_critical(confidence, n - 1) * sd / math.sqrt(n)
     return MetricSummary(name, mean, sd, mean - half, mean + half, n)
 
 
@@ -77,21 +90,45 @@ def replicate_experiment(
     n_seeds: int = 5,
     estimator: TimingEstimator | None = None,
     confidence: float = 0.95,
+    n_jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> ReplicatedResult:
     """Run ``config`` under ``n_seeds`` seeds and summarize every metric.
 
     Seeds offset both the system RNG registry (execution noise, clock
     offsets) and nothing else; the fitted estimator is shared, matching
     the paper's methodology (one profiled model, many runs).
+
+    With ``n_jobs > 1`` the seeds run across a process pool
+    (:mod:`repro.parallel`): offsets are derived per job before
+    dispatch and runs are reassembled in seed order, so the result is
+    bit-identical to a serial replication.
     """
     if n_seeds < 1:
         raise ConfigurationError(f"need at least one seed, got {n_seeds}")
     if not 0.0 < confidence < 1.0:
         raise ConfigurationError(f"confidence must be in (0, 1), got {confidence}")
-    runs = [
-        run_experiment(config, estimator=estimator, seed_offset=offset).metrics
-        for offset in range(n_seeds)
-    ]
+    if n_jobs != 1:
+        # Imported lazily: repro.parallel imports the experiment stack.
+        from repro.parallel import run_configs_parallel
+
+        job_results = run_configs_parallel(
+            [config] * n_seeds,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+            estimator=estimator,
+            seed_offsets=list(range(n_seeds)),
+        )
+        runs = [jr.metrics for jr in job_results]
+    else:
+        if estimator is None:
+            from repro.experiments.runner import get_default_estimator
+
+            estimator = get_default_estimator(config.baseline, cache_dir=cache_dir)
+        runs = [
+            run_experiment(config, estimator=estimator, seed_offset=offset).metrics
+            for offset in range(n_seeds)
+        ]
     series: dict[str, list[float]] = {}
     for metrics in runs:
         for key, value in metrics.as_dict().items():

@@ -16,7 +16,6 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.bench.app import aaw_task, default_initial_placement
-from repro.bench.profiler import build_estimator
 from repro.cluster.topology import System, build_system
 from repro.core.allocator import get_policy
 from repro.core.manager import AdaptiveResourceManager, RMConfig
@@ -24,15 +23,17 @@ from repro.core.nonpredictive import NonPredictivePolicy
 from repro.core.predictive import PredictivePolicy
 from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
 from repro.errors import ConfigurationError
+from repro.experiments import estimator_cache
 from repro.experiments.config import BaselineConfig, ExperimentConfig
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.regression.estimator import TimingEstimator
-from repro.regression.serialization import load_models, save_models
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
 from repro.tasks.state import ReplicaAssignment
 from repro.workloads.patterns import make_pattern
 
-_ESTIMATOR_CACHE: dict[tuple, TimingEstimator] = {}
+#: Backwards-compatible alias for the in-process estimator cache, now
+#: owned by :mod:`repro.experiments.estimator_cache` (same dict object).
+_ESTIMATOR_CACHE = estimator_cache._MEMORY_CACHE
 
 
 @dataclass(frozen=True)
@@ -55,49 +56,9 @@ def get_default_estimator(
     noise, bandwidth, overhead and the profiling seed.  With
     ``cache_dir`` set, fits are persisted as JSON across processes.
     """
-    key = (
-        round(baseline.noise_sigma, 6),
-        round(baseline.bandwidth_bps, 3),
-        round(baseline.message_overhead_bytes, 3),
-        baseline.seed,
-        repetitions,
+    return estimator_cache.get_estimator(
+        baseline, cache_dir=cache_dir, repetitions=repetitions
     )
-    cached = _ESTIMATOR_CACHE.get(key)
-    if cached is not None:
-        return cached
-
-    task = aaw_task(
-        period=baseline.period,
-        deadline=baseline.deadline,
-        noise_sigma=baseline.noise_sigma,
-    )
-    path: Path | None = None
-    if cache_dir is not None:
-        path = Path(cache_dir) / (
-            "models_"
-            + "_".join(str(part).replace(".", "p") for part in key)
-            + ".json"
-        )
-        if path.exists():
-            latency_models, comm_model = load_models(path)
-            estimator = TimingEstimator(
-                task=task, latency_models=latency_models, comm_model=comm_model
-            )
-            _ESTIMATOR_CACHE[key] = estimator
-            return estimator
-
-    estimator = build_estimator(
-        task,
-        repetitions=repetitions,
-        seed=baseline.seed,
-        bandwidth_bps=baseline.bandwidth_bps,
-        overhead_bytes=baseline.message_overhead_bytes,
-    )
-    if path is not None:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        save_models(path, estimator.latency_models, estimator.comm_model)
-    _ESTIMATOR_CACHE[key] = estimator
-    return estimator
 
 
 def _make_policy(config: ExperimentConfig):
@@ -212,18 +173,41 @@ def sweep_workloads(
     units: tuple[float, ...],
     baseline: BaselineConfig | None = None,
     estimator: TimingEstimator | None = None,
+    n_jobs: int = 1,
+    cache_dir: str | Path | None = None,
 ) -> list[ExperimentResult]:
-    """Run one experiment per maximum-workload point (a figure's x-axis)."""
+    """Run one experiment per maximum-workload point (a figure's x-axis).
+
+    With ``n_jobs > 1`` the points are fanned out over a process pool
+    (:mod:`repro.parallel`); the parent fits/warms the estimator cache
+    once, workers load the identical models by key, and the results come
+    back in sweep order — bit-identical to a serial run.
+    """
     baseline = baseline if baseline is not None else BaselineConfig()
-    if estimator is None:
-        estimator = get_default_estimator(baseline)
-    results = []
-    for max_units in units:
-        config = ExperimentConfig(
+    configs = [
+        ExperimentConfig(
             policy=policy,
             pattern=pattern,
             max_workload_units=max_units,
             baseline=baseline,
         )
-        results.append(run_experiment(config, estimator=estimator))
-    return results
+        for max_units in units
+    ]
+    if n_jobs != 1:
+        # Imported lazily: repro.parallel imports this module.
+        from repro.parallel import run_configs_parallel
+
+        job_results = run_configs_parallel(
+            configs, n_jobs=n_jobs, cache_dir=cache_dir, estimator=estimator
+        )
+        return [
+            ExperimentResult(
+                config=jr.spec.config,
+                metrics=jr.metrics,
+                final_placement=jr.final_placement,
+            )
+            for jr in job_results
+        ]
+    if estimator is None:
+        estimator = get_default_estimator(baseline, cache_dir=cache_dir)
+    return [run_experiment(config, estimator=estimator) for config in configs]

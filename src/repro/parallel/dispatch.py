@@ -1,0 +1,89 @@
+"""Experiment-aware fan-out: warm the estimator cache, then map jobs.
+
+:func:`run_configs_parallel` is the shared engine behind
+``sweep_workloads(n_jobs=...)``, ``replicate_experiment(n_jobs=...)``
+and :mod:`repro.experiments.campaign`: it fits (or reuses) one
+estimator per distinct baseline in the parent, persists the models to a
+disk cache, and dispatches :class:`~repro.parallel.jobs.JobSpec`\\ s to
+the pool so workers only ever *load* fits.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import tempfile
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.experiments import estimator_cache
+from repro.experiments.config import ExperimentConfig
+from repro.parallel.jobs import JobResult, JobSpec, run_job
+from repro.parallel.pool import OnResult, map_jobs
+from repro.regression.estimator import TimingEstimator
+
+
+@contextlib.contextmanager
+def _cache_dir(cache_dir: str | Path | None) -> Iterator[Path]:
+    """The given cache directory, or a temporary one torn down after use."""
+    if cache_dir is not None:
+        path = Path(cache_dir)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except (FileExistsError, NotADirectoryError) as exc:
+            raise ConfigurationError(
+                f"cache dir {str(cache_dir)!r} is not a usable directory"
+            ) from exc
+        yield path
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-estimators-") as tmp:
+        yield Path(tmp)
+
+
+def run_configs_parallel(
+    configs: Sequence[ExperimentConfig],
+    n_jobs: int,
+    cache_dir: str | Path | None = None,
+    estimator: TimingEstimator | None = None,
+    seed_offsets: Sequence[int] | None = None,
+    repetitions: int = 2,
+    tags: Sequence[str] | None = None,
+    on_result: OnResult | None = None,
+) -> list[JobResult]:
+    """Run every config (paired with its seed offset) across the pool.
+
+    The parent warms the estimator cache once per distinct baseline —
+    with ``estimator`` given, those exact models are persisted for every
+    baseline, mirroring the serial convention that an explicit estimator
+    is shared across a whole sweep.  Results return in config order.
+    """
+    configs = list(configs)
+    if seed_offsets is None:
+        seed_offsets = [0] * len(configs)
+    if len(seed_offsets) != len(configs):
+        raise ConfigurationError(
+            f"{len(configs)} configs but {len(seed_offsets)} seed offsets"
+        )
+    if tags is not None and len(tags) != len(configs):
+        raise ConfigurationError(f"{len(configs)} configs but {len(tags)} tags")
+    with _cache_dir(cache_dir) as cdir:
+        seen = set()
+        for config in configs:
+            key = estimator_cache.cache_key(config.baseline, repetitions)
+            if key in seen:
+                continue
+            seen.add(key)
+            estimator_cache.warm(
+                config.baseline, cdir, estimator=estimator, repetitions=repetitions
+            )
+        specs = [
+            JobSpec(
+                config=config,
+                seed_offset=int(offset),
+                repetitions=repetitions,
+                cache_dir=str(cdir),
+                tag="" if tags is None else tags[i],
+            )
+            for i, (config, offset) in enumerate(zip(configs, seed_offsets))
+        ]
+        return map_jobs(specs, n_jobs=n_jobs, worker=run_job, on_result=on_result)

@@ -1,0 +1,100 @@
+"""Picklable job descriptors and the worker entry point.
+
+A :class:`JobSpec` names one experiment run — an
+:class:`~repro.experiments.config.ExperimentConfig`, a seed offset, and
+the estimator cache to load fitted models from.  :func:`run_job` is the
+module-level function executed inside worker processes; it must stay
+importable (no closures) so every start method (fork, spawn,
+forkserver) can reach it.
+
+Seed-derivation scheme
+----------------------
+A job's RNG state is fully determined by ``config.baseline.seed +
+seed_offset``: the parent derives one offset per job (replication seed
+``k`` maps to offset ``k``) *before* dispatch, so the random streams a
+job consumes are independent of which worker runs it, in what order.
+Workers never refit regression models — they load the parent-warmed
+disk cache by configuration key — matching the paper's methodology of
+one profiled model reused across every run of a study.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.estimator_cache import get_estimator
+from repro.experiments.metrics import ExperimentMetrics
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One experiment run, picklable for dispatch to a worker process.
+
+    Attributes
+    ----------
+    config:
+        The full experiment descriptor.
+    seed_offset:
+        Added to ``config.baseline.seed`` (replication index).
+    repetitions:
+        Profiling repetitions — part of the estimator cache key.
+    cache_dir:
+        Directory of the parent-warmed estimator cache (``None`` lets
+        the worker fit in-process; only sensible for one-off jobs).
+    tag:
+        Free-form label carried through to the result (campaign rows).
+    """
+
+    config: ExperimentConfig
+    seed_offset: int = 0
+    repetitions: int = 2
+    cache_dir: str | None = None
+    tag: str = ""
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A finished job: metrics plus per-job execution accounting."""
+
+    spec: JobSpec
+    metrics: ExperimentMetrics
+    final_placement: dict[int, tuple[str, ...]]
+    wall_clock_s: float
+    max_rss_kb: int
+    pid: int
+
+
+def _max_rss_kb() -> int:
+    """Peak RSS of this process in KiB (``ru_maxrss`` is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def run_job(spec: JobSpec) -> JobResult:
+    """Execute one :class:`JobSpec` (worker-process entry point)."""
+    from repro.experiments.runner import run_experiment
+
+    start = time.perf_counter()
+    estimator = get_estimator(
+        spec.config.baseline,
+        cache_dir=spec.cache_dir,
+        repetitions=spec.repetitions,
+    )
+    result = run_experiment(
+        spec.config, estimator=estimator, seed_offset=spec.seed_offset
+    )
+    return JobResult(
+        spec=spec,
+        metrics=result.metrics,
+        final_placement=result.final_placement,
+        wall_clock_s=time.perf_counter() - start,
+        max_rss_kb=_max_rss_kb(),
+        pid=os.getpid(),
+    )

@@ -1,0 +1,110 @@
+"""The process-pool core: order-preserving parallel map over jobs.
+
+:func:`map_jobs` is deliberately generic — it knows nothing about
+experiments, only that ``worker(job)`` must be picklable along with its
+jobs and results.  Determinism guarantees:
+
+* jobs are submitted in input order and results are reassembled in
+  submission order, whatever order workers finish in;
+* ``n_jobs=1`` bypasses multiprocessing entirely and runs the jobs
+  in-process, in order (the exact pre-parallel code path);
+* a failing job surfaces as :class:`~repro.errors.ParallelExecutionError`
+  naming the job index, with the original exception chained.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+
+#: Progress callback: ``on_result(index, total, result)``; called as each
+#: job finishes (completion order), before results are reassembled.
+OnResult = Callable[[int, int, Any], None]
+
+
+def effective_n_jobs(n_jobs: int) -> int:
+    """Resolve a worker count: ``0``/negative means "all CPUs"."""
+    if n_jobs >= 1:
+        return n_jobs
+    return os.cpu_count() or 1
+
+
+def map_jobs(
+    jobs: Sequence[Any],
+    n_jobs: int = 1,
+    worker: Callable[[Any], Any] | None = None,
+    on_result: OnResult | None = None,
+    max_in_flight: int | None = None,
+) -> list[Any]:
+    """Run ``worker(job)`` for every job, returning results in job order.
+
+    Parameters
+    ----------
+    jobs:
+        The job descriptors (picklable when ``n_jobs > 1``).
+    n_jobs:
+        Worker processes; ``1`` runs in-process (serial fallback),
+        ``0`` or negative uses every CPU.
+    worker:
+        The job function (default: :func:`repro.parallel.jobs.run_job`).
+        Must be an importable module-level callable for ``n_jobs > 1``.
+    on_result:
+        Optional ``(index, total, result)`` progress callback, invoked
+        in *completion* order.
+    max_in_flight:
+        Cap on simultaneously submitted jobs (default: ``4 * n_jobs``),
+        bounding parent-side memory for very large campaigns.
+    """
+    if worker is None:
+        from repro.parallel.jobs import run_job
+
+        worker = run_job
+    jobs = list(jobs)
+    total = len(jobs)
+    if not jobs:
+        return []
+    n_jobs = effective_n_jobs(n_jobs)
+    if n_jobs == 1:
+        results = []
+        for index, job in enumerate(jobs):
+            try:
+                result = worker(job)
+            except Exception as exc:
+                raise ParallelExecutionError(
+                    f"job {index}/{total} failed in-process: {exc}"
+                ) from exc
+            if on_result is not None:
+                on_result(index, total, result)
+            results.append(result)
+        return results
+
+    window = max_in_flight if max_in_flight is not None else 4 * n_jobs
+    if window < 1:
+        raise ConfigurationError(f"max_in_flight must be >= 1, got {window}")
+    results: dict[int, Any] = {}
+    with ProcessPoolExecutor(max_workers=min(n_jobs, total)) as pool:
+        index_of = {}
+        pending = set()
+        next_index = 0
+        while len(results) < total:
+            while next_index < total and len(pending) < window:
+                future = pool.submit(worker, jobs[next_index])
+                index_of[future] = next_index
+                pending.add(future)
+                next_index += 1
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = index_of.pop(future)
+                exc = future.exception()
+                if exc is not None:
+                    raise ParallelExecutionError(
+                        f"job {index}/{total} failed in worker: {exc}"
+                    ) from exc
+                result = future.result()
+                if on_result is not None:
+                    on_result(index, total, result)
+                results[index] = result
+    return [results[i] for i in range(total)]

@@ -22,11 +22,14 @@ Design notes
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Iterator
 
 from repro.errors import SchedulingError
-from repro.sim.events import Event
+from repro.sim.events import Event, EventState
 from repro.sim.trace import NullTracer, Tracer
+
+_PENDING = EventState.PENDING
 
 
 class Engine:
@@ -102,7 +105,7 @@ class Engine:
             )
         self._seq += 1
         event = Event(time, self._seq, callback, args, priority=priority, label=label)
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, event)
         return event
 
     # -- execution ----------------------------------------------------------
@@ -145,12 +148,28 @@ class Engine:
         if until < self._now:
             raise SchedulingError(f"run_until({until}) is before now={self._now}")
         self._running = True
+        # Hot loop: the heap, heappop and the tracer hook are hoisted to
+        # locals, and :meth:`step`'s body is inlined (one method call per
+        # event would dominate the figure sweeps' run time).  The tracer
+        # call is skipped entirely for the default no-op tracer.
+        heap = self._heap
+        pop = heappop
+        record = None if type(self.tracer) is NullTracer else self.tracer.record
         try:
-            while True:
-                next_time = self.peek_time()
-                if next_time is None or next_time > until:
+            while heap:
+                event = heap[0]
+                if event._state is not _PENDING:
+                    pop(heap)
+                    continue
+                now = event.time
+                if now > until:
                     break
-                self.step()
+                pop(heap)
+                self._now = now
+                self._executed += 1
+                if record is not None:
+                    record(now, "event", event.label, {"seq": event.seq})
+                event._execute()
         finally:
             self._running = False
         self._now = until
@@ -162,10 +181,20 @@ class Engine:
         """
         executed = 0
         self._running = True
+        # Same inlined hot loop as :meth:`run_until`, without a time bound.
+        heap = self._heap
+        pop = heappop
+        record = None if type(self.tracer) is NullTracer else self.tracer.record
         try:
-            while max_events is None or executed < max_events:
-                if not self.step():
-                    break
+            while heap and (max_events is None or executed < max_events):
+                event = pop(heap)
+                if event._state is not _PENDING:
+                    continue
+                self._now = event.time
+                self._executed += 1
+                if record is not None:
+                    record(event.time, "event", event.label, {"seq": event.seq})
+                event._execute()
                 executed += 1
         finally:
             self._running = False

@@ -103,7 +103,12 @@ class Event:
         return (self.time, self.priority, self.seq)
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        # Heap sifts call this O(log n) times per push/pop.  Timestamps
+        # almost always differ, so compare them without allocating the
+        # full ordering tuple; ties fall back to (priority, seq).
+        if self.time != other.time:
+            return self.time < other.time
+        return (self.priority, self.seq) < (other.priority, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         tag = f" {self.label!r}" if self.label else ""

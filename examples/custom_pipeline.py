@@ -42,7 +42,7 @@ N_PERIODS = 30
 def build_video_task():
     """A 4-stage video-analytics chain: frames instead of tracks."""
     return (
-        TaskBuilder("video", period=0.5, deadline=0.45)
+        TaskBuilder("video", period_s=0.5, deadline_s=0.45)
         .subtask("Ingest", LinearServiceModel(q1_ms=0.3, noise_sigma=0.05))
         .message(bytes_per_item=1200.0)  # compressed frame chunks
         .subtask(

@@ -41,7 +41,7 @@ def measure_fresh_latency(task, subtask_index, d_tracks, u_target, seed):
     engine = Engine()
     processor = Processor(engine, "probe", utilization_window=2.0)
     rng = np.random.default_rng(seed)
-    load = BackgroundLoad(processor, u_target, interval=0.01, jitter=0.3, rng=rng)
+    load = BackgroundLoad(processor, u_target, interval_s=0.01, jitter=0.3, rng=rng)
     load.start()
     engine.run_until(0.5)
     done = {}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Run the self-hosted static-analysis suite (`repro lint`) over the
+# source tree.  Exit code 0 = clean, 1 = violations, 2 = usage error.
+#
+# Usage: scripts/lint.sh [paths...] [--format json] [--select RULE-ID ...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+exec python -m repro lint "$@"

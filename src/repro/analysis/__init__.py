@@ -1,0 +1,48 @@
+"""Self-hosted static analysis: the invariants of the reproduction, linted.
+
+The reproducibility guarantees of this repository rest on conventions a
+type checker cannot see: all randomness flows through seeded
+:mod:`repro.sim.rng` streams, simulation time never mixes with host
+time, seconds never silently mix with milliseconds, packages respect the
+layering DAG, and process-pool payloads stay picklable.  This package
+enforces them with AST passes over the source tree:
+
+* :mod:`repro.analysis.determinism` — ``DET-*`` rules,
+* :mod:`repro.analysis.units_lint` — ``UNIT-*`` rules,
+* :mod:`repro.analysis.layering` — ``LAY-*`` rules from the declarative
+  contract in ``layering.toml``,
+* :mod:`repro.analysis.pickling` — ``PCK-*`` rules.
+
+Run it as ``repro lint src/repro`` (exit code 1 on violations), or via
+:func:`lint_paths`.  Deliberate exceptions are suppressed per line with
+``# repro: noqa RULE-ID``.  The tier-1 test
+``tests/analysis/test_codebase_clean.py`` gates every future change on a
+clean run.  See ``docs/static_analysis.md`` for the full rule catalogue.
+"""
+
+from repro.analysis.engine import (
+    ALL_RULES,
+    lint_module,
+    lint_paths,
+    render_json,
+    render_rules,
+    render_text,
+)
+from repro.analysis.layering import LayeringContract, load_contract, parse_contract
+from repro.analysis.model import ModuleInfo, Rule, Violation, parse_source
+
+__all__ = [
+    "ALL_RULES",
+    "LayeringContract",
+    "ModuleInfo",
+    "Rule",
+    "Violation",
+    "lint_module",
+    "lint_paths",
+    "load_contract",
+    "parse_contract",
+    "parse_source",
+    "render_json",
+    "render_rules",
+    "render_text",
+]

@@ -1,0 +1,95 @@
+"""Small AST helpers shared by the lint passes.
+
+The passes match *qualified names*: ``np.random.default_rng`` must be
+recognised whatever the module imported ``numpy`` as.  :func:`alias_map`
+collects every import binding in a module and :func:`qualified_name`
+resolves a ``Name``/``Attribute`` chain through those bindings to its
+canonical dotted path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def alias_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted paths for every import.
+
+    ``import numpy as np`` binds ``np → numpy``; ``from time import
+    perf_counter as pc`` binds ``pc → time.perf_counter``.  Relative
+    imports are left package-less (the layering pass resolves those
+    against the module path itself).
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                target = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def qualified_name(node: ast.expr, aliases: dict[str, str]) -> str | None:
+    """Canonical dotted path of a ``Name``/``Attribute`` chain, if any.
+
+    ``np.random.default_rng`` with ``np → numpy`` resolves to
+    ``numpy.random.default_rng``.  Non-name expressions (calls,
+    subscripts) yield ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    root = aliases.get(current.id, current.id)
+    parts.append(root)
+    return ".".join(reversed(parts))
+
+
+def walk_outside_type_checking(tree: ast.Module) -> Iterator[ast.AST]:
+    """``ast.walk`` skipping ``if TYPE_CHECKING:`` bodies.
+
+    Annotation-only imports never execute, so runtime-behaviour rules
+    (layering, determinism) must not fire on them.
+    """
+    stack: list[ast.AST] = [tree]
+    while stack:
+        node = stack.pop()
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If) and _is_type_checking(child.test):
+                stack.extend(child.orelse)
+                continue
+            stack.append(child)
+
+
+def _is_type_checking(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def enclosing_function_lines(tree: ast.Module) -> set[int]:
+    """Line numbers that fall inside any function or method body.
+
+    Used to tell module-load-time imports (strict layering) from lazy,
+    call-time imports (allowed only where the contract says so).
+    """
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = node.end_lineno or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return lines

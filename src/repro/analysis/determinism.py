@@ -1,0 +1,268 @@
+"""Determinism lint: no ambient entropy or wall-clock time in sim code.
+
+The parallel campaign runner guarantees bit-identical parallel-vs-serial
+results, and the paper's predictive policy (eqs. 3, 5-6) is only
+reproducible when every stochastic draw flows through the seeded
+:class:`repro.sim.rng.RngRegistry` streams and simulation time never
+mixes with host time.  These rules make the convention machine-checked:
+
+``DET-TIME``
+    Wall-clock reads (``time.time``, ``time.perf_counter``,
+    ``datetime.now``, ...) inside simulation-scoped packages.
+``DET-RNG-GLOBAL``
+    Process-global RNG state: the stdlib :mod:`random` module or the
+    legacy ``numpy.random.*`` functions (``rand``, ``seed``, ...).
+``DET-RNG-SEED``
+    ``np.random.default_rng()`` with no seed or a literal seed.  A
+    literal decouples the stream from the experiment master seed (the
+    ``cluster/clock.py`` bug this rule was written for); pass a
+    ``sim.rng`` stream or a caller-provided seed/Generator instead.
+``DET-SET-ITER``
+    Iteration over an unordered ``set``/``frozenset`` expression.  Hash
+    randomization makes the visit order vary between processes; wrap in
+    ``sorted(...)`` to pin it.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.astutils import alias_map, qualified_name
+from repro.analysis.model import ModuleInfo, Rule, Violation
+
+RULES = (
+    Rule(
+        "DET-TIME",
+        "no wall-clock time in simulation code",
+        "simulated time comes from the engine; host time injects "
+        "measurement noise that breaks run-to-run reproducibility",
+    ),
+    Rule(
+        "DET-RNG-GLOBAL",
+        "no process-global RNG (stdlib random / legacy numpy.random)",
+        "global RNG state is shared across subsystems, so one extra draw "
+        "anywhere perturbs every other stream",
+    ),
+    Rule(
+        "DET-RNG-SEED",
+        "default_rng must take a caller-provided seed or stream",
+        "an unseeded or literal-seeded generator is decoupled from the "
+        "experiment master seed, silently correlating or fixing streams",
+    ),
+    Rule(
+        "DET-SET-ITER",
+        "no iteration over unordered sets",
+        "set order varies with hash randomization across processes, "
+        "changing event order and therefore results",
+    ),
+)
+
+#: Packages whose modules must be deterministic (the simulation path and
+#: the worker code it runs under).
+SCOPED_PACKAGES = frozenset(
+    {"sim", "cluster", "runtime", "tasks", "workloads", "parallel"}
+)
+
+#: The sanctioned stream API itself — the one place allowed to construct
+#: generators from seeds.
+WHITELISTED_MODULES = frozenset({"repro.sim.rng"})
+
+_WALL_CLOCK = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+)
+
+_ENTROPY = ("os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.")
+
+#: numpy.random attributes that do NOT touch the legacy global state.
+_NUMPY_RANDOM_OK = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64",
+     "Philox", "SFC64", "MT19937"}
+)
+
+_SET_WRAPPERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def in_scope(info: ModuleInfo) -> bool:
+    """Whether the determinism rules apply to this module."""
+    return (
+        info.package() in SCOPED_PACKAGES
+        and info.module not in WHITELISTED_MODULES
+    )
+
+
+def check(info: ModuleInfo) -> list[Violation]:
+    """Run the determinism rules over one module."""
+    if not in_scope(info):
+        return []
+    aliases = alias_map(info.tree)
+    violations: list[Violation] = []
+    for node in ast.walk(info.tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            violations.extend(_check_import(info, node))
+        elif isinstance(node, ast.Call):
+            violations.extend(_check_call(info, node, aliases))
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if _is_unordered_set(node.iter, aliases):
+                violations.append(_set_iter(info, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                               ast.DictComp)):
+            for gen in node.generators:
+                if _is_unordered_set(gen.iter, aliases):
+                    violations.append(_set_iter(info, gen.iter))
+    return violations
+
+
+def _check_import(
+    info: ModuleInfo, node: ast.Import | ast.ImportFrom
+) -> list[Violation]:
+    names = []
+    if isinstance(node, ast.Import):
+        names = [alias.name for alias in node.names]
+    elif node.module is not None and node.level == 0:
+        names = [node.module]
+    out = []
+    for name in names:
+        if name == "random" or name.startswith("random."):
+            out.append(
+                Violation(
+                    "DET-RNG-GLOBAL",
+                    info.path,
+                    node.lineno,
+                    node.col_offset,
+                    "stdlib `random` uses hidden process-global state",
+                    "draw from a repro.sim.rng.RngRegistry stream instead",
+                )
+            )
+        if name == "secrets":
+            out.append(
+                Violation(
+                    "DET-RNG-GLOBAL",
+                    info.path,
+                    node.lineno,
+                    node.col_offset,
+                    "`secrets` is OS entropy, unreproducible by design",
+                    "draw from a repro.sim.rng.RngRegistry stream instead",
+                )
+            )
+    return out
+
+
+def _check_call(
+    info: ModuleInfo, node: ast.Call, aliases: dict[str, str]
+) -> list[Violation]:
+    qname = qualified_name(node.func, aliases)
+    if qname is None:
+        return []
+    if qname in _WALL_CLOCK:
+        return [
+            Violation(
+                "DET-TIME",
+                info.path,
+                node.lineno,
+                node.col_offset,
+                f"wall-clock read `{qname}` in simulation-scoped code",
+                "use engine.now for simulated time; suppress with "
+                "`# repro: noqa DET-TIME` for host-side accounting",
+            )
+        ]
+    if qname.startswith(_ENTROPY):
+        return [
+            Violation(
+                "DET-RNG-GLOBAL",
+                info.path,
+                node.lineno,
+                node.col_offset,
+                f"`{qname}` draws OS entropy",
+                "derive randomness from the experiment seed via sim.rng",
+            )
+        ]
+    if qname.startswith("random."):
+        return [
+            Violation(
+                "DET-RNG-GLOBAL",
+                info.path,
+                node.lineno,
+                node.col_offset,
+                f"stdlib global-state RNG call `{qname}`",
+                "draw from a repro.sim.rng.RngRegistry stream instead",
+            )
+        ]
+    if qname == "numpy.random.default_rng":
+        return _check_default_rng(info, node)
+    if qname.startswith("numpy.random."):
+        attr = qname.split(".")[2]
+        if attr not in _NUMPY_RANDOM_OK:
+            return [
+                Violation(
+                    "DET-RNG-GLOBAL",
+                    info.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy numpy global-state RNG call `{qname}`",
+                    "use a Generator from a sim.rng stream instead",
+                )
+            ]
+    return []
+
+
+def _check_default_rng(info: ModuleInfo, node: ast.Call) -> list[Violation]:
+    if not node.args and not node.keywords:
+        return [
+            Violation(
+                "DET-RNG-SEED",
+                info.path,
+                node.lineno,
+                node.col_offset,
+                "`default_rng()` without a seed is entropy-seeded",
+                "accept an rng/seed parameter or take a sim.rng stream",
+            )
+        ]
+    seed = node.args[0] if node.args else node.keywords[0].value
+    if isinstance(seed, ast.Constant):
+        return [
+            Violation(
+                "DET-RNG-SEED",
+                info.path,
+                node.lineno,
+                node.col_offset,
+                f"`default_rng({seed.value!r})` hard-codes the seed, "
+                "decoupling this stream from the experiment master seed",
+                "accept an rng/seed parameter or take a sim.rng stream",
+            )
+        ]
+    return []
+
+
+def _is_unordered_set(expr: ast.expr, aliases: dict[str, str]) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        qname = qualified_name(expr.func, aliases)
+        if qname in ("set", "frozenset"):
+            return True
+        # list(set(...)) etc. leak the unordered order one level up.
+        if qname in _SET_WRAPPERS and expr.args:
+            return _is_unordered_set(expr.args[0], aliases)
+    return False
+
+
+def _set_iter(info: ModuleInfo, expr: ast.expr) -> Violation:
+    return Violation(
+        "DET-SET-ITER",
+        info.path,
+        expr.lineno,
+        expr.col_offset,
+        "iteration over an unordered set expression",
+        "wrap in sorted(...) to pin a deterministic order",
+    )

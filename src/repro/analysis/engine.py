@@ -1,0 +1,136 @@
+"""Lint driver: walk files, run every pass, apply suppressions, report.
+
+:func:`lint_paths` is the programmatic entry point (the CLI and the
+tier-1 gate test both call it); :func:`lint_module` runs the passes over
+one already-parsed :class:`~repro.analysis.model.ModuleInfo`, which is
+what the per-pass unit tests use with synthetic sources.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis import determinism, layering, pickling, units_lint
+from repro.analysis.layering import LayeringContract, load_contract
+from repro.analysis.model import ModuleInfo, Rule, Violation, load_module
+from repro.analysis.suppress import filter_suppressed
+from repro.errors import AnalysisError
+
+#: Every registered rule, keyed by id (the ``--list-rules`` source).
+ALL_RULES: dict[str, Rule] = {
+    rule.rule_id: rule
+    for rules in (
+        determinism.RULES,
+        units_lint.RULES,
+        layering.RULES,
+        pickling.RULES,
+    )
+    for rule in rules
+}
+
+
+def lint_module(
+    info: ModuleInfo,
+    contract: LayeringContract | None = None,
+    select: frozenset[str] | None = None,
+) -> list[Violation]:
+    """All (unsuppressed) violations in one module, sorted by position."""
+    violations = [
+        *determinism.check(info),
+        *units_lint.check(info),
+        *layering.check(info, contract=contract),
+        *pickling.check(info),
+    ]
+    if select is not None:
+        violations = [v for v in violations if v.rule_id in select]
+    violations = filter_suppressed(violations, info)
+    return sorted(violations, key=lambda v: (v.line, v.col, v.rule_id))
+
+
+def iter_python_files(paths: Sequence[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            out.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            out.append(path)
+        elif not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_paths(
+    paths: Sequence[Path | str],
+    contract_path: Path | None = None,
+    select: Sequence[str] | None = None,
+) -> tuple[list[Violation], int]:
+    """Lint every ``.py`` file under ``paths``.
+
+    Returns ``(violations, n_files_checked)``.  ``select`` narrows the
+    run to the given rule ids (unknown ids raise
+    :class:`~repro.errors.AnalysisError` rather than silently matching
+    nothing).
+    """
+    selected: frozenset[str] | None = None
+    if select:
+        selected = frozenset(select)
+        unknown = selected - set(ALL_RULES)
+        if unknown:
+            raise AnalysisError(f"unknown rule ids: {sorted(unknown)}")
+    contract = load_contract(contract_path)
+    files = iter_python_files([Path(p) for p in paths])
+    violations: list[Violation] = []
+    for file in files:
+        info = load_module(file)
+        violations.extend(lint_module(info, contract=contract, select=selected))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return violations, len(files)
+
+
+def render_text(violations: list[Violation], n_files: int) -> str:
+    """Human-readable report (one line per violation plus a summary)."""
+    lines = [v.render() for v in violations]
+    if violations:
+        counts: dict[str, int] = {}
+        for v in violations:
+            counts[v.rule_id] = counts.get(v.rule_id, 0) + 1
+        summary = ", ".join(f"{rid}: {n}" for rid, n in sorted(counts.items()))
+        lines.append(
+            f"{len(violations)} violation(s) in {n_files} file(s)  ({summary})"
+        )
+    else:
+        lines.append(f"clean: {n_files} file(s), 0 violations")
+    return "\n".join(lines)
+
+
+def render_json(violations: list[Violation], n_files: int) -> str:
+    """Machine-readable report (the ``--format json`` payload)."""
+    counts: dict[str, int] = {}
+    for v in violations:
+        counts[v.rule_id] = counts.get(v.rule_id, 0) + 1
+    return json.dumps(
+        {
+            "checked_files": n_files,
+            "violations": [v.as_dict() for v in violations],
+            "counts": counts,
+            "clean": not violations,
+        },
+        indent=2,
+    )
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` table: id, title, rationale."""
+    lines = []
+    for rule_id in sorted(ALL_RULES):
+        rule = ALL_RULES[rule_id]
+        lines.append(f"{rule_id:15s} {rule.title}")
+        lines.append(f"{'':15s}   {rule.rationale}")
+    return "\n".join(lines)
+
+
+#: Signature of the per-pass check functions (documentation aid).
+PassFn = Callable[[ModuleInfo], list[Violation]]

@@ -1,0 +1,291 @@
+"""Layering lint: the package dependency DAG, enforced from a contract.
+
+The distribution layers bottom-up — foundation (``errors``, ``units``,
+``formatting``) under the simulation substrate (``sim``), the domain
+packages (``tasks``/``workloads``/``cluster``), the run-time and policy
+layers, the experiment harness, and the CLI on top.  The contract lives
+in a declarative TOML file next to this module (``layering.toml``) so a
+reviewer can read the architecture without reading the checker:
+
+``LAY-DAG``
+    A module-load-time import of a repro package the contract does not
+    allow for the importer's package.
+``LAY-LAZY``
+    A function-level import crossing the DAG upward without a
+    ``lazy_allow`` entry sanctioning that edge.
+``LAY-PRIVATE``
+    An import of a *restricted* package (``parallel``, ``analysis``)
+    from outside its declared importer set.
+
+``if TYPE_CHECKING:`` imports are annotation-only — they never execute
+— and are therefore exempt from all three rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from importlib import resources
+from pathlib import Path
+import tomllib
+
+from repro.analysis.astutils import enclosing_function_lines
+from repro.analysis.model import ModuleInfo, Rule, Violation
+from repro.errors import AnalysisError
+
+RULES = (
+    Rule(
+        "LAY-DAG",
+        "module-level imports follow the package DAG",
+        "upward imports couple foundation layers to the harness and "
+        "eventually form import cycles",
+    ),
+    Rule(
+        "LAY-LAZY",
+        "lazy upward imports must be declared in the contract",
+        "a function-level import dodges the import-time cycle but still "
+        "creates a dependency; the contract makes each one reviewable",
+    ),
+    Rule(
+        "LAY-PRIVATE",
+        "restricted packages have a closed importer set",
+        "repro.parallel is an implementation detail of the experiment "
+        "runners; new importers would widen its pickling contract",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class LayeringContract:
+    """Parsed form of ``layering.toml``."""
+
+    allowed: dict[str, frozenset[str]]
+    lazy_allow: frozenset[tuple[str, str]]
+    restricted: dict[str, frozenset[str]]
+
+    def packages(self) -> frozenset[str]:
+        """Every package the contract knows about."""
+        return frozenset(self.allowed)
+
+
+def parse_contract(text: str, origin: str = "<contract>") -> LayeringContract:
+    """Parse and validate contract TOML text.
+
+    Raises :class:`~repro.errors.AnalysisError` on malformed documents:
+    unknown packages in dependency lists, non-list values, or a
+    relation that is not a DAG.
+    """
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError as exc:
+        raise AnalysisError(f"invalid layering contract {origin}: {exc}") from exc
+    raw_allowed = data.get("allowed")
+    if not isinstance(raw_allowed, dict) or not raw_allowed:
+        raise AnalysisError(f"layering contract {origin} needs an [allowed] table")
+    lazy_raw = raw_allowed.pop("lazy_allow", [])
+    allowed: dict[str, frozenset[str]] = {}
+    for pkg, deps in raw_allowed.items():
+        if not isinstance(deps, list) or not all(
+            isinstance(d, str) for d in deps
+        ):
+            raise AnalysisError(
+                f"layering contract {origin}: allowed.{pkg} must be a "
+                "list of package names"
+            )
+        allowed[pkg] = frozenset(deps)
+    known = set(allowed)
+    for pkg, deps in allowed.items():
+        unknown = deps - known
+        if unknown:
+            raise AnalysisError(
+                f"layering contract {origin}: allowed.{pkg} names unknown "
+                f"packages {sorted(unknown)}"
+            )
+    _require_dag(allowed, origin)
+    lazy_pairs = set()
+    for pair in lazy_raw:
+        if (
+            not isinstance(pair, list)
+            or len(pair) != 2
+            or not all(isinstance(p, str) and p in known for p in pair)
+        ):
+            raise AnalysisError(
+                f"layering contract {origin}: lazy_allow entries must be "
+                "[importer, imported] pairs of known packages"
+            )
+        lazy_pairs.add((pair[0], pair[1]))
+    restricted: dict[str, frozenset[str]] = {}
+    for pkg, importers in data.get("restricted", {}).items():
+        if pkg not in known or not isinstance(importers, list):
+            raise AnalysisError(
+                f"layering contract {origin}: restricted.{pkg} must name a "
+                "known package with a list of importers"
+            )
+        restricted[pkg] = frozenset(importers)
+    return LayeringContract(
+        allowed=allowed,
+        lazy_allow=frozenset(lazy_pairs),
+        restricted=restricted,
+    )
+
+
+def _require_dag(allowed: dict[str, frozenset[str]], origin: str) -> None:
+    """Topological check: the allowed relation must contain no cycle."""
+    state: dict[str, int] = {}  # 0 visiting, 1 done
+
+    def visit(pkg: str, stack: tuple[str, ...]) -> None:
+        if state.get(pkg) == 1:
+            return
+        if state.get(pkg) == 0:
+            cycle = " -> ".join((*stack[stack.index(pkg):], pkg))
+            raise AnalysisError(
+                f"layering contract {origin} is cyclic: {cycle}"
+            )
+        state[pkg] = 0
+        for dep in sorted(allowed.get(pkg, ())):
+            visit(dep, (*stack, pkg))
+        state[pkg] = 1
+
+    for pkg in sorted(allowed):
+        visit(pkg, ())
+
+
+def load_contract(path: Path | None = None) -> LayeringContract:
+    """Load the packaged default contract, or an explicit file."""
+    if path is not None:
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(f"cannot read contract {path}: {exc}") from exc
+        return parse_contract(text, origin=str(path))
+    text = (
+        resources.files("repro.analysis")
+        .joinpath("layering.toml")
+        .read_text(encoding="utf-8")
+    )
+    return parse_contract(text, origin="repro/analysis/layering.toml")
+
+
+def _importer_package(info: ModuleInfo) -> str | None:
+    """Contract package of the module being linted."""
+    parts = info.module.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "__init__"
+    return parts[1]
+
+
+def _imported_packages(node: ast.Import | ast.ImportFrom) -> list[str]:
+    """repro packages named by one import statement."""
+    dotted: list[str] = []
+    if isinstance(node, ast.Import):
+        dotted = [alias.name for alias in node.names]
+    elif node.module is not None and node.level == 0:
+        dotted = [node.module]
+    out = []
+    for name in dotted:
+        parts = name.split(".")
+        if parts[0] != "repro":
+            continue
+        out.append(parts[1] if len(parts) > 1 else "__init__")
+    return out
+
+
+def check(
+    info: ModuleInfo, contract: LayeringContract | None = None
+) -> list[Violation]:
+    """Run the layering rules over one module."""
+    if contract is None:
+        contract = load_contract()
+    importer = _importer_package(info)
+    if importer is None:
+        return []
+    allowed = contract.allowed.get(importer)
+    if allowed is None:
+        # A package the contract has never heard of: surface that rather
+        # than silently skipping (new packages must be added explicitly).
+        return [
+            Violation(
+                "LAY-DAG",
+                info.path,
+                1,
+                0,
+                f"package `{importer}` is not declared in the layering "
+                "contract",
+                "add it to [allowed] in repro/analysis/layering.toml",
+            )
+        ]
+    lazy_lines = enclosing_function_lines(info.tree)
+    type_checking_lines = _type_checking_lines(info.tree)
+    violations: list[Violation] = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if node.lineno in type_checking_lines:
+            continue
+        for imported in _imported_packages(node):
+            if imported == importer:
+                continue
+            is_lazy = node.lineno in lazy_lines
+            restricted_to = contract.restricted.get(imported)
+            if restricted_to is not None and importer not in restricted_to:
+                violations.append(
+                    Violation(
+                        "LAY-PRIVATE",
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{imported}` may only be imported from "
+                        f"{sorted(restricted_to - {imported})}",
+                        "route through the experiment runners instead",
+                    )
+                )
+                continue
+            if imported in allowed:
+                continue
+            if is_lazy:
+                if (importer, imported) in contract.lazy_allow:
+                    continue
+                violations.append(
+                    Violation(
+                        "LAY-LAZY",
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"lazy import of `repro.{imported}` from "
+                        f"`{importer}` is not sanctioned by the contract",
+                        "add a lazy_allow entry to layering.toml or "
+                        "restructure the dependency",
+                    )
+                )
+            else:
+                violations.append(
+                    Violation(
+                        "LAY-DAG",
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"`{importer}` may not import `repro.{imported}` "
+                        "at module load time",
+                        f"allowed: {sorted(allowed)}; move the shared code "
+                        "down a layer or import lazily with a contract entry",
+                    )
+                )
+    return violations
+
+
+def _type_checking_lines(tree: ast.Module) -> set[int]:
+    """Lines inside ``if TYPE_CHECKING:`` blocks (annotation-only)."""
+    lines: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If):
+            test = node.test
+            is_tc = (isinstance(test, ast.Name) and test.id == "TYPE_CHECKING") or (
+                isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+            )
+            if is_tc:
+                for child in node.body:
+                    end = child.end_lineno or child.lineno
+                    lines.update(range(child.lineno, end + 1))
+    return lines

@@ -1,0 +1,148 @@
+"""Pickling-safety lint: worker payloads must survive a process hop.
+
+Every start method (fork, spawn, forkserver) pickles the worker
+callable and its jobs.  Lambdas, closures and locally-defined classes
+pickle by *reference to a module attribute that does not exist*, so they
+fail only at dispatch time — on the one machine whose start method
+actually pickles.  These rules move that failure to lint time:
+
+``PCK-LAMBDA``
+    A ``lambda`` passed into the pool surface (``map_jobs``,
+    ``run_configs_parallel``, ``JobSpec``, ``submit``).
+``PCK-LOCAL-FUNC``
+    A function defined inside another function handed to the pool
+    surface (closures are not picklable).
+``PCK-LOCAL-CLASS``
+    A class defined inside a function in :mod:`repro.parallel` —
+    instances reference an unimportable type.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.model import ModuleInfo, Rule, Violation
+
+RULES = (
+    Rule(
+        "PCK-LAMBDA",
+        "no lambdas in process-pool payloads",
+        "lambdas are unpicklable; the job dies at dispatch time under "
+        "spawn/forkserver start methods",
+    ),
+    Rule(
+        "PCK-LOCAL-FUNC",
+        "pool workers must be module-level functions",
+        "functions defined inside functions close over local state and "
+        "cannot be pickled by reference",
+    ),
+    Rule(
+        "PCK-LOCAL-CLASS",
+        "no locally-defined classes in parallel modules",
+        "instances of a function-local class cannot cross the process "
+        "boundary",
+    ),
+)
+
+#: Call names whose arguments become process-pool payloads.
+POOL_SURFACE = frozenset(
+    {"map_jobs", "run_configs_parallel", "JobSpec", "submit"}
+)
+
+#: Package whose modules are held to the local-class rule wholesale.
+SCOPED_PACKAGE = "parallel"
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _local_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions."""
+    local: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local.add(inner.name)
+    return local
+
+
+def check(info: ModuleInfo) -> list[Violation]:
+    """Run the pickling rules over one module."""
+    if not info.module.startswith("repro"):
+        return []
+    violations: list[Violation] = []
+    local_funcs = _local_function_names(info.tree)
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Call):
+            callee = _callee_name(node.func)
+            if callee in POOL_SURFACE:
+                violations.extend(
+                    _check_payload_args(info, node, callee, local_funcs)
+                )
+        elif (
+            info.package() == SCOPED_PACKAGE
+            and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            for child in ast.walk(node):
+                if isinstance(child, ast.ClassDef):
+                    violations.append(
+                        Violation(
+                            "PCK-LOCAL-CLASS",
+                            info.path,
+                            child.lineno,
+                            child.col_offset,
+                            f"class `{child.name}` is defined inside a "
+                            "function in a parallel module",
+                            "define it at module level so instances pickle",
+                        )
+                    )
+    return violations
+
+
+def _check_payload_args(
+    info: ModuleInfo,
+    node: ast.Call,
+    callee: str,
+    local_funcs: set[str],
+) -> list[Violation]:
+    out = []
+    # on_result/progress callbacks run in the parent and are never
+    # pickled; they may be anything callable.
+    kw_values = [
+        kw.value
+        for kw in node.keywords
+        if kw.arg not in ("on_result", "progress")
+    ]
+    for arg in [*node.args, *kw_values]:
+        if isinstance(arg, ast.Lambda):
+            out.append(
+                Violation(
+                    "PCK-LAMBDA",
+                    info.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"lambda passed to `{callee}` cannot be pickled",
+                    "hoist it to a module-level function",
+                )
+            )
+        elif isinstance(arg, ast.Name) and arg.id in local_funcs:
+            out.append(
+                Violation(
+                    "PCK-LOCAL-FUNC",
+                    info.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"locally-defined function `{arg.id}` passed to "
+                    f"`{callee}` cannot be pickled",
+                    "hoist it to a module-level function",
+                )
+            )
+    return out

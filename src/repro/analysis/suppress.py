@@ -1,0 +1,53 @@
+"""Per-line violation suppression: ``# repro: noqa RULE-ID``.
+
+A violation is suppressed when the physical line it points at carries a
+suppression comment naming its rule id (or a bare ``# repro: noqa``,
+which silences every rule on that line).  Suppressions are deliberate,
+reviewable exceptions — e.g. the wall-clock accounting in
+:mod:`repro.parallel.jobs` carries ``# repro: noqa DET-TIME`` because it
+measures the *host*, not the simulation.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.analysis.model import ModuleInfo, Violation
+
+#: ``# repro: noqa`` optionally followed by a comma/space separated rule list.
+_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?P<rules>[ \t]+[A-Z][A-Z0-9-]*(?:[,\s]+[A-Z][A-Z0-9-]*)*)?",
+)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """Rules suppressed on ``line``.
+
+    Returns ``None`` when the line has no suppression comment, an empty
+    set for a bare ``# repro: noqa`` (suppress everything), else the
+    named rule ids.
+    """
+    match = _NOQA.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(re.split(r"[,\s]+", rules.strip()))
+
+
+def is_suppressed(violation: Violation, info: ModuleInfo) -> bool:
+    """Whether ``violation`` is silenced by a comment on its line."""
+    if not 1 <= violation.line <= len(info.lines):
+        return False
+    rules = suppressed_rules(info.lines[violation.line - 1])
+    if rules is None:
+        return False
+    return not rules or violation.rule_id in rules
+
+
+def filter_suppressed(
+    violations: list[Violation], info: ModuleInfo
+) -> list[Violation]:
+    """Drop violations silenced by suppression comments."""
+    return [v for v in violations if not is_suppressed(v, info)]

@@ -1,0 +1,176 @@
+"""Unit-safety lint: seconds and milliseconds must not silently mix.
+
+The simulator keeps every internal quantity in SI units (seconds); the
+paper presents latencies in milliseconds and eq. 3 mixes both.  One
+unlabelled factor of 1000 in the deadline math of eqs. 1-2 shifts every
+reported miss ratio, so :mod:`repro.units` is the single sanctioned
+conversion point and names carry their unit as a suffix:
+
+``UNIT-MIX``
+    Addition, subtraction or comparison between names whose unit
+    suffixes disagree (``x_ms + y_s``, ``deadline_s < latency_ms``).
+``UNIT-CONV``
+    Inline magic-number conversion (``* 1e3``, ``/ 1000.0``, ``* 1e-3``)
+    outside :mod:`repro.units`; use ``s_to_ms``/``ms_to_s``/``MS``.
+``UNIT-NAME``
+    A function parameter named bare ``deadline``/``latency``/``period``
+    etc. in the timing-math packages; suffix it (``deadline_s``) so call
+    sites read unambiguously.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.model import ModuleInfo, Rule, Violation
+
+RULES = (
+    Rule(
+        "UNIT-MIX",
+        "no arithmetic across disagreeing unit suffixes",
+        "adding or comparing seconds to milliseconds is the factor-of-1000 "
+        "bug class the units module exists to prevent",
+    ),
+    Rule(
+        "UNIT-CONV",
+        "unit conversions go through repro.units",
+        "a bare * 1e3 hides which unit is which; the helpers name both "
+        "ends of the conversion",
+    ),
+    Rule(
+        "UNIT-NAME",
+        "time-valued parameters carry a unit suffix",
+        "a bare `deadline` parameter forces every caller to re-derive the "
+        "unit from documentation; `deadline_s` makes it part of the API",
+    ),
+)
+
+#: Recognised unit suffixes → canonical unit tag.
+SUFFIXES = {
+    "_s": "s",
+    "_ms": "ms",
+    "_us": "us",
+    "_ns": "ns",
+    "_bytes": "bytes",
+    "_bits": "bits",
+    "_bps": "bps",
+    "_mbps": "mbps",
+    "_pct": "pct",
+    "_tracks": "tracks",
+}
+
+#: Packages where the parameter-naming rule applies (the timing math).
+NAME_SCOPED_PACKAGES = frozenset(
+    {"sim", "tasks", "cluster", "runtime", "workloads", "regression", "core"}
+)
+
+#: Parameter names that denote a time quantity but carry no unit.
+BARE_TIME_NAMES = frozenset(
+    {"latency", "deadline", "delay", "interval", "timeout", "duration",
+     "elapsed", "period"}
+)
+
+#: Magic constants that smell like a time-unit conversion.
+_CONVERSION_CONSTANTS = (1000, 1000.0, 1e3, 0.001, 1e-3)
+
+#: Modules allowed to convert with raw constants (the conversion module
+#: itself).
+WHITELISTED_MODULES = frozenset({"repro.units"})
+
+
+def check(info: ModuleInfo) -> list[Violation]:
+    """Run the unit-safety rules over one module."""
+    if not info.module.startswith("repro"):
+        return []
+    violations: list[Violation] = []
+    conv_allowed = info.module in WHITELISTED_MODULES
+    name_scoped = info.package() in NAME_SCOPED_PACKAGES
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                violations.extend(_check_mix(info, node.left, node.right, node))
+            if not conv_allowed and isinstance(node.op, (ast.Mult, ast.Div)):
+                violations.extend(_check_conversion(info, node))
+        elif isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            for left, right in zip(operands, operands[1:]):
+                violations.extend(_check_mix(info, left, right, node))
+        elif name_scoped and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            violations.extend(_check_params(info, node))
+    return violations
+
+
+def _unit_of(expr: ast.expr) -> str | None:
+    """Unit tag of a name/attribute operand, from its suffix."""
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    else:
+        return None
+    for suffix, unit in SUFFIXES.items():
+        if name.endswith(suffix) and len(name) > len(suffix):
+            return unit
+    return None
+
+
+def _check_mix(
+    info: ModuleInfo, left: ast.expr, right: ast.expr, node: ast.AST
+) -> list[Violation]:
+    left_unit = _unit_of(left)
+    right_unit = _unit_of(right)
+    if left_unit is None or right_unit is None or left_unit == right_unit:
+        return []
+    return [
+        Violation(
+            "UNIT-MIX",
+            info.path,
+            getattr(node, "lineno", left.lineno),
+            getattr(node, "col_offset", left.col_offset),
+            f"operands mix units `{left_unit}` and `{right_unit}`",
+            "convert through repro.units so both sides agree",
+        )
+    ]
+
+
+def _check_conversion(info: ModuleInfo, node: ast.BinOp) -> list[Violation]:
+    for operand in (node.left, node.right):
+        if isinstance(operand, ast.Constant) and isinstance(
+            operand.value, (int, float)
+        ):
+            if any(operand.value == c for c in _CONVERSION_CONSTANTS):
+                # 1000 as a divisor of the *right* operand of Div is a
+                # conversion too; position does not matter.
+                return [
+                    Violation(
+                        "UNIT-CONV",
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"magic conversion constant {operand.value!r}",
+                        "use repro.units (s_to_ms / ms_to_s / MS) instead",
+                    )
+                ]
+    return []
+
+
+def _check_params(
+    info: ModuleInfo, node: ast.FunctionDef | ast.AsyncFunctionDef
+) -> list[Violation]:
+    out = []
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg in BARE_TIME_NAMES:
+            out.append(
+                Violation(
+                    "UNIT-NAME",
+                    info.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"time-valued parameter `{arg.arg}` has no unit suffix",
+                    f"rename to `{arg.arg}_s` (internal convention: seconds)",
+                )
+            )
+    return out

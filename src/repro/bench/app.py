@@ -80,7 +80,7 @@ def aaw_task(
             f"deadline {deadline} exceeds period {period}; the benchmark "
             "task is constrained-deadline"
         )
-    builder = TaskBuilder("aaw", period=period, deadline=deadline)
+    builder = TaskBuilder("aaw", period_s=period, deadline_s=deadline)
     for index, name in enumerate(SUBTASK_NAMES, start=1):
         constants = DEMAND_CONSTANTS[index]
         if constants["q2"] > 0.0:

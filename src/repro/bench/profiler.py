@@ -107,7 +107,7 @@ def _measure_once(
         utilization_window=max(warmup, 1.0),
     )
     background = BackgroundLoad(
-        processor, u_target, interval=bg_interval, jitter=0.3, rng=rng
+        processor, u_target, interval_s=bg_interval, jitter=0.3, rng=rng
     )
     background.start()
     engine.run_until(warmup)

@@ -23,6 +23,9 @@ Commands
 ``campaign``
     A whole policy × pattern × workload × seed grid in one shot, with
     ``--jobs N`` process-pool parallelism and per-run accounting.
+``lint``
+    Static-analysis suite over a source tree (determinism, unit-safety,
+    layering, pickling rules); exit code 1 on violations.
 
 Global options (``--periods``, ``--seed``, ``--nodes``,
 ``--network-mode``, ``--jobs``, ``--cache-dir``) precede the
@@ -337,6 +340,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Handle ``repro lint``: run the static-analysis suite."""
+    from pathlib import Path
+
+    from repro.analysis import lint_paths, render_json, render_rules, render_text
+
+    if args.list_rules:
+        print(render_rules())
+        return 0
+    violations, n_files = lint_paths(
+        args.paths or ["src/repro"],
+        contract_path=Path(args.contract) if args.contract else None,
+        select=args.select,
+    )
+    if args.format == "json":
+        print(render_json(violations, n_files))
+    else:
+        print(render_text(violations, n_files))
+    return 1 if violations else 0
+
+
 def cmd_validate(args: argparse.Namespace) -> int:
     """Handle ``repro validate``: paper-claims checks (exit 1 on FAIL)."""
     from repro.experiments.validation import render_checks, validate_reproduction
@@ -427,6 +451,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the static-analysis suite over a source tree"
+    )
+    p_lint.add_argument(
+        "paths", nargs="*", help="files/directories to lint (default: src/repro)"
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format",
+    )
+    p_lint.add_argument(
+        "--select", nargs="+", metavar="RULE-ID",
+        help="run only these rule ids (e.g. DET-TIME LAY-DAG)",
+    )
+    p_lint.add_argument(
+        "--contract",
+        help="layering contract TOML (default: the packaged layering.toml)",
+    )
+    p_lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_capacity = sub.add_parser(
         "capacity", help="offline capacity plan from the fitted models"

@@ -8,8 +8,8 @@ Two uses in the reproduction:
 * experiments can add ambient load on the nodes to model the rest of the
   mission application.
 
-The generator is open-loop: every ``interval`` seconds it submits one job
-of demand ``target_utilization * interval`` (optionally jittered), so as
+The generator is open-loop: every ``interval_s`` seconds it submits one job
+of demand ``target_utilization * interval_s`` (optionally jittered), so as
 long as the processor is not saturated its long-run busy fraction from
 background work alone equals the target.
 """
@@ -34,7 +34,7 @@ class BackgroundLoad:
     target_utilization:
         Long-run busy fraction contributed by this generator, in
         ``[0, 0.95]``.  Zero produces no jobs.
-    interval:
+    interval_s:
         Spacing of job arrivals (seconds).  Smaller intervals approximate
         a fluid load better but cost more events.
     jitter:
@@ -51,7 +51,7 @@ class BackgroundLoad:
         self,
         processor: Processor,
         target_utilization: float,
-        interval: float = 0.050,
+        interval_s: float = 0.050,
         jitter: float = 0.0,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -60,15 +60,15 @@ class BackgroundLoad:
                 f"target utilization must be in [0, {self.MAX_TARGET}], "
                 f"got {target_utilization}"
             )
-        if interval <= 0.0:
-            raise ClusterError(f"interval must be positive, got {interval}")
+        if interval_s <= 0.0:
+            raise ClusterError(f"interval must be positive, got {interval_s}")
         if jitter < 0.0 or jitter >= 1.0:
             raise ClusterError(f"jitter must be in [0, 1), got {jitter}")
         if jitter > 0.0 and rng is None:
             raise ClusterError("jitter > 0 requires an rng")
         self.processor = processor
         self.target_utilization = float(target_utilization)
-        self.interval = float(interval)
+        self.interval_s = float(interval_s)
         self.jitter = float(jitter)
         self.rng = rng
         self._stop: Callable[[], None] | None = None
@@ -85,7 +85,7 @@ class BackgroundLoad:
             return
         engine = self.processor.engine
         self._stop = engine.every(
-            self.interval,
+            self.interval_s,
             self._emit,
             start_delay=0.0,
             label=f"{self.processor.name}.bg",
@@ -98,7 +98,7 @@ class BackgroundLoad:
             self._stop = None
 
     def _emit(self) -> None:
-        demand = self.target_utilization * self.interval
+        demand = self.target_utilization * self.interval_s
         if self.jitter > 0.0:
             assert self.rng is not None
             demand *= 1.0 + self.rng.uniform(-self.jitter, self.jitter)

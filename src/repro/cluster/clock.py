@@ -78,7 +78,10 @@ class ClockSyncService:
         Residual offsets after a round are drawn uniformly from
         ``[-sync_bound, +sync_bound]``.
     rng:
-        Random generator for residual offsets.
+        Random generator for residual offsets — required, so the
+        residual stream always derives from the experiment master seed
+        (pass ``registry.stream("clock-sync")``); a hidden fixed-seed
+        fallback here once correlated every run (DET-RNG-SEED).
     """
 
     def __init__(
@@ -93,11 +96,17 @@ class ClockSyncService:
             raise ClusterError(f"sync interval must be positive, got {sync_interval}")
         if sync_bound < 0.0:
             raise ClusterError(f"sync bound must be non-negative, got {sync_bound}")
+        if rng is None:
+            raise ClusterError(
+                "ClockSyncService requires an rng stream (e.g. "
+                'RngRegistry.stream("clock-sync")); ambient seeding would '
+                "decouple clock residuals from the experiment seed"
+            )
         self.engine = engine
         self.clocks = list(clocks)
         self.sync_interval = float(sync_interval)
         self.sync_bound = float(sync_bound)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.rng = rng
         self.rounds = 0
         self._stop = None
 

@@ -54,3 +54,12 @@ class ConfigurationError(ReproError):
 
 class ParallelExecutionError(ReproError):
     """Raised when a worker job of the process-pool runner fails."""
+
+
+class AnalysisError(ReproError):
+    """Raised when the static-analysis suite itself is misconfigured.
+
+    Rule *violations* are data (:class:`repro.analysis.model.Violation`),
+    not exceptions; this error covers broken inputs — an unparsable
+    target file, an invalid layering contract, an unknown rule id.
+    """

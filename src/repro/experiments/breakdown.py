@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.experiments.report import format_table
 from repro.runtime.executor import PeriodicTaskExecutor
+from repro.units import s_to_ms
 
 
 @dataclass(frozen=True)
@@ -66,9 +67,9 @@ class LatencyBreakdown:
             rows.append(
                 [
                     f"st{stage.subtask_index} {stage.subtask_name}",
-                    stage.mean_exec_s * 1e3,
-                    stage.mean_message_in_s * 1e3,
-                    stage.mean_stage_s * 1e3,
+                    s_to_ms(stage.mean_exec_s),
+                    s_to_ms(stage.mean_message_in_s),
+                    s_to_ms(stage.mean_stage_s),
                     f"{share:.0%}",
                     stage.mean_replicas,
                 ]
@@ -78,7 +79,7 @@ class LatencyBreakdown:
                 "end-to-end",
                 "-",
                 "-",
-                self.mean_end_to_end_s * 1e3,
+                s_to_ms(self.mean_end_to_end_s),
                 "100%",
                 "-",
             ]

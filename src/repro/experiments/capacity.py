@@ -28,6 +28,7 @@ from repro.core.deadlines import DeadlineAssignment, assign_deadlines
 from repro.errors import ConfigurationError
 from repro.experiments.report import format_table
 from repro.regression.estimator import TimingEstimator
+from repro.units import s_to_ms
 
 
 @dataclass(frozen=True)
@@ -72,7 +73,7 @@ class CapacityPlan:
             rows.append(
                 [point.d_tracks]
                 + [point.replicas[j] for j in indices]
-                + [point.forecast_end_to_end_s * 1e3, str(point.feasible)]
+                + [s_to_ms(point.forecast_end_to_end_s), str(point.feasible)]
             )
         return format_table(
             headers,

@@ -13,7 +13,13 @@ from typing import Any
 
 from repro.cluster.processor import Discipline
 from repro.errors import ConfigurationError
-from repro.units import ETHERNET_100_MBPS, MS, TRACK_BYTES, workload_units_to_tracks
+from repro.units import (
+    ETHERNET_100_MBPS,
+    MS,
+    TRACK_BYTES,
+    s_to_ms,
+    workload_units_to_tracks,
+)
 
 
 @dataclass(frozen=True)
@@ -99,10 +105,10 @@ class BaselineConfig:
     def as_table_rows(self) -> list[tuple[str, str]]:
         """Table 1 rendered as (parameter, value) rows."""
         scheduler = (
-            f"Round-Robin (time slice = {self.quantum * 1e3:g} ms; "
+            f"Round-Robin (time slice = {s_to_ms(self.quantum):g} ms; "
             "simulated as its processor-sharing limit)"
             if self.discipline is Discipline.PROCESSOR_SHARING
-            else f"Round-Robin (time slice = {self.quantum * 1e3:g} ms; exact)"
+            else f"Round-Robin (time slice = {s_to_ms(self.quantum):g} ms; exact)"
         )
         return [
             ("Number of nodes", str(self.n_nodes)),
@@ -114,7 +120,7 @@ class BaselineConfig:
             ),
             ("Data item (track) size", f"{self.track_bytes} bytes"),
             ("Data arrival period", f"{self.period:g} sec"),
-            ("Relative end-to-end deadline", f"{self.deadline * 1e3:g} ms"),
+            ("Relative end-to-end deadline", f"{s_to_ms(self.deadline):g} ms"),
             ("Number of periodic tasks", "1"),
             ("Number of subtasks per task", "5"),
             ("Number of replicable subtasks per task", "2"),

@@ -1,81 +1,24 @@
 """Plain-text rendering of experiment outputs.
 
-The benchmark harness prints every figure as an ASCII series table (one
-row per x-axis point, one column per policy/metric) so a terminal run of
-``pytest benchmarks/ --benchmark-only`` regenerates the paper's numbers
-in readable form.  The same renderers produce EXPERIMENTS.md content.
+The renderers themselves live in :mod:`repro.formatting` (foundation
+layer) so that lower layers — regression diagnostics, bench logs — can
+produce tables without importing the experiment harness (LAY-DAG).  This
+module re-exports them under their historical import path; experiment
+code may keep importing from here.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from repro.formatting import (
+    format_series_table,
+    format_sparkline,
+    format_table,
+    paper_vs_measured,
+)
 
-
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    title: str | None = None,
-) -> str:
-    """Render an aligned ASCII table."""
-    cells = [[_fmt(value) for value in row] for row in rows]
-    widths = [len(h) for h in headers]
-    for row in cells:
-        for i, cell in enumerate(row):
-            widths[i] = max(widths[i], len(cell))
-    lines: list[str] = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
-    for row in cells:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-    return "\n".join(lines)
-
-
-def _fmt(value: object) -> str:
-    if isinstance(value, float):
-        if value == 0.0:
-            return "0"
-        if abs(value) >= 1000.0 or abs(value) < 0.001:
-            return f"{value:.3e}"
-        return f"{value:.3f}"
-    return str(value)
-
-
-def format_series_table(
-    x_label: str,
-    x_values: Sequence[float],
-    series: dict[str, Sequence[float]],
-    title: str | None = None,
-) -> str:
-    """Render an x-axis plus named series as a table (one figure panel)."""
-    headers = [x_label] + list(series)
-    rows = []
-    for i, x in enumerate(x_values):
-        rows.append([x] + [series[name][i] for name in series])
-    return format_table(headers, rows, title=title)
-
-
-def format_sparkline(values: Sequence[float], width: int = 40) -> str:
-    """A crude one-line chart (for quick visual sanity in bench logs)."""
-    if not values:
-        return ""
-    blocks = " .:-=+*#%@"
-    lo = min(values)
-    hi = max(values)
-    span = (hi - lo) or 1.0
-    # Resample to the requested width.
-    out = []
-    n = len(values)
-    for i in range(min(width, n)):
-        v = values[int(i * n / min(width, n))]
-        out.append(blocks[int((v - lo) / span * (len(blocks) - 1))])
-    return "".join(out)
-
-
-def paper_vs_measured(
-    rows: list[tuple[str, str, str]],
-    title: str = "paper vs measured",
-) -> str:
-    """Render (aspect, paper, measured) comparison rows."""
-    return format_table(["aspect", "paper", "measured"], rows, title=title)
+__all__ = [
+    "format_series_table",
+    "format_sparkline",
+    "format_table",
+    "paper_vs_measured",
+]

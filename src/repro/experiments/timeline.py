@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.manager import AdaptiveResourceManager
 from repro.errors import ConfigurationError
 from repro.runtime.executor import PeriodicTaskExecutor
+from repro.units import s_to_ms
 
 
 @dataclass(frozen=True)
@@ -120,7 +121,7 @@ def render_timeline(timeline: Timeline, deadline_s: float | None = None) -> str:
         f"{len(timeline.adaptation_periods())} adaptation points)",
         f"workload  |{_strip(timeline.workload_tracks)}|",
         f"latency   |{_strip(timeline.latency_s, lo=0.0)}|"
-        + (f"  (deadline {deadline_s * 1e3:.0f} ms)" if deadline_s else ""),
+        + (f"  (deadline {s_to_ms(deadline_s):.0f} ms)" if deadline_s else ""),
         f"replicas  |{_strip(timeline.total_replicas, lo=0.0)}|",
         "misses    |"
         + "".join("!" if m else "." for m in timeline.missed)

@@ -1,0 +1,84 @@
+"""Plain-text table/series rendering (foundation layer).
+
+These renderers are shared by every layer — regression diagnostics,
+benchmark logs, the experiment reports and the CLI — so they live at the
+bottom of the package DAG alongside :mod:`repro.units` and
+:mod:`repro.errors` (``regression`` must not reach up into
+``experiments`` for a table).  :mod:`repro.experiments.report` re-exports
+them for backwards compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        # Display thresholds, not unit conversions.
+        if abs(value) >= 1000.0 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render an x-axis plus named series as a table (one figure panel)."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [series[name][i] for name in series])
+    return format_table(headers, rows, title=title)
+
+
+def format_sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A crude one-line chart (for quick visual sanity in bench logs)."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    # Resample to the requested width.
+    out = []
+    n = len(values)
+    for i in range(min(width, n)):
+        v = values[int(i * n / min(width, n))]
+        out.append(blocks[int((v - lo) / span * (len(blocks) - 1))])
+    return "".join(out)
+
+
+def paper_vs_measured(
+    rows: list[tuple[str, str, str]],
+    title: str = "paper vs measured",
+) -> str:
+    """Render (aspect, paper, measured) comparison rows."""
+    return format_table(["aspect", "paper", "measured"], rows, title=title)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.regression.buffer_model import BufferDelayModel
 from repro.regression.transmission import TransmissionModel
+from repro.units import s_to_ms
 
 
 @dataclass(frozen=True)
@@ -39,4 +40,4 @@ class CommunicationDelayModel:
 
     def predict_ms(self, payload_bytes: float, total_tracks: float) -> float:
         """``ecd`` in milliseconds."""
-        return self.predict_seconds(payload_bytes, total_tracks) * 1e3
+        return s_to_ms(self.predict_seconds(payload_bytes, total_tracks))

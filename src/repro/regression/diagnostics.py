@@ -15,12 +15,15 @@ profiling campaign's samples against its fitted surface and reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.bench.profiler import LatencyProfileResult
 from repro.errors import RegressionError
-from repro.experiments.report import format_table
+from repro.formatting import format_table
+
+if TYPE_CHECKING:  # annotation-only: bench sits above regression (LAY-DAG)
+    from repro.bench.profiler import LatencyProfileResult
 
 
 @dataclass(frozen=True)

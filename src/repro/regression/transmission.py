@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import RegressionError
-from repro.units import ETHERNET_100_MBPS, transmission_time
+from repro.units import ETHERNET_100_MBPS, s_to_ms, transmission_time
 
 
 @dataclass(frozen=True)
@@ -49,4 +49,4 @@ class TransmissionModel:
 
     def predict_ms(self, payload_bytes: float) -> float:
         """``Dtrans`` in milliseconds."""
-        return self.predict_seconds(payload_bytes) * 1e3
+        return s_to_ms(self.predict_seconds(payload_bytes))

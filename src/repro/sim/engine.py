@@ -73,21 +73,21 @@ class Engine:
 
     def schedule(
         self,
-        delay: float,
+        delay_s: float,
         callback: Callable[..., Any],
         *args: Any,
         priority: int = 0,
         label: str = "",
     ) -> Event:
-        """Schedule ``callback(*args)`` to run ``delay`` seconds from now.
+        """Schedule ``callback(*args)`` to run ``delay_s`` seconds from now.
 
         Returns the :class:`~repro.sim.events.Event` handle, which may be
         cancelled while pending.
         """
-        if delay < 0.0:
-            raise SchedulingError(f"negative delay {delay!r} at t={self._now}")
+        if delay_s < 0.0:
+            raise SchedulingError(f"negative delay {delay_s!r} at t={self._now}")
         return self.schedule_at(
-            self._now + delay, callback, *args, priority=priority, label=label
+            self._now + delay_s, callback, *args, priority=priority, label=label
         )
 
     def schedule_at(
@@ -204,20 +204,20 @@ class Engine:
 
     def every(
         self,
-        interval: float,
+        interval_s: float,
         callback: Callable[..., Any],
         *args: Any,
         start_delay: float | None = None,
         priority: int = 0,
         label: str = "",
     ) -> Callable[[], None]:
-        """Run ``callback`` every ``interval`` seconds until cancelled.
+        """Run ``callback`` every ``interval_s`` seconds until cancelled.
 
         Returns a zero-argument function that stops the recurrence.  The
-        first firing happens after ``start_delay`` (default: ``interval``).
+        first firing happens after ``start_delay`` (default: ``interval_s``).
         """
-        if interval <= 0.0:
-            raise SchedulingError(f"interval must be positive, got {interval}")
+        if interval_s <= 0.0:
+            raise SchedulingError(f"interval must be positive, got {interval_s}")
         state: dict[str, Any] = {"stopped": False, "event": None}
 
         def fire() -> None:
@@ -226,10 +226,10 @@ class Engine:
             callback(*args)
             if not state["stopped"]:
                 state["event"] = self.schedule(
-                    interval, fire, priority=priority, label=label
+                    interval_s, fire, priority=priority, label=label
                 )
 
-        first = interval if start_delay is None else start_delay
+        first = interval_s if start_delay is None else start_delay
         state["event"] = self.schedule(first, fire, priority=priority, label=label)
 
         def stop() -> None:

@@ -5,7 +5,7 @@ Example
 .. code-block:: python
 
     task = (
-        TaskBuilder("aaw", period=1.0, deadline=0.990)
+        TaskBuilder("aaw", period_s=1.0, deadline_s=0.990)
         .subtask("SensorIntake", service=intake_model)
         .message(bytes_per_item=80)
         .subtask("Filter", service=filter_model, replicable=True)
@@ -30,10 +30,10 @@ class TaskBuilder:
     rather than deep inside a simulation.
     """
 
-    def __init__(self, name: str, period: float, deadline: float) -> None:
+    def __init__(self, name: str, period_s: float, deadline_s: float) -> None:
         self.name = name
-        self.period = float(period)
-        self.deadline = float(deadline)
+        self.period = float(period_s)
+        self.deadline = float(deadline_s)
         self._subtasks: list[Subtask] = []
         self._messages: list[MessageSpec] = []
         self._expect_subtask = True

@@ -1,0 +1,44 @@
+"""Tier-1 gate: the shipped source tree must lint clean.
+
+This is the enforcement point for the whole analysis subsystem: if a
+wall-clock call, an unseeded RNG, a magic unit conversion or a layering
+breach lands anywhere in ``src/repro``, this test fails with the full
+lint report in the assertion message.
+"""
+
+from __future__ import annotations
+
+import shutil
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_paths, render_text
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_source_tree_lints_clean():
+    violations, n_files = lint_paths([SRC_ROOT])
+    report = render_text(violations, n_files)
+    assert not violations, f"static-analysis violations in src/repro:\n{report}"
+    # Sanity: the walk actually visited the package, not an empty dir.
+    assert n_files > 50
+
+
+def test_gate_catches_injected_violation(tmp_path):
+    """The gate must fail if a determinism breach is seeded into sim code.
+
+    We copy one real sim module aside, inject a ``time.time()`` call, and
+    check the same driver the gate uses reports it — proof the clean run
+    above is meaningful and not vacuous.
+    """
+    staged = tmp_path / "repro" / "sim"
+    staged.mkdir(parents=True)
+    shutil.copy(SRC_ROOT / "sim" / "engine.py", staged / "engine.py")
+    source = (staged / "engine.py").read_text()
+    assert "time.time()" not in source
+    (staged / "engine.py").write_text(
+        "import time\n_T0 = time.time()\n" + source
+    )
+    violations, _ = lint_paths([tmp_path / "repro"])
+    assert any(v.rule_id == "DET-TIME" for v in violations)

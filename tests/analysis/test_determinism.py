@@ -1,0 +1,118 @@
+"""Determinism lint: wall-clock, global RNG, seeding and set-iteration rules."""
+
+from __future__ import annotations
+
+from repro.analysis import parse_source
+from repro.analysis.determinism import check
+
+
+def lint(source: str, module: str = "repro.sim.fake") -> list:
+    return check(parse_source(source, module=module))
+
+
+def rule_ids(source: str, module: str = "repro.sim.fake") -> list[str]:
+    return [v.rule_id for v in lint(source, module)]
+
+
+class TestScope:
+    def test_out_of_scope_package_is_ignored(self):
+        src = "import time\nt = time.time()\n"
+        assert rule_ids(src, module="repro.experiments.fake") == []
+
+    def test_rng_module_itself_is_whitelisted(self):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert rule_ids(src, module="repro.sim.rng") == []
+
+    def test_non_repro_module_is_ignored(self):
+        assert rule_ids("import time\ntime.time()\n", module="other.mod") == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self):
+        assert rule_ids("import time\nt = time.time()\n") == ["DET-TIME"]
+
+    def test_perf_counter_flagged_through_alias(self):
+        src = "from time import perf_counter as pc\nt = pc()\n"
+        assert rule_ids(src) == ["DET-TIME"]
+
+    def test_datetime_now_flagged(self):
+        src = "from datetime import datetime\nd = datetime.now()\n"
+        assert rule_ids(src) == ["DET-TIME"]
+
+    def test_violation_carries_position_and_hint(self):
+        (v,) = lint("import time\n\nt = time.monotonic()\n")
+        assert v.line == 3
+        assert "engine.now" in v.hint
+
+    def test_engine_now_is_fine(self):
+        assert rule_ids("def f(engine):\n    return engine.now\n") == []
+
+
+class TestGlobalRng:
+    def test_stdlib_random_import_flagged(self):
+        assert "DET-RNG-GLOBAL" in rule_ids("import random\n")
+
+    def test_stdlib_random_call_flagged(self):
+        src = "import random\nx = random.gauss(0, 1)\n"
+        assert rule_ids(src) == ["DET-RNG-GLOBAL", "DET-RNG-GLOBAL"]
+
+    def test_legacy_numpy_global_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rule_ids(src) == ["DET-RNG-GLOBAL"]
+
+    def test_numpy_seed_flagged(self):
+        src = "import numpy as np\nnp.random.seed(0)\n"
+        assert rule_ids(src) == ["DET-RNG-GLOBAL"]
+
+    def test_generator_draws_are_fine(self):
+        src = "def f(rng):\n    return rng.uniform(0.0, 1.0)\n"
+        assert rule_ids(src) == []
+
+
+class TestDefaultRngSeeding:
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\ng = np.random.default_rng()\n"
+        assert rule_ids(src) == ["DET-RNG-SEED"]
+
+    def test_literal_seed_flagged(self):
+        src = "import numpy as np\ng = np.random.default_rng(0)\n"
+        assert rule_ids(src) == ["DET-RNG-SEED"]
+
+    def test_parameter_seed_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "def make(seed):\n"
+            "    return np.random.default_rng(seed)\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_attribute_seed_allowed(self):
+        src = (
+            "import numpy as np\n"
+            "class P:\n"
+            "    def roll(self):\n"
+            "        return np.random.default_rng(self.seed)\n"
+        )
+        assert rule_ids(src) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self):
+        assert rule_ids("for x in {1, 2, 3}:\n    pass\n") == ["DET-SET-ITER"]
+
+    def test_for_over_set_call_flagged(self):
+        assert rule_ids("for x in set(items):\n    pass\n") == ["DET-SET-ITER"]
+
+    def test_list_of_set_flagged(self):
+        assert rule_ids("for x in list(set(items)):\n    pass\n") == [
+            "DET-SET-ITER"
+        ]
+
+    def test_comprehension_over_set_flagged(self):
+        assert rule_ids("ys = [f(x) for x in set(items)]\n") == ["DET-SET-ITER"]
+
+    def test_sorted_set_allowed(self):
+        assert rule_ids("for x in sorted(set(items)):\n    pass\n") == []
+
+    def test_membership_test_allowed(self):
+        assert rule_ids("ok = x in {1, 2, 3}\n") == []

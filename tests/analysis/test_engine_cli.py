@@ -1,0 +1,132 @@
+"""Lint driver and CLI: file walking, reports, exit codes, rule selection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ALL_RULES,
+    lint_paths,
+    render_json,
+    render_rules,
+    render_text,
+)
+from repro.cli import main
+from repro.errors import AnalysisError
+
+CLEAN = "from repro.errors import ReproError\n\nX = 1\n"
+DIRTY = "import time\n\nT = time.time()\n"
+
+
+def make_tree(tmp_path, sources: dict[str, str]):
+    """Lay out a synthetic repro package on disk."""
+    for rel, src in sources.items():
+        target = tmp_path / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    return tmp_path / "repro"
+
+
+class TestLintPaths:
+    def test_clean_tree(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": CLEAN})
+        violations, n_files = lint_paths([root])
+        assert violations == []
+        assert n_files == 1
+
+    def test_violation_found_with_position(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        violations, _ = lint_paths([root])
+        assert [v.rule_id for v in violations] == ["DET-TIME"]
+        assert violations[0].line == 3
+
+    def test_single_file_target(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        violations, n_files = lint_paths([root / "sim" / "mod.py"])
+        assert n_files == 1
+        assert len(violations) == 1
+
+    def test_missing_path_raises(self, tmp_path):
+        with pytest.raises(AnalysisError, match="no such file"):
+            lint_paths([tmp_path / "nope"])
+
+    def test_unknown_rule_id_raises(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": CLEAN})
+        with pytest.raises(AnalysisError, match="unknown rule"):
+            lint_paths([root], select=["NOT-A-RULE"])
+
+    def test_select_narrows_rules(self, tmp_path):
+        both = "import time\nimport random\nT = time.time()\n"
+        root = make_tree(tmp_path, {"sim/mod.py": both})
+        violations, _ = lint_paths([root], select=["DET-TIME"])
+        assert [v.rule_id for v in violations] == ["DET-TIME"]
+
+    def test_syntax_error_is_an_analysis_error(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/bad.py": "def broken(:\n"})
+        with pytest.raises(AnalysisError, match="parse"):
+            lint_paths([root])
+
+
+class TestRendering:
+    def test_text_report_lists_counts(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        violations, n = lint_paths([root])
+        text = render_text(violations, n)
+        assert "DET-TIME" in text and "1 violation" in text
+
+    def test_json_report_round_trips(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        violations, n = lint_paths([root])
+        data = json.loads(render_json(violations, n))
+        assert data["clean"] is False
+        assert data["counts"] == {"DET-TIME": 1}
+        assert data["violations"][0]["line"] == 3
+
+    def test_rule_catalogue_covers_every_rule(self):
+        catalogue = render_rules()
+        for rule_id in ALL_RULES:
+            assert rule_id in catalogue
+
+    def test_rule_ids_are_unique_across_passes(self):
+        # ALL_RULES is a dict keyed by id; collisions would silently drop
+        # a rule from the catalogue.  Spot-check the expected families.
+        families = {rid.split("-")[0] for rid in ALL_RULES}
+        assert families == {"DET", "UNIT", "LAY", "PCK"}
+
+
+class TestCli:
+    def test_lint_clean_exits_zero(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"sim/mod.py": CLEAN})
+        assert main(["lint", str(root)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_lint_violations_exit_one(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        assert main(["lint", str(root)]) == 1
+        assert "DET-TIME" in capsys.readouterr().out
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"sim/mod.py": DIRTY})
+        assert main(["lint", str(root), "--format", "json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["counts"] == {"DET-TIME": 1}
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        assert "DET-TIME" in capsys.readouterr().out
+
+    def test_lint_custom_contract(self, tmp_path, capsys):
+        contract = tmp_path / "contract.toml"
+        contract.write_text("[allowed]\nsim = []\n")
+        root = make_tree(
+            tmp_path, {"sim/mod.py": "from repro.errors import ReproError\n"}
+        )
+        # errors is unknown to this minimal contract -> LAY violation.
+        assert main(["lint", str(root), "--contract", str(contract)]) == 1
+        assert "LAY-DAG" in capsys.readouterr().out
+
+    def test_lint_bad_path_reports_error(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "missing")]) == 2
+        assert "error" in capsys.readouterr().err

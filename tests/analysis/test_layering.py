@@ -1,0 +1,132 @@
+"""Layering lint: the contract parser and the three LAY rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import parse_contract, parse_source
+from repro.analysis.layering import check, load_contract
+from repro.errors import AnalysisError
+
+CONTRACT = parse_contract(
+    """
+[allowed]
+errors = []
+units = ["errors"]
+sim = ["errors", "units"]
+experiments = ["errors", "units", "sim"]
+parallel = ["errors", "experiments"]
+cli = ["errors", "units", "sim", "experiments", "parallel"]
+lazy_allow = [["experiments", "parallel"]]
+
+[restricted]
+parallel = ["experiments", "cli", "parallel"]
+"""
+)
+
+
+def rule_ids(source: str, module: str) -> list[str]:
+    return [v.rule_id for v in check(parse_source(source, module=module), CONTRACT)]
+
+
+class TestContractParser:
+    def test_packaged_contract_loads_and_is_dag(self):
+        contract = load_contract()
+        assert "experiments" in contract.packages()
+        assert ("experiments", "parallel") in contract.lazy_allow
+
+    def test_unknown_package_in_deps_rejected(self):
+        with pytest.raises(AnalysisError, match="unknown packages"):
+            parse_contract("[allowed]\nsim = [\"nonexistent\"]\n")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(AnalysisError, match="cyclic"):
+            parse_contract(
+                "[allowed]\na = [\"b\"]\nb = [\"a\"]\n"
+            )
+
+    def test_missing_allowed_table_rejected(self):
+        with pytest.raises(AnalysisError, match="allowed"):
+            parse_contract("[restricted]\n")
+
+    def test_malformed_lazy_allow_rejected(self):
+        with pytest.raises(AnalysisError, match="lazy_allow"):
+            parse_contract(
+                "[allowed]\nsim = []\nlazy_allow = [[\"sim\"]]\n"
+            )
+
+    def test_invalid_toml_rejected(self):
+        with pytest.raises(AnalysisError, match="invalid"):
+            parse_contract("not toml [")
+
+
+class TestLayDag:
+    def test_downward_import_allowed(self):
+        src = "from repro.errors import ReproError\n"
+        assert rule_ids(src, "repro.sim.engine") == []
+
+    def test_upward_import_flagged(self):
+        src = "from repro.experiments.config import BaselineConfig\n"
+        assert rule_ids(src, "repro.sim.engine") == ["LAY-DAG"]
+
+    def test_sibling_module_always_allowed(self):
+        src = "from repro.sim.events import Event\n"
+        assert rule_ids(src, "repro.sim.engine") == []
+
+    def test_type_checking_import_exempt(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.experiments.config import BaselineConfig\n"
+        )
+        assert rule_ids(src, "repro.sim.engine") == []
+
+    def test_undeclared_package_surfaces(self):
+        src = "from repro.errors import ReproError\n"
+        assert rule_ids(src, "repro.newpkg.mod") == ["LAY-DAG"]
+
+    def test_non_repro_imports_ignored(self):
+        src = "import numpy as np\nimport os\n"
+        assert rule_ids(src, "repro.sim.engine") == []
+
+
+class TestLayLazy:
+    def test_sanctioned_lazy_upward_import_allowed(self):
+        src = (
+            "def run(n_jobs):\n"
+            "    from repro.parallel import run_configs_parallel\n"
+            "    return run_configs_parallel\n"
+        )
+        assert rule_ids(src, "repro.experiments.runner") == []
+
+    def test_unsanctioned_lazy_upward_import_flagged(self):
+        src = (
+            "def run():\n"
+            "    from repro.experiments.config import BaselineConfig\n"
+            "    return BaselineConfig\n"
+        )
+        assert rule_ids(src, "repro.sim.engine") == ["LAY-LAZY"]
+
+    def test_top_level_import_not_excused_by_lazy_allow(self):
+        # lazy_allow covers *function-level* imports only; at module
+        # load time experiments -> parallel would form a cycle.
+        src = "from repro.parallel import run_configs_parallel\n"
+        assert rule_ids(src, "repro.experiments.runner") == ["LAY-DAG"]
+
+
+class TestLayPrivate:
+    def test_restricted_package_from_outsider_flagged(self):
+        src = "from repro.parallel.pool import map_jobs\n"
+        assert rule_ids(src, "repro.sim.engine") == ["LAY-PRIVATE"]
+
+    def test_restricted_package_from_allowed_importer(self):
+        src = (
+            "def run():\n"
+            "    from repro.parallel.pool import map_jobs\n"
+            "    return map_jobs\n"
+        )
+        assert rule_ids(src, "repro.experiments.runner") == []
+
+    def test_restricted_package_imports_itself_freely(self):
+        src = "from repro.parallel.jobs import JobSpec\n"
+        assert rule_ids(src, "repro.parallel.dispatch") == []

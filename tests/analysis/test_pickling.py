@@ -1,0 +1,87 @@
+"""Pickling-safety lint: lambdas, closures and local classes in payloads."""
+
+from __future__ import annotations
+
+from repro.analysis import parse_source
+from repro.analysis.pickling import check
+
+
+def rule_ids(source: str, module: str = "repro.experiments.fake") -> list[str]:
+    return [v.rule_id for v in check(parse_source(source, module=module))]
+
+
+class TestLambdaPayloads:
+    def test_lambda_worker_flagged(self):
+        src = "results = map_jobs(jobs, n_jobs=2, worker=lambda j: j)\n"
+        assert rule_ids(src) == ["PCK-LAMBDA"]
+
+    def test_lambda_positional_flagged(self):
+        src = "pool.submit(lambda: 1)\n"
+        assert rule_ids(src) == ["PCK-LAMBDA"]
+
+    def test_lambda_in_jobspec_flagged(self):
+        src = "spec = JobSpec(config=lambda: None)\n"
+        assert rule_ids(src) == ["PCK-LAMBDA"]
+
+    def test_module_level_worker_allowed(self):
+        src = (
+            "def run_one(job):\n"
+            "    return job\n"
+            "results = map_jobs(jobs, worker=run_one)\n"
+        )
+        assert rule_ids(src) == []
+
+    def test_parent_side_callbacks_exempt(self):
+        # on_result runs in the parent process and is never pickled.
+        src = "results = map_jobs(jobs, on_result=lambda i, n, r: None)\n"
+        assert rule_ids(src) == []
+
+    def test_unrelated_lambda_allowed(self):
+        src = "best = max(items, key=lambda x: x.score)\n"
+        assert rule_ids(src) == []
+
+
+class TestLocalFunctions:
+    def test_nested_function_worker_flagged(self):
+        src = (
+            "def run(jobs):\n"
+            "    def worker(job):\n"
+            "        return job\n"
+            "    return map_jobs(jobs, worker=worker)\n"
+        )
+        assert rule_ids(src) == ["PCK-LOCAL-FUNC"]
+
+    def test_module_level_function_not_confused(self):
+        src = (
+            "def worker(job):\n"
+            "    return job\n"
+            "def run(jobs):\n"
+            "    return map_jobs(jobs, worker=worker)\n"
+        )
+        assert rule_ids(src) == []
+
+
+class TestLocalClasses:
+    def test_local_class_in_parallel_module_flagged(self):
+        src = (
+            "def make():\n"
+            "    class Payload:\n"
+            "        pass\n"
+            "    return Payload\n"
+        )
+        assert rule_ids(src, module="repro.parallel.fake") == [
+            "PCK-LOCAL-CLASS"
+        ]
+
+    def test_module_level_class_allowed(self):
+        src = "class Payload:\n    pass\n"
+        assert rule_ids(src, module="repro.parallel.fake") == []
+
+    def test_local_class_outside_parallel_not_flagged(self):
+        src = (
+            "def make():\n"
+            "    class Helper:\n"
+            "        pass\n"
+            "    return Helper\n"
+        )
+        assert rule_ids(src, module="repro.experiments.fake") == []

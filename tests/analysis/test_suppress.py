@@ -1,0 +1,59 @@
+"""Suppression comments: ``# repro: noqa RULE-ID`` semantics."""
+
+from __future__ import annotations
+
+from repro.analysis import lint_module, parse_source
+from repro.analysis.suppress import suppressed_rules
+
+
+class TestParsing:
+    def test_no_comment(self):
+        assert suppressed_rules("x = 1") is None
+
+    def test_bare_noqa_suppresses_everything(self):
+        assert suppressed_rules("x = 1  # repro: noqa") == frozenset()
+
+    def test_single_rule(self):
+        line = "t = time.time()  # repro: noqa DET-TIME"
+        assert suppressed_rules(line) == {"DET-TIME"}
+
+    def test_multiple_rules_comma_separated(self):
+        line = "x = 1  # repro: noqa DET-TIME,UNIT-MIX"
+        assert suppressed_rules(line) == {"DET-TIME", "UNIT-MIX"}
+
+    def test_plain_noqa_is_not_ours(self):
+        # Standard flake8-style noqa must not silence repro rules.
+        assert suppressed_rules("x = 1  # noqa") is None
+
+
+class TestFiltering:
+    def test_suppressed_violation_dropped(self):
+        info = parse_source(
+            "import time\nt = time.time()  # repro: noqa DET-TIME\n",
+            module="repro.sim.fake",
+        )
+        assert lint_module(info) == []
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        info = parse_source(
+            "import time\nt = time.time()  # repro: noqa UNIT-MIX\n",
+            module="repro.sim.fake",
+        )
+        assert [v.rule_id for v in lint_module(info)] == ["DET-TIME"]
+
+    def test_bare_noqa_suppresses_any_rule(self):
+        info = parse_source(
+            "import time\nt = time.time()  # repro: noqa\n",
+            module="repro.sim.fake",
+        )
+        assert lint_module(info) == []
+
+    def test_suppression_is_line_scoped(self):
+        info = parse_source(
+            "import time\n"
+            "a = time.time()  # repro: noqa DET-TIME\n"
+            "b = time.time()\n",
+            module="repro.sim.fake",
+        )
+        violations = lint_module(info)
+        assert [v.line for v in violations] == [3]

@@ -1,0 +1,82 @@
+"""Unit-safety lint: suffix mixing, magic conversions, parameter naming."""
+
+from __future__ import annotations
+
+from repro.analysis import parse_source
+from repro.analysis.units_lint import check
+
+
+def rule_ids(source: str, module: str = "repro.regression.fake") -> list[str]:
+    return [v.rule_id for v in check(parse_source(source, module=module))]
+
+
+class TestUnitMix:
+    def test_adding_s_to_ms_flagged(self):
+        assert rule_ids("total = latency_ms + deadline_s\n") == ["UNIT-MIX"]
+
+    def test_comparing_s_to_ms_flagged(self):
+        assert rule_ids("late = latency_ms > deadline_s\n") == ["UNIT-MIX"]
+
+    def test_attribute_suffixes_seen(self):
+        src = "late = rec.latency_ms - cfg.deadline_s\n"
+        assert rule_ids(src) == ["UNIT-MIX"]
+
+    def test_same_unit_allowed(self):
+        assert rule_ids("total = latency_s + overhead_s\n") == []
+
+    def test_unsuffixed_names_not_guessed(self):
+        # Without both suffixes the rule stays silent: no false positives
+        # on names the convention does not cover.
+        assert rule_ids("total = latency + deadline_s\n") == []
+
+    def test_bytes_vs_seconds_flagged(self):
+        assert rule_ids("x = payload_bytes + delay_s\n") == ["UNIT-MIX"]
+
+    def test_multiplication_is_not_mixing(self):
+        # Rates are legitimate products of different units.
+        assert rule_ids("t_s = size_bytes * per_byte_s\n") == []
+
+
+class TestUnitConv:
+    def test_times_1e3_flagged(self):
+        assert rule_ids("ms = value_s * 1e3\n") == ["UNIT-CONV"]
+
+    def test_div_1000_flagged(self):
+        assert rule_ids("s = value_ms / 1000.0\n") == ["UNIT-CONV"]
+
+    def test_times_1e_minus_3_flagged(self):
+        assert rule_ids("s = value_ms * 1e-3\n") == ["UNIT-CONV"]
+
+    def test_units_module_is_allowed_to_convert(self):
+        assert rule_ids("MS = 1e-3\nms = v * 1e3\n", module="repro.units") == []
+
+    def test_comparison_thresholds_not_flagged(self):
+        # A display threshold is not a conversion.
+        assert rule_ids("big = abs(v) >= 1000.0\n") == []
+
+    def test_other_constants_not_flagged(self):
+        assert rule_ids("x = seed * 1_000_003\n") == []
+
+
+class TestUnitName:
+    def test_bare_deadline_param_flagged_in_scoped_package(self):
+        src = "def assign(deadline):\n    return deadline\n"
+        assert rule_ids(src, module="repro.tasks.fake") == ["UNIT-NAME"]
+
+    def test_suffixed_param_allowed(self):
+        src = "def assign(deadline_s):\n    return deadline_s\n"
+        assert rule_ids(src, module="repro.tasks.fake") == []
+
+    def test_composite_names_not_flagged(self):
+        src = "def assign(sync_interval, deadline_policy):\n    pass\n"
+        assert rule_ids(src, module="repro.tasks.fake") == []
+
+    def test_out_of_scope_package_not_flagged(self):
+        # experiments is presentation-layer; the naming rule targets the
+        # timing-math packages.
+        src = "def assign(deadline):\n    return deadline\n"
+        assert rule_ids(src, module="repro.experiments.fake") == []
+
+    def test_keyword_only_params_checked(self):
+        src = "def assign(*, period):\n    return period\n"
+        assert rule_ids(src, module="repro.sim.fake") == ["UNIT-NAME"]

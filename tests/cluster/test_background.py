@@ -30,7 +30,7 @@ class TestValidation:
         engine = Engine()
         proc = Processor(engine, "p1")
         with pytest.raises(ClusterError):
-            BackgroundLoad(proc, 0.5, interval=0.0)
+            BackgroundLoad(proc, 0.5, interval_s=0.0)
 
     def test_jitter_requires_rng(self):
         engine = Engine()
@@ -48,7 +48,7 @@ class TestValidation:
 class TestBehaviour:
     @pytest.mark.parametrize("target", [0.2, 0.5, 0.8])
     def test_achieves_target_utilization(self, target):
-        engine, proc, load = make(target, interval=0.020)
+        engine, proc, load = make(target, interval_s=0.020)
         load.start()
         engine.run_until(10.0)
         assert proc.utilization(window=10.0) == pytest.approx(target, abs=0.02)
@@ -81,7 +81,7 @@ class TestBehaviour:
 
     def test_jittered_load_still_hits_target_on_average(self):
         engine, proc, load = make(
-            0.4, interval=0.010, jitter=0.3, rng=np.random.default_rng(3)
+            0.4, interval_s=0.010, jitter=0.3, rng=np.random.default_rng(3)
         )
         load.start()
         engine.run_until(15.0)

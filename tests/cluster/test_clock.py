@@ -69,12 +69,20 @@ class TestClockSyncService:
 
     def test_invalid_parameters_rejected(self):
         engine = Engine()
+        rng = np.random.default_rng(1)
         with pytest.raises(ClusterError):
-            ClockSyncService(engine, [], sync_interval=0.0)
+            ClockSyncService(engine, [], sync_interval=0.0, rng=rng)
         with pytest.raises(ClusterError):
-            ClockSyncService(engine, [], sync_bound=-1.0)
+            ClockSyncService(engine, [], sync_bound=-1.0, rng=rng)
+
+    def test_missing_rng_rejected(self):
+        # The rng is load-bearing for determinism: a hidden fixed-seed
+        # fallback would correlate clock residuals across every run.
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            ClockSyncService(engine, [])
 
     def test_empty_clock_list_max_error_zero(self):
         engine = Engine()
-        service = ClockSyncService(engine, [])
+        service = ClockSyncService(engine, [], rng=np.random.default_rng(1))
         assert service.max_error() == 0.0

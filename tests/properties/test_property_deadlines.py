@@ -17,7 +17,7 @@ estimates = st.floats(min_value=1e-4, max_value=1.0, allow_nan=False)
 def chains(draw):
     n = draw(st.integers(min_value=1, max_value=8))
     deadline = draw(st.floats(min_value=0.05, max_value=2.0, allow_nan=False))
-    builder = TaskBuilder("t", period=max(deadline, 2.0), deadline=deadline)
+    builder = TaskBuilder("t", period_s=max(deadline, 2.0), deadline_s=deadline)
     for i in range(n):
         builder.subtask(f"s{i}", LinearServiceModel(1.0))
         if i < n - 1:

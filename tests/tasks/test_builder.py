@@ -16,7 +16,7 @@ def service():
 class TestBuilder:
     def test_builds_valid_chain(self):
         task = (
-            TaskBuilder("t", period=1.0, deadline=0.9)
+            TaskBuilder("t", period_s=1.0, deadline_s=0.9)
             .subtask("a", service())
             .message(bytes_per_item=80)
             .subtask("b", service(), replicable=True)
@@ -28,7 +28,7 @@ class TestBuilder:
 
     def test_message_context_forwarded(self):
         task = (
-            TaskBuilder("t", period=1.0, deadline=0.9)
+            TaskBuilder("t", period_s=1.0, deadline_s=0.9)
             .subtask("a", service())
             .message(bytes_per_item=80, context_bytes_per_item=16)
             .subtask("b", service())
@@ -37,17 +37,17 @@ class TestBuilder:
         assert task.message(1).context_bytes_per_item == 16
 
     def test_two_subtasks_in_a_row_rejected(self):
-        builder = TaskBuilder("t", period=1.0, deadline=0.9).subtask("a", service())
+        builder = TaskBuilder("t", period_s=1.0, deadline_s=0.9).subtask("a", service())
         with pytest.raises(TaskModelError):
             builder.subtask("b", service())
 
     def test_message_first_rejected(self):
         with pytest.raises(TaskModelError):
-            TaskBuilder("t", period=1.0, deadline=0.9).message()
+            TaskBuilder("t", period_s=1.0, deadline_s=0.9).message()
 
     def test_two_messages_in_a_row_rejected(self):
         builder = (
-            TaskBuilder("t", period=1.0, deadline=0.9)
+            TaskBuilder("t", period_s=1.0, deadline_s=0.9)
             .subtask("a", service())
             .message()
         )
@@ -56,7 +56,7 @@ class TestBuilder:
 
     def test_dangling_message_rejected_at_build(self):
         builder = (
-            TaskBuilder("t", period=1.0, deadline=0.9)
+            TaskBuilder("t", period_s=1.0, deadline_s=0.9)
             .subtask("a", service())
             .message()
         )
@@ -64,7 +64,7 @@ class TestBuilder:
             builder.build()
 
     def test_indices_assigned_in_order(self):
-        builder = TaskBuilder("t", period=1.0, deadline=0.9)
+        builder = TaskBuilder("t", period_s=1.0, deadline_s=0.9)
         for i in range(4):
             builder.subtask(f"s{i}", service())
             if i < 3:

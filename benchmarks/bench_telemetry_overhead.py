@@ -1,0 +1,89 @@
+"""Telemetry overhead guard: disabled telemetry must not tax the engine.
+
+The engine's event loop is the hottest path in the repo (the figure
+sweeps execute hundreds of thousands of events), so the telemetry
+instrumentation was designed to stay out of it: the only change is one
+``enabled``-guarded callback per ``run``/``run_until`` *batch*, never
+per event.  This bench measures the same chained-event workload under
+the default :data:`~repro.telemetry.NULL_TELEMETRY` and under a fully
+enabled :class:`~repro.telemetry.TelemetryHub`, interleaved, best-of-N.
+If even the *enabled* hub is within noise of the disabled one on a pure
+engine workload, the disabled configuration — the default for every
+seed-equivalent run — is certainly unchanged.
+
+Run via ``pytest benchmarks/bench_telemetry_overhead.py -s`` to see the
+measured events/s and ratio.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.engine import Engine
+from repro.telemetry import TelemetryHub
+
+N_EVENTS = 20_000
+ROUNDS = 7
+#: CI-safe bound on enabled/disabled per-event cost.  The expected
+#: ratio is ~1.00 (one extra callback per *batch*); the acceptance
+#: target is <= 1.02, and anything beyond 1.10 means a per-event cost
+#: crept into the hot loop.
+MAX_RATIO = 1.10
+
+
+def _chained_run(telemetry: TelemetryHub | None) -> float:
+    """One timed run: N_EVENTS chained engine events."""
+    engine = Engine(telemetry=telemetry)
+    remaining = {"n": N_EVENTS}
+
+    def tick() -> None:
+        if remaining["n"] > 0:
+            remaining["n"] -= 1
+            engine.schedule(0.001, tick)
+
+    engine.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    engine.run()
+    elapsed = time.perf_counter() - t0
+    assert engine.executed_count == N_EVENTS + 1
+    return elapsed
+
+
+def measure() -> dict[str, float]:
+    """Interleaved best-of-ROUNDS timing for disabled vs enabled."""
+    disabled = []
+    enabled = []
+    hub = TelemetryHub()  # no sink: measures the instrumentation itself
+    for _ in range(ROUNDS):
+        disabled.append(_chained_run(None))  # default NULL_TELEMETRY
+        enabled.append(_chained_run(hub))
+    best_disabled = min(disabled)
+    best_enabled = min(enabled)
+    return {
+        "disabled_events_per_s": N_EVENTS / best_disabled,
+        "enabled_events_per_s": N_EVENTS / best_enabled,
+        "ratio": best_enabled / best_disabled,
+    }
+
+
+def test_disabled_telemetry_is_free():
+    """The guard: telemetry must cost per batch, not per event."""
+    stats = measure()
+    print(
+        f"\nengine throughput: disabled {stats['disabled_events_per_s']:,.0f}"
+        f" ev/s, enabled {stats['enabled_events_per_s']:,.0f} ev/s,"
+        f" enabled/disabled ratio {stats['ratio']:.3f}"
+    )
+    assert stats["ratio"] < MAX_RATIO, (
+        f"enabled-telemetry engine run is {stats['ratio']:.3f}x the disabled"
+        f" one (> {MAX_RATIO}) — a per-event cost has crept into the hot loop"
+    )
+    # Sanity: the enabled hub actually observed the batches.
+    hub = TelemetryHub()
+    _chained_run(hub)
+    assert hub.registry.counter("sim.events_executed").value == N_EVENTS + 1
+
+
+if __name__ == "__main__":
+    for key, value in measure().items():
+        print(f"{key}: {value:,.3f}")

@@ -22,6 +22,8 @@ Layering (bottom-up):
 * :mod:`repro.workloads` — Figure 8 workload patterns
 * :mod:`repro.experiments` — the §5 evaluation harness (metrics,
   sweeps, figure/table reproduction)
+* :mod:`repro.telemetry` — observability: metrics registry, RM
+  decision spans, streaming JSONL traces, Chrome trace export
 
 Quickstart
 ----------
@@ -65,6 +67,7 @@ from repro.experiments import (
 from repro.regression import TimingEstimator
 from repro.runtime import PeriodicTaskExecutor
 from repro.tasks import PeriodicTask, ReplicaAssignment, TaskBuilder
+from repro.telemetry import JsonlTraceSink, MetricsRegistry, TelemetryHub
 from repro.workloads import make_pattern
 
 __version__ = "1.0.0"
@@ -74,6 +77,8 @@ __all__ = [
     "BaselineConfig",
     "ExperimentConfig",
     "ExperimentMetrics",
+    "JsonlTraceSink",
+    "MetricsRegistry",
     "NonPredictivePolicy",
     "PeriodicTask",
     "PeriodicTaskExecutor",
@@ -82,6 +87,7 @@ __all__ = [
     "ReplicaAssignment",
     "System",
     "TaskBuilder",
+    "TelemetryHub",
     "TimingEstimator",
     "__version__",
     "aaw_task",

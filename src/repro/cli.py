@@ -10,6 +10,12 @@ Commands
     One experiment: ``--policy``, ``--pattern``, ``--max-units`` etc.,
     with optional ``--tasks N`` (multi-task) and ``--seeds N``
     (replication statistics) and ``--csv/--json`` export.
+    ``--telemetry-dir DIR`` streams a JSONL trace and writes metrics
+    snapshots (JSON + Prometheus text) into ``DIR``.
+``trace``
+    Summarize a telemetry JSONL trace (per-processor utilization,
+    replica counts, forecast calibration) and convert it to the Chrome
+    trace-event format for chrome://tracing / Perfetto.
 ``profile``
     Profile one subtask and print the fitted eq. 3 coefficients.
 ``patterns``
@@ -157,6 +163,27 @@ def cmd_run(args: argparse.Namespace) -> int:
     )
     estimator = get_default_estimator(baseline, cache_dir=_cache_dir_from_args(args))
 
+    hub = None
+    tracer = None
+    telemetry_dir = getattr(args, "telemetry_dir", None)
+    if telemetry_dir:
+        if args.tasks > 1 or args.seeds > 1:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "--telemetry-dir instruments a single run; "
+                "drop --tasks/--seeds or run them separately"
+            )
+        from pathlib import Path
+
+        from repro.sim.trace import StreamingTracer
+        from repro.telemetry import JsonlTraceSink, TelemetryHub
+
+        sink = JsonlTraceSink(Path(telemetry_dir) / "trace.jsonl")
+        hub = TelemetryHub(sink=sink)
+        tracer = StreamingTracer(sink)
+
+    forecast_report = None
     if args.tasks > 1:
         from repro.experiments.multitask import run_multi_task_experiment
 
@@ -200,8 +227,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         )
         metrics = replicated.runs[0]
     else:
-        result = run_experiment(config, estimator=estimator)
+        result = run_experiment(
+            config, estimator=estimator, tracer=tracer, telemetry=hub
+        )
         metrics = result.metrics
+        forecast_report = result.forecasts
         rows = [[k, v] for k, v in metrics.as_dict().items()]
         rows.append(["rm_actions", metrics.rm_actions])
         rows.append(["periods", metrics.periods_released])
@@ -211,6 +241,18 @@ def cmd_run(args: argparse.Namespace) -> int:
                 rows,
                 title=f"{args.policy}, {args.pattern}, {args.max_units:g} units",
             )
+        )
+
+    if hub is not None:
+        from pathlib import Path
+
+        hub.close()
+        out = Path(telemetry_dir)
+        (out / "metrics.json").write_text(hub.registry.to_json(hub.now))
+        (out / "metrics.prom").write_text(hub.registry.to_prometheus(hub.now))
+        print(
+            f"telemetry written to {out} "
+            "(trace.jsonl, metrics.json, metrics.prom)"
         )
 
     if args.json:
@@ -223,9 +265,41 @@ def cmd_run(args: argparse.Namespace) -> int:
                 "policy": args.policy,
                 "pattern": args.pattern,
                 "max_units": args.max_units,
+                "forecasts": (
+                    None
+                    if forecast_report is None
+                    else {
+                        "n": forecast_report.n,
+                        "mape": forecast_report.mape,
+                        "mean_error_s": forecast_report.mean_error_s,
+                        "pessimism_rate": forecast_report.pessimism_rate,
+                        "missed_deadline_ratio": (
+                            forecast_report.missed_deadline_ratio
+                        ),
+                    }
+                ),
             },
         )
         print(f"metrics written to {args.json}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Handle ``repro trace``: summarize + convert a JSONL trace."""
+    from pathlib import Path
+
+    from repro.telemetry import read_jsonl, summarize_trace, write_chrome_trace
+
+    records = read_jsonl(args.trace)
+    print(summarize_trace(records))
+    if not args.no_chrome:
+        target = (
+            Path(args.chrome)
+            if args.chrome
+            else Path(args.trace).with_suffix(".chrome.json")
+        )
+        write_chrome_trace(records, target)
+        print(f"\nchrome trace ({len(records)} records) written to {target}")
     return 0
 
 
@@ -418,7 +492,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--tasks", type=int, default=1, help="number of tasks")
     p_run.add_argument("--seeds", type=int, default=1, help="replication seeds")
     p_run.add_argument("--json", help="write metrics JSON here")
+    p_run.add_argument(
+        "--telemetry-dir",
+        help="stream a JSONL trace and metrics snapshots (JSON + "
+        "Prometheus text) into this directory (single runs only)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize/convert a telemetry JSONL trace"
+    )
+    p_trace.add_argument("trace", help="path to a trace.jsonl file")
+    p_trace.add_argument(
+        "--chrome",
+        help="write the Chrome trace-event JSON here "
+        "(default: <trace>.chrome.json next to the input)",
+    )
+    p_trace.add_argument(
+        "--no-chrome", action="store_true",
+        help="print the summary tables only, skip the Chrome export",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_profile = sub.add_parser("profile", help="profile one subtask, fit eq. 3")
     p_profile.add_argument("--subtask", type=int, default=3, choices=range(1, 6))

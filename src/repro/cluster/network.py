@@ -256,6 +256,14 @@ class Network:
     def _account(self, message: Message) -> None:
         self.delivered_count += 1
         self.delivered_bytes += message.wire_bytes
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.on_message_delivered(
+                self.engine.now,
+                message.wire_bytes,
+                message.buffer_delay,
+                message.total_delay,
+            )
         if message.label:
             count, total = self.delivered_by_label.get(message.label, (0, 0.0))
             self.delivered_by_label[message.label] = (
@@ -273,6 +281,9 @@ class Network:
         self.engine.tracer.record(
             self.engine.now, "message", f"{message.label or 'msg'}.lost", {}
         )
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.on_message_lost(self.engine.now)
         self.engine.schedule(
             self.retransmit_timeout, self._resend, message, label="net.retransmit"
         )

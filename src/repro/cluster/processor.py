@@ -360,6 +360,11 @@ class Processor:
             job.label or job.kind,
             {"processor": self.name, "demand": job.demand, "latency": job.latency},
         )
+        telemetry = self.engine.telemetry
+        if telemetry.enabled:
+            telemetry.on_job_complete(
+                self.engine.now, self.name, job.kind, job.demand, job.latency
+            )
         if job.on_complete is not None:
             job.on_complete(job, self.engine.now)
 

@@ -16,6 +16,7 @@ from repro.errors import ClusterError
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+from repro.telemetry.hub import TelemetryHub
 from repro.units import ETHERNET_100_MBPS, MS
 
 
@@ -121,6 +122,7 @@ def build_system(
     speed_factors: tuple[float, ...] | None = None,
     seed: int = 0,
     tracer: Tracer | None = None,
+    telemetry: TelemetryHub | None = None,
 ) -> System:
     """Construct the Table 1 baseline system (or a variant of it).
 
@@ -128,7 +130,9 @@ def build_system(
     scheduling, 100 Mbit/s Ethernet.  The returned system's clock sync
     service is already started when enabled.  ``speed_factors`` (one per
     processor) builds a heterogeneous machine for the extension study;
-    omitted, all nodes run at the reference speed 1.0.
+    omitted, all nodes run at the reference speed 1.0.  ``telemetry``
+    wires a :class:`~repro.telemetry.hub.TelemetryHub` into the engine so
+    every instrumented component reports to it.
     """
     if n_processors < 1:
         raise ClusterError(f"need at least one processor, got {n_processors}")
@@ -137,7 +141,7 @@ def build_system(
             f"{n_processors} processors need {n_processors} speed factors, "
             f"got {len(speed_factors)}"
         )
-    engine = Engine(tracer=tracer)
+    engine = Engine(tracer=tracer, telemetry=telemetry)
     rng = RngRegistry(seed)
     processors = [
         Processor(

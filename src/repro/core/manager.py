@@ -160,6 +160,7 @@ class AdaptiveResourceManager:
             slack_fraction=self.config.slack_fraction,
             shutdown_slack_fraction=self.config.shutdown_slack_fraction,
             window=self.config.monitor_window,
+            telemetry=system.engine.telemetry,
         )
         self.history: list[RMEvent] = []
         self.deadlines: DeadlineAssignment = self._initial_deadlines()
@@ -295,6 +296,9 @@ class AdaptiveResourceManager:
     def step(self) -> RMEvent:
         """Run one monitor/adapt pass (callable directly in tests)."""
         now = self.system.engine.now
+        telemetry = self.system.engine.telemetry
+        if telemetry.enabled:
+            telemetry.begin_decision(now)
         recoveries = self._handle_failures()
         records = self.executor.completed_records()
         self._feed_observations(records)
@@ -356,6 +360,8 @@ class AdaptiveResourceManager:
                     "removed": len(shutdowns),
                 },
             )
+        if telemetry.enabled:
+            telemetry.end_decision(self.system.engine.now, event)
         self.history.append(event)
         return event
 

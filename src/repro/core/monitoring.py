@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError
 from repro.runtime.records import PeriodRecord
 from repro.tasks.model import PeriodicTask
 from repro.tasks.state import ReplicaAssignment
+from repro.telemetry.hub import TelemetryHub
 
 
 class MonitorAction(enum.Enum):
@@ -76,6 +77,10 @@ class RuntimeMonitor:
         Slack fraction above which excess replicas are shut down.
     window:
         Number of most recent finished periods averaged per verdict.
+    telemetry:
+        Optional :class:`~repro.telemetry.hub.TelemetryHub`; every
+        monitoring pass reports its verdicts to it (verdict counters and
+        the open decision span) when enabled.
     """
 
     def __init__(
@@ -84,6 +89,7 @@ class RuntimeMonitor:
         slack_fraction: float = 0.2,
         shutdown_slack_fraction: float = 0.6,
         window: int = 3,
+        telemetry: TelemetryHub | None = None,
     ) -> None:
         if not 0.0 < slack_fraction < 1.0:
             raise ConfigurationError(
@@ -100,6 +106,7 @@ class RuntimeMonitor:
         self.slack_fraction = float(slack_fraction)
         self.shutdown_slack_fraction = float(shutdown_slack_fraction)
         self.window = int(window)
+        self.telemetry = telemetry
 
     def classify(
         self,
@@ -168,4 +175,7 @@ class RuntimeMonitor:
                     overdue=overdue,
                 )
             )
-        return MonitorReport(time=now, verdicts=tuple(verdicts))
+        report = MonitorReport(time=now, verdicts=tuple(verdicts))
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.on_monitor_report(now, report)
+        return report

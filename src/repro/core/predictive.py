@@ -59,6 +59,7 @@ class PredictivePolicy:
         threshold = budget - self.slack_fraction * budget
         added: list[str] = []
         worst_forecast: float | None = None
+        telemetry = request.system.engine.telemetry
 
         while True:
             hosting = set(request.assignment.processors_of(subtask_index))
@@ -76,7 +77,17 @@ class PredictivePolicy:
             request.assignment.add_replica(subtask_index, candidate.name)
             added.append(candidate.name)
             worst_forecast = self._forecast_worst_replica(request)
-            if worst_forecast <= threshold:
+            accepted = worst_forecast <= threshold
+            if telemetry.enabled:
+                telemetry.on_forecast(
+                    request.system.engine.now,
+                    subtask_index,
+                    request.assignment.replica_count(subtask_index),
+                    worst_forecast,
+                    threshold,
+                    accepted,
+                )
+            if accepted:
                 return AllocationOutcome(
                     subtask_index=subtask_index,
                     success=True,

@@ -56,6 +56,15 @@ class ParallelExecutionError(ReproError):
     """Raised when a worker job of the process-pool runner fails."""
 
 
+class TelemetryError(ReproError):
+    """Raised for invalid telemetry operations.
+
+    Covers metric-registry misuse (re-registering a name as a different
+    metric type, malformed histogram buckets) and trace-export problems
+    (an unreadable or non-JSONL trace file).
+    """
+
+
 class AnalysisError(ReproError):
     """Raised when the static-analysis suite itself is misconfigured.
 

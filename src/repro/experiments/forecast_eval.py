@@ -88,6 +88,66 @@ class CalibrationReport:
         return float(np.mean([s.error_s >= 0.0 for s in self.samples]))
 
 
+def calibration_from_run(
+    task,
+    executor,
+    manager,
+    n_periods: int,
+    settle_periods: int = 1,
+) -> CalibrationReport:
+    """Pair a finished run's forecasts with the realized stage latencies.
+
+    Works on the artefacts any predictive-policy run already produces
+    (the executor's period records and the manager's decision history),
+    so callers that have just run an experiment — :func:`evaluate_forecasts`
+    below, or :func:`repro.experiments.runner.run_experiment` attaching
+    calibration to its result — share one pairing implementation.
+
+    For each manager step that replicated subtask ``j`` with forecast
+    ``f``, the observation is the mean stage latency of ``j`` over the
+    next periods that ran with the *same* replica count (stopping at the
+    next placement change).  ``settle_periods`` skips the first period
+    after the decision (the stage may already be mid-flight).
+    """
+    by_period = {r.period_index: r for r in executor.records}
+    samples: list[ForecastSample] = []
+    for event in manager.history:
+        decision_period = int(round(event.time / task.period))
+        for outcome in event.outcomes:
+            if outcome.forecast_latency is None or not outcome.changed:
+                continue
+            replica_count = len(event.placement[outcome.subtask_index])
+            observed: list[float] = []
+            for period in range(decision_period + settle_periods, n_periods):
+                record = by_period.get(period)
+                if record is None:
+                    continue
+                stage = record.stage(outcome.subtask_index)
+                if stage is None or stage.stage_latency is None:
+                    continue
+                if stage.replica_count != replica_count:
+                    break  # the placement changed; stop the window
+                observed.append(stage.stage_latency)
+                if len(observed) >= 3:
+                    break
+            if observed:
+                samples.append(
+                    ForecastSample(
+                        time=event.time,
+                        subtask_index=outcome.subtask_index,
+                        replica_count=replica_count,
+                        forecast_s=outcome.forecast_latency,
+                        observed_s=float(np.mean(observed)),
+                    )
+                )
+    released = list(executor.records)
+    missed = sum(1 for r in released if r.missed)
+    return CalibrationReport(
+        samples=tuple(samples),
+        missed_deadline_ratio=missed / len(released) if released else 0.0,
+    )
+
+
 def evaluate_forecasts(
     config: ExperimentConfig,
     estimator: TimingEstimator | None = None,
@@ -157,42 +217,10 @@ def evaluate_forecasts(
     )
 
     # Pair forecasts with realized stage latencies.
-    by_period = {r.period_index: r for r in executor.records}
-    samples: list[ForecastSample] = []
-    for event in manager.history:
-        decision_period = int(round(event.time / task.period))
-        for outcome in event.outcomes:
-            if outcome.forecast_latency is None or not outcome.changed:
-                continue
-            replica_count = len(event.placement[outcome.subtask_index])
-            observed: list[float] = []
-            for period in range(
-                decision_period + settle_periods, baseline.n_periods
-            ):
-                record = by_period.get(period)
-                if record is None:
-                    continue
-                stage = record.stage(outcome.subtask_index)
-                if stage is None or stage.stage_latency is None:
-                    continue
-                if stage.replica_count != replica_count:
-                    break  # the placement changed; stop the window
-                observed.append(stage.stage_latency)
-                if len(observed) >= 3:
-                    break
-            if observed:
-                samples.append(
-                    ForecastSample(
-                        time=event.time,
-                        subtask_index=outcome.subtask_index,
-                        replica_count=replica_count,
-                        forecast_s=outcome.forecast_latency,
-                        observed_s=float(np.mean(observed)),
-                    )
-                )
-    released = [r for r in executor.records]
-    missed = sum(1 for r in released if r.missed)
-    return CalibrationReport(
-        samples=tuple(samples),
-        missed_deadline_ratio=missed / len(released) if released else 0.0,
+    return calibration_from_run(
+        task,
+        executor,
+        manager,
+        baseline.n_periods,
+        settle_periods=settle_periods,
     )

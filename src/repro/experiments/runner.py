@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.bench.app import aaw_task, default_initial_placement
 from repro.cluster.topology import System, build_system
@@ -28,8 +29,13 @@ from repro.experiments.config import BaselineConfig, ExperimentConfig
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.regression.estimator import TimingEstimator
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
+from repro.sim.trace import Tracer
 from repro.tasks.state import ReplicaAssignment
+from repro.telemetry.hub import TelemetryHub
 from repro.workloads.patterns import make_pattern
+
+if TYPE_CHECKING:  # imported lazily at runtime: forecast_eval imports us
+    from repro.experiments.forecast_eval import CalibrationReport
 
 #: Backwards-compatible alias for the in-process estimator cache, now
 #: owned by :mod:`repro.experiments.estimator_cache` (same dict object).
@@ -38,11 +44,17 @@ _ESTIMATOR_CACHE = estimator_cache._MEMORY_CACHE
 
 @dataclass(frozen=True)
 class ExperimentResult:
-    """Everything a sweep needs from one run."""
+    """Everything a sweep needs from one run.
+
+    ``forecasts`` carries the in-vivo forecast-calibration report when
+    the run used the predictive policy (``None`` otherwise — there are
+    no Figure 5 forecasts to audit without it).
+    """
 
     config: ExperimentConfig
     metrics: ExperimentMetrics
     final_placement: dict[int, tuple[str, ...]]
+    forecasts: "CalibrationReport | None" = None
 
 
 def get_default_estimator(
@@ -77,6 +89,8 @@ def run_experiment(
     config: ExperimentConfig,
     estimator: TimingEstimator | None = None,
     seed_offset: int = 0,
+    tracer: Tracer | None = None,
+    telemetry: TelemetryHub | None = None,
 ) -> ExperimentResult:
     """Run one experiment end to end and compute its metrics.
 
@@ -89,6 +103,14 @@ def run_experiment(
         Built on demand when omitted.
     seed_offset:
         Added to the baseline seed for replication studies.
+    tracer:
+        Optional tracer wired into the engine (e.g. a
+        :class:`~repro.sim.trace.StreamingTracer` writing JSONL).
+    telemetry:
+        Optional :class:`~repro.telemetry.hub.TelemetryHub`; instrumented
+        components report to it and the run's per-processor utilizations
+        are recorded as gauges before returning.  The caller owns the
+        hub (and closes its sink).
     """
     baseline = config.baseline
     if estimator is None:
@@ -105,6 +127,8 @@ def run_experiment(
         message_loss_probability=baseline.message_loss_probability,
         speed_factors=baseline.speed_factors,
         seed=baseline.seed + seed_offset,
+        tracer=tracer,
+        telemetry=telemetry,
     )
     task = aaw_task(
         period=baseline.period,
@@ -154,16 +178,41 @@ def run_experiment(
     )
 
     horizon = baseline.n_periods * baseline.period
+    hub = system.engine.telemetry
+    if hub.enabled:
+        hub.set_run_meta(
+            policy=config.policy,
+            pattern=config.pattern,
+            max_units=config.max_workload_units,
+            n_periods=baseline.n_periods,
+            n_nodes=baseline.n_nodes,
+            seed=baseline.seed + seed_offset,
+            horizon=horizon,
+        )
     manager.start(baseline.n_periods)
     executor.start(baseline.n_periods)
     # Let stragglers finish or hit the shedding watchdog.
     system.engine.run_until(horizon + (baseline.drop_factor + 1.0) * baseline.period)
 
     metrics = compute_metrics(system, executor, manager, 0.0, horizon)
+    if hub.enabled:
+        for processor in system.processors:
+            hub.registry.gauge(
+                "proc.utilization", {"processor": processor.name}
+            ).set(processor.meter.busy_between(0.0, horizon) / horizon)
+    forecasts: "CalibrationReport | None" = None
+    if config.policy == "predictive":
+        # Imported lazily: forecast_eval imports this module.
+        from repro.experiments.forecast_eval import calibration_from_run
+
+        forecasts = calibration_from_run(
+            task, executor, manager, baseline.n_periods
+        )
     return ExperimentResult(
         config=config,
         metrics=metrics,
         final_placement=assignment.snapshot(),
+        forecasts=forecasts,
     )
 
 

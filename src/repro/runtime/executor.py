@@ -277,6 +277,9 @@ class PeriodicTaskExecutor:
                 "missed": flight.record.missed,
             },
         )
+        telemetry = self.system.engine.telemetry
+        if telemetry.enabled:
+            telemetry.on_period_complete(self.system.engine.now, flight.record)
         self._notify(flight.record)
 
     def _watchdog(self, period_index: int) -> None:
@@ -298,6 +301,9 @@ class PeriodicTaskExecutor:
             f"{self.task.name}.abort",
             {"period": flight.record.period_index},
         )
+        telemetry = self.system.engine.telemetry
+        if telemetry.enabled:
+            telemetry.on_period_abort(self.system.engine.now, flight.record)
         self._notify(flight.record)
 
     def _notify(self, record: PeriodRecord) -> None:

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 from repro.errors import SchedulingError
 from repro.sim.events import Event, EventState
 from repro.sim.trace import NullTracer, Tracer
+from repro.telemetry.hub import NULL_TELEMETRY, TelemetryHub
 
 _PENDING = EventState.PENDING
 
@@ -42,15 +43,28 @@ class Engine:
         every executed event.  Defaults to a no-op tracer.
     start_time:
         Initial simulation clock value in seconds (default ``0.0``).
+    telemetry:
+        Optional :class:`~repro.telemetry.hub.TelemetryHub` receiving
+        batch accounting after each run loop.  Defaults to the disabled
+        :data:`~repro.telemetry.hub.NULL_TELEMETRY` singleton; the hot
+        loops never touch it, only the post-loop accounting does.
     """
 
-    def __init__(self, tracer: Tracer | None = None, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        tracer: Tracer | None = None,
+        start_time: float = 0.0,
+        telemetry: TelemetryHub | None = None,
+    ) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
         self._seq = 0
         self._executed = 0
         self._running = False
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.telemetry: TelemetryHub = (
+            telemetry if telemetry is not None else NULL_TELEMETRY
+        )
 
     # -- clock -------------------------------------------------------------
 
@@ -155,6 +169,7 @@ class Engine:
         heap = self._heap
         pop = heappop
         record = None if type(self.tracer) is NullTracer else self.tracer.record
+        executed_before = self._executed
         try:
             while heap:
                 event = heap[0]
@@ -173,6 +188,10 @@ class Engine:
         finally:
             self._running = False
         self._now = until
+        # Batch accounting keeps the per-event cost zero when disabled.
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.on_engine_run(until, self._executed - executed_before)
 
     def run(self, max_events: int | None = None) -> int:
         """Run until the calendar is exhausted (or ``max_events`` executed).
@@ -198,6 +217,9 @@ class Engine:
                 executed += 1
         finally:
             self._running = False
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.on_engine_run(self._now, executed)
         return executed
 
     # -- periodic helpers -----------------------------------------------------

@@ -5,13 +5,19 @@ occurrence (event execution, job completion, allocation decision, ...).
 The default :class:`NullTracer` drops everything with near-zero overhead;
 :class:`Tracer` buffers records for later inspection and can filter by
 category, which is how integration tests assert on simulation internals
-without reaching into private state.
+without reaching into private state.  :class:`StreamingTracer` forwards
+every kept record to a :class:`~repro.telemetry.sinks.TraceSink` as it
+arrives, so long runs persist their trace incrementally instead of
+buffering it (and a crashed run keeps everything written so far).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
+
+from repro.telemetry.sinks import TraceSink
 
 
 @dataclass(frozen=True)
@@ -46,6 +52,8 @@ class Tracer:
     max_records:
         Hard cap on buffered records; the oldest are dropped beyond it.
         Prevents multi-hour sweeps from accumulating unbounded memory.
+        The buffer is a ``deque(maxlen=...)``, so eviction is O(1) per
+        record rather than an O(n) slice-delete once the cap is hit.
     """
 
     def __init__(
@@ -55,7 +63,7 @@ class Tracer:
     ) -> None:
         self._allow = frozenset(categories) if categories is not None else None
         self._max = int(max_records)
-        self.records: list[TraceRecord] = []
+        self.records: deque[TraceRecord] = deque(maxlen=self._max)
 
     @property
     def enabled(self) -> bool:
@@ -69,8 +77,6 @@ class Tracer:
         if self._allow is not None and category not in self._allow:
             return
         self.records.append(TraceRecord(time, category, label, data or {}))
-        if len(self.records) > self._max:
-            del self.records[: len(self.records) - self._max]
 
     def by_category(self, category: str) -> list[TraceRecord]:
         """All buffered records in ``category``, in time order."""
@@ -99,3 +105,50 @@ class NullTracer(Tracer):
     ) -> None:
         """Discard the record."""
         return
+
+
+class StreamingTracer(Tracer):
+    """A tracer that also streams every kept record to a sink.
+
+    Each record passing the category filter is written to ``sink`` as a
+    JSONL-ready dict (``{"t", "kind": "trace", "cat", "label", "data"}``
+    — see :mod:`repro.telemetry.sinks` for the record convention) at the
+    moment it is recorded.  The in-memory buffer behaves exactly like
+    :class:`Tracer` (bounded, filterable), so tests and summaries keep
+    working, while the sink holds the complete history.
+
+    Parameters
+    ----------
+    sink:
+        Streaming destination (e.g.
+        :class:`~repro.telemetry.sinks.JsonlTraceSink`).
+    categories, max_records:
+        As for :class:`Tracer`; the filter applies to the sink too.
+    """
+
+    def __init__(
+        self,
+        sink: TraceSink,
+        categories: Iterable[str] | None = None,
+        max_records: int = 100_000,
+    ) -> None:
+        super().__init__(categories=categories, max_records=max_records)
+        self.sink = sink
+
+    def record(
+        self, time: float, category: str, label: str, data: dict[str, Any] | None = None
+    ) -> None:
+        """Buffer the record and stream it to the sink."""
+        if self._allow is not None and category not in self._allow:
+            return
+        payload = data or {}
+        self.records.append(TraceRecord(time, category, label, payload))
+        self.sink.write(
+            {
+                "t": time,
+                "kind": "trace",
+                "cat": category,
+                "label": label,
+                "data": payload,
+            }
+        )

@@ -1,0 +1,72 @@
+"""Observability for the simulator: metrics, decision spans, trace export.
+
+The package has four pieces:
+
+* :mod:`repro.telemetry.metrics` — a registry of counters, gauges,
+  time-weighted gauges, and fixed-bucket histograms, snapshot-able at
+  any simulation time and exportable as JSON or Prometheus text.
+* :mod:`repro.telemetry.spans` — structured spans for the resource
+  manager's decision cycles, with predicted-vs-realized forecast pairing.
+* :mod:`repro.telemetry.sinks` — streaming sinks (JSONL) that persist
+  records incrementally instead of buffering them in memory.
+* :mod:`repro.telemetry.chrome` — Chrome trace-event (Perfetto) export
+  and the ``repro trace`` summary tables.
+
+:class:`TelemetryHub` (in :mod:`repro.telemetry.hub`) ties them together
+behind the cheap ``enabled`` guard instrumented components check; the
+:data:`NULL_TELEMETRY` singleton is the disabled default.
+
+Layering: this package sits next to the foundation modules — it imports
+only :mod:`repro.errors`, :mod:`repro.units`, and
+:mod:`repro.formatting`, and is importable from every simulation layer.
+"""
+
+from repro.telemetry.chrome import (
+    forecast_stats,
+    processor_utilization,
+    replica_counts,
+    summarize_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.telemetry.hub import NULL_TELEMETRY, NullTelemetry, TelemetryHub
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedGauge,
+)
+from repro.telemetry.sinks import (
+    JsonlTraceSink,
+    MemorySink,
+    TraceSink,
+    read_jsonl,
+)
+from repro.telemetry.spans import DecisionSpan, ForecastEval, SpanRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "DecisionSpan",
+    "ForecastEval",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecorder",
+    "TelemetryHub",
+    "TimeWeightedGauge",
+    "TraceSink",
+    "forecast_stats",
+    "processor_utilization",
+    "read_jsonl",
+    "replica_counts",
+    "summarize_trace",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,319 @@
+"""The telemetry hub: one facade over metrics, spans, and sinks.
+
+Instrumented components (engine, processors, network, executor, RM
+loop) hold a :class:`TelemetryHub` and guard every call site with the
+cheap ``hub.enabled`` class attribute — the exact pattern the engine's
+hot loop already uses for :class:`~repro.sim.trace.NullTracer`.  The
+default :data:`NULL_TELEMETRY` singleton has ``enabled = False``, so an
+uninstrumented run pays one attribute read and a falsy branch per
+*instrumentation site*, never per event.
+
+The hub deliberately takes duck-typed simulation objects (period
+records, monitor reports, RM events) rather than importing the layers
+that define them: ``repro.telemetry`` sits next to the foundation
+modules in the layering contract and must stay importable from
+``sim``/``cluster``/``runtime``/``core`` without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.sinks import TraceSink
+from repro.telemetry.spans import DecisionSpan, ForecastEval, SpanRecorder
+
+#: Buckets for signed forecast errors (seconds; negative = optimistic).
+FORECAST_ERROR_BUCKETS: tuple[float, ...] = (
+    -1.0, -0.5, -0.25, -0.1, -0.05, -0.01, 0.0,
+    0.01, 0.05, 0.1, 0.25, 0.5, 1.0,
+)
+
+
+class TelemetryHub:
+    """Aggregates a metrics registry, a span recorder, and a trace sink.
+
+    Parameters
+    ----------
+    sink:
+        Streaming destination for span/realization records (``None``
+        keeps metrics and spans in memory only).
+    max_spans:
+        Completed decision spans retained in memory.
+    """
+
+    #: Class attribute so the guard is one LOAD_ATTR, no property call.
+    enabled: bool = True
+
+    def __init__(
+        self, sink: TraceSink | None = None, max_spans: int = 4096
+    ) -> None:
+        self.registry = MetricsRegistry()
+        self.spans = SpanRecorder(max_spans=max_spans)
+        self.sink = sink
+        #: Largest simulation time any instrumentation call has seen —
+        #: the default snapshot/export timestamp.
+        self.now = 0.0
+
+    # -- plumbing -----------------------------------------------------------
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Forward one trace record to the sink, if any."""
+        if self.sink is not None:
+            self.sink.write(record)
+
+    def close(self) -> None:
+        """Close any dangling span and flush the sink."""
+        span = self.spans.end(self.now)
+        if span is not None:
+            self.emit(span.as_record())
+        if self.sink is not None:
+            self.sink.close()
+
+    def _tick(self, now: float) -> None:
+        if now > self.now:
+            self.now = now
+
+    # -- run-level context ---------------------------------------------------
+
+    def set_run_meta(self, **meta: Any) -> None:
+        """Emit run-level context (policy, pattern, horizon, ...)."""
+        self.emit({"t": 0.0, "kind": "run.meta", **meta})
+
+    # -- engine -------------------------------------------------------------
+
+    def on_engine_run(self, now: float, executed: int) -> None:
+        """Account a finished ``run``/``run_until`` batch (not per event)."""
+        self._tick(now)
+        self.registry.counter("sim.events_executed").inc(executed)
+        self.registry.gauge("sim.time").set(now)
+
+    # -- cluster ------------------------------------------------------------
+
+    def on_job_complete(
+        self, now: float, processor: str, kind: str, demand: float, latency: float
+    ) -> None:
+        """Account one completed CPU job."""
+        self._tick(now)
+        labels = {"processor": processor}
+        self.registry.counter("proc.jobs_completed", labels).inc()
+        self.registry.histogram("proc.job_latency_seconds", labels).observe(
+            latency
+        )
+
+    def on_message_delivered(
+        self, now: float, wire_bytes: float, buffer_delay: float, total_delay: float
+    ) -> None:
+        """Account one delivered network message."""
+        self._tick(now)
+        self.registry.counter("net.messages_delivered").inc()
+        self.registry.counter("net.bytes_delivered").inc(wire_bytes)
+        self.registry.histogram("net.message_delay_seconds").observe(total_delay)
+        self.registry.histogram("net.buffer_delay_seconds").observe(buffer_delay)
+
+    def on_message_lost(self, now: float) -> None:
+        """Account one lost transmission (retry pending)."""
+        self._tick(now)
+        self.registry.counter("net.messages_lost").inc()
+
+    # -- runtime ------------------------------------------------------------
+
+    def on_period_complete(self, now: float, record: Any) -> None:
+        """Account a finished period and realize matching forecasts.
+
+        ``record`` is a duck-typed
+        :class:`~repro.runtime.records.PeriodRecord`.
+        """
+        self._tick(now)
+        self.registry.counter("task.periods_completed").inc()
+        if record.missed:
+            self.registry.counter("task.periods_missed").inc()
+        latency = record.latency
+        if latency is not None:
+            self.registry.histogram("task.period_latency_seconds").observe(
+                latency
+            )
+        for stage in record.stages:
+            stage_latency = stage.stage_latency
+            if stage_latency is None:
+                continue
+            for forecast in self.spans.realize(
+                stage.subtask_index, stage.replica_count, stage_latency
+            ):
+                self._record_realization(now, record.period_index, forecast)
+
+    def on_period_abort(self, now: float, record: Any) -> None:
+        """Account a period shed by the overload watchdog."""
+        self._tick(now)
+        self.registry.counter("task.periods_aborted").inc()
+        self.registry.counter("task.periods_missed").inc()
+
+    def _record_realization(
+        self, now: float, period_index: int, forecast: ForecastEval
+    ) -> None:
+        error = forecast.error_s
+        if error is None:  # pragma: no cover - realize() always sets it
+            return
+        self.registry.histogram(
+            "rm.forecast_error_seconds", buckets=FORECAST_ERROR_BUCKETS
+        ).observe(error)
+        self.emit(
+            {
+                "t": now,
+                "kind": "rm.forecast_realized",
+                "period": period_index,
+                "subtask": forecast.subtask_index,
+                "replicas": forecast.replica_count,
+                "forecast_s": forecast.forecast_s,
+                "observed_s": forecast.realized_s,
+                "error_s": error,
+            }
+        )
+
+    # -- the RM decision cycle ----------------------------------------------
+
+    def begin_decision(self, now: float) -> DecisionSpan:
+        """Open the span for one manager step."""
+        self._tick(now)
+        self.registry.counter("rm.steps").inc()
+        return self.spans.begin(now)
+
+    def on_monitor_report(self, now: float, report: Any) -> None:
+        """Attach a monitor pass's verdicts (duck-typed MonitorReport)."""
+        self._tick(now)
+        span = self.spans.current
+        for verdict in report.verdicts:
+            action = verdict.action.value
+            self.registry.counter("rm.verdicts", {"action": action}).inc()
+            if span is not None:
+                span.verdicts.append(
+                    {
+                        "subtask": verdict.subtask_index,
+                        "action": action,
+                        "mean_stage_latency": verdict.mean_stage_latency,
+                        "budget": verdict.budget,
+                        "slack": verdict.slack,
+                        "overdue": verdict.overdue,
+                    }
+                )
+
+    def on_forecast(
+        self,
+        now: float,
+        subtask_index: int,
+        replica_count: int,
+        forecast_s: float,
+        threshold_s: float,
+        accepted: bool,
+    ) -> ForecastEval:
+        """Record one Figure 5 forecast evaluation (one growth step)."""
+        self._tick(now)
+        self.registry.counter("rm.forecast_evaluations").inc()
+        forecast = ForecastEval(
+            subtask_index=subtask_index,
+            replica_count=replica_count,
+            forecast_s=forecast_s,
+            threshold_s=threshold_s,
+            accepted=accepted,
+        )
+        span = self.spans.current
+        if span is not None:
+            span.forecasts.append(forecast)
+        if accepted:
+            self.spans.await_realization(forecast)
+        return forecast
+
+    def end_decision(self, now: float, event: Any) -> DecisionSpan | None:
+        """Close the step's span from its RMEvent and stream it out."""
+        self._tick(now)
+        span = self.spans.current
+        if span is None:
+            return None
+        for outcome in event.outcomes:
+            if outcome.changed:
+                span.actions.append(
+                    {
+                        "kind": "replicate",
+                        "subtask": outcome.subtask_index,
+                        "processors": list(outcome.added_processors),
+                        "success": outcome.success,
+                        "forecast_s": outcome.forecast_latency,
+                    }
+                )
+        for subtask_index, processor in event.shutdowns:
+            span.actions.append(
+                {
+                    "kind": "shutdown",
+                    "subtask": subtask_index,
+                    "processors": [processor],
+                }
+            )
+        for subtask_index, dead, target in event.recoveries:
+            span.actions.append(
+                {
+                    "kind": "recovery",
+                    "subtask": subtask_index,
+                    "processors": [dead, target or "evicted"],
+                }
+            )
+        span.replicas = {
+            subtask: len(processors)
+            for subtask, processors in sorted(event.placement.items())
+        }
+        if span.acted:
+            self.registry.counter("rm.actions").inc()
+        self.registry.time_gauge("rm.replicas_total").set(
+            now, event.total_replicas
+        )
+        closed = self.spans.end(now)
+        if closed is not None:
+            self.emit(closed.as_record())
+        return closed
+
+
+class NullTelemetry(TelemetryHub):
+    """The disabled hub: every call is a no-op behind ``enabled=False``.
+
+    Instrumentation sites must check ``enabled`` before calling in —
+    the overrides below are a second line of defence for call sites
+    that cannot afford the branch asymmetry, not an invitation to skip
+    the guard.
+    """
+
+    enabled = False
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Drop the record."""
+        return
+
+    def on_engine_run(self, now: float, executed: int) -> None:
+        """Drop the engine-run accounting."""
+        return
+
+    def on_job_complete(
+        self, now: float, processor: str, kind: str, demand: float, latency: float
+    ) -> None:
+        """Drop the job completion."""
+        return
+
+    def on_message_delivered(
+        self, now: float, wire_bytes: float, buffer_delay: float, total_delay: float
+    ) -> None:
+        """Drop the message delivery."""
+        return
+
+    def on_message_lost(self, now: float) -> None:
+        """Drop the message loss."""
+        return
+
+    def on_period_complete(self, now: float, record: Any) -> None:
+        """Drop the period completion."""
+        return
+
+    def on_period_abort(self, now: float, record: Any) -> None:
+        """Drop the period abort."""
+        return
+
+
+#: Shared disabled hub — the default for every engine/system.
+NULL_TELEMETRY = NullTelemetry()

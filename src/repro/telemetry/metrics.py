@@ -1,0 +1,363 @@
+"""The metrics registry: counters, gauges, time-weighted gauges, histograms.
+
+Metrics are the *aggregate* half of the observability layer (the trace
+sinks in :mod:`repro.telemetry.sinks` are the per-occurrence half).  All
+instruments are keyed by ``(name, labels)`` so one registry can hold,
+say, ``proc.jobs_completed`` once per processor.  A registry can be
+snapshot at any simulation time and exported as flat JSON or as the
+Prometheus text exposition format, so run artefacts plug into standard
+dashboards without an adapter.
+
+Design notes
+------------
+* Instruments are get-or-create: ``registry.counter("x")`` returns the
+  same object every call, which keeps instrumentation sites one-line.
+* Time semantics are explicit.  Nothing here reads a clock; callers pass
+  simulation time into :class:`TimeWeightedGauge` updates and into
+  :meth:`MetricsRegistry.snapshot`, keeping the registry deterministic
+  and usable from host-side tooling alike.
+* Histograms use fixed bucket bounds chosen at registration.  Fixed
+  buckets make ``observe`` O(log B) with zero allocation — cheap enough
+  for per-job instrumentation.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import TelemetryError
+
+#: Default histogram bucket upper bounds (seconds) — spans sub-ms
+#: message delays through multi-second period latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> Labels:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, ...)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the count."""
+        if amount < 0.0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))"
+            )
+        self.value += amount
+
+    def sample(self, at: float) -> dict[str, Any]:
+        """Snapshot payload for :meth:`MetricsRegistry.snapshot`."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue length, replica count)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value by ``amount`` (may be negative)."""
+        self.value += amount
+
+    def sample(self, at: float) -> dict[str, Any]:
+        """Snapshot payload (the current value)."""
+        return {"value": self.value}
+
+
+class TimeWeightedGauge:
+    """A gauge whose average weights each value by how long it held.
+
+    ``set(time, value)`` closes the interval since the previous update;
+    :meth:`time_average` integrates up to the query time.  This is the
+    right shape for "average total replicas" style metrics, where the
+    plain mean over update events would over-weight busy phases.
+    """
+
+    kind = "time_gauge"
+    __slots__ = ("name", "labels", "value", "_start", "_last", "_integral")
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+        self._start: float | None = None
+        self._last: float | None = None
+        self._integral = 0.0
+
+    def set(self, time: float, value: float) -> None:
+        """Record that the gauge holds ``value`` from ``time`` onward."""
+        if self._last is not None:
+            if time < self._last:
+                raise TelemetryError(
+                    f"time gauge {self.name!r} updated backwards: "
+                    f"{time} < {self._last}"
+                )
+            self._integral += self.value * (time - self._last)
+        else:
+            self._start = time
+        self._last = time
+        self.value = float(value)
+
+    def time_average(self, at: float) -> float:
+        """The time-weighted mean over ``[first update, at]``."""
+        if self._last is None or self._start is None:
+            return 0.0
+        span = at - self._start
+        if span <= 0.0:
+            return self.value
+        integral = self._integral + self.value * max(0.0, at - self._last)
+        return integral / span
+
+    def sample(self, at: float) -> dict[str, Any]:
+        """Snapshot payload (current value + time-weighted average)."""
+        return {"value": self.value, "time_average": self.time_average(at)}
+
+
+class Histogram:
+    """Fixed-bucket distribution of observed values.
+
+    Parameters
+    ----------
+    buckets:
+        Strictly increasing upper bounds.  An implicit ``+Inf`` bucket
+        catches the overflow, as in Prometheus.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be strictly increasing, "
+                f"got {bounds}"
+            )
+        self.name = name
+        self.labels = labels
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile by linear position within buckets.
+
+        Uses the bucket upper bound (or the last finite bound for the
+        overflow bucket) — coarse, but good enough for summary tables.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            cumulative += n
+            if cumulative >= target:
+                return self.buckets[min(i, len(self.buckets) - 1)]
+        return self.buckets[-1]
+
+    def sample(self, at: float) -> dict[str, Any]:
+        """Snapshot payload (bucket bounds, counts, sum, count, mean)."""
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.sum,
+            "count": self.count,
+            "mean": self.mean,
+        }
+
+
+Metric = Counter | Gauge | TimeWeightedGauge | Histogram
+
+
+class MetricsRegistry:
+    """Holds every instrument of one run, keyed by ``(name, labels)``."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, Labels], Metric] = {}
+
+    # -- get-or-create -----------------------------------------------------
+
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, str] | None,
+        **kwargs: Any,
+    ) -> Any:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"cannot re-register as {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """Get or create a :class:`Counter`."""
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, labels: Mapping[str, str] | None = None) -> Gauge:
+        """Get or create a :class:`Gauge`."""
+        return self._get(Gauge, name, labels)
+
+    def time_gauge(
+        self, name: str, labels: Mapping[str, str] | None = None
+    ) -> TimeWeightedGauge:
+        """Get or create a :class:`TimeWeightedGauge`."""
+        return self._get(TimeWeightedGauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        labels: Mapping[str, str] | None = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Get or create a :class:`Histogram` with the given buckets."""
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # -- introspection / export --------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> Iterable[Metric]:
+        """All instruments in deterministic (name, labels) order."""
+        return [self._metrics[key] for key in sorted(self._metrics)]
+
+    def snapshot(self, at: float) -> dict[str, Any]:
+        """The whole registry as one JSON-ready dict at time ``at``.
+
+        Shape: ``{"at": t, "metrics": [{name, kind, labels, ...}, ...]}``
+        with per-kind payload fields from each instrument's ``sample``.
+        """
+        out = []
+        for metric in self.metrics():
+            entry: dict[str, Any] = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "labels": dict(metric.labels),
+            }
+            entry.update(metric.sample(at))
+            out.append(entry)
+        return {"at": at, "metrics": out}
+
+    def to_json(self, at: float) -> str:
+        """The snapshot serialized as an indented JSON document."""
+        import json
+
+        return json.dumps(self.snapshot(at), indent=2, sort_keys=True)
+
+    def to_prometheus(self, at: float) -> str:
+        """The snapshot in the Prometheus text exposition format.
+
+        Metric names are sanitized (``.`` and ``-`` become ``_``) and
+        prefixed ``repro_``; time-weighted gauges export both the
+        instantaneous value and a ``_avg`` companion series.
+        """
+        lines: list[str] = []
+        for metric in self.metrics():
+            base = "repro_" + _sanitize(metric.name)
+            labels = _prom_labels(metric.labels)
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {base} counter")
+                lines.append(f"{base}{labels} {_num(metric.value)}")
+            elif isinstance(metric, TimeWeightedGauge):
+                lines.append(f"# TYPE {base} gauge")
+                lines.append(f"{base}{labels} {_num(metric.value)}")
+                lines.append(f"# TYPE {base}_avg gauge")
+                lines.append(
+                    f"{base}_avg{labels} {_num(metric.time_average(at))}"
+                )
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {base} gauge")
+                lines.append(f"{base}{labels} {_num(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(f"# TYPE {base} histogram")
+                cumulative = 0
+                for bound, count in zip(metric.buckets, metric.counts):
+                    cumulative += count
+                    lines.append(
+                        f"{base}_bucket{_prom_labels(metric.labels, le=_num(bound))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{base}_bucket{_prom_labels(metric.labels, le='+Inf')}"
+                    f" {metric.count}"
+                )
+                lines.append(f"{base}_sum{labels} {_num(metric.sum)}")
+                lines.append(f"{base}_count{labels} {metric.count}")
+        return "\n".join(lines) + "\n"
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Labels, le: str | None = None) -> str:
+    pairs = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    if le is not None:
+        pairs.append(f'le="{le}"')
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def _num(value: float) -> str:
+    """Render a float the way Prometheus expects (no trailing zeros)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)

@@ -1,0 +1,175 @@
+"""Decision-cycle spans: one RM monitoring pass as a structured object.
+
+The paper's adaptation loop (§4.1, Figure 1) is monitor → forecast →
+act; a :class:`DecisionSpan` captures one whole cycle — the monitor's
+verdicts, every Figure 5 forecast evaluated while growing a replica set,
+the placement/shutdown actions taken, and the replica map after the
+step.  Forecasts are additionally registered as *pending* so that when
+the next period completes under the new placement, the realized stage
+latency is attached — making predicted-vs-observed calibration a
+first-class trace artefact instead of a post-hoc join.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ForecastEval:
+    """One Figure 5 forecast evaluation (one replica-set growth step).
+
+    Attributes
+    ----------
+    subtask_index:
+        The replicated subtask.
+    replica_count:
+        ``|PS(st)|`` at the moment of the forecast.
+    forecast_s:
+        The worst per-replica ``eex + ecd`` forecast.
+    threshold_s:
+        The budget-minus-slack bar the forecast was compared against.
+    accepted:
+        Whether this forecast satisfied the bar (ended the growth loop).
+    realized_s:
+        Stage latency later observed under this placement (attached when
+        the next period completes; ``None`` until then or if the
+        placement changed first).
+    """
+
+    subtask_index: int
+    replica_count: int
+    forecast_s: float
+    threshold_s: float
+    accepted: bool = False
+    realized_s: float | None = None
+
+    @property
+    def error_s(self) -> float | None:
+        """Signed forecast error (positive = pessimistic), if realized."""
+        if self.realized_s is None:
+            return None
+        return self.forecast_s - self.realized_s
+
+    def as_dict(self) -> dict[str, Any]:
+        """The forecast as a JSON-ready dict."""
+        return {
+            "subtask": self.subtask_index,
+            "replicas": self.replica_count,
+            "forecast_s": self.forecast_s,
+            "threshold_s": self.threshold_s,
+            "accepted": self.accepted,
+            "realized_s": self.realized_s,
+        }
+
+
+@dataclass
+class DecisionSpan:
+    """One manager step: verdicts → forecasts → actions, queryable."""
+
+    span_id: int
+    start_time: float
+    end_time: float | None = None
+    #: Monitor verdicts: ``{subtask, action, slack, budget, overdue}``.
+    verdicts: list[dict[str, Any]] = field(default_factory=list)
+    forecasts: list[ForecastEval] = field(default_factory=list)
+    #: Actions: ``{kind: replicate|shutdown|recovery, subtask, processors}``.
+    actions: list[dict[str, Any]] = field(default_factory=list)
+    #: Replica count per subtask after the step.
+    replicas: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def acted(self) -> bool:
+        """Whether this cycle changed the placement."""
+        return bool(self.actions)
+
+    def as_record(self) -> dict[str, Any]:
+        """The span as a JSONL trace record."""
+        return {
+            "t": self.start_time,
+            "kind": "rm.span",
+            "span_id": self.span_id,
+            "end_t": self.end_time,
+            "verdicts": list(self.verdicts),
+            "forecasts": [f.as_dict() for f in self.forecasts],
+            "actions": list(self.actions),
+            "replicas": {str(k): v for k, v in sorted(self.replicas.items())},
+        }
+
+
+class SpanRecorder:
+    """Builds spans and tracks forecasts awaiting realization.
+
+    Parameters
+    ----------
+    max_spans:
+        Completed spans kept in memory (oldest dropped beyond it); the
+        sink received every span regardless, so nothing is lost on disk.
+    """
+
+    def __init__(self, max_spans: int = 4096) -> None:
+        self._next_id = 0
+        self._max = int(max_spans)
+        self.current: DecisionSpan | None = None
+        self.completed: list[DecisionSpan] = []
+        #: Accepted forecasts waiting for a completed period to confirm.
+        self.pending: list[ForecastEval] = []
+
+    def begin(self, time: float) -> DecisionSpan:
+        """Open a new span (implicitly closing a dangling one)."""
+        if self.current is not None:
+            self.end(self.current.start_time)
+        self._next_id += 1
+        self.current = DecisionSpan(span_id=self._next_id, start_time=time)
+        return self.current
+
+    def end(self, time: float) -> DecisionSpan | None:
+        """Close the open span and archive it; returns it (or ``None``)."""
+        span = self.current
+        if span is None:
+            return None
+        span.end_time = time
+        self.completed.append(span)
+        if len(self.completed) > self._max:
+            del self.completed[0]
+        self.current = None
+        return span
+
+    def await_realization(self, forecast: ForecastEval) -> None:
+        """Register an accepted forecast for predicted-vs-realized pairing."""
+        self.pending.append(forecast)
+        if len(self.pending) > self._max:
+            del self.pending[0]
+
+    def realize(
+        self, subtask_index: int, replica_count: int, observed_s: float
+    ) -> list[ForecastEval]:
+        """Attach an observed stage latency to matching pending forecasts.
+
+        A pending forecast matches when the stage ran with the replica
+        count the forecast was made for; a mismatching replica count
+        means the placement changed first, so the forecast is stale and
+        dropped.  Returns the forecasts realized by this observation.
+        """
+        realized: list[ForecastEval] = []
+        keep: list[ForecastEval] = []
+        for forecast in self.pending:
+            if forecast.subtask_index != subtask_index:
+                keep.append(forecast)
+            elif forecast.replica_count == replica_count:
+                forecast.realized_s = observed_s
+                realized.append(forecast)
+            # else: stale (placement changed) — drop silently
+        self.pending = keep
+        return realized
+
+    def forecast_errors(self) -> list[float]:
+        """Signed errors of every realized forecast in archived spans."""
+        out = []
+        for span in self.completed:
+            for forecast in span.forecasts:
+                error = forecast.error_s
+                if error is not None:
+                    out.append(error)
+        return out

@@ -35,6 +35,19 @@ class TestContractParser:
         assert "experiments" in contract.packages()
         assert ("experiments", "parallel") in contract.lazy_allow
 
+    def test_packaged_contract_places_telemetry_foundation_adjacent(self):
+        """Telemetry must stay importable from every simulation layer.
+
+        Its own imports are restricted to the foundation — anything more
+        would cycle with the layers that call into the hub.
+        """
+        contract = load_contract()
+        assert "telemetry" in contract.packages()
+        allowed = set(contract.allowed["telemetry"])
+        assert allowed <= {"errors", "units", "formatting"}
+        for importer in ("sim", "cluster", "runtime", "core", "experiments", "cli"):
+            assert "telemetry" in contract.allowed[importer], importer
+
     def test_unknown_package_in_deps_rejected(self):
         with pytest.raises(AnalysisError, match="unknown packages"):
             parse_contract("[allowed]\nsim = [\"nonexistent\"]\n")

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from repro.sim.trace import NullTracer, Tracer
+from collections import deque
+
+from repro.sim.trace import NullTracer, StreamingTracer, Tracer
+from repro.telemetry.sinks import MemorySink
 
 
 class TestTracer:
@@ -33,11 +36,74 @@ class TestTracer:
         assert len(tracer) == 10
         assert tracer.records[-1].label == "24"
 
+    def test_cap_drops_oldest_records(self):
+        """Regression: the cap must evict from the *front* (oldest first)."""
+        tracer = Tracer(max_records=5)
+        for i in range(12):
+            tracer.record(float(i), "job", str(i))
+        assert len(tracer) == 5
+        assert [r.label for r in tracer.records] == ["7", "8", "9", "10", "11"]
+        # The buffer is a bounded deque, so eviction stays O(1) per record.
+        assert isinstance(tracer.records, deque)
+        assert tracer.records.maxlen == 5
+
+    def test_cap_holds_under_sustained_load(self):
+        tracer = Tracer(max_records=100)
+        for i in range(10_000):
+            tracer.record(float(i), "job", str(i))
+        assert len(tracer) == 100
+        assert tracer.records[0].label == "9900"
+
+    def test_empty_allow_list_drops_everything(self):
+        """categories=() is an empty allow-list, not 'no filter'."""
+        tracer = Tracer(categories=())
+        tracer.record(1.0, "job", "a")
+        tracer.record(1.0, "message", "b")
+        assert len(tracer) == 0
+
+    def test_none_categories_keeps_everything(self):
+        tracer = Tracer(categories=None)
+        tracer.record(1.0, "job", "a")
+        tracer.record(1.0, "anything", "b")
+        assert len(tracer) == 2
+
+    def test_by_category_preserves_record_order(self):
+        tracer = Tracer()
+        # Interleaved categories with equal timestamps: insertion order
+        # must be preserved within a category.
+        tracer.record(1.0, "job", "a")
+        tracer.record(1.0, "rm", "x")
+        tracer.record(1.0, "job", "b")
+        tracer.record(2.0, "job", "c")
+        assert [r.label for r in tracer.by_category("job")] == ["a", "b", "c"]
+
+    def test_by_category_unknown_category_is_empty(self):
+        tracer = Tracer()
+        tracer.record(1.0, "job", "a")
+        assert tracer.by_category("nope") == []
+
     def test_clear(self):
         tracer = Tracer()
         tracer.record(1.0, "job", "a")
         tracer.clear()
         assert len(tracer) == 0
+
+    def test_clear_then_record_again(self):
+        tracer = Tracer(max_records=3)
+        for i in range(5):
+            tracer.record(float(i), "job", str(i))
+        tracer.clear()
+        assert len(tracer) == 0
+        tracer.record(9.0, "job", "fresh")
+        assert len(tracer) == 1
+        assert tracer.records[-1].label == "fresh"
+
+    def test_len_counts_only_kept_records(self):
+        tracer = Tracer(categories=["job"])
+        tracer.record(1.0, "job", "kept")
+        tracer.record(1.0, "message", "dropped")
+        tracer.record(1.0, "job", "kept2")
+        assert len(tracer) == 2
 
     def test_enabled_flag(self):
         assert Tracer().enabled
@@ -49,3 +115,35 @@ class TestNullTracer:
         tracer = NullTracer()
         tracer.record(1.0, "job", "a")
         assert len(tracer) == 0
+
+
+class TestStreamingTracer:
+    def test_streams_records_to_sink(self):
+        sink = MemorySink()
+        tracer = StreamingTracer(sink)
+        tracer.record(1.5, "job", "a", {"demand": 2.0})
+        assert len(tracer) == 1
+        assert sink.records == [
+            {
+                "t": 1.5,
+                "kind": "trace",
+                "cat": "job",
+                "label": "a",
+                "data": {"demand": 2.0},
+            }
+        ]
+
+    def test_category_filter_applies_to_sink_too(self):
+        sink = MemorySink()
+        tracer = StreamingTracer(sink, categories=["job"])
+        tracer.record(1.0, "job", "kept")
+        tracer.record(1.0, "event", "dropped")
+        assert [r["label"] for r in sink.records] == ["kept"]
+
+    def test_buffer_stays_bounded_while_sink_keeps_all(self):
+        sink = MemorySink()
+        tracer = StreamingTracer(sink, max_records=10)
+        for i in range(50):
+            tracer.record(float(i), "job", str(i))
+        assert len(tracer) == 10
+        assert len(sink) == 50

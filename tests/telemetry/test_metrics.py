@@ -1,0 +1,183 @@
+"""Unit tests for the telemetry metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeWeightedGauge,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_raises(self):
+        c = Counter("x")
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            c.inc(-1.0)
+
+    def test_sample_shape(self):
+        c = Counter("x")
+        c.inc(4.0)
+        assert c.sample(at=10.0) == {"value": 4.0}
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.inc(-2.0)
+        assert g.value == 3.0
+
+    def test_sample_shape(self):
+        g = Gauge("x")
+        g.set(7)
+        assert g.sample(at=0.0) == {"value": 7.0}
+
+
+class TestTimeWeightedGauge:
+    def test_time_average_weights_by_duration(self):
+        g = TimeWeightedGauge("replicas")
+        g.set(0.0, 2.0)   # 2 replicas for 8s
+        g.set(8.0, 4.0)   # 4 replicas for 2s
+        # (2*8 + 4*2) / 10 = 2.4
+        assert g.time_average(at=10.0) == pytest.approx(2.4)
+        assert g.value == 4.0
+
+    def test_average_before_any_update_is_zero(self):
+        assert TimeWeightedGauge("x").time_average(at=5.0) == 0.0
+
+    def test_average_at_first_update_time_is_current_value(self):
+        g = TimeWeightedGauge("x")
+        g.set(3.0, 9.0)
+        assert g.time_average(at=3.0) == 9.0
+
+    def test_backwards_time_raises(self):
+        g = TimeWeightedGauge("x")
+        g.set(5.0, 1.0)
+        with pytest.raises(TelemetryError, match="backwards"):
+            g.set(4.0, 2.0)
+
+    def test_sample_includes_average(self):
+        g = TimeWeightedGauge("x")
+        g.set(0.0, 1.0)
+        g.set(1.0, 3.0)
+        sample = g.sample(at=2.0)
+        assert sample["value"] == 3.0
+        assert sample["time_average"] == pytest.approx(2.0)
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        h.observe(0.05)   # <= 0.1
+        h.observe(0.1)    # <= 0.1 (bounds are inclusive upper)
+        h.observe(0.5)    # <= 1.0
+        h.observe(100.0)  # +Inf overflow
+        assert h.counts == [2, 1, 0, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(100.65)
+
+    def test_mean(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.mean == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean == 3.0
+
+    def test_non_increasing_buckets_raise(self):
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(TelemetryError, match="strictly increasing"):
+            Histogram("bad", buckets=())
+
+    def test_quantile(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for _ in range(9):
+            h.observe(0.05)
+        h.observe(5.0)
+        assert h.quantile(0.5) == 0.1
+        assert h.quantile(1.0) == 10.0
+        with pytest.raises(TelemetryError, match="quantile"):
+            h.quantile(1.5)
+
+    def test_quantile_empty(self):
+        assert Histogram("lat").quantile(0.9) == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", {"p": "1"}) is not reg.counter("a", {"p": "2"})
+        assert len(reg) == 3
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        first = reg.counter("a", {"x": "1", "y": "2"})
+        second = reg.counter("a", {"y": "2", "x": "1"})
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TelemetryError, match="already registered"):
+            reg.gauge("a")
+
+    def test_snapshot_is_deterministic_and_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("z.second").inc(2)
+        reg.counter("a.first").inc(1)
+        reg.histogram("a.hist").observe(0.2)
+        snap = reg.snapshot(at=12.0)
+        assert snap["at"] == 12.0
+        names = [m["name"] for m in snap["metrics"]]
+        assert names == sorted(names)
+        # Round-trips through json without custom encoders.
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["metrics"][0]["name"] == "a.first"
+
+    def test_to_json_parses(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        doc = json.loads(reg.to_json(at=3.0))
+        assert doc["at"] == 3.0
+
+    def test_to_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.events_executed").inc(42)
+        reg.gauge("sim.time").set(9.5)
+        reg.counter("proc.jobs_completed", {"processor": "p0"}).inc(3)
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.05)
+        reg.time_gauge("rm.replicas_total").set(0.0, 4.0)
+        text = reg.to_prometheus(at=10.0)
+        assert "# TYPE repro_sim_events_executed counter" in text
+        assert "repro_sim_events_executed 42" in text
+        assert "repro_sim_time 9.5" in text
+        assert 'repro_proc_jobs_completed{processor="p0"} 3' in text
+        # Cumulative buckets plus the +Inf catch-all.
+        assert 'repro_lat_bucket{le="0.1"} 1' in text
+        assert 'repro_lat_bucket{le="1"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_sum 0.05" in text
+        assert "repro_lat_count 1" in text
+        # Time gauge exports both value and _avg series.
+        assert "repro_rm_replicas_total 4" in text
+        assert "repro_rm_replicas_total_avg 4" in text
+        assert text.endswith("\n")
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))

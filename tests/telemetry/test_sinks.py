@@ -1,0 +1,128 @@
+"""Unit tests for trace sinks and the JSONL reader."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.sinks import (
+    JsonlTraceSink,
+    MemorySink,
+    TraceSink,
+    read_jsonl,
+)
+
+
+class TestTraceSink:
+    def test_base_sink_is_a_noop(self):
+        sink = TraceSink()
+        sink.write({"t": 0.0, "kind": "trace"})
+        sink.close()
+
+    def test_context_manager_closes(self):
+        closed = []
+
+        class Probe(TraceSink):
+            def close(self):
+                closed.append(True)
+
+        with Probe():
+            pass
+        assert closed == [True]
+
+
+class TestMemorySink:
+    def test_accumulates(self):
+        sink = MemorySink()
+        sink.write({"t": 1.0, "kind": "trace"})
+        sink.write({"t": 2.0, "kind": "rm.span"})
+        assert len(sink) == 2
+        assert sink.records[1]["kind"] == "rm.span"
+
+
+class TestJsonlTraceSink:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.write({"t": 1.0, "kind": "trace", "cat": "job", "label": "a"})
+            sink.write({"t": 2.0, "kind": "rm.span", "span_id": 1})
+        assert sink.written == 2
+        records = read_jsonl(path)
+        assert records == [
+            {"t": 1.0, "kind": "trace", "cat": "job", "label": "a"},
+            {"t": 2.0, "kind": "rm.span", "span_id": 1},
+        ]
+
+    def test_records_are_compact_single_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.write({"t": 1.0, "kind": "trace", "data": {"a": 1}})
+        line = path.read_text().strip()
+        assert "\n" not in line
+        assert ", " not in line  # compact separators
+
+    def test_flush_every_bounds_unflushed_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path, flush_every=2)
+        for i in range(5):
+            sink.write({"t": float(i), "kind": "trace"})
+        # 4 records were flushed at the last multiple of flush_every; the
+        # 5th may still sit in the buffer, but no more than that.
+        on_disk = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(on_disk) >= 4
+        sink.close()
+        assert len(read_jsonl(path)) == 5
+
+    def test_write_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.write({"t": 1.0, "kind": "trace"})
+        sink.close()
+        sink.write({"t": 2.0, "kind": "trace"})
+        sink.close()  # idempotent
+        assert len(read_jsonl(path)) == 1
+        assert sink.written == 1
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceSink(path) as sink:
+            sink.write({"t": 1.0, "kind": "trace", "data": {"p": object()}})
+        [record] = read_jsonl(path)
+        assert isinstance(record["data"]["p"], str)
+
+
+class TestReadJsonl:
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            read_jsonl(tmp_path / "nope.jsonl")
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"t":1.0,"kind":"trace"}\n\n{"t":2.0,"kind":"trace"}\n')
+        assert len(read_jsonl(path)) == 2
+
+    def test_truncated_final_line_is_tolerated(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t":1.0,"kind":"trace"}\n{"t":2.0,"kind":"tra'  # crash mid-write
+        )
+        records = read_jsonl(path)
+        assert records == [{"t": 1.0, "kind": "trace"}]
+
+    def test_malformed_middle_line_raises(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"t":1.0,"kind":"trace"}\nnot json at all\n{"t":2.0,"kind":"trace"}\n'
+        )
+        with pytest.raises(TelemetryError, match="malformed trace line"):
+            read_jsonl(path)
+
+    def test_reads_what_json_dumps_wrote(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        records_in = [{"t": float(i), "kind": "trace", "i": i} for i in range(10)]
+        path.write_text(
+            "".join(json.dumps(r) + "\n" for r in records_in)
+        )
+        assert read_jsonl(path) == records_in

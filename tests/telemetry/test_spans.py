@@ -1,0 +1,152 @@
+"""Unit tests for decision spans and forecast realization."""
+
+from __future__ import annotations
+
+from repro.telemetry.spans import DecisionSpan, ForecastEval, SpanRecorder
+
+
+class TestForecastEval:
+    def test_error_is_none_until_realized(self):
+        f = ForecastEval(
+            subtask_index=1, replica_count=2, forecast_s=0.5, threshold_s=0.6
+        )
+        assert f.error_s is None
+        f.realized_s = 0.4
+        assert f.error_s == 0.5 - 0.4
+
+    def test_as_dict_round_trips_fields(self):
+        f = ForecastEval(
+            subtask_index=3,
+            replica_count=2,
+            forecast_s=0.5,
+            threshold_s=0.6,
+            accepted=True,
+            realized_s=0.45,
+        )
+        assert f.as_dict() == {
+            "subtask": 3,
+            "replicas": 2,
+            "forecast_s": 0.5,
+            "threshold_s": 0.6,
+            "accepted": True,
+            "realized_s": 0.45,
+        }
+
+
+class TestDecisionSpan:
+    def test_acted_reflects_actions(self):
+        span = DecisionSpan(span_id=1, start_time=0.0)
+        assert not span.acted
+        span.actions.append({"kind": "replicate", "subtask": 0})
+        assert span.acted
+
+    def test_as_record_shape(self):
+        span = DecisionSpan(span_id=7, start_time=2.0, end_time=2.1)
+        span.replicas = {2: 3, 0: 1}
+        record = span.as_record()
+        assert record["kind"] == "rm.span"
+        assert record["span_id"] == 7
+        assert record["t"] == 2.0
+        assert record["end_t"] == 2.1
+        # JSON object keys must be strings, sorted for determinism.
+        assert record["replicas"] == {"0": 1, "2": 3}
+
+
+class TestSpanRecorder:
+    def test_begin_end_cycle(self):
+        rec = SpanRecorder()
+        span = rec.begin(1.0)
+        assert rec.current is span
+        closed = rec.end(1.5)
+        assert closed is span
+        assert closed.end_time == 1.5
+        assert rec.current is None
+        assert rec.completed == [span]
+
+    def test_end_without_begin_is_none(self):
+        assert SpanRecorder().end(1.0) is None
+
+    def test_begin_closes_dangling_span(self):
+        rec = SpanRecorder()
+        first = rec.begin(1.0)
+        second = rec.begin(2.0)
+        assert first.end_time is not None
+        assert rec.completed == [first]
+        assert rec.current is second
+
+    def test_span_ids_are_unique_and_increasing(self):
+        rec = SpanRecorder()
+        ids = []
+        for t in range(5):
+            rec.begin(float(t))
+            ids.append(rec.end(float(t)).span_id)
+        assert ids == sorted(set(ids))
+
+    def test_completed_list_is_bounded(self):
+        rec = SpanRecorder(max_spans=3)
+        for t in range(10):
+            rec.begin(float(t))
+            rec.end(float(t))
+        assert len(rec.completed) == 3
+        assert rec.completed[0].start_time == 7.0
+
+    def test_realize_matches_subtask_and_replica_count(self):
+        rec = SpanRecorder()
+        f = ForecastEval(
+            subtask_index=1, replica_count=2, forecast_s=0.5,
+            threshold_s=0.6, accepted=True,
+        )
+        rec.await_realization(f)
+        realized = rec.realize(subtask_index=1, replica_count=2, observed_s=0.4)
+        assert realized == [f]
+        assert f.realized_s == 0.4
+        assert rec.pending == []
+
+    def test_realize_drops_stale_replica_count(self):
+        """A pending forecast for an old replica count is dropped, not paired."""
+        rec = SpanRecorder()
+        stale = ForecastEval(
+            subtask_index=1, replica_count=2, forecast_s=0.5,
+            threshold_s=0.6, accepted=True,
+        )
+        rec.await_realization(stale)
+        realized = rec.realize(subtask_index=1, replica_count=3, observed_s=0.4)
+        assert realized == []
+        assert stale.realized_s is None
+        assert rec.pending == []
+
+    def test_realize_keeps_other_subtasks_pending(self):
+        rec = SpanRecorder()
+        other = ForecastEval(
+            subtask_index=2, replica_count=1, forecast_s=0.3,
+            threshold_s=0.4, accepted=True,
+        )
+        rec.await_realization(other)
+        rec.realize(subtask_index=1, replica_count=2, observed_s=0.4)
+        assert rec.pending == [other]
+
+    def test_pending_list_is_bounded(self):
+        rec = SpanRecorder(max_spans=3)
+        for i in range(10):
+            rec.await_realization(
+                ForecastEval(
+                    subtask_index=i, replica_count=1, forecast_s=0.1,
+                    threshold_s=0.2, accepted=True,
+                )
+            )
+        assert len(rec.pending) == 3
+        assert rec.pending[0].subtask_index == 7
+
+    def test_forecast_errors_collects_realized_only(self):
+        rec = SpanRecorder()
+        span = rec.begin(0.0)
+        realized = ForecastEval(
+            subtask_index=0, replica_count=1, forecast_s=0.5,
+            threshold_s=0.6, realized_s=0.3,
+        )
+        unrealized = ForecastEval(
+            subtask_index=1, replica_count=1, forecast_s=0.5, threshold_s=0.6
+        )
+        span.forecasts.extend([realized, unrealized])
+        rec.end(0.1)
+        assert rec.forecast_errors() == [0.5 - 0.3]

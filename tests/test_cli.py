@@ -78,6 +78,101 @@ class TestRunCommand:
         data = json.loads(path.read_text())
         assert data["policy"] == "predictive"
         assert "combined" in data
+        # Forecast calibration is part of the export contract (None when
+        # the predictive policy produced no realized samples).
+        assert "forecasts" in data
+
+    def test_json_export_forecast_calibration(self, capsys, tmp_path):
+        path = tmp_path / "out.json"
+        code, _, _ = run_cli(
+            capsys, "--periods", "12", "run", "--policy", "predictive",
+            "--pattern", "increasing", "--max-units", "8",
+            "--json", str(path),
+        )
+        assert code == 0
+        forecasts = json.loads(path.read_text())["forecasts"]
+        assert forecasts is not None
+        assert forecasts["n"] > 0
+        assert forecasts["mape"] >= 0.0
+        assert 0.0 <= forecasts["pessimism_rate"] <= 1.0
+        assert 0.0 <= forecasts["missed_deadline_ratio"] <= 1.0
+
+
+class TestTelemetry:
+    def test_run_writes_telemetry_artifacts(self, capsys, tmp_path):
+        tel = tmp_path / "tel"
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "run", "--policy", "predictive",
+            "--max-units", "5", "--telemetry-dir", str(tel),
+        )
+        assert code == 0
+        assert "telemetry written" in out
+        trace = tel / "trace.jsonl"
+        assert trace.exists()
+        records = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+            if line.strip()
+        ]
+        assert any(r["kind"] == "run.meta" for r in records)
+        assert any(r["kind"] == "rm.span" for r in records)
+        metrics = json.loads((tel / "metrics.json").read_text())
+        names = {m["name"] for m in metrics["metrics"]}
+        assert "sim.events_executed" in names
+        assert "task.periods_completed" in names
+        prom = (tel / "metrics.prom").read_text()
+        assert "# TYPE repro_sim_events_executed counter" in prom
+
+    def test_telemetry_dir_rejects_multi_run(self, capsys, tmp_path):
+        code, _, err = run_cli(
+            capsys, "--periods", "6", "run", "--tasks", "2",
+            "--max-units", "5", "--telemetry-dir", str(tmp_path / "tel"),
+        )
+        assert code == 2
+        assert "single run" in err
+        code, _, err = run_cli(
+            capsys, "--periods", "6", "run", "--seeds", "2",
+            "--max-units", "5", "--telemetry-dir", str(tmp_path / "tel2"),
+        )
+        assert code == 2
+        assert "single run" in err
+
+    def test_trace_command_summarizes_and_converts(self, capsys, tmp_path):
+        tel = tmp_path / "tel"
+        run_cli(
+            capsys, "--periods", "8", "run", "--policy", "predictive",
+            "--max-units", "5", "--telemetry-dir", str(tel),
+        )
+        trace = tel / "trace.jsonl"
+        code, out, _ = run_cli(capsys, "trace", str(trace))
+        assert code == 0
+        assert "per-processor utilization" in out
+        assert "forecast calibration" in out
+        chrome = tel / "trace.chrome.json"
+        assert chrome.exists()
+        doc = json.loads(chrome.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert len(doc["traceEvents"]) > 10
+
+    def test_trace_command_no_chrome_and_explicit_target(self, capsys, tmp_path):
+        tel = tmp_path / "tel"
+        run_cli(
+            capsys, "--periods", "6", "run", "--max-units", "5",
+            "--telemetry-dir", str(tel),
+        )
+        trace = tel / "trace.jsonl"
+        code, out, _ = run_cli(capsys, "trace", str(trace), "--no-chrome")
+        assert code == 0
+        assert not (tel / "trace.chrome.json").exists()
+        target = tmp_path / "custom.json"
+        code, _, _ = run_cli(capsys, "trace", str(trace), "--chrome", str(target))
+        assert code == 0
+        assert target.exists()
+
+    def test_trace_command_missing_file_errors(self, capsys, tmp_path):
+        code, _, err = run_cli(capsys, "trace", str(tmp_path / "nope.jsonl"))
+        assert code == 2
+        assert "error:" in err
 
 
 class TestErrorHandling:

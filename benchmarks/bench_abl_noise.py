@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import get_default_estimator, run_experiment
+from repro.experiments.estimator_cache import get_estimator
+from repro.experiments.runner import run_experiment
 
 from benchmarks.conftest import CACHE_DIR, run_once
 
@@ -25,7 +26,7 @@ def test_abl_noise_sensitivity(benchmark, emit, baseline):
         out = {}
         for sigma in SIGMAS:
             noisy = baseline.with_overrides(noise_sigma=sigma)
-            estimator = get_default_estimator(noisy, cache_dir=CACHE_DIR)
+            estimator = get_estimator(noisy, cache_dir=CACHE_DIR)
             for policy in ("predictive", "nonpredictive"):
                 config = ExperimentConfig(
                     policy=policy,

@@ -1,0 +1,257 @@
+"""E-SCALE — RM decision-loop throughput at large processor counts.
+
+The RM hot path asks three kinds of question per step: the Figure 5
+least-utilized sweep (repeated with a growing exclusion set as replicas
+are placed), the Figure 7 threshold sweep, and the mean-utilization
+feed.  The straightforward implementation re-reads every utilization
+meter per query — O(P) each — which is invisible at the paper's P=6 but
+dominates the loop at the ROADMAP's hundreds-of-processors scale.
+
+This bench drives identical background load on two systems per cluster
+size — one with the incremental utilization index, one forced onto the
+reference scans — replays the same decision-loop kernel on both, checks
+the answers are **bit-identical**, and records decisions/sec in
+``benchmarks/out/BENCH_cluster_scale.json``.
+
+Run standalone (``python benchmarks/bench_cluster_scale.py``), in CI
+smoke form (``--smoke``: P in {6, 32}, fewer steps), or via
+``pytest benchmarks/bench_cluster_scale.py -m "slow or not slow"``.
+The P=6 guard — the index must stay within ``GUARD_RATIO`` of the scan
+even on the paper-sized cluster, where it has nothing to win — is
+applied whenever P=6 is part of the sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_cluster_scale.json"
+
+#: Cluster sizes of the full sweep (6 = the paper's testbed).
+CLUSTER_SIZES = (6, 32, 128, 512)
+SMOKE_SIZES = (6, 32)
+
+#: Decision-loop shape per step (mirrors an *acting* manager step): the
+#: mean-utilization feed, a Figure 5 sweep of this many argmin queries
+#: (growing exclusion set), the Figure 7 threshold sweep at these
+#: thresholds, and the deadline-reassignment mean re-read.
+ARGMIN_SWEEP = 6
+BELOW_THRESHOLDS = (0.2, 0.5)
+
+#: At P=6 the index cannot win (there is nothing to skip); it must not
+#: lose more than this factor either.
+GUARD_RATIO = 1.05
+
+#: Required index speedup at the ISSUE's headline size.
+TARGET_P = 128
+TARGET_SPEEDUP = 5.0
+
+
+def _build_loaded_system(n_processors: int, seed: int, use_index: bool):
+    """A cluster with seeded bursty background load scheduled on it."""
+    from repro.cluster.topology import build_system
+
+    system = build_system(
+        n_processors=n_processors,
+        seed=seed,
+        clock_sync_enabled=False,
+        use_utilization_index=use_index,
+    )
+    rng = random.Random(seed)
+    for _ in range(4 * n_processors):
+        proc = system.processors[rng.randrange(n_processors)]
+        start = rng.uniform(0.0, 30.0)
+        demand = rng.uniform(0.05, 1.0)
+        system.engine.schedule_at(
+            start,
+            lambda p=proc, d=demand: p.run_for(d, kind="bg"),
+            label="bench.bg",
+        )
+    return system
+
+
+def _decision_loop(system, n_steps: int, dt: float) -> tuple[float, int, list]:
+    """Replay the RM query kernel; time only the queries.
+
+    Returns ``(query_seconds, n_queries, answers)`` where ``answers``
+    is the full decision sequence for the bit-identity check.
+    """
+    answers: list = []
+    elapsed = 0.0
+    queries = 0
+    t = system.engine.now
+    for _ in range(n_steps):
+        t += dt
+        system.engine.run_until(t)  # engine work is untimed
+        t0 = time.perf_counter()
+        mean = system.mean_utilization()
+        queries += 1
+        exclude: set[str] = set()
+        sweep: list[str] = []
+        for _ in range(ARGMIN_SWEEP):
+            found = system.least_utilized(exclude=exclude)
+            queries += 1
+            if found is None:
+                break
+            sweep.append(found.name)
+            exclude.add(found.name)
+        below = [
+            tuple(p.name for p in system.processors_below(threshold))
+            for threshold in BELOW_THRESHOLDS
+        ]
+        queries += len(BELOW_THRESHOLDS)
+        # Acting steps re-read the mean for the deadline reassignment
+        # (manager._reassign_deadlines), same timestamp as the first.
+        mean_again = system.mean_utilization()
+        queries += 1
+        elapsed += time.perf_counter() - t0
+        answers.append((mean, mean_again, tuple(sweep), tuple(below)))
+    return elapsed, queries, answers
+
+
+def _measure_mode(
+    n_processors: int, use_index: bool, n_steps: int, repetitions: int
+) -> tuple[float, list]:
+    """Best decisions/sec over ``repetitions`` fresh runs, plus answers."""
+    best_dps = 0.0
+    answers: list = []
+    for rep in range(repetitions):
+        system = _build_loaded_system(n_processors, seed=7, use_index=use_index)
+        elapsed, queries, run_answers = _decision_loop(
+            system, n_steps=n_steps, dt=0.25
+        )
+        if rep == 0:
+            answers = run_answers
+        elif run_answers != answers:
+            raise AssertionError(
+                f"P={n_processors} repetition {rep} diverged from itself"
+            )
+        dps = queries / elapsed if elapsed > 0.0 else float("inf")
+        best_dps = max(best_dps, dps)
+    return best_dps, answers
+
+
+def measure_cluster_scale(
+    sizes=CLUSTER_SIZES, n_steps: int = 40, repetitions: int = 3
+) -> dict:
+    """Index-vs-scan decision throughput across cluster sizes."""
+    rows = []
+    for n_processors in sizes:
+        index_dps, index_answers = _measure_mode(
+            n_processors, use_index=True, n_steps=n_steps, repetitions=repetitions
+        )
+        scan_dps, scan_answers = _measure_mode(
+            n_processors, use_index=False, n_steps=n_steps, repetitions=repetitions
+        )
+        stats_system = _build_loaded_system(n_processors, seed=7, use_index=True)
+        _decision_loop(stats_system, n_steps=min(n_steps, 10), dt=0.25)
+        index = stats_system.utilization_index
+        rows.append(
+            {
+                "n_processors": n_processors,
+                "index_decisions_per_s": index_dps,
+                "scan_decisions_per_s": scan_dps,
+                "speedup": index_dps / scan_dps if scan_dps else None,
+                "bit_identical": index_answers == scan_answers,
+                "index_stats_sample": index.stats.as_dict() if index else None,
+            }
+        )
+    return {
+        "bench": "cluster_scale",
+        "kernel": {
+            "n_steps": n_steps,
+            "repetitions": repetitions,
+            "argmin_sweep": ARGMIN_SWEEP,
+            "below_thresholds": list(BELOW_THRESHOLDS),
+            "timed": "queries only; engine advancement untimed",
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "guard": {
+            "p": 6,
+            "max_slowdown": GUARD_RATIO,
+        },
+        "target": {
+            "p": TARGET_P,
+            "min_speedup": TARGET_SPEEDUP,
+        },
+        "rows": rows,
+        "note": "decisions/sec = RM query kernel throughput (mean feed + "
+        "Figure 5 argmin sweep + Figure 7 threshold sweep per step)",
+    }
+
+
+def write_report(report: dict) -> Path:
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
+def check_report(report: dict) -> list[str]:
+    """Hard requirements; returns human-readable violations."""
+    problems = []
+    for row in report["rows"]:
+        if not row["bit_identical"]:
+            problems.append(
+                f"P={row['n_processors']}: index and scan decision "
+                "sequences diverged"
+            )
+        if row["n_processors"] == 6 and row["speedup"] is not None:
+            if row["speedup"] < 1.0 / GUARD_RATIO:
+                problems.append(
+                    f"P=6 guard: index at {row['speedup']:.3f}x of scan, "
+                    f"below the 1/{GUARD_RATIO} floor"
+                )
+        if row["n_processors"] == TARGET_P and row["speedup"] is not None:
+            if row["speedup"] < TARGET_SPEEDUP:
+                problems.append(
+                    f"P={TARGET_P}: speedup {row['speedup']:.2f}x below "
+                    f"the {TARGET_SPEEDUP}x target"
+                )
+    return problems
+
+
+@pytest.mark.slow
+def test_cluster_scale():
+    report = measure_cluster_scale()
+    path = write_report(report)
+    print(f"\ncluster scale report written to {path}")
+    problems = check_report(report)
+    assert not problems, "\n".join(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke form: P in {6, 32} with a shorter kernel",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = measure_cluster_scale(
+            sizes=SMOKE_SIZES, n_steps=25, repetitions=2
+        )
+    else:
+        report = measure_cluster_scale()
+    path = write_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {path}")
+    problems = check_report(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

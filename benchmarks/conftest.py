@@ -17,7 +17,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.config import BaselineConfig
-from repro.experiments.runner import get_default_estimator
+from repro.experiments.estimator_cache import get_estimator
 
 BENCH_DIR = Path(__file__).parent
 OUT_DIR = BENCH_DIR / "out"
@@ -61,7 +61,7 @@ def baseline() -> BaselineConfig:
 @pytest.fixture(scope="session")
 def estimator(baseline, cache_dir):
     """The profiled + fitted regression models (disk-cached)."""
-    return get_default_estimator(baseline, cache_dir=cache_dir)
+    return get_estimator(baseline, cache_dir=cache_dir)
 
 
 @pytest.fixture(scope="session")

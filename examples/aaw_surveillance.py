@@ -18,20 +18,20 @@ Run:  python examples/aaw_surveillance.py
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     AdaptiveResourceManager,
     BaselineConfig,
     PeriodicTaskExecutor,
     PredictivePolicy,
     ReplicaAssignment,
     RMConfig,
+    StepPattern,
+    TrackStreamGenerator,
     aaw_task,
     build_system,
     default_initial_placement,
-    get_default_estimator,
+    fit_estimator,
 )
-from repro.workloads.patterns import StepPattern
-from repro.workloads.sensors import TrackStreamGenerator
 
 N_PERIODS = 40
 RAID_START = 10
@@ -41,7 +41,7 @@ QUIET_TRACKS = 600.0
 
 def main() -> None:
     baseline = BaselineConfig()
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
 
     system = build_system(n_processors=baseline.n_nodes, seed=17)
     task = aaw_task(noise_sigma=baseline.noise_sigma)

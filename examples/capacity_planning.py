@@ -15,20 +15,20 @@ Run:  python examples/capacity_planning.py
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     BaselineConfig,
     ExperimentConfig,
-    get_default_estimator,
+    fit_estimator,
+    plan_capacity,
     run_experiment,
 )
-from repro.experiments.capacity import plan_capacity
 
 GRID = (1000.0, 2500.0, 5000.0, 7500.0, 10000.0, 12500.0, 15000.0, 17500.0)
 
 
 def main() -> None:
     baseline = BaselineConfig()
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
 
     print("Capacity curve for the Table 1 machine (6 nodes):\n")
     plan6 = plan_capacity(estimator, GRID, n_processors=6, utilization=0.3)

@@ -18,23 +18,22 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro import (
+from repro.api import (
     AdaptiveResourceManager,
+    AllocationOutcome,
+    AllocationRequest,
+    BurstyPattern,
+    LinearServiceModel,
     PeriodicTaskExecutor,
     PredictivePolicy,
+    QuadraticServiceModel,
     ReplicaAssignment,
     RMConfig,
     TaskBuilder,
     build_system,
-)
-from repro.bench.ground_truth import LinearServiceModel, QuadraticServiceModel
-from repro.bench.profiler import build_estimator
-from repro.core.allocator import (
-    AllocationOutcome,
-    AllocationRequest,
+    fit_estimator,
     register_policy,
 )
-from repro.workloads.patterns import BurstyPattern
 
 N_PERIODS = 30
 
@@ -102,8 +101,8 @@ def main() -> None:
           f"period {task.period * 1e3:.0f} ms, deadline {task.deadline * 1e3:.0f} ms")
 
     print("Profiling the custom pipeline (fresh regression models)...")
-    estimator = build_estimator(
-        task,
+    estimator = fit_estimator(
+        task=task,
         u_grid=(0.0, 0.2, 0.4, 0.6),
         d_grid_tracks=(100.0, 300.0, 600.0, 1200.0, 2400.0),
         repetitions=2,

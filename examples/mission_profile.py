@@ -14,7 +14,7 @@ Run:  python examples/mission_profile.py
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     AdaptiveResourceManager,
     BaselineConfig,
     PeriodicTaskExecutor,
@@ -23,17 +23,18 @@ from repro import (
     RMConfig,
     aaw_task,
     build_system,
+    compute_breakdown,
     default_initial_placement,
-    get_default_estimator,
+    extract_timeline,
+    fit_estimator,
+    mission_profile,
+    render_timeline,
 )
-from repro.experiments.breakdown import compute_breakdown
-from repro.experiments.timeline import extract_timeline, render_timeline
-from repro.workloads.patterns import mission_profile
 
 
 def main() -> None:
     baseline = BaselineConfig()
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
     profile = mission_profile("skirmishes", max_tracks=9000.0, quiet_tracks=500.0)
     print(f"Mission: 'skirmishes', {profile.n_periods} periods, "
           f"{profile.min_tracks:.0f}-{profile.max_tracks:.0f} tracks/period\n")

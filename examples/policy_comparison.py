@@ -14,8 +14,13 @@ from __future__ import annotations
 
 import sys
 
-from repro import BaselineConfig, get_default_estimator, sweep_workloads
-from repro.experiments.report import format_sparkline, format_table
+from repro.api import (
+    BaselineConfig,
+    fit_estimator,
+    format_sparkline,
+    format_table,
+    sweep_workloads,
+)
 
 
 def main() -> None:
@@ -24,7 +29,7 @@ def main() -> None:
     )
     baseline = BaselineConfig()
     print("Profiling and fitting regression models...")
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
 
     print(f"Sweeping triangular workloads: {[f'{u:g}' for u in units]} "
           "(1 unit = 500 tracks)\n")

@@ -20,23 +20,23 @@ from __future__ import annotations
 import tempfile
 from pathlib import Path
 
-from repro import aaw_task, build_system
-from repro.bench.datasets import PAPER_TABLE2_COEFFICIENTS
-from repro.bench.profiler import profile_buffer_delay, profile_subtask
-from repro.cluster.background import BackgroundLoad
-from repro.regression.latency_model import ExecutionLatencyModel
-from repro.regression.serialization import (
+from repro.api import (
+    PAPER_TABLE2_COEFFICIENTS,
+    BackgroundLoad,
+    Engine,
+    ExecutionLatencyModel,
+    Processor,
+    aaw_task,
     latency_model_from_dict,
     latency_model_to_dict,
+    profile_buffer_delay,
+    profile_subtask,
 )
 
 
 def measure_fresh_latency(task, subtask_index, d_tracks, u_target, seed):
     """One out-of-sample measurement on a fresh simulated node."""
     import numpy as np
-
-    from repro.cluster.processor import Processor
-    from repro.sim.engine import Engine
 
     engine = Engine()
     processor = Processor(engine, "probe", utilization_window=2.0)

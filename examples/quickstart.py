@@ -15,10 +15,10 @@ Run:  python examples/quickstart.py
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     BaselineConfig,
     ExperimentConfig,
-    get_default_estimator,
+    fit_estimator,
     run_experiment,
 )
 
@@ -27,7 +27,7 @@ def main() -> None:
     baseline = BaselineConfig()  # Table 1: 6 nodes, 1 s period, 990 ms deadline
     print("Profiling the benchmark and fitting regression models "
           "(a few seconds, cached afterwards)...")
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
 
     for index, model in sorted(estimator.latency_models.items()):
         print(

@@ -15,9 +15,11 @@ Run:  python examples/survivability.py
 
 from __future__ import annotations
 
-from repro import (
+from repro.api import (
     AdaptiveResourceManager,
     BaselineConfig,
+    FailureEvent,
+    FailureInjector,
     PeriodicTaskExecutor,
     PredictivePolicy,
     ReplicaAssignment,
@@ -25,10 +27,10 @@ from repro import (
     aaw_task,
     build_system,
     default_initial_placement,
-    get_default_estimator,
+    extract_timeline,
+    fit_estimator,
+    render_timeline,
 )
-from repro.cluster.failures import FailureEvent, FailureInjector
-from repro.experiments.timeline import extract_timeline, render_timeline
 
 N_PERIODS = 40
 WORKLOAD = 5000.0
@@ -38,7 +40,7 @@ RECOVER_AT = 28.5
 
 def main() -> None:
     baseline = BaselineConfig()
-    estimator = get_default_estimator(baseline)
+    estimator = fit_estimator(baseline)
 
     system = build_system(n_processors=baseline.n_nodes, seed=11)
     task = aaw_task(noise_sigma=baseline.noise_sigma)

@@ -24,18 +24,20 @@ Layering (bottom-up):
   sweeps, figure/table reproduction)
 * :mod:`repro.telemetry` — observability: metrics registry, RM
   decision spans, streaming JSONL traces, Chrome trace export
+* :mod:`repro.api` — **the stable public surface**: every supported
+  name, flat, with :func:`repro.api.fit_estimator` as the single
+  estimator entry point
 
 Quickstart
 ----------
 .. code-block:: python
 
-    from repro import (
-        BaselineConfig, ExperimentConfig, run_experiment,
-        get_default_estimator,
+    from repro.api import (
+        BaselineConfig, ExperimentConfig, fit_estimator, run_experiment,
     )
 
     baseline = BaselineConfig()
-    estimator = get_default_estimator(baseline)   # profile + fit once
+    estimator = fit_estimator(baseline)   # profile + fit once, cached
     result = run_experiment(
         ExperimentConfig(
             policy="predictive", pattern="triangular",
@@ -46,58 +48,35 @@ Quickstart
     print(result.metrics.combined)
 """
 
-from repro.bench import aaw_task, build_estimator, default_initial_placement
-from repro.cluster import System, build_system
-from repro.core import (
-    AdaptiveResourceManager,
-    NonPredictivePolicy,
-    PredictivePolicy,
-    RMConfig,
-    assign_deadlines,
-    shut_down_a_replica,
-)
-from repro.experiments import (
-    BaselineConfig,
-    ExperimentConfig,
-    ExperimentMetrics,
-    get_default_estimator,
-    run_experiment,
-    sweep_workloads,
-)
-from repro.regression import TimingEstimator
-from repro.runtime import PeriodicTaskExecutor
-from repro.tasks import PeriodicTask, ReplicaAssignment, TaskBuilder
-from repro.telemetry import JsonlTraceSink, MetricsRegistry, TelemetryHub
-from repro.workloads import make_pattern
+import warnings as _warnings
 
-__version__ = "1.0.0"
+from repro.api import *  # noqa: F403
+from repro.api import __all__ as _api_all
 
-__all__ = [
-    "AdaptiveResourceManager",
-    "BaselineConfig",
-    "ExperimentConfig",
-    "ExperimentMetrics",
-    "JsonlTraceSink",
-    "MetricsRegistry",
-    "NonPredictivePolicy",
-    "PeriodicTask",
-    "PeriodicTaskExecutor",
-    "PredictivePolicy",
-    "RMConfig",
-    "ReplicaAssignment",
-    "System",
-    "TaskBuilder",
-    "TelemetryHub",
-    "TimingEstimator",
-    "__version__",
-    "aaw_task",
-    "assign_deadlines",
-    "build_estimator",
-    "build_system",
-    "default_initial_placement",
-    "get_default_estimator",
-    "make_pattern",
-    "run_experiment",
-    "shut_down_a_replica",
-    "sweep_workloads",
-]
+__version__ = "1.1.0"
+
+__all__ = [*_api_all, "__version__"]
+
+#: Pre-facade estimator entry points, kept importable from the root
+#: with a DeprecationWarning (PEP 562).
+_DEPRECATED_ALIASES = {
+    "build_estimator": ("repro.bench.profiler", "build_estimator"),
+    "get_default_estimator": ("repro.experiments.estimator_cache", "get_estimator"),
+}
+
+
+def __getattr__(name: str):
+    target = _DEPRECATED_ALIASES.get(name)
+    if target is not None:
+        module_name, attr = target
+        _warnings.warn(
+            f"repro.{name} is deprecated; use repro.api.fit_estimator "
+            "(baseline fits) or repro.api.fit_estimator(task=...) "
+            "(custom-task profiling campaigns)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import importlib
+
+        return getattr(importlib.import_module(module_name), attr)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,9 +16,14 @@ reviewer can read the architecture without reading the checker:
 ``LAY-PRIVATE``
     An import of a *restricted* package (``parallel``, ``analysis``)
     from outside its declared importer set.
+``LAY-FACADE``
+    A deep ``repro`` import from a *facade-only* tree (``examples/``,
+    ``scripts/``): shipped end-user code must stay on the supported
+    surface (``repro.api``) so the examples never document an
+    unsupported path.
 
 ``if TYPE_CHECKING:`` imports are annotation-only — they never execute
-— and are therefore exempt from all three rules.
+— and are therefore exempt from all four rules.
 """
 
 from __future__ import annotations
@@ -52,6 +57,12 @@ RULES = (
         "repro.parallel is an implementation detail of the experiment "
         "runners; new importers would widen its pickling contract",
     ),
+    Rule(
+        "LAY-FACADE",
+        "examples and scripts import only the public facade",
+        "a deep import in shipped example code documents an unsupported "
+        "path; everything an example needs belongs in repro.api",
+    ),
 )
 
 
@@ -62,6 +73,10 @@ class LayeringContract:
     allowed: dict[str, frozenset[str]]
     lazy_allow: frozenset[tuple[str, str]]
     restricted: dict[str, frozenset[str]]
+    #: Directory names whose modules are facade-only consumers.
+    facade_roots: frozenset[str] = frozenset()
+    #: Contract packages those modules may import (the facade itself).
+    facade_allowed: frozenset[str] = frozenset()
 
     def packages(self) -> frozenset[str]:
         """Every package the contract knows about."""
@@ -122,10 +137,29 @@ def parse_contract(text: str, origin: str = "<contract>") -> LayeringContract:
                 "known package with a list of importers"
             )
         restricted[pkg] = frozenset(importers)
+    facade = data.get("facade", {})
+    for key in ("roots", "allowed"):
+        values = facade.get(key, [])
+        if not isinstance(values, list) or not all(
+            isinstance(v, str) for v in values
+        ):
+            raise AnalysisError(
+                f"layering contract {origin}: facade.{key} must be a "
+                "list of strings"
+            )
+    facade_allowed = frozenset(facade.get("allowed", []))
+    unknown = facade_allowed - known
+    if unknown:
+        raise AnalysisError(
+            f"layering contract {origin}: facade.allowed names unknown "
+            f"packages {sorted(unknown)}"
+        )
     return LayeringContract(
         allowed=allowed,
         lazy_allow=frozenset(lazy_pairs),
         restricted=restricted,
+        facade_roots=frozenset(facade.get("roots", [])),
+        facade_allowed=facade_allowed,
     )
 
 
@@ -200,7 +234,7 @@ def check(
         contract = load_contract()
     importer = _importer_package(info)
     if importer is None:
-        return []
+        return _check_facade(info, contract)
     allowed = contract.allowed.get(importer)
     if allowed is None:
         # A package the contract has never heard of: surface that rather
@@ -272,6 +306,38 @@ def check(
                         "down a layer or import lazily with a contract entry",
                     )
                 )
+    return violations
+
+
+def _check_facade(
+    info: ModuleInfo, contract: LayeringContract
+) -> list[Violation]:
+    """LAY-FACADE: facade-only trees must stay on ``repro.api``."""
+    parts = Path(info.path).parts
+    if not any(part in contract.facade_roots for part in parts):
+        return []
+    type_checking_lines = _type_checking_lines(info.tree)
+    violations: list[Violation] = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, (ast.Import, ast.ImportFrom)):
+            continue
+        if node.lineno in type_checking_lines:
+            continue
+        for imported in _imported_packages(node):
+            if imported in contract.facade_allowed:
+                continue
+            violations.append(
+                Violation(
+                    "LAY-FACADE",
+                    info.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"deep import of `repro.{imported}` from a "
+                    "facade-only tree",
+                    "import the name from repro.api instead (and add it "
+                    "there if it is missing)",
+                )
+            )
     return violations
 
 

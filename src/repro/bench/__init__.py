@@ -33,7 +33,6 @@ from repro.bench.profiler import (
     BufferProfileResult,
     LatencyProfileResult,
     ProfileSample,
-    build_estimator,
     profile_buffer_delay,
     profile_subtask,
 )
@@ -47,10 +46,29 @@ __all__ = [
     "ProfileSample",
     "QuadraticServiceModel",
     "aaw_task",
-    "build_estimator",
     "default_initial_placement",
     "paper_comm_model",
     "paper_latency_model",
     "profile_buffer_delay",
     "profile_subtask",
 ]
+
+
+def __getattr__(name: str):
+    # Pre-facade estimator entry point (PEP 562 shim); the supported
+    # spellings are repro.api.fit_estimator(task=...) for a one-off
+    # profiling campaign and repro.bench.profiler.build_estimator for
+    # the underlying implementation.
+    if name == "build_estimator":
+        import warnings
+
+        from repro.bench import profiler
+
+        warnings.warn(
+            "repro.bench.build_estimator is deprecated; use "
+            "repro.api.fit_estimator(task=...)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return profiler.build_estimator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

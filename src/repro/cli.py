@@ -103,14 +103,14 @@ def cmd_table(args: argparse.Namespace) -> int:
 def cmd_figure(args: argparse.Namespace) -> int:
     """Handle ``repro figure {8..13}`` (optionally exporting CSV)."""
     from repro.experiments import figures
-    from repro.experiments.runner import get_default_estimator
+    from repro.experiments.estimator_cache import get_estimator
 
     baseline = _baseline_from_args(args)
     units = _units_from_args(args)
     if args.number == 8:
         print(figures.fig8_workload_patterns(baseline=baseline).render())
         return 0
-    estimator = get_default_estimator(baseline, cache_dir=_cache_dir_from_args(args))
+    estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
     kwargs = dict(
         units=units,
         baseline=baseline,
@@ -152,7 +152,8 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle ``repro run`` (single, multi-task or replicated)."""
-    from repro.experiments.runner import get_default_estimator, run_experiment
+    from repro.experiments.estimator_cache import get_estimator
+    from repro.experiments.runner import run_experiment
 
     baseline = _baseline_from_args(args)
     config = ExperimentConfig(
@@ -161,7 +162,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_workload_units=args.max_units,
         baseline=baseline,
     )
-    estimator = get_default_estimator(baseline, cache_dir=_cache_dir_from_args(args))
+    estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
 
     hub = None
     tracer = None
@@ -346,10 +347,10 @@ def cmd_patterns(args: argparse.Namespace) -> int:
 def cmd_capacity(args: argparse.Namespace) -> int:
     """Handle ``repro capacity``: the offline capacity plan."""
     from repro.experiments.capacity import plan_capacity
-    from repro.experiments.runner import get_default_estimator
+    from repro.experiments.estimator_cache import get_estimator
 
     baseline = _baseline_from_args(args)
-    estimator = get_default_estimator(baseline)
+    estimator = get_estimator(baseline)
     grid = tuple(
         sorted(float(u) * 500.0 for u in (args.units or (2, 5, 10, 20, 30, 35)))
     )

@@ -23,6 +23,7 @@ and NTP-style synchronized clocks.
 from repro.cluster.background import BackgroundLoad
 from repro.cluster.clock import ClockSyncService, NodeClock
 from repro.cluster.failures import FailureEvent, FailureInjector
+from repro.cluster.index import IndexStats, UtilizationIndex
 from repro.cluster.metering import UtilizationMeter
 from repro.cluster.network import Message, Network
 from repro.cluster.processor import Discipline, Job, Processor
@@ -34,12 +35,14 @@ __all__ = [
     "Discipline",
     "FailureEvent",
     "FailureInjector",
+    "IndexStats",
     "Job",
     "Message",
     "Network",
     "NodeClock",
     "Processor",
     "System",
+    "UtilizationIndex",
     "UtilizationMeter",
     "build_system",
 ]

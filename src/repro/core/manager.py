@@ -161,6 +161,7 @@ class AdaptiveResourceManager:
             shutdown_slack_fraction=self.config.shutdown_slack_fraction,
             window=self.config.monitor_window,
             telemetry=system.engine.telemetry,
+            utilization_index=system.utilization_index,
         )
         self.history: list[RMEvent] = []
         self.deadlines: DeadlineAssignment = self._initial_deadlines()
@@ -185,8 +186,7 @@ class AdaptiveResourceManager:
         deadline; under ``"current"`` they chase the live allocation (see
         :class:`RMConfig`).
         """
-        utilizations = [p.utilization() for p in self.system.processors]
-        mean_u = sum(utilizations) / len(utilizations)
+        mean_u = self.system.mean_utilization()
         if self.config.deadline_reference == "initial":
             d_ref = self.config.initial_d_tracks
             share_of = {s.index: d_ref for s in self.task.subtasks}
@@ -285,8 +285,7 @@ class AdaptiveResourceManager:
         if record.period_index <= getattr(self, "_last_observed_period", -1):
             return
         self._last_observed_period = record.period_index
-        utilizations = [p.utilization() for p in self.system.processors]
-        mean_u = min(1.0, sum(utilizations) / len(utilizations))
+        mean_u = min(1.0, self.system.mean_utilization())
         for stage in record.stages:
             if stage.exec_latency is None or record.d_tracks <= 0.0:
                 continue
@@ -339,6 +338,13 @@ class AdaptiveResourceManager:
             if removed is not None:
                 shutdowns.append((verdict.subtask_index, removed))
 
+        touched = {name for o in outcomes for name in o.added_processors}
+        touched.update(name for _, name in shutdowns)
+        touched.update(
+            target for _, _, target in recoveries if target is not None
+        )
+        self.system.notify_placement_change(touched)
+
         event = RMEvent(
             time=now,
             report=report,
@@ -361,6 +367,11 @@ class AdaptiveResourceManager:
                 },
             )
         if telemetry.enabled:
+            if self.system.utilization_index is not None:
+                telemetry.on_index_stats(
+                    self.system.engine.now,
+                    self.system.utilization_index.stats.as_dict(),
+                )
             telemetry.end_decision(self.system.engine.now, event)
         self.history.append(event)
         return event

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.deadlines import DeadlineAssignment
 from repro.errors import ConfigurationError
@@ -28,6 +29,9 @@ from repro.runtime.records import PeriodRecord
 from repro.tasks.model import PeriodicTask
 from repro.tasks.state import ReplicaAssignment
 from repro.telemetry.hub import TelemetryHub
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.index import UtilizationIndex
 
 
 class MonitorAction(enum.Enum):
@@ -81,6 +85,11 @@ class RuntimeMonitor:
         Optional :class:`~repro.telemetry.hub.TelemetryHub`; every
         monitoring pass reports its verdicts to it (verdict counters and
         the open decision span) when enabled.
+    utilization_index:
+        Optional :class:`~repro.cluster.index.UtilizationIndex`; when
+        both it and telemetry are active, each pass also publishes the
+        exact cluster minimum utilization (an O(log P) index query
+        instead of the O(P) scan a naive gauge would cost).
     """
 
     def __init__(
@@ -90,6 +99,7 @@ class RuntimeMonitor:
         shutdown_slack_fraction: float = 0.6,
         window: int = 3,
         telemetry: TelemetryHub | None = None,
+        utilization_index: "UtilizationIndex | None" = None,
     ) -> None:
         if not 0.0 < slack_fraction < 1.0:
             raise ConfigurationError(
@@ -107,6 +117,7 @@ class RuntimeMonitor:
         self.shutdown_slack_fraction = float(shutdown_slack_fraction)
         self.window = int(window)
         self.telemetry = telemetry
+        self.utilization_index = utilization_index
 
     def classify(
         self,
@@ -178,4 +189,8 @@ class RuntimeMonitor:
         report = MonitorReport(time=now, verdicts=tuple(verdicts))
         if self.telemetry is not None and self.telemetry.enabled:
             self.telemetry.on_monitor_report(now, report)
+            if self.utilization_index is not None:
+                found = self.utilization_index.argmin()
+                if found is not None:
+                    self.telemetry.on_cluster_utilization(now, found[0], found[1])
         return report

@@ -53,17 +53,21 @@ class NonPredictivePolicy:
             )
 
     def replicate(self, request: AllocationRequest) -> AllocationOutcome:
-        """Add every below-threshold processor to ``PS(st)``."""
+        """Add every below-threshold processor to ``PS(st)``.
+
+        The threshold sweep is served by the utilization index
+        (:meth:`repro.cluster.topology.System.processors_below`), which
+        returns the same processors in the same creation order as the
+        Figure 7 full scan.
+        """
         subtask_index = request.subtask_index
         hosting = set(request.assignment.processors_of(subtask_index))
         added: list[str] = []
-        for processor in request.system.live_processors():
-            if processor.name in hosting:
-                continue
-            if (
-                processor.utilization(window=self.utilization_window)
-                < self.utilization_threshold
-            ):
+        below = request.system.processors_below(
+            self.utilization_threshold, window=self.utilization_window
+        )
+        for processor in below:
+            if processor.name not in hosting:
                 request.assignment.add_replica(subtask_index, processor.name)
                 added.append(processor.name)
         # Figure 7 has no failure branch; the heuristic always "succeeds".

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.allocator import (
     AllocationOutcome,
     AllocationRequest,
@@ -97,22 +99,39 @@ class PredictivePolicy:
             # Step 6.6.1: forecast too slow -> add another replica.
 
     def _forecast_worst_replica(self, request: AllocationRequest) -> float:
-        """Max forecast ``eex + ecd`` over the current replica set (step 6)."""
+        """Max forecast ``eex + ecd`` over the current replica set (step 6).
+
+        ``ecd`` depends only on the share and the total workload, so it
+        is evaluated once; the per-replica ``eex`` sweep is batched into
+        one NumPy call when the estimator supports it (bit-identical to
+        the scalar loop — see
+        :meth:`repro.regression.latency_model.ExecutionLatencyModel.predict_seconds_many`).
+        """
         subtask_index = request.subtask_index
         replicas = request.assignment.processors_of(subtask_index)
         share = request.d_tracks / len(replicas)
+        if subtask_index > 1:
+            ecd = request.estimator.ecd_seconds(
+                subtask_index - 1, share, request.total_periodic_tracks
+            )
+        else:
+            ecd = 0.0
+        batch = getattr(request.estimator, "eex_seconds_many", None)
+        if batch is not None:
+            utilizations = [
+                request.system.processor(name).utilization(
+                    window=self.utilization_window
+                )
+                for name in replicas
+            ]
+            eex_arr = batch(subtask_index, share, utilizations)
+            return max(0.0, float(np.max(eex_arr + ecd)))
         worst = 0.0
         for name in replicas:
             utilization = request.system.processor(name).utilization(
                 window=self.utilization_window
             )
             eex = request.estimator.eex_seconds(subtask_index, share, utilization)
-            if subtask_index > 1:
-                ecd = request.estimator.ecd_seconds(
-                    subtask_index - 1, share, request.total_periodic_tracks
-                )
-            else:
-                ecd = 0.0
             worst = max(worst, eex + ecd)
         return worst
 

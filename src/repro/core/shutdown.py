@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
+import numpy as np
+
 from repro.tasks.state import ReplicaAssignment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,16 +91,26 @@ class ForecastAwareShutdown:
         share = request.d_tracks / len(survivors)
         budget = request.deadlines.stage_budget(subtask_index)
         threshold = budget - self.slack_fraction * budget
-        worst = 0.0
-        for name in survivors:
-            utilization = request.system.processor(name).utilization()
-            eex = request.estimator.eex_seconds(subtask_index, share, utilization)
-            ecd = 0.0
-            if subtask_index > 1:
-                ecd = request.estimator.ecd_seconds(
-                    subtask_index - 1, share, request.total_periodic_tracks
-                )
-            worst = max(worst, eex + ecd)
+        ecd = 0.0
+        if subtask_index > 1:
+            ecd = request.estimator.ecd_seconds(
+                subtask_index - 1, share, request.total_periodic_tracks
+            )
+        batch = getattr(request.estimator, "eex_seconds_many", None)
+        if batch is not None:
+            # One NumPy call covers the whole k-1 survivor sweep
+            # (bit-identical to the scalar loop below).
+            utilizations = [
+                request.system.processor(name).utilization() for name in survivors
+            ]
+            eex_arr = batch(subtask_index, share, utilizations)
+            worst = max(0.0, float(np.max(eex_arr + ecd)))
+        else:
+            worst = 0.0
+            for name in survivors:
+                utilization = request.system.processor(name).utilization()
+                eex = request.estimator.eex_seconds(subtask_index, share, utilization)
+                worst = max(worst, eex + ecd)
         if worst > threshold:
             return None  # removing would (per the model) break timeliness
         return assignment.remove_last_replica(subtask_index)

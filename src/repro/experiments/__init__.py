@@ -28,7 +28,6 @@ from repro.experiments.paper_report import PaperReport, generate_report
 from repro.experiments.replication import ReplicatedResult, replicate_experiment
 from repro.experiments.runner import (
     ExperimentResult,
-    get_default_estimator,
     run_experiment,
     sweep_workloads,
 )
@@ -54,7 +53,6 @@ __all__ = [
     "evaluate_forecasts",
     "extract_timeline",
     "generate_report",
-    "get_default_estimator",
     "plan_capacity",
     "render_timeline",
     "replicate_experiment",
@@ -64,3 +62,21 @@ __all__ = [
     "sweep_workloads",
     "validate_reproduction",
 ]
+
+
+def __getattr__(name: str):
+    # Pre-facade estimator entry point (PEP 562 shim); the supported
+    # spelling is repro.api.fit_estimator.
+    if name == "get_default_estimator":
+        import warnings
+
+        from repro.experiments import estimator_cache
+
+        warnings.warn(
+            "repro.experiments.get_default_estimator is deprecated; "
+            "use repro.api.fit_estimator",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return estimator_cache.get_estimator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

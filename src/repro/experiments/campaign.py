@@ -26,6 +26,7 @@ from repro.experiments.config import (
     BaselineConfig,
     ExperimentConfig,
 )
+from repro.experiments.export import SCHEMA_VERSION
 from repro.experiments.metrics import ExperimentMetrics
 from repro.experiments.replication import MetricSummary, summarize
 from repro.experiments.report import format_table
@@ -148,6 +149,7 @@ class CampaignResult:
     def to_dict(self) -> dict:
         """JSON-friendly representation of the whole campaign."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "policies": list(self.spec.policies),
             "patterns": list(self.spec.patterns),
             "units": list(self.spec.units),

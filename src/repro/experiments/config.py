@@ -8,7 +8,7 @@ policy, workload pattern, maximum workload.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.cluster.processor import Discipline
@@ -22,7 +22,19 @@ from repro.units import (
 )
 
 
-@dataclass(frozen=True)
+def _check_override_names(config: Any, overrides: dict[str, Any]) -> None:
+    """Reject override names that are not fields of ``config``."""
+    known = {f.name for f in fields(config)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown {type(config).__name__} field(s) "
+            f"{', '.join(map(repr, unknown))}; valid fields: "
+            f"{', '.join(sorted(known))}"
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
 class BaselineConfig:
     """Table 1 baseline parameters plus reproduction knobs.
 
@@ -99,7 +111,13 @@ class BaselineConfig:
             )
 
     def with_overrides(self, **overrides: Any) -> "BaselineConfig":
-        """A copy with some fields replaced."""
+        """A copy with some fields replaced.
+
+        Unknown names raise :class:`~repro.errors.ConfigurationError`
+        (a typo in a sweep override would otherwise silently produce a
+        ``TypeError`` deep inside ``dataclasses.replace``).
+        """
+        _check_override_names(self, overrides)
         return replace(self, **overrides)
 
     def as_table_rows(self) -> list[tuple[str, str]]:
@@ -131,7 +149,7 @@ class BaselineConfig:
         ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ExperimentConfig:
     """One experiment: a policy meets a workload pattern.
 
@@ -158,6 +176,14 @@ class ExperimentConfig:
                 f"max_workload_units must be positive, got "
                 f"{self.max_workload_units}"
             )
+
+    def with_overrides(self, **overrides: Any) -> "ExperimentConfig":
+        """A copy with some fields replaced (symmetric with
+        :meth:`BaselineConfig.with_overrides`); unknown names raise
+        :class:`~repro.errors.ConfigurationError`.
+        """
+        _check_override_names(self, overrides)
+        return replace(self, **overrides)
 
     @property
     def max_tracks(self) -> float:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -17,6 +18,13 @@ from repro.experiments.metrics import ExperimentMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.figures import FigureData
+
+#: Version stamped into every JSON payload written by ``repro run
+#: --json`` (:func:`metrics_to_json`) and campaign exports
+#: (:meth:`repro.experiments.campaign.CampaignResult.write_json`).
+#: History: v1 (unversioned) — flat metric dict; v2 — identical fields
+#: plus this stamp.  Loaders accept v1 with a warning.
+SCHEMA_VERSION = 2
 
 
 def figure_to_csv(data: "FigureData", path: str | Path) -> Path:
@@ -71,16 +79,53 @@ def metrics_to_json(
     )
     if extra:
         payload.update(extra)
+    payload["schema_version"] = SCHEMA_VERSION
     path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     return path
 
 
 def metrics_from_json(path: str | Path) -> dict:
-    """Read back a metrics JSON file as a dict."""
+    """Read back a metrics JSON file as a dict.
+
+    Payloads without a ``schema_version`` stamp (written before v2)
+    load fine but emit a warning; payloads stamped *newer* than this
+    library understands are rejected.
+    """
     try:
-        return json.loads(Path(path).read_text())
+        payload = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError) as exc:
         raise ConfigurationError(f"cannot load metrics from {path}: {exc}") from exc
+    check_schema_version(payload, origin=str(path))
+    return payload
+
+
+def check_schema_version(payload: dict, origin: str = "<payload>") -> int:
+    """Validate a payload's ``schema_version``; returns the version.
+
+    Missing stamp → version 1 with a :class:`UserWarning`; a stamp
+    newer than :data:`SCHEMA_VERSION` raises
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    version = payload.get("schema_version")
+    if version is None:
+        warnings.warn(
+            f"{origin} has no schema_version (pre-v2 export); "
+            "interpreting as schema version 1",
+            UserWarning,
+            stacklevel=3,
+        )
+        return 1
+    if not isinstance(version, int) or version < 1:
+        raise ConfigurationError(
+            f"{origin}: schema_version must be a positive integer, "
+            f"got {version!r}"
+        )
+    if version > SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{origin}: schema version {version} is newer than this "
+            f"library understands (max {SCHEMA_VERSION})"
+        )
+    return version
 
 
 def rm_history_to_csv(manager, path: str | Path) -> Path:

@@ -22,8 +22,8 @@ from repro.experiments.config import (
 )
 from repro.experiments.metrics import ExperimentMetrics
 from repro.experiments.report import format_series_table
+from repro.experiments.estimator_cache import get_estimator
 from repro.experiments.runner import (
-    get_default_estimator,
     run_experiment,
     sweep_workloads,
 )
@@ -73,7 +73,7 @@ def _pattern_sweep(
     n_jobs: int = 1,
 ) -> dict[str, list[ExperimentMetrics]]:
     if estimator is None and n_jobs == 1:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     out: dict[str, list[ExperimentMetrics]] = {}
     for policy in POLICIES:
         results = sweep_workloads(
@@ -229,7 +229,7 @@ def ablation_slack_fraction(
     """E-X2: sensitivity of the predictive algorithm to ``sl`` (paper: 0.2)."""
     baseline = baseline if baseline is not None else BaselineConfig()
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     data = FigureData(
         figure_id="E-X2",
         title=f"Slack-fraction ablation (predictive, {pattern}, "
@@ -262,7 +262,7 @@ def ablation_utilization_threshold(
     """E-X3: sensitivity of the non-predictive baseline to ``UT``."""
     baseline = baseline if baseline is not None else BaselineConfig()
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     data = FigureData(
         figure_id="E-X3",
         title=f"Utilization-threshold ablation (non-predictive, {pattern}, "
@@ -295,7 +295,7 @@ def ablation_deadline_strategy(
     """E-X4: the deadline-decomposition ablation (predictive policy)."""
     baseline = baseline if baseline is not None else BaselineConfig()
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     data = FigureData(
         figure_id="E-X4",
         title=f"Deadline-strategy ablation (predictive, {pattern}, "

@@ -25,7 +25,7 @@ from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.predictive import PredictivePolicy
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import get_default_estimator
+from repro.experiments.estimator_cache import get_estimator
 from repro.regression.estimator import TimingEstimator
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
 from repro.tasks.state import ReplicaAssignment
@@ -173,7 +173,7 @@ def evaluate_forecasts(
         )
     baseline = config.baseline
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     if online:
         from repro.regression.online import OnlineCorrectedEstimator
 

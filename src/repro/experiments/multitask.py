@@ -28,7 +28,8 @@ from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.metrics import ExperimentMetrics
-from repro.experiments.runner import _make_policy, get_default_estimator
+from repro.experiments.estimator_cache import get_estimator
+from repro.experiments.runner import _make_policy
 from repro.regression.estimator import TimingEstimator
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
 from repro.tasks.state import ReplicaAssignment
@@ -97,7 +98,7 @@ def run_multi_task_experiment(
         raise ConfigurationError(f"need at least one task, got {n_tasks}")
     baseline = config.baseline
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
 
     system: System = build_system(
         n_processors=baseline.n_nodes,

@@ -122,9 +122,9 @@ def replicate_experiment(
         runs = [jr.metrics for jr in job_results]
     else:
         if estimator is None:
-            from repro.experiments.runner import get_default_estimator
+            from repro.experiments.estimator_cache import get_estimator
 
-            estimator = get_default_estimator(config.baseline, cache_dir=cache_dir)
+            estimator = get_estimator(config.baseline, cache_dir=cache_dir)
         runs = [
             run_experiment(config, estimator=estimator, seed_offset=offset).metrics
             for offset in range(n_seeds)

@@ -57,20 +57,21 @@ class ExperimentResult:
     forecasts: "CalibrationReport | None" = None
 
 
-def get_default_estimator(
-    baseline: BaselineConfig,
-    cache_dir: str | Path | None = None,
-    repetitions: int = 2,
-) -> TimingEstimator:
-    """Profile the benchmark once per configuration and cache the fit.
+def __getattr__(name: str):
+    # Pre-facade name, shimmed per PEP 562: the implementation moved to
+    # repro.experiments.estimator_cache and the public entry point is
+    # repro.api.fit_estimator.
+    if name == "get_default_estimator":
+        import warnings
 
-    The cache key covers everything that shapes the fitted models:
-    noise, bandwidth, overhead and the profiling seed.  With
-    ``cache_dir`` set, fits are persisted as JSON across processes.
-    """
-    return estimator_cache.get_estimator(
-        baseline, cache_dir=cache_dir, repetitions=repetitions
-    )
+        warnings.warn(
+            "repro.experiments.runner.get_default_estimator is "
+            "deprecated; use repro.api.fit_estimator",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return estimator_cache.get_estimator
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def _make_policy(config: ExperimentConfig):
@@ -114,7 +115,7 @@ def run_experiment(
     """
     baseline = config.baseline
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = estimator_cache.get_estimator(baseline)
 
     system: System = build_system(
         n_processors=baseline.n_nodes,
@@ -258,5 +259,5 @@ def sweep_workloads(
             for jr in job_results
         ]
     if estimator is None:
-        estimator = get_default_estimator(baseline, cache_dir=cache_dir)
+        estimator = estimator_cache.get_estimator(baseline, cache_dir=cache_dir)
     return [run_experiment(config, estimator=estimator) for config in configs]

@@ -13,7 +13,8 @@ from dataclasses import dataclass
 
 from repro.experiments.config import BaselineConfig
 from repro.experiments.report import format_table
-from repro.experiments.runner import get_default_estimator, sweep_workloads
+from repro.experiments.estimator_cache import get_estimator
+from repro.experiments.runner import sweep_workloads
 from repro.regression.estimator import TimingEstimator
 
 
@@ -43,7 +44,7 @@ def validate_reproduction(
     """
     baseline = baseline if baseline is not None else BaselineConfig()
     if estimator is None:
-        estimator = get_default_estimator(baseline)
+        estimator = get_estimator(baseline)
     sweeps = {
         policy: sweep_workloads(
             policy, "triangular", units, baseline=baseline, estimator=estimator

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import RegressionError
 from repro.regression.comm import CommunicationDelayModel
 from repro.regression.latency_model import ExecutionLatencyModel
@@ -67,6 +69,22 @@ class TimingEstimator:
                 f"unknown subtask index {subtask_index} for task {self.task.name}"
             )
         return model.predict_seconds(d_tracks, u)
+
+    def eex_seconds_many(
+        self, subtask_index: int, d_tracks: float, utilizations: list[float]
+    ) -> np.ndarray:
+        """Batched ``eex``: one share forecast at many utilizations.
+
+        Element ``i`` is bit-identical to ``eex_seconds(subtask_index,
+        d_tracks, utilizations[i])``; used by the Figure 5 / Figure 6
+        replica sweeps so one NumPy call covers the whole replica set.
+        """
+        model = self.latency_models.get(subtask_index)
+        if model is None:
+            raise RegressionError(
+                f"unknown subtask index {subtask_index} for task {self.task.name}"
+            )
+        return model.predict_seconds_many(d_tracks, utilizations)
 
     def ecd_seconds(
         self, message_index: int, d_tracks: float, total_periodic_tracks: float

@@ -33,7 +33,7 @@ from repro.regression.design import (
     surface_features,
 )
 from repro.regression.polyfit import OLSResult, ols_fit
-from repro.units import ms_to_s, tracks_to_regression_units
+from repro.units import MS, ms_to_s, tracks_to_regression_units
 
 
 @dataclass(frozen=True)
@@ -93,6 +93,33 @@ class ExecutionLatencyModel:
     def predict_seconds(self, d_tracks: float, u: float) -> float:
         """Forecast latency in seconds for ``d_tracks`` raw data items."""
         return ms_to_s(self.predict_ms(tracks_to_regression_units(d_tracks), u))
+
+    def predict_seconds_many(
+        self, d_tracks: float, utilizations: "np.ndarray | list[float]"
+    ) -> np.ndarray:
+        """One data share forecast at many utilizations, in seconds.
+
+        This is the Figure 5 hot path batched: every replica of a
+        subtask carries the same share ``d / k``, only the hosting
+        processor's utilization differs.  Element ``i`` is
+        **bit-identical** to ``predict_seconds(d_tracks, u[i])`` — the
+        arithmetic mirrors the scalar chain operation for operation
+        (left-associated coefficient polynomials, then
+        ``A*d*d + B*d``, clamp, ms→s), unlike :meth:`predict_ms_grid`
+        whose ``d**2`` grouping may differ in the last ulp.
+        """
+        d_h = tracks_to_regression_units(d_tracks)
+        if d_h < 0.0:
+            raise RegressionError(f"negative data size {d_h}")
+        u_arr = np.asarray(utilizations, dtype=float)
+        if u_arr.size and (float(u_arr.min()) < 0.0 or float(u_arr.max()) > 1.0):
+            raise RegressionError("utilization outside [0, 1]")
+        a1, a2, a3 = self.a
+        b1, b2, b3 = self.b
+        a_u = a1 * u_arr * u_arr + a2 * u_arr + a3
+        b_u = b1 * u_arr * u_arr + b2 * u_arr + b3
+        value_ms = a_u * d_h * d_h + b_u * d_h
+        return np.maximum(0.0, value_ms) * MS
 
     def predict_ms_grid(self, d_hundreds: np.ndarray, u: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`predict_ms` over parallel arrays."""

@@ -22,9 +22,13 @@ The resource manager feeds it observations automatically (duck-typed
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import RegressionError
 from repro.regression.estimator import TimingEstimator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 
 @dataclass
@@ -90,6 +94,14 @@ class OnlineCorrectedEstimator:
     def eex_seconds(self, subtask_index: int, d_tracks: float, u: float) -> float:
         """Corrected ``eex``: base forecast times the learned factor."""
         return self.base.eex_seconds(subtask_index, d_tracks, u) * (
+            self.correction(subtask_index)
+        )
+
+    def eex_seconds_many(
+        self, subtask_index: int, d_tracks: float, utilizations: list[float]
+    ) -> "np.ndarray":
+        """Corrected batched ``eex`` (element-wise ``base * factor``)."""
+        return self.base.eex_seconds_many(subtask_index, d_tracks, utilizations) * (
             self.correction(subtask_index)
         )
 

@@ -15,6 +15,7 @@ import repro
 from repro.analysis import lint_paths, render_text
 
 SRC_ROOT = Path(repro.__file__).resolve().parent
+REPO_ROOT = SRC_ROOT.parent.parent
 
 
 def test_source_tree_lints_clean():
@@ -23,6 +24,15 @@ def test_source_tree_lints_clean():
     assert not violations, f"static-analysis violations in src/repro:\n{report}"
     # Sanity: the walk actually visited the package, not an empty dir.
     assert n_files > 50
+
+
+def test_examples_lint_clean():
+    """Shipped examples stay on the repro.api facade (LAY-FACADE)."""
+    trees = [REPO_ROOT / "examples", REPO_ROOT / "scripts"]
+    violations, n_files = lint_paths([p for p in trees if p.is_dir()])
+    report = render_text(violations, n_files)
+    assert not violations, f"static-analysis violations in examples:\n{report}"
+    assert n_files >= 8
 
 
 def test_gate_catches_injected_violation(tmp_path):

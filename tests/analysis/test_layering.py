@@ -1,4 +1,4 @@
-"""Layering lint: the contract parser and the three LAY rules."""
+"""Layering lint: the contract parser and the four LAY rules."""
 
 from __future__ import annotations
 
@@ -17,10 +17,16 @@ sim = ["errors", "units"]
 experiments = ["errors", "units", "sim"]
 parallel = ["errors", "experiments"]
 cli = ["errors", "units", "sim", "experiments", "parallel"]
+api = ["errors", "units", "sim", "experiments"]
+__init__ = ["api"]
 lazy_allow = [["experiments", "parallel"]]
 
 [restricted]
 parallel = ["experiments", "cli", "parallel"]
+
+[facade]
+roots = ["examples", "scripts"]
+allowed = ["api", "__init__"]
 """
 )
 
@@ -143,3 +149,48 @@ class TestLayPrivate:
     def test_restricted_package_imports_itself_freely(self):
         src = "from repro.parallel.jobs import JobSpec\n"
         assert rule_ids(src, "repro.parallel.dispatch") == []
+
+
+class TestLayFacade:
+    def facade_ids(self, source: str, path: str) -> list[str]:
+        info = parse_source(source, module="example", path=path)
+        return [v.rule_id for v in check(info, CONTRACT)]
+
+    def test_deep_import_from_examples_flagged(self):
+        src = "from repro.sim.engine import Engine\n"
+        assert self.facade_ids(src, "examples/quickstart.py") == ["LAY-FACADE"]
+
+    def test_plain_import_form_also_flagged(self):
+        src = "import repro.experiments.runner\n"
+        assert self.facade_ids(src, "scripts/sweep.py") == ["LAY-FACADE"]
+
+    def test_facade_import_allowed(self):
+        src = "from repro.api import build_system\n"
+        assert self.facade_ids(src, "examples/quickstart.py") == []
+
+    def test_root_reexport_allowed(self):
+        src = "from repro import build_system\n"
+        assert self.facade_ids(src, "examples/quickstart.py") == []
+
+    def test_non_facade_tree_exempt(self):
+        src = "from repro.sim.engine import Engine\n"
+        assert self.facade_ids(src, "tools/probe.py") == []
+
+    def test_type_checking_import_exempt(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    from repro.sim.engine import Engine\n"
+        )
+        assert self.facade_ids(src, "examples/quickstart.py") == []
+
+    def test_unknown_facade_allowed_package_rejected(self):
+        with pytest.raises(AnalysisError):
+            parse_contract(
+                "[allowed]\nerrors = []\n[facade]\nallowed = [\"ghost\"]\n"
+            )
+
+    def test_packaged_contract_covers_examples_and_scripts(self):
+        contract = load_contract()
+        assert {"examples", "scripts"} <= set(contract.facade_roots)
+        assert "api" in contract.facade_allowed

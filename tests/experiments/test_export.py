@@ -6,6 +6,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.export import (
+    SCHEMA_VERSION,
+    check_schema_version,
     figure_from_csv,
     figure_to_csv,
     metrics_from_json,
@@ -128,3 +130,42 @@ class TestMetricsJson:
     def test_missing_file_rejected(self, tmp_path):
         with pytest.raises(ConfigurationError):
             metrics_from_json(tmp_path / "ghost.json")
+
+
+class TestSchemaVersion:
+    def test_exports_are_stamped(self, tmp_path):
+        path = metrics_to_json(sample_metrics(), tmp_path / "m.json")
+        data = metrics_from_json(path)
+        assert data["schema_version"] == SCHEMA_VERSION == 2
+
+    def test_extra_cannot_unstamp(self, tmp_path):
+        path = metrics_to_json(
+            sample_metrics(), tmp_path / "m.json", extra={"schema_version": 99}
+        )
+        assert metrics_from_json(path)["schema_version"] == SCHEMA_VERSION
+
+    def test_v1_payload_loads_with_warning(self, tmp_path):
+        # A pre-v2 export: same fields, no schema_version stamp.
+        path = metrics_to_json(sample_metrics(), tmp_path / "m.json")
+        import json
+
+        payload = json.loads(path.read_text())
+        del payload["schema_version"]
+        path.write_text(json.dumps(payload))
+        with pytest.warns(UserWarning, match="schema version 1"):
+            data = metrics_from_json(path)
+        assert data["missed"] == 0.1  # v1 round-trips fully
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = metrics_to_json(sample_metrics(), tmp_path / "m.json")
+        import json
+
+        payload = json.loads(path.read_text())
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ConfigurationError):
+            metrics_from_json(path)
+
+    def test_bad_stamp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            check_schema_version({"schema_version": "two"})

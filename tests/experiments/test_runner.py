@@ -6,8 +6,8 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.estimator_cache import get_estimator
 from repro.experiments.runner import (
-    get_default_estimator,
     run_experiment,
     sweep_workloads,
 )
@@ -112,18 +112,18 @@ class TestEstimatorCache:
     def test_in_process_cache_returns_same_object(self):
         baseline = BaselineConfig(noise_sigma=0.0, seed=99)
         # Use a tiny profiling load via repetitions=1.
-        a = get_default_estimator(baseline, repetitions=1)
-        b = get_default_estimator(baseline, repetitions=1)
+        a = get_estimator(baseline, repetitions=1)
+        b = get_estimator(baseline, repetitions=1)
         assert a is b
 
     def test_disk_cache_round_trip(self, tmp_path):
         baseline = BaselineConfig(noise_sigma=0.0, seed=98)
-        a = get_default_estimator(baseline, cache_dir=tmp_path, repetitions=1)
+        a = get_estimator(baseline, cache_dir=tmp_path, repetitions=1)
         # Clear the in-process cache to force the disk path.
         from repro.experiments import runner
 
         runner._ESTIMATOR_CACHE.clear()
-        b = get_default_estimator(baseline, cache_dir=tmp_path, repetitions=1)
+        b = get_estimator(baseline, cache_dir=tmp_path, repetitions=1)
         assert a is not b
         assert a.latency_models[3].a == pytest.approx(b.latency_models[3].a)
         assert list(tmp_path.glob("models_*.json"))

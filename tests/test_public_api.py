@@ -1,0 +1,113 @@
+"""The public-surface contract: snapshot, re-exports, deprecations.
+
+``repro.api.__all__`` is the compatibility promise of the distribution.
+This suite pins it against a checked-in snapshot so that any addition
+or removal shows up as an explicit diff in review — update
+``tests/public_api_snapshot.txt`` deliberately, in the same commit as
+the surface change::
+
+    PYTHONPATH=src python -c "import repro.api; \\
+        print('\\n'.join(sorted(repro.api.__all__)))" \\
+        > tests/public_api_snapshot.txt
+"""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.api
+
+SNAPSHOT_PATH = Path(__file__).parent / "public_api_snapshot.txt"
+
+
+class TestSnapshot:
+    def test_surface_matches_snapshot(self):
+        snapshot = SNAPSHOT_PATH.read_text().split()
+        current = sorted(repro.api.__all__)
+        assert current == snapshot, (
+            "repro.api.__all__ drifted from tests/public_api_snapshot.txt; "
+            "if the change is intentional, regenerate the snapshot (see "
+            "module docstring)"
+        )
+
+    def test_no_duplicates(self):
+        assert len(repro.api.__all__) == len(set(repro.api.__all__))
+
+    def test_every_name_resolves(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None, name
+
+    def test_root_package_reexports_the_facade(self):
+        for name in repro.api.__all__:
+            assert getattr(repro, name) is getattr(repro.api, name), name
+        assert set(repro.__all__) == {*repro.api.__all__, "__version__"}
+
+
+class TestFitEstimator:
+    def test_baseline_and_task_are_exclusive(self):
+        from repro.api import BaselineConfig, ConfigurationError, aaw_task
+
+        with pytest.raises(ConfigurationError):
+            repro.api.fit_estimator(BaselineConfig(), task=aaw_task())
+
+    def test_cache_dir_requires_baseline_mode(self, tmp_path):
+        from repro.api import ConfigurationError, aaw_task
+
+        with pytest.raises(ConfigurationError):
+            repro.api.fit_estimator(task=aaw_task(), cache_dir=tmp_path)
+
+    def test_profile_kwargs_require_task_mode(self):
+        from repro.api import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            repro.api.fit_estimator(u_grid=(0.0, 0.2))
+
+    def test_baseline_mode_hits_the_shared_cache(self, baseline):
+        from repro.experiments import estimator_cache
+
+        first = repro.api.fit_estimator(baseline, repetitions=1)
+        assert repro.api.fit_estimator(baseline, repetitions=1) is first
+        key = estimator_cache.cache_key(baseline, repetitions=1)
+        assert estimator_cache._MEMORY_CACHE[key] is first
+
+
+OLD_NAMES = [
+    ("repro", "build_estimator"),
+    ("repro", "get_default_estimator"),
+    ("repro.bench", "build_estimator"),
+    ("repro.experiments", "get_default_estimator"),
+    ("repro.experiments.runner", "get_default_estimator"),
+]
+
+
+class TestDeprecatedNames:
+    @pytest.mark.parametrize("module_name,attr", OLD_NAMES)
+    def test_old_name_works_with_deprecation_warning(self, module_name, attr):
+        import importlib
+
+        module = importlib.import_module(module_name)
+        with pytest.warns(DeprecationWarning, match="repro.api.fit_estimator"):
+            old = getattr(module, attr)
+        assert callable(old)
+
+    def test_old_names_left_the_facade(self):
+        assert "build_estimator" not in repro.api.__all__
+        assert "get_default_estimator" not in repro.api.__all__
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.nonsense_name
+        with pytest.raises(AttributeError):
+            repro.api.nonsense_name
+
+    def test_supported_deep_spellings_stay_quiet(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            from repro.bench.profiler import build_estimator  # noqa: F401
+            from repro.experiments.estimator_cache import (  # noqa: F401
+                get_estimator,
+            )

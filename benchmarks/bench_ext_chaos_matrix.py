@@ -1,0 +1,256 @@
+"""E-CHAOS — resilience scorecards across fault classes and policies.
+
+Sweeps a matrix of fault scenarios × allocation policies × RM hardening
+and records each cell's :class:`~repro.chaos.scorecard.ResilienceScorecard`
+in ``benchmarks/out/BENCH_chaos_matrix.json``.  Two hard requirements
+(nonzero exit when violated):
+
+* **replay determinism** — re-running a cell under the same master seed
+  must reproduce its scorecard and metrics bit-identically;
+* **hardening pays off** — with the predictive policy, the hardened RM
+  must *strictly* improve MTTR or the miss-window ratio on at least
+  ``MIN_WINS`` of the swept fault classes (it must never make a class
+  catastrophically worse either: availability may not drop by more than
+  ``AVAILABILITY_TOLERANCE``).
+
+Run standalone (``python benchmarks/bench_ext_chaos_matrix.py``), in CI
+smoke form (``--smoke``: fewer periods), or via
+``pytest benchmarks/bench_ext_chaos_matrix.py -m "slow or not slow"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_chaos_matrix.json"
+
+#: The swept fault classes (one controller failure mode each: node
+#: churn, a flapping node, lying utilization sensors, broken forecasts).
+FAULT_CLASSES = ("crashes", "flaky_node", "corrupt_readings", "estimator_bias")
+POLICIES = ("predictive", "nonpredictive")
+
+#: The hardened RM must strictly win (lower MTTR or lower miss-window
+#: ratio) on at least this many fault classes under the predictive
+#: policy.
+MIN_WINS = 2
+
+#: ... and must not cost more than this much availability on any class.
+AVAILABILITY_TOLERANCE = 0.10
+
+FULL_PERIODS = 60
+SMOKE_PERIODS = 30
+
+#: Peak offered workload.  Chosen hot enough that every fault class
+#: produces deadline misses in the unhardened runs — at gentle loads
+#: most scenarios sail through on slack and the matrix cannot
+#: differentiate hardened from unhardened.
+MAX_WORKLOAD_UNITS = 30.0
+
+
+def _run_cell(scenario: str, policy: str, hardened: bool, baseline, estimator):
+    """One matrix cell; returns (scorecard dict | None, metrics dict | None, error).
+
+    A :class:`~repro.errors.ReproError` escaping the run is the
+    *controller crashing on faulty input* (e.g. a corrupted utilization
+    reading reaching the regression model) — recorded as a crashed
+    cell, the worst possible resilience outcome, not a bench failure.
+    """
+    from repro.chaos import run_chaos_experiment
+    from repro.errors import ReproError
+
+    try:
+        result = run_chaos_experiment(
+            scenario=scenario,
+            policy=policy,
+            max_workload_units=MAX_WORKLOAD_UNITS,
+            baseline=baseline,
+            hardened=hardened,
+            estimator=estimator,
+        )
+    except ReproError as exc:
+        return None, None, f"{type(exc).__name__}: {exc}"
+    return result.scorecard.as_dict(), result.metrics.as_dict(), None
+
+
+def measure_chaos_matrix(n_periods: int = FULL_PERIODS) -> dict:
+    """The full scenario × policy × hardening scorecard matrix."""
+    from repro.experiments.config import BaselineConfig
+    from repro.experiments.estimator_cache import get_estimator
+
+    baseline = BaselineConfig(n_periods=n_periods)
+    estimator = get_estimator(baseline)
+
+    rows = []
+    for scenario in FAULT_CLASSES:
+        for policy in POLICIES:
+            for hardened in (False, True):
+                scorecard, metrics, error = _run_cell(
+                    scenario, policy, hardened, baseline, estimator
+                )
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "policy": policy,
+                        "hardened": hardened,
+                        "crashed": error is not None,
+                        "error": error,
+                        "scorecard": scorecard,
+                        "metrics": metrics,
+                    }
+                )
+
+    # Replay determinism: the first cell, re-run from scratch.
+    replay_scorecard, replay_metrics, replay_error = _run_cell(
+        rows[0]["scenario"],
+        rows[0]["policy"],
+        rows[0]["hardened"],
+        baseline,
+        estimator,
+    )
+    replay_identical = (
+        replay_scorecard == rows[0]["scorecard"]
+        and replay_metrics == rows[0]["metrics"]
+        and (replay_error is not None) == rows[0]["crashed"]
+    )
+
+    return {
+        "bench": "chaos_matrix",
+        "kernel": {
+            "n_periods": n_periods,
+            "max_workload_units": MAX_WORKLOAD_UNITS,
+            "fault_classes": list(FAULT_CLASSES),
+            "policies": list(POLICIES),
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "requirements": {
+            "min_wins": MIN_WINS,
+            "availability_tolerance": AVAILABILITY_TOLERANCE,
+        },
+        "replay_identical": replay_identical,
+        "rows": rows,
+        "note": "a 'win' = hardened strictly lowers MTTR or the "
+        "miss-window ratio vs the unhardened predictive RM",
+    }
+
+
+def _cell(report: dict, scenario: str, policy: str, hardened: bool) -> dict:
+    for row in report["rows"]:
+        if (
+            row["scenario"] == scenario
+            and row["policy"] == policy
+            and row["hardened"] == hardened
+        ):
+            return row
+    raise KeyError((scenario, policy, hardened))
+
+
+def hardening_wins(report: dict) -> dict[str, bool]:
+    """Per fault class: does the hardened predictive RM strictly win?
+
+    Surviving a scenario that crashes the unhardened controller is the
+    strongest possible win; a crashed hardened cell can never win.
+    """
+    wins: dict[str, bool] = {}
+    for scenario in report["kernel"]["fault_classes"]:
+        plain_row = _cell(report, scenario, "predictive", False)
+        hard_row = _cell(report, scenario, "predictive", True)
+        if hard_row["crashed"]:
+            wins[scenario] = False
+            continue
+        if plain_row["crashed"]:
+            wins[scenario] = True
+            continue
+        plain = plain_row["scorecard"]
+        hard = hard_row["scorecard"]
+        better_mttr = (
+            plain["mttr_s"] is not None
+            and hard["mttr_s"] is not None
+            and hard["mttr_s"] < plain["mttr_s"]
+        ) or (plain["mttr_s"] is not None and hard["mttr_s"] is None)
+        better_window = hard["miss_window_ratio"] < plain["miss_window_ratio"]
+        wins[scenario] = bool(better_mttr or better_window)
+    return wins
+
+
+def check_report(report: dict) -> list[str]:
+    """Hard requirements; returns human-readable violations."""
+    problems = []
+    if not report["replay_identical"]:
+        problems.append("fixed-seed replay diverged (scorecard or metrics)")
+    wins = hardening_wins(report)
+    n_wins = sum(wins.values())
+    if n_wins < MIN_WINS:
+        problems.append(
+            f"hardened RM wins on {n_wins} fault class(es) "
+            f"({', '.join(k for k, v in wins.items() if v) or 'none'}); "
+            f"needs >= {MIN_WINS}"
+        )
+    for scenario in report["kernel"]["fault_classes"]:
+        plain_row = _cell(report, scenario, "predictive", False)
+        hard_row = _cell(report, scenario, "predictive", True)
+        if hard_row["crashed"]:
+            problems.append(
+                f"{scenario}: hardened controller crashed: {hard_row['error']}"
+            )
+            continue
+        if plain_row["crashed"]:
+            continue
+        drop = (
+            plain_row["scorecard"]["availability"]
+            - hard_row["scorecard"]["availability"]
+        )
+        if drop > AVAILABILITY_TOLERANCE:
+            problems.append(
+                f"{scenario}: hardening costs {drop:.3f} availability "
+                f"(tolerance {AVAILABILITY_TOLERANCE})"
+            )
+    return problems
+
+
+def write_report(report: dict) -> Path:
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
+@pytest.mark.slow
+def test_chaos_matrix():
+    report = measure_chaos_matrix(n_periods=SMOKE_PERIODS)
+    path = write_report(report)
+    print(f"\nchaos matrix report written to {path}")
+    problems = check_report(report)
+    assert not problems, "\n".join(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke form: fewer periods per run",
+    )
+    args = parser.parse_args(argv)
+    periods = SMOKE_PERIODS if args.smoke else FULL_PERIODS
+    report = measure_chaos_matrix(n_periods=periods)
+    path = write_report(report)
+    wins = hardening_wins(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {path}")
+    print(f"hardening wins: {wins}")
+    problems = check_report(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

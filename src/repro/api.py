@@ -49,6 +49,15 @@ from repro.bench.profiler import (
 from repro.bench.profiler import (
     build_estimator as _build_estimator,
 )
+from repro.chaos import (
+    ChaosInjector,
+    ChaosScenario,
+    ResilienceScorecard,
+    compute_scorecard,
+    get_scenario,
+    run_chaos_experiment,
+    scenario_names,
+)
 from repro.cluster.background import BackgroundLoad
 from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.index import IndexStats, UtilizationIndex
@@ -60,11 +69,12 @@ from repro.core.allocator import (
     register_policy,
 )
 from repro.core.deadlines import assign_deadlines
+from repro.core.hardening import ForecastCircuitBreaker, HardeningConfig
 from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.nonpredictive import NonPredictivePolicy
 from repro.core.predictive import PredictivePolicy
 from repro.core.shutdown import shut_down_a_replica
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ChaosError, ConfigurationError, ReproError
 from repro.experiments.breakdown import LatencyBreakdown, compute_breakdown
 from repro.experiments.campaign import CampaignResult, CampaignSpec, run_campaign
 from repro.experiments.capacity import CapacityPlan, plan_capacity
@@ -168,6 +178,9 @@ __all__ = [
     "CampaignResult",
     "CampaignSpec",
     "CapacityPlan",
+    "ChaosError",
+    "ChaosInjector",
+    "ChaosScenario",
     "ConfigurationError",
     "DEFAULT_SWEEP_UNITS",
     "Engine",
@@ -177,6 +190,8 @@ __all__ = [
     "ExperimentResult",
     "FailureEvent",
     "FailureInjector",
+    "ForecastCircuitBreaker",
+    "HardeningConfig",
     "IndexStats",
     "JsonlTraceSink",
     "LatencyBreakdown",
@@ -193,6 +208,7 @@ __all__ = [
     "ReplicaAssignment",
     "ReplicatedResult",
     "ReproError",
+    "ResilienceScorecard",
     "SCHEMA_VERSION",
     "StepPattern",
     "System",
@@ -208,12 +224,14 @@ __all__ = [
     "check_schema_version",
     "compute_breakdown",
     "compute_metrics",
+    "compute_scorecard",
     "default_initial_placement",
     "evaluate_forecasts",
     "extract_timeline",
     "fit_estimator",
     "format_sparkline",
     "format_table",
+    "get_scenario",
     "latency_model_from_dict",
     "latency_model_to_dict",
     "make_pattern",
@@ -229,7 +247,9 @@ __all__ = [
     "render_timeline",
     "replicate_experiment",
     "run_campaign",
+    "run_chaos_experiment",
     "run_experiment",
+    "scenario_names",
     "shut_down_a_replica",
     "sweep_workloads",
     "validate_reproduction",

@@ -1,0 +1,109 @@
+"""Seed-deterministic fault injection and resilience measurement.
+
+The package has three parts:
+
+* :mod:`repro.chaos.faults` / :mod:`repro.chaos.scenario` — stochastic
+  fault *processes* (crash renewals, correlated outages, partitions,
+  loss/delay spikes, clock steps, sensor dropouts, corrupted monitor
+  inputs, estimator bias) bundled into named scenarios;
+* :mod:`repro.chaos.injector` — compiles a scenario against dedicated
+  ``sim.rng`` streams and schedules it on a system (bit-identical
+  replays; zero perturbation when no faults are armed);
+* :mod:`repro.chaos.scorecard` — MTTR, deadline-miss windows,
+  availability, and actions-per-fault from a run's records.
+
+The counterpart hardening of the RM control loop lives in
+:mod:`repro.core.hardening`; :func:`run_chaos_experiment` runs one
+experiment with both sides wired up.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.faults import (
+    CORRUPTION_VALUES,
+    ClockDriftSpec,
+    CorrelatedOutageSpec,
+    CorruptUtilizationSpec,
+    CrashRecoverySpec,
+    DelaySpikeSpec,
+    EstimatorDriftSpec,
+    FaultSpec,
+    Injection,
+    LossSpikeSpec,
+    PartitionSpec,
+    SensorDropoutSpec,
+    StaleUtilizationSpec,
+)
+from repro.chaos.injector import ChaosInjector, FaultyEstimator
+from repro.chaos.scenario import (
+    SCENARIOS,
+    ChaosScenario,
+    get_scenario,
+    scenario_names,
+)
+from repro.chaos.scorecard import ResilienceScorecard, compute_scorecard
+
+__all__ = [
+    "CORRUPTION_VALUES",
+    "SCENARIOS",
+    "ChaosInjector",
+    "ChaosScenario",
+    "ClockDriftSpec",
+    "CorrelatedOutageSpec",
+    "CorruptUtilizationSpec",
+    "CrashRecoverySpec",
+    "DelaySpikeSpec",
+    "EstimatorDriftSpec",
+    "FaultSpec",
+    "FaultyEstimator",
+    "Injection",
+    "LossSpikeSpec",
+    "PartitionSpec",
+    "ResilienceScorecard",
+    "SensorDropoutSpec",
+    "StaleUtilizationSpec",
+    "compute_scorecard",
+    "get_scenario",
+    "run_chaos_experiment",
+    "scenario_names",
+]
+
+
+def run_chaos_experiment(
+    scenario: str = "crashes",
+    policy: str = "predictive",
+    pattern: str = "triangular",
+    max_workload_units: float = 20.0,
+    baseline=None,
+    hardened: bool = True,
+    estimator=None,
+    seed_offset: int = 0,
+    telemetry=None,
+):
+    """Run one experiment under a named chaos scenario.
+
+    A thin convenience over :func:`repro.experiments.runner.run_experiment`
+    with the chaos fields of
+    :class:`~repro.experiments.config.ExperimentConfig` filled in; the
+    returned :class:`~repro.experiments.runner.ExperimentResult` carries
+    the :class:`~repro.chaos.scorecard.ResilienceScorecard` in its
+    ``scorecard`` field.
+    """
+    from repro.experiments.config import BaselineConfig, ExperimentConfig
+    from repro.experiments.runner import run_experiment
+
+    get_scenario(scenario)  # fail fast on unknown names
+    config = ExperimentConfig(
+        policy=policy,
+        pattern=pattern,
+        max_workload_units=max_workload_units,
+        baseline=baseline if baseline is not None else BaselineConfig(),
+        chaos_scenario=scenario,
+        hardened=hardened,
+    )
+    return run_experiment(
+        config,
+        estimator=estimator,
+        seed_offset=seed_offset,
+        telemetry=telemetry,
+    )

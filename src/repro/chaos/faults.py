@@ -1,0 +1,502 @@
+"""Stochastic fault processes.
+
+Each spec describes a *process*, not a fixed schedule: crash/recovery
+renewal processes, correlated outages, network partitions and loss /
+delay spikes, clock-drift steps, sensor dropouts, and controller-input
+faults (stale or corrupted utilization readings, bias injected into the
+fitted ``eex``/``ecd`` estimators).  :meth:`FaultSpec.compile` draws the
+concrete injection times from a dedicated ``sim.rng`` stream
+(``chaos.<spec.stream>``), so a scenario replays bit-identically under
+the same master seed and never perturbs the simulation's own streams.
+
+The compiled form is a flat list of :class:`Injection` records that the
+:class:`~repro.chaos.injector.ChaosInjector` schedules on the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ChaosError
+
+#: Corruption modes for :class:`CorruptUtilizationSpec`: the reading is
+#: *replaced* with the given constant.
+CORRUPTION_VALUES: dict[str, float] = {
+    "negative": -1.0,
+    "zero": 0.0,
+    "inflate": 5.0,
+    "nan": float("nan"),
+}
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One concrete fault drawn from a spec's process.
+
+    Attributes
+    ----------
+    time:
+        Injection instant (simulation seconds).
+    kind:
+        Dispatch key for the injector (``"crash"``, ``"loss_spike"``,
+        ``"bandwidth_spike"``, ``"clock_step"``, ``"sensor_dropout"``,
+        ``"reading_freeze"``, ``"reading_corrupt"``,
+        ``"estimator_bias"``).
+    target:
+        Processor name, or a symbolic target (``"network"``,
+        ``"sensor"``, ``"estimator"``).
+    duration_s:
+        Window length for windowed faults (``None`` for point faults
+        such as clock steps, or for permanent crashes).
+    value:
+        Kind-specific payload: loss probability, bandwidth factor,
+        clock-step seconds, corruption constant, or estimator bias
+        factor.
+    """
+
+    time: float
+    kind: str
+    target: str
+    duration_s: float | None = None
+    value: float = 0.0
+
+
+@runtime_checkable
+class FaultSpec(Protocol):
+    """One stochastic fault process."""
+
+    #: Suffix of the dedicated rng stream (``chaos.<stream>``).
+    stream: str
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw this process's concrete injections over the horizon."""
+        ...
+
+
+def _require_positive(name: str, value: float) -> None:
+    if not value > 0.0:
+        raise ChaosError(f"{name} must be positive, got {value}")
+
+
+@dataclass(frozen=True, kw_only=True)
+class CrashRecoverySpec:
+    """Per-processor crash/recovery renewal process.
+
+    Each targeted processor alternates between up-times drawn from an
+    exponential with mean ``mtbf_s`` and down-times drawn from an
+    exponential with mean ``mttr_s`` — the classic alternating renewal
+    model of node availability.
+
+    Attributes
+    ----------
+    mtbf_s:
+        Mean time between failures (up-time mean).
+    mttr_s:
+        Mean time to repair (down-time mean).
+    processors:
+        Targets (``None`` = every processor).  A single-name tuple
+        models a *flapping* node.
+    """
+
+    mtbf_s: float = 20.0
+    mttr_s: float = 5.0
+    processors: tuple[str, ...] | None = None
+    stream: str = "crash"
+
+    def __post_init__(self) -> None:
+        _require_positive("mtbf_s", self.mtbf_s)
+        _require_positive("mttr_s", self.mttr_s)
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw each target's alternating up/down renewal sequence."""
+        targets = self.processors if self.processors is not None else processor_names
+        injections: list[Injection] = []
+        for name in targets:
+            t = float(rng.exponential(self.mtbf_s))
+            while t < horizon_s:
+                down = float(rng.exponential(self.mttr_s))
+                injections.append(
+                    Injection(time=t, kind="crash", target=name, duration_s=down)
+                )
+                t += down + float(rng.exponential(self.mtbf_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class CorrelatedOutageSpec:
+    """Simultaneous multi-node outages (rack/power-domain failures).
+
+    At exponential intervals a random group of ``group_size``
+    processors crashes together for ``outage_s`` seconds.
+    """
+
+    interval_s: float = 30.0
+    group_size: int = 2
+    outage_s: float = 8.0
+    stream: str = "outage"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("outage_s", self.outage_s)
+        if self.group_size < 1:
+            raise ChaosError(f"group_size must be >= 1, got {self.group_size}")
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the outage instants and each outage's random group."""
+        injections: list[Injection] = []
+        size = min(self.group_size, len(processor_names))
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            group = rng.choice(len(processor_names), size=size, replace=False)
+            for i in sorted(int(g) for g in group):
+                injections.append(
+                    Injection(
+                        time=t,
+                        kind="crash",
+                        target=processor_names[i],
+                        duration_s=self.outage_s,
+                    )
+                )
+            t += float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class LossSpikeSpec:
+    """Windows of elevated message-loss probability."""
+
+    interval_s: float = 20.0
+    duration_s: float = 5.0
+    loss_probability: float = 0.3
+    stream: str = "loss"
+    kind: str = "loss_spike"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("duration_s", self.duration_s)
+        if not 0.0 < self.loss_probability < 1.0:
+            raise ChaosError(
+                f"loss_probability must be in (0, 1), got {self.loss_probability}"
+            )
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the loss-spike windows over the horizon."""
+        injections: list[Injection] = []
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            injections.append(
+                Injection(
+                    time=t,
+                    kind=self.kind,
+                    target="network",
+                    duration_s=self.duration_s,
+                    value=self.loss_probability,
+                )
+            )
+            t += self.duration_s + float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class PartitionSpec(LossSpikeSpec):
+    """Near-total network partitions: loss spikes at probability ~1.
+
+    A distinct spec (and rng stream) rather than a ``LossSpikeSpec``
+    preset because partitions are rarer and longer than loss spikes, and
+    mixing them into one stream would change both processes' draws.
+    """
+
+    interval_s: float = 40.0
+    duration_s: float = 3.0
+    loss_probability: float = 0.98
+    stream: str = "partition"
+
+
+@dataclass(frozen=True, kw_only=True)
+class DelaySpikeSpec:
+    """Windows of degraded bandwidth (delay spikes on every message)."""
+
+    interval_s: float = 20.0
+    duration_s: float = 5.0
+    bandwidth_factor: float = 0.25
+    stream: str = "delay"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("duration_s", self.duration_s)
+        if not 0.0 < self.bandwidth_factor < 1.0:
+            raise ChaosError(
+                f"bandwidth_factor must be in (0, 1), got {self.bandwidth_factor}"
+            )
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the degraded-bandwidth windows over the horizon."""
+        injections: list[Injection] = []
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            injections.append(
+                Injection(
+                    time=t,
+                    kind="bandwidth_spike",
+                    target="network",
+                    duration_s=self.duration_s,
+                    value=self.bandwidth_factor,
+                )
+            )
+            t += self.duration_s + float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClockDriftSpec:
+    """Step changes to random node clocks' offsets.
+
+    Models a node's clock jumping (bad NTP step, VM pause) on top of
+    the continuous drift :class:`~repro.cluster.clock.NodeClock` already
+    simulates.
+    """
+
+    interval_s: float = 15.0
+    max_step_s: float = 0.05
+    stream: str = "clock"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("max_step_s", self.max_step_s)
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the clock-step instants, targets, and magnitudes."""
+        injections: list[Injection] = []
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            which = int(rng.integers(len(processor_names)))
+            step = float(rng.uniform(-self.max_step_s, self.max_step_s))
+            injections.append(
+                Injection(
+                    time=t,
+                    kind="clock_step",
+                    target=processor_names[which],
+                    value=step,
+                )
+            )
+            t += float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class SensorDropoutSpec:
+    """Windows in which the workload sensor repeats its last value.
+
+    During a dropout the executor keeps seeing the most recent
+    pre-dropout track count instead of the live pattern — data keeps
+    flowing but the *measurement* is frozen.
+    """
+
+    interval_s: float = 25.0
+    duration_s: float = 4.0
+    stream: str = "sensor"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("duration_s", self.duration_s)
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the sensor-dropout windows over the horizon."""
+        injections: list[Injection] = []
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            injections.append(
+                Injection(
+                    time=t,
+                    kind="sensor_dropout",
+                    target="sensor",
+                    duration_s=self.duration_s,
+                )
+            )
+            t += self.duration_s + float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class StaleUtilizationSpec:
+    """Windows in which a processor's utilization reading freezes.
+
+    The monitor and both allocation policies keep reading the value the
+    processor reported at the window's start — the "silently trusted
+    stale reading" failure mode the hardened monitor ages out.
+    """
+
+    interval_s: float = 20.0
+    duration_s: float = 6.0
+    stream: str = "stale"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("duration_s", self.duration_s)
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the per-window frozen-reading targets and times."""
+        injections: list[Injection] = []
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            which = int(rng.integers(len(processor_names)))
+            injections.append(
+                Injection(
+                    time=t,
+                    kind="reading_freeze",
+                    target=processor_names[which],
+                    duration_s=self.duration_s,
+                )
+            )
+            t += self.duration_s + float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class CorruptUtilizationSpec:
+    """Windows in which a processor's utilization reading is garbage.
+
+    The reading is replaced by a constant chosen by ``mode`` (see
+    :data:`CORRUPTION_VALUES`).  ``"negative"`` is the nastiest for the
+    unhardened loop: a reading of -1 *wins* every least-utilized query,
+    so both policies pile replicas onto the lying processor.
+    """
+
+    interval_s: float = 20.0
+    duration_s: float = 6.0
+    mode: str = "negative"
+    stream: str = "corrupt"
+
+    def __post_init__(self) -> None:
+        _require_positive("interval_s", self.interval_s)
+        _require_positive("duration_s", self.duration_s)
+        if self.mode not in CORRUPTION_VALUES:
+            raise ChaosError(
+                f"unknown corruption mode {self.mode!r}; "
+                f"choose from {sorted(CORRUPTION_VALUES)}"
+            )
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Draw the per-window corrupted-reading targets and times."""
+        injections: list[Injection] = []
+        value = CORRUPTION_VALUES[self.mode]
+        t = float(rng.exponential(self.interval_s))
+        while t < horizon_s:
+            which = int(rng.integers(len(processor_names)))
+            injections.append(
+                Injection(
+                    time=t,
+                    kind="reading_corrupt",
+                    target=processor_names[which],
+                    duration_s=self.duration_s,
+                    value=value,
+                )
+            )
+            t += self.duration_s + float(rng.exponential(self.interval_s))
+        return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class EstimatorDriftSpec:
+    """Bias/noise injected into the fitted ``eex``/``ecd`` estimators.
+
+    From ``start_s`` (for ``duration_s`` seconds, or until the horizon)
+    every estimator query is multiplied by ``bias_factor``, optionally
+    perturbed by one lognormal noise draw per window (drawn at compile
+    time, so replays stay bit-identical).  A factor below 1 makes
+    Figure 5 *optimistic* — it under-provisions and misses deadlines —
+    which is exactly the misprediction regime the forecast circuit
+    breaker exists for.
+    """
+
+    start_s: float = 10.0
+    duration_s: float | None = None
+    bias_factor: float = 0.4
+    noise_sigma: float = 0.0
+    stream: str = "estimator"
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0.0:
+            raise ChaosError(f"start_s must be >= 0, got {self.start_s}")
+        if self.duration_s is not None:
+            _require_positive("duration_s", self.duration_s)
+        _require_positive("bias_factor", self.bias_factor)
+        if self.noise_sigma < 0.0:
+            raise ChaosError(
+                f"noise_sigma must be >= 0, got {self.noise_sigma}"
+            )
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Emit the single bias window (noise drawn here, once)."""
+        if self.start_s >= horizon_s:
+            return []
+        duration = (
+            self.duration_s
+            if self.duration_s is not None
+            else horizon_s - self.start_s
+        )
+        factor = self.bias_factor
+        if self.noise_sigma > 0.0:
+            factor *= float(np.exp(rng.normal(0.0, self.noise_sigma)))
+        return [
+            Injection(
+                time=self.start_s,
+                kind="estimator_bias",
+                target="estimator",
+                duration_s=duration,
+                value=factor,
+            )
+        ]

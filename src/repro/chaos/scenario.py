@@ -1,0 +1,166 @@
+"""Named chaos scenarios: composable bundles of fault processes.
+
+A :class:`ChaosScenario` is just a name plus a tuple of
+:class:`~repro.chaos.faults.FaultSpec` instances; the preset registry
+below covers one scenario per fault class (the rows of
+``benchmarks/bench_ext_chaos_matrix.py``) plus a combined ``"mayhem"``
+stress scenario.  ``"none"`` is the empty scenario — running under it
+is bit-identical to not using chaos at all, which the equivalence test
+in ``tests/integration/test_chaos_equivalence.py`` pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chaos.faults import (
+    ClockDriftSpec,
+    CorrelatedOutageSpec,
+    CorruptUtilizationSpec,
+    CrashRecoverySpec,
+    DelaySpikeSpec,
+    EstimatorDriftSpec,
+    FaultSpec,
+    LossSpikeSpec,
+    PartitionSpec,
+    SensorDropoutSpec,
+    StaleUtilizationSpec,
+)
+from repro.errors import ChaosError
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named, composable set of fault processes."""
+
+    name: str
+    faults: tuple[FaultSpec, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        streams = [spec.stream for spec in self.faults]
+        duplicates = sorted(
+            {stream for stream in streams if streams.count(stream) > 1}
+        )
+        if duplicates:
+            raise ChaosError(
+                f"scenario {self.name!r} reuses rng stream(s) "
+                f"{duplicates}; give each spec a distinct `stream` so "
+                "their draws stay independent"
+            )
+
+
+#: The preset registry: one scenario per fault class, plus combinations.
+SCENARIOS: dict[str, ChaosScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ChaosScenario(
+            name="none",
+            faults=(),
+            description="No faults; bit-identical to a plain run.",
+        ),
+        ChaosScenario(
+            name="crashes",
+            faults=(CrashRecoverySpec(mtbf_s=18.0, mttr_s=5.0),),
+            description="Independent crash/recovery renewal on every node.",
+        ),
+        ChaosScenario(
+            name="flaky_node",
+            faults=(
+                CrashRecoverySpec(mtbf_s=6.0, mttr_s=2.0, processors=("p2",)),
+            ),
+            description="One node flaps: short up-times, quick recoveries.",
+        ),
+        ChaosScenario(
+            name="outage",
+            faults=(
+                CorrelatedOutageSpec(interval_s=25.0, group_size=2, outage_s=6.0),
+            ),
+            description="Correlated two-node outages (rack/power domain).",
+        ),
+        ChaosScenario(
+            name="partition",
+            faults=(PartitionSpec(interval_s=40.0, duration_s=3.0),),
+            description="Near-total network partitions (~98% loss windows).",
+        ),
+        ChaosScenario(
+            name="loss_spike",
+            faults=(
+                LossSpikeSpec(
+                    interval_s=15.0, duration_s=4.0, loss_probability=0.4
+                ),
+            ),
+            description="Bursty 40% message-loss windows.",
+        ),
+        ChaosScenario(
+            name="delay_spike",
+            faults=(
+                DelaySpikeSpec(
+                    interval_s=15.0, duration_s=5.0, bandwidth_factor=0.2
+                ),
+            ),
+            description="Bandwidth collapses to 20% in bursts.",
+        ),
+        ChaosScenario(
+            name="clock_drift",
+            faults=(ClockDriftSpec(interval_s=10.0, max_step_s=0.2),),
+            description="Random node clocks step by up to ±200 ms.",
+        ),
+        ChaosScenario(
+            name="sensor_dropout",
+            faults=(SensorDropoutSpec(interval_s=20.0, duration_s=3.0),),
+            description="The workload sensor repeats stale track counts.",
+        ),
+        ChaosScenario(
+            name="stale_readings",
+            faults=(StaleUtilizationSpec(interval_s=12.0, duration_s=6.0),),
+            description="A node's utilization reading freezes for windows.",
+        ),
+        ChaosScenario(
+            name="corrupt_readings",
+            faults=(
+                CorruptUtilizationSpec(
+                    interval_s=10.0, duration_s=6.0, mode="negative"
+                ),
+            ),
+            description="A node reports utilization -1 and wins every "
+            "least-utilized query.",
+        ),
+        ChaosScenario(
+            name="estimator_bias",
+            faults=(EstimatorDriftSpec(start_s=8.0, bias_factor=0.3),),
+            description="Forecasts collapse to 30% of reality mid-run.",
+        ),
+        ChaosScenario(
+            name="mayhem",
+            faults=(
+                CrashRecoverySpec(mtbf_s=25.0, mttr_s=4.0),
+                LossSpikeSpec(
+                    interval_s=20.0, duration_s=4.0, loss_probability=0.3
+                ),
+                CorruptUtilizationSpec(
+                    interval_s=15.0, duration_s=5.0, mode="negative"
+                ),
+                EstimatorDriftSpec(start_s=15.0, bias_factor=0.4),
+            ),
+            description="Crashes + loss spikes + corrupted readings + "
+            "estimator bias, all at once.",
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> ChaosScenario:
+    """Look up a preset scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ChaosError(
+            f"unknown chaos scenario {name!r}; choose from "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of every preset scenario, sorted."""
+    return tuple(sorted(SCENARIOS))

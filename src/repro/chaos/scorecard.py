@@ -1,0 +1,218 @@
+"""The resilience scorecard: what a fault process actually cost.
+
+:func:`compute_scorecard` turns a run's period records, the manager's
+action history, and the injector's fault log into the standard
+resilience quantities:
+
+* **availability** — fraction of released periods that completed on
+  time;
+* **miss windows** — maximal runs of consecutive not-on-time periods,
+  measured on the time axis from the first violated deadline to the
+  completion of the next on-time period (duration, count, and ratio of
+  the horizon spent inside one);
+* **MTTR** — mean time from a *disruptive* fault (one followed by a
+  missed period before service recovers) to the first on-time
+  completion after it; faults never recovered from before the horizon
+  are counted separately and contribute the remaining horizon;
+* **actions per fault** — placement-changing RM steps per injected
+  fault, the control-effort cost of surviving the scenario.
+
+Records and events are duck-typed (``release_time`` / ``missed`` /
+``completed`` / ``completion_time`` on records), matching the telemetry
+hub's convention so the module needs nothing above the runtime layer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+from repro.errors import ChaosError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.faults import Injection
+    from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class ResilienceScorecard:
+    """The resilience quantities of one run under one scenario."""
+
+    horizon_s: float
+    faults_injected: int
+    faults_by_kind: dict[str, int] = field(compare=False)
+    periods_released: int = 0
+    periods_on_time: int = 0
+    availability: float = 1.0
+    miss_windows: int = 0
+    miss_window_s: float = 0.0
+    miss_window_ratio: float = 0.0
+    mttr_s: float | None = None
+    disrupted_faults: int = 0
+    unrecovered_faults: int = 0
+    rm_actions: int = 0
+    actions_per_fault: float = 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "horizon_s": self.horizon_s,
+            "faults_injected": self.faults_injected,
+            "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "periods_released": self.periods_released,
+            "periods_on_time": self.periods_on_time,
+            "availability": self.availability,
+            "miss_windows": self.miss_windows,
+            "miss_window_s": self.miss_window_s,
+            "miss_window_ratio": self.miss_window_ratio,
+            "mttr_s": self.mttr_s,
+            "disrupted_faults": self.disrupted_faults,
+            "unrecovered_faults": self.unrecovered_faults,
+            "rm_actions": self.rm_actions,
+            "actions_per_fault": self.actions_per_fault,
+        }
+
+    def to_registry(self, registry: "MetricsRegistry") -> None:
+        """Export every quantity as ``chaos.*`` gauges."""
+        registry.gauge("chaos.faults_total").set(self.faults_injected)
+        registry.gauge("chaos.availability").set(self.availability)
+        registry.gauge("chaos.miss_windows").set(self.miss_windows)
+        registry.gauge("chaos.miss_window_seconds").set(self.miss_window_s)
+        registry.gauge("chaos.miss_window_ratio").set(self.miss_window_ratio)
+        if self.mttr_s is not None:
+            registry.gauge("chaos.mttr_seconds").set(self.mttr_s)
+        registry.gauge("chaos.disrupted_faults").set(self.disrupted_faults)
+        registry.gauge("chaos.unrecovered_faults").set(self.unrecovered_faults)
+        registry.gauge("chaos.actions_per_fault").set(self.actions_per_fault)
+
+    def write_json(self, path: str | Path) -> Path:
+        """Persist :meth:`as_dict` as pretty-printed JSON."""
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        return target
+
+
+def _on_time(record) -> bool:
+    return record.completed and not record.missed
+
+
+def _resolution_time(record, horizon_s: float) -> float:
+    if record.completion_time is not None:
+        return float(record.completion_time)
+    return horizon_s
+
+
+def compute_scorecard(
+    records: Sequence,
+    fault_log: Sequence["Injection"],
+    horizon_s: float,
+    rm_actions: int = 0,
+    faults_by_kind: dict[str, int] | None = None,
+) -> ResilienceScorecard:
+    """Derive the scorecard from one run's records and fault log.
+
+    Parameters
+    ----------
+    records:
+        Finished period records (completed or aborted), release order.
+    fault_log:
+        The injector's compiled :class:`~repro.chaos.faults.Injection`
+        list (empty for a fault-free baseline run).
+    horizon_s:
+        Observation horizon; released-but-unresolved misses extend to
+        it.
+    rm_actions:
+        Placement-changing manager steps
+        (:meth:`~repro.core.manager.AdaptiveResourceManager.actions_taken`).
+    faults_by_kind:
+        Injection counts per kind (derived from ``fault_log`` when
+        omitted).
+    """
+    if horizon_s <= 0.0:
+        raise ChaosError(f"horizon_s must be positive, got {horizon_s}")
+    records = [r for r in records if r.release_time < horizon_s]
+    if faults_by_kind is None:
+        faults_by_kind = {}
+        for injection in fault_log:
+            faults_by_kind[injection.kind] = (
+                faults_by_kind.get(injection.kind, 0) + 1
+            )
+
+    released = len(records)
+    on_time = sum(1 for record in records if _on_time(record))
+    availability = on_time / released if released else 1.0
+
+    # Miss windows on the time axis: a window opens at the first violated
+    # deadline of a run of consecutive not-on-time periods and closes at
+    # the completion of the next on-time period (or the horizon).
+    miss_windows = 0
+    miss_window_s = 0.0
+    window_start: float | None = None
+    for record in records:
+        if _on_time(record):
+            if window_start is not None:
+                end = _resolution_time(record, horizon_s)
+                miss_window_s += max(0.0, end - window_start)
+                window_start = None
+        elif window_start is None:
+            miss_windows += 1
+            window_start = record.release_time + record.deadline
+    if window_start is not None:
+        miss_window_s += max(0.0, horizon_s - window_start)
+    miss_window_ratio = min(1.0, miss_window_s / horizon_s)
+
+    # MTTR over disruptive faults: time from the fault to the first
+    # on-time completion, counting only faults whose aftermath actually
+    # missed a deadline before recovering.
+    recovery_times: list[float] = []
+    disrupted = 0
+    unrecovered = 0
+    for injection in fault_log:
+        if injection.time >= horizon_s:
+            continue
+        saw_miss = False
+        recovered_at: float | None = None
+        for record in records:
+            if record.release_time < injection.time:
+                continue
+            if _on_time(record):
+                if saw_miss:
+                    recovered_at = _resolution_time(record, horizon_s)
+                break
+            saw_miss = True
+        if not saw_miss:
+            continue
+        disrupted += 1
+        if recovered_at is None:
+            unrecovered += 1
+            recovery_times.append(horizon_s - injection.time)
+        else:
+            recovery_times.append(recovered_at - injection.time)
+    mttr_s = (
+        sum(recovery_times) / len(recovery_times) if recovery_times else None
+    )
+
+    n_faults = sum(1 for injection in fault_log if injection.time < horizon_s)
+    return ResilienceScorecard(
+        horizon_s=float(horizon_s),
+        faults_injected=n_faults,
+        faults_by_kind=faults_by_kind,
+        periods_released=released,
+        periods_on_time=on_time,
+        availability=availability,
+        miss_windows=miss_windows,
+        miss_window_s=miss_window_s,
+        miss_window_ratio=miss_window_ratio,
+        mttr_s=mttr_s,
+        disrupted_faults=disrupted,
+        unrecovered_faults=unrecovered,
+        rm_actions=rm_actions,
+        actions_per_fault=(
+            rm_actions / n_faults if n_faults else float(rm_actions)
+        ),
+    )

@@ -28,7 +28,14 @@ Commands
     Regenerate the whole evaluation as one Markdown document.
 ``campaign``
     A whole policy × pattern × workload × seed grid in one shot, with
-    ``--jobs N`` process-pool parallelism and per-run accounting.
+    ``--jobs N`` process-pool parallelism and per-run accounting;
+    ``--scenarios`` / ``--hardened-axis`` extend the grid along the
+    chaos axes.
+``chaos``
+    One experiment under a named fault-injection scenario, reporting
+    the resilience scorecard; ``--compare`` runs the hardened and
+    unhardened RM side by side, ``--list`` prints the scenario
+    catalogue.
 ``lint``
     Static-analysis suite over a source tree (determinism, unit-safety,
     layering, pickling rules); exit code 1 on violations.
@@ -395,12 +402,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     """Handle ``repro campaign``: a full grid, optionally in parallel."""
     from repro.experiments.campaign import CampaignSpec, run_campaign
 
+    scenarios: tuple[str | None, ...] = (None,)
+    if args.scenarios:
+        scenarios = tuple(
+            None if name == "off" else name for name in args.scenarios
+        )
+    hardened: tuple[bool, ...] = {
+        "off": (False,), "on": (True,), "both": (False, True),
+    }[args.hardened_axis]
     spec = CampaignSpec(
         policies=tuple(args.policies),
         patterns=tuple(args.patterns),
         units=_units_from_args(args),
         n_seeds=args.seeds,
         baseline=_baseline_from_args(args),
+        scenarios=scenarios,
+        hardened=hardened,
     )
     result = run_campaign(
         spec,
@@ -412,6 +429,93 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         target = result.write_json(args.json)
         print(f"campaign written to {target}")
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Handle ``repro chaos``: one run under a fault scenario."""
+    from repro.chaos import SCENARIOS, run_chaos_experiment, scenario_names
+    from repro.experiments.estimator_cache import get_estimator
+
+    if args.list:
+        rows = [
+            [name, len(SCENARIOS[name].faults), SCENARIOS[name].description]
+            for name in scenario_names()
+        ]
+        print(format_table(["scenario", "faults", "description"], rows,
+                           title="chaos scenarios"))
+        return 0
+
+    baseline = _baseline_from_args(args)
+    estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
+    modes = (True, False) if args.compare else (args.hardened,)
+    scorecards = {}
+    crashed: dict[str, str] = {}
+    for hardened in modes:
+        label = "hardened" if hardened else "unhardened"
+        try:
+            result = run_chaos_experiment(
+                scenario=args.scenario,
+                policy=args.policy,
+                pattern=args.pattern,
+                max_workload_units=args.max_units,
+                baseline=baseline,
+                hardened=hardened,
+                estimator=estimator,
+            )
+        except ReproError as exc:
+            if not args.compare:
+                raise
+            # In compare mode, a controller crash on faulty input IS
+            # the unhardened result — show it instead of aborting.
+            crashed[label] = f"{type(exc).__name__}: {exc}"
+            continue
+        scorecards[label] = (result.scorecard, result.metrics)
+
+    def fmt(value):
+        return "-" if value is None else value
+
+    rows = []
+    for label, (scorecard, metrics) in scorecards.items():
+        data = scorecard.as_dict()
+        rows.append(
+            [
+                label,
+                data["faults_injected"],
+                data["availability"],
+                fmt(data["mttr_s"]),
+                data["miss_window_ratio"],
+                data["actions_per_fault"],
+                metrics.missed_deadline_ratio,
+            ]
+        )
+    for label in crashed:
+        rows.append([label, "-", "CRASHED", "-", "-", "-", "-"])
+    print(
+        format_table(
+            ["rm", "faults", "availability", "mttr (s)",
+             "miss-window ratio", "actions/fault", "missed ratio"],
+            rows,
+            title=f"chaos: {args.scenario}, {args.policy}, {args.pattern}, "
+            f"{args.max_units:g} units",
+        )
+    )
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            label: scorecard.as_dict()
+            for label, (scorecard, _) in scorecards.items()
+        }
+        for label, error in crashed.items():
+            payload[label] = {"crashed": True, "error": error}
+        payload["scenario"] = args.scenario
+        payload["policy"] = args.policy
+        target.write_text(_json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"scorecard written to {target}")
     return 0
 
 
@@ -545,7 +649,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_campaign.add_argument(
         "--quiet", action="store_true", help="suppress per-run progress lines"
     )
+    p_campaign.add_argument(
+        "--scenarios", nargs="+", metavar="NAME",
+        help="chaos-scenario axis ('off' = fault-free cell)",
+    )
+    p_campaign.add_argument(
+        "--hardened-axis", choices=("off", "on", "both"), default="off",
+        help="RM-hardening axis of the grid",
+    )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run one experiment under a fault-injection scenario"
+    )
+    p_chaos.add_argument("--scenario", default="crashes")
+    p_chaos.add_argument("--policy", default="predictive")
+    p_chaos.add_argument("--pattern", default="triangular")
+    p_chaos.add_argument("--max-units", type=float, default=20.0)
+    p_chaos.add_argument(
+        "--hardened", action=argparse.BooleanOptionalAction, default=True,
+        help="enable the RM hardening defenses (--no-hardened disables)",
+    )
+    p_chaos.add_argument(
+        "--compare", action="store_true",
+        help="run hardened and unhardened back to back",
+    )
+    p_chaos.add_argument("--json", help="write the scorecard JSON here")
+    p_chaos.add_argument(
+        "--list", action="store_true", help="print the scenario catalogue"
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_lint = sub.add_parser(
         "lint", help="run the static-analysis suite over a source tree"

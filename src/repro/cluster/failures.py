@@ -50,13 +50,51 @@ class FailureInjector:
     _armed: bool = False
 
     def plan(self, *events: FailureEvent) -> "FailureInjector":
-        """Add events to the plan (before :meth:`arm`)."""
+        """Add events to the plan (before :meth:`arm`).
+
+        The combined plan (existing plus new events) is validated as a
+        whole: per processor, each crash interval ``[fail_at,
+        recover_at)`` must end before the next crash begins.  Duplicate
+        or overlapping events — e.g. two ``fail_at`` with no recovery
+        between them, which would silently collapse into one crash via
+        :meth:`Processor.fail`'s idempotence — raise
+        :class:`~repro.errors.ClusterError` and leave the plan
+        unchanged.
+        """
         if self._armed:
             raise ClusterError("injector already armed")
         for event in events:
             self.system.processor(event.processor)  # validates the name
-            self.events.append(event)
+        self._check_intervals([*self.events, *events])
+        self.events.extend(events)
         return self
+
+    @staticmethod
+    def _check_intervals(events: list[FailureEvent]) -> None:
+        """Reject overlapping/duplicate crash intervals per processor."""
+        by_processor: dict[str, list[FailureEvent]] = {}
+        for event in events:
+            by_processor.setdefault(event.processor, []).append(event)
+        for name, plan in by_processor.items():
+            plan.sort(key=lambda e: e.fail_at)
+            for previous, current in zip(plan, plan[1:]):
+                if current.fail_at == previous.fail_at:
+                    raise ClusterError(
+                        f"duplicate failure for {name!r} at "
+                        f"t={current.fail_at}"
+                    )
+                if previous.recover_at is None:
+                    raise ClusterError(
+                        f"{name!r} fails at t={previous.fail_at} with no "
+                        f"recovery, so the failure planned at "
+                        f"t={current.fail_at} would never happen"
+                    )
+                if current.fail_at < previous.recover_at:
+                    raise ClusterError(
+                        f"overlapping failures for {name!r}: "
+                        f"[{previous.fail_at}, {previous.recover_at}) "
+                        f"overlaps the failure at t={current.fail_at}"
+                    )
 
     def arm(self) -> None:
         """Schedule every planned event on the engine (once)."""

@@ -59,6 +59,8 @@ class Message:
         "enqueue_time",
         "start_time",
         "delivery_time",
+        "loss_count",
+        "dropped",
     )
 
     def __init__(
@@ -84,6 +86,10 @@ class Message:
         self.enqueue_time: float | None = None
         self.start_time: float | None = None
         self.delivery_time: float | None = None
+        #: Transmissions of this message lost so far.
+        self.loss_count = 0
+        #: True once the network abandoned the message (retries exhausted).
+        self.dropped = False
 
     @property
     def wire_bytes(self) -> float:
@@ -138,6 +144,13 @@ class Network:
     retransmit_timeout:
         Seconds from the (lost) transmission's start until the sender
         retries.
+    max_retries:
+        Retransmissions allowed per message before the network gives up
+        and **drops** it: the delivery callback never fires, the message
+        is marked ``dropped``, and ``dropped_count`` plus the
+        ``net.messages_dropped`` telemetry counter record the loss.
+        ``None`` (default) retries forever — the original semantics,
+        where a lossy link only ever *delays* messages.
     rng:
         Random generator deciding losses.
     """
@@ -153,6 +166,7 @@ class Network:
         mode: str = "shared",
         loss_probability: float = 0.0,
         retransmit_timeout: float = 0.050,
+        max_retries: int | None = None,
         rng=None,
     ) -> None:
         if bandwidth_bps <= 0.0:
@@ -169,10 +183,16 @@ class Network:
             )
         if loss_probability > 0.0 and rng is None:
             raise ClusterError("loss_probability > 0 requires an rng")
+        if max_retries is not None and max_retries < 0:
+            raise ClusterError(
+                f"max_retries must be >= 0 or None, got {max_retries}"
+            )
         self.loss_probability = float(loss_probability)
         self.retransmit_timeout = float(retransmit_timeout)
+        self.max_retries = max_retries
         self.rng = rng
         self.lost_count = 0
+        self.dropped_count = 0
         self.engine = engine
         self.bandwidth_bps = float(bandwidth_bps)
         self.default_overhead_bytes = float(default_overhead_bytes)
@@ -278,12 +298,32 @@ class Network:
         if self.rng.random() >= self.loss_probability:
             return False
         self.lost_count += 1
+        message.loss_count += 1
         self.engine.tracer.record(
             self.engine.now, "message", f"{message.label or 'msg'}.lost", {}
         )
         telemetry = self.engine.telemetry
         if telemetry.enabled:
             telemetry.on_message_lost(self.engine.now)
+        if (
+            self.max_retries is not None
+            and message.loss_count > self.max_retries
+        ):
+            # Retries exhausted: abandon the message.  The silent-drop
+            # failure mode is no longer silent — counters and telemetry
+            # record it, and the sender's callback simply never fires
+            # (exactly what a crashed receiver looks like).
+            message.dropped = True
+            self.dropped_count += 1
+            self.engine.tracer.record(
+                self.engine.now,
+                "message",
+                f"{message.label or 'msg'}.dropped",
+                {"losses": message.loss_count},
+            )
+            if telemetry.enabled:
+                telemetry.on_message_dropped(self.engine.now)
+            return True
         self.engine.schedule(
             self.retransmit_timeout, self._resend, message, label="net.retransmit"
         )

@@ -149,6 +149,11 @@ class Processor:
         self.completed_jobs = 0
         self.failed = False
         self.failure_count = 0
+        #: Optional sensor-fault transform applied to every utilization
+        #: reading (chaos injection: stale/corrupted monitor inputs).
+        #: The meter itself stays truthful — only the *reported* value
+        #: is transformed, so measured experiment metrics are unaffected.
+        self.reading_fault: Callable[[float], float] | None = None
         # PS state
         self._active: dict[int, Job] = {}
         self._last_update = engine.now
@@ -247,7 +252,10 @@ class Processor:
         """``ut(p, t)``: busy fraction over the trailing window."""
         t = self.engine.now if now is None else now
         w = self.utilization_window if window is None else window
-        return self.meter.utilization(t, w)
+        reading = self.meter.utilization(t, w)
+        if self.reading_fault is not None:
+            reading = self.reading_fault(reading)
+        return reading
 
     @property
     def active_count(self) -> int:

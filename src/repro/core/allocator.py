@@ -46,6 +46,16 @@ class AllocationRequest:
         ``ds(T, c)``: data items in the current period.
     total_periodic_tracks:
         Total workload across all tasks this period (drives eq. 5).
+    excluded_processors:
+        Processors the hardened loop has ruled out this cycle (repeat
+        offenders, implausible readings — see
+        :class:`repro.core.hardening.PlacementGuard`).  Policies must
+        not place replicas there; empty in the unhardened loop.
+    reading_guard:
+        Optional sanitizer applied to every utilization reading a
+        policy feeds into the regression models (the hardened loop
+        installs :func:`repro.core.hardening.sanitize_reading`;
+        ``None`` — the unhardened default — uses readings verbatim).
     """
 
     task: PeriodicTask
@@ -56,6 +66,8 @@ class AllocationRequest:
     deadlines: DeadlineAssignment
     d_tracks: float
     total_periodic_tracks: float
+    excluded_processors: frozenset[str] = frozenset()
+    reading_guard: Callable[[float], float] | None = None
 
 
 @dataclass(frozen=True)

@@ -20,6 +20,7 @@ allocation takes effect immediately) the manager:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -30,7 +31,15 @@ from repro.core.allocator import (
     AllocationRequest,
 )
 from repro.core.deadlines import DeadlineAssignment, assign_deadlines
+from repro.core.hardening import (
+    AllocationBackoff,
+    ForecastCircuitBreaker,
+    HardeningConfig,
+    PlacementGuard,
+    sanitize_reading,
+)
 from repro.core.monitoring import MonitorAction, MonitorReport, RuntimeMonitor
+from repro.core.nonpredictive import NonPredictivePolicy
 from repro.core.shutdown import LifoShutdown, ShutdownStrategy
 from repro.errors import ConfigurationError
 from repro.regression.estimator import TimingEstimator
@@ -116,6 +125,9 @@ class RMEvent:
     #: Failure handling this step: (subtask index, dead processor,
     #: migration target or None when surviving replicas absorbed it).
     recoveries: tuple[tuple[int, str, str | None], ...] = ()
+    #: Name of the policy that actually ran this step (the hardened
+    #: loop's circuit breaker may substitute the fallback policy).
+    policy_name: str = ""
 
     @property
     def acted(self) -> bool:
@@ -139,6 +151,8 @@ class AdaptiveResourceManager:
         config: RMConfig | None = None,
         shutdown_strategy: ShutdownStrategy | None = None,
         total_workload_fn: "Callable[[], float] | None" = None,
+        hardening: HardeningConfig | None = None,
+        fallback_policy: AllocationPolicy | None = None,
     ) -> None:
         self.system = system
         self.executor = executor
@@ -150,6 +164,29 @@ class AdaptiveResourceManager:
         self.shutdown_strategy: ShutdownStrategy = (
             shutdown_strategy if shutdown_strategy is not None else LifoShutdown()
         )
+        # Degraded-input defenses (repro.core.hardening).  With
+        # ``hardening=None`` every guard below is skipped and decision
+        # sequences are bit-identical to the unhardened loop.
+        self.hardening = hardening
+        self.guard: PlacementGuard | None = None
+        self.backoff: AllocationBackoff | None = None
+        self.breaker: ForecastCircuitBreaker | None = None
+        self.fallback_policy: AllocationPolicy | None = None
+        if hardening is not None:
+            self.guard = PlacementGuard(system, hardening)
+            self.backoff = AllocationBackoff(hardening)
+            if getattr(policy, "name", "") != "nonpredictive":
+                self.breaker = ForecastCircuitBreaker(hardening)
+                self.fallback_policy = (
+                    fallback_policy
+                    if fallback_policy is not None
+                    else NonPredictivePolicy()
+                )
+        #: Accepted Figure 5 forecasts awaiting realization, keyed by
+        #: ``(subtask_index, replica_count)`` — the same matching rule
+        #: telemetry spans use.
+        self._pending_forecasts: dict[tuple[int, int], float] = {}
+        self._breaker_seen: set[int] = set()
         # In multi-task deployments eq. 5's buffer term is driven by the
         # *total* periodic workload across tasks (paper §3, property 4 /
         # eq. 5); the coordinator supplies this hook.  Single-task runs
@@ -162,6 +199,9 @@ class AdaptiveResourceManager:
             window=self.config.monitor_window,
             telemetry=system.engine.telemetry,
             utilization_index=system.utilization_index,
+            max_record_age_s=(
+                hardening.max_record_age_s if hardening is not None else None
+            ),
         )
         self.history: list[RMEvent] = []
         self.deadlines: DeadlineAssignment = self._initial_deadlines()
@@ -187,6 +227,13 @@ class AdaptiveResourceManager:
         :class:`RMConfig`).
         """
         mean_u = self.system.mean_utilization()
+        if self.hardening is not None and (
+            not math.isfinite(mean_u) or not 0.0 <= mean_u <= 1.0
+        ):
+            # Corrupted readings can push the cluster mean outside any
+            # plausible busy fraction; fall back to the configured
+            # reference conditions rather than feeding garbage to eq. 3.
+            mean_u = self.config.initial_utilization
         if self.config.deadline_reference == "initial":
             d_ref = self.config.initial_d_tracks
             share_of = {s.index: d_ref for s in self.task.subtasks}
@@ -292,6 +339,26 @@ class AdaptiveResourceManager:
             share = record.d_tracks / max(stage.replica_count, 1)
             observe(stage.subtask_index, share, mean_u, stage.exec_latency)
 
+    def _feed_breaker(self, now: float, records) -> None:
+        """Match realized stage latencies to pending Figure 5 forecasts.
+
+        Uses the same ``(subtask_index, replica_count)`` key the
+        telemetry span recorder uses, so the breaker sees exactly the
+        predicted-vs-realized pairs the observability stack reports.
+        """
+        assert self.breaker is not None
+        for record in records:
+            if record.period_index in self._breaker_seen:
+                continue
+            self._breaker_seen.add(record.period_index)
+            for stage in record.stages:
+                if stage.stage_latency is None:
+                    continue
+                key = (stage.subtask_index, stage.replica_count)
+                forecast = self._pending_forecasts.pop(key, None)
+                if forecast is not None:
+                    self.breaker.observe(now, forecast, stage.stage_latency)
+
     def step(self) -> RMEvent:
         """Run one monitor/adapt pass (callable directly in tests)."""
         now = self.system.engine.now
@@ -301,6 +368,8 @@ class AdaptiveResourceManager:
         recoveries = self._handle_failures()
         records = self.executor.completed_records()
         self._feed_observations(records)
+        if self.breaker is not None:
+            self._feed_breaker(now, records)
         overdue = self.executor.overdue_subtasks()
         report = self.monitor.classify(
             now, records, self.deadlines, self.assignment, overdue
@@ -315,6 +384,23 @@ class AdaptiveResourceManager:
         )
         total_tracks = max(total_tracks, d_tracks)
 
+        excluded: frozenset[str] = frozenset()
+        active_policy: AllocationPolicy = self.policy
+        if self.hardening is not None:
+            assert self.guard is not None
+            self.guard.observe(now)
+            excluded = self.guard.excluded(now)
+            if self.breaker is not None and not self.breaker.allow_predictive(now):
+                assert self.fallback_policy is not None
+                active_policy = self.fallback_policy
+
+        reading_guard = None
+        if self.hardening is not None:
+            fallback = self.config.initial_utilization
+
+            def reading_guard(reading: float) -> float:
+                return sanitize_reading(reading, fallback)
+
         def request_for(subtask_index: int) -> AllocationRequest:
             return AllocationRequest(
                 task=self.task,
@@ -325,12 +411,35 @@ class AdaptiveResourceManager:
                 deadlines=self.deadlines,
                 d_tracks=d_tracks,
                 total_periodic_tracks=total_tracks,
+                excluded_processors=excluded,
+                reading_guard=reading_guard,
             )
 
+        cycle = len(self.history)
         outcomes: list[AllocationOutcome] = []
         shutdowns: list[tuple[int, str]] = []
         for verdict in report.candidates(MonitorAction.REPLICATE):
-            outcomes.append(self.policy.replicate(request_for(verdict.subtask_index)))
+            if self.backoff is not None and not self.backoff.should_attempt(
+                verdict.subtask_index, cycle
+            ):
+                continue
+            outcome = active_policy.replicate(request_for(verdict.subtask_index))
+            outcomes.append(outcome)
+            if self.backoff is not None:
+                if outcome.success:
+                    self.backoff.record_success(outcome.subtask_index)
+                else:
+                    self.backoff.record_failure(outcome.subtask_index, cycle)
+            if (
+                self.breaker is not None
+                and outcome.success
+                and outcome.forecast_latency is not None
+            ):
+                key = (
+                    outcome.subtask_index,
+                    self.assignment.replica_count(outcome.subtask_index),
+                )
+                self._pending_forecasts[key] = outcome.forecast_latency
         for verdict in report.candidates(MonitorAction.SHUTDOWN):
             removed = self.shutdown_strategy.shutdown(
                 request_for(verdict.subtask_index)
@@ -353,6 +462,7 @@ class AdaptiveResourceManager:
             total_replicas=self.assignment.total_replicas(),
             placement=self.assignment.snapshot(),
             recoveries=tuple(recoveries),
+            policy_name=active_policy.name,
         )
         if event.acted:
             self._reassign_deadlines(d_tracks)
@@ -367,6 +477,10 @@ class AdaptiveResourceManager:
                 },
             )
         if telemetry.enabled:
+            if self.breaker is not None:
+                telemetry.on_breaker_state(
+                    now, self.breaker.state, self.breaker.trips
+                )
             if self.system.utilization_index is not None:
                 telemetry.on_index_stats(
                     self.system.engine.now,

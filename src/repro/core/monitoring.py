@@ -90,6 +90,13 @@ class RuntimeMonitor:
         both it and telemetry are active, each pass also publishes the
         exact cluster minimum utilization (an O(log P) index query
         instead of the O(P) scan a naive gauge would cost).
+    max_record_age_s:
+        Optional staleness bound (hardened mode, see
+        :class:`repro.core.hardening.HardeningConfig`): records whose
+        resolution time — completion, or release when a record never
+        completed — is older than this are dropped from the averaging
+        window instead of silently trusted.  ``None`` (default) keeps
+        every record.
     """
 
     def __init__(
@@ -100,6 +107,7 @@ class RuntimeMonitor:
         window: int = 3,
         telemetry: TelemetryHub | None = None,
         utilization_index: "UtilizationIndex | None" = None,
+        max_record_age_s: float | None = None,
     ) -> None:
         if not 0.0 < slack_fraction < 1.0:
             raise ConfigurationError(
@@ -112,6 +120,11 @@ class RuntimeMonitor:
             )
         if window < 1:
             raise ConfigurationError(f"window must be >= 1, got {window}")
+        if max_record_age_s is not None and max_record_age_s <= 0.0:
+            raise ConfigurationError(
+                f"max_record_age_s must be positive, got {max_record_age_s}"
+            )
+        self.max_record_age_s = max_record_age_s
         self.task = task
         self.slack_fraction = float(slack_fraction)
         self.shutdown_slack_fraction = float(shutdown_slack_fraction)
@@ -144,6 +157,18 @@ class RuntimeMonitor:
             Stages currently in flight past the period deadline (from
             :meth:`repro.runtime.executor.PeriodicTaskExecutor.overdue_subtasks`).
         """
+        if self.max_record_age_s is not None:
+            horizon = now - self.max_record_age_s
+            records = [
+                record
+                for record in records
+                if (
+                    record.completion_time
+                    if record.completion_time is not None
+                    else record.release_time
+                )
+                >= horizon
+            ]
         recent = records[-self.window :]
         verdicts: list[SubtaskVerdict] = []
         for subtask in self.task.subtasks:

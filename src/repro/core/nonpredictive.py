@@ -67,7 +67,10 @@ class NonPredictivePolicy:
             self.utilization_threshold, window=self.utilization_window
         )
         for processor in below:
-            if processor.name not in hosting:
+            if (
+                processor.name not in hosting
+                and processor.name not in request.excluded_processors
+            ):
                 request.assignment.add_replica(subtask_index, processor.name)
                 added.append(processor.name)
         # Figure 7 has no failure branch; the heuristic always "succeeds".

@@ -65,8 +65,13 @@ class PredictivePolicy:
 
         while True:
             hosting = set(request.assignment.processors_of(subtask_index))
+            exclude = (
+                hosting | request.excluded_processors
+                if request.excluded_processors
+                else hosting
+            )
             candidate = request.system.least_utilized(
-                exclude=hosting, window=self.utilization_window
+                exclude=exclude, window=self.utilization_window
             )
             if candidate is None:
                 # Step 2: PT is empty -> FAILURE (added replicas stay).
@@ -116,6 +121,7 @@ class PredictivePolicy:
             )
         else:
             ecd = 0.0
+        guard = request.reading_guard
         batch = getattr(request.estimator, "eex_seconds_many", None)
         if batch is not None:
             utilizations = [
@@ -124,6 +130,8 @@ class PredictivePolicy:
                 )
                 for name in replicas
             ]
+            if guard is not None:
+                utilizations = [guard(u) for u in utilizations]
             eex_arr = batch(subtask_index, share, utilizations)
             return max(0.0, float(np.max(eex_arr + ecd)))
         worst = 0.0
@@ -131,6 +139,8 @@ class PredictivePolicy:
             utilization = request.system.processor(name).utilization(
                 window=self.utilization_window
             )
+            if guard is not None:
+                utilization = guard(utilization)
             eex = request.estimator.eex_seconds(subtask_index, share, utilization)
             worst = max(worst, eex + ecd)
         return worst

@@ -72,3 +72,12 @@ class AnalysisError(ReproError):
     not exceptions; this error covers broken inputs — an unparsable
     target file, an invalid layering contract, an unknown rule id.
     """
+
+
+class ChaosError(ReproError):
+    """Raised for invalid fault-injection scenarios or specs.
+
+    Covers malformed fault-process parameters (non-positive rates,
+    out-of-range probabilities), unknown scenario names, and misuse of
+    the injector life-cycle (arming twice, wrapping before arming).
+    """

@@ -37,7 +37,13 @@ Progress = Callable[[str], None]
 
 @dataclass(frozen=True)
 class CampaignSpec:
-    """The axes of one campaign grid."""
+    """The axes of one campaign grid.
+
+    ``scenarios`` and ``hardened`` extend the grid with the chaos axes:
+    every cell is replicated per named fault scenario (``None`` =
+    fault-free) and per hardening setting.  The defaults keep both axes
+    trivial, so pre-chaos campaigns enumerate — and tag — identically.
+    """
 
     policies: tuple[str, ...] = ("predictive", "nonpredictive")
     patterns: tuple[str, ...] = ("triangular",)
@@ -45,9 +51,13 @@ class CampaignSpec:
     n_seeds: int = 1
     baseline: BaselineConfig = field(default_factory=BaselineConfig)
     repetitions: int = 2
+    scenarios: tuple[str | None, ...] = (None,)
+    hardened: tuple[bool, ...] = (False,)
 
     def __post_init__(self) -> None:
         if not self.policies or not self.patterns or not self.units:
+            raise ConfigurationError("campaign axes must be non-empty")
+        if not self.scenarios or not self.hardened:
             raise ConfigurationError("campaign axes must be non-empty")
         if self.n_seeds < 1:
             raise ConfigurationError(f"n_seeds must be >= 1, got {self.n_seeds}")
@@ -56,7 +66,12 @@ class CampaignSpec:
     def n_runs(self) -> int:
         """Total experiment runs in the grid."""
         return (
-            len(self.policies) * len(self.patterns) * len(self.units) * self.n_seeds
+            len(self.policies)
+            * len(self.patterns)
+            * len(self.units)
+            * len(self.scenarios)
+            * len(self.hardened)
+            * self.n_seeds
         )
 
     def enumerate(self) -> list[tuple[ExperimentConfig, int, str]]:
@@ -65,15 +80,23 @@ class CampaignSpec:
         for policy in self.policies:
             for pattern in self.patterns:
                 for units in self.units:
-                    config = ExperimentConfig(
-                        policy=policy,
-                        pattern=pattern,
-                        max_workload_units=units,
-                        baseline=self.baseline,
-                    )
-                    for offset in range(self.n_seeds):
-                        tag = f"{policy}/{pattern}/u{units:g}/s{offset}"
-                        cells.append((config, offset, tag))
+                    for scenario in self.scenarios:
+                        for hard in self.hardened:
+                            config = ExperimentConfig(
+                                policy=policy,
+                                pattern=pattern,
+                                max_workload_units=units,
+                                baseline=self.baseline,
+                                chaos_scenario=scenario,
+                                hardened=hard,
+                            )
+                            tag = f"{policy}/{pattern}/u{units:g}"
+                            if scenario is not None:
+                                tag += f"/{scenario}"
+                            if hard:
+                                tag += "/hardened"
+                            for offset in range(self.n_seeds):
+                                cells.append((config, offset, f"{tag}/s{offset}"))
         return cells
 
 
@@ -89,6 +112,8 @@ class CampaignRow:
     wall_clock_s: float
     max_rss_kb: int
     pid: int
+    chaos_scenario: str | None = None
+    hardened: bool = False
 
     def as_dict(self) -> dict:
         """JSON-friendly representation (used by ``write_json``)."""
@@ -97,6 +122,8 @@ class CampaignRow:
             "pattern": self.pattern,
             "max_workload_units": self.max_workload_units,
             "seed_offset": self.seed_offset,
+            "chaos_scenario": self.chaos_scenario,
+            "hardened": self.hardened,
             "metrics": self.metrics.as_dict(),
             "wall_clock_s": self.wall_clock_s,
             "max_rss_kb": self.max_rss_kb,
@@ -114,15 +141,30 @@ class CampaignResult:
     elapsed_s: float
 
     def series(
-        self, policy: str, pattern: str, metric: str
+        self,
+        policy: str,
+        pattern: str,
+        metric: str,
+        scenario: "str | None | type[Ellipsis]" = Ellipsis,
+        hardened: "bool | type[Ellipsis]" = Ellipsis,
     ) -> dict[float, MetricSummary]:
-        """Per-workload summaries of one metric along one (policy, pattern)."""
+        """Per-workload summaries of one metric along one (policy, pattern).
+
+        ``scenario``/``hardened`` filter along the chaos axes;
+        the ``Ellipsis`` default aggregates over them (which, on a
+        campaign without chaos axes, is the pre-chaos behavior).
+        """
         by_units: dict[float, list[float]] = {}
         for row in self.rows:
-            if row.policy == policy and row.pattern == pattern:
-                by_units.setdefault(row.max_workload_units, []).append(
-                    row.metrics.as_dict()[metric]
-                )
+            if row.policy != policy or row.pattern != pattern:
+                continue
+            if scenario is not Ellipsis and row.chaos_scenario != scenario:
+                continue
+            if hardened is not Ellipsis and row.hardened != hardened:
+                continue
+            by_units.setdefault(row.max_workload_units, []).append(
+                row.metrics.as_dict()[metric]
+            )
         if not by_units:
             raise ConfigurationError(
                 f"no campaign rows for policy={policy!r}, pattern={pattern!r}"
@@ -134,13 +176,47 @@ class CampaignResult:
 
     def render(self, metric: str = "combined") -> str:
         """A compact per-cell table of one metric (mean over seeds)."""
-        rows = []
+        chaos_axes = self.spec.scenarios != (None,) or self.spec.hardened != (
+            False,
+        )
+        rows: list[list] = []
         for policy in self.spec.policies:
             for pattern in self.spec.patterns:
-                for units, summary in self.series(policy, pattern, metric).items():
-                    rows.append([policy, pattern, units, summary.mean, summary.std])
+                if not chaos_axes:
+                    for units, summary in self.series(
+                        policy, pattern, metric
+                    ).items():
+                        rows.append(
+                            [policy, pattern, units, summary.mean, summary.std]
+                        )
+                    continue
+                for scenario in self.spec.scenarios:
+                    for hard in self.spec.hardened:
+                        for units, summary in self.series(
+                            policy,
+                            pattern,
+                            metric,
+                            scenario=scenario,
+                            hardened=hard,
+                        ).items():
+                            rows.append(
+                                [
+                                    policy,
+                                    pattern,
+                                    scenario if scenario is not None else "-",
+                                    "yes" if hard else "no",
+                                    units,
+                                    summary.mean,
+                                    summary.std,
+                                ]
+                            )
+        headers = (
+            ["policy", "pattern", "scenario", "hardened", "max units"]
+            if chaos_axes
+            else ["policy", "pattern", "max units"]
+        )
         return format_table(
-            ["policy", "pattern", "max units", f"{metric} mean", "sd"],
+            headers + [f"{metric} mean", "sd"],
             rows,
             title=f"campaign: {self.spec.n_runs} runs, "
             f"{self.n_jobs} worker(s), {self.elapsed_s:.1f} s",
@@ -153,6 +229,8 @@ class CampaignResult:
             "policies": list(self.spec.policies),
             "patterns": list(self.spec.patterns),
             "units": list(self.spec.units),
+            "scenarios": list(self.spec.scenarios),
+            "hardened": list(self.spec.hardened),
             "n_seeds": self.spec.n_seeds,
             "n_runs": self.spec.n_runs,
             "n_jobs": self.n_jobs,
@@ -222,6 +300,8 @@ def run_campaign(
             wall_clock_s=jr.wall_clock_s,
             max_rss_kb=jr.max_rss_kb,
             pid=jr.pid,
+            chaos_scenario=jr.spec.config.chaos_scenario,
+            hardened=jr.spec.config.hardened,
         )
         for jr in job_results
     )

@@ -163,12 +163,24 @@ class ExperimentConfig:
         Figure 9-13 x-axis value (1 unit = 500 tracks).
     baseline:
         Shared baseline parameters.
+    chaos_scenario:
+        Name of a :mod:`repro.chaos` scenario to inject (``None`` — the
+        default — runs fault-free and is bit-identical to a build that
+        never imports chaos; ``"none"`` arms an empty scenario, which
+        is equivalent by construction).
+    hardened:
+        Run the RM loop with the default
+        :class:`repro.core.hardening.HardeningConfig` defenses (stale
+        record aging, placement guard, allocation backoff, forecast
+        circuit breaker).
     """
 
     policy: str
     pattern: str
     max_workload_units: float
     baseline: BaselineConfig = field(default_factory=BaselineConfig)
+    chaos_scenario: str | None = None
+    hardened: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workload_units <= 0.0:

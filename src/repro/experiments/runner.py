@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING
 from repro.bench.app import aaw_task, default_initial_placement
 from repro.cluster.topology import System, build_system
 from repro.core.allocator import get_policy
+from repro.core.hardening import HardeningConfig
 from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.nonpredictive import NonPredictivePolicy
 from repro.core.predictive import PredictivePolicy
@@ -35,6 +36,7 @@ from repro.telemetry.hub import TelemetryHub
 from repro.workloads.patterns import make_pattern
 
 if TYPE_CHECKING:  # imported lazily at runtime: forecast_eval imports us
+    from repro.chaos.scorecard import ResilienceScorecard
     from repro.experiments.forecast_eval import CalibrationReport
 
 #: Backwards-compatible alias for the in-process estimator cache, now
@@ -48,13 +50,15 @@ class ExperimentResult:
 
     ``forecasts`` carries the in-vivo forecast-calibration report when
     the run used the predictive policy (``None`` otherwise — there are
-    no Figure 5 forecasts to audit without it).
+    no Figure 5 forecasts to audit without it); ``scorecard`` carries
+    the resilience scorecard when the run armed a chaos scenario.
     """
 
     config: ExperimentConfig
     metrics: ExperimentMetrics
     final_placement: dict[int, tuple[str, ...]]
     forecasts: "CalibrationReport | None" = None
+    scorecard: "ResilienceScorecard | None" = None
 
 
 def __getattr__(name: str):
@@ -150,11 +154,26 @@ def run_experiment(
         max_tracks=config.max_tracks,
         n_periods=baseline.n_periods,
     )
+    horizon = baseline.n_periods * baseline.period
+    injector = None
+    rm_estimator = estimator
+    workload = pattern
+    if config.chaos_scenario is not None:
+        # Imported lazily: repro.chaos sits above experiments in the
+        # layering contract (it wires scenarios *into* runs), so the
+        # fault-free path must not pay for the import.
+        from repro.chaos import ChaosInjector, get_scenario
+
+        injector = ChaosInjector(
+            system, get_scenario(config.chaos_scenario)
+        ).arm(horizon)
+        workload = injector.wrap_workload(pattern)
+        rm_estimator = injector.wrap_estimator(estimator)
     executor = PeriodicTaskExecutor(
         system,
         task,
         assignment,
-        workload=pattern,
+        workload=workload,
         config=ExecutorConfig(drop_factor=baseline.drop_factor),
     )
     shutdown_strategy = (
@@ -165,7 +184,7 @@ def run_experiment(
     manager = AdaptiveResourceManager(
         system,
         executor,
-        estimator,
+        rm_estimator,
         policy=_make_policy(config),
         config=RMConfig(
             slack_fraction=baseline.slack_fraction,
@@ -176,9 +195,9 @@ def run_experiment(
             initial_utilization=0.1,
         ),
         shutdown_strategy=shutdown_strategy,
+        hardening=HardeningConfig() if config.hardened else None,
     )
 
-    horizon = baseline.n_periods * baseline.period
     hub = system.engine.telemetry
     if hub.enabled:
         hub.set_run_meta(
@@ -209,11 +228,25 @@ def run_experiment(
         forecasts = calibration_from_run(
             task, executor, manager, baseline.n_periods
         )
+    scorecard: "ResilienceScorecard | None" = None
+    if injector is not None:
+        from repro.chaos import compute_scorecard
+
+        scorecard = compute_scorecard(
+            executor.completed_records(),
+            injector.fault_log,
+            horizon,
+            rm_actions=manager.actions_taken(),
+            faults_by_kind=injector.faults_by_kind(),
+        )
+        if hub.enabled:
+            scorecard.to_registry(hub.registry)
     return ExperimentResult(
         config=config,
         metrics=metrics,
         final_placement=assignment.snapshot(),
         forecasts=forecasts,
+        scorecard=scorecard,
     )
 
 

@@ -116,6 +116,11 @@ class TelemetryHub:
         self._tick(now)
         self.registry.counter("net.messages_lost").inc()
 
+    def on_message_dropped(self, now: float) -> None:
+        """Account one message abandoned after exhausting its retries."""
+        self._tick(now)
+        self.registry.counter("net.messages_dropped").inc()
+
     # -- runtime ------------------------------------------------------------
 
     def on_period_complete(self, now: float, record: Any) -> None:
@@ -245,6 +250,24 @@ class TelemetryHub:
             "cluster.min_utilization_samples", {"processor": name}
         ).inc()
 
+    def on_breaker_state(self, now: float, state: str, trips: int) -> None:
+        """Export the forecast circuit breaker's state (hardened loop).
+
+        ``rm.breaker_open`` is 1 while the breaker is open (fallback
+        policy active), 0 when closed or half-open; ``rm.breaker_trips``
+        is the cumulative trip count.
+        """
+        self._tick(now)
+        self.registry.gauge("rm.breaker_open").set(
+            1.0 if state == "open" else 0.0
+        )
+        self.registry.gauge("rm.breaker_trips").set(trips)
+
+    def on_fault_injected(self, now: float, kind: str, target: str) -> None:
+        """Account one chaos fault injection (by fault kind)."""
+        self._tick(now)
+        self.registry.counter("chaos.faults_injected", {"kind": kind}).inc()
+
     def end_decision(self, now: float, event: Any) -> DecisionSpan | None:
         """Close the step's span from its RMEvent and stream it out."""
         self._tick(now)
@@ -328,6 +351,10 @@ class NullTelemetry(TelemetryHub):
         """Drop the message loss."""
         return
 
+    def on_message_dropped(self, now: float) -> None:
+        """Drop the message-drop accounting."""
+        return
+
     def on_period_complete(self, now: float, record: Any) -> None:
         """Drop the period completion."""
         return
@@ -342,6 +369,14 @@ class NullTelemetry(TelemetryHub):
 
     def on_cluster_utilization(self, now: float, min_u: float, name: str) -> None:
         """Drop the cluster utilization sample."""
+        return
+
+    def on_breaker_state(self, now: float, state: str, trips: int) -> None:
+        """Drop the breaker state."""
+        return
+
+    def on_fault_injected(self, now: float, kind: str, target: str) -> None:
+        """Drop the fault injection."""
         return
 
 

@@ -1,0 +1,141 @@
+"""Unit tests for fault specs: validation and compile determinism."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.chaos.faults import (
+    CORRUPTION_VALUES,
+    ClockDriftSpec,
+    CorrelatedOutageSpec,
+    CorruptUtilizationSpec,
+    CrashRecoverySpec,
+    DelaySpikeSpec,
+    EstimatorDriftSpec,
+    FaultSpec,
+    LossSpikeSpec,
+    PartitionSpec,
+    SensorDropoutSpec,
+    StaleUtilizationSpec,
+)
+from repro.errors import ChaosError
+
+NAMES = ("p1", "p2", "p3")
+
+ALL_SPECS = (
+    CrashRecoverySpec(),
+    CorrelatedOutageSpec(),
+    LossSpikeSpec(),
+    PartitionSpec(),
+    DelaySpikeSpec(),
+    ClockDriftSpec(),
+    SensorDropoutSpec(),
+    StaleUtilizationSpec(),
+    CorruptUtilizationSpec(),
+    EstimatorDriftSpec(),
+)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        cases = [
+            lambda: CrashRecoverySpec(mtbf_s=0.0),
+            lambda: CrashRecoverySpec(mttr_s=-1.0),
+            lambda: CorrelatedOutageSpec(group_size=0),
+            lambda: CorrelatedOutageSpec(outage_s=0.0),
+            lambda: LossSpikeSpec(loss_probability=0.0),
+            lambda: LossSpikeSpec(loss_probability=1.0),
+            lambda: DelaySpikeSpec(bandwidth_factor=0.0),
+            lambda: DelaySpikeSpec(bandwidth_factor=1.0),
+            lambda: ClockDriftSpec(max_step_s=0.0),
+            lambda: SensorDropoutSpec(duration_s=0.0),
+            lambda: StaleUtilizationSpec(interval_s=-2.0),
+            lambda: CorruptUtilizationSpec(mode="garbage"),
+            lambda: EstimatorDriftSpec(start_s=-1.0),
+            lambda: EstimatorDriftSpec(bias_factor=0.0),
+            lambda: EstimatorDriftSpec(noise_sigma=-0.5),
+        ]
+        for make in cases:
+            with pytest.raises(ChaosError):
+                make()
+
+    def test_corruption_modes_are_the_catalogue(self):
+        for mode in CORRUPTION_VALUES:
+            CorruptUtilizationSpec(mode=mode)  # all accepted
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+    def test_specs_satisfy_the_protocol(self, spec):
+        assert isinstance(spec, FaultSpec)
+
+
+class TestCompile:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+    def test_compile_is_deterministic_per_seed(self, spec):
+        a = spec.compile(np.random.default_rng(42), 120.0, NAMES)
+        b = spec.compile(np.random.default_rng(42), 120.0, NAMES)
+        assert a == b
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: type(s).__name__)
+    def test_injections_fall_inside_horizon(self, spec):
+        for injection in spec.compile(np.random.default_rng(7), 90.0, NAMES):
+            assert 0.0 <= injection.time < 90.0
+
+    def test_crash_targets_restricted_to_named_processors(self):
+        spec = CrashRecoverySpec(mtbf_s=3.0, mttr_s=1.0, processors=("p2",))
+        injections = spec.compile(np.random.default_rng(0), 200.0, NAMES)
+        assert injections
+        assert {i.target for i in injections} == {"p2"}
+
+    def test_crash_windows_of_one_target_never_overlap(self):
+        spec = CrashRecoverySpec(mtbf_s=4.0, mttr_s=2.0)
+        injections = spec.compile(np.random.default_rng(3), 300.0, NAMES)
+        for name in NAMES:
+            ours = sorted(
+                (i for i in injections if i.target == name),
+                key=lambda i: i.time,
+            )
+            for first, second in zip(ours, ours[1:]):
+                assert first.time + first.duration_s <= second.time
+
+    def test_outages_crash_groups_simultaneously(self):
+        spec = CorrelatedOutageSpec(interval_s=10.0, group_size=2, outage_s=3.0)
+        injections = spec.compile(np.random.default_rng(1), 100.0, NAMES)
+        by_time: dict[float, set[str]] = {}
+        for injection in injections:
+            by_time.setdefault(injection.time, set()).add(injection.target)
+        assert by_time
+        for group in by_time.values():
+            assert len(group) == 2
+
+    def test_outage_group_capped_at_cluster_size(self):
+        spec = CorrelatedOutageSpec(interval_s=5.0, group_size=99, outage_s=1.0)
+        injections = spec.compile(np.random.default_rng(2), 50.0, ("p1", "p2"))
+        by_time: dict[float, set[str]] = {}
+        for injection in injections:
+            by_time.setdefault(injection.time, set()).add(injection.target)
+        for group in by_time.values():
+            assert group == {"p1", "p2"}
+
+    def test_estimator_drift_is_one_window(self):
+        spec = EstimatorDriftSpec(start_s=10.0, bias_factor=0.4)
+        injections = spec.compile(np.random.default_rng(0), 60.0, NAMES)
+        assert len(injections) == 1
+        (injection,) = injections
+        assert injection.time == 10.0
+        assert injection.duration_s == 50.0  # runs to the horizon
+        assert injection.value == 0.4
+
+    def test_estimator_drift_past_horizon_is_empty(self):
+        spec = EstimatorDriftSpec(start_s=100.0)
+        assert spec.compile(np.random.default_rng(0), 60.0, NAMES) == []
+
+    def test_estimator_noise_draw_is_seed_stable(self):
+        spec = EstimatorDriftSpec(start_s=0.0, bias_factor=0.5, noise_sigma=0.3)
+        a = spec.compile(np.random.default_rng(9), 60.0, NAMES)
+        b = spec.compile(np.random.default_rng(9), 60.0, NAMES)
+        assert a == b
+        assert a[0].value != 0.5  # noise actually perturbed the factor
+
+    def test_partition_uses_its_own_stream(self):
+        assert PartitionSpec().stream != LossSpikeSpec().stream

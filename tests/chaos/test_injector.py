@@ -1,0 +1,229 @@
+"""Unit tests for the chaos injector's life-cycle and fault effects."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.chaos.faults import (
+    CorruptUtilizationSpec,
+    CrashRecoverySpec,
+    EstimatorDriftSpec,
+    LossSpikeSpec,
+    SensorDropoutSpec,
+    StaleUtilizationSpec,
+)
+from repro.chaos.injector import ChaosInjector
+from repro.chaos.scenario import ChaosScenario, get_scenario
+from repro.cluster.topology import build_system
+from repro.errors import ChaosError
+
+
+def make_injector(*faults, name="test", seed=0):
+    system = build_system(n_processors=3, seed=seed)
+    scenario = ChaosScenario(name=name, faults=tuple(faults))
+    return system, ChaosInjector(system, scenario)
+
+
+class TestLifeCycle:
+    def test_double_arm_rejected(self):
+        _, injector = make_injector()
+        injector.arm(60.0)
+        with pytest.raises(ChaosError, match="already armed"):
+            injector.arm(60.0)
+
+    def test_bad_horizon_rejected(self):
+        _, injector = make_injector()
+        with pytest.raises(ChaosError):
+            injector.arm(0.0)
+
+    def test_wrap_before_arm_rejected(self):
+        _, injector = make_injector()
+        with pytest.raises(ChaosError, match="arm"):
+            injector.wrap_workload(lambda c: 1.0)
+        with pytest.raises(ChaosError, match="arm"):
+            injector.wrap_estimator(object())
+
+    def test_scenario_with_duplicate_streams_rejected(self):
+        with pytest.raises(ChaosError, match="stream"):
+            ChaosScenario(
+                name="dup",
+                faults=(CrashRecoverySpec(), CrashRecoverySpec()),
+            )
+
+    def test_none_scenario_schedules_nothing(self):
+        system, injector = make_injector()
+        injector.arm(60.0)
+        assert injector.fault_log == []
+        assert injector.faults_by_kind() == {}
+
+    def test_fault_log_is_time_sorted(self):
+        _, injector = make_injector(
+            CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0),
+            LossSpikeSpec(interval_s=8.0),
+        )
+        injector.arm(120.0)
+        times = [i.time for i in injector.fault_log]
+        assert times == sorted(times)
+        assert set(injector.faults_by_kind()) == {"crash", "loss_spike"}
+
+
+class TestReplayDeterminism:
+    def test_same_seed_same_fault_log(self):
+        _, a = make_injector(CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0), seed=3)
+        _, b = make_injector(CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0), seed=3)
+        assert a.arm(90.0).fault_log == b.arm(90.0).fault_log
+
+    def test_different_seed_different_fault_log(self):
+        _, a = make_injector(CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0), seed=3)
+        _, b = make_injector(CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0), seed=4)
+        assert a.arm(90.0).fault_log != b.arm(90.0).fault_log
+
+    def test_preset_scenarios_compile_against_any_system(self):
+        for name in ("crashes", "mayhem", "sensor_dropout"):
+            system = build_system(n_processors=3)
+            ChaosInjector(system, get_scenario(name)).arm(30.0)
+
+
+class TestCrashEffects:
+    def test_crash_and_recovery_happen_on_schedule(self):
+        system, injector = make_injector(
+            CrashRecoverySpec(mtbf_s=10.0, mttr_s=3.0, processors=("p1",))
+        )
+        injector.arm(200.0)
+        first = injector.fault_log[0]
+        system.engine.run_until(first.time + 0.001)
+        assert system.processor("p1").failed
+        system.engine.run_until(first.time + first.duration_s + 0.001)
+        assert not system.processor("p1").failed
+
+    def test_failure_counts_accumulate(self):
+        system, injector = make_injector(
+            CrashRecoverySpec(mtbf_s=5.0, mttr_s=1.0, processors=("p2",))
+        )
+        injector.arm(100.0)
+        system.engine.run_until(100.0)
+        crashes = len(injector.fault_log)
+        assert crashes > 0
+        assert system.processor("p2").failure_count == crashes
+
+
+class TestReadingFaults:
+    def test_corrupt_window_replaces_reading_then_clears(self):
+        system, injector = make_injector(
+            CorruptUtilizationSpec(interval_s=10.0, duration_s=4.0)
+        )
+        injector.arm(120.0)
+        first = injector.fault_log[0]
+        target = system.processor(first.target)
+        system.engine.run_until(first.time + 0.001)
+        assert target.utilization() == first.value == -1.0
+        system.engine.run_until(first.time + 4.0 + 0.001)
+        assert target.reading_fault is None
+        assert target.utilization() >= 0.0
+
+    def test_stale_window_freezes_reading(self):
+        system, injector = make_injector(
+            StaleUtilizationSpec(interval_s=10.0, duration_s=5.0)
+        )
+        injector.arm(120.0)
+        first = injector.fault_log[0]
+        target = system.processor(first.target)
+        system.engine.run_until(first.time + 0.001)
+        frozen = target.utilization()
+        # Run real work on the frozen processor: the reading must not move.
+        target.run_for(1.0)
+        system.engine.run_until(first.time + 2.0)
+        assert target.utilization() == frozen
+
+    def test_overlapping_reading_faults_clear_only_after_last(self):
+        system, injector = make_injector()
+        injector._armed = True  # drive _set_reading_fault directly
+        from repro.chaos.faults import Injection
+
+        target = system.processor("p1")
+        injector._set_reading_fault(
+            Injection(time=0.0, kind="reading_corrupt", target="p1",
+                      duration_s=2.0, value=-1.0),
+            lambda reading: -1.0,
+        )
+        injector._set_reading_fault(
+            Injection(time=0.0, kind="reading_corrupt", target="p1",
+                      duration_s=5.0, value=5.0),
+            lambda reading: 5.0,
+        )
+        system.engine.run_until(3.0)
+        assert target.reading_fault is not None  # second window still open
+        system.engine.run_until(6.0)
+        assert target.reading_fault is None
+
+
+class TestNetworkFaults:
+    def test_loss_spike_raises_then_restores_probability(self):
+        system, injector = make_injector(
+            LossSpikeSpec(interval_s=10.0, duration_s=3.0, loss_probability=0.4)
+        )
+        injector.arm(120.0)
+        assert system.network.loss_probability == 0.0
+        first = injector.fault_log[0]
+        system.engine.run_until(first.time + 0.001)
+        assert system.network.loss_probability == 0.4
+        assert system.network.rng is not None  # injector supplied one
+        system.engine.run_until(first.time + 3.0 + 0.001)
+        assert system.network.loss_probability == 0.0
+
+
+class TestWrappers:
+    def test_sensor_dropout_repeats_last_healthy_value(self):
+        system, injector = make_injector(
+            SensorDropoutSpec(interval_s=10.0, duration_s=4.0)
+        )
+        injector.arm(120.0)
+        wrapped = injector.wrap_workload(lambda c: float(c))
+        start, _ = injector._sensor_windows[0]
+        assert wrapped(1) == 1.0  # healthy before the window
+        system.engine.run_until(start + 0.001)
+        assert injector.in_sensor_window(system.engine.now)
+        assert wrapped(7) == 1.0  # frozen at the last healthy value
+
+    def test_identity_wrappers_when_no_matching_faults(self):
+        _, injector = make_injector(CrashRecoverySpec())
+        injector.arm(60.0)
+        workload = lambda c: 2.0  # noqa: E731
+        estimator = object()
+        assert injector.wrap_workload(workload) is workload
+        assert injector.wrap_estimator(estimator) is estimator
+
+    def test_estimator_factor_inside_and_outside_window(self):
+        system, injector = make_injector(
+            EstimatorDriftSpec(start_s=5.0, duration_s=10.0, bias_factor=0.4)
+        )
+        injector.arm(60.0)
+        assert injector.estimator_factor(2.0) == 1.0
+        assert injector.estimator_factor(6.0) == 0.4
+        assert injector.estimator_factor(20.0) == 1.0
+
+    def test_faulty_estimator_scales_queries(self):
+        system, injector = make_injector(
+            EstimatorDriftSpec(start_s=0.0, duration_s=60.0, bias_factor=0.5)
+        )
+        injector.arm(60.0)
+
+        class Stub:
+            task = "task-model"
+
+            def eex_seconds(self, i, d, u):
+                return 2.0
+
+            def ecd_seconds(self, i, d, t):
+                return 4.0
+
+            def extra(self):
+                return "passthrough"
+
+        wrapped = injector.wrap_estimator(Stub())
+        assert wrapped.task == "task-model"
+        assert math.isclose(wrapped.eex_seconds(1, 100.0, 0.5), 1.0)
+        assert math.isclose(wrapped.ecd_seconds(1, 100.0, 200.0), 2.0)
+        assert wrapped.extra() == "passthrough"

@@ -1,0 +1,167 @@
+"""Unit tests for the resilience scorecard math."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.chaos.faults import Injection
+from repro.chaos.scorecard import ResilienceScorecard, compute_scorecard
+from repro.errors import ChaosError
+from repro.telemetry.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class Record:
+    """Minimal duck-typed period record for the scorecard."""
+
+    release_time: float
+    deadline: float = 1.0
+    completed: bool = True
+    missed: bool = False
+    completion_time: float | None = None
+
+
+def on_time(release: float, completion: float) -> Record:
+    return Record(release_time=release, completion_time=completion)
+
+
+def late(release: float, completion: float | None = None) -> Record:
+    return Record(release_time=release, missed=True, completion_time=completion)
+
+
+class TestBasics:
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(ChaosError):
+            compute_scorecard([], [], horizon_s=0.0)
+
+    def test_clean_run_is_perfect(self):
+        records = [on_time(float(c), c + 0.5) for c in range(10)]
+        card = compute_scorecard(records, [], horizon_s=10.0, rm_actions=4)
+        assert card.availability == 1.0
+        assert card.miss_windows == 0
+        assert card.miss_window_s == 0.0
+        assert card.mttr_s is None
+        assert card.faults_injected == 0
+        assert card.actions_per_fault == 4.0  # per-run when no faults
+
+    def test_empty_records_mean_full_availability(self):
+        card = compute_scorecard([], [], horizon_s=5.0)
+        assert card.availability == 1.0
+        assert card.periods_released == 0
+
+    def test_records_released_past_horizon_ignored(self):
+        records = [on_time(0.0, 0.5), late(99.0)]
+        card = compute_scorecard(records, [], horizon_s=10.0)
+        assert card.periods_released == 1
+        assert card.availability == 1.0
+
+
+class TestMissWindows:
+    def test_window_spans_deadline_to_next_on_time_completion(self):
+        records = [
+            on_time(0.0, 0.5),
+            late(1.0),          # window opens at 1.0 + 1.0 = 2.0
+            late(2.0),
+            on_time(3.0, 3.6),  # closes at 3.6
+            on_time(4.0, 4.5),
+        ]
+        card = compute_scorecard(records, [], horizon_s=10.0)
+        assert card.miss_windows == 1
+        assert card.miss_window_s == pytest.approx(1.6)
+        assert card.miss_window_ratio == pytest.approx(0.16)
+
+    def test_two_separate_windows(self):
+        records = [
+            late(0.0),
+            on_time(1.0, 1.5),  # window 1: 1.0 .. 1.5
+            late(2.0),
+            on_time(3.0, 3.5),  # window 2: 3.0 .. 3.5
+        ]
+        card = compute_scorecard(records, [], horizon_s=10.0)
+        assert card.miss_windows == 2
+        assert card.miss_window_s == pytest.approx(1.0)
+
+    def test_open_window_extends_to_horizon(self):
+        records = [on_time(0.0, 0.5), late(1.0)]
+        card = compute_scorecard(records, [], horizon_s=10.0)
+        assert card.miss_windows == 1
+        assert card.miss_window_s == pytest.approx(8.0)  # 2.0 .. 10.0
+
+    def test_availability_counts_on_time_fraction(self):
+        records = [on_time(0.0, 0.5), late(1.0), late(2.0), on_time(3.0, 3.5)]
+        card = compute_scorecard(records, [], horizon_s=10.0)
+        assert card.availability == 0.5
+        assert card.periods_on_time == 2
+
+
+class TestMTTR:
+    def fault(self, time: float, kind: str = "crash") -> Injection:
+        return Injection(time=time, kind=kind, target="p1", duration_s=1.0)
+
+    def test_disruptive_fault_recovery_time(self):
+        records = [late(2.0), on_time(3.0, 3.5)]
+        card = compute_scorecard(records, [self.fault(1.5)], horizon_s=10.0)
+        assert card.disrupted_faults == 1
+        assert card.unrecovered_faults == 0
+        assert card.mttr_s == pytest.approx(2.0)  # 1.5 -> 3.5
+
+    def test_benign_fault_does_not_count(self):
+        records = [on_time(2.0, 2.5), on_time(3.0, 3.5)]
+        card = compute_scorecard(records, [self.fault(1.5)], horizon_s=10.0)
+        assert card.disrupted_faults == 0
+        assert card.mttr_s is None
+
+    def test_unrecovered_fault_contributes_remaining_horizon(self):
+        records = [late(2.0), late(3.0)]
+        card = compute_scorecard(records, [self.fault(1.0)], horizon_s=10.0)
+        assert card.disrupted_faults == 1
+        assert card.unrecovered_faults == 1
+        assert card.mttr_s == pytest.approx(9.0)  # 1.0 -> horizon
+
+    def test_fault_past_horizon_ignored(self):
+        card = compute_scorecard([late(2.0)], [self.fault(50.0)], horizon_s=10.0)
+        assert card.faults_injected == 0
+        assert card.disrupted_faults == 0
+
+    def test_actions_per_fault(self):
+        records = [late(2.0), on_time(3.0, 3.5)]
+        faults = [self.fault(1.0), self.fault(5.0, kind="loss_spike")]
+        card = compute_scorecard(
+            records, faults, horizon_s=10.0, rm_actions=6
+        )
+        assert card.actions_per_fault == 3.0
+        assert card.faults_by_kind == {"crash": 1, "loss_spike": 1}
+
+
+class TestExport:
+    def card(self) -> ResilienceScorecard:
+        return compute_scorecard(
+            [late(2.0), on_time(3.0, 3.5)],
+            [Injection(time=1.0, kind="crash", target="p1", duration_s=1.0)],
+            horizon_s=10.0,
+            rm_actions=5,
+        )
+
+    def test_as_dict_round_trips_through_json(self):
+        payload = json.loads(json.dumps(self.card().as_dict()))
+        assert payload["availability"] == 0.5
+        assert payload["mttr_s"] == pytest.approx(2.5)
+        assert payload["faults_by_kind"] == {"crash": 1}
+
+    def test_to_registry_exports_chaos_gauges(self):
+        registry = MetricsRegistry()
+        self.card().to_registry(registry)
+        snapshot = {
+            m["name"]: m["value"] for m in registry.snapshot(at=0.0)["metrics"]
+        }
+        assert snapshot["chaos.availability"] == 0.5
+        assert snapshot["chaos.faults_total"] == 1
+        assert snapshot["chaos.mttr_seconds"] == pytest.approx(2.5)
+        assert snapshot["chaos.actions_per_fault"] == 5.0
+
+    def test_write_json(self, tmp_path):
+        target = self.card().write_json(tmp_path / "sub" / "card.json")
+        assert json.loads(target.read_text())["miss_windows"] == 1

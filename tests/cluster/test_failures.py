@@ -115,3 +115,59 @@ class TestFailureInjector:
             injector.arm()
         with pytest.raises(ClusterError):
             injector.plan(FailureEvent("p1", fail_at=1.0))
+
+
+class TestPlanValidation:
+    def test_duplicate_fail_time_rejected(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        with pytest.raises(ClusterError, match="duplicate"):
+            injector.plan(
+                FailureEvent("p1", fail_at=1.0, recover_at=2.0),
+                FailureEvent("p1", fail_at=1.0, recover_at=3.0),
+            )
+
+    def test_overlapping_windows_rejected(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        with pytest.raises(ClusterError, match="overlap"):
+            injector.plan(
+                FailureEvent("p1", fail_at=1.0, recover_at=5.0),
+                FailureEvent("p1", fail_at=3.0, recover_at=8.0),
+            )
+
+    def test_event_after_permanent_failure_rejected(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        with pytest.raises(ClusterError, match="no recovery"):
+            injector.plan(
+                FailureEvent("p1", fail_at=1.0),
+                FailureEvent("p1", fail_at=5.0, recover_at=6.0),
+            )
+
+    def test_overlap_across_plan_calls_rejected(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        injector.plan(FailureEvent("p1", fail_at=1.0, recover_at=5.0))
+        with pytest.raises(ClusterError):
+            injector.plan(FailureEvent("p1", fail_at=2.0, recover_at=3.0))
+        # The failed call must not have mutated the plan.
+        assert len(injector.events) == 1
+
+    def test_same_times_on_different_processors_allowed(self):
+        system = build_system(n_processors=3)
+        injector = FailureInjector(system)
+        injector.plan(
+            FailureEvent("p1", fail_at=1.0, recover_at=5.0),
+            FailureEvent("p2", fail_at=1.0, recover_at=5.0),
+        )
+        assert len(injector.events) == 2
+
+    def test_back_to_back_windows_allowed(self):
+        system = build_system(n_processors=2)
+        injector = FailureInjector(system)
+        injector.plan(
+            FailureEvent("p1", fail_at=1.0, recover_at=2.0),
+            FailureEvent("p1", fail_at=2.0, recover_at=3.0),
+        )
+        assert len(injector.events) == 2

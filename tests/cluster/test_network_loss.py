@@ -8,9 +8,10 @@ import pytest
 from repro.cluster.network import Network
 from repro.errors import ClusterError
 from repro.sim.engine import Engine
+from repro.sim.trace import Tracer
 
 
-def make(loss=0.5, mode="shared", seed=0, timeout=0.050):
+def make(loss=0.5, mode="shared", seed=0, timeout=0.050, max_retries=None):
     engine = Engine()
     return engine, Network(
         engine,
@@ -19,6 +20,7 @@ def make(loss=0.5, mode="shared", seed=0, timeout=0.050):
         mode=mode,
         loss_probability=loss,
         retransmit_timeout=timeout,
+        max_retries=max_retries,
         rng=np.random.default_rng(seed),
     )
 
@@ -91,6 +93,56 @@ class TestRetransmission:
         second = net.send_bytes(10_000.0, label="second")
         engine.run()
         assert second.delivery_time < first.delivery_time
+
+
+class TestDroppedMessages:
+    def test_retry_exhaustion_drops_message(self):
+        engine, net = make(loss=0.99999, max_retries=2)
+        message = net.send_bytes(10_000.0, label="m")
+        engine.run()
+        assert message.dropped
+        assert message.loss_count == 3  # initial attempt + 2 retries
+        assert message.delivery_time is None
+        assert net.dropped_count == 1
+        assert net.delivered_count == 0
+
+    def test_dropped_and_lost_counters_are_distinct(self):
+        engine, net = make(loss=0.5, seed=7, max_retries=0)
+        messages = [net.send_bytes(1_000.0) for _ in range(100)]
+        engine.run()
+        # With zero retries every loss is a drop; nothing retries.
+        assert net.dropped_count == net.lost_count > 0
+        assert net.delivered_count + net.dropped_count == 100
+        assert sum(m.dropped for m in messages) == net.dropped_count
+
+    def test_unlimited_retries_never_drop(self):
+        engine, net = make(loss=0.6, seed=2)
+        for _ in range(50):
+            net.send_bytes(1_000.0)
+        engine.run()
+        assert net.dropped_count == 0
+        assert net.delivered_count == 50
+
+    @pytest.mark.parametrize("mode", ["shared", "switched"])
+    def test_drop_is_traced(self, mode):
+        engine = Engine(tracer=Tracer(categories={"message"}))
+        net = Network(
+            engine, bandwidth_bps=100e6, default_overhead_bytes=0.0,
+            mode=mode, loss_probability=0.99999, max_retries=1,
+            rng=np.random.default_rng(0),
+        )
+        net.send_bytes(10_000.0, label="probe")
+        engine.run()
+        labels = [record.label for record in engine.tracer.records]
+        assert "probe.dropped" in labels
+
+    def test_negative_max_retries_rejected(self):
+        engine = Engine()
+        with pytest.raises(ClusterError):
+            Network(
+                engine, loss_probability=0.1, max_retries=-1,
+                rng=np.random.default_rng(0),
+            )
 
 
 class TestSystemIntegration:

@@ -1,0 +1,276 @@
+"""Unit tests for the hardened control loop's defenses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.topology import build_system
+from repro.core.hardening import (
+    AllocationBackoff,
+    ForecastCircuitBreaker,
+    HardeningConfig,
+    PlacementGuard,
+    sanitize_reading,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        HardeningConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_record_age_s": 0.0},
+            {"offender_failure_threshold": 0},
+            {"offender_window_s": 0.0},
+            {"guard_min_available": -0.1},
+            {"guard_min_available": 1.5},
+            {"backoff_initial_cycles": 0},
+            {"backoff_max_cycles": 0},
+            {"breaker_error_ratio": 0.0},
+            {"breaker_trip_count": 0},
+            {"breaker_trip_count": 99},
+            {"breaker_cooldown_s": 0.0},
+        ],
+    )
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HardeningConfig(**kwargs)
+
+    def test_none_record_age_means_keep_everything(self):
+        assert HardeningConfig(max_record_age_s=None).max_record_age_s is None
+
+
+class TestSanitizeReading:
+    def test_nan_and_inf_fall_back(self):
+        assert sanitize_reading(float("nan"), 0.3) == 0.3
+        assert sanitize_reading(float("inf"), 0.3) == 0.3
+        assert sanitize_reading(float("-inf"), 0.3) == 0.3
+
+    def test_finite_readings_clamp_to_unit_interval(self):
+        assert sanitize_reading(-1.0, 0.3) == 0.0
+        assert sanitize_reading(5.0, 0.3) == 1.0
+        assert sanitize_reading(0.42, 0.3) == 0.42
+
+
+def crash(processor, times=1):
+    for _ in range(times):
+        processor.fail()
+        processor.recover()
+
+
+class TestPlacementGuard:
+    def make(self, n=6, **kwargs):
+        system = build_system(n_processors=n)
+        config = HardeningConfig(**kwargs)
+        return system, PlacementGuard(system, config)
+
+    def test_no_faults_no_exclusions(self):
+        _, guard = self.make()
+        guard.observe(0.0)
+        assert guard.excluded(0.0) == frozenset()
+
+    def test_repeat_offender_excluded(self):
+        system, guard = self.make(offender_failure_threshold=3)
+        crash(system.processor("p1"), times=3)
+        guard.observe(1.0)
+        assert guard.excluded(1.0) == {"p1"}
+        assert guard.exclusions["offender"] == 1
+
+    def test_below_threshold_not_excluded(self):
+        system, guard = self.make(offender_failure_threshold=3)
+        crash(system.processor("p1"), times=2)
+        guard.observe(1.0)
+        assert guard.excluded(1.0) == frozenset()
+
+    def test_offender_ages_out_of_window(self):
+        system, guard = self.make(
+            offender_failure_threshold=2, offender_window_s=10.0
+        )
+        crash(system.processor("p1"), times=2)
+        guard.observe(1.0)
+        assert guard.excluded(1.0) == {"p1"}
+        assert guard.excluded(50.0) == frozenset()
+
+    def test_implausible_reading_excluded(self):
+        system, guard = self.make()
+        system.processor("p3").reading_fault = lambda reading: -1.0
+        assert guard.excluded(0.0) == {"p3"}
+        assert guard.exclusions["reading"] == 1
+
+    def test_nan_reading_excluded(self):
+        system, guard = self.make()
+        system.processor("p2").reading_fault = lambda reading: float("nan")
+        assert guard.excluded(0.0) == {"p2"}
+
+    def test_capacity_floor_limits_exclusions(self):
+        # All six processors lie; the guard may exclude only half.
+        system, guard = self.make(guard_min_available=0.5)
+        for processor in system.processors:
+            processor.reading_fault = lambda reading: -1.0
+        excluded = guard.excluded(0.0)
+        assert len(excluded) == 3
+
+    def test_capacity_floor_prefers_bad_readings_over_offenders(self):
+        system, guard = self.make(
+            guard_min_available=0.5, offender_failure_threshold=2
+        )
+        # Three lying readings + three offenders: budget is 3 of 6.
+        for name in ("p1", "p2", "p3"):
+            system.processor(name).reading_fault = lambda reading: -1.0
+        for name in ("p4", "p5", "p6"):
+            crash(system.processor(name), times=2)
+        guard.observe(1.0)
+        assert guard.excluded(1.0) == {"p1", "p2", "p3"}
+
+    def test_worst_offender_wins_the_budget(self):
+        system, guard = self.make(
+            n=2, guard_min_available=0.5, offender_failure_threshold=2
+        )
+        crash(system.processor("p1"), times=2)
+        crash(system.processor("p2"), times=4)
+        guard.observe(1.0)
+        # Budget is 1 of 2 live processors; p2 crashed more.
+        assert guard.excluded(1.0) == {"p2"}
+
+    def test_failed_processors_do_not_consume_budget(self):
+        system, guard = self.make(guard_min_available=0.5)
+        for name in ("p1", "p2", "p3"):
+            system.processor(name).fail()
+        for processor in system.processors:
+            processor.reading_fault = lambda reading: -1.0
+        excluded = guard.excluded(0.0)
+        # 3 live processors -> budget 1; failed ones are excluded free.
+        assert {"p1", "p2", "p3"} <= excluded
+        assert len(excluded - {"p1", "p2", "p3"}) == 1
+
+    def test_zero_floor_allows_full_exclusion(self):
+        system, guard = self.make(guard_min_available=0.0)
+        for processor in system.processors:
+            processor.reading_fault = lambda reading: float("inf")
+        assert len(guard.excluded(0.0)) == 6
+
+
+class TestAllocationBackoff:
+    def test_first_attempt_always_allowed(self):
+        backoff = AllocationBackoff(HardeningConfig())
+        assert backoff.should_attempt(1, cycle=0)
+        assert backoff.suppressed == 0
+
+    def test_failure_delays_exponentially(self):
+        backoff = AllocationBackoff(
+            HardeningConfig(backoff_initial_cycles=1, backoff_max_cycles=8)
+        )
+        backoff.record_failure(1, cycle=0)  # next allowed at 1
+        assert not backoff.should_attempt(1, cycle=0)
+        assert backoff.should_attempt(1, cycle=1)
+        backoff.record_failure(1, cycle=1)  # delay 2 -> allowed at 3
+        assert not backoff.should_attempt(1, cycle=2)
+        assert backoff.should_attempt(1, cycle=3)
+        backoff.record_failure(1, cycle=3)  # delay 4 -> allowed at 7
+        assert not backoff.should_attempt(1, cycle=6)
+        assert backoff.should_attempt(1, cycle=7)
+        assert backoff.suppressed == 3
+
+    def test_delay_caps_at_max_cycles(self):
+        backoff = AllocationBackoff(
+            HardeningConfig(backoff_initial_cycles=1, backoff_max_cycles=4)
+        )
+        for cycle in range(0, 40, 10):
+            backoff.record_failure(2, cycle=cycle)
+        assert not backoff.should_attempt(2, cycle=33)
+        assert backoff.should_attempt(2, cycle=34)
+
+    def test_success_resets_the_ladder(self):
+        backoff = AllocationBackoff(HardeningConfig())
+        backoff.record_failure(1, cycle=0)
+        backoff.record_failure(1, cycle=2)
+        backoff.record_success(1)
+        assert backoff.should_attempt(1, cycle=3)
+        backoff.record_failure(1, cycle=3)  # back to the initial delay
+        assert backoff.should_attempt(1, cycle=4)
+
+    def test_subtasks_are_independent(self):
+        backoff = AllocationBackoff(HardeningConfig())
+        backoff.record_failure(1, cycle=0)
+        assert backoff.should_attempt(2, cycle=0)
+
+
+class TestForecastCircuitBreaker:
+    def make(self, **kwargs):
+        defaults = dict(
+            breaker_error_ratio=0.5,
+            breaker_trip_count=3,
+            breaker_window=8,
+            breaker_cooldown_s=10.0,
+        )
+        defaults.update(kwargs)
+        return ForecastCircuitBreaker(HardeningConfig(**defaults))
+
+    def feed_bad(self, breaker, now, times):
+        for _ in range(times):
+            breaker.observe(now, forecast_s=1.0, realized_s=10.0)
+
+    def test_accurate_forecasts_keep_it_closed(self):
+        breaker = self.make()
+        for _ in range(50):
+            breaker.observe(0.0, forecast_s=1.0, realized_s=1.1)
+        assert breaker.state == ForecastCircuitBreaker.CLOSED
+        assert breaker.allow_predictive(0.0)
+        assert breaker.trips == 0
+
+    def test_trips_after_threshold_mispredictions(self):
+        breaker = self.make()
+        self.feed_bad(breaker, 0.0, 2)
+        assert breaker.state == ForecastCircuitBreaker.CLOSED
+        self.feed_bad(breaker, 0.0, 1)
+        assert breaker.state == ForecastCircuitBreaker.OPEN
+        assert not breaker.allow_predictive(1.0)
+        assert breaker.trips == 1
+        assert breaker.mispredictions == 3
+
+    def test_open_ignores_observations(self):
+        breaker = self.make()
+        self.feed_bad(breaker, 0.0, 3)
+        before = breaker.observations
+        self.feed_bad(breaker, 1.0, 5)
+        assert breaker.observations == before
+
+    def test_half_open_after_cooldown_then_recloses(self):
+        breaker = self.make(breaker_cooldown_s=10.0)
+        self.feed_bad(breaker, 0.0, 3)
+        assert not breaker.allow_predictive(5.0)
+        assert breaker.allow_predictive(10.0)
+        assert breaker.state == ForecastCircuitBreaker.HALF_OPEN
+        breaker.observe(10.0, forecast_s=1.0, realized_s=1.0)
+        assert breaker.state == ForecastCircuitBreaker.CLOSED
+
+    def test_half_open_retrip_on_one_misprediction(self):
+        breaker = self.make()
+        self.feed_bad(breaker, 0.0, 3)
+        assert breaker.allow_predictive(10.0)  # half-open
+        self.feed_bad(breaker, 10.0, 1)
+        assert breaker.state == ForecastCircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow_predictive(15.0)
+
+    def test_history_cleared_on_reclose(self):
+        breaker = self.make()
+        self.feed_bad(breaker, 0.0, 2)
+        # Not tripped; two bad samples in the window.  A trip + recovery
+        # must clear them so one later bad sample cannot re-trip.
+        self.feed_bad(breaker, 0.0, 1)  # trips
+        breaker.allow_predictive(10.0)  # half-open
+        breaker.observe(10.0, forecast_s=1.0, realized_s=1.0)  # closes
+        self.feed_bad(breaker, 11.0, 2)
+        assert breaker.state == ForecastCircuitBreaker.CLOSED
+
+    def test_tiny_forecast_does_not_divide_by_zero(self):
+        breaker = self.make()
+        breaker.observe(0.0, forecast_s=0.0, realized_s=1.0)
+        assert math.isfinite(float(breaker.mispredictions))
+        assert breaker.mispredictions == 1

@@ -1,0 +1,107 @@
+"""Fault-disabled equivalence and fixed-seed chaos replay.
+
+Two invariants pin the chaos subsystem's most important contract:
+
+* **equivalence** — with faults disabled, a chaos-wired run (scenario
+  ``"none"``, with or without hardening) produces *bit-identical*
+  metrics and placements to a plain run: the wrappers, dedicated rng
+  streams, and hardening hooks must be pure pass-throughs when nothing
+  is injected;
+* **replay** — under a fixed master seed, a faulted run replays
+  bit-identically: same scorecard, same metrics, same placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import run_chaos_experiment
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+BASELINE = BaselineConfig(n_periods=12, seed=5)
+
+
+def plain(policy, estimator):
+    config = ExperimentConfig(
+        policy=policy,
+        pattern="triangular",
+        max_workload_units=15.0,
+        baseline=BASELINE,
+    )
+    return run_experiment(config, estimator=estimator)
+
+
+def chaotic(policy, estimator, scenario="none", hardened=False):
+    return run_chaos_experiment(
+        scenario=scenario,
+        policy=policy,
+        pattern="triangular",
+        max_workload_units=15.0,
+        baseline=BASELINE,
+        hardened=hardened,
+        estimator=estimator,
+    )
+
+
+@pytest.mark.parametrize("policy", ["predictive", "nonpredictive"])
+class TestFaultDisabledEquivalence:
+    def test_none_scenario_matches_plain_run(self, policy, fitted_estimator):
+        reference = plain(policy, fitted_estimator)
+        wired = chaotic(policy, fitted_estimator)
+        assert wired.metrics.as_dict() == reference.metrics.as_dict()
+        assert wired.final_placement == reference.final_placement
+
+    def test_hardening_without_faults_is_inert(self, policy, fitted_estimator):
+        reference = plain(policy, fitted_estimator)
+        hardened = chaotic(policy, fitted_estimator, hardened=True)
+        assert hardened.metrics.as_dict() == reference.metrics.as_dict()
+        assert hardened.final_placement == reference.final_placement
+
+    def test_none_scenario_scorecard_is_clean(self, policy, fitted_estimator):
+        result = chaotic(policy, fitted_estimator)
+        card = result.scorecard
+        assert card is not None
+        # No faults were injected, so nothing can be attributed to them —
+        # deadline misses (if any) are the run's own ramp-up behavior.
+        assert card.faults_injected == 0
+        assert card.faults_by_kind == {}
+        assert card.disrupted_faults == 0
+        assert card.mttr_s is None
+        assert card.availability == card.periods_on_time / card.periods_released
+
+
+@pytest.mark.parametrize("scenario", ["crashes", "mayhem"])
+class TestFixedSeedReplay:
+    def test_faulted_run_replays_bit_identically(
+        self, scenario, fitted_estimator
+    ):
+        first = chaotic(
+            "predictive", fitted_estimator, scenario=scenario, hardened=True
+        )
+        second = chaotic(
+            "predictive", fitted_estimator, scenario=scenario, hardened=True
+        )
+        assert first.scorecard.as_dict() == second.scorecard.as_dict()
+        assert first.metrics.as_dict() == second.metrics.as_dict()
+        assert first.final_placement == second.final_placement
+        assert first.scorecard.faults_injected > 0
+
+    def test_seed_offset_changes_the_draws(self, scenario, fitted_estimator):
+        base = chaotic(
+            "predictive", fitted_estimator, scenario=scenario, hardened=True
+        )
+        shifted = run_chaos_experiment(
+            scenario=scenario,
+            policy="predictive",
+            pattern="triangular",
+            max_workload_units=15.0,
+            baseline=BASELINE,
+            hardened=True,
+            estimator=fitted_estimator,
+            seed_offset=1,
+        )
+        assert (
+            base.scorecard.as_dict() != shifted.scorecard.as_dict()
+            or base.metrics.as_dict() != shifted.metrics.as_dict()
+        )

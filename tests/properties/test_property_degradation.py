@@ -1,0 +1,99 @@
+"""Property-based tests for the load-shedding degradation layer."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.degradation import DataShedder
+
+offers = st.lists(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+#: One control action: tighten by a factor in (0, 1) at a reference
+#: load, or relax by a factor > 1 toward an offered load.
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["tighten", "relax"]),
+        st.floats(min_value=0.05, max_value=0.95, allow_nan=False),
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    ),
+    max_size=40,
+)
+
+
+def apply_action(shedder: DataShedder, action) -> None:
+    kind, fraction, reference = action
+    if kind == "tighten":
+        shedder.tighten(fraction, reference)
+    else:
+        shedder.relax(1.0 + fraction, reference)
+
+
+class TestShedderInvariants:
+    @settings(max_examples=80)
+    @given(
+        min_cap=st.floats(min_value=1.0, max_value=1e3, allow_nan=False),
+        script=actions,
+    )
+    def test_cap_never_below_mandatory_floor(self, min_cap, script):
+        shedder = DataShedder(offered=lambda c: 100.0, min_cap_tracks=min_cap)
+        for action in script:
+            apply_action(shedder, action)
+            assert shedder.cap_tracks >= min_cap
+
+    @settings(max_examples=80)
+    @given(
+        factor=st.floats(min_value=1.0001, max_value=4.0, allow_nan=False),
+        offered=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        start_cap=st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    )
+    def test_recovery_is_monotone(self, factor, offered, start_cap):
+        shedder = DataShedder(offered=lambda c: offered)
+        shedder.cap_tracks = start_cap
+        before = shedder.cap_tracks
+        shedder.relax(factor, offered)
+        assert shedder.cap_tracks >= before
+
+    @settings(max_examples=80)
+    @given(
+        factor=st.floats(min_value=1.1, max_value=4.0, allow_nan=False),
+        offered=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+    )
+    def test_recovery_reaches_release(self, factor, offered):
+        """Repeated relaxation always ends in 'process everything'."""
+        shedder = DataShedder(offered=lambda c: offered)
+        shedder.cap_tracks = 1.0
+        for _ in range(200):
+            if shedder.cap_tracks == float("inf"):
+                break
+            shedder.relax(factor, offered)
+        assert shedder.cap_tracks == float("inf")
+
+    @settings(max_examples=80)
+    @given(offered=offers, script=actions)
+    def test_shed_fraction_within_unit_interval(self, offered, script):
+        shedder = DataShedder(offered=lambda c: offered[c])
+        for period, action in zip(range(len(offered)), script):
+            shedder(period)
+            apply_action(shedder, action)
+        for period in range(len(offered)):
+            shedder(period)
+        assert 0.0 <= shedder.shed_fraction <= 1.0
+
+    @settings(max_examples=80)
+    @given(
+        offered=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        cap=st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+    )
+    def test_processed_is_capped_minimum(self, offered, cap):
+        shedder = DataShedder(offered=lambda c: offered)
+        shedder.cap_tracks = cap
+        processed = shedder(0)
+        assert processed == min(offered, cap)
+        assert math.isfinite(processed)

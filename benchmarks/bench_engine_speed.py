@@ -1,0 +1,335 @@
+"""E-ENGINE — vectorized vs scalar engine core throughput.
+
+Part A drives a pure calendar kernel — one ``schedule_many`` batch of P
+events plus two irregular ``schedule_at`` events per period, then
+``run_until`` the period boundary — on the classic heap engine and the
+array-backed :class:`~repro.sim.vector.VectorizedEngine`, records
+events/sec for P ∈ {6, 32, 128, 512}, and **asserts execution-order
+equivalence** on an instrumented workload first.  The per-period event
+batches are precomputed outside the timed region so the kernel measures
+the engine, not the workload generator.
+
+Part B times the same full experiment end to end on both engines per
+cluster size and checks the **decision digests** are identical — the
+full-stack form of the bit-identity contract.  End-to-end runs are not
+calendar-dominated, so their speedup is recorded but not gated.
+
+Part C runs one small campaign serially, sharded (``shards=2``) and on
+the vectorized engine, and checks all three produce byte-identical
+deterministic row JSON.
+
+Gates (``check_report``): order/digest/sharded equivalence always;
+vectorized ≥ 3x scalar kernel events/sec at every measured P ≥ 128.
+
+Run standalone (``python benchmarks/bench_engine_speed.py``), in CI
+smoke form (``--smoke``: P in {6, 32}, shorter kernel — equivalence
+gates still enforced), or via ``pytest benchmarks/bench_engine_speed.py
+-m "slow or not slow"``.  Results land in
+``benchmarks/out/BENCH_engine_speed.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_engine_speed.json"
+
+#: Cluster/batch sizes of the full sweep (6 = the paper's testbed).
+SIZES = (6, 32, 128, 512)
+SMOKE_SIZES = (6, 32)
+
+#: Kernel shape: per period, one batch of P events + 2 irregular ones.
+KERNEL_PERIODS = 200
+SMOKE_KERNEL_PERIODS = 60
+ORDER_CHECK_PERIODS = 50
+
+#: End-to-end experiment length per cluster size.
+E2E_PERIODS = 40
+SMOKE_E2E_PERIODS = 12
+
+#: Required kernel speedup at and above the ISSUE's headline size.
+TARGET_P = 128
+TARGET_SPEEDUP = 3.0
+
+
+def _engine_classes():
+    from repro.sim.engine import Engine
+    from repro.sim.vector import VectorizedEngine
+
+    return Engine, VectorizedEngine
+
+
+def _make_batches(p: int, n_periods: int, seed: int) -> list[list[float]]:
+    """Precomputed per-period event times (kept outside the timed region)."""
+    rng = np.random.default_rng(seed)
+    return [
+        [float(c) + d for d in rng.uniform(0.0, 0.9, size=p)]
+        for c in range(n_periods)
+    ]
+
+
+def _kernel(engine_cls, batches: list[list[float]]) -> tuple[int, float]:
+    """Run the calendar kernel; returns (events executed, seconds)."""
+    engine = engine_cls()
+
+    def cb() -> None:
+        pass
+
+    t0 = time.perf_counter()
+    for c, times in enumerate(batches):
+        base = float(c)
+        engine.schedule_many(times, cb)
+        engine.schedule_at(base + 0.95, cb, priority=-10)
+        engine.schedule_at(base + 0.99, cb)
+        engine.run_until(base + 1.0)
+    elapsed = time.perf_counter() - t0
+    return engine.executed_count, elapsed
+
+
+def _execution_order(engine_cls, p: int, n_periods: int, seed: int) -> list:
+    """Instrumented kernel: the full (tag, period, index, now) order log."""
+    rng = np.random.default_rng(seed)
+    engine = engine_cls()
+    log: list = []
+    for c in range(n_periods):
+        base = float(c)
+        times = [base + d for d in rng.uniform(0.0, 0.9, size=p)]
+        callbacks = [
+            (lambda i=c, j=j: log.append(("m", i, j, engine.now)))
+            for j in range(p)
+        ]
+        engine.schedule_many(times, callbacks)
+        engine.schedule_at(
+            base + 0.5, (lambda i=c: log.append(("x", i, engine.now)))
+        )
+        engine.run_until(base + 1.0)
+    return log
+
+
+def measure_kernel(p: int, n_periods: int, repetitions: int) -> dict:
+    """Best-of-N events/sec on both engines, plus the order check."""
+    scalar_cls, vector_cls = _engine_classes()
+    order_equivalent = _execution_order(
+        scalar_cls, p, ORDER_CHECK_PERIODS, seed=7
+    ) == _execution_order(vector_cls, p, ORDER_CHECK_PERIODS, seed=7)
+    batches = _make_batches(p, n_periods, seed=1)
+    best_scalar = best_vector = float("inf")
+    events = 0
+    for _ in range(repetitions):
+        n_scalar, t_scalar = _kernel(scalar_cls, batches)
+        n_vector, t_vector = _kernel(vector_cls, batches)
+        if n_scalar != n_vector:
+            raise AssertionError(
+                f"P={p}: engines executed {n_scalar} vs {n_vector} events"
+            )
+        events = n_scalar
+        best_scalar = min(best_scalar, t_scalar)
+        best_vector = min(best_vector, t_vector)
+    scalar_eps = events / best_scalar if best_scalar else float("inf")
+    vector_eps = events / best_vector if best_vector else float("inf")
+    return {
+        "p": p,
+        "events": events,
+        "scalar_events_per_s": scalar_eps,
+        "vectorized_events_per_s": vector_eps,
+        "speedup": vector_eps / scalar_eps if scalar_eps else None,
+        "order_equivalent": order_equivalent,
+    }
+
+
+def measure_end_to_end(n_nodes: int, n_periods: int) -> dict:
+    """One full experiment per engine: wall time + decision digests."""
+    from repro.experiments.config import BaselineConfig, ExperimentConfig
+    from repro.experiments.estimator_cache import get_estimator
+    from repro.experiments.runner import run_experiment
+
+    baseline = BaselineConfig(n_nodes=n_nodes, n_periods=n_periods)
+    estimator = get_estimator(baseline)
+    results = {}
+    timings = {}
+    for engine in ("scalar", "vectorized"):
+        config = ExperimentConfig(
+            policy="predictive",
+            pattern="triangular",
+            max_workload_units=200.0,
+            baseline=baseline,
+            engine=engine,
+        )
+        t0 = time.perf_counter()
+        results[engine] = run_experiment(config, estimator=estimator)
+        timings[engine] = time.perf_counter() - t0
+    digests_equal = (
+        results["scalar"].decision_digest
+        == results["vectorized"].decision_digest
+    )
+    metrics_equal = (
+        results["scalar"].metrics == results["vectorized"].metrics
+        and results["scalar"].final_placement
+        == results["vectorized"].final_placement
+    )
+    return {
+        "n_nodes": n_nodes,
+        "n_periods": n_periods,
+        "scalar_s": timings["scalar"],
+        "vectorized_s": timings["vectorized"],
+        "speedup": (
+            timings["scalar"] / timings["vectorized"]
+            if timings["vectorized"]
+            else None
+        ),
+        "digests_equal": digests_equal,
+        "metrics_equal": metrics_equal,
+        "decision_digest": results["scalar"].decision_digest,
+    }
+
+
+def measure_sharded(n_periods: int) -> dict:
+    """Serial vs sharded vs vectorized campaign: byte-identical rows."""
+    from repro.experiments.campaign import CampaignSpec, run_campaign
+    from repro.experiments.config import BaselineConfig
+
+    def spec(engine: str) -> CampaignSpec:
+        return CampaignSpec(
+            policies=("predictive", "nonpredictive"),
+            patterns=("triangular",),
+            units=(120.0, 200.0),
+            n_seeds=1,
+            baseline=BaselineConfig(n_periods=n_periods),
+            engine=engine,
+        )
+
+    serial = run_campaign(spec("scalar"), n_jobs=1).deterministic_json()
+    sharded = run_campaign(spec("scalar"), shards=2).deterministic_json()
+    vectorized = run_campaign(spec("vectorized"), n_jobs=1).deterministic_json()
+    return {
+        "n_runs": spec("scalar").n_runs,
+        "n_periods": n_periods,
+        "n_shards": 2,
+        "serial_equals_sharded": serial == sharded,
+        "serial_equals_vectorized": serial == vectorized,
+        "row_bytes": len(serial),
+    }
+
+
+def measure_engine_speed(
+    sizes=SIZES,
+    kernel_periods: int = KERNEL_PERIODS,
+    e2e_periods: int = E2E_PERIODS,
+    repetitions: int = 3,
+) -> dict:
+    """The full report: kernel sweep, end-to-end sweep, sharded check."""
+    kernel_rows = [
+        measure_kernel(p, kernel_periods, repetitions) for p in sizes
+    ]
+    e2e_rows = [measure_end_to_end(p, e2e_periods) for p in sizes]
+    sharded = measure_sharded(max(e2e_periods // 2, 6))
+    return {
+        "bench": "engine_speed",
+        "kernel": {
+            "n_periods": kernel_periods,
+            "repetitions": repetitions,
+            "order_check_periods": ORDER_CHECK_PERIODS,
+            "shape": "per period: schedule_many(P) + 2 schedule_at + "
+            "run_until; batches precomputed outside the timed region",
+        },
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "target": {
+            "p": TARGET_P,
+            "min_kernel_speedup": TARGET_SPEEDUP,
+        },
+        "rows": kernel_rows,
+        "end_to_end": e2e_rows,
+        "sharded": sharded,
+        "note": "events/sec = calendar kernel throughput; end-to-end "
+        "runs are not calendar-dominated, so their speedup is recorded "
+        "but ungated — the digest equality is the gate there",
+    }
+
+
+def write_report(report: dict) -> Path:
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
+def check_report(report: dict) -> list[str]:
+    """Hard requirements; returns human-readable violations."""
+    problems = []
+    for row in report["rows"]:
+        if not row["order_equivalent"]:
+            problems.append(
+                f"P={row['p']}: scalar and vectorized execution orders "
+                "diverged"
+            )
+        if row["p"] >= TARGET_P and row["speedup"] is not None:
+            if row["speedup"] < TARGET_SPEEDUP:
+                problems.append(
+                    f"P={row['p']}: kernel speedup {row['speedup']:.2f}x "
+                    f"below the {TARGET_SPEEDUP}x target"
+                )
+    for row in report["end_to_end"]:
+        if not row["digests_equal"]:
+            problems.append(
+                f"P={row['n_nodes']}: end-to-end decision digests diverged"
+            )
+        if not row["metrics_equal"]:
+            problems.append(
+                f"P={row['n_nodes']}: end-to-end metrics/placement diverged"
+            )
+    sharded = report["sharded"]
+    if not sharded["serial_equals_sharded"]:
+        problems.append("sharded campaign rows differ from serial")
+    if not sharded["serial_equals_vectorized"]:
+        problems.append("vectorized campaign rows differ from scalar")
+    return problems
+
+
+@pytest.mark.slow
+def test_engine_speed():
+    report = measure_engine_speed()
+    path = write_report(report)
+    print(f"\nengine speed report written to {path}")
+    problems = check_report(report)
+    assert not problems, "\n".join(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke form: P in {6, 32}, shorter kernel/runs "
+        "(equivalence gates still enforced)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        report = measure_engine_speed(
+            sizes=SMOKE_SIZES,
+            kernel_periods=SMOKE_KERNEL_PERIODS,
+            e2e_periods=SMOKE_E2E_PERIODS,
+            repetitions=2,
+        )
+    else:
+        report = measure_engine_speed()
+    path = write_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {path}")
+    problems = check_report(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

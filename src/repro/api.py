@@ -91,6 +91,7 @@ from repro.experiments.export import (
     metrics_to_json,
 )
 from repro.experiments.forecast_eval import CalibrationReport, evaluate_forecasts
+from repro.experiments.history_index import RunHistoryIndex
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.experiments.replication import ReplicatedResult, replicate_experiment
 from repro.experiments.report import format_sparkline, format_table
@@ -101,6 +102,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.timeline import Timeline, extract_timeline, render_timeline
 from repro.experiments.validation import validate_reproduction
+from repro.parallel import ShardPlan, plan_shards, run_sharded
 from repro.regression.estimator import TimingEstimator
 from repro.regression.latency_model import ExecutionLatencyModel
 from repro.regression.serialization import (
@@ -109,6 +111,7 @@ from repro.regression.serialization import (
 )
 from repro.runtime.executor import PeriodicTaskExecutor
 from repro.sim.engine import Engine
+from repro.sim.vector import VectorizedEngine
 from repro.tasks.builder import TaskBuilder
 from repro.tasks.model import PeriodicTask
 from repro.tasks.state import ReplicaAssignment
@@ -209,7 +212,9 @@ __all__ = [
     "ReplicatedResult",
     "ReproError",
     "ResilienceScorecard",
+    "RunHistoryIndex",
     "SCHEMA_VERSION",
+    "ShardPlan",
     "StepPattern",
     "System",
     "TaskBuilder",
@@ -218,6 +223,7 @@ __all__ = [
     "TimingEstimator",
     "TrackStreamGenerator",
     "UtilizationIndex",
+    "VectorizedEngine",
     "aaw_task",
     "assign_deadlines",
     "build_system",
@@ -241,6 +247,7 @@ __all__ = [
     "paper_comm_model",
     "paper_latency_model",
     "plan_capacity",
+    "plan_shards",
     "profile_buffer_delay",
     "profile_subtask",
     "register_policy",
@@ -249,6 +256,7 @@ __all__ = [
     "run_campaign",
     "run_chaos_experiment",
     "run_experiment",
+    "run_sharded",
     "scenario_names",
     "shut_down_a_replica",
     "sweep_workloads",

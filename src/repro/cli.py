@@ -41,9 +41,11 @@ Commands
     layering, pickling rules); exit code 1 on violations.
 
 Global options (``--periods``, ``--seed``, ``--nodes``,
-``--network-mode``, ``--jobs``, ``--cache-dir``) precede the
-subcommand.  Every command is importable and testable via
-:func:`main(argv)`.
+``--network-mode``, ``--jobs``, ``--cache-dir``, ``--engine``,
+``--shards``) precede the subcommand.  ``--engine vectorized`` swaps in
+the array-backed calendar (bit-identical decisions); ``--shards N``
+splits a campaign round-robin across ``N`` worker processes.  Every
+command is importable and testable via :func:`main(argv)`.
 """
 
 from __future__ import annotations
@@ -88,6 +90,16 @@ def _jobs_from_args(args: argparse.Namespace) -> int:
 
 def _cache_dir_from_args(args: argparse.Namespace):
     return getattr(args, "cache_dir", None)
+
+
+def _engine_from_args(args: argparse.Namespace) -> str:
+    return getattr(args, "engine", None) or "scalar"
+
+
+def _shards_from_args(args: argparse.Namespace) -> int:
+    shards = getattr(args, "shards", None)
+    # 0 = no sharding (dispatch one job per worker task as before).
+    return 0 if shards is None else shards
 
 
 # -- command handlers -----------------------------------------------------------
@@ -168,6 +180,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         pattern=args.pattern,
         max_workload_units=args.max_units,
         baseline=baseline,
+        engine=_engine_from_args(args),
     )
     estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
 
@@ -418,12 +431,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         baseline=_baseline_from_args(args),
         scenarios=scenarios,
         hardened=hardened,
+        engine=_engine_from_args(args),
     )
     result = run_campaign(
         spec,
         n_jobs=_jobs_from_args(args),
         cache_dir=_cache_dir_from_args(args),
         progress=None if args.quiet else print,
+        shards=_shards_from_args(args),
     )
     print(result.render(metric=args.metric))
     if args.json:
@@ -575,6 +590,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         help="directory for the disk-backed estimator cache "
         "(fits are reused across processes and invocations)",
+    )
+    parser.add_argument(
+        "--engine", choices=("scalar", "vectorized"),
+        help="simulation core: the classic per-event heap or the "
+        "array-backed calendar (bit-identical decisions, faster at scale)",
+    )
+    parser.add_argument(
+        "--shards", type=int,
+        help="split campaign runs round-robin across this many worker "
+        "processes, each running its slice serially (0 = one job per "
+        "worker task; overrides --jobs for dispatch)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -17,6 +17,7 @@ from repro.errors import ClusterError
 from repro.sim.engine import Engine
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import Tracer
+from repro.sim.vector import VectorizedEngine
 from repro.telemetry.hub import TelemetryHub
 from repro.units import ETHERNET_100_MBPS, MS
 
@@ -194,6 +195,7 @@ def build_system(
     tracer: Tracer | None = None,
     telemetry: TelemetryHub | None = None,
     use_utilization_index: bool = True,
+    engine: str = "scalar",
 ) -> System:
     """Construct the Table 1 baseline system (or a variant of it).
 
@@ -203,7 +205,11 @@ def build_system(
     processor) builds a heterogeneous machine for the extension study;
     omitted, all nodes run at the reference speed 1.0.  ``telemetry``
     wires a :class:`~repro.telemetry.hub.TelemetryHub` into the engine so
-    every instrumented component reports to it.
+    every instrumented component reports to it.  ``engine`` selects the
+    calendar implementation: ``"scalar"`` (the binary-heap
+    :class:`~repro.sim.engine.Engine`) or ``"vectorized"`` (the
+    array-backed :class:`~repro.sim.vector.VectorizedEngine`; decision
+    sequences are bit-identical either way).
     """
     if n_processors < 1:
         raise ClusterError(f"need at least one processor, got {n_processors}")
@@ -212,11 +218,16 @@ def build_system(
             f"{n_processors} processors need {n_processors} speed factors, "
             f"got {len(speed_factors)}"
         )
-    engine = Engine(tracer=tracer, telemetry=telemetry)
+    if engine not in ("scalar", "vectorized"):
+        raise ClusterError(
+            f"engine must be 'scalar' or 'vectorized', got {engine!r}"
+        )
+    engine_cls = Engine if engine == "scalar" else VectorizedEngine
+    sim_engine = engine_cls(tracer=tracer, telemetry=telemetry)
     rng = RngRegistry(seed)
     processors = [
         Processor(
-            engine,
+            sim_engine,
             f"p{i + 1}",
             discipline=discipline,
             quantum=quantum,
@@ -226,7 +237,7 @@ def build_system(
         for i in range(n_processors)
     ]
     network = Network(
-        engine,
+        sim_engine,
         bandwidth_bps=bandwidth_bps,
         default_overhead_bytes=message_overhead_bytes,
         utilization_window=utilization_window,
@@ -247,10 +258,10 @@ def build_system(
     ]
     sync: ClockSyncService | None = None
     if clock_sync_enabled:
-        sync = ClockSyncService(engine, clocks, rng=rng.stream("clock-sync"))
+        sync = ClockSyncService(sim_engine, clocks, rng=rng.stream("clock-sync"))
         sync.start()
     return System(
-        engine=engine,
+        engine=sim_engine,
         processors=processors,
         network=network,
         clocks=clocks,

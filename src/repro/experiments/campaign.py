@@ -43,6 +43,10 @@ class CampaignSpec:
     every cell is replicated per named fault scenario (``None`` =
     fault-free) and per hardening setting.  The defaults keep both axes
     trivial, so pre-chaos campaigns enumerate — and tag — identically.
+
+    ``engine`` selects the simulation core for every run in the grid
+    (``"scalar"`` or ``"vectorized"``); both produce bit-identical
+    decision sequences, so it is a speed knob, not a grid axis.
     """
 
     policies: tuple[str, ...] = ("predictive", "nonpredictive")
@@ -53,6 +57,7 @@ class CampaignSpec:
     repetitions: int = 2
     scenarios: tuple[str | None, ...] = (None,)
     hardened: tuple[bool, ...] = (False,)
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if not self.policies or not self.patterns or not self.units:
@@ -61,6 +66,10 @@ class CampaignSpec:
             raise ConfigurationError("campaign axes must be non-empty")
         if self.n_seeds < 1:
             raise ConfigurationError(f"n_seeds must be >= 1, got {self.n_seeds}")
+        if self.engine not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
 
     @property
     def n_runs(self) -> int:
@@ -89,6 +98,7 @@ class CampaignSpec:
                                 baseline=self.baseline,
                                 chaos_scenario=scenario,
                                 hardened=hard,
+                                engine=self.engine,
                             )
                             tag = f"{policy}/{pattern}/u{units:g}"
                             if scenario is not None:
@@ -114,6 +124,7 @@ class CampaignRow:
     pid: int
     chaos_scenario: str | None = None
     hardened: bool = False
+    decision_digest: str = ""
 
     def as_dict(self) -> dict:
         """JSON-friendly representation (used by ``write_json``)."""
@@ -125,10 +136,25 @@ class CampaignRow:
             "chaos_scenario": self.chaos_scenario,
             "hardened": self.hardened,
             "metrics": self.metrics.as_dict(),
+            "decision_digest": self.decision_digest,
             "wall_clock_s": self.wall_clock_s,
             "max_rss_kb": self.max_rss_kb,
             "pid": self.pid,
         }
+
+    def deterministic_dict(self) -> dict:
+        """:meth:`as_dict` minus host-side accounting.
+
+        Everything left is a pure function of the run's configuration
+        and seed — wall clock, peak RSS and worker PID vary between
+        hosts and dispatch modes, so they are excluded.  Serializing
+        these dicts is how the sharded-vs-serial equality gate compares
+        whole campaigns byte for byte.
+        """
+        row = self.as_dict()
+        for key in ("wall_clock_s", "max_rss_kb", "pid"):
+            del row[key]
+        return row
 
 
 @dataclass(frozen=True)
@@ -139,6 +165,19 @@ class CampaignResult:
     rows: tuple[CampaignRow, ...]
     n_jobs: int
     elapsed_s: float
+
+    def deterministic_json(self) -> str:
+        """Canonical JSON of every row's deterministic content.
+
+        Byte-identical across serial, pooled and sharded execution of
+        the same spec and seeds (the sharded-campaign equality gate
+        compares exactly this string).
+        """
+        return json.dumps(
+            [row.deterministic_dict() for row in self.rows],
+            indent=2,
+            sort_keys=True,
+        )
 
     def series(
         self,
@@ -253,6 +292,7 @@ def run_campaign(
     n_jobs: int = 1,
     cache_dir: str | Path | None = None,
     progress: Progress | None = None,
+    shards: int = 0,
 ) -> CampaignResult:
     """Execute every cell of the grid; results keep enumeration order.
 
@@ -260,6 +300,12 @@ def run_campaign(
     larger values fan out over :func:`repro.parallel.map_jobs` after the
     parent warms the estimator cache once.  ``progress`` (e.g. ``print``)
     receives one line per finished run, in completion order.
+
+    ``shards >= 1`` dispatches via :func:`repro.parallel.run_sharded`
+    instead: the grid splits round-robin into that many groups, each
+    executed serially inside one worker process (overrides ``n_jobs``).
+    Deterministic row content is byte-identical either way —
+    :meth:`CampaignResult.deterministic_json` pins it.
     """
     from repro.parallel import effective_n_jobs, run_configs_parallel
 
@@ -288,6 +334,7 @@ def run_campaign(
         repetitions=spec.repetitions,
         tags=tags,
         on_result=on_result,
+        shards=shards,
     )
     elapsed = time.perf_counter() - start
     rows = tuple(
@@ -302,6 +349,7 @@ def run_campaign(
             pid=jr.pid,
             chaos_scenario=jr.spec.config.chaos_scenario,
             hardened=jr.spec.config.hardened,
+            decision_digest=jr.decision_digest,
         )
         for jr in job_results
     )

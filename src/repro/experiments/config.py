@@ -173,6 +173,11 @@ class ExperimentConfig:
         :class:`repro.core.hardening.HardeningConfig` defenses (stale
         record aging, placement guard, allocation backoff, forecast
         circuit breaker).
+    engine:
+        Event-calendar implementation: ``"scalar"`` (binary heap) or
+        ``"vectorized"`` (array-backed batched calendar).  Decision
+        sequences are bit-identical either way; vectorized is faster at
+        scale.
     """
 
     policy: str
@@ -181,12 +186,17 @@ class ExperimentConfig:
     baseline: BaselineConfig = field(default_factory=BaselineConfig)
     chaos_scenario: str | None = None
     hardened: bool = False
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.max_workload_units <= 0.0:
             raise ConfigurationError(
                 f"max_workload_units must be positive, got "
                 f"{self.max_workload_units}"
+            )
+        if self.engine not in ("scalar", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
             )
 
     def with_overrides(self, **overrides: Any) -> "ExperimentConfig":

@@ -18,6 +18,7 @@ from repro.experiments.metrics import ExperimentMetrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.figures import FigureData
+    from repro.experiments.history_index import RunHistoryIndex
 
 #: Version stamped into every JSON payload written by ``repro run
 #: --json`` (:func:`metrics_to_json`) and campaign exports
@@ -128,49 +129,28 @@ def check_schema_version(payload: dict, origin: str = "<payload>") -> int:
     return version
 
 
-def rm_history_to_csv(manager, path: str | Path) -> Path:
+def rm_history_to_csv(
+    manager, path: str | Path, index: "RunHistoryIndex | None" = None
+) -> Path:
     """Export a manager's decision log as CSV (one row per step action).
 
     Columns: time, kind (replicate/shutdown/recovery), subtask index,
     processors touched, total replicas after the step.  Steps that took
-    no action are omitted.
+    no action are omitted.  Pass the run's
+    :class:`~repro.experiments.history_index.RunHistoryIndex` to reuse
+    its already-accumulated rows instead of rescanning the history; one
+    is built ad hoc otherwise.
     """
+    if index is None:
+        from repro.experiments.history_index import RunHistoryIndex
+
+        index = RunHistoryIndex(manager.executor, manager)
+    index.update()
     path = Path(path)
     with path.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["time", "kind", "subtask", "processors", "total_replicas"]
         )
-        for event in manager.history:
-            for outcome in event.outcomes:
-                if outcome.changed:
-                    writer.writerow(
-                        [
-                            event.time,
-                            "replicate",
-                            outcome.subtask_index,
-                            "+".join(outcome.added_processors),
-                            event.total_replicas,
-                        ]
-                    )
-            for subtask_index, processor in event.shutdowns:
-                writer.writerow(
-                    [
-                        event.time,
-                        "shutdown",
-                        subtask_index,
-                        processor,
-                        event.total_replicas,
-                    ]
-                )
-            for subtask_index, dead, target in event.recoveries:
-                writer.writerow(
-                    [
-                        event.time,
-                        "recovery",
-                        subtask_index,
-                        f"{dead}->{target or 'evicted'}",
-                        event.total_replicas,
-                    ]
-                )
+        writer.writerows(index.action_rows())
     return path

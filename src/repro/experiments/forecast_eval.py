@@ -26,6 +26,7 @@ from repro.core.predictive import PredictivePolicy
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.estimator_cache import get_estimator
+from repro.experiments.history_index import RunHistoryIndex
 from repro.regression.estimator import TimingEstimator
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
 from repro.tasks.state import ReplicaAssignment
@@ -94,6 +95,7 @@ def calibration_from_run(
     manager,
     n_periods: int,
     settle_periods: int = 1,
+    index: RunHistoryIndex | None = None,
 ) -> CalibrationReport:
     """Pair a finished run's forecasts with the realized stage latencies.
 
@@ -102,6 +104,9 @@ def calibration_from_run(
     so callers that have just run an experiment — :func:`evaluate_forecasts`
     below, or :func:`repro.experiments.runner.run_experiment` attaching
     calibration to its result — share one pairing implementation.
+    The forecast decisions and the period lookup come from the run's
+    :class:`~repro.experiments.history_index.RunHistoryIndex` (built ad
+    hoc when not passed), so this never rescans ``manager.history``.
 
     For each manager step that replicated subtask ``j`` with forecast
     ``f``, the observation is the mean stage latency of ``j`` over the
@@ -109,37 +114,37 @@ def calibration_from_run(
     next placement change).  ``settle_periods`` skips the first period
     after the decision (the stage may already be mid-flight).
     """
-    by_period = {r.period_index: r for r in executor.records}
+    if index is None:
+        index = RunHistoryIndex(executor, manager)
+    index.update()
     samples: list[ForecastSample] = []
-    for event in manager.history:
-        decision_period = int(round(event.time / task.period))
-        for outcome in event.outcomes:
-            if outcome.forecast_latency is None or not outcome.changed:
+    for time, subtask_index, replica_count, forecast_s in (
+        index.forecast_decisions()
+    ):
+        decision_period = int(round(time / task.period))
+        observed: list[float] = []
+        for period in range(decision_period + settle_periods, n_periods):
+            record = index.record_of_period(period)
+            if record is None:
                 continue
-            replica_count = len(event.placement[outcome.subtask_index])
-            observed: list[float] = []
-            for period in range(decision_period + settle_periods, n_periods):
-                record = by_period.get(period)
-                if record is None:
-                    continue
-                stage = record.stage(outcome.subtask_index)
-                if stage is None or stage.stage_latency is None:
-                    continue
-                if stage.replica_count != replica_count:
-                    break  # the placement changed; stop the window
-                observed.append(stage.stage_latency)
-                if len(observed) >= 3:
-                    break
-            if observed:
-                samples.append(
-                    ForecastSample(
-                        time=event.time,
-                        subtask_index=outcome.subtask_index,
-                        replica_count=replica_count,
-                        forecast_s=outcome.forecast_latency,
-                        observed_s=float(np.mean(observed)),
-                    )
+            stage = record.stage(subtask_index)
+            if stage is None or stage.stage_latency is None:
+                continue
+            if stage.replica_count != replica_count:
+                break  # the placement changed; stop the window
+            observed.append(stage.stage_latency)
+            if len(observed) >= 3:
+                break
+        if observed:
+            samples.append(
+                ForecastSample(
+                    time=time,
+                    subtask_index=subtask_index,
+                    replica_count=replica_count,
+                    forecast_s=forecast_s,
+                    observed_s=float(np.mean(observed)),
                 )
+            )
     released = list(executor.records)
     missed = sum(1 for r in released if r.missed)
     return CalibrationReport(
@@ -183,6 +188,7 @@ def evaluate_forecasts(
         bandwidth_bps=baseline.bandwidth_bps,
         message_overhead_bytes=baseline.message_overhead_bytes,
         seed=baseline.seed,
+        engine=config.engine,
     )
     task = aaw_task(
         period=baseline.period,

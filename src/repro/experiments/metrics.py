@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from repro.cluster.topology import System
 from repro.core.manager import AdaptiveResourceManager
 from repro.errors import ConfigurationError
+from repro.experiments.history_index import RunHistoryIndex
 from repro.runtime.executor import PeriodicTaskExecutor
 
 
@@ -81,6 +82,7 @@ def compute_metrics(
     manager: AdaptiveResourceManager,
     t_start: float,
     t_end: float,
+    index: RunHistoryIndex | None = None,
 ) -> ExperimentMetrics:
     """Derive the metric set from a finished run.
 
@@ -88,17 +90,26 @@ def compute_metrics(
     ----------
     t_start / t_end:
         Measurement interval (usually 0 to ``n_periods * period``).
+    index:
+        The run's :class:`~repro.experiments.history_index.RunHistoryIndex`,
+        if the caller already maintains one; its accumulated counters
+        replace the full history/record rescans with bit-identical
+        results.  Without it the legacy scans run unchanged.
     """
     if t_end <= t_start:
         raise ConfigurationError(f"bad measurement interval [{t_start}, {t_end}]")
     span = t_end - t_start
 
-    records = [r for r in executor.records if r.release_time < t_end]
-    released = len(records)
-    missed = sum(
-        1 for r in records if r.missed or (not r.completed and not r.aborted)
-    )
-    aborted = sum(1 for r in records if r.aborted)
+    if index is not None:
+        index.update()
+        released, missed, aborted = index.period_counts(t_end)
+    else:
+        records = [r for r in executor.records if r.release_time < t_end]
+        released = len(records)
+        missed = sum(
+            1 for r in records if r.missed or (not r.completed and not r.aborted)
+        )
+        aborted = sum(1 for r in records if r.aborted)
     md = missed / released if released else 0.0
 
     cpu_utils = [
@@ -107,15 +118,24 @@ def compute_metrics(
     avg_cpu = sum(cpu_utils) / len(cpu_utils)
     avg_net = system.network.meter.busy_between(t_start, t_end) / span
 
-    samples = [
-        count for time, count in manager.replica_samples() if t_start <= time < t_end
-    ]
     task = executor.task
     n_replicable = len(task.replicable_indices())
-    if samples:
-        avg_replicas = sum(samples) / len(samples)
+    if index is not None:
+        mean = index.windowed_replica_mean(t_start, t_end)
+        avg_replicas = (
+            mean if mean is not None
+            else float(executor.assignment.total_replicas())
+        )
     else:
-        avg_replicas = float(executor.assignment.total_replicas())
+        samples = [
+            count
+            for time, count in manager.replica_samples()
+            if t_start <= time < t_end
+        ]
+        if samples:
+            avg_replicas = sum(samples) / len(samples)
+        else:
+            avg_replicas = float(executor.assignment.total_replicas())
     max_replicas = system.size * n_replicable
 
     return ExperimentMetrics(
@@ -127,5 +147,7 @@ def compute_metrics(
         periods_released=released,
         periods_missed=missed,
         periods_aborted=aborted,
-        rm_actions=manager.actions_taken(),
+        rm_actions=(
+            index.actions_taken() if index is not None else manager.actions_taken()
+        ),
     )

@@ -27,6 +27,7 @@ from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
 from repro.errors import ConfigurationError
 from repro.experiments import estimator_cache
 from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.history_index import RunHistoryIndex
 from repro.experiments.metrics import ExperimentMetrics, compute_metrics
 from repro.regression.estimator import TimingEstimator
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
@@ -59,6 +60,12 @@ class ExperimentResult:
     final_placement: dict[int, tuple[str, ...]]
     forecasts: "CalibrationReport | None" = None
     scorecard: "ResilienceScorecard | None" = None
+    #: SHA-256 over the run's canonical decision sequence (see
+    #: :func:`repro.experiments.history_index.decision_event_key`); two
+    #: runs of the same config match byte for byte iff their managers
+    #: took identical decisions — the engine/sharding equivalence gates
+    #: compare these instead of whole histories.
+    decision_digest: str = ""
 
 
 def __getattr__(name: str):
@@ -134,6 +141,7 @@ def run_experiment(
         seed=baseline.seed + seed_offset,
         tracer=tracer,
         telemetry=telemetry,
+        engine=config.engine,
     )
     task = aaw_task(
         period=baseline.period,
@@ -214,7 +222,10 @@ def run_experiment(
     # Let stragglers finish or hit the shedding watchdog.
     system.engine.run_until(horizon + (baseline.drop_factor + 1.0) * baseline.period)
 
-    metrics = compute_metrics(system, executor, manager, 0.0, horizon)
+    # One indexed pass over the run's histories feeds the metrics and
+    # the calibration pairing below (no consumer rescans the history).
+    index = RunHistoryIndex(executor, manager).update()
+    metrics = compute_metrics(system, executor, manager, 0.0, horizon, index=index)
     if hub.enabled:
         for processor in system.processors:
             hub.registry.gauge(
@@ -226,7 +237,7 @@ def run_experiment(
         from repro.experiments.forecast_eval import calibration_from_run
 
         forecasts = calibration_from_run(
-            task, executor, manager, baseline.n_periods
+            task, executor, manager, baseline.n_periods, index=index
         )
     scorecard: "ResilienceScorecard | None" = None
     if injector is not None:
@@ -247,6 +258,7 @@ def run_experiment(
         final_placement=assignment.snapshot(),
         forecasts=forecasts,
         scorecard=scorecard,
+        decision_digest=index.decision_digest,
     )
 
 

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.manager import AdaptiveResourceManager
 from repro.errors import ConfigurationError
+from repro.experiments.history_index import RunHistoryIndex
 from repro.runtime.executor import PeriodicTaskExecutor
 from repro.units import s_to_ms
 
@@ -49,9 +50,19 @@ class Timeline:
 
 
 def extract_timeline(
-    executor: PeriodicTaskExecutor, manager: AdaptiveResourceManager
+    executor: PeriodicTaskExecutor,
+    manager: AdaptiveResourceManager,
+    index: RunHistoryIndex | None = None,
 ) -> Timeline:
-    """Build the aligned per-period series from a finished run."""
+    """Build the aligned per-period series from a finished run.
+
+    Pass the run's :class:`~repro.experiments.history_index.RunHistoryIndex`
+    to reuse its accumulated per-step samples instead of rescanning
+    ``manager.history``; one is built ad hoc otherwise.
+    """
+    if index is None:
+        index = RunHistoryIndex(executor, manager)
+    index.update()
     records = sorted(executor.records, key=lambda r: r.period_index)
     if not records:
         raise ConfigurationError("executor has no records; run it first")
@@ -69,11 +80,11 @@ def extract_timeline(
             latency[idx] = record.latency
         missed[idx] = record.missed
     period_len = executor.task.period
-    for event in manager.history:
-        idx = int(round(event.time / period_len))
+    for time, total_replicas, event_acted in index.timeline_samples():
+        idx = int(round(time / period_len))
         if 0 <= idx < n:
-            replicas[idx] = event.total_replicas
-            acted[idx] = acted[idx] or event.acted
+            replicas[idx] = total_replicas
+            acted[idx] = acted[idx] or event_acted
     # Forward-fill replica counts between manager samples.
     last = np.nan
     for i in range(n):

@@ -10,7 +10,10 @@ parallel across experiment runs.  This package fans runs out over a
 * :mod:`repro.parallel.jobs` — picklable :class:`JobSpec`/:class:`JobResult`
   descriptors and the :func:`run_job` worker entry point;
 * :mod:`repro.parallel.dispatch` — estimator-cache warming plus
-  dispatch for sweeps, replications and campaigns.
+  dispatch for sweeps, replications and campaigns;
+* :mod:`repro.parallel.shards` — round-robin sharding for large
+  campaigns of short runs (few processes, many runs each, merged back
+  into input order).
 
 See DESIGN.md ("Parallel execution subsystem") for the seed-derivation
 and shared-estimator rationale.
@@ -19,12 +22,17 @@ and shared-estimator rationale.
 from repro.parallel.dispatch import run_configs_parallel
 from repro.parallel.jobs import JobResult, JobSpec, run_job
 from repro.parallel.pool import effective_n_jobs, map_jobs
+from repro.parallel.shards import ShardPlan, plan_shards, run_shard, run_sharded
 
 __all__ = [
     "JobResult",
     "JobSpec",
+    "ShardPlan",
     "effective_n_jobs",
     "map_jobs",
+    "plan_shards",
     "run_configs_parallel",
     "run_job",
+    "run_shard",
+    "run_sharded",
 ]

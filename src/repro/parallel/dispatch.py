@@ -49,6 +49,7 @@ def run_configs_parallel(
     repetitions: int = 2,
     tags: Sequence[str] | None = None,
     on_result: OnResult | None = None,
+    shards: int = 0,
 ) -> list[JobResult]:
     """Run every config (paired with its seed offset) across the pool.
 
@@ -56,6 +57,13 @@ def run_configs_parallel(
     with ``estimator`` given, those exact models are persisted for every
     baseline, mirroring the serial convention that an explicit estimator
     is shared across a whole sweep.  Results return in config order.
+
+    ``shards >= 1`` switches from one-job-per-worker-task dispatch to
+    :func:`repro.parallel.shards.run_sharded`: the job list splits
+    round-robin into that many groups, each running serially inside one
+    worker process — cheaper per run for large campaigns of short runs,
+    and still byte-identical to serial (``shards`` overrides
+    ``n_jobs``; the seed of every job is derived before dispatch).
     """
     configs = list(configs)
     if seed_offsets is None:
@@ -86,4 +94,8 @@ def run_configs_parallel(
             )
             for i, (config, offset) in enumerate(zip(configs, seed_offsets))
         ]
+        if shards >= 1:
+            from repro.parallel.shards import run_sharded
+
+            return run_sharded(specs, shards, on_result=on_result)
         return map_jobs(specs, n_jobs=n_jobs, worker=run_job, on_result=on_result)

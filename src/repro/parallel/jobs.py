@@ -59,7 +59,13 @@ class JobSpec:
 
 @dataclass(frozen=True)
 class JobResult:
-    """A finished job: metrics plus per-job execution accounting."""
+    """A finished job: metrics plus per-job execution accounting.
+
+    ``decision_digest`` is the run's canonical decision-sequence hash
+    (see :mod:`repro.experiments.history_index`); it travels with the
+    result so engine- and sharding-equivalence checks can compare runs
+    without shipping histories between processes.
+    """
 
     spec: JobSpec
     metrics: ExperimentMetrics
@@ -67,6 +73,7 @@ class JobResult:
     wall_clock_s: float
     max_rss_kb: int
     pid: int
+    decision_digest: str = ""
 
 
 def _max_rss_kb() -> int:
@@ -99,4 +106,5 @@ def run_job(spec: JobSpec) -> JobResult:
         wall_clock_s=time.perf_counter() - start,  # repro: noqa DET-TIME
         max_rss_kb=_max_rss_kb(),
         pid=os.getpid(),
+        decision_digest=result.decision_digest,
     )

@@ -1,0 +1,128 @@
+"""Sharded campaign execution: few processes, many runs each.
+
+:func:`repro.parallel.pool.map_jobs` dispatches one experiment per
+worker task, which is right when runs are long; a large campaign of
+*short* runs pays per-task pickling and scheduling overhead instead.
+Sharding flips the granularity: the job list is split round-robin into
+``n_shards`` groups, each shard runs its runs **serially inside one
+worker process**, and the parent merges per-run results back into input
+order.
+
+Determinism is preserved by construction:
+
+* **seed-stream split** — every :class:`~repro.parallel.jobs.JobSpec`
+  carries its full RNG derivation (``baseline.seed + seed_offset``)
+  fixed *before* dispatch, so a run's random streams are independent of
+  which shard executes it;
+* **order-independent merge** — shard workers return ``(original
+  index, result)`` pairs and the parent reassembles by index, so the
+  merged list is identical whatever order shards finish in.
+
+Sharded results are therefore byte-identical to a serial run of the
+same specs (``tests/parallel/test_shards.py`` pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.parallel.jobs import JobResult, JobSpec, run_job
+from repro.parallel.pool import OnResult, map_jobs
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """A round-robin split of ``n_items`` jobs into ``n_shards`` groups.
+
+    Item ``i`` lands in shard ``i % n_shards``, so shard sizes differ by
+    at most one and a prefix of the job list (e.g. a campaign's
+    canonical grid order) spreads evenly across shards.
+    """
+
+    n_items: int
+    n_shards: int
+
+    def __post_init__(self) -> None:
+        if self.n_items < 0:
+            raise ConfigurationError(f"n_items must be >= 0, got {self.n_items}")
+        if self.n_shards < 1:
+            raise ConfigurationError(
+                f"n_shards must be >= 1, got {self.n_shards}"
+            )
+
+    def indices_of(self, shard: int) -> range:
+        """Original-list indices assigned to ``shard`` (ascending)."""
+        if not 0 <= shard < self.n_shards:
+            raise ConfigurationError(
+                f"shard must be in [0, {self.n_shards}), got {shard}"
+            )
+        return range(shard, self.n_items, self.n_shards)
+
+    def shard_of(self, index: int) -> int:
+        """The shard that owns original-list index ``index``."""
+        if not 0 <= index < self.n_items:
+            raise ConfigurationError(
+                f"index must be in [0, {self.n_items}), got {index}"
+            )
+        return index % self.n_shards
+
+
+def plan_shards(n_items: int, n_shards: int) -> ShardPlan:
+    """Plan a round-robin split, clamping empty trailing shards away.
+
+    Asking for more shards than items yields one shard per item — a
+    plan never contains an empty shard.
+    """
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    return ShardPlan(n_items=n_items, n_shards=max(1, min(n_shards, n_items)))
+
+
+def run_shard(
+    indexed_specs: Sequence[tuple[int, JobSpec]],
+) -> list[tuple[int, JobResult]]:
+    """Worker entry point: run one shard's specs serially, in order.
+
+    Returns ``(original index, result)`` pairs so the parent can merge
+    shards order-independently.  Module-level (no closures) so every
+    multiprocessing start method can import it.
+    """
+    return [(index, run_job(spec)) for index, spec in indexed_specs]
+
+
+def run_sharded(
+    specs: Sequence[JobSpec],
+    n_shards: int,
+    on_result: OnResult | None = None,
+) -> list[JobResult]:
+    """Run every spec across ``n_shards`` worker processes.
+
+    Each shard executes its round-robin slice of ``specs`` serially in
+    one process; results come back in input order, byte-identical to
+    ``[run_job(s) for s in specs]``.  ``on_result`` fires once per run
+    after the merge, in input order (sharded workers buffer their
+    shard's results, so true completion-order progress is not
+    observable).
+    """
+    specs = list(specs)
+    if not specs:
+        return []
+    plan = plan_shards(len(specs), n_shards)
+    shard_jobs = [
+        [(index, specs[index]) for index in plan.indices_of(shard)]
+        for shard in range(plan.n_shards)
+    ]
+    shard_results = map_jobs(
+        shard_jobs, n_jobs=plan.n_shards, worker=run_shard
+    )
+    merged: dict[int, JobResult] = {}
+    for pairs in shard_results:
+        for index, result in pairs:
+            merged[index] = result
+    results = [merged[index] for index in range(len(specs))]
+    if on_result is not None:
+        for index, result in enumerate(results):
+            on_result(index, len(results), result)
+    return results

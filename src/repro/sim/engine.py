@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop, heappush
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import SchedulingError
 from repro.sim.events import Event, EventState
@@ -49,6 +49,12 @@ class Engine:
         :data:`~repro.telemetry.hub.NULL_TELEMETRY` singleton; the hot
         loops never touch it, only the post-loop accounting does.
     """
+
+    #: Whether :meth:`schedule_many` lands on an array-backed calendar
+    #: (:class:`repro.sim.vector.VectorizedEngine`).  Components use this
+    #: to pick batched submission paths; on the scalar engine the method
+    #: is just a loop over :meth:`schedule_at`.
+    supports_batch: bool = False
 
     def __init__(
         self,
@@ -121,6 +127,40 @@ class Engine:
         event = Event(time, self._seq, callback, args, priority=priority, label=label)
         heappush(self._heap, event)
         return event
+
+    def schedule_many(
+        self,
+        times: Sequence[float],
+        callbacks: Callable[..., Any] | Sequence[Callable[..., Any]],
+        args_list: Sequence[tuple[Any, ...]] | None = None,
+        *,
+        priority: int = 0,
+        labels: str | Sequence[str] = "",
+    ) -> list[Event]:
+        """Schedule one event per absolute time in ``times``.
+
+        ``callbacks`` and ``labels`` are either one value shared by
+        every entry or one value per entry; ``args_list`` supplies the
+        positional arguments per entry (default: none).  Sequence
+        numbers are consumed consecutively in input order, so the call
+        is observationally identical to a loop over
+        :meth:`schedule_at` — subclasses with an array-backed calendar
+        override this with a vectorized insert that preserves exactly
+        that contract.
+        """
+        n = len(times)
+        cbs = callbacks if isinstance(callbacks, (list, tuple)) else [callbacks] * n
+        labs = labels if isinstance(labels, (list, tuple)) else [labels] * n
+        argss = args_list if args_list is not None else [()] * n
+        if len(cbs) != n or len(labs) != n or len(argss) != n:
+            raise SchedulingError(
+                f"schedule_many: {n} times but {len(cbs)} callbacks, "
+                f"{len(argss)} args, {len(labs)} labels"
+            )
+        return [
+            self.schedule_at(t, cb, *a, priority=priority, label=lb)
+            for t, cb, a, lb in zip(times, cbs, argss, labs)
+        ]
 
     # -- execution ----------------------------------------------------------
 

@@ -1,0 +1,447 @@
+"""Array-backed event calendar: the vectorized engine core.
+
+:class:`VectorizedEngine` is a drop-in :class:`~repro.sim.engine.Engine`
+replacement that splits the calendar into two structures:
+
+* **sorted runs** — each large :meth:`~VectorizedEngine.schedule_many`
+  call becomes one *run*: a batch sorted once with NumPy at insert time
+  (struct-of-arrays: the times live in a float64 array next to the event
+  list).  Only the run *heads* compete on a heap, and consecutive events
+  of the winning run are executed as a **chunk** — one
+  ``np.searchsorted`` bounds the slice that is safe to run without
+  consulting the heap again, so the per-event cost drops to the state
+  check plus the callback itself.
+* **an irregular heap** — everything scheduled one at a time (and tiny
+  batches) goes on a binary heap of plain ``(time, priority, seq,
+  event)`` tuples, whose comparisons run at C speed (the scalar engine's
+  heap compares :class:`~repro.sim.events.Event` objects via Python
+  ``__lt__``).
+
+Chunk safety: a callback may schedule new events that land *inside* the
+chunk's time range.  Every scheduling call bumps a generation counter;
+the chunk loop re-validates after any callback that scheduled, falling
+back to the heap race.  Cancellations need no special handling — the
+chunk loop checks each event's state anyway.
+
+Determinism contract
+--------------------
+Execution order is the same total order the scalar engine uses —
+``(time, priority, seq)`` with globally unique ``seq`` — and
+``schedule_many`` consumes sequence numbers consecutively in input
+order, exactly like the equivalent loop over ``schedule_at``.  A
+simulation that schedules the same logical events therefore executes
+the same callbacks in the same order at the same clock values on either
+engine: decision sequences, RNG consumption, and every recorded float
+are bit-identical.  ``tests/sim/test_vector_engine.py`` pins the order
+equivalence on random event soups and
+``tests/integration/test_engine_equivalence.py`` pins full-experiment
+decision digests.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from heapq import heappop, heappush
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+from repro.sim.events import Event, EventState
+from repro.sim.trace import NullTracer
+
+_PENDING = EventState.PENDING
+_EXECUTED = EventState.EXECUTED
+
+#: Batches at or below this size go to the tuple heap: a run's fixed
+#: bookkeeping only pays for itself once chunks amortize it.
+_SMALL_BATCH = 4
+
+#: A run-head heap entry: ``(time, priority, seq, run_id)``.  ``seq`` is
+#: globally unique, so comparisons never reach the fourth element.
+_Head = tuple[float, int, int, int]
+
+#: An irregular-heap entry: ``(time, priority, seq, event)``.
+_HeapEntry = tuple[float, int, int, Event]
+
+
+class _Run:
+    """One sorted batch: the event list plus its times as a plain list.
+
+    The times live in a parallel (pre-sorted) list of floats so chunk
+    boundaries come from :func:`bisect.bisect_right` — far cheaper than
+    a scalar ``np.searchsorted`` call per chunk.
+    """
+
+    __slots__ = ("events", "times", "pos")
+
+    def __init__(self, events: list[Event], times: list[float]) -> None:
+        self.events = events
+        self.times = times
+        self.pos = 0
+
+
+class VectorizedEngine(Engine):
+    """The array-backed calendar (see module docstring).
+
+    Construction parameters are identical to
+    :class:`~repro.sim.engine.Engine`.
+    """
+
+    supports_batch: bool = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # The base class heap stays empty; this engine keeps its own
+        # tuple-keyed heap plus the sorted runs.
+        self._irregular: list[_HeapEntry] = []
+        self._runs: dict[int, _Run] = {}
+        self._run_heads: list[_Head] = []
+        self._next_run_id = 0
+        # Bumped by every scheduling call; chunked execution re-checks
+        # the calendar whenever a callback moved it.
+        self._gen = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> Event:
+        """Schedule one event on the irregular (tuple-keyed) heap."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule into the past: t={time} < now={self._now}"
+            )
+        self._seq += 1
+        self._gen += 1
+        event = Event(time, self._seq, callback, args, priority=priority, label=label)
+        heappush(self._irregular, (event.time, event.priority, event.seq, event))
+        return event
+
+    def schedule_many(
+        self,
+        times: Sequence[float],
+        callbacks: Callable[..., Any] | Sequence[Callable[..., Any]],
+        args_list: Sequence[tuple[Any, ...]] | None = None,
+        *,
+        priority: int = 0,
+        labels: str | Sequence[str] = "",
+    ) -> list[Event]:
+        """One vectorized insert: sort the batch once, keep it as a run.
+
+        Sequence numbers are consumed consecutively in input order (the
+        scalar-loop contract), and the run is sorted by the engine's
+        total order ``(time, priority, seq)`` — ``priority`` is shared
+        by the whole batch, so a stable sort on time alone realizes it.
+        """
+        n = len(times)
+        if n == 0:
+            return []
+        cbs = callbacks if isinstance(callbacks, (list, tuple)) else [callbacks] * n
+        labs = labels if isinstance(labels, (list, tuple)) else [labels] * n
+        argss = args_list if args_list is not None else [()] * n
+        if len(cbs) != n or len(labs) != n or len(argss) != n:
+            raise SchedulingError(
+                f"schedule_many: {n} times but {len(cbs)} callbacks, "
+                f"{len(argss)} args, {len(labs)} labels"
+            )
+        self._gen += 1
+        now = self._now
+        if n <= _SMALL_BATCH:
+            # Tiny batches: a run would cost more bookkeeping than it
+            # saves.  Same seq assignment and total order, so this is
+            # purely an implementation choice.
+            push = heappush
+            irregular = self._irregular
+            out: list[Event] = []
+            seq = self._seq
+            for t, cb, a, lb in zip(times, cbs, argss, labs):
+                if t < now:
+                    raise SchedulingError(
+                        f"cannot schedule into the past: t={t} < now={now}"
+                    )
+                seq += 1
+                event = Event(t, seq, cb, a, priority=priority, label=lb)
+                push(irregular, (event.time, event.priority, event.seq, event))
+                out.append(event)
+            self._seq = seq
+            return out
+        arr = np.asarray(times, dtype=np.float64)
+        if float(arr.min()) < now:
+            raise SchedulingError(
+                f"cannot schedule into the past: t={float(arr.min())} < now={now}"
+            )
+        # Bulk-construct the handles without __init__'s per-field
+        # coercion (times are float64 already, seq is trusted).
+        new = Event.__new__
+        seq = self._seq
+        prio = int(priority)
+        pending = _PENDING
+        tlist: list[float] = arr.tolist()
+        events: list[Event] = []
+        append = events.append
+        if (
+            args_list is None
+            and not isinstance(callbacks, (list, tuple))
+            and not isinstance(labels, (list, tuple))
+        ):
+            # Homogeneous batch (one callback/label, no args): skip the
+            # 4-way zip in the construction loop.
+            shared_args = ()
+            for t in tlist:
+                seq += 1
+                event = new(Event)
+                event.time = t
+                event.seq = seq
+                event.callback = callbacks
+                event.args = shared_args
+                event.priority = prio
+                event.label = labels
+                event._state = pending
+                append(event)
+        else:
+            for t, cb, a, lb in zip(tlist, cbs, argss, labs):
+                seq += 1
+                event = new(Event)
+                event.time = t
+                event.seq = seq
+                event.callback = cb
+                event.args = a
+                event.priority = prio
+                event.label = lb
+                event._state = pending
+                append(event)
+        self._seq = seq
+        if np.any(np.diff(arr) < 0.0):
+            # Stable sort on time == sort by (time, priority, seq): the
+            # batch shares one priority and seqs increase with index.
+            order = np.argsort(arr, kind="stable").tolist()
+            ordered = [events[i] for i in order]
+            sorted_times = [tlist[i] for i in order]
+        else:
+            ordered = list(events)
+            sorted_times = tlist
+        run_id = self._next_run_id
+        self._next_run_id += 1
+        self._runs[run_id] = _Run(ordered, sorted_times)
+        head = ordered[0]
+        heappush(self._run_heads, (head.time, head.priority, head.seq, run_id))
+        return events
+
+    # -- calendar views -----------------------------------------------------
+
+    @property
+    def pending_count(self) -> int:
+        """Events on the calendar (cancelled-but-unpopped included)."""
+        return len(self._irregular) + sum(
+            len(run.events) - run.pos for run in self._runs.values()
+        )
+
+    def _normalize_heads(self) -> None:
+        """Drop cancelled events from both structures' heads."""
+        irregular = self._irregular
+        while irregular and irregular[0][3]._state is not _PENDING:
+            heappop(irregular)
+        heads = self._run_heads
+        runs = self._runs
+        while heads:
+            run = runs[heads[0][3]]
+            if run.events[run.pos]._state is _PENDING:
+                break
+            run_id = heappop(heads)[3]
+            run.pos += 1
+            if run.pos < len(run.events):
+                nxt = run.events[run.pos]
+                heappush(heads, (nxt.time, nxt.priority, nxt.seq, run_id))
+            else:
+                del runs[run_id]
+
+    def peek_time(self) -> float | None:
+        """Time of the next pending event, or ``None`` when empty."""
+        self._normalize_heads()
+        irregular = self._irregular
+        heads = self._run_heads
+        if irregular and (not heads or irregular[0] < heads[0]):
+            return irregular[0][0]
+        if heads:
+            return heads[0][0]
+        return None
+
+    def _pop_next(self) -> Event | None:
+        """Pop the earliest pending event across both structures."""
+        self._normalize_heads()
+        irregular = self._irregular
+        heads = self._run_heads
+        if irregular and (not heads or irregular[0] < heads[0]):
+            return heappop(irregular)[3]
+        if not heads:
+            return None
+        run_id = heappop(heads)[3]
+        run = self._runs[run_id]
+        event = run.events[run.pos]
+        run.pos += 1
+        if run.pos < len(run.events):
+            nxt = run.events[run.pos]
+            heappush(heads, (nxt.time, nxt.priority, nxt.seq, run_id))
+        else:
+            del self._runs[run_id]
+        return event
+
+    # -- execution ----------------------------------------------------------
+
+    def run_until(self, until: float) -> None:
+        """Run events with ``time <= until``; land the clock on ``until``."""
+        if until < self._now:
+            raise SchedulingError(f"run_until({until}) is before now={self._now}")
+        self._running = True
+        # Hot loop: same inlining discipline as the scalar engine.  When
+        # the winner is a run head, everything up to the next competitor
+        # (or `until`) is one chunk executed without heap traffic.
+        irregular = self._irregular
+        heads = self._run_heads
+        runs = self._runs
+        pop = heappop
+        push = heappush
+        record = None if type(self.tracer) is NullTracer else self.tracer.record
+        executed_before = self._executed
+        try:
+            while True:
+                while irregular and irregular[0][3]._state is not _PENDING:
+                    pop(irregular)
+                while heads:
+                    run = runs[heads[0][3]]
+                    if run.events[run.pos]._state is _PENDING:
+                        break
+                    run_id = pop(heads)[3]
+                    run.pos += 1
+                    if run.pos < len(run.events):
+                        nxt = run.events[run.pos]
+                        push(heads, (nxt.time, nxt.priority, nxt.seq, run_id))
+                    else:
+                        del runs[run_id]
+                if irregular and (not heads or irregular[0] < heads[0]):
+                    now = irregular[0][0]
+                    if now > until:
+                        break
+                    event = pop(irregular)[3]
+                    self._now = now
+                    self._executed += 1
+                    if record is not None:
+                        record(now, "event", event.label, {"seq": event.seq})
+                    event._execute()
+                    continue
+                if not heads:
+                    break
+                if heads[0][0] > until:
+                    break
+                # A run head won: execute the slice that cannot be
+                # preempted by `until` or by any other calendar entry.
+                run_id = pop(heads)[3]
+                run = runs[run_id]
+                events = run.events
+                times = run.times
+                pos = run.pos
+                end = bisect_right(times, until)
+                if irregular:
+                    comp = irregular[0][0]
+                    if heads and heads[0][0] < comp:
+                        comp = heads[0][0]
+                elif heads:
+                    comp = heads[0][0]
+                else:
+                    comp = None
+                if comp is not None:
+                    # Strictly-earlier events precede any competitor;
+                    # equal-time ties go back to the heap race.
+                    end_c = bisect_left(times, comp)
+                    if end_c < end:
+                        end = end_c
+                if end <= pos:
+                    # Tie with the competitor at the head itself — the
+                    # head already won the (time, priority, seq) race.
+                    end = pos + 1
+                gen = self._gen
+                i = pos
+                n_run = 0
+                if record is None:
+                    for event in events[pos:end]:
+                        i += 1
+                        if event._state is not _PENDING:
+                            continue
+                        self._now = event.time
+                        n_run += 1
+                        event._state = _EXECUTED
+                        event.callback(*event.args)
+                        if self._gen != gen:
+                            # The callback scheduled something; the
+                            # chunk boundary is stale.  Re-race.
+                            break
+                else:
+                    for event in events[pos:end]:
+                        i += 1
+                        if event._state is not _PENDING:
+                            continue
+                        now = event.time
+                        self._now = now
+                        n_run += 1
+                        record(now, "event", event.label, {"seq": event.seq})
+                        event._state = _EXECUTED
+                        event.callback(*event.args)
+                        if self._gen != gen:
+                            break
+                self._executed += n_run
+                run.pos = i
+                if i < len(events):
+                    nxt = events[i]
+                    push(heads, (nxt.time, nxt.priority, nxt.seq, run_id))
+                else:
+                    del runs[run_id]
+        finally:
+            self._running = False
+        self._now = until
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.on_engine_run(until, self._executed - executed_before)
+
+    def run(self, max_events: int | None = None) -> int:
+        """Run until empty (or ``max_events``); returns events executed."""
+        executed = 0
+        self._running = True
+        record = None if type(self.tracer) is NullTracer else self.tracer.record
+        try:
+            while max_events is None or executed < max_events:
+                event = self._pop_next()
+                if event is None:
+                    break
+                self._now = event.time
+                self._executed += 1
+                if record is not None:
+                    record(event.time, "event", event.label, {"seq": event.seq})
+                event._execute()
+                executed += 1
+        finally:
+            self._running = False
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.on_engine_run(self._now, executed)
+        return executed
+
+    def drain(self) -> Iterator[Event]:
+        """Cancel and yield all pending events in calendar order."""
+        pending = [entry[3] for entry in self._irregular]
+        for run in self._runs.values():
+            pending.extend(run.events[run.pos :])
+        self._irregular.clear()
+        self._runs.clear()
+        self._run_heads.clear()
+        for event in sorted(
+            (e for e in pending if e.pending), key=Event.sort_key
+        ):
+            event.cancel()
+            yield event

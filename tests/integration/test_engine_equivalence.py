@@ -1,0 +1,76 @@
+"""Scalar-vs-vectorized engine equivalence, pinned at full-stack depth.
+
+The vectorized calendar's contract is that every run — policy,
+chaos scenario, hardening aside — takes **bit-identical decisions** to
+the scalar heap engine: same decision digest (the SHA-256 over the
+canonical RM step sequence), same metrics, same final placement.  These
+tests pin that across the policy × chaos × hardening grid, plus the
+sharded-campaign equality the dispatch layer promises.
+
+Chaos cells use combinations that complete on the scalar engine too
+(reading-corruption scenarios need the hardened RM; an unhardened
+predictive run under corrupted utilization readings raises
+``RegressionError`` on *both* engines, which is itself equivalence, but
+not a useful grid cell).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+BASELINE = BaselineConfig(n_periods=12, seed=5)
+
+#: (chaos_scenario, hardened) cells — viable on both engines.
+CELLS = [
+    (None, False),
+    (None, True),
+    ("clock_drift", False),
+    ("crashes", True),
+    ("mayhem", True),
+]
+
+
+def _run(policy, scenario, hardened, engine, estimator):
+    config = ExperimentConfig(
+        policy=policy,
+        pattern="triangular",
+        max_workload_units=15.0,
+        baseline=BASELINE,
+        chaos_scenario=scenario,
+        hardened=hardened,
+        engine=engine,
+    )
+    return run_experiment(config, estimator=estimator)
+
+
+@pytest.mark.parametrize("policy", ["predictive", "nonpredictive"])
+@pytest.mark.parametrize("scenario,hardened", CELLS)
+class TestDecisionSequenceEquivalence:
+    def test_vectorized_matches_scalar(
+        self, policy, scenario, hardened, fitted_estimator
+    ):
+        scalar = _run(policy, scenario, hardened, "scalar", fitted_estimator)
+        vector = _run(
+            policy, scenario, hardened, "vectorized", fitted_estimator
+        )
+        assert scalar.decision_digest == vector.decision_digest
+        assert scalar.decision_digest  # non-trivial: a real digest
+        assert vector.metrics.as_dict() == scalar.metrics.as_dict()
+        assert vector.final_placement == scalar.final_placement
+        if scalar.scorecard is not None:
+            assert vector.scorecard.as_dict() == scalar.scorecard.as_dict()
+
+
+class TestDigestProperties:
+    def test_digest_is_sha256_hex(self, fitted_estimator):
+        result = _run("predictive", None, False, "scalar", fitted_estimator)
+        assert len(result.decision_digest) == 64
+        int(result.decision_digest, 16)  # hex-parsable
+
+    def test_digest_distinguishes_policies(self, fitted_estimator):
+        a = _run("predictive", None, False, "scalar", fitted_estimator)
+        b = _run("nonpredictive", None, False, "scalar", fitted_estimator)
+        assert a.decision_digest != b.decision_digest

@@ -1,0 +1,267 @@
+"""Unit tests for the array-backed :class:`VectorizedEngine`.
+
+The contract under test is *observational equivalence*: any workload —
+large sorted batches, unsorted batches, tiny batches that fall back to
+the irregular heap, mid-run scheduling from callbacks, cancellations —
+must execute in exactly the order the scalar heap engine executes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Engine
+from repro.sim.vector import VectorizedEngine
+
+
+def _order_log(engine_cls, drive):
+    """Run ``drive(engine, log)`` and return the execution-order log."""
+    engine = engine_cls()
+    log: list = []
+    drive(engine, log)
+    return log
+
+
+def assert_equivalent(drive):
+    """Both engines must produce identical execution logs for ``drive``."""
+    assert _order_log(Engine, drive) == _order_log(VectorizedEngine, drive)
+
+
+class TestBatchScheduling:
+    def test_supports_batch_flags(self):
+        assert VectorizedEngine.supports_batch is True
+        assert Engine.supports_batch is False
+
+    def test_schedule_many_returns_events_in_input_order(self):
+        engine = VectorizedEngine()
+        times = [3.0, 1.0, 2.0, 5.0, 4.0, 0.5, 6.0, 7.0]
+        events = engine.schedule_many(times, lambda: None)
+        assert [e.time for e in events] == times
+        # Seqs are consumed consecutively in input order.
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+
+    def test_small_batch_uses_irregular_heap(self):
+        engine = VectorizedEngine()
+        events = engine.schedule_many([1.0, 2.0], lambda: None)
+        assert len(events) == 2
+        assert engine.pending_count == 2
+        engine.run_until(3.0)
+        assert engine.executed_count == 2
+
+    def test_length_mismatch_rejected(self):
+        engine = VectorizedEngine()
+        with pytest.raises(SchedulingError):
+            engine.schedule_many([1.0, 2.0], [lambda: None])
+        with pytest.raises(SchedulingError):
+            engine.schedule_many(
+                [1.0] * 8, lambda: None, args_list=[(1,)] * 7
+            )
+        with pytest.raises(SchedulingError):
+            engine.schedule_many([1.0] * 8, lambda: None, labels=["a"] * 7)
+
+    def test_past_times_rejected(self):
+        engine = VectorizedEngine()
+        engine.run_until(2.0)
+        with pytest.raises(SchedulingError):
+            engine.schedule_at(1.0, lambda: None)
+        with pytest.raises(SchedulingError):
+            engine.schedule_many([3.0, 1.0] + [4.0] * 6, lambda: None)
+
+    def test_pending_and_executed_counts(self):
+        engine = VectorizedEngine()
+        engine.schedule_many([float(i) for i in range(10)], lambda: None)
+        engine.schedule_at(0.5, lambda: None)
+        assert engine.pending_count == 11
+        engine.run_until(4.5)
+        assert engine.executed_count == 6
+        assert engine.pending_count == 5
+
+
+class TestOrderEquivalence:
+    def test_sorted_large_batches(self):
+        def drive(engine, log):
+            for c in range(5):
+                base = float(c)
+                times = [base + i / 20.0 for i in range(16)]
+                engine.schedule_many(
+                    times,
+                    [
+                        (lambda i=c, j=j: log.append((i, j, engine.now)))
+                        for j in range(16)
+                    ],
+                )
+                engine.run_until(base + 1.0)
+
+        assert_equivalent(drive)
+
+    def test_unsorted_batches(self):
+        def drive(engine, log):
+            rng = np.random.default_rng(3)
+            for c in range(5):
+                base = float(c)
+                times = [base + d for d in rng.uniform(0.0, 0.9, size=24)]
+                engine.schedule_many(
+                    times,
+                    [
+                        (lambda i=c, j=j: log.append((i, j, engine.now)))
+                        for j in range(24)
+                    ],
+                )
+                engine.run_until(base + 1.0)
+
+        assert_equivalent(drive)
+
+    def test_batches_racing_irregular_events_and_priorities(self):
+        def drive(engine, log):
+            rng = np.random.default_rng(11)
+            for c in range(6):
+                base = float(c)
+                times = [base + d for d in rng.uniform(0.0, 0.9, size=12)]
+                engine.schedule_many(
+                    times,
+                    [
+                        (lambda i=c, j=j: log.append(("m", i, j, engine.now)))
+                        for j in range(12)
+                    ],
+                )
+                engine.schedule_at(
+                    base + 0.45,
+                    lambda i=c: log.append(("hi", i, engine.now)),
+                    priority=-10,
+                )
+                engine.schedule_at(
+                    base + 0.45, lambda i=c: log.append(("lo", i, engine.now))
+                )
+                engine.run_until(base + 1.0)
+
+        assert_equivalent(drive)
+
+    def test_equal_times_resolve_by_priority_then_seq(self):
+        def drive(engine, log):
+            times = [1.0] * 8
+            engine.schedule_many(
+                times,
+                [(lambda j=j: log.append(("a", j))) for j in range(8)],
+                priority=5,
+            )
+            engine.schedule_many(
+                times,
+                [(lambda j=j: log.append(("b", j))) for j in range(8)],
+                priority=-5,
+            )
+            engine.run_until(2.0)
+
+        assert_equivalent(drive)
+
+    def test_callbacks_scheduling_mid_run(self):
+        # A batch callback schedules new work *inside* the chunk window;
+        # the vectorized engine must notice and re-race the calendar.
+        def drive(engine, log):
+            def spawn(tag):
+                log.append((tag, engine.now))
+                if tag % 3 == 0:
+                    engine.schedule_at(
+                        engine.now + 0.01,
+                        lambda: log.append(("spawned", tag, engine.now)),
+                    )
+
+            times = [1.0 + i / 10.0 for i in range(12)]
+            engine.schedule_many(
+                times, [(lambda j=j: spawn(j)) for j in range(12)]
+            )
+            engine.run_until(5.0)
+
+        assert_equivalent(drive)
+
+    def test_cancellation_before_and_during_run(self):
+        def drive(engine, log):
+            events = engine.schedule_many(
+                [1.0 + i / 10.0 for i in range(12)],
+                [(lambda j=j: log.append(j)) for j in range(12)],
+            )
+            events[3].cancel()
+            events[7].cancel()
+
+            # Cancel a later batch event from inside a callback.
+            def cancel_ten():
+                log.append("cancelling")
+                events[10].cancel()
+
+            engine.schedule_at(1.55, cancel_ten, priority=-1)
+            engine.run_until(3.0)
+
+        assert_equivalent(drive)
+
+    def test_interleaved_many_batches_and_singles(self):
+        def drive(engine, log):
+            rng = np.random.default_rng(23)
+            for c in range(4):
+                base = float(c)
+                for _ in range(3):
+                    size = int(rng.integers(2, 20))
+                    times = [
+                        base + d for d in rng.uniform(0.0, 0.9, size=size)
+                    ]
+                    engine.schedule_many(
+                        times,
+                        [
+                            (lambda t=round(t, 6): log.append(("m", t)))
+                            for t in times
+                        ],
+                    )
+                engine.schedule_at(
+                    base + float(rng.uniform(0.0, 0.9)),
+                    lambda i=c: log.append(("s", i, engine.now)),
+                )
+                engine.run_until(base + 1.0)
+
+        assert_equivalent(drive)
+
+
+class TestExecutionApi:
+    def test_step_and_run(self):
+        engine = VectorizedEngine()
+        fired: list[float] = []
+        engine.schedule_many(
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            lambda: fired.append(engine.now),
+        )
+        assert engine.step() is True
+        assert fired == [1.0]
+        assert engine.run(max_events=3) == 3
+        assert fired == [1.0, 2.0, 3.0, 4.0]
+        assert engine.run() == 4
+        assert engine.step() is False
+
+    def test_peek_time_spans_both_structures(self):
+        engine = VectorizedEngine()
+        engine.schedule_many([2.0 + i / 10.0 for i in range(8)], lambda: None)
+        assert engine.peek_time() == 2.0
+        engine.schedule_at(1.5, lambda: None)
+        assert engine.peek_time() == 1.5
+
+    def test_drain_matches_scalar(self):
+        def build(engine_cls):
+            engine = engine_cls()
+            engine.schedule_many(
+                [5.0, 1.0, 3.0, 4.0, 2.0, 6.0, 8.0, 7.0],
+                lambda: None,
+                labels=[f"b{i}" for i in range(8)],
+            )
+            engine.schedule_at(0.5, lambda: None, label="s")
+            engine.run_until(2.5)
+            return engine
+
+        scalar, vector = build(Engine), build(VectorizedEngine)
+        drained_s = [(e.time, e.label) for e in scalar.drain()]
+        drained_v = [(e.time, e.label) for e in vector.drain()]
+        assert drained_v == drained_s
+        assert vector.pending_count == 0
+
+    def test_run_until_time_advances_even_when_idle(self):
+        engine = VectorizedEngine()
+        engine.run_until(4.0)
+        assert engine.now == 4.0

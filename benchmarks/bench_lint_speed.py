@@ -1,0 +1,158 @@
+"""E-LINT — incremental lint cache: cold vs warm wall time.
+
+Runs the full static-analysis suite (every per-file pass plus the
+project-wide CONC-*/API-* passes) over ``src/repro`` three ways:
+
+* **cold** — fresh cache file, everything parsed and analyzed;
+* **warm** — unchanged tree, the run must come entirely from the cache
+  (hash files, load records, no parsing);
+* **incremental** — one file touched (content actually changed), only
+  that file re-analyzed plus one project-pass rerun.
+
+Gates (``check_report``): results byte-identical across all three runs,
+and warm ≥ 3x faster than cold (best-of-N on both sides; in practice
+the ratio is two orders of magnitude, so the gate has slack for noisy
+CI machines).
+
+Run standalone (``python benchmarks/bench_lint_speed.py``), in CI smoke
+form (``--smoke``: fewer repetitions, same gates), or via ``pytest
+benchmarks/bench_lint_speed.py -m "slow or not slow"``.  Results land
+in ``benchmarks/out/BENCH_lint_speed.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_lint_speed.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+REPETITIONS = 3
+SMOKE_REPETITIONS = 2
+
+#: Required cold/warm ratio (the ISSUE's acceptance floor).
+TARGET_SPEEDUP = 3.0
+
+
+def _timed_run(tree: Path, cache: Path) -> tuple[float, list[dict]]:
+    from repro.analysis import lint_paths
+
+    t0 = time.perf_counter()
+    violations, _ = lint_paths([tree], cache_path=cache)
+    elapsed = time.perf_counter() - t0
+    return elapsed, [v.as_dict() for v in violations]
+
+
+def measure_lint_speed(repetitions: int = REPETITIONS) -> dict:
+    """Cold/warm/incremental wall times over a copy of ``src/repro``."""
+    best_cold = best_warm = best_incr = float("inf")
+    results: dict[str, list[dict]] = {}
+    n_files = sum(1 for _ in SRC_ROOT.rglob("*.py"))
+    with tempfile.TemporaryDirectory() as tmp:
+        # Lint a copy so the incremental edit never touches the repo.
+        tree = Path(tmp) / "repro"
+        shutil.copytree(SRC_ROOT, tree)
+        cache = Path(tmp) / "lint-cache.json"
+        victim = tree / "sim" / "engine.py"
+        original = victim.read_text(encoding="utf-8")
+        for _ in range(repetitions):
+            cache.unlink(missing_ok=True)
+            t_cold, cold = _timed_run(tree, cache)
+            t_warm, warm = _timed_run(tree, cache)
+            victim.write_text(original + "\n# touched\n", encoding="utf-8")
+            t_incr, incr = _timed_run(tree, cache)
+            victim.write_text(original, encoding="utf-8")
+            results = {"cold": cold, "warm": warm, "incremental": incr}
+            best_cold = min(best_cold, t_cold)
+            best_warm = min(best_warm, t_warm)
+            best_incr = min(best_incr, t_incr)
+    return {
+        "bench": "lint_speed",
+        "tree": "src/repro (copied to a temp dir)",
+        "n_files": n_files,
+        "repetitions": repetitions,
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "target": {"min_cold_warm_speedup": TARGET_SPEEDUP},
+        "cold_s": best_cold,
+        "warm_s": best_warm,
+        "incremental_s": best_incr,
+        "speedup_warm": best_cold / best_warm if best_warm else None,
+        "speedup_incremental": (
+            best_cold / best_incr if best_incr else None
+        ),
+        "violations": len(results["cold"]),
+        "results_identical": (
+            results["cold"] == results["warm"] == results["incremental"]
+        ),
+        "note": "warm = unchanged tree (hash-only); incremental = one "
+        "file edited (one re-parse + one project-pass rerun)",
+    }
+
+
+def write_report(report: dict) -> Path:
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
+def check_report(report: dict) -> list[str]:
+    """Hard requirements; returns human-readable violations."""
+    problems = []
+    if not report["results_identical"]:
+        problems.append("cold/warm/incremental runs disagree on findings")
+    if report["violations"] != 0:
+        problems.append(
+            f"src/repro is not lint-clean ({report['violations']} findings)"
+        )
+    speedup = report["speedup_warm"]
+    if speedup is None or speedup < TARGET_SPEEDUP:
+        problems.append(
+            f"warm/cold speedup {speedup if speedup is None else round(speedup, 2)}x "
+            f"below the {TARGET_SPEEDUP}x target"
+        )
+    return problems
+
+
+@pytest.mark.slow
+def test_lint_speed():
+    report = measure_lint_speed()
+    path = write_report(report)
+    print(f"\nlint speed report written to {path}")
+    problems = check_report(report)
+    assert not problems, "\n".join(problems)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI smoke form: fewer repetitions (gates still enforced)",
+    )
+    args = parser.parse_args(argv)
+    repetitions = SMOKE_REPETITIONS if args.smoke else REPETITIONS
+    report = measure_lint_speed(repetitions=repetitions)
+    path = write_report(report)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    print(f"written to {path}")
+    problems = check_report(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Persistent lint cache: incremental ``repro lint`` runs.
+
+The expensive part of a lint run is parsing and walking ASTs; deciding
+what to *show* (suppressions, ``--select``, stale-noqa checks) is
+cheap.  The cache therefore stores, per file, the **raw
+pre-suppression** findings plus the file's suppression comments, keyed
+on the file's content hash and a rules signature (analysis version +
+contract bytes).  Project-wide passes store their findings once, keyed
+on the signature of *every* participating file.  On a warm run with no
+edits the engine hashes files, loads records, and never parses a line —
+which is where the ≥3× cold/warm speedup pinned by
+``benchmarks/bench_lint_speed.py`` comes from.
+
+Design consequences, on purpose:
+
+* ``--select`` and suppression filtering never reach the cache key —
+  the raw findings are filter-input, so one cache serves every select
+  combination and LINT-UNUSED-NOQA stays correct.
+* Editing ``layering.toml`` (or bumping :data:`ANALYSIS_VERSION` when
+  rule logic changes) invalidates everything at once via the rules
+  signature.
+* The cache file is plain JSON with a schema tag; anything unreadable
+  or mismatched is discarded wholesale, never migrated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.analysis.model import Violation
+from repro.analysis.suppress import NoqaComment
+
+#: Bump when rule logic changes in a way that alters raw findings.
+ANALYSIS_VERSION = "2"
+
+_SCHEMA = "repro-lint-cache/1"
+
+#: Default cache location, relative to the working directory.
+DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
+
+
+def hash_bytes(data: bytes) -> str:
+    """Hex sha256 of ``data`` (the cache's content fingerprint)."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_file(path: str) -> str | None:
+    """Content hash of ``path``, or ``None`` when unreadable."""
+    try:
+        with open(path, "rb") as fh:
+            return hash_bytes(fh.read())
+    except OSError:
+        return None
+
+
+def rules_signature(contract_text: str) -> str:
+    """Signature invalidating the cache when rules or contract change."""
+    contract_hash = hash_bytes(contract_text.encode("utf-8"))
+    return f"{ANALYSIS_VERSION}:{contract_hash}"
+
+
+@dataclass
+class FileRecord:
+    """Cached analysis of one file at one content hash."""
+
+    content_hash: str
+    raw: list[Violation]
+    noqa: list[NoqaComment]
+
+
+@dataclass
+class LintCache:
+    """In-memory view of the cache file."""
+
+    path: str
+    signature: str
+    files: dict[str, FileRecord] = field(default_factory=dict)
+    #: Project-pass findings, keyed implicitly by :attr:`project_sig`.
+    project_sig: str = ""
+    project_raw: list[Violation] = field(default_factory=list)
+    #: Set when any record was added or replaced since load.
+    dirty: bool = False
+
+    # -- per-file records ---------------------------------------------------
+
+    def lookup(self, path: str, content_hash: str) -> FileRecord | None:
+        """The cached record for ``path`` at exactly this content hash."""
+        record = self.files.get(path)
+        if record is not None and record.content_hash == content_hash:
+            return record
+        return None
+
+    def store(
+        self,
+        path: str,
+        content_hash: str,
+        raw: list[Violation],
+        noqa: list[NoqaComment],
+    ) -> FileRecord:
+        """Insert/replace the record for ``path`` and mark the cache dirty."""
+        record = FileRecord(content_hash=content_hash, raw=raw, noqa=noqa)
+        self.files[path] = record
+        self.dirty = True
+        return record
+
+    # -- project-pass record ------------------------------------------------
+
+    def lookup_project(self, sig: str) -> list[Violation] | None:
+        """Cached project-pass findings when ``sig`` matches, else ``None``."""
+        if self.project_sig == sig and sig:
+            return self.project_raw
+        return None
+
+    def store_project(self, sig: str, raw: list[Violation]) -> None:
+        """Record the project-pass findings for file-set signature ``sig``."""
+        self.project_sig = sig
+        self.project_raw = raw
+        self.dirty = True
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self) -> None:
+        """Write atomically (tmp + rename); a no-op when nothing changed."""
+        if not self.dirty:
+            return
+        payload = {
+            "schema": _SCHEMA,
+            "signature": self.signature,
+            "files": {
+                path: {
+                    "hash": record.content_hash,
+                    "raw": [v.as_dict() for v in record.raw],
+                    "noqa": [
+                        {"line": c.line, "col": c.col, "rules": list(c.rules)}
+                        for c in record.noqa
+                    ],
+                }
+                for path, record in sorted(self.files.items())
+            },
+            "project": {
+                "sig": self.project_sig,
+                "raw": [v.as_dict() for v in self.project_raw],
+            },
+        }
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _violation_from_dict(data: dict) -> Violation:
+    # Keys follow Violation.as_dict() ("rule", "file", ...).
+    return Violation(
+        rule_id=data["rule"],
+        path=data["file"],
+        line=int(data["line"]),
+        col=int(data["col"]),
+        message=data["message"],
+        hint=data.get("hint", ""),
+    )
+
+
+def load_cache(path: str, signature: str) -> LintCache:
+    """Load the cache at ``path``; mismatch or corruption starts fresh."""
+    cache = LintCache(path=path, signature=signature)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        return cache
+    if not isinstance(payload, dict):
+        return cache
+    if payload.get("schema") != _SCHEMA:
+        return cache
+    if payload.get("signature") != signature:
+        return cache
+    try:
+        for file_path, entry in payload.get("files", {}).items():
+            cache.files[file_path] = FileRecord(
+                content_hash=entry["hash"],
+                raw=[_violation_from_dict(v) for v in entry["raw"]],
+                noqa=[
+                    NoqaComment(
+                        line=int(c["line"]),
+                        col=int(c["col"]),
+                        rules=tuple(c["rules"]),
+                    )
+                    for c in entry["noqa"]
+                ],
+            )
+        project = payload.get("project", {})
+        cache.project_sig = project.get("sig", "")
+        cache.project_raw = [
+            _violation_from_dict(v) for v in project.get("raw", [])
+        ]
+    except (KeyError, TypeError, ValueError):
+        return LintCache(path=path, signature=signature)
+    return cache

@@ -1,9 +1,24 @@
-"""Lint driver: walk files, run every pass, apply suppressions, report.
+"""Lint driver: per-file passes, project passes, cache, suppressions.
 
 :func:`lint_paths` is the programmatic entry point (the CLI and the
-tier-1 gate test both call it); :func:`lint_module` runs the passes over
-one already-parsed :class:`~repro.analysis.model.ModuleInfo`, which is
-what the per-pass unit tests use with synthetic sources.
+tier-1 gate test both call it); :func:`lint_module` runs the per-file
+passes over one already-parsed
+:class:`~repro.analysis.model.ModuleInfo`, which is what the per-pass
+unit tests use with synthetic sources.
+
+The run is split into two kinds of work:
+
+* **Per-file passes** (DET/UNIT/LAY/PCK/VEC, plus the per-file API
+  rule) see one module at a time and cache cleanly per content hash.
+* **Project passes** (CONC-* over the call graph, API-SNAPSHOT) see a
+  :class:`~repro.analysis.project.ProjectModel` over every file in the
+  run and cache against the signature of the whole file set.
+
+Both store **raw, pre-suppression** findings; suppression comments,
+``--select`` filtering, and the stale-suppression check
+(``LINT-UNUSED-NOQA``) are applied at merge time.  A warm run with no
+edits therefore hashes files and parses nothing — the speedup pinned by
+``benchmarks/bench_lint_speed.py``.
 """
 
 from __future__ import annotations
@@ -12,11 +27,50 @@ import json
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.analysis import determinism, layering, pickling, units_lint
-from repro.analysis.layering import LayeringContract, load_contract
-from repro.analysis.model import ModuleInfo, Rule, Violation, load_module
-from repro.analysis.suppress import filter_suppressed
+from repro.analysis import (
+    concurrency,
+    determinism,
+    facade_lint,
+    layering,
+    pickling,
+    units_lint,
+    vector_lint,
+)
+from repro.analysis.cache import (
+    LintCache,
+    hash_bytes,
+    load_cache,
+    rules_signature,
+)
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.layering import (
+    LayeringContract,
+    contract_text,
+    load_contract,
+)
+from repro.analysis.model import (
+    ModuleInfo,
+    Rule,
+    Violation,
+    module_name_for,
+    parse_source,
+)
+from repro.analysis.project import build_project
+from repro.analysis.suppress import (
+    NoqaComment,
+    filter_suppressed,
+    iter_noqa_comments,
+    unused_noqa,
+)
 from repro.errors import AnalysisError
+
+#: The meta-rule: a suppression comment that silences nothing.
+UNUSED_NOQA_RULE = Rule(
+    "LINT-UNUSED-NOQA",
+    "suppression comments must suppress something",
+    "a stale `# repro: noqa` outlives its violation and then hides the "
+    "next real one on that line",
+)
 
 #: Every registered rule, keyed by id (the ``--list-rules`` source).
 ALL_RULES: dict[str, Rule] = {
@@ -26,9 +80,32 @@ ALL_RULES: dict[str, Rule] = {
         units_lint.RULES,
         layering.RULES,
         pickling.RULES,
+        vector_lint.RULES,
+        concurrency.RULES,
+        facade_lint.RULES,
+        (UNUSED_NOQA_RULE,),
     )
     for rule in rules
 }
+
+#: Rule ids produced by project-wide passes (skipped under ``--changed``).
+PROJECT_RULE_IDS = frozenset(
+    {rule.rule_id for rule in concurrency.RULES} | {"API-SNAPSHOT"}
+)
+
+
+def _raw_local_violations(
+    info: ModuleInfo, contract: LayeringContract
+) -> list[Violation]:
+    """Every per-file finding, before suppression or selection."""
+    return [
+        *determinism.check(info),
+        *units_lint.check(info),
+        *layering.check(info, contract=contract),
+        *pickling.check(info),
+        *vector_lint.check(info, contract=contract),
+        *facade_lint.check(info, contract),
+    ]
 
 
 def lint_module(
@@ -36,13 +113,10 @@ def lint_module(
     contract: LayeringContract | None = None,
     select: frozenset[str] | None = None,
 ) -> list[Violation]:
-    """All (unsuppressed) violations in one module, sorted by position."""
-    violations = [
-        *determinism.check(info),
-        *units_lint.check(info),
-        *layering.check(info, contract=contract),
-        *pickling.check(info),
-    ]
+    """All (unsuppressed) per-file violations, sorted by position."""
+    if contract is None:
+        contract = load_contract()
+    violations = _raw_local_violations(info, contract)
     if select is not None:
         violations = [v for v in violations if v.rule_id in select]
     violations = filter_suppressed(violations, info)
@@ -62,17 +136,36 @@ def iter_python_files(paths: Sequence[Path]) -> list[Path]:
     return out
 
 
+def _comment_suppressed(
+    violation: Violation, comments: list[NoqaComment]
+) -> bool:
+    for comment in comments:
+        if comment.line != violation.line:
+            continue
+        if not comment.rules or violation.rule_id in comment.rules:
+            return True
+    return False
+
+
 def lint_paths(
     paths: Sequence[Path | str],
     contract_path: Path | None = None,
     select: Sequence[str] | None = None,
+    cache_path: Path | str | None = None,
+    project_rules: bool = True,
 ) -> tuple[list[Violation], int]:
     """Lint every ``.py`` file under ``paths``.
 
     Returns ``(violations, n_files_checked)``.  ``select`` narrows the
-    run to the given rule ids (unknown ids raise
+    *report* to the given rule ids (unknown ids raise
     :class:`~repro.errors.AnalysisError` rather than silently matching
-    nothing).
+    nothing); the underlying analysis always runs every rule so the
+    cache and the stale-noqa check stay select-independent.
+
+    ``cache_path`` enables the persistent incremental cache.
+    ``project_rules=False`` skips the project-wide passes (CONC-*,
+    API-SNAPSHOT) — the ``--changed`` mode, where a partial file set
+    would make whole-project conclusions wrong.
     """
     selected: frozenset[str] | None = None
     if select:
@@ -80,13 +173,111 @@ def lint_paths(
         unknown = selected - set(ALL_RULES)
         if unknown:
             raise AnalysisError(f"unknown rule ids: {sorted(unknown)}")
+    text = contract_text(contract_path)
     contract = load_contract(contract_path)
     files = iter_python_files([Path(p) for p in paths])
-    violations: list[Violation] = []
+
+    cache: LintCache | None = None
+    if cache_path is not None:
+        cache = load_cache(str(cache_path), rules_signature(text))
+
+    # Phase 1: per-file analysis (cache-aware).
+    per_file: dict[str, tuple[list[Violation], list[NoqaComment]]] = {}
+    hashes: dict[str, str] = {}
+    parsed: dict[str, ModuleInfo] = {}
+    sources: dict[str, str] = {}
     for file in files:
-        info = load_module(file)
-        violations.extend(lint_module(info, contract=contract, select=selected))
+        path_str = str(file)
+        try:
+            data = file.read_bytes()
+        except OSError as exc:
+            raise AnalysisError(f"cannot read {file}: {exc}") from exc
+        content_hash = hash_bytes(data)
+        hashes[path_str] = content_hash
+        if cache is not None:
+            record = cache.lookup(path_str, content_hash)
+            if record is not None:
+                per_file[path_str] = (record.raw, record.noqa)
+                continue
+        source = data.decode("utf-8")
+        sources[path_str] = source
+        info = parse_source(
+            source, module=module_name_for(file), path=path_str
+        )
+        parsed[path_str] = info
+        raw = _raw_local_violations(info, contract)
+        comments = iter_noqa_comments(source)
+        per_file[path_str] = (raw, comments)
+        if cache is not None:
+            cache.store(path_str, content_hash, raw, comments)
+
+    # Phase 2: project passes (cache-aware over the whole file set).
+    project_raw: list[Violation] = []
+    if project_rules:
+        sig_body = ";".join(
+            f"{p}={hashes[p]}" for p in sorted(hashes)
+        )
+        project_sig = hash_bytes(sig_body.encode("utf-8"))
+        cached = cache.lookup_project(project_sig) if cache else None
+        if cached is not None:
+            project_raw = cached
+        else:
+            infos = []
+            for file in files:
+                path_str = str(file)
+                info = parsed.get(path_str)
+                if info is None:
+                    source = sources.get(path_str)
+                    if source is None:
+                        source = file.read_text(encoding="utf-8")
+                    info = parse_source(
+                        source, module=module_name_for(file), path=path_str
+                    )
+                infos.append(info)
+            project = build_project(infos)
+            graph = CallGraph(project)
+            project_raw = [
+                *concurrency.check_project(project, graph, contract),
+                *facade_lint.check_project(project, contract),
+            ]
+            if cache is not None:
+                cache.store_project(project_sig, project_raw)
+
+    # Phase 3: merge — suppression, stale-noqa, selection (cheap).
+    project_by_path: dict[str, list[Violation]] = {}
+    for violation in project_raw:
+        project_by_path.setdefault(violation.path, []).append(violation)
+
+    known = frozenset(ALL_RULES)
+    violations: list[Violation] = []
+    for path_str, (raw, comments) in per_file.items():
+        combined = [*raw, *project_by_path.get(path_str, [])]
+        for violation in combined:
+            if not _comment_suppressed(violation, comments):
+                violations.append(violation)
+        for comment, reason in unused_noqa(comments, combined, known):
+            if not project_rules and (
+                not comment.rules
+                or any(r in PROJECT_RULE_IDS for r in comment.rules)
+            ):
+                # Without the project passes we cannot tell whether a
+                # CONC/API suppression is live; don't cry stale.
+                continue
+            violations.append(
+                Violation(
+                    "LINT-UNUSED-NOQA",
+                    path_str,
+                    comment.line,
+                    comment.col,
+                    f"stale suppression: {reason}",
+                    "delete the comment, or fix the rule list it names",
+                )
+            )
+    if selected is not None:
+        violations = [v for v in violations if v.rule_id in selected]
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    if cache is not None:
+        cache.save()
     return violations, len(files)
 
 
@@ -120,6 +311,73 @@ def render_json(violations: list[Violation], n_files: int) -> str:
         },
         indent=2,
     )
+
+
+def render_sarif(violations: list[Violation], n_files: int) -> str:
+    """SARIF 2.1.0 report (the ``--format sarif`` payload).
+
+    The shape follows the static-analysis results interchange format so
+    CI can upload the run to code scanning; rule metadata comes from
+    :data:`ALL_RULES`, results carry one physical location each.
+    """
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id.replace("-", ""),
+            "shortDescription": {"text": ALL_RULES[rule_id].title},
+            "fullDescription": {"text": ALL_RULES[rule_id].rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id in sorted(ALL_RULES)
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(ALL_RULES))}
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "ruleIndex": rule_index.get(v.rule_id, -1),
+            "level": "error",
+            "message": {
+                "text": v.message + (f" ({v.hint})" if v.hint else "")
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": v.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in violations
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/repro/repro"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "properties": {"checkedFiles": n_files},
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
 
 
 def render_rules() -> str:

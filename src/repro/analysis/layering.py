@@ -68,7 +68,13 @@ RULES = (
 
 @dataclass(frozen=True)
 class LayeringContract:
-    """Parsed form of ``layering.toml``."""
+    """Parsed form of ``layering.toml``.
+
+    Besides the original layering relation, the contract carries the
+    declarative inputs of the project-wide passes: worker entry points
+    and RNG discipline for CONC-*, the kernel-module scope for VEC-*,
+    and the deprecated-name/snapshot declarations for API-*.
+    """
 
     allowed: dict[str, frozenset[str]]
     lazy_allow: frozenset[tuple[str, str]]
@@ -77,10 +83,31 @@ class LayeringContract:
     facade_roots: frozenset[str] = frozenset()
     #: Contract packages those modules may import (the facade itself).
     facade_allowed: frozenset[str] = frozenset()
+    #: Repo-relative path of the public-API snapshot (API-SNAPSHOT).
+    facade_snapshot: str = ""
+    #: Worker entry points: reachability roots of the CONC-* passes.
+    entry_points: tuple[str, ...] = ()
+    #: Modules sanctioned to construct generators from seeds.
+    rng_factories: frozenset[str] = frozenset()
+    #: Declared stream-name prefixes for ``registry.stream("...")``.
+    streams: tuple[str, ...] = ()
+    #: Type names that must never enter a process-pool payload.
+    unpicklable: frozenset[str] = frozenset()
+    #: Dotted module prefixes holding vectorized/kernel code (VEC-*).
+    kernel_modules: tuple[str, ...] = ()
+    #: Deprecated qualified names internal code must not reference.
+    deprecated: frozenset[str] = frozenset()
 
     def packages(self) -> frozenset[str]:
         """Every package the contract knows about."""
         return frozenset(self.allowed)
+
+    def in_kernel_scope(self, module: str) -> bool:
+        """Whether ``module`` falls under a declared kernel prefix."""
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.kernel_modules
+        )
 
 
 def parse_contract(text: str, origin: str = "<contract>") -> LayeringContract:
@@ -154,13 +181,66 @@ def parse_contract(text: str, origin: str = "<contract>") -> LayeringContract:
             f"layering contract {origin}: facade.allowed names unknown "
             f"packages {sorted(unknown)}"
         )
+    snapshot = facade.get("snapshot", "")
+    if not isinstance(snapshot, str):
+        raise AnalysisError(
+            f"layering contract {origin}: facade.snapshot must be a string"
+        )
+    concurrency = _string_list_table(
+        data.get("concurrency", {}),
+        ("entry_points", "rng_factories", "streams", "unpicklable"),
+        origin,
+        "concurrency",
+    )
+    for entry in concurrency["entry_points"]:
+        if entry.count(".") < 2:
+            raise AnalysisError(
+                f"layering contract {origin}: entry point {entry!r} must "
+                "be a fully qualified `repro.module.function` name"
+            )
+    vectorization = _string_list_table(
+        data.get("vectorization", {}), ("kernel_modules",), origin,
+        "vectorization",
+    )
+    deprecated = _string_list_table(
+        data.get("deprecated", {}), ("names",), origin, "deprecated"
+    )
     return LayeringContract(
         allowed=allowed,
         lazy_allow=frozenset(lazy_pairs),
         restricted=restricted,
         facade_roots=frozenset(facade.get("roots", [])),
         facade_allowed=facade_allowed,
+        facade_snapshot=snapshot,
+        entry_points=tuple(concurrency["entry_points"]),
+        rng_factories=frozenset(concurrency["rng_factories"]),
+        streams=tuple(concurrency["streams"]),
+        unpicklable=frozenset(concurrency["unpicklable"]),
+        kernel_modules=tuple(vectorization["kernel_modules"]),
+        deprecated=frozenset(deprecated["names"]),
     )
+
+
+def _string_list_table(
+    table: object, keys: tuple[str, ...], origin: str, section: str
+) -> dict[str, list[str]]:
+    """Validate a ``[section]`` whose values are lists of strings."""
+    if not isinstance(table, dict):
+        raise AnalysisError(
+            f"layering contract {origin}: [{section}] must be a table"
+        )
+    out: dict[str, list[str]] = {}
+    for key in keys:
+        values = table.get(key, [])
+        if not isinstance(values, list) or not all(
+            isinstance(v, str) for v in values
+        ):
+            raise AnalysisError(
+                f"layering contract {origin}: {section}.{key} must be a "
+                "list of strings"
+            )
+        out[key] = values
+    return out
 
 
 def _require_dag(allowed: dict[str, frozenset[str]], origin: str) -> None:
@@ -184,20 +264,29 @@ def _require_dag(allowed: dict[str, frozenset[str]], origin: str) -> None:
         visit(pkg, ())
 
 
-def load_contract(path: Path | None = None) -> LayeringContract:
-    """Load the packaged default contract, or an explicit file."""
+def contract_text(path: Path | None = None) -> str:
+    """Raw TOML text of the packaged default contract or an explicit file.
+
+    Exposed separately so the lint cache can fingerprint the contract
+    bytes without re-parsing.
+    """
     if path is not None:
         try:
-            text = path.read_text(encoding="utf-8")
+            return path.read_text(encoding="utf-8")
         except OSError as exc:
             raise AnalysisError(f"cannot read contract {path}: {exc}") from exc
-        return parse_contract(text, origin=str(path))
-    text = (
+    return (
         resources.files("repro.analysis")
         .joinpath("layering.toml")
         .read_text(encoding="utf-8")
     )
-    return parse_contract(text, origin="repro/analysis/layering.toml")
+
+
+def load_contract(path: Path | None = None) -> LayeringContract:
+    """Load the packaged default contract, or an explicit file."""
+    text = contract_text(path)
+    origin = str(path) if path is not None else "repro/analysis/layering.toml"
+    return parse_contract(text, origin=origin)
 
 
 def _importer_package(info: ModuleInfo) -> str | None:

@@ -1,0 +1,235 @@
+"""Project-wide analysis model: modules, definitions, imports, resolver.
+
+The per-file passes see one :class:`~repro.analysis.model.ModuleInfo` at
+a time; the flow-aware passes (CONC-*, API-SNAPSHOT) need the whole
+picture: which modules exist, which functions and classes they define,
+what each module imports, and how a name used in one module resolves to
+a definition in another.  :class:`ProjectModel` bundles exactly that —
+it is a pure function of the parsed modules, so synthetic test trees
+exercise it the same way the real package does.
+
+Resolution is *bounded* by design: it follows explicit import bindings
+(``import repro.x``, ``from repro.x import y``) and same-module
+definitions, one level of re-export indirection, and nothing dynamic.
+The limits (no ``__getattr__`` shims, no star-imports, no attribute
+flow through containers) are documented behaviour and pinned by
+``tests/analysis/test_project.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.astutils import alias_map
+from repro.analysis.model import ModuleInfo
+
+#: Upper bound on re-export hops the resolver follows (``from a import
+#: f`` where ``a`` itself imported ``f`` from ``b``, ...).  Deep chains
+#: are a smell, not a feature; the bound keeps resolution terminating on
+#: adversarial inputs.
+MAX_REEXPORT_HOPS = 4
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project.
+
+    ``qname`` is the fully qualified dotted name —
+    ``repro.parallel.jobs.run_job`` for a module-level function,
+    ``repro.sim.engine.Engine.schedule_at`` for a method.
+    """
+
+    qname: str
+    module: str
+    name: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_method: bool = False
+    class_name: str = ""
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods, keyed by bare name."""
+
+    qname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+class ProjectModel:
+    """Cross-module index over a set of parsed ``repro`` modules.
+
+    Attributes
+    ----------
+    modules:
+        ``dotted name -> ModuleInfo`` for every ``repro.*`` module seen.
+    functions:
+        ``qname -> FunctionInfo`` for every function and method.
+    classes:
+        ``qname -> ClassInfo``.
+    methods_by_name:
+        ``bare name -> [FunctionInfo]`` over methods only — the
+        name-matching fallback the call graph uses for ``obj.m(...)``
+        calls it cannot type.
+    module_globals:
+        ``module -> names bound at module level`` (assignment targets;
+        the mutable-state surface the CONC pass checks against).
+    import_graph:
+        ``module -> set of repro modules it imports`` (module- and
+        function-level alike; an edge means "loading/running A may load
+        B").
+    """
+
+    def __init__(self, infos: list[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_globals: dict[str, set[str]] = {}
+        self.import_graph: dict[str, set[str]] = {}
+        self.aliases: dict[str, dict[str, str]] = {}
+        #: ``module -> {local name -> canonical dotted target}`` for
+        #: ``from x import y`` bindings only (re-export following).
+        self._from_imports: dict[str, dict[str, str]] = {}
+        for info in infos:
+            if info.module.split(".")[0] != "repro":
+                continue
+            self._index_module(info)
+
+    # -- construction -------------------------------------------------------
+
+    def _index_module(self, info: ModuleInfo) -> None:
+        module = info.module
+        self.modules[module] = info
+        self.aliases[module] = alias_map(info.tree)
+        self.module_globals[module] = set()
+        self.import_graph[module] = set()
+        self._from_imports[module] = {}
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name.split(".")[0] == "repro":
+                        self.import_graph[module].add(name.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.level == 0 and (
+                    node.module.split(".")[0] == "repro"
+                ):
+                    self.import_graph[module].add(node.module)
+                    for name in node.names:
+                        if name.name == "*":
+                            continue
+                        local = name.asname or name.name
+                        self._from_imports[module][local] = (
+                            f"{node.module}.{name.name}"
+                        )
+        for node in info.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node)
+            elif isinstance(node, ast.ClassDef):
+                self._add_class(module, node)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._add_global_target(module, target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                self._add_global_target(module, node.target)
+
+    def _add_global_target(self, module: str, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.module_globals[module].add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._add_global_target(module, elt)
+
+    def _add_function(
+        self, module: str, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        info = FunctionInfo(
+            qname=f"{module}.{node.name}", module=module, name=node.name,
+            node=node,
+        )
+        self.functions[info.qname] = info
+
+    def _add_class(self, module: str, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            qname=f"{module}.{node.name}", module=module, name=node.name,
+            node=node,
+        )
+        self.classes[cls.qname] = cls
+        for child in node.body:
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = FunctionInfo(
+                    qname=f"{cls.qname}.{child.name}",
+                    module=module,
+                    name=child.name,
+                    node=child,
+                    is_method=True,
+                    class_name=node.name,
+                )
+                cls.methods[child.name] = method
+                self.functions[method.qname] = method
+                self.methods_by_name.setdefault(child.name, []).append(method)
+
+    # -- queries ------------------------------------------------------------
+
+    def module_of_path(self, path: str) -> ModuleInfo | None:
+        """The indexed module whose ``path`` matches, if any."""
+        for info in self.modules.values():
+            if info.path == path:
+                return info
+        return None
+
+    def resolve(self, module: str, dotted: str) -> str | None:
+        """Resolve a dotted use in ``module`` to a project qname.
+
+        ``dotted`` is the *canonical* path produced by
+        :func:`~repro.analysis.astutils.qualified_name` (aliases already
+        expanded) or a bare local name.  Returns the qname of a function
+        or class defined in the project, following at most
+        :data:`MAX_REEXPORT_HOPS` ``from x import y`` re-export hops, or
+        ``None`` when the name does not resolve statically.
+        """
+        seen: set[str] = set()
+        for _ in range(MAX_REEXPORT_HOPS):
+            if dotted in seen:
+                return None
+            seen.add(dotted)
+            if dotted.split(".")[0] != "repro":
+                # A bare local name: qualify against the using module.
+                dotted = f"{module}.{dotted}"
+            if dotted in self.functions or dotted in self.classes:
+                return dotted
+            # repro.pkg.mod.func -> is repro.pkg.mod an indexed module
+            # that defines (or re-exports) `func`?
+            owner, _, leaf = dotted.rpartition(".")
+            if not owner or owner not in self.modules:
+                return None
+            if f"{owner}.{leaf}" in self.functions:
+                return f"{owner}.{leaf}"
+            reexport = self._from_imports.get(owner, {}).get(leaf)
+            if reexport is None:
+                return None
+            module, dotted = owner, reexport
+        return None
+
+    def resolve_entry_points(
+        self, entry_points: tuple[str, ...]
+    ) -> list[FunctionInfo]:
+        """The declared entry points present in this project.
+
+        Missing entries are skipped (a partial lint run — examples only,
+        a synthetic tree — simply has no worker surface).
+        """
+        out = []
+        for entry in entry_points:
+            qname = self.resolve(entry.rsplit(".", 1)[0], entry)
+            if qname is not None and qname in self.functions:
+                out.append(self.functions[qname])
+        return out
+
+
+def build_project(infos: list[ModuleInfo]) -> ProjectModel:
+    """Construct the :class:`ProjectModel` over parsed modules."""
+    return ProjectModel(infos)

@@ -10,11 +10,16 @@ measures the *host*, not the simulation.
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
+from dataclasses import dataclass
 
 from repro.analysis.model import ModuleInfo, Violation
 
-#: ``# repro: noqa`` optionally followed by a comma/space separated rule list.
+#: The suppression marker, optionally followed by a comma/space
+#: separated rule list.  (Spelled indirectly here: a literal marker in
+#: a real comment would register as a live suppression.)
 _NOQA = re.compile(
     r"#\s*repro:\s*noqa(?P<rules>[ \t]+[A-Z][A-Z0-9-]*(?:[,\s]+[A-Z][A-Z0-9-]*)*)?",
 )
@@ -51,3 +56,89 @@ def filter_suppressed(
 ) -> list[Violation]:
     """Drop violations silenced by suppression comments."""
     return [v for v in violations if not is_suppressed(v, info)]
+
+
+@dataclass(frozen=True)
+class NoqaComment:
+    """One real suppression *comment* (not a docstring mention).
+
+    ``rules`` follows the :func:`suppressed_rules` convention: an empty
+    tuple means a bare ``# repro: noqa`` that silences every rule.
+    """
+
+    line: int
+    col: int
+    rules: tuple[str, ...]
+
+
+def iter_noqa_comments(source: str) -> list[NoqaComment]:
+    """Suppression comments in ``source``, via the tokenizer.
+
+    Unlike the line-regex used for matching (which is deliberately
+    forgiving), this walks COMMENT tokens only, so a docstring that
+    *mentions* ``# repro: noqa`` — as this module's own docs do — is
+    not mistaken for a live suppression.  Sources that fail to tokenize
+    yield nothing (the parser will have reported them already).
+    """
+    out: list[NoqaComment] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            rules = suppressed_rules(tok.string)
+            if rules is None:
+                continue
+            out.append(
+                NoqaComment(
+                    line=tok.start[0],
+                    col=tok.start[1],
+                    rules=tuple(sorted(rules)),
+                )
+            )
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return []
+    return out
+
+
+def unused_noqa(
+    comments: list[NoqaComment],
+    raw_violations: list[Violation],
+    known_rules: frozenset[str],
+) -> list[tuple[NoqaComment, str]]:
+    """Suppression comments that silence nothing (LINT-UNUSED-NOQA).
+
+    ``raw_violations`` must be the *pre-suppression* findings for the
+    same file.  Returns ``(comment, reason)`` pairs: a comment is stale
+    when no raw violation on its line matches any of its rules, and a
+    named rule id the engine does not know is always stale (typo'd ids
+    would otherwise silently rot).
+    """
+    by_line: dict[int, set[str]] = {}
+    for violation in raw_violations:
+        by_line.setdefault(violation.line, set()).add(violation.rule_id)
+    out: list[tuple[NoqaComment, str]] = []
+    for comment in comments:
+        hits = by_line.get(comment.line, set())
+        unknown = [r for r in comment.rules if r not in known_rules]
+        if unknown:
+            out.append(
+                (comment, f"unknown rule id `{unknown[0]}`")
+            )
+            continue
+        if not comment.rules:
+            if not hits:
+                out.append(
+                    (comment, "bare noqa on a line with no findings")
+                )
+            continue
+        if not hits.intersection(comment.rules):
+            out.append(
+                (
+                    comment,
+                    "suppresses "
+                    + ", ".join(comment.rules)
+                    + " but the line raises nothing",
+                )
+            )
+    return out

@@ -166,7 +166,9 @@ def profile_subtask(
         raise ProfilingError(f"repetitions must be >= 1, got {repetitions}")
     if fit not in ("two_stage", "direct"):
         raise ProfilingError(f"unknown fit procedure {fit!r}")
-    rng = np.random.default_rng(seed)
+    # Config-seeded private stream: profiling draws depend only on the
+    # explicit seed argument, never on ambient experiment streams.
+    rng = np.random.default_rng(seed)  # repro: noqa CONC-RNG-FACTORY
     samples: list[ProfileSample] = []
     for u_target in u_grid:
         for d_tracks in d_grid_tracks:

@@ -534,22 +534,69 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_python_files(ref: str) -> list[str]:
+    """Tracked-changed plus untracked ``.py`` files vs. ``ref``."""
+    import subprocess
+
+    out: list[str] = []
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+        if proc.returncode != 0:
+            raise SystemExit(
+                f"repro lint --changed: {' '.join(cmd)} failed: "
+                f"{proc.stderr.strip()}"
+            )
+        out.extend(
+            line for line in proc.stdout.splitlines()
+            if line.endswith(".py")
+        )
+    import os
+
+    return sorted({path for path in out if os.path.exists(path)})
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Handle ``repro lint``: run the static-analysis suite."""
     from pathlib import Path
 
-    from repro.analysis import lint_paths, render_json, render_rules, render_text
+    from repro.analysis import (
+        lint_paths,
+        render_json,
+        render_rules,
+        render_sarif,
+        render_text,
+    )
 
     if args.list_rules:
         print(render_rules())
         return 0
+    project_rules = True
+    if args.changed is not None:
+        paths = _changed_python_files(args.changed)
+        if not paths:
+            print("clean: 0 changed files")
+            return 0
+        # A partial file set cannot support whole-project conclusions
+        # (reachability, facade drift) - CI's full run covers those.
+        project_rules = False
+    else:
+        paths = args.paths or ["src/repro"]
     violations, n_files = lint_paths(
-        args.paths or ["src/repro"],
+        paths,
         contract_path=Path(args.contract) if args.contract else None,
         select=args.select,
+        cache_path=None if args.no_cache else args.cache,
+        project_rules=project_rules,
     )
     if args.format == "json":
         print(render_json(violations, n_files))
+    elif args.format == "sarif":
+        print(render_sarif(violations, n_files))
     else:
         print(render_text(violations, n_files))
     return 1 if violations else 0
@@ -713,16 +760,30 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*", help="files/directories to lint (default: src/repro)"
     )
     p_lint.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format",
     )
     p_lint.add_argument(
         "--select", nargs="+", metavar="RULE-ID",
-        help="run only these rule ids (e.g. DET-TIME LAY-DAG)",
+        help="report only these rule ids (e.g. DET-TIME CONC-GLOBAL-MUT)",
     )
     p_lint.add_argument(
         "--contract",
         help="layering contract TOML (default: the packaged layering.toml)",
+    )
+    p_lint.add_argument(
+        "--cache", metavar="PATH", default=".repro-lint-cache.json",
+        help="persistent result cache for incremental runs "
+        "(default: .repro-lint-cache.json)",
+    )
+    p_lint.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent result cache",
+    )
+    p_lint.add_argument(
+        "--changed", nargs="?", const="HEAD", metavar="GIT-REF",
+        help="lint only files changed vs. GIT-REF (default HEAD); "
+        "skips the project-wide passes",
     )
     p_lint.add_argument(
         "--list-rules", action="store_true",

@@ -95,10 +95,16 @@ def get_estimator(
     the models are fitted and (with ``cache_dir``) persisted for other
     processes.
     """
+    # The memo cache and hit counters below are deliberate per-process
+    # state: entries are keyed on the full config, so a worker's copy
+    # can only ever hold values byte-identical to what the parent would
+    # compute, and the counters are observability-only.  Safe on worker
+    # paths, hence the CONC-GLOBAL-MUT suppressions (see
+    # docs/static_analysis.md, "Reviewed baselines").
     key = cache_key(baseline, repetitions)
     cached = _MEMORY_CACHE.get(key)
     if cached is not None:
-        STATS.memory_hits += 1
+        STATS.memory_hits += 1  # repro: noqa CONC-GLOBAL-MUT
         return cached
 
     task = aaw_task(
@@ -114,8 +120,8 @@ def get_estimator(
             estimator = TimingEstimator(
                 task=task, latency_models=latency_models, comm_model=comm_model
             )
-            _MEMORY_CACHE[key] = estimator
-            STATS.disk_hits += 1
+            _MEMORY_CACHE[key] = estimator  # repro: noqa CONC-GLOBAL-MUT
+            STATS.disk_hits += 1  # repro: noqa CONC-GLOBAL-MUT
             return estimator
 
     estimator = build_estimator(
@@ -125,11 +131,11 @@ def get_estimator(
         bandwidth_bps=baseline.bandwidth_bps,
         overhead_bytes=baseline.message_overhead_bytes,
     )
-    STATS.fits += 1
+    STATS.fits += 1  # repro: noqa CONC-GLOBAL-MUT
     if path is not None:
         _ensure_parent(path)
         save_models(path, estimator.latency_models, estimator.comm_model)
-    _MEMORY_CACHE[key] = estimator
+    _MEMORY_CACHE[key] = estimator  # repro: noqa CONC-GLOBAL-MUT
     return estimator
 
 

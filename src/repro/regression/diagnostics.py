@@ -95,7 +95,7 @@ def diagnose_latency_fit(result: LatencyProfileResult) -> FitDiagnostics:
 
     relative = np.abs(residuals) / np.maximum(np.abs(y), 1e-9)
 
-    order = np.argsort(d)
+    order = np.argsort(d, kind="stable")
     half = len(order) // 2
     small_rms = float(np.sqrt(np.mean(residuals[order[:half]] ** 2)))
     large_rms = float(np.sqrt(np.mean(residuals[order[half:]] ** 2)))

@@ -188,7 +188,10 @@ class BurstyPattern(WorkloadPattern):
             raise ConfigurationError(
                 f"burst_probability must be in [0, 1], got {self.burst_probability}"
             )
-        rng = np.random.default_rng(self.seed)
+        # Config-seeded private stream: the values depend only on the
+        # frozen (seed, bounds, n_periods) config, so parent and worker
+        # materialize identical tuples.
+        rng = np.random.default_rng(self.seed)  # repro: noqa CONC-RNG-FACTORY
         values = []
         for _ in range(self.n_periods):
             if rng.random() < self.burst_probability:

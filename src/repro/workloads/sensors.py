@@ -57,7 +57,9 @@ class TrackStreamGenerator:
 
     def __init__(self, pattern: WorkloadPattern, seed: int = 0) -> None:
         self.pattern = pattern
-        self._rng = np.random.default_rng(seed)
+        # Config-seeded private stream, deterministic per (pattern,
+        # seed) — identical in parent and worker processes.
+        self._rng = np.random.default_rng(seed)  # repro: noqa CONC-RNG-FACTORY
         self._states: dict[int, Track] = {}
         self._next_id = 1
 

@@ -1,0 +1,207 @@
+"""Incremental cache, stale-noqa meta-rule, SARIF and --changed modes."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+
+from repro.analysis import lint_paths, render_sarif
+from repro.analysis.cache import load_cache, rules_signature
+from repro.analysis.layering import contract_text
+from repro.cli import main
+
+DIRTY = "import time\n\nT = time.time()\n"
+CLEAN = "from repro.errors import ReproError\n\nX = 1\n"
+
+
+def make_tree(tmp_path, sources):
+    for rel, src in sources.items():
+        target = tmp_path / "repro" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(src)
+    return tmp_path / "repro"
+
+
+class TestCache:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/a.py": DIRTY, "sim/b.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        cold, n_cold = lint_paths([root], cache_path=cache)
+        warm, n_warm = lint_paths([root], cache_path=cache)
+        assert [v.as_dict() for v in warm] == [v.as_dict() for v in cold]
+        assert n_warm == n_cold == 2
+
+    def test_warm_run_skips_parsing(self, tmp_path, monkeypatch):
+        root = make_tree(tmp_path, {"sim/a.py": DIRTY})
+        cache = tmp_path / "cache.json"
+        lint_paths([root], cache_path=cache)
+        import repro.analysis.engine as engine
+
+        def boom(*args, **kwargs):
+            raise AssertionError("warm run must not parse")
+
+        monkeypatch.setattr(engine, "parse_source", boom)
+        violations, _ = lint_paths([root], cache_path=cache)
+        assert [v.rule_id for v in violations] == ["DET-TIME"]
+
+    def test_edited_file_invalidates_only_its_record(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/a.py": CLEAN, "sim/b.py": CLEAN})
+        cache = tmp_path / "cache.json"
+        lint_paths([root], cache_path=cache)
+        (root / "sim" / "a.py").write_text(DIRTY)
+        violations, _ = lint_paths([root], cache_path=cache)
+        assert [v.rule_id for v in violations] == ["DET-TIME"]
+        assert violations[0].path.endswith("a.py")
+
+    def test_contract_change_invalidates_signature(self, tmp_path):
+        sig = rules_signature(contract_text(None))
+        other = rules_signature(contract_text(None) + "\n# tweak\n")
+        assert sig != other
+
+    def test_corrupt_cache_file_tolerated(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/a.py": DIRTY})
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        violations, _ = lint_paths([root], cache_path=cache)
+        assert [v.rule_id for v in violations] == ["DET-TIME"]
+        # And the bad file was replaced by a valid one.
+        loaded = load_cache(str(cache), rules_signature(contract_text(None)))
+        assert loaded.files
+
+    def test_project_findings_cached_across_runs(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "parallel/jobs.py": (
+                "CACHE = {}\n"
+                "def run_job():\n    CACHE[1] = 2\n"
+            ),
+        })
+        cache = tmp_path / "cache.json"
+        cold, _ = lint_paths([root], cache_path=cache)
+        warm, _ = lint_paths([root], cache_path=cache)
+        assert [v.rule_id for v in cold] == ["CONC-GLOBAL-MUT"]
+        assert [v.as_dict() for v in warm] == [v.as_dict() for v in cold]
+
+
+class TestUnusedNoqa:
+    def test_stale_suppression_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/a.py": "x = 1  # repro: noqa DET-TIME\n",
+        })
+        violations, _ = lint_paths([root])
+        assert [v.rule_id for v in violations] == ["LINT-UNUSED-NOQA"]
+
+    def test_live_suppression_not_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/a.py": (
+                "import time\n"
+                "t = time.time()  # repro: noqa DET-TIME\n"
+            ),
+        })
+        violations, _ = lint_paths([root])
+        assert violations == []
+
+    def test_unknown_rule_id_flagged(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/a.py": (
+                "import time\n"
+                "t = time.time()  # repro: noqa DET-TYPO\n"
+            ),
+        })
+        violations, _ = lint_paths([root])
+        ids = [v.rule_id for v in violations]
+        assert "LINT-UNUSED-NOQA" in ids  # the typo'd comment is stale
+        assert "DET-TIME" in ids  # and it suppressed nothing
+
+    def test_continuation_line_noqa_is_stale(self, tmp_path):
+        # Violations anchor to the statement's first line; a suppression
+        # on a continuation line silences nothing, so it is stale.
+        root = make_tree(tmp_path, {
+            "sim/a.py": (
+                "import time\n"
+                "t = time.time(\n"
+                ")  # repro: noqa DET-TIME\n"
+            ),
+        })
+        violations, _ = lint_paths([root])
+        ids = sorted(v.rule_id for v in violations)
+        assert ids == ["DET-TIME", "LINT-UNUSED-NOQA"]
+
+    def test_docstring_mention_not_a_suppression(self, tmp_path):
+        root = make_tree(tmp_path, {
+            "sim/a.py": (
+                '"""Docs mentioning # repro: noqa DET-TIME literally."""\n'
+                "x = 1\n"
+            ),
+        })
+        violations, _ = lint_paths([root])
+        assert violations == []
+
+
+class TestSarif:
+    def test_sarif_payload_shape(self, tmp_path):
+        root = make_tree(tmp_path, {"sim/a.py": DIRTY})
+        violations, n = lint_paths([root])
+        payload = json.loads(render_sarif(violations, n))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert run["results"][0]["ruleId"] == "DET-TIME"
+        region = run["results"][0]["locations"][0]["physicalLocation"]
+        assert region["region"]["startLine"] == 3
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"DET-TIME", "CONC-GLOBAL-MUT", "VEC-SORT-STABLE"} <= rule_ids
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        root = make_tree(tmp_path, {"sim/a.py": DIRTY})
+        assert main(["lint", str(root), "--format", "sarif", "--no-cache"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"]
+
+
+class TestChanged:
+    def init_repo(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        subprocess.run(["git", "init", "-q"], check=True)
+        subprocess.run(["git", "config", "user.email", "t@t"], check=True)
+        subprocess.run(["git", "config", "user.name", "t"], check=True)
+
+    def test_changed_lints_only_diffed_files(self, tmp_path, monkeypatch, capsys):
+        self.init_repo(tmp_path, monkeypatch)
+        root = make_tree(tmp_path, {"sim/a.py": CLEAN, "sim/b.py": CLEAN})
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-qm", "base"], check=True)
+        (root / "sim" / "a.py").write_text(DIRTY)
+        assert main(["lint", "--changed", "--no-cache"]) == 1
+        out = capsys.readouterr().out
+        assert "DET-TIME" in out
+        assert "1 file(s)" in out  # b.py untouched, not linted
+
+    def test_changed_includes_untracked_files(self, tmp_path, monkeypatch, capsys):
+        self.init_repo(tmp_path, monkeypatch)
+        root = make_tree(tmp_path, {"sim/a.py": CLEAN})
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-qm", "base"], check=True)
+        (root / "sim" / "new.py").write_text(DIRTY)
+        assert main(["lint", "--changed", "--no-cache"]) == 1
+        assert "DET-TIME" in capsys.readouterr().out
+
+    def test_changed_clean_when_no_diff(self, tmp_path, monkeypatch, capsys):
+        self.init_repo(tmp_path, monkeypatch)
+        make_tree(tmp_path, {"sim/a.py": CLEAN})
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-qm", "base"], check=True)
+        assert main(["lint", "--changed", "--no-cache"]) == 0
+        assert "0 changed" in capsys.readouterr().out
+
+    def test_changed_skips_project_rules(self, tmp_path, monkeypatch, capsys):
+        # A worker-reachable mutation needs the whole project; --changed
+        # must not half-run it (CI's full lint covers it).
+        self.init_repo(tmp_path, monkeypatch)
+        root = make_tree(tmp_path, {"parallel/jobs.py": CLEAN})
+        subprocess.run(["git", "add", "-A"], check=True)
+        subprocess.run(["git", "commit", "-qm", "base"], check=True)
+        (root / "parallel" / "jobs.py").write_text(
+            "CACHE = {}\n"
+            "def run_job():\n    CACHE[1] = 2\n"
+        )
+        assert main(["lint", "--changed", "--no-cache"]) == 0

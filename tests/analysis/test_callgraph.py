@@ -1,0 +1,143 @@
+"""CallGraph: edge strategies, reachability, documented limits."""
+
+from __future__ import annotations
+
+from repro.analysis import CallGraph, build_project, format_path, parse_source
+
+
+def make_graph(sources: dict[str, str]) -> CallGraph:
+    infos = [
+        parse_source(src, module=mod, path=mod.replace(".", "/") + ".py")
+        for mod, src in sources.items()
+    ]
+    return CallGraph(build_project(infos))
+
+
+class TestEdges:
+    def test_direct_call_same_module(self):
+        graph = make_graph({
+            "repro.a.m": "def f():\n    g()\n\ndef g():\n    pass\n",
+        })
+        assert "repro.a.m.g" in graph.edges["repro.a.m.f"]
+
+    def test_lazy_function_level_import_resolves(self):
+        graph = make_graph({
+            "repro.a.m": (
+                "def f():\n"
+                "    from repro.b.n import g\n"
+                "    g()\n"
+            ),
+            "repro.b.n": "def g():\n    pass\n",
+        })
+        assert "repro.b.n.g" in graph.edges["repro.a.m.f"]
+
+    def test_callback_reference_counts_as_edge(self):
+        # Passing a function (the engine schedules callbacks) reaches it.
+        graph = make_graph({
+            "repro.a.m": (
+                "def f(schedule):\n    schedule(g)\n\ndef g():\n    pass\n"
+            ),
+        })
+        assert "repro.a.m.g" in graph.edges["repro.a.m.f"]
+
+    def test_constructor_edges_into_init_and_post_init(self):
+        graph = make_graph({
+            "repro.a.m": (
+                "class A:\n"
+                "    def __init__(self):\n        pass\n"
+                "class B:\n"
+                "    def __post_init__(self):\n        pass\n"
+                "def f():\n    A()\n    B()\n"
+            ),
+        })
+        assert "repro.a.m.A.__init__" in graph.edges["repro.a.m.f"]
+        assert "repro.a.m.B.__post_init__" in graph.edges["repro.a.m.f"]
+
+    def test_untyped_method_call_matches_every_name(self):
+        # Strategy 3 over-approximates: obj.step() edges into every
+        # project method named `step` — the documented method-vs-function
+        # limit (a bare function named `step` is NOT linked this way).
+        graph = make_graph({
+            "repro.a.m": "def f(obj):\n    obj.step()\n",
+            "repro.b.n": (
+                "class X:\n"
+                "    def step(self):\n        pass\n"
+                "class Y:\n"
+                "    def step(self):\n        pass\n"
+                "def step():\n    pass\n"
+            ),
+        })
+        edges = graph.edges["repro.a.m.f"]
+        assert "repro.b.n.X.step" in edges
+        assert "repro.b.n.Y.step" in edges
+        assert "repro.b.n.step" not in edges
+
+    def test_builtin_method_names_skipped(self):
+        # `.update(...)` on an untyped receiver is almost always a dict;
+        # linking it to every project method named `update` would connect
+        # everything to everything.
+        graph = make_graph({
+            "repro.a.m": "def f(d):\n    d.update({})\n",
+            "repro.b.n": (
+                "class Policy:\n"
+                "    def update(self):\n        pass\n"
+            ),
+        })
+        assert "repro.b.n.Policy.update" not in graph.edges["repro.a.m.f"]
+
+
+class TestReachability:
+    DIAMOND = {
+        "repro.parallel.jobs": (
+            "from repro.x.left import lf\n"
+            "from repro.x.right import rf\n"
+            "def run_job():\n    lf()\n    rf()\n"
+        ),
+        "repro.x.left": (
+            "from repro.x.base import shared\n"
+            "def lf():\n    shared()\n"
+        ),
+        "repro.x.right": (
+            "from repro.x.base import shared\n"
+            "def rf():\n    shared()\n"
+        ),
+        "repro.x.base": "def shared():\n    pass\n\ndef orphan():\n    pass\n",
+    }
+
+    def test_diamond_import_reached_once_with_shortest_path(self):
+        graph = make_graph(self.DIAMOND)
+        reachable = graph.reachable_from(("repro.parallel.jobs.run_job",))
+        assert "repro.x.base.shared" in reachable
+        path = reachable["repro.x.base.shared"]
+        assert path[0] == "repro.parallel.jobs.run_job"
+        assert len(path) == 3  # entry -> lf|rf -> shared, not longer
+
+    def test_unreachable_function_absent(self):
+        graph = make_graph(self.DIAMOND)
+        reachable = graph.reachable_from(("repro.parallel.jobs.run_job",))
+        assert "repro.x.base.orphan" not in reachable
+
+    def test_lazy_import_chain_reachable(self):
+        graph = make_graph({
+            "repro.parallel.jobs": (
+                "def run_job():\n"
+                "    from repro.e.runner import run\n"
+                "    run()\n"
+            ),
+            "repro.e.runner": "def run():\n    helper()\n\ndef helper():\n    pass\n",
+        })
+        reachable = graph.reachable_from(("repro.parallel.jobs.run_job",))
+        assert "repro.e.runner.helper" in reachable
+
+    def test_missing_entry_point_yields_empty(self):
+        graph = make_graph({"repro.a.m": "def f():\n    pass\n"})
+        assert graph.reachable_from(("repro.parallel.jobs.run_job",)) == {}
+
+
+class TestFormatPath:
+    def test_short_path_verbatim(self):
+        assert format_path(("a", "b")) == "a -> b"
+
+    def test_long_path_elided(self):
+        path = ("a", "b", "c", "d", "e", "f")
+        assert format_path(path) == "a -> b -> c -> ... -> f"

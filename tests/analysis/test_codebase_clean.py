@@ -35,6 +35,42 @@ def test_examples_lint_clean():
     assert n_files >= 8
 
 
+def test_project_passes_actually_ran():
+    """The clean run above must include the flow-aware passes.
+
+    Guards against the project passes silently short-circuiting (e.g. a
+    renamed entry point resolving to nothing): the real tree must yield
+    a non-trivial worker-reachable set containing the known hot path
+    into the estimator cache.
+    """
+    from repro.analysis import CallGraph, build_project, load_contract
+    from repro.analysis.engine import iter_python_files
+    from repro.analysis.model import load_module
+
+    contract = load_contract()
+    infos = [load_module(p) for p in iter_python_files([SRC_ROOT])]
+    project = build_project(infos)
+    graph = CallGraph(project)
+    reachable = graph.reachable_from(contract.entry_points)
+    assert "repro.parallel.jobs.run_job" in reachable
+    assert "repro.parallel.shards.run_shard" in reachable
+    assert "repro.experiments.estimator_cache.get_estimator" in reachable
+    assert len(reachable) > 50
+
+
+def test_gate_catches_injected_conc_violation(tmp_path):
+    """A seeded worker-reachable mutation must fail the gate end to end."""
+    staged = tmp_path / "repro" / "parallel"
+    staged.mkdir(parents=True)
+    (staged / "jobs.py").write_text(
+        "LEAK = {}\n"
+        "def run_job(spec):\n"
+        "    LEAK[spec] = 1\n"
+    )
+    violations, _ = lint_paths([tmp_path / "repro"])
+    assert any(v.rule_id == "CONC-GLOBAL-MUT" for v in violations)
+
+
 def test_gate_catches_injected_violation(tmp_path):
     """The gate must fail if a determinism breach is seeded into sim code.
 

@@ -1,0 +1,173 @@
+"""CONC-* rules: worker-reachable state, RNG discipline, pool payloads."""
+
+from __future__ import annotations
+
+from repro.analysis import CallGraph, build_project, parse_contract, parse_source
+from repro.analysis.concurrency import check_project
+
+CONTRACT = parse_contract(
+    """
+[allowed]
+sim = []
+parallel = ["sim"]
+
+[concurrency]
+entry_points = ["repro.parallel.jobs.run_job"]
+rng_factories = ["repro.sim.rng"]
+streams = ["chaos.", "noise"]
+unpicklable = ["Engine"]
+""",
+    origin="<test>",
+)
+
+
+def run_check(sources: dict[str, str]):
+    infos = [
+        parse_source(src, module=mod, path=mod.replace(".", "/") + ".py")
+        for mod, src in sources.items()
+    ]
+    project = build_project(infos)
+    return check_project(project, CallGraph(project), CONTRACT)
+
+
+class TestGlobalMut:
+    WORKER = (
+        "from repro.sim.state import record\n"
+        "def run_job():\n    record(1)\n"
+    )
+
+    def test_reachable_mutation_flagged(self):
+        # True positive: run_job -> record, record mutates a module
+        # global, so the mutation happens inside worker processes.
+        violations = run_check({
+            "repro.parallel.jobs": self.WORKER,
+            "repro.sim.state": (
+                "CACHE = {}\n"
+                "def record(x):\n    CACHE[x] = x\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-GLOBAL-MUT"]
+        assert "CACHE" in violations[0].message
+        assert "run_job" in violations[0].message  # call path shown
+
+    def test_unreachable_mutation_not_flagged(self):
+        # True negative: the same mutation in a function no worker path
+        # reaches stays unflagged — the rule is flow-aware, not textual.
+        violations = run_check({
+            "repro.parallel.jobs": self.WORKER,
+            "repro.sim.state": (
+                "CACHE = {}\n"
+                "def record(x):\n    return CACHE.get(x)\n"
+                "def parent_only(x):\n    CACHE[x] = x\n"
+            ),
+        })
+        assert violations == []
+
+    def test_global_rebinding_flagged(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "COUNT = 0\n"
+                "def run_job():\n"
+                "    global COUNT\n"
+                "    COUNT = COUNT + 1\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-GLOBAL-MUT"]
+
+    def test_mutating_method_on_global_flagged(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "SEEN = []\n"
+                "def run_job():\n    SEEN.append(1)\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-GLOBAL-MUT"]
+
+    def test_local_shadowing_not_flagged(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "CACHE = {}\n"
+                "def run_job():\n"
+                "    CACHE = {}\n"
+                "    CACHE[1] = 2\n"
+                "    out = []\n"
+                "    out.append(1)\n"
+            ),
+        })
+        assert violations == []
+
+
+class TestRng:
+    def test_reachable_default_rng_flagged(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "import numpy as np\n"
+                "def run_job():\n    return np.random.default_rng(0)\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-RNG-FACTORY"]
+
+    def test_sanctioned_factory_module_exempt(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "from repro.sim.rng import make\n"
+                "def run_job():\n    return make(0)\n"
+            ),
+            "repro.sim.rng": (
+                "import numpy as np\n"
+                "def make(seed):\n    return np.random.default_rng(seed)\n"
+            ),
+        })
+        assert violations == []
+
+    def test_undeclared_stream_name_flagged(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "def run_job(registry):\n"
+                "    a = registry.stream('noise')\n"
+                "    b = registry.stream('chaos.link')\n"
+                "    c = registry.stream('rogue')\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-RNG-STREAM"]
+        assert "rogue" in violations[0].message
+
+    def test_fstring_stream_checked_by_prefix(self):
+        violations = run_check({
+            "repro.parallel.jobs": (
+                "def run_job(registry, node):\n"
+                "    ok = registry.stream(f'chaos.{node}')\n"
+                "    bad = registry.stream(f'node.{node}')\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-RNG-STREAM"]
+
+
+class TestPayload:
+    def test_unpicklable_constructor_arg_flagged(self):
+        violations = run_check({
+            "repro.parallel.pool": (
+                "def launch(submit, Engine):\n"
+                "    submit(Engine())\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-PAYLOAD"]
+
+    def test_tainted_local_flagged(self):
+        violations = run_check({
+            "repro.parallel.pool": (
+                "def launch(map_jobs, Engine):\n"
+                "    engine = Engine()\n"
+                "    map_jobs(engine)\n"
+            ),
+        })
+        assert [v.rule_id for v in violations] == ["CONC-PAYLOAD"]
+
+    def test_plain_payload_clean(self):
+        violations = run_check({
+            "repro.parallel.pool": (
+                "def launch(map_jobs):\n"
+                "    map_jobs([1, 2, 3])\n"
+            ),
+        })
+        assert violations == []

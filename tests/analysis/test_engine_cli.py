@@ -93,7 +93,9 @@ class TestRendering:
         # ALL_RULES is a dict keyed by id; collisions would silently drop
         # a rule from the catalogue.  Spot-check the expected families.
         families = {rid.split("-")[0] for rid in ALL_RULES}
-        assert families == {"DET", "UNIT", "LAY", "PCK"}
+        assert families == {
+            "DET", "UNIT", "LAY", "PCK", "VEC", "CONC", "API", "LINT",
+        }
 
 
 class TestCli:

@@ -1,0 +1,104 @@
+"""API-* rules: deprecated shims and facade-snapshot drift."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import build_project, parse_contract, parse_source
+from repro.analysis.facade_lint import check, check_project
+
+CONTRACT = parse_contract(
+    """
+[allowed]
+sim = []
+
+[facade]
+snapshot = "tests/public_api_snapshot.txt"
+
+[deprecated]
+names = ["repro.build_estimator", "repro.bench.build_estimator"]
+""",
+    origin="<test>",
+)
+
+
+class TestDeprecated:
+    def run_check(self, source: str, module: str = "repro.sim.mod"):
+        info = parse_source(source, module=module)
+        return [v.rule_id for v in check(info, CONTRACT)]
+
+    def test_from_import_of_shim_flagged(self):
+        src = "from repro import build_estimator\n"
+        assert self.run_check(src) == ["API-DEPRECATED"]
+
+    def test_attribute_use_of_shim_flagged(self):
+        src = "import repro\n\ndef f():\n    return repro.build_estimator\n"
+        assert self.run_check(src) == ["API-DEPRECATED"]
+
+    def test_aliased_from_import_flagged(self):
+        src = "from repro.bench import build_estimator as be\n\nbe()\n"
+        assert "API-DEPRECATED" in self.run_check(src)
+
+    def test_replacement_name_clean(self):
+        src = "from repro.api import fit_models\n"
+        assert self.run_check(src) == []
+
+    def test_external_style_module_exempt(self):
+        # Examples/scripts mimic external callers; only repro.* modules
+        # are held to the internal no-shim rule.
+        src = "from repro import build_estimator\n"
+        assert self.run_check(src, module="demo_example") == []
+
+
+def make_api_tree(tmp_path: Path, all_names: list[str], snapshot: list[str] | None):
+    """Lay out <root>/repro/api.py plus the snapshot file on disk."""
+    api_dir = tmp_path / "repro"
+    api_dir.mkdir()
+    names = "".join(f'    "{n}",\n' for n in all_names)
+    api_path = api_dir / "api.py"
+    api_path.write_text(f"__all__ = [\n{names}]\n")
+    if snapshot is not None:
+        snap = tmp_path / "tests" / "public_api_snapshot.txt"
+        snap.parent.mkdir()
+        snap.write_text("".join(f"{n}\n" for n in snapshot))
+    info = parse_source(
+        api_path.read_text(), module="repro.api", path=str(api_path)
+    )
+    return build_project([info])
+
+
+class TestSnapshot:
+    def test_matching_snapshot_clean(self, tmp_path):
+        project = make_api_tree(tmp_path, ["a", "b"], ["a", "b"])
+        assert check_project(project, CONTRACT) == []
+
+    def test_unreviewed_addition_flagged(self, tmp_path):
+        project = make_api_tree(tmp_path, ["a", "b", "new"], ["a", "b"])
+        violations = check_project(project, CONTRACT)
+        assert [v.rule_id for v in violations] == ["API-SNAPSHOT"]
+        assert "new" in violations[0].message
+
+    def test_silent_removal_flagged(self, tmp_path):
+        project = make_api_tree(tmp_path, ["a"], ["a", "gone"])
+        violations = check_project(project, CONTRACT)
+        assert [v.rule_id for v in violations] == ["API-SNAPSHOT"]
+        assert "gone" in violations[0].message
+
+    def test_missing_snapshot_file_skips(self, tmp_path):
+        project = make_api_tree(tmp_path, ["a"], None)
+        assert check_project(project, CONTRACT) == []
+
+    def test_dynamic_all_flagged(self, tmp_path):
+        api_dir = tmp_path / "repro"
+        api_dir.mkdir()
+        api_path = api_dir / "api.py"
+        api_path.write_text("__all__ = sorted(globals())\n")
+        snap = tmp_path / "tests" / "public_api_snapshot.txt"
+        snap.parent.mkdir()
+        snap.write_text("a\n")
+        info = parse_source(
+            api_path.read_text(), module="repro.api", path=str(api_path)
+        )
+        violations = check_project(build_project([info]), CONTRACT)
+        assert [v.rule_id for v in violations] == ["API-SNAPSHOT"]
+        assert "static" in violations[0].message

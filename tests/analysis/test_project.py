@@ -1,0 +1,119 @@
+"""ProjectModel: indexing, import graph, bounded name resolution."""
+
+from __future__ import annotations
+
+from repro.analysis import build_project, parse_source
+from repro.analysis.project import MAX_REEXPORT_HOPS
+
+
+def make_project(sources: dict[str, str]):
+    """Build a ProjectModel from ``dotted module -> source`` pairs."""
+    infos = [
+        parse_source(src, module=mod, path=mod.replace(".", "/") + ".py")
+        for mod, src in sources.items()
+    ]
+    return build_project(infos)
+
+
+class TestIndexing:
+    def test_functions_classes_methods(self):
+        project = make_project({
+            "repro.sim.mod": (
+                "def top():\n    pass\n"
+                "class Engine:\n"
+                "    def __init__(self):\n        pass\n"
+                "    def run(self):\n        pass\n"
+            ),
+        })
+        assert "repro.sim.mod.top" in project.functions
+        assert "repro.sim.mod.Engine" in project.classes
+        assert "repro.sim.mod.Engine.run" in project.functions
+        assert project.functions["repro.sim.mod.Engine.run"].is_method
+        names = [m.qname for m in project.methods_by_name["run"]]
+        assert names == ["repro.sim.mod.Engine.run"]
+
+    def test_module_globals_include_annotated_and_tuple_targets(self):
+        project = make_project({
+            "repro.sim.mod": (
+                "CACHE: dict = {}\n"
+                "A, B = 1, 2\n"
+                "C = 3\n"
+                "def f():\n    local = 1\n"
+            ),
+        })
+        assert project.module_globals["repro.sim.mod"] == {
+            "CACHE", "A", "B", "C",
+        }
+
+    def test_non_repro_modules_ignored(self):
+        project = make_project({"demo": "def f():\n    pass\n"})
+        assert project.modules == {}
+
+    def test_import_graph_sees_lazy_imports(self):
+        project = make_project({
+            "repro.parallel.jobs": (
+                "def run_job():\n"
+                "    from repro.experiments.runner import run_experiment\n"
+                "    return run_experiment\n"
+            ),
+            "repro.experiments.runner": "def run_experiment():\n    pass\n",
+        })
+        assert (
+            "repro.experiments.runner"
+            in project.import_graph["repro.parallel.jobs"]
+        )
+
+
+class TestResolve:
+    def test_same_module_bare_name(self):
+        project = make_project({
+            "repro.sim.mod": "def f():\n    pass\n",
+        })
+        assert project.resolve("repro.sim.mod", "f") == "repro.sim.mod.f"
+
+    def test_from_import_reexport_single_hop(self):
+        project = make_project({
+            "repro.core.base": "def impl():\n    pass\n",
+            "repro.core.facade": "from repro.core.base import impl\n",
+        })
+        assert (
+            project.resolve("repro.core.facade", "repro.core.facade.impl")
+            == "repro.core.base.impl"
+        )
+
+    def test_diamond_reexports_converge(self):
+        # base.f re-exported through two branches; both resolve to the
+        # single definition, so the call graph never forks on a diamond.
+        project = make_project({
+            "repro.core.base": "def f():\n    pass\n",
+            "repro.core.left": "from repro.core.base import f\n",
+            "repro.core.right": "from repro.core.base import f\n",
+            "repro.core.top": (
+                "from repro.core.left import f as lf\n"
+                "from repro.core.right import f as rf\n"
+            ),
+        })
+        left = project.resolve("repro.core.top", "repro.core.left.f")
+        right = project.resolve("repro.core.top", "repro.core.right.f")
+        assert left == right == "repro.core.base.f"
+
+    def test_reexport_chain_beyond_bound_unresolved(self):
+        chain = {"repro.c.m0": "def f():\n    pass\n"}
+        for i in range(1, MAX_REEXPORT_HOPS + 2):
+            chain[f"repro.c.m{i}"] = f"from repro.c.m{i - 1} import f\n"
+        project = make_project(chain)
+        deep = f"repro.c.m{MAX_REEXPORT_HOPS + 1}.f"
+        assert project.resolve("repro.c.user", deep) is None
+
+    def test_unknown_name_unresolved(self):
+        project = make_project({"repro.sim.mod": "X = 1\n"})
+        assert project.resolve("repro.sim.mod", "repro.sim.mod.nope") is None
+
+    def test_entry_points_skip_missing(self):
+        project = make_project({
+            "repro.parallel.jobs": "def run_job():\n    pass\n",
+        })
+        roots = project.resolve_entry_points(
+            ("repro.parallel.jobs.run_job", "repro.parallel.shards.run_shard")
+        )
+        assert [r.qname for r in roots] == ["repro.parallel.jobs.run_job"]

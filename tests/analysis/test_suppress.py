@@ -3,7 +3,12 @@
 from __future__ import annotations
 
 from repro.analysis import lint_module, parse_source
-from repro.analysis.suppress import suppressed_rules
+from repro.analysis.model import Violation
+from repro.analysis.suppress import (
+    iter_noqa_comments,
+    suppressed_rules,
+    unused_noqa,
+)
 
 
 class TestParsing:
@@ -57,3 +62,89 @@ class TestFiltering:
         )
         violations = lint_module(info)
         assert [v.line for v in violations] == [3]
+
+    def test_multiple_rule_ids_on_one_line(self):
+        info = parse_source(
+            "import time\n"
+            "t = time.time()  # repro: noqa DET-TIME, UNIT-MIX\n",
+            module="repro.sim.fake",
+        )
+        assert lint_module(info) == []
+
+    def test_continuation_line_comment_does_not_suppress(self):
+        # The violation anchors to the statement's first physical line;
+        # a comment on a later continuation line is out of scope.
+        info = parse_source(
+            "import time\n"
+            "t = time.time(\n"
+            ")  # repro: noqa DET-TIME\n",
+            module="repro.sim.fake",
+        )
+        assert [v.rule_id for v in lint_module(info)] == ["DET-TIME"]
+
+    def test_unknown_rule_id_suppresses_nothing(self):
+        info = parse_source(
+            "import time\n"
+            "t = time.time()  # repro: noqa NOT-A-RULE\n",
+            module="repro.sim.fake",
+        )
+        assert [v.rule_id for v in lint_module(info)] == ["DET-TIME"]
+
+
+class TestNoqaComments:
+    def test_real_comments_found_with_positions(self):
+        comments = iter_noqa_comments(
+            "x = 1  # repro: noqa DET-TIME\n"
+            "y = 2\n"
+            "z = 3  # repro: noqa\n"
+        )
+        assert [(c.line, c.rules) for c in comments] == [
+            (1, ("DET-TIME",)),
+            (3, ()),
+        ]
+
+    def test_docstring_mention_ignored(self):
+        source = '"""Mentions # repro: noqa DET-TIME in prose."""\nx = 1\n'
+        assert iter_noqa_comments(source) == []
+
+    def test_untokenizable_source_yields_nothing(self):
+        assert iter_noqa_comments("x = (\n") == []
+
+
+def _violation(rule_id: str, line: int) -> Violation:
+    return Violation(rule_id, "f.py", line, 0, "msg")
+
+
+class TestUnusedNoqa:
+    KNOWN = frozenset({"DET-TIME", "UNIT-MIX"})
+
+    def test_matching_comment_is_used(self):
+        comments = iter_noqa_comments("t = 1  # repro: noqa DET-TIME\n")
+        assert unused_noqa(comments, [_violation("DET-TIME", 1)], self.KNOWN) == []
+
+    def test_unmatched_comment_is_stale(self):
+        comments = iter_noqa_comments("t = 1  # repro: noqa DET-TIME\n")
+        stale = unused_noqa(comments, [], self.KNOWN)
+        assert len(stale) == 1
+        assert "raises nothing" in stale[0][1]
+
+    def test_unknown_rule_id_is_stale(self):
+        comments = iter_noqa_comments("t = 1  # repro: noqa DET-TYPO\n")
+        stale = unused_noqa(comments, [_violation("DET-TIME", 1)], self.KNOWN)
+        assert len(stale) == 1
+        assert "unknown rule id" in stale[0][1]
+
+    def test_bare_noqa_used_when_line_has_findings(self):
+        comments = iter_noqa_comments("t = 1  # repro: noqa\n")
+        assert unused_noqa(comments, [_violation("UNIT-MIX", 1)], self.KNOWN) == []
+
+    def test_bare_noqa_stale_on_clean_line(self):
+        comments = iter_noqa_comments("t = 1  # repro: noqa\n")
+        stale = unused_noqa(comments, [], self.KNOWN)
+        assert len(stale) == 1
+        assert "bare noqa" in stale[0][1]
+
+    def test_partial_match_counts_as_used(self):
+        # One of the two named rules fires on the line: not stale.
+        comments = iter_noqa_comments("t = 1  # repro: noqa DET-TIME, UNIT-MIX\n")
+        assert unused_noqa(comments, [_violation("DET-TIME", 1)], self.KNOWN) == []

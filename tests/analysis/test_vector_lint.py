@@ -1,0 +1,115 @@
+"""VEC-* rules: sort stability, total-order keys, dtype discipline."""
+
+from __future__ import annotations
+
+from repro.analysis import parse_contract, parse_source
+from repro.analysis.vector_lint import check
+
+CONTRACT = parse_contract(
+    """
+[allowed]
+sim = []
+
+[vectorization]
+kernel_modules = ["repro.sim", "repro.regression"]
+""",
+    origin="<test>",
+)
+
+
+def run_check(source: str, module: str = "repro.sim.kernel"):
+    info = parse_source(source, module=module)
+    return [v.rule_id for v in check(info, CONTRACT)]
+
+
+class TestSortStable:
+    def test_argsort_without_kind_flagged(self):
+        src = "import numpy as np\ndef f(a):\n    return np.argsort(a)\n"
+        assert run_check(src) == ["VEC-SORT-STABLE"]
+
+    def test_argsort_with_stable_kind_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a):\n    return np.argsort(a, kind='stable')\n"
+        )
+        assert run_check(src) == []
+
+    def test_mergesort_kind_accepted(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a):\n    return np.sort(a, kind='mergesort')\n"
+        )
+        assert run_check(src) == []
+
+    def test_method_argsort_flagged(self):
+        src = "def f(a):\n    return a.argsort()\n"
+        assert run_check(src) == ["VEC-SORT-STABLE"]
+
+    def test_outside_kernel_scope_ignored(self):
+        src = "import numpy as np\ndef f(a):\n    return np.argsort(a)\n"
+        assert run_check(src, module="repro.formatting.tables") == []
+
+
+class TestSortKey:
+    def test_scalar_lambda_key_flagged(self):
+        src = "def f(xs):\n    return sorted(xs, key=lambda e: e.t)\n"
+        assert run_check(src) == ["VEC-SORT-KEY"]
+
+    def test_tuple_lambda_key_clean(self):
+        src = (
+            "def f(xs):\n"
+            "    return sorted(xs, key=lambda e: (e.t, e.seq))\n"
+        )
+        assert run_check(src) == []
+
+    def test_named_key_function_not_flagged(self):
+        # A named key (Event.sort_key) is assumed to return a total
+        # order; only inline scalar lambdas are statically rejectable.
+        src = "def f(xs, key_fn):\n    return sorted(xs, key=key_fn)\n"
+        assert run_check(src) == []
+
+    def test_list_sort_method_checked(self):
+        src = "def f(xs):\n    xs.sort(key=lambda e: e.t)\n"
+        assert run_check(src) == ["VEC-SORT-KEY"]
+
+
+class TestFloatReduce:
+    def test_sum_over_set_comprehension_flagged(self):
+        src = "def f(xs):\n    return sum({x * 2 for x in xs})\n"
+        assert run_check(src) == ["VEC-FLOAT-REDUCE"]
+
+    def test_sum_over_set_call_flagged(self):
+        src = "def f(xs):\n    return sum(set(xs))\n"
+        assert run_check(src) == ["VEC-FLOAT-REDUCE"]
+
+    def test_generator_over_set_flagged(self):
+        src = "def f(xs):\n    return sum(x for x in set(xs))\n"
+        assert run_check(src) == ["VEC-FLOAT-REDUCE"]
+
+    def test_sum_over_list_clean(self):
+        src = "def f(xs):\n    return sum(sorted(xs))\n"
+        assert run_check(src) == []
+
+
+class TestNarrow:
+    def test_np_float32_call_flagged(self):
+        src = "import numpy as np\ndef f(x):\n    return np.float32(x)\n"
+        assert "VEC-NARROW" in run_check(src)
+
+    def test_astype_string_flagged(self):
+        src = "def f(a):\n    return a.astype('float32')\n"
+        assert "VEC-NARROW" in run_check(src)
+
+    def test_dtype_string_literal_flagged(self):
+        src = (
+            "import numpy as np\n"
+            "def f():\n    return np.zeros(3, dtype='float32')\n"
+        )
+        assert "VEC-NARROW" in run_check(src)
+
+    def test_float64_clean(self):
+        src = (
+            "import numpy as np\n"
+            "def f(a):\n    return a.astype(np.float64)\n"
+        )
+        assert run_check(src) == []

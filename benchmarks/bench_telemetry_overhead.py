@@ -11,13 +11,23 @@ If even the *enabled* hub is within noise of the disabled one on a pure
 engine workload, the disabled configuration — the default for every
 seed-equivalent run — is certainly unchanged.
 
+The second half measures the *fully observed* configuration — a hub
+with the SLO engine and the run profiler armed — against a bare run of
+the same experiment, end to end.  That is the worst case a CI health
+gate ever pays, and it must stay within ``MAX_RATIO`` too; the combined
+result lands in ``benchmarks/out/BENCH_obs_overhead.json``.
+
 Run via ``pytest benchmarks/bench_telemetry_overhead.py -s`` to see the
-measured events/s and ratio.
+measured events/s and ratios, or standalone
+(``python benchmarks/bench_telemetry_overhead.py``) to also write the
+JSON report.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from pathlib import Path
 
 from repro.sim.engine import Engine
 from repro.telemetry import TelemetryHub
@@ -29,6 +39,12 @@ ROUNDS = 7
 #: target is <= 1.02, and anything beyond 1.10 means a per-event cost
 #: crept into the hot loop.
 MAX_RATIO = 1.10
+
+#: Paired rounds for the fully observed run.  Each round times one
+#: bare and one observed run back to back (alternating which goes
+#: first, so quota throttling cannot systematically tax one arm).
+OBS_ROUNDS = 12
+OUT_PATH = Path(__file__).parent / "out" / "BENCH_obs_overhead.json"
 
 
 def _chained_run(telemetry: TelemetryHub | None) -> float:
@@ -66,6 +82,83 @@ def measure() -> dict[str, float]:
     }
 
 
+def _experiment_run(observed: bool) -> float:
+    """One timed end-to-end experiment on a telemetry-enabled hub.
+
+    Both arms pay for the instrumentation callbacks; the ``observed``
+    arm additionally arms the SLO engine and the run profiler, so the
+    ratio isolates exactly what the consumption layer adds.  The run is
+    long (240 periods) and timed in CPU seconds so the per-run cost
+    dominates scheduler noise.
+    """
+    from repro.experiments.config import BaselineConfig, ExperimentConfig
+    from repro.experiments.runner import run_experiment
+    from repro.telemetry.slo import DEFAULT_SLO_RULES
+
+    config = ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=30.0,
+        baseline=BaselineConfig(n_periods=240, seed=0),
+    )
+    hub = TelemetryHub()  # fresh per round: SLO state must not carry over
+    if observed:
+        hub.arm_slo(DEFAULT_SLO_RULES)
+        hub.arm_profiler()
+    t0 = time.process_time()
+    run_experiment(config, telemetry=hub)
+    return time.process_time() - t0
+
+
+def measure_observed() -> dict[str, float]:
+    """Paired interleaved timing: hub-only vs SLO+profiler.
+
+    The true ratio is estimated two ways — the median of per-pair
+    ratios, and the ratio of per-arm minima — and the guard takes the
+    smaller.  Each estimator is vulnerable to a different noise mode
+    (sustained throttling phases vs unlucky minima), while a real
+    per-event regression inflates both, so the combination keeps the
+    guard's false-alarm rate low without loosening the bound.
+    """
+    ratios = []
+    bare = []
+    observed = []
+    _experiment_run(observed=False)  # warm the cached estimator fit
+    _experiment_run(observed=True)
+    for i in range(OBS_ROUNDS):
+        if i % 2 == 0:
+            b = _experiment_run(observed=False)
+            o = _experiment_run(observed=True)
+        else:
+            o = _experiment_run(observed=True)
+            b = _experiment_run(observed=False)
+        bare.append(b)
+        observed.append(o)
+        ratios.append(o / b)
+    ratios.sort()
+    median_pair = ratios[len(ratios) // 2]
+    min_ratio = min(observed) / min(bare)
+    return {
+        "bare_run_s": min(bare),
+        "observed_run_s": min(observed),
+        "median_pair_ratio": median_pair,
+        "min_ratio": min_ratio,
+        "observed_ratio": min(median_pair, min_ratio),
+    }
+
+
+def write_report() -> Path:
+    """Run both measurements and write the JSON artifact for CI."""
+    report = {
+        "bound_max_ratio": MAX_RATIO,
+        "engine": measure(),
+        "full_run": measure_observed(),
+    }
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return OUT_PATH
+
+
 def test_disabled_telemetry_is_free():
     """The guard: telemetry must cost per batch, not per event."""
     stats = measure()
@@ -84,6 +177,30 @@ def test_disabled_telemetry_is_free():
     assert hub.registry.counter("sim.events_executed").value == N_EVENTS + 1
 
 
+def test_observed_run_overhead_is_bounded():
+    """The health-gate guard: SLO + profiler must stay within MAX_RATIO."""
+    stats = measure_observed()
+    print(
+        f"\nend-to-end run: bare {stats['bare_run_s']:.3f}s cpu, observed"
+        f" {stats['observed_run_s']:.3f}s cpu, ratio"
+        f" {stats['observed_ratio']:.3f} (median-pair"
+        f" {stats['median_pair_ratio']:.3f}, min {stats['min_ratio']:.3f})"
+    )
+    assert stats["observed_ratio"] < MAX_RATIO, (
+        f"fully observed run is {stats['observed_ratio']:.3f}x the bare one"
+        f" (> {MAX_RATIO}) — SLO/profiler feeds are too hot"
+    )
+
+
 if __name__ == "__main__":
-    for key, value in measure().items():
-        print(f"{key}: {value:,.3f}")
+    import sys
+
+    path = write_report()
+    print(path.read_text(), end="")
+    report = json.loads(path.read_text())
+    if (
+        report["engine"]["ratio"] >= MAX_RATIO
+        or report["full_run"]["observed_ratio"] >= MAX_RATIO
+    ):
+        print(f"overhead bound {MAX_RATIO} exceeded", file=sys.stderr)
+        sys.exit(1)

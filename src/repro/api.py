@@ -76,7 +76,12 @@ from repro.core.predictive import PredictivePolicy
 from repro.core.shutdown import shut_down_a_replica
 from repro.errors import ChaosError, ConfigurationError, ReproError
 from repro.experiments.breakdown import LatencyBreakdown, compute_breakdown
-from repro.experiments.campaign import CampaignResult, CampaignSpec, run_campaign
+from repro.experiments.campaign import (
+    CampaignResult,
+    CampaignSpec,
+    rollup_campaign,
+    run_campaign,
+)
 from repro.experiments.capacity import CapacityPlan, plan_capacity
 from repro.experiments.config import (
     DEFAULT_SWEEP_UNITS,
@@ -115,7 +120,21 @@ from repro.sim.vector import VectorizedEngine
 from repro.tasks.builder import TaskBuilder
 from repro.tasks.model import PeriodicTask
 from repro.tasks.state import ReplicaAssignment
-from repro.telemetry import JsonlTraceSink, MetricsRegistry, TelemetryHub
+from repro.telemetry import (
+    DEFAULT_SLO_RULES,
+    CampaignRollup,
+    JsonlTraceSink,
+    MetricsRegistry,
+    RunProfiler,
+    SloEngine,
+    SloReport,
+    SloRule,
+    TelemetryHub,
+    load_slo_rules,
+    merge_rollups,
+    render_report,
+    write_report,
+)
 from repro.workloads.patterns import (
     BurstyPattern,
     StepPattern,
@@ -179,12 +198,14 @@ __all__ = [
     "BurstyPattern",
     "CalibrationReport",
     "CampaignResult",
+    "CampaignRollup",
     "CampaignSpec",
     "CapacityPlan",
     "ChaosError",
     "ChaosInjector",
     "ChaosScenario",
     "ConfigurationError",
+    "DEFAULT_SLO_RULES",
     "DEFAULT_SWEEP_UNITS",
     "Engine",
     "ExecutionLatencyModel",
@@ -213,8 +234,12 @@ __all__ = [
     "ReproError",
     "ResilienceScorecard",
     "RunHistoryIndex",
+    "RunProfiler",
     "SCHEMA_VERSION",
     "ShardPlan",
+    "SloEngine",
+    "SloReport",
+    "SloRule",
     "StepPattern",
     "System",
     "TaskBuilder",
@@ -240,7 +265,9 @@ __all__ = [
     "get_scenario",
     "latency_model_from_dict",
     "latency_model_to_dict",
+    "load_slo_rules",
     "make_pattern",
+    "merge_rollups",
     "metrics_from_json",
     "metrics_to_json",
     "mission_profile",
@@ -251,8 +278,10 @@ __all__ = [
     "profile_buffer_delay",
     "profile_subtask",
     "register_policy",
+    "render_report",
     "render_timeline",
     "replicate_experiment",
+    "rollup_campaign",
     "run_campaign",
     "run_chaos_experiment",
     "run_experiment",
@@ -261,4 +290,5 @@ __all__ = [
     "shut_down_a_replica",
     "sweep_workloads",
     "validate_reproduction",
+    "write_report",
 ]

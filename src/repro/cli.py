@@ -25,12 +25,20 @@ Commands
 ``validate``
     Run the paper-claims validation suite (exit code 1 on any FAIL).
 ``report``
-    Regenerate the whole evaluation as one Markdown document.
+    Regenerate the whole evaluation as one Markdown document, or — with
+    ``--health`` — render one run's self-contained HTML health report
+    (metrics, SLO verdicts with burn-rate sparklines, profiler
+    breakdown, forecast calibration).
+``slo``
+    Run one experiment against a set of service-level objectives and
+    print the verdicts; ``--check`` turns breaches into exit code 1
+    for CI gates, ``--rules`` loads a ``[[slo.rules]]`` TOML file.
 ``campaign``
     A whole policy × pattern × workload × seed grid in one shot, with
     ``--jobs N`` process-pool parallelism and per-run accounting;
     ``--scenarios`` / ``--hardened-axis`` extend the grid along the
-    chaos axes.
+    chaos axes, ``--slo`` evaluates rules per cell and ``--rollup``
+    writes the order-independent campaign rollup JSON.
 ``chaos``
     One experiment under a named fault-injection scenario, reporting
     the resilience scorecard; ``--compare`` runs the hardened and
@@ -100,6 +108,49 @@ def _shards_from_args(args: argparse.Namespace) -> int:
     shards = getattr(args, "shards", None)
     # 0 = no sharding (dispatch one job per worker task as before).
     return 0 if shards is None else shards
+
+
+def _slo_rules_from_args(args: argparse.Namespace):
+    """The rule set for ``repro slo`` / ``repro report --health``."""
+    from repro.telemetry.slo import DEFAULT_SLO_RULES, load_slo_rules
+
+    rules = getattr(args, "rules", None)
+    if rules:
+        from pathlib import Path
+
+        return load_slo_rules(Path(rules))
+    return DEFAULT_SLO_RULES
+
+
+def _run_observed(args: argparse.Namespace):
+    """One fully-observed run: SLO rules + profiler armed on a hub.
+
+    Returns ``(config, result, hub, profiler)``; the hub is closed (no
+    sink attached, so this only settles dangling spans).
+    """
+    from repro.experiments.estimator_cache import get_estimator
+    from repro.experiments.runner import run_experiment
+    from repro.telemetry import TelemetryHub
+
+    baseline = _baseline_from_args(args)
+    config = ExperimentConfig(
+        policy=args.policy,
+        pattern=args.pattern,
+        max_workload_units=args.max_units,
+        baseline=baseline,
+        engine=_engine_from_args(args),
+        chaos_scenario=getattr(args, "scenario", None),
+        hardened=bool(getattr(args, "hardened", False)),
+        slo=_slo_rules_from_args(args),
+    )
+    estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
+    hub = TelemetryHub()
+    profiler = hub.arm_profiler()
+    try:
+        result = run_experiment(config, estimator=estimator, telemetry=hub)
+    finally:
+        hub.close()
+    return config, result, hub, profiler
 
 
 # -- command handlers -----------------------------------------------------------
@@ -172,7 +223,6 @@ def cmd_figure(args: argparse.Namespace) -> int:
 def cmd_run(args: argparse.Namespace) -> int:
     """Handle ``repro run`` (single, multi-task or replicated)."""
     from repro.experiments.estimator_cache import get_estimator
-    from repro.experiments.runner import run_experiment
 
     baseline = _baseline_from_args(args)
     config = ExperimentConfig(
@@ -203,6 +253,62 @@ def cmd_run(args: argparse.Namespace) -> int:
         sink = JsonlTraceSink(Path(telemetry_dir) / "trace.jsonl")
         hub = TelemetryHub(sink=sink)
         tracer = StreamingTracer(sink)
+
+    try:
+        metrics, forecast_report = _run_cmd_run_body(
+            args, config, estimator, tracer, hub
+        )
+    finally:
+        # Close (and so flush) the trace sink even when the run dies
+        # mid-flight — the buffered records up to the failure point are
+        # exactly what a post-mortem needs.
+        if hub is not None:
+            hub.close()
+
+    if hub is not None:
+        from pathlib import Path
+
+        out = Path(telemetry_dir)
+        (out / "metrics.json").write_text(hub.registry.to_json(hub.now))
+        (out / "metrics.prom").write_text(hub.registry.to_prometheus(hub.now))
+        print(
+            f"telemetry written to {out} "
+            "(trace.jsonl, metrics.json, metrics.prom)"
+        )
+
+    if args.json:
+        from repro.experiments.export import metrics_to_json
+
+        metrics_to_json(
+            metrics,
+            args.json,
+            extra={
+                "policy": args.policy,
+                "pattern": args.pattern,
+                "max_units": args.max_units,
+                "forecasts": (
+                    None
+                    if forecast_report is None
+                    else {
+                        "n": forecast_report.n,
+                        "mape": forecast_report.mape,
+                        "mean_error_s": forecast_report.mean_error_s,
+                        "pessimism_rate": forecast_report.pessimism_rate,
+                        "missed_deadline_ratio": (
+                            forecast_report.missed_deadline_ratio
+                        ),
+                    }
+                ),
+            },
+        )
+        print(f"metrics written to {args.json}")
+    return 0
+
+
+def _run_cmd_run_body(args, config, estimator, tracer, hub):
+    """The run/print phase of ``repro run`` (split out so the caller can
+    guarantee the telemetry sink is flushed on any exit path)."""
+    from repro.experiments.runner import run_experiment
 
     forecast_report = None
     if args.tasks > 1:
@@ -263,46 +369,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                 title=f"{args.policy}, {args.pattern}, {args.max_units:g} units",
             )
         )
-
-    if hub is not None:
-        from pathlib import Path
-
-        hub.close()
-        out = Path(telemetry_dir)
-        (out / "metrics.json").write_text(hub.registry.to_json(hub.now))
-        (out / "metrics.prom").write_text(hub.registry.to_prometheus(hub.now))
-        print(
-            f"telemetry written to {out} "
-            "(trace.jsonl, metrics.json, metrics.prom)"
-        )
-
-    if args.json:
-        from repro.experiments.export import metrics_to_json
-
-        metrics_to_json(
-            metrics,
-            args.json,
-            extra={
-                "policy": args.policy,
-                "pattern": args.pattern,
-                "max_units": args.max_units,
-                "forecasts": (
-                    None
-                    if forecast_report is None
-                    else {
-                        "n": forecast_report.n,
-                        "mape": forecast_report.mape,
-                        "mean_error_s": forecast_report.mean_error_s,
-                        "pessimism_rate": forecast_report.pessimism_rate,
-                        "missed_deadline_ratio": (
-                            forecast_report.missed_deadline_ratio
-                        ),
-                    }
-                ),
-            },
-        )
-        print(f"metrics written to {args.json}")
-    return 0
+    return metrics, forecast_report
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -390,8 +457,108 @@ def cmd_capacity(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_slo(args: argparse.Namespace) -> int:
+    """Handle ``repro slo``: evaluate one run against its SLO rules."""
+    if args.list:
+        rules = _slo_rules_from_args(args)
+        rows = [
+            [
+                rule.name,
+                rule.signal,
+                rule.objective,
+                f"{rule.windows[0]:g}/{rule.windows[1]:g}",
+                rule.burn_rate_threshold,
+                rule.description,
+            ]
+            for rule in rules
+        ]
+        print(
+            format_table(
+                ["rule", "signal", "objective", "windows (s)",
+                 "burn", "description"],
+                rows,
+                title="SLO rules",
+            )
+        )
+        return 0
+
+    _, result, _, _ = _run_observed(args)
+    report = result.slo
+    if report is None:  # pragma: no cover - _run_observed always arms rules
+        raise ReproError("the run produced no SLO report")
+    print(report.render())
+    if args.json:
+        import json as _json
+        from pathlib import Path
+
+        target = Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(
+            _json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"SLO report written to {target}")
+    return report.exit_code if args.check else 0
+
+
+def _cmd_report_health(args: argparse.Namespace) -> int:
+    """``repro report --health``: the self-contained HTML health report."""
+    from repro.telemetry.report import render_report
+
+    config, result, _, profiler = _run_observed(args)
+    baseline = config.baseline
+    meta = {
+        "policy": config.policy,
+        "pattern": config.pattern,
+        "max_units": config.max_workload_units,
+        "periods": baseline.n_periods,
+        "nodes": baseline.n_nodes,
+        "seed": baseline.seed,
+        "engine": config.engine,
+        "scenario": config.chaos_scenario or "-",
+        "hardened": config.hardened,
+    }
+    calibration = None
+    if result.forecasts is not None:
+        forecasts = result.forecasts
+        calibration = {
+            "n": forecasts.n,
+            "mape": forecasts.mape,
+            "mean_error_s": forecasts.mean_error_s,
+            "pessimism_rate": forecasts.pessimism_rate,
+            "missed_deadline_ratio": forecasts.missed_deadline_ratio,
+        }
+    rollup = None
+    if getattr(args, "rollup", None):
+        from repro.telemetry.rollup import CampaignRollup
+
+        rollup = CampaignRollup.load(args.rollup).to_dict()
+    html = render_report(
+        meta=meta,
+        metrics=result.metrics.as_dict(),
+        slo=result.slo.as_dict() if result.slo is not None else None,
+        profile=profiler.summary(deterministic=not args.wall),
+        calibration=calibration,
+        scorecard=(
+            result.scorecard.as_dict() if result.scorecard is not None else None
+        ),
+        rollup=rollup,
+    )
+    if args.out:
+        from pathlib import Path
+
+        target = Path(args.out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(html, encoding="utf-8")
+        print(f"health report written to {target}")
+    else:
+        print(html, end="")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    """Handle ``repro report``: the full evaluation as Markdown."""
+    """Handle ``repro report``: Markdown evaluation or HTML health view."""
+    if args.health:
+        return _cmd_report_health(args)
     from repro.experiments.paper_report import generate_report
 
     baseline = _baseline_from_args(args)
@@ -423,6 +590,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     hardened: tuple[bool, ...] = {
         "off": (False,), "on": (True,), "both": (False, True),
     }[args.hardened_axis]
+    slo_rules = None
+    if args.slo:
+        if args.slo == "default":
+            from repro.telemetry.slo import DEFAULT_SLO_RULES
+
+            slo_rules = DEFAULT_SLO_RULES
+        else:
+            from pathlib import Path
+
+            from repro.telemetry.slo import load_slo_rules
+
+            slo_rules = load_slo_rules(Path(args.slo))
     spec = CampaignSpec(
         policies=tuple(args.policies),
         patterns=tuple(args.patterns),
@@ -432,6 +611,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         scenarios=scenarios,
         hardened=hardened,
         engine=_engine_from_args(args),
+        slo=slo_rules,
     )
     result = run_campaign(
         spec,
@@ -444,6 +624,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.json:
         target = result.write_json(args.json)
         print(f"campaign written to {target}")
+    if args.rollup:
+        from repro.experiments.campaign import rollup_campaign
+
+        target = rollup_campaign(result).write(args.rollup)
+        print(f"campaign rollup written to {target}")
     return 0
 
 
@@ -730,7 +915,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--hardened-axis", choices=("off", "on", "both"), default="off",
         help="RM-hardening axis of the grid",
     )
+    p_campaign.add_argument(
+        "--slo", nargs="?", const="default", metavar="RULES.toml",
+        help="evaluate SLO rules on every run (bare flag = the default "
+        "rule set, or give a [[slo.rules]] TOML file)",
+    )
+    p_campaign.add_argument(
+        "--rollup",
+        help="write the order-independent campaign rollup JSON here",
+    )
     p_campaign.set_defaults(func=cmd_campaign)
+
+    p_slo = sub.add_parser(
+        "slo", help="run one experiment and evaluate it against SLO rules"
+    )
+    p_slo.add_argument("--policy", default="predictive")
+    p_slo.add_argument("--pattern", default="triangular")
+    p_slo.add_argument("--max-units", type=float, default=20.0)
+    p_slo.add_argument(
+        "--scenario", help="optional chaos scenario to run under"
+    )
+    p_slo.add_argument(
+        "--hardened", action=argparse.BooleanOptionalAction, default=False,
+        help="enable the RM hardening defenses for the run",
+    )
+    p_slo.add_argument(
+        "--rules", metavar="RULES.toml",
+        help="load rules from a [[slo.rules]] TOML file "
+        "(default: the built-in rule set)",
+    )
+    p_slo.add_argument(
+        "--check", action="store_true",
+        help="CI gate: exit 1 when any SLO is breached, 0 otherwise",
+    )
+    p_slo.add_argument("--json", help="write the SLO report JSON here")
+    p_slo.add_argument(
+        "--list", action="store_true",
+        help="print the effective rule set and exit (no run)",
+    )
+    p_slo.set_defaults(func=cmd_slo)
 
     p_chaos = sub.add_parser(
         "chaos", help="run one experiment under a fault-injection scenario"
@@ -805,15 +1028,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_capacity.set_defaults(func=cmd_capacity)
 
     p_report = sub.add_parser(
-        "report", help="regenerate the whole evaluation as Markdown"
+        "report",
+        help="regenerate the evaluation (Markdown) or, with --health, "
+        "render one run's HTML health report",
     )
-    p_report.add_argument("--out", help="write the Markdown here (else stdout)")
+    p_report.add_argument("--out", help="write the report here (else stdout)")
     p_report.add_argument(
         "--units", type=float, nargs="+", help="max-workload sweep points"
     )
     p_report.add_argument("--skip-tables", action="store_true")
     p_report.add_argument("--skip-figures", action="store_true")
     p_report.add_argument("--skip-validation", action="store_true")
+    p_report.add_argument(
+        "--health", action="store_true",
+        help="render a self-contained HTML health report for one run "
+        "(metrics, SLO verdicts with burn-rate sparklines, profiler "
+        "breakdown, forecast calibration) instead of the Markdown "
+        "evaluation",
+    )
+    p_report.add_argument("--policy", default="predictive")
+    p_report.add_argument("--pattern", default="triangular")
+    p_report.add_argument("--max-units", type=float, default=20.0)
+    p_report.add_argument(
+        "--scenario", help="optional chaos scenario (health mode)"
+    )
+    p_report.add_argument(
+        "--hardened", action=argparse.BooleanOptionalAction, default=False,
+        help="enable the RM hardening defenses (health mode)",
+    )
+    p_report.add_argument(
+        "--rules", metavar="RULES.toml",
+        help="SLO rules TOML for the health report "
+        "(default: the built-in rule set)",
+    )
+    p_report.add_argument(
+        "--wall", action="store_true",
+        help="include host wall-clock profiler times in the health "
+        "report (makes the HTML non-reproducible)",
+    )
+    p_report.add_argument(
+        "--rollup", metavar="ROLLUP.json",
+        help="embed a campaign rollup (from 'repro campaign --rollup') "
+        "in the health report",
+    )
     p_report.set_defaults(func=cmd_report)
 
     return parser

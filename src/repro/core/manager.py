@@ -368,17 +368,22 @@ class AdaptiveResourceManager:
         """Run one monitor/adapt pass (callable directly in tests)."""
         now = self.system.engine.now
         telemetry = self.system.engine.telemetry
+        profiler = telemetry.profiler if telemetry.enabled else None
         if telemetry.enabled:
             telemetry.begin_decision(now)
+        step_handle = profiler.begin("rm.step") if profiler is not None else 0
         recoveries = self._handle_failures()
         records = self.executor.completed_records()
         self._feed_observations(records)
         if self.breaker is not None:
             self._feed_breaker(now, records)
         overdue = self.executor.overdue_subtasks()
+        monitor_handle = profiler.begin("rm.monitor") if profiler is not None else 0
         report = self.monitor.classify(
             now, records, self.deadlines, self.assignment, overdue
         )
+        if profiler is not None:
+            profiler.end(monitor_handle, events=len(report.verdicts))
         d_tracks = self.executor.current_d_tracks
         if d_tracks <= 0.0:
             d_tracks = self.config.initial_d_tracks
@@ -423,6 +428,7 @@ class AdaptiveResourceManager:
         cycle = len(self.history)
         outcomes: list[AllocationOutcome] = []
         shutdowns: list[tuple[int, str]] = []
+        place_handle = profiler.begin("rm.placement") if profiler is not None else 0
         for verdict in report.candidates(MonitorAction.REPLICATE):
             if self.backoff is not None and not self.backoff.should_attempt(
                 verdict.subtask_index, cycle
@@ -451,6 +457,8 @@ class AdaptiveResourceManager:
             )
             if removed is not None:
                 shutdowns.append((verdict.subtask_index, removed))
+        if profiler is not None:
+            profiler.end(place_handle, events=len(outcomes) + len(shutdowns))
 
         touched = {name for o in outcomes for name in o.added_processors}
         touched.update(name for _, name in shutdowns)
@@ -491,6 +499,10 @@ class AdaptiveResourceManager:
                     self.system.engine.now,
                     self.system.utilization_index.stats.as_dict(),
                 )
+            if profiler is not None:
+                step_wall = profiler.end(step_handle, events=1)
+                if telemetry.slo is not None:
+                    telemetry.slo.on_decision_latency(now, step_wall)
             telemetry.end_decision(self.system.engine.now, event)
         self.history.append(event)
         return event

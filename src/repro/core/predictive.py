@@ -83,7 +83,15 @@ class PredictivePolicy:
                 )
             request.assignment.add_replica(subtask_index, candidate.name)
             added.append(candidate.name)
+            profiler = telemetry.profiler if telemetry.enabled else None
+            if profiler is not None:
+                handle = profiler.begin("rm.forecast")
             worst_forecast = self._forecast_worst_replica(request)
+            if profiler is not None:
+                profiler.end(
+                    handle,
+                    events=request.assignment.replica_count(subtask_index),
+                )
             accepted = worst_forecast <= threshold
             if telemetry.enabled:
                 telemetry.on_forecast(

@@ -87,6 +87,10 @@ class ForecastAwareShutdown:
         count = assignment.replica_count(subtask_index)
         if count <= 1:
             return None
+        telemetry = request.system.engine.telemetry
+        profiler = telemetry.profiler if telemetry.enabled else None
+        if profiler is not None:
+            handle = profiler.begin("rm.forecast")
         survivors = assignment.processors_of(subtask_index)[:-1]
         share = request.d_tracks / len(survivors)
         budget = request.deadlines.stage_budget(subtask_index)
@@ -111,6 +115,8 @@ class ForecastAwareShutdown:
                 utilization = request.system.processor(name).utilization()
                 eex = request.estimator.eex_seconds(subtask_index, share, utilization)
                 worst = max(worst, eex + ecd)
+        if profiler is not None:
+            profiler.end(handle, events=len(survivors))
         if worst > threshold:
             return None  # removing would (per the model) break timeliness
         return assignment.remove_last_replica(subtask_index)

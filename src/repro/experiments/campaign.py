@@ -30,6 +30,8 @@ from repro.experiments.export import SCHEMA_VERSION
 from repro.experiments.metrics import ExperimentMetrics
 from repro.experiments.replication import MetricSummary, summarize
 from repro.experiments.report import format_table
+from repro.telemetry.rollup import CampaignRollup
+from repro.telemetry.slo import SloRule
 
 #: Progress sink: receives one human-readable line per finished job.
 Progress = Callable[[str], None]
@@ -47,6 +49,10 @@ class CampaignSpec:
     ``engine`` selects the simulation core for every run in the grid
     (``"scalar"`` or ``"vectorized"``); both produce bit-identical
     decision sequences, so it is a speed knob, not a grid axis.
+
+    ``slo`` arms every cell with the given
+    :class:`~repro.telemetry.slo.SloRule` tuple; each row then carries
+    its SLO verdict and the campaign rollup aggregates pass/fail counts.
     """
 
     policies: tuple[str, ...] = ("predictive", "nonpredictive")
@@ -58,6 +64,7 @@ class CampaignSpec:
     scenarios: tuple[str | None, ...] = (None,)
     hardened: tuple[bool, ...] = (False,)
     engine: str = "scalar"
+    slo: "tuple[SloRule, ...] | None" = None
 
     def __post_init__(self) -> None:
         if not self.policies or not self.patterns or not self.units:
@@ -99,6 +106,7 @@ class CampaignSpec:
                                 chaos_scenario=scenario,
                                 hardened=hard,
                                 engine=self.engine,
+                                slo=self.slo,
                             )
                             tag = f"{policy}/{pattern}/u{units:g}"
                             if scenario is not None:
@@ -125,6 +133,10 @@ class CampaignRow:
     chaos_scenario: str | None = None
     hardened: bool = False
     decision_digest: str = ""
+    #: The cell's stable grid tag (``policy/pattern/u<units>/.../s<k>``).
+    tag: str = ""
+    #: ``SloReport.as_dict()`` when the campaign armed SLO rules.
+    slo: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-friendly representation (used by ``write_json``)."""
@@ -135,7 +147,9 @@ class CampaignRow:
             "seed_offset": self.seed_offset,
             "chaos_scenario": self.chaos_scenario,
             "hardened": self.hardened,
+            "tag": self.tag,
             "metrics": self.metrics.as_dict(),
+            "slo": self.slo,
             "decision_digest": self.decision_digest,
             "wall_clock_s": self.wall_clock_s,
             "max_rss_kb": self.max_rss_kb,
@@ -350,7 +364,28 @@ def run_campaign(
             chaos_scenario=jr.spec.config.chaos_scenario,
             hardened=jr.spec.config.hardened,
             decision_digest=jr.decision_digest,
+            tag=jr.spec.tag,
+            slo=jr.slo,
         )
         for jr in job_results
     )
     return CampaignResult(spec=spec, rows=rows, n_jobs=n_jobs, elapsed_s=elapsed)
+
+
+def rollup_campaign(result: CampaignResult) -> CampaignRollup:
+    """Fold a finished campaign into a :class:`CampaignRollup`.
+
+    One rollup entry per row, keyed by the cell tag.  Building the
+    rollup from a sharded and a serial run of the same spec produces
+    byte-identical :meth:`~CampaignRollup.to_json` output — the rollup
+    half of the sharded-equality gate.
+    """
+    rollup = CampaignRollup()
+    for row in result.rows:
+        rollup.add_run(
+            row.tag,
+            metrics=row.metrics.as_dict(),
+            slo=row.slo,
+            decision_digest=row.decision_digest,
+        )
+    return rollup

@@ -13,6 +13,7 @@ from typing import Any
 
 from repro.cluster.processor import Discipline
 from repro.errors import ConfigurationError
+from repro.telemetry.slo import SloRule
 from repro.units import (
     ETHERNET_100_MBPS,
     MS,
@@ -178,6 +179,13 @@ class ExperimentConfig:
         ``"vectorized"`` (array-backed batched calendar).  Decision
         sequences are bit-identical either way; vectorized is faster at
         scale.
+    slo:
+        Optional tuple of :class:`repro.telemetry.slo.SloRule` to
+        evaluate during the run.  ``None`` (the default) runs without
+        an SLO engine; the runner then arms an internal telemetry hub
+        when rules are present, so SLO verdicts work even for callers
+        that never touch telemetry.  The decision sequence is
+        unaffected either way.
     """
 
     policy: str
@@ -187,6 +195,7 @@ class ExperimentConfig:
     chaos_scenario: str | None = None
     hardened: bool = False
     engine: str = "scalar"
+    slo: tuple[SloRule, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.max_workload_units <= 0.0:

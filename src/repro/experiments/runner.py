@@ -39,6 +39,7 @@ from repro.workloads.patterns import make_pattern
 if TYPE_CHECKING:  # imported lazily at runtime: forecast_eval imports us
     from repro.chaos.scorecard import ResilienceScorecard
     from repro.experiments.forecast_eval import CalibrationReport
+    from repro.telemetry.slo import SloReport
 
 #: Backwards-compatible alias for the in-process estimator cache, now
 #: owned by :mod:`repro.experiments.estimator_cache` (same dict object).
@@ -60,6 +61,9 @@ class ExperimentResult:
     final_placement: dict[int, tuple[str, ...]]
     forecasts: "CalibrationReport | None" = None
     scorecard: "ResilienceScorecard | None" = None
+    #: SLO verdicts when the run armed rules (``config.slo`` or a
+    #: caller-armed hub); ``None`` otherwise.
+    slo: "SloReport | None" = None
     #: SHA-256 over the run's canonical decision sequence (see
     #: :func:`repro.experiments.history_index.decision_event_key`); two
     #: runs of the same config match byte for byte iff their managers
@@ -127,6 +131,10 @@ def run_experiment(
     baseline = config.baseline
     if estimator is None:
         estimator = estimator_cache.get_estimator(baseline)
+    if config.slo is not None and telemetry is None:
+        # SLO rules need a live event stream; arm an internal hub so
+        # callers that never touch telemetry still get verdicts.
+        telemetry = TelemetryHub()
 
     system: System = build_system(
         n_processors=baseline.n_nodes,
@@ -207,6 +215,8 @@ def run_experiment(
     )
 
     hub = system.engine.telemetry
+    if config.slo is not None and hub.enabled and hub.slo is None:
+        hub.arm_slo(config.slo)
     if hub.enabled:
         hub.set_run_meta(
             policy=config.policy,
@@ -252,6 +262,12 @@ def run_experiment(
         )
         if hub.enabled:
             scorecard.to_registry(hub.registry)
+    slo_report: "SloReport | None" = None
+    if hub.slo is not None:
+        # One final evaluation at the end of the cooldown window so the
+        # tail of the run is covered, then freeze the verdicts.
+        hub.slo.evaluate(system.engine.now)
+        slo_report = hub.slo.report()
     return ExperimentResult(
         config=config,
         metrics=metrics,
@@ -259,6 +275,7 @@ def run_experiment(
         forecasts=forecasts,
         scorecard=scorecard,
         decision_digest=index.decision_digest,
+        slo=slo_report,
     )
 
 

@@ -74,6 +74,9 @@ class JobResult:
     max_rss_kb: int
     pid: int
     decision_digest: str = ""
+    #: ``SloReport.as_dict()`` when the config armed SLO rules — plain
+    #: JSON so the payload stays cheap to pickle across the pool.
+    slo: dict | None = None
 
 
 def _max_rss_kb() -> int:
@@ -107,4 +110,5 @@ def run_job(spec: JobSpec) -> JobResult:
         max_rss_kb=_max_rss_kb(),
         pid=os.getpid(),
         decision_digest=result.decision_digest,
+        slo=result.slo.as_dict() if result.slo is not None else None,
     )

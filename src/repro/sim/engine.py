@@ -210,6 +210,9 @@ class Engine:
         pop = heappop
         record = None if type(self.tracer) is NullTracer else self.tracer.record
         executed_before = self._executed
+        # Profiler attribution is per run_until batch, never per event.
+        profiler = self.telemetry.profiler if self.telemetry.enabled else None
+        handle = profiler.begin("engine.run") if profiler is not None else 0
         try:
             while heap:
                 event = heap[0]
@@ -231,6 +234,8 @@ class Engine:
         # Batch accounting keeps the per-event cost zero when disabled.
         telemetry = self.telemetry
         if telemetry.enabled:
+            if profiler is not None:
+                profiler.end(handle, events=self._executed - executed_before)
             telemetry.on_engine_run(until, self._executed - executed_before)
 
     def run(self, max_events: int | None = None) -> int:
@@ -244,6 +249,8 @@ class Engine:
         heap = self._heap
         pop = heappop
         record = None if type(self.tracer) is NullTracer else self.tracer.record
+        profiler = self.telemetry.profiler if self.telemetry.enabled else None
+        handle = profiler.begin("engine.run") if profiler is not None else 0
         try:
             while heap and (max_events is None or executed < max_events):
                 event = pop(heap)
@@ -259,6 +266,8 @@ class Engine:
             self._running = False
         telemetry = self.telemetry
         if telemetry.enabled:
+            if profiler is not None:
+                profiler.end(handle, events=executed)
             telemetry.on_engine_run(self._now, executed)
         return executed
 

@@ -310,6 +310,9 @@ class VectorizedEngine(Engine):
         push = heappush
         record = None if type(self.tracer) is NullTracer else self.tracer.record
         executed_before = self._executed
+        # Profiler attribution is per run_until batch, never per event.
+        profiler = self.telemetry.profiler if self.telemetry.enabled else None
+        handle = profiler.begin("engine.vector") if profiler is not None else 0
         try:
             while True:
                 while irregular and irregular[0][3]._state is not _PENDING:
@@ -407,6 +410,8 @@ class VectorizedEngine(Engine):
         self._now = until
         telemetry = self.telemetry
         if telemetry.enabled:
+            if profiler is not None:
+                profiler.end(handle, events=self._executed - executed_before)
             telemetry.on_engine_run(until, self._executed - executed_before)
 
     def run(self, max_events: int | None = None) -> int:
@@ -414,6 +419,8 @@ class VectorizedEngine(Engine):
         executed = 0
         self._running = True
         record = None if type(self.tracer) is NullTracer else self.tracer.record
+        profiler = self.telemetry.profiler if self.telemetry.enabled else None
+        handle = profiler.begin("engine.vector") if profiler is not None else 0
         try:
             while max_events is None or executed < max_events:
                 event = self._pop_next()
@@ -429,6 +436,8 @@ class VectorizedEngine(Engine):
             self._running = False
         telemetry = self.telemetry
         if telemetry.enabled:
+            if profiler is not None:
+                profiler.end(handle, events=executed)
             telemetry.on_engine_run(self._now, executed)
         return executed
 

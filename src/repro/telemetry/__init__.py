@@ -12,6 +12,17 @@ The package has four pieces:
 * :mod:`repro.telemetry.chrome` — Chrome trace-event (Perfetto) export
   and the ``repro trace`` summary tables.
 
+On top of those, the consumption layer:
+
+* :mod:`repro.telemetry.slo` — declarative SLO rules evaluated in
+  sim-time with multi-window burn-rate alerting.
+* :mod:`repro.telemetry.profile` — a deterministic run profiler
+  attributing wall-time and event counts to instrumented regions.
+* :mod:`repro.telemetry.rollup` — order-independent campaign rollups
+  that merge byte-identically across shards.
+* :mod:`repro.telemetry.report` — the self-contained HTML health
+  report behind ``repro report --health``.
+
 :class:`TelemetryHub` (in :mod:`repro.telemetry.hub`) ties them together
 behind the cheap ``enabled`` guard instrumented components check; the
 :data:`NULL_TELEMETRY` singleton is the disabled default.
@@ -38,16 +49,30 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     TimeWeightedGauge,
 )
+from repro.telemetry.profile import RegionStat, RunProfiler
+from repro.telemetry.report import render_report, sparkline, write_report
+from repro.telemetry.rollup import CampaignRollup, merge_rollups
 from repro.telemetry.sinks import (
     JsonlTraceSink,
     MemorySink,
     TraceSink,
     read_jsonl,
 )
+from repro.telemetry.slo import (
+    DEFAULT_SLO_RULES,
+    SloAlert,
+    SloEngine,
+    SloReport,
+    SloRule,
+    SloVerdict,
+    load_slo_rules,
+)
 from repro.telemetry.spans import DecisionSpan, ForecastEval, SpanRecorder
 
 __all__ = [
+    "CampaignRollup",
     "DEFAULT_BUCKETS",
+    "DEFAULT_SLO_RULES",
     "Counter",
     "DecisionSpan",
     "ForecastEval",
@@ -58,15 +83,27 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "RegionStat",
+    "RunProfiler",
+    "SloAlert",
+    "SloEngine",
+    "SloReport",
+    "SloRule",
+    "SloVerdict",
     "SpanRecorder",
     "TelemetryHub",
     "TimeWeightedGauge",
     "TraceSink",
     "forecast_stats",
+    "load_slo_rules",
+    "merge_rollups",
     "processor_utilization",
     "read_jsonl",
+    "render_report",
     "replica_counts",
+    "sparkline",
     "summarize_trace",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_report",
 ]

@@ -17,11 +17,15 @@ modules in the layering contract and must stay importable from
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.sinks import TraceSink
 from repro.telemetry.spans import DecisionSpan, ForecastEval, SpanRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.profile import RunProfiler
+    from repro.telemetry.slo import SloEngine, SloRule
 
 #: Buckets for signed forecast errors (seconds; negative = optimistic).
 FORECAST_ERROR_BUCKETS: tuple[float, ...] = (
@@ -54,6 +58,13 @@ class TelemetryHub:
         #: Largest simulation time any instrumentation call has seen —
         #: the default snapshot/export timestamp.
         self.now = 0.0
+        #: Optional consumers armed per run (see :meth:`arm_slo` /
+        #: :meth:`arm_profiler`); instrumentation treats ``None`` as off.
+        self.slo: SloEngine | None = None
+        self.profiler: RunProfiler | None = None
+        # Pre-resolved profiler handle for the per-message hot path
+        # (set by arm_profiler; None keeps the path free when unarmed).
+        self._msg_stat: Any | None = None
 
     # -- plumbing -----------------------------------------------------------
 
@@ -73,6 +84,28 @@ class TelemetryHub:
     def _tick(self, now: float) -> None:
         if now > self.now:
             self.now = now
+
+    # -- optional consumers --------------------------------------------------
+
+    def arm_slo(self, rules: "Iterable[SloRule] | None" = None) -> "SloEngine":
+        """Attach an SLO engine fed by this hub's event stream.
+
+        The engine shares the hub's registry (``slo.*`` gauges) and
+        sink (``slo.alert`` records); its burn-rate evaluation runs at
+        every :meth:`end_decision` — the RM cadence, in sim time.
+        """
+        from repro.telemetry.slo import SloEngine
+
+        self.slo = SloEngine(rules, registry=self.registry, emit=self.emit)
+        return self.slo
+
+    def arm_profiler(self) -> "RunProfiler":
+        """Attach a :class:`~repro.telemetry.profile.RunProfiler`."""
+        from repro.telemetry.profile import RunProfiler
+
+        self.profiler = RunProfiler()
+        self._msg_stat = self.profiler.counter("net.message")
+        return self.profiler
 
     # -- run-level context ---------------------------------------------------
 
@@ -110,6 +143,10 @@ class TelemetryHub:
         self.registry.counter("net.bytes_delivered").inc(wire_bytes)
         self.registry.histogram("net.message_delay_seconds").observe(total_delay)
         self.registry.histogram("net.buffer_delay_seconds").observe(buffer_delay)
+        if self._msg_stat is not None:
+            self._msg_stat.events += 1
+        if self.slo is not None:
+            self.slo.on_message(now, dropped=False)
 
     def on_message_lost(self, now: float) -> None:
         """Account one lost transmission (retry pending)."""
@@ -120,6 +157,10 @@ class TelemetryHub:
         """Account one message abandoned after exhausting its retries."""
         self._tick(now)
         self.registry.counter("net.messages_dropped").inc()
+        if self._msg_stat is not None:
+            self._msg_stat.events += 1
+        if self.slo is not None:
+            self.slo.on_message(now, dropped=True)
 
     # -- runtime ------------------------------------------------------------
 
@@ -133,6 +174,8 @@ class TelemetryHub:
         self.registry.counter("task.periods_completed").inc()
         if record.missed:
             self.registry.counter("task.periods_missed").inc()
+        if self.slo is not None:
+            self.slo.on_period(now, missed=bool(record.missed))
         latency = record.latency
         if latency is not None:
             self.registry.histogram("task.period_latency_seconds").observe(
@@ -152,6 +195,8 @@ class TelemetryHub:
         self._tick(now)
         self.registry.counter("task.periods_aborted").inc()
         self.registry.counter("task.periods_missed").inc()
+        if self.slo is not None:
+            self.slo.on_period(now, missed=True)
 
     def _record_realization(
         self, now: float, period_index: int, forecast: ForecastEval
@@ -159,6 +204,10 @@ class TelemetryHub:
         error = forecast.error_s
         if error is None:  # pragma: no cover - realize() always sets it
             return
+        if self.slo is not None:
+            realized = forecast.realized_s
+            if realized:
+                self.slo.on_forecast_realized(now, abs(error) / realized)
         self.registry.histogram(
             "rm.forecast_error_seconds", buckets=FORECAST_ERROR_BUCKETS
         ).observe(error)
@@ -313,6 +362,8 @@ class TelemetryHub:
         closed = self.spans.end(now)
         if closed is not None:
             self.emit(closed.as_record())
+        if self.slo is not None:
+            self.slo.evaluate(now)
         return closed
 
 

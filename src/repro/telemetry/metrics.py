@@ -334,9 +334,16 @@ class MetricsRegistry:
                         f"{base}_bucket{_prom_labels(metric.labels, le=_num(bound))}"
                         f" {cumulative}"
                     )
+                inf_count = cumulative + metric.counts[-1]
+                if inf_count != metric.count:
+                    raise TelemetryError(
+                        f"histogram {metric.name!r} is inconsistent: "
+                        f"buckets sum to {inf_count} but count is "
+                        f"{metric.count}"
+                    )
                 lines.append(
                     f"{base}_bucket{_prom_labels(metric.labels, le='+Inf')}"
-                    f" {metric.count}"
+                    f" {inf_count}"
                 )
                 lines.append(f"{base}_sum{labels} {_num(metric.sum)}")
                 lines.append(f"{base}_count{labels} {metric.count}")
@@ -347,8 +354,19 @@ def _sanitize(name: str) -> str:
     return name.replace(".", "_").replace("-", "_")
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash, double-quote, and newline must be escaped inside quoted
+    label values; anything else passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Labels, le: str | None = None) -> str:
-    pairs = [f'{_sanitize(k)}="{v}"' for k, v in labels]
+    pairs = [f'{_sanitize(k)}="{_escape_label_value(v)}"' for k, v in labels]
     if le is not None:
         pairs.append(f'le="{le}"')
     if not pairs:

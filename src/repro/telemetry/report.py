@@ -1,0 +1,315 @@
+"""Self-contained, deterministic HTML health report (``repro report``).
+
+:func:`render_report` turns one run's observability payloads — metrics
+snapshot, :class:`~repro.telemetry.slo.SloReport`, profiler summary,
+calibration report, resilience scorecard, and optionally a campaign
+rollup — into a single HTML file with zero external resources: styles
+are inlined, burn-rate sparklines are inline SVG polylines, and there
+are **no timestamps, hostnames, or random ids** anywhere in the
+output.  For a fixed seed the bytes are reproducible, which is pinned
+by a digest test and is what makes the report diffable in CI
+artifacts.
+
+Float formatting is ``%.6g`` throughout; every iteration is over
+sorted keys.  Wall-clock numbers (profiler seconds) are only included
+when the caller passes them explicitly via a non-deterministic
+profiler summary — the default report shows calls/event counts only.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 60rem; color: #1c2733; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #d7dee6; padding-bottom: .4rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; font-size: .9rem; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #e4e9ee; }
+th { background: #f2f5f8; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+.pass { color: #1a7f37; font-weight: 600; }
+.fail { color: #b42318; font-weight: 600; }
+.muted { color: #6b7a89; }
+svg.spark { vertical-align: middle; }
+code { background: #f2f5f8; padding: .1rem .3rem; border-radius: 3px; }
+""".strip()
+
+
+def _fmt(value: Any) -> str:
+    """Render one cell: ``%.6g`` for floats, str otherwise."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+class _Html(str):
+    """A string that is already HTML and must not be escaped again.
+
+    Only fragments built by this module (badges, sparklines) are wrapped;
+    plain strings from run payloads always go through :func:`_esc`.
+    """
+
+
+def _esc(value: Any) -> str:
+    return html.escape(_fmt(value), quote=True)
+
+
+def _table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    numeric: Sequence[int] = (),
+) -> str:
+    """An HTML table; columns in ``numeric`` get right alignment."""
+    out = ["<table><thead><tr>"]
+    out.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    out.append("</tr></thead><tbody>")
+    for row in rows:
+        out.append("<tr>")
+        for i, cell in enumerate(row):
+            cls = ' class="num"' if i in numeric else ""
+            if isinstance(cell, _Html):
+                out.append(f"<td{cls}>{cell}</td>")  # pre-rendered fragment
+            else:
+                out.append(f"<td{cls}>{_esc(cell)}</td>")
+        out.append("</tr>")
+    out.append("</tbody></table>")
+    return "".join(out)
+
+
+def _verdict_badge(passed: bool) -> _Html:
+    if passed:
+        return _Html('<span class="pass">PASS</span>')
+    return _Html('<span class="fail">FAIL</span>')
+
+
+def sparkline(
+    points: Sequence[Sequence[float]],
+    threshold: float | None = None,
+    width: int = 140,
+    height: int = 28,
+) -> str:
+    """Inline SVG polyline of ``(t, value)`` points.
+
+    The y-axis spans 0..max(value, threshold); the threshold, when
+    given, is drawn as a dashed reference line.  Coordinates are
+    rounded to 2 decimals so the markup is deterministic.
+    """
+    if not points:
+        return _Html('<span class="muted">no data</span>')
+    ts = [float(p[0]) for p in points]
+    vs = [float(p[1]) for p in points]
+    t_lo, t_hi = min(ts), max(ts)
+    v_hi = max(max(vs), threshold or 0.0, 1e-12)
+    t_span = (t_hi - t_lo) or 1.0
+
+    def x(t: float) -> float:
+        return round((t - t_lo) / t_span * (width - 2) + 1, 2)
+
+    def y(v: float) -> float:
+        return round(height - 1 - (v / v_hi) * (height - 2), 2)
+
+    path = " ".join(f"{x(t)},{y(v)}" for t, v in zip(ts, vs))
+    parts = [
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+    ]
+    if threshold is not None:
+        ty = y(threshold)
+        parts.append(
+            f'<line x1="1" y1="{ty}" x2="{width - 1}" y2="{ty}" '
+            'stroke="#b42318" stroke-width="1" stroke-dasharray="3,2"/>'
+        )
+    parts.append(
+        f'<polyline points="{path}" fill="none" stroke="#31708f" '
+        'stroke-width="1.2"/>'
+    )
+    parts.append("</svg>")
+    return _Html("".join(parts))
+
+
+def _section_meta(meta: Mapping[str, Any]) -> str:
+    rows = [[key, meta[key]] for key in sorted(meta)]
+    return "<h2>Run</h2>" + _table(["parameter", "value"], rows)
+
+
+def _section_metrics(metrics: Mapping[str, Any]) -> str:
+    rows = [[key, metrics[key]] for key in sorted(metrics)]
+    return "<h2>Metrics</h2>" + _table(
+        ["metric", "value"], rows, numeric=(1,)
+    )
+
+
+def _section_slo(slo: Mapping[str, Any]) -> str:
+    verdicts = slo.get("verdicts", [])
+    rows = []
+    for v in verdicts:
+        rows.append(
+            [
+                v["name"],
+                v["signal"],
+                v["objective"],
+                v["observed"],
+                v["n_events"],
+                v["alerts_fired"],
+                sparkline(v.get("burn_history", []), threshold=2.0),
+                _verdict_badge(bool(v["passed"])),
+            ]
+        )
+    parts = [
+        "<h2>SLOs "
+        + _verdict_badge(bool(slo.get("passed")))
+        + "</h2>",
+        _table(
+            ["slo", "signal", "objective", "observed", "events",
+             "alerts", "burn rate", "verdict"],
+            rows,
+            numeric=(2, 3, 4, 5),
+        ),
+    ]
+    alerts = slo.get("alerts", [])
+    if alerts:
+        alert_rows = [
+            [a["t"], a["rule"], a["state"], a["burn_short"], a["burn_long"]]
+            for a in alerts
+        ]
+        parts.append("<h3>Alert transitions</h3>")
+        parts.append(
+            _table(
+                ["sim time", "slo", "state", "burn (short)", "burn (long)"],
+                alert_rows,
+                numeric=(0, 3, 4),
+            )
+        )
+    return "".join(parts)
+
+
+def _section_profile(profile: Mapping[str, Any]) -> str:
+    regions = profile.get("regions", [])
+    deterministic = bool(profile.get("deterministic", True))
+    headers = ["region", "calls", "events"]
+    numeric = [1, 2]
+    if not deterministic:
+        headers += ["wall s", "self s"]
+        numeric += [3, 4]
+    rows = []
+    for region in regions:
+        row: list[Any] = [region["name"], region["calls"], region["events"]]
+        if not deterministic:
+            row += [region.get("wall_s"), region.get("self_wall_s")]
+        rows.append(row)
+    note = (
+        '<p class="muted">Deterministic view: call and event counts only. '
+        "Pass <code>--wall</code> to include host wall-clock times "
+        "(non-reproducible).</p>"
+        if deterministic
+        else ""
+    )
+    return "<h2>Profile</h2>" + note + _table(headers, rows, numeric=tuple(numeric))
+
+
+def _section_calibration(calibration: Mapping[str, Any]) -> str:
+    rows = [[key, calibration[key]] for key in sorted(calibration)]
+    return "<h2>Forecast calibration</h2>" + _table(
+        ["statistic", "value"], rows, numeric=(1,)
+    )
+
+
+def _section_scorecard(scorecard: Mapping[str, Any]) -> str:
+    rows = [[key, scorecard[key]] for key in sorted(scorecard)]
+    return "<h2>Resilience scorecard</h2>" + _table(
+        ["statistic", "value"], rows, numeric=(1,)
+    )
+
+
+def _section_rollup(rollup: Mapping[str, Any]) -> str:
+    runs = rollup.get("runs", {})
+    agg = rollup.get("aggregate", {})
+    rows = []
+    for tag in sorted(runs):
+        run = runs[tag]
+        metrics = run.get("metrics") or {}
+        slo = run.get("slo")
+        rows.append(
+            [
+                tag,
+                metrics.get("missed", metrics.get("missed_deadline_ratio")),
+                metrics.get("combined"),
+                "-" if slo is None else _verdict_badge(bool(slo.get("passed"))),
+                "-" if slo is None else len(slo.get("alerts", [])),
+            ]
+        )
+    slo_agg = agg.get("slo", {})
+    summary = (
+        f'<p>{agg.get("n_runs", len(runs))} run(s): '
+        f'<span class="pass">{slo_agg.get("passed", 0)} SLO pass</span>, '
+        f'<span class="fail">{slo_agg.get("failed", 0)} fail</span>, '
+        f'{slo_agg.get("absent", 0)} without SLOs.</p>'
+    )
+    return (
+        "<h2>Campaign rollup</h2>"
+        + summary
+        + _table(
+            ["cell", "miss ratio", "combined", "slo", "alerts"],
+            rows,
+            numeric=(1, 2, 4),
+        )
+    )
+
+
+def render_report(
+    *,
+    meta: Mapping[str, Any] | None = None,
+    metrics: Mapping[str, Any] | None = None,
+    slo: Mapping[str, Any] | None = None,
+    profile: Mapping[str, Any] | None = None,
+    calibration: Mapping[str, Any] | None = None,
+    scorecard: Mapping[str, Any] | None = None,
+    rollup: Mapping[str, Any] | None = None,
+    title: str = "repro health report",
+) -> str:
+    """Render the payloads into one self-contained HTML document.
+
+    Every argument is the ``as_dict()`` / ``to_dict()`` form of the
+    corresponding object; ``None`` sections are omitted.  Output is a
+    pure function of the inputs — no timestamps, no randomness.
+    """
+    body: list[str] = [f"<h1>{_esc(title)}</h1>"]
+    if slo is not None:
+        overall = _verdict_badge(bool(slo.get("passed")))
+        body.append(f"<p>Overall SLO verdict: {overall}</p>")
+    if meta:
+        body.append(_section_meta(meta))
+    if metrics:
+        body.append(_section_metrics(metrics))
+    if slo is not None:
+        body.append(_section_slo(slo))
+    if profile is not None:
+        body.append(_section_profile(profile))
+    if calibration:
+        body.append(_section_calibration(calibration))
+    if scorecard:
+        body.append(_section_scorecard(scorecard))
+    if rollup is not None:
+        body.append(_section_rollup(rollup))
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_CSS}</style>\n"
+        "</head><body>\n" + "\n".join(body) + "\n</body></html>\n"
+    )
+
+
+def write_report(path: str | Path, **kwargs: Any) -> Path:
+    """Render and write the report to ``path``; returns the path."""
+    path = Path(path)
+    path.write_text(render_report(**kwargs), encoding="utf-8")
+    return path

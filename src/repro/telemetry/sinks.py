@@ -93,12 +93,29 @@ class JsonlTraceSink(TraceSink):
             self._fh.flush()
             self._unflushed = 0
 
-    def close(self) -> None:
-        """Flush and close the file; later writes are dropped."""
+    def flush(self) -> None:
+        """Force buffered records to disk without closing the sink."""
         if self._fh is not None:
             self._fh.flush()
-            self._fh.close()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        """Flush and close the file; later writes are dropped.
+
+        Exception-safe: the file handle is released even if the final
+        flush fails, and a second ``close`` is a no-op.  Combined with
+        the context-manager protocol on :class:`TraceSink` this means a
+        run that dies mid-flight still lands every record written
+        before the crash — ``__exit__`` runs on the way out of the
+        ``with`` block regardless of the exception.
+        """
+        fh = self._fh
+        if fh is not None:
             self._fh = None
+            try:
+                fh.flush()
+            finally:
+                fh.close()
 
 
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:

@@ -132,6 +132,37 @@ class TestInstrumentationCallbacks:
         assert hub.registry.counter("task.periods_aborted").value == 1
         assert hub.registry.counter("task.periods_missed").value == 1
 
+    def test_on_period_abort_advances_now(self):
+        hub = TelemetryHub()
+        hub.on_period_abort(7.5, _period(0, []))
+        assert hub.now == 7.5
+
+    def test_on_message_dropped(self):
+        hub = TelemetryHub()
+        hub.on_message_dropped(2.0)
+        hub.on_message_dropped(3.0)
+        assert hub.registry.counter("net.messages_dropped").value == 2
+        assert hub.now == 3.0
+
+    def test_on_cluster_utilization(self):
+        hub = TelemetryHub()
+        hub.on_cluster_utilization(1.0, 0.4, "p2")
+        hub.on_cluster_utilization(2.0, 0.3, "p2")
+        hub.on_cluster_utilization(3.0, 0.5, "p0")
+        assert hub.registry.gauge("cluster.min_utilization").value == 0.5
+        assert (
+            hub.registry.counter(
+                "cluster.min_utilization_samples", {"processor": "p2"}
+            ).value
+            == 2
+        )
+        assert (
+            hub.registry.counter(
+                "cluster.min_utilization_samples", {"processor": "p0"}
+            ).value
+            == 1
+        )
+
 
 class TestDecisionCycle:
     def test_full_cycle_builds_span(self):
@@ -235,6 +266,79 @@ class TestForecastRealization:
         assert len(hub.spans.pending) == 1  # still awaiting a real latency
 
 
+class TestArmedConsumers:
+    def test_arm_slo_feeds_periods_messages_and_aborts(self):
+        hub = TelemetryHub()
+        engine = hub.arm_slo()
+        assert hub.slo is engine
+        hub.on_period_complete(1.0, _period(0, [], missed=False))
+        hub.on_period_complete(2.0, _period(1, [], missed=True))
+        hub.on_period_abort(3.0, _period(2, []))
+        hub.on_message_delivered(3.0, 64.0, 0.0, 0.01)
+        hub.on_message_dropped(3.5)
+        report = engine.report()
+        by_name = {v.rule.name: v for v in report.verdicts}
+        # 3 periods, 2 bad (the miss and the abort).
+        assert by_name["deadline-miss-rate"].n_events == 3
+        assert by_name["deadline-miss-rate"].observed == pytest.approx(2 / 3)
+        # 2 messages, 1 dropped.
+        assert by_name["message-loss"].observed == pytest.approx(0.5)
+
+    def test_arm_slo_realizes_forecast_calibration(self):
+        hub = TelemetryHub()
+        engine = hub.arm_slo()
+        hub.begin_decision(1.0)
+        hub.on_forecast(1.0, 0, 2, forecast_s=0.8, threshold_s=0.9,
+                        accepted=True)
+        hub.end_decision(1.1, _event(placement={0: ["p0", "p1"]},
+                                     total_replicas=2))
+        # Realized 0.4 vs forecast 0.8: APE 1.0 > the 0.5 tolerance.
+        hub.on_period_complete(2.0, _period(3, [_stage(0, 2, 0.4)]))
+        by_name = {v.rule.name: v for v in engine.report().verdicts}
+        assert by_name["forecast-calibration"].n_events == 1
+        assert by_name["forecast-calibration"].observed == 1.0
+
+    def test_end_decision_runs_an_evaluation(self):
+        hub = TelemetryHub()
+        hub.arm_slo()
+        hub.begin_decision(1.0)
+        hub.on_period_complete(1.0, _period(0, [], missed=True))
+        hub.end_decision(1.1, _event(placement={}, total_replicas=0))
+        assert (
+            hub.registry.gauge(
+                "slo.observed", {"slo": "deadline-miss-rate"}
+            ).value
+            == 1.0
+        )
+
+    def test_alert_records_reach_the_sink(self):
+        sink = MemorySink()
+        hub = TelemetryHub(sink=sink)
+        hub.arm_slo()
+        for i in range(4):
+            hub.begin_decision(float(i))
+            hub.on_period_complete(float(i), _period(i, [], missed=True))
+            hub.end_decision(float(i) + 0.1, _event(placement={},
+                                                    total_replicas=0))
+        alerts = [r for r in sink.records if r["kind"] == "slo.alert"]
+        assert alerts and alerts[0]["state"] == "firing"
+
+    def test_arm_profiler_counts_messages(self):
+        hub = TelemetryHub()
+        profiler = hub.arm_profiler()
+        assert hub.profiler is profiler
+        hub.on_message_delivered(1.0, 64.0, 0.0, 0.01)
+        hub.on_message_dropped(2.0)
+        [stat] = profiler.stats()
+        assert stat.name == "net.message"
+        assert stat.events == 2
+
+    def test_unarmed_hub_has_no_consumers(self):
+        hub = TelemetryHub()
+        assert hub.slo is None
+        assert hub.profiler is None
+
+
 class TestNullTelemetry:
     def test_all_callbacks_are_noops(self):
         null = NullTelemetry()
@@ -243,7 +347,10 @@ class TestNullTelemetry:
         null.on_job_complete(1.0, "p0", "exec", 0.1, 0.2)
         null.on_message_delivered(1.0, 10.0, 0.0, 0.0)
         null.on_message_lost(1.0)
+        null.on_message_dropped(1.0)
+        null.on_cluster_utilization(1.0, 0.5, "p0")
         null.on_period_complete(1.0, _period(0, []))
         null.on_period_abort(1.0, _period(0, []))
         assert len(null.registry) == 0
         assert null.now == 0.0
+        assert null.slo is None and null.profiler is None

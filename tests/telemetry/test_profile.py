@@ -1,0 +1,137 @@
+"""Unit tests for the deterministic run profiler."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.profile import PROFILE_PID, RegionStat, RunProfiler
+
+
+class TestRegions:
+    def test_begin_end_accumulates(self):
+        profiler = RunProfiler()
+        handle = profiler.begin("engine.run")
+        wall = profiler.end(handle, events=42)
+        [stat] = profiler.stats()
+        assert stat.name == "engine.run"
+        assert stat.calls == 1
+        assert stat.events == 42
+        assert stat.wall_s >= 0.0
+        assert wall == stat.wall_s
+
+    def test_nested_regions_attribute_self_time(self):
+        profiler = RunProfiler()
+        outer = profiler.begin("rm.step")
+        inner = profiler.begin("rm.forecast")
+        profiler.end(inner, events=3)
+        profiler.end(outer, events=1)
+        stats = {s.name: s for s in profiler.stats()}
+        outer_stat = stats["rm.step"]
+        inner_stat = stats["rm.forecast"]
+        # The outer region's self time excludes the enclosed child.
+        assert outer_stat.self_wall_s <= outer_stat.wall_s
+        assert outer_stat.wall_s >= inner_stat.wall_s
+        assert inner_stat.self_wall_s == inner_stat.wall_s
+
+    def test_stale_handle_is_harmless(self):
+        profiler = RunProfiler()
+        assert profiler.end(7) == 0.0
+        assert profiler.stats() == ()
+
+    def test_exception_abandoned_frames_are_discarded(self):
+        # A region that dies between begin and end (e.g. an unhardened
+        # RM step crashing on faulty input) must not corrupt the stack:
+        # ending the outer handle discards the abandoned inner frame.
+        profiler = RunProfiler()
+        outer = profiler.begin("rm.step")
+        profiler.begin("rm.forecast")  # never ended - "crashed"
+        profiler.end(outer, events=1)
+        stats = {s.name: s for s in profiler.stats()}
+        assert "rm.forecast" not in stats
+        assert stats["rm.step"].calls == 1
+        assert profiler._stack == []
+
+    def test_count_adds_events_without_calls(self):
+        profiler = RunProfiler()
+        profiler.count("net.message")
+        profiler.count("net.message", events=4)
+        [stat] = profiler.stats()
+        assert stat.calls == 0
+        assert stat.events == 5
+        assert stat.wall_s == 0.0
+
+    def test_stats_sorted_by_name(self):
+        profiler = RunProfiler()
+        for name in ("zeta", "alpha", "mid"):
+            profiler.count(name)
+        assert [s.name for s in profiler.stats()] == ["alpha", "mid", "zeta"]
+
+
+class TestSummary:
+    def test_deterministic_summary_has_no_wall_keys(self):
+        profiler = RunProfiler()
+        handle = profiler.begin("engine.run")
+        profiler.end(handle, events=10)
+        summary = profiler.summary(deterministic=True)
+        assert summary["deterministic"] is True
+        [region] = summary["regions"]
+        assert set(region) == {"name", "calls", "events"}
+
+    def test_wall_summary_includes_times(self):
+        profiler = RunProfiler()
+        handle = profiler.begin("engine.run")
+        profiler.end(handle)
+        [region] = profiler.summary()["regions"]
+        assert "wall_s" in region and "self_wall_s" in region
+
+    def test_deterministic_summaries_compare_equal_across_runs(self):
+        def run():
+            profiler = RunProfiler()
+            for _ in range(3):
+                handle = profiler.begin("engine.run")
+                profiler.end(handle, events=7)
+            profiler.count("net.message", 2)
+            return json.dumps(profiler.summary(deterministic=True),
+                              sort_keys=True)
+
+        assert run() == run()
+
+    def test_render_is_a_table(self):
+        profiler = RunProfiler()
+        handle = profiler.begin("engine.run")
+        profiler.end(handle, events=5)
+        text = profiler.render()
+        assert "engine.run" in text and "self %" in text
+
+    def test_region_stat_as_dict_modes(self):
+        stat = RegionStat("x", calls=2, events=9, wall_s=0.5, self_wall_s=0.4)
+        assert stat.as_dict(deterministic=True) == {
+            "name": "x", "calls": 2, "events": 9,
+        }
+        assert stat.as_dict()["wall_s"] == 0.5
+
+
+class TestChromeExport:
+    def test_flame_track_shape(self):
+        profiler = RunProfiler()
+        outer = profiler.begin("rm.step")
+        inner = profiler.begin("rm.forecast")
+        profiler.end(inner)
+        profiler.end(outer)
+        trace = profiler.to_chrome_trace()
+        metas = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert {m["name"] for m in metas} == {"process_name", "thread_name"}
+        assert len(slices) == 2
+        assert all(e["pid"] == PROFILE_PID for e in slices)
+        assert all(e["dur"] >= 0.0 for e in slices)
+        # Inner slice ends first, so it is recorded first.
+        assert [e["name"] for e in slices] == ["rm.forecast", "rm.step"]
+
+    def test_write_chrome_trace(self, tmp_path):
+        profiler = RunProfiler()
+        handle = profiler.begin("engine.run")
+        profiler.end(handle)
+        target = profiler.write_chrome_trace(tmp_path / "flame.json")
+        data = json.loads(target.read_text())
+        assert data["displayTimeUnit"] == "ms"

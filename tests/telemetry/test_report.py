@@ -1,0 +1,138 @@
+"""Unit tests for the deterministic HTML health report."""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.telemetry.report import render_report, sparkline, write_report
+
+
+def _payload():
+    return dict(
+        meta={"policy": "predictive", "seed": 42},
+        metrics={"missed": 0.0, "combined": 1.25},
+        slo={
+            "passed": True,
+            "verdicts": [
+                {
+                    "name": "miss", "signal": "deadline_miss_rate",
+                    "objective": 0.02, "observed": 0.0, "n_events": 60,
+                    "passed": True, "alerts_fired": 0, "worst_burn": 0.0,
+                    "burn_history": [[1.0, 0.0], [2.0, 0.5]],
+                }
+            ],
+            "alerts": [],
+        },
+        profile={
+            "deterministic": True,
+            "regions": [{"name": "engine.run", "calls": 1, "events": 100}],
+        },
+        calibration={"n": 9, "mape": 0.11},
+    )
+
+
+class TestDeterminism:
+    def test_same_payload_same_bytes(self):
+        # The digest gate: rebuilding the payload fresh both times must
+        # produce byte-identical HTML (no timestamps, no ids).
+        digests = {
+            hashlib.sha256(render_report(**_payload()).encode()).hexdigest()
+            for _ in range(2)
+        }
+        assert len(digests) == 1
+
+    def test_floats_use_6g(self):
+        html = render_report(metrics={"x": 0.123456789})
+        assert "0.123457" in html
+        assert "0.123456789" not in html
+
+
+class TestSections:
+    def test_sections_render_only_when_given(self):
+        html = render_report(**_payload())
+        for heading in ("Run", "Metrics", "SLOs", "Profile",
+                        "Forecast calibration"):
+            assert f"<h2>{heading}" in html
+        assert "Resilience scorecard" not in html
+        assert "Campaign rollup" not in html
+        bare = render_report(metrics={"x": 1.0})
+        assert "<h2>SLOs" not in bare
+
+    def test_overall_verdict_banner(self):
+        html = render_report(slo={"passed": False, "verdicts": [],
+                                  "alerts": []})
+        assert "Overall SLO verdict" in html
+        assert 'class="fail">FAIL' in html
+
+    def test_alert_transitions_table(self):
+        payload = _payload()
+        payload["slo"]["alerts"] = [
+            {"t": 4.0, "rule": "miss", "state": "firing",
+             "burn_short": 4.0, "burn_long": 4.0}
+        ]
+        html = render_report(**payload)
+        assert "Alert transitions" in html
+        assert "firing" in html
+
+    def test_profile_wall_columns_follow_determinism_flag(self):
+        det = render_report(profile={"deterministic": True, "regions": []})
+        assert "wall s" not in det
+        wall = render_report(
+            profile={
+                "deterministic": False,
+                "regions": [{"name": "r", "calls": 1, "events": 2,
+                             "wall_s": 0.5, "self_wall_s": 0.4}],
+            }
+        )
+        assert "wall s" in wall and "0.5" in wall
+
+    def test_rollup_section(self):
+        html = render_report(
+            rollup={
+                "aggregate": {"n_runs": 2,
+                              "slo": {"passed": 1, "failed": 1, "absent": 0}},
+                "runs": {
+                    "a/u10": {"metrics": {"missed": 0.0},
+                              "slo": {"passed": True, "alerts": []}},
+                    "a/u20": {"metrics": {"missed": 0.2},
+                              "slo": {"passed": False, "alerts": [1, 2]}},
+                },
+            }
+        )
+        assert "Campaign rollup" in html
+        assert "a/u20" in html
+        assert "1 SLO pass" in html
+
+    def test_meta_values_are_escaped(self):
+        html = render_report(meta={"note": "<script>alert(1)</script>"})
+        assert "<script>" not in html
+        assert "&lt;script&gt;" in html
+
+    def test_self_contained_single_document(self):
+        html = render_report(**_payload())
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</body></html>\n")
+        assert "http" not in html  # no external resources
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert "no data" in sparkline([])
+
+    def test_polyline_and_threshold(self):
+        svg = sparkline([[0.0, 0.0], [1.0, 2.0], [2.0, 1.0]], threshold=2.0)
+        assert svg.startswith('<svg class="spark"')
+        assert "<polyline" in svg
+        assert "stroke-dasharray" in svg
+        assert sparkline([[0.0, 1.0]], threshold=None).count("line") == 1
+
+    def test_coordinates_are_rounded(self):
+        svg = sparkline([[0.0, 1.0 / 3.0], [1.0, 2.0 / 3.0]])
+        # Two-decimal rounding keeps the markup short and deterministic.
+        assert "3333" not in svg
+
+
+class TestWriteReport:
+    def test_writes_the_rendered_bytes(self, tmp_path):
+        target = write_report(tmp_path / "health.html", **_payload())
+        assert target.read_text(encoding="utf-8") == render_report(**_payload())

@@ -1,0 +1,117 @@
+"""Unit tests for the order-independent campaign rollup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.rollup import CampaignRollup, merge_rollups
+
+
+def _payloads():
+    return {
+        "a/u10": dict(metrics={"missed": 0.0, "combined": 1.2},
+                      slo={"passed": True, "alerts": []},
+                      decision_digest="aaa"),
+        "a/u20": dict(metrics={"missed": 0.1, "combined": 0.9},
+                      slo={"passed": False, "alerts": [{"t": 1.0}]},
+                      decision_digest="bbb"),
+        "b/u10": dict(metrics={"missed": 0.05, "combined": 1.0},
+                      slo=None, decision_digest="ccc"),
+    }
+
+
+def _build(order):
+    rollup = CampaignRollup()
+    payloads = _payloads()
+    for tag in order:
+        rollup.add_run(tag, **payloads[tag])
+    return rollup
+
+
+class TestOrderIndependence:
+    def test_insertion_order_does_not_change_bytes(self):
+        a = _build(["a/u10", "a/u20", "b/u10"])
+        b = _build(["b/u10", "a/u10", "a/u20"])
+        assert a.to_json() == b.to_json()
+
+    def test_merge_order_does_not_change_bytes(self):
+        parts = [_build([tag]) for tag in _payloads()]
+        forward = merge_rollups(parts).to_json()
+        backward = merge_rollups(reversed(parts)).to_json()
+        assert forward == backward
+        assert forward == _build(list(_payloads())).to_json()
+
+    def test_identical_readd_is_a_noop(self):
+        rollup = _build(["a/u10"])
+        rollup.add_run("a/u10", **_payloads()["a/u10"])
+        assert len(rollup) == 1
+
+    def test_conflicting_readd_raises(self):
+        rollup = _build(["a/u10"])
+        with pytest.raises(TelemetryError, match="conflict"):
+            rollup.add_run("a/u10", metrics={"missed": 0.9})
+
+    def test_merge_conflict_raises(self):
+        a = _build(["a/u10"])
+        b = CampaignRollup()
+        b.add_run("a/u10", metrics={"missed": 0.9})
+        with pytest.raises(TelemetryError, match="merge conflict"):
+            a.merge(b)
+
+    def test_merge_returns_self_and_unions(self):
+        a = _build(["a/u10"])
+        b = _build(["a/u20", "b/u10"])
+        assert a.merge(b) is a
+        assert a.tags == ("a/u10", "a/u20", "b/u10")
+
+
+class TestAggregates:
+    def test_slo_and_miss_aggregates(self):
+        agg = _build(list(_payloads())).to_dict()["aggregate"]
+        assert agg["n_runs"] == 3
+        assert agg["slo"] == {
+            "passed": 1, "failed": 1, "absent": 1, "alert_transitions": 1,
+        }
+        miss = agg["missed_deadline_ratio"]
+        assert miss["mean"] == pytest.approx(0.05)
+        assert miss["worst"] == pytest.approx(0.1)
+        assert miss["worst_tag"] == "a/u20"
+
+    def test_long_form_miss_key_also_accepted(self):
+        rollup = CampaignRollup()
+        rollup.add_run("x", metrics={"missed_deadline_ratio": 0.3})
+        agg = rollup.to_dict()["aggregate"]
+        assert agg["missed_deadline_ratio"]["worst"] == pytest.approx(0.3)
+
+    def test_empty_rollup(self):
+        agg = CampaignRollup().to_dict()["aggregate"]
+        assert agg["n_runs"] == 0
+        assert agg["missed_deadline_ratio"]["mean"] is None
+
+
+class TestSerialization:
+    def test_write_load_roundtrip(self, tmp_path):
+        rollup = _build(list(_payloads()))
+        path = rollup.write(tmp_path / "rollup.json")
+        loaded = CampaignRollup.load(path)
+        assert loaded.to_json() == rollup.to_json()
+
+    def test_document_without_runs_rejected(self):
+        with pytest.raises(TelemetryError, match="runs"):
+            CampaignRollup.from_dict({"kind": "campaign_rollup"})
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot load"):
+            CampaignRollup.load(tmp_path / "nope.json")
+
+    def test_get_returns_cell_payload(self):
+        rollup = _build(["a/u10"])
+        assert rollup.get("a/u10")["decision_digest"] == "aaa"
+        assert rollup.get("missing") is None
+
+    def test_render_lists_cells_and_verdicts(self):
+        text = _build(list(_payloads())).render()
+        assert "a/u20" in text
+        assert "FAIL" in text and "PASS" in text
+        assert "1 SLO pass / 1 fail" in text

@@ -85,6 +85,50 @@ class TestJsonlTraceSink:
         assert len(read_jsonl(path)) == 1
         assert sink.written == 1
 
+    def test_exception_inside_with_block_keeps_buffered_records(self, tmp_path):
+        # Regression: close() used to run only on the happy path, so a
+        # run crashing mid-flight lost up to flush_every buffered
+        # records.  __exit__ must flush-and-close on the way out of a
+        # raising block too.
+        path = tmp_path / "trace.jsonl"
+        with pytest.raises(RuntimeError, match="mid-run"):
+            with JsonlTraceSink(path, flush_every=1000) as sink:
+                for i in range(5):
+                    sink.write({"t": float(i), "kind": "trace", "i": i})
+                raise RuntimeError("mid-run crash")
+        assert sink._fh is None  # handle released despite the exception
+        records = read_jsonl(path)
+        assert [r["i"] for r in records] == [0, 1, 2, 3, 4]
+
+    def test_close_releases_handle_even_if_flush_fails(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path)
+        sink.write({"t": 1.0, "kind": "trace"})
+        fh = sink._fh
+
+        class Exploding:
+            def flush(self):
+                raise OSError("disk full")
+
+            def close(self):
+                fh.close()
+
+        sink._fh = Exploding()
+        with pytest.raises(OSError, match="disk full"):
+            sink.close()
+        assert sink._fh is None
+        assert fh.closed
+        sink.close()  # second close is still a no-op
+
+    def test_explicit_flush_forces_records_to_disk(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlTraceSink(path, flush_every=1000)
+        sink.write({"t": 1.0, "kind": "trace"})
+        sink.flush()
+        assert len(read_jsonl(path)) == 1
+        sink.close()
+        sink.flush()  # flushing a closed sink is a no-op
+
     def test_non_json_values_are_stringified(self, tmp_path):
         path = tmp_path / "trace.jsonl"
         with JsonlTraceSink(path) as sink:

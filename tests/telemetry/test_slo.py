@@ -1,0 +1,312 @@
+"""Unit tests for the SLO engine: rules, burn rates, alerts, verdicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.slo import (
+    DEFAULT_SLO_RULES,
+    SloEngine,
+    SloRule,
+    load_slo_rules,
+)
+
+
+def _rule(**overrides):
+    kwargs = dict(
+        name="miss",
+        signal="deadline_miss_rate",
+        objective=0.25,
+        windows=(5.0, 20.0),
+        burn_rate_threshold=2.0,
+    )
+    kwargs.update(overrides)
+    return SloRule(**kwargs)
+
+
+class TestSloRule:
+    def test_unknown_signal_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown signal"):
+            _rule(signal="cpu_temperature")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(TelemetryError, match="non-empty"):
+            _rule(name="")
+
+    def test_ratio_objective_must_be_a_fraction(self):
+        with pytest.raises(TelemetryError, match=r"\[0, 1\]"):
+            _rule(objective=1.5)
+
+    def test_value_objective_must_be_positive(self):
+        with pytest.raises(TelemetryError, match="positive"):
+            _rule(signal="placement_latency", objective=0.0)
+
+    def test_windows_must_be_ordered(self):
+        with pytest.raises(TelemetryError, match="short <= long"):
+            _rule(windows=(20.0, 5.0))
+
+    def test_burn_threshold_must_be_positive(self):
+        with pytest.raises(TelemetryError, match="burn_rate_threshold"):
+            _rule(burn_rate_threshold=0.0)
+
+    def test_error_budget_inverts_min_ratio(self):
+        avail = _rule(signal="availability", objective=0.98)
+        assert avail.kind == "min_ratio"
+        assert avail.error_budget == pytest.approx(0.02)
+        miss = _rule(objective=0.02)
+        assert miss.kind == "max_ratio"
+        assert miss.error_budget == pytest.approx(0.02)
+
+    def test_default_rules_are_deterministic_signals_only(self):
+        # placement_latency is wall-clock; keeping it out of the default
+        # set is what keeps `repro slo` output reproducible.
+        assert all(
+            rule.signal != "placement_latency" for rule in DEFAULT_SLO_RULES
+        )
+
+
+TOML = """
+[[slo.rules]]
+name = "miss"
+signal = "deadline_miss_rate"
+objective = 0.02
+windows = [5.0, 20.0]
+
+[[slo.rules]]
+name = "avail"
+signal = "availability"
+objective = 0.98
+"""
+
+
+class TestLoadSloRules:
+    def test_parses_toml_text(self):
+        rules = load_slo_rules(TOML)
+        assert [r.name for r in rules] == ["miss", "avail"]
+        assert rules[0].windows == (5.0, 20.0)
+
+    def test_parses_file(self, tmp_path):
+        path = tmp_path / "rules.toml"
+        path.write_text(TOML)
+        assert len(load_slo_rules(path)) == 2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TelemetryError, match="cannot read"):
+            load_slo_rules(tmp_path / "nope.toml")
+
+    def test_parses_mapping(self):
+        rules = load_slo_rules(
+            {"rules": [{"name": "m", "signal": "message_loss_rate",
+                        "objective": 0.05}]}
+        )
+        assert rules[0].signal == "message_loss_rate"
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(TelemetryError, match="unknown key"):
+            load_slo_rules(
+                {"rules": [{"name": "m", "signal": "availability",
+                            "objective": 0.9, "burn_threshold": 2.0}]}
+            )
+
+    def test_duplicate_names_rejected(self):
+        entry = {"name": "m", "signal": "availability", "objective": 0.9}
+        with pytest.raises(TelemetryError, match="duplicate"):
+            load_slo_rules({"rules": [entry, dict(entry)]})
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(TelemetryError, match="no .*rules"):
+            load_slo_rules({"slo": {}})
+
+    def test_malformed_toml_rejected(self):
+        with pytest.raises(TelemetryError, match="malformed"):
+            load_slo_rules("[[slo.rules\nname=")
+
+
+class TestEngineFeeds:
+    def test_period_feeds_miss_and_availability(self):
+        engine = SloEngine(
+            (
+                _rule(name="miss", objective=0.25),
+                _rule(name="avail", signal="availability", objective=0.5),
+            )
+        )
+        engine.on_period(1.0, missed=True)
+        engine.on_period(2.0, missed=False)
+        engine.on_period(3.0, missed=False)
+        engine.on_period(4.0, missed=False)
+        report = engine.report()
+        by_name = {v.rule.name: v for v in report.verdicts}
+        assert by_name["miss"].observed == pytest.approx(0.25)
+        assert by_name["miss"].passed
+        assert by_name["avail"].observed == pytest.approx(0.75)
+        assert by_name["avail"].passed
+
+    def test_no_events_is_vacuously_green(self):
+        engine = SloEngine(
+            (
+                _rule(name="miss", objective=0.0),
+                _rule(name="avail", signal="availability", objective=1.0),
+            )
+        )
+        engine.evaluate(10.0)
+        report = engine.report()
+        assert report.passed
+        assert all(v.n_events == 0 for v in report.verdicts)
+
+    def test_forecast_tolerance_decides_badness(self):
+        rule = _rule(
+            name="cal", signal="forecast_calibration_error",
+            objective=0.25, tolerance=0.5,
+        )
+        engine = SloEngine((rule,))
+        engine.on_forecast_realized(1.0, ape=0.4)  # within tolerance
+        engine.on_forecast_realized(2.0, ape=0.6)  # badly calibrated
+        [verdict] = engine.report().verdicts
+        assert verdict.observed == pytest.approx(0.5)
+        assert not verdict.passed
+
+    def test_message_loss_ratio(self):
+        engine = SloEngine((_rule(name="loss", signal="message_loss_rate",
+                                  objective=0.5),))
+        engine.on_message(1.0, dropped=False)
+        engine.on_message(1.0, dropped=True)
+        [verdict] = engine.report().verdicts
+        assert verdict.observed == pytest.approx(0.5)
+        assert verdict.passed
+
+    def test_decision_latency_uses_the_mean(self):
+        engine = SloEngine((_rule(name="lat", signal="placement_latency",
+                                  objective=0.010),))
+        engine.on_decision_latency(1.0, 0.004)
+        engine.on_decision_latency(2.0, 0.008)
+        [verdict] = engine.report().verdicts
+        assert verdict.observed == pytest.approx(0.006)
+        assert verdict.passed
+
+    def test_unrelated_signals_do_not_cross_feed(self):
+        engine = SloEngine((_rule(name="loss", signal="message_loss_rate",
+                                  objective=0.5),))
+        engine.on_period(1.0, missed=True)
+        [verdict] = engine.report().verdicts
+        assert verdict.n_events == 0
+
+
+class TestBurnRateAlerts:
+    def test_alert_fires_and_resolves(self):
+        emitted = []
+        registry = MetricsRegistry()
+        engine = SloEngine(
+            (_rule(objective=0.25),), registry=registry, emit=emitted.append
+        )
+        # Four straight misses: both windows burn at 1.0/0.25 = 4x.
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.on_period(t, missed=True)
+        engine.evaluate(4.0)
+        assert [a.state for a in engine.alerts] == ["firing"]
+        assert engine.alerts[0].burn_short == pytest.approx(4.0)
+        # A long clean stretch: the bad events age out of both windows.
+        for t in range(5, 31):
+            engine.on_period(float(t), missed=False)
+        engine.evaluate(30.0)
+        assert [a.state for a in engine.alerts] == ["firing", "resolved"]
+        assert [r["kind"] for r in emitted] == ["slo.alert", "slo.alert"]
+        assert (
+            registry.counter("slo.alert_transitions", {"slo": "miss"}).value
+            == 2
+        )
+        [verdict] = engine.report().verdicts
+        assert verdict.alerts_fired == 1
+
+    def test_short_window_blip_alone_does_not_fire(self):
+        engine = SloEngine((_rule(objective=0.25),))
+        # 16 good events fill the long window first...
+        for t in range(1, 17):
+            engine.on_period(float(t), missed=False)
+        # ...then a short burst of misses: short window burns hot, but
+        # the long window stays under threshold (4/20 = 0.2 < 0.5).
+        for t in (17.0, 17.2, 17.4, 17.6):
+            engine.on_period(t, missed=True)
+        engine.evaluate(17.6)
+        assert engine.alerts == []
+        [verdict] = engine.report().verdicts
+        assert verdict.worst_burn < 2.0
+
+    def test_evaluate_publishes_gauges(self):
+        registry = MetricsRegistry()
+        engine = SloEngine((_rule(objective=0.25),), registry=registry)
+        engine.on_period(1.0, missed=True)
+        engine.evaluate(1.0)
+        labels = {"slo": "miss"}
+        assert registry.gauge("slo.observed", labels).value == 1.0
+        assert registry.gauge("slo.burn_short", labels).value == pytest.approx(4.0)
+        assert registry.gauge("slo.burn_long", labels).value == pytest.approx(4.0)
+        assert registry.gauge("slo.ok", labels).value == 0.0
+
+    def test_burn_history_feeds_the_sparkline(self):
+        engine = SloEngine((_rule(objective=0.25),))
+        engine.on_period(1.0, missed=True)
+        engine.evaluate(1.0)
+        engine.evaluate(2.0)
+        [verdict] = engine.report().verdicts
+        assert len(verdict.burn_history) == 2
+        assert verdict.burn_history[0][0] == 1.0
+
+    def test_zero_budget_rule_burns_infinitely_on_any_miss(self):
+        engine = SloEngine((_rule(objective=0.0),))
+        engine.on_period(1.0, missed=True)
+        engine.evaluate(1.0)
+        assert [a.state for a in engine.alerts] == ["firing"]
+
+    def test_events_are_pruned_past_the_long_window(self):
+        engine = SloEngine((_rule(windows=(5.0, 20.0)),))
+        for t in range(100):
+            engine.on_period(float(t), missed=False)
+            engine.evaluate(float(t))
+        state = engine._states["miss"]
+        assert len(state.events) <= 21
+        assert state.total == 100  # whole-run verdict still sees everything
+
+
+class TestEngineConstruction:
+    def test_defaults_to_the_default_rules(self):
+        assert SloEngine().rules == DEFAULT_SLO_RULES
+
+    def test_empty_rule_set_rejected(self):
+        with pytest.raises(TelemetryError, match="at least one"):
+            SloEngine(())
+
+    def test_duplicate_rule_names_rejected(self):
+        with pytest.raises(TelemetryError, match="duplicate"):
+            SloEngine((_rule(), _rule()))
+
+
+class TestReport:
+    def test_exit_code_and_breaches(self):
+        engine = SloEngine((_rule(objective=0.0),))
+        engine.on_period(1.0, missed=True)
+        report = engine.report()
+        assert not report.passed
+        assert report.exit_code == 1
+        assert [v.rule.name for v in report.breaches] == ["miss"]
+        assert SloEngine((_rule(),)).report().exit_code == 0
+
+    def test_render_mentions_verdicts(self):
+        engine = SloEngine((_rule(objective=0.0),))
+        engine.on_period(1.0, missed=True)
+        text = engine.report().render()
+        assert "FAIL" in text and "miss" in text
+
+    def test_as_dict_roundtrips_to_json(self):
+        import json
+
+        engine = SloEngine((_rule(),))
+        engine.on_period(1.0, missed=True)
+        engine.evaluate(1.0)
+        data = json.loads(json.dumps(engine.report().as_dict()))
+        # One period observed, missed: rate 1.0 > objective 0.25.
+        assert data["passed"] is False
+        assert data["verdicts"][0]["name"] == "miss"
+        assert data["verdicts"][0]["observed"] == pytest.approx(1.0)
+        assert data["verdicts"][0]["burn_history"] == [[1.0, 4.0]]

@@ -264,3 +264,116 @@ class TestOtherCommands:
         assert code == 0
         written = sorted(p.name for p in tmp_path.glob("fig9_*.csv"))
         assert written == ["fig9_1.csv", "fig9_2.csv", "fig9_3.csv", "fig9_4.csv"]
+
+
+GATE_RULES_TOML = """\
+[[slo.rules]]
+name = "forecast-calibration"
+signal = "forecast_calibration_error"
+objective = 0.25
+tolerance = 0.5
+windows = [10.0, 30.0]
+"""
+
+
+class TestSloCommand:
+    def test_list_prints_rule_table_without_running(self, capsys):
+        code, out, _ = run_cli(capsys, "slo", "--list")
+        assert code == 0
+        for name in ("deadline-miss-rate", "availability",
+                     "forecast-calibration", "message-loss"):
+            assert name in out
+
+    def test_healthy_run_passes_check(self, capsys, tmp_path):
+        report_path = tmp_path / "slo.json"
+        code, out, _ = run_cli(
+            capsys, "--periods", "30", "--seed", "0", "slo",
+            "--max-units", "10", "--check", "--json", str(report_path),
+        )
+        assert code == 0
+        assert "PASS" in out
+        data = json.loads(report_path.read_text())
+        assert data["passed"] is True
+        assert {v["name"] for v in data["verdicts"]} >= {"deadline-miss-rate"}
+
+    def test_gate_exit_codes_unhardened_vs_hardened(self, capsys, tmp_path):
+        rules = tmp_path / "rules.toml"
+        rules.write_text(GATE_RULES_TOML)
+        gate = ["--seed", "0", "slo", "--max-units", "30",
+                "--scenario", "estimator_bias", "--rules", str(rules),
+                "--check"]
+        code, out, _ = run_cli(capsys, *gate)
+        assert code == 1
+        assert "FAIL" in out
+        code, out, _ = run_cli(capsys, *gate, "--hardened")
+        assert code == 0
+        assert "FAIL" not in out
+
+    def test_bad_rules_file_is_a_cli_error(self, capsys, tmp_path):
+        rules = tmp_path / "rules.toml"
+        rules.write_text("[[slo.rules]]\nname = 'x'\nsignal = 'nope'\n"
+                         "objective = 0.1\n")
+        code, _, err = run_cli(capsys, "slo", "--rules", str(rules))
+        assert code == 2
+        assert "unknown signal" in err
+
+
+class TestReportHealthCommand:
+    def test_health_html_to_stdout(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "report", "--health",
+            "--max-units", "5",
+        )
+        assert code == 0
+        assert out.startswith("<!DOCTYPE html>")
+        assert "<h2>Run" in out and "<h2>Metrics" in out
+        assert "<h2>SLOs" in out and "<h2>Profile" in out
+
+    def test_health_html_is_deterministic_on_disk(self, capsys, tmp_path):
+        argv = ["--periods", "8", "--seed", "1", "report", "--health",
+                "--max-units", "5"]
+        first, second = tmp_path / "a.html", tmp_path / "b.html"
+        assert run_cli(capsys, *argv, "--out", str(first))[0] == 0
+        assert run_cli(capsys, *argv, "--out", str(second))[0] == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_health_report_embeds_rollup(self, capsys, tmp_path):
+        rollup = tmp_path / "rollup.json"
+        code, _, _ = run_cli(
+            capsys, "--periods", "6", "campaign", "--units", "5",
+            "--slo", "--rollup", str(rollup), "--quiet",
+        )
+        assert code == 0
+        code, out, _ = run_cli(
+            capsys, "--periods", "8", "report", "--health",
+            "--max-units", "5", "--rollup", str(rollup),
+        )
+        assert code == 0
+        assert "Campaign rollup" in out
+
+
+class TestCampaignSloRollup:
+    def test_campaign_writes_rollup_with_verdicts(self, capsys, tmp_path):
+        rollup = tmp_path / "rollup.json"
+        code, out, _ = run_cli(
+            capsys, "--periods", "6", "campaign", "--units", "5",
+            "--slo", "--rollup", str(rollup), "--quiet",
+        )
+        assert code == 0
+        assert "rollup written" in out
+        data = json.loads(rollup.read_text())
+        assert data["kind"] == "campaign_rollup"
+        assert data["aggregate"]["n_runs"] == len(data["runs"]) == 2
+        for cell in data["runs"].values():
+            assert cell["slo"] is not None
+            assert cell["decision_digest"]
+
+    def test_campaign_without_slo_leaves_verdicts_absent(self, capsys, tmp_path):
+        rollup = tmp_path / "rollup.json"
+        code, _, _ = run_cli(
+            capsys, "--periods", "6", "campaign", "--units", "5",
+            "--rollup", str(rollup), "--quiet",
+        )
+        assert code == 0
+        data = json.loads(rollup.read_text())
+        assert data["aggregate"]["slo"]["absent"] == 2

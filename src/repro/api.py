@@ -63,10 +63,18 @@ from repro.cluster.failures import FailureEvent, FailureInjector
 from repro.cluster.index import IndexStats, UtilizationIndex
 from repro.cluster.processor import Processor
 from repro.cluster.topology import System, build_system
-from repro.core.allocator import (
+from repro.core.allocation import (
+    AllocationContext,
     AllocationOutcome,
+    AllocationPlan,
     AllocationRequest,
+    Allocator,
+    CandidatePolicyAdapter,
+    as_allocator,
+    get_allocator,
+    get_policy,
     register_policy,
+    registered_policies,
 )
 from repro.core.deadlines import assign_deadlines
 from repro.core.hardening import ForecastCircuitBreaker, HardeningConfig
@@ -74,6 +82,11 @@ from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.nonpredictive import NonPredictivePolicy
 from repro.core.predictive import PredictivePolicy
 from repro.core.shutdown import shut_down_a_replica
+from repro.core.zoo import (
+    FairShareAllocator,
+    MarketAllocator,
+    OracleAllocator,
+)
 from repro.errors import ChaosError, ConfigurationError, ReproError
 from repro.experiments.breakdown import LatencyBreakdown, compute_breakdown
 from repro.experiments.campaign import (
@@ -97,7 +110,11 @@ from repro.experiments.export import (
 )
 from repro.experiments.forecast_eval import CalibrationReport, evaluate_forecasts
 from repro.experiments.history_index import RunHistoryIndex
-from repro.experiments.metrics import ExperimentMetrics, compute_metrics
+from repro.experiments.metrics import (
+    ExperimentMetrics,
+    compute_metrics,
+    regret_by_policy,
+)
 from repro.experiments.replication import ReplicatedResult, replicate_experiment
 from repro.experiments.report import format_sparkline, format_table
 from repro.experiments.runner import (
@@ -191,8 +208,11 @@ def fit_estimator(
 
 __all__ = [
     "AdaptiveResourceManager",
+    "AllocationContext",
     "AllocationOutcome",
+    "AllocationPlan",
     "AllocationRequest",
+    "Allocator",
     "BackgroundLoad",
     "BaselineConfig",
     "BurstyPattern",
@@ -200,6 +220,7 @@ __all__ = [
     "CampaignResult",
     "CampaignRollup",
     "CampaignSpec",
+    "CandidatePolicyAdapter",
     "CapacityPlan",
     "ChaosError",
     "ChaosInjector",
@@ -214,14 +235,17 @@ __all__ = [
     "ExperimentResult",
     "FailureEvent",
     "FailureInjector",
+    "FairShareAllocator",
     "ForecastCircuitBreaker",
     "HardeningConfig",
     "IndexStats",
     "JsonlTraceSink",
     "LatencyBreakdown",
     "LinearServiceModel",
+    "MarketAllocator",
     "MetricsRegistry",
     "NonPredictivePolicy",
+    "OracleAllocator",
     "PAPER_TABLE2_COEFFICIENTS",
     "PeriodicTask",
     "PeriodicTaskExecutor",
@@ -250,6 +274,7 @@ __all__ = [
     "UtilizationIndex",
     "VectorizedEngine",
     "aaw_task",
+    "as_allocator",
     "assign_deadlines",
     "build_system",
     "check_schema_version",
@@ -262,6 +287,8 @@ __all__ = [
     "fit_estimator",
     "format_sparkline",
     "format_table",
+    "get_allocator",
+    "get_policy",
     "get_scenario",
     "latency_model_from_dict",
     "latency_model_to_dict",
@@ -278,6 +305,8 @@ __all__ = [
     "profile_buffer_delay",
     "profile_subtask",
     "register_policy",
+    "registered_policies",
+    "regret_by_policy",
     "render_report",
     "render_timeline",
     "replicate_experiment",

@@ -800,6 +800,24 @@ def cmd_validate(args: argparse.Namespace) -> int:
 # -- parser ---------------------------------------------------------------------
 
 
+def _policy_name(value: str) -> str:
+    """Argparse type for ``--policy``: validate against the registry.
+
+    Unknown names fail at parse time with the full registry in the
+    message, instead of surfacing as an :class:`AllocationError` from
+    deep inside an experiment run.  The import is lazy so ``--help``
+    and unrelated subcommands stay fast.
+    """
+    from repro.core.allocation import registered_policies
+
+    if value not in registered_policies():
+        raise argparse.ArgumentTypeError(
+            f"unknown policy {value!r}; registered: "
+            f"{', '.join(registered_policies())}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -849,7 +867,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_figure.set_defaults(func=cmd_figure)
 
     p_run = sub.add_parser("run", help="run one experiment")
-    p_run.add_argument("--policy", default="predictive")
+    p_run.add_argument("--policy", type=_policy_name, default="predictive")
     p_run.add_argument("--pattern", default="triangular")
     p_run.add_argument("--max-units", type=float, default=20.0)
     p_run.add_argument("--tasks", type=int, default=1, help="number of tasks")
@@ -893,7 +911,8 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign", help="run a policy x pattern x workload x seed grid"
     )
     p_campaign.add_argument(
-        "--policies", nargs="+", default=["predictive", "nonpredictive"]
+        "--policies", nargs="+", type=_policy_name,
+        default=["predictive", "nonpredictive"],
     )
     p_campaign.add_argument("--patterns", nargs="+", default=["triangular"])
     p_campaign.add_argument(
@@ -929,7 +948,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_slo = sub.add_parser(
         "slo", help="run one experiment and evaluate it against SLO rules"
     )
-    p_slo.add_argument("--policy", default="predictive")
+    p_slo.add_argument("--policy", type=_policy_name, default="predictive")
     p_slo.add_argument("--pattern", default="triangular")
     p_slo.add_argument("--max-units", type=float, default=20.0)
     p_slo.add_argument(
@@ -959,7 +978,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="run one experiment under a fault-injection scenario"
     )
     p_chaos.add_argument("--scenario", default="crashes")
-    p_chaos.add_argument("--policy", default="predictive")
+    p_chaos.add_argument("--policy", type=_policy_name, default="predictive")
     p_chaos.add_argument("--pattern", default="triangular")
     p_chaos.add_argument("--max-units", type=float, default=20.0)
     p_chaos.add_argument(
@@ -1046,7 +1065,7 @@ def build_parser() -> argparse.ArgumentParser:
         "breakdown, forecast calibration) instead of the Markdown "
         "evaluation",
     )
-    p_report.add_argument("--policy", default="predictive")
+    p_report.add_argument("--policy", type=_policy_name, default="predictive")
     p_report.add_argument("--pattern", default="triangular")
     p_report.add_argument("--max-units", type=float, default=20.0)
     p_report.add_argument(

@@ -18,12 +18,19 @@ The two-step process of Figure 1:
 into the periodic control loop.
 """
 
-from repro.core.allocator import (
+from repro.core.allocation import (
+    AllocationContext,
     AllocationOutcome,
+    AllocationPlan,
     AllocationPolicy,
     AllocationRequest,
+    Allocator,
+    CandidatePolicyAdapter,
+    as_allocator,
+    get_allocator,
     get_policy,
     register_policy,
+    registered_policies,
 )
 from repro.core.deadlines import DeadlineAssignment, assign_deadlines
 from repro.core.degradation import DataShedder, DegradationController
@@ -41,28 +48,43 @@ from repro.core.shutdown import (
     LifoShutdown,
     shut_down_a_replica,
 )
+from repro.core.zoo import (
+    FairShareAllocator,
+    MarketAllocator,
+    OracleAllocator,
+)
 
 __all__ = [
     "AdaptiveResourceManager",
+    "AllocationContext",
     "AllocationOutcome",
+    "AllocationPlan",
     "AllocationPolicy",
     "AllocationRequest",
+    "Allocator",
+    "CandidatePolicyAdapter",
     "DataShedder",
     "DeadlineAssignment",
     "DegradationController",
+    "FairShareAllocator",
     "ForecastAwareShutdown",
     "HybridPolicy",
     "LifoShutdown",
+    "MarketAllocator",
     "MonitorAction",
     "MonitorReport",
     "NoAdaptationPolicy",
     "NonPredictivePolicy",
+    "OracleAllocator",
     "PredictivePolicy",
     "RMConfig",
     "RuntimeMonitor",
     "StaticMaxPolicy",
+    "as_allocator",
     "assign_deadlines",
+    "get_allocator",
     "get_policy",
     "register_policy",
+    "registered_policies",
     "shut_down_a_replica",
 ]

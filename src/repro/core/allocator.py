@@ -1,129 +1,45 @@
-"""Allocation-policy abstraction (Figure 1, box 2).
+"""Deprecated module path for the allocation contract.
 
-Both step-2 algorithms answer the same question — *given a replication
-candidate, how many replicas and on which processors?* — so they share
-an interface: :class:`AllocationPolicy`.  The request bundle carries
-everything a policy may consult (current placement, utilizations,
-regression estimator, budgets, current workload); the outcome reports
-what changed.
+Everything that used to live here moved to :mod:`repro.core.allocation`
+when the API grew the cycle-scoped :class:`~repro.core.allocation.Allocator`
+level.  Every old spelling keeps working through the PEP 562 hook below
+— ``from repro.core.allocator import get_policy`` still imports, with a
+:class:`DeprecationWarning` pointing at the new home — following the
+same shim pattern as PR 4's ``fit_estimator`` merge.
 
-A tiny registry maps policy names (``"predictive"``,
-``"nonpredictive"``) to factories so experiment configs can select
-policies by string.
+New code should import from :mod:`repro.core.allocation` (or the
+:mod:`repro.api` facade); the ``repro lint`` API-DEPRECATED rule keeps
+internal code off this module.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Protocol
+import warnings
+from typing import Any
 
-from repro.cluster.topology import System
-from repro.core.deadlines import DeadlineAssignment
-from repro.errors import AllocationError
-from repro.regression.estimator import TimingEstimator
-from repro.tasks.model import PeriodicTask
-from repro.tasks.state import ReplicaAssignment
+#: Names re-exported from :mod:`repro.core.allocation` with a warning.
+_MOVED = (
+    "AllocationOutcome",
+    "AllocationPolicy",
+    "AllocationRequest",
+    "get_policy",
+    "register_policy",
+    "registered_policies",
+)
 
-
-@dataclass(frozen=True)
-class AllocationRequest:
-    """Everything a policy may consult when handling one candidate.
-
-    Attributes
-    ----------
-    task / subtask_index:
-        The replication candidate.
-    assignment:
-        Live placement; policies mutate it via its invariant-checked API.
-    system:
-        The cluster (source of ``ut(p, t)`` readings).
-    estimator:
-        Regression-backed ``eex``/``ecd`` (the predictive policy's
-        forecasting oracle; the non-predictive policy ignores it).
-    deadlines:
-        Current per-stage budgets.
-    d_tracks:
-        ``ds(T, c)``: data items in the current period.
-    total_periodic_tracks:
-        Total workload across all tasks this period (drives eq. 5).
-    excluded_processors:
-        Processors the hardened loop has ruled out this cycle (repeat
-        offenders, implausible readings — see
-        :class:`repro.core.hardening.PlacementGuard`).  Policies must
-        not place replicas there; empty in the unhardened loop.
-    reading_guard:
-        Optional sanitizer applied to every utilization reading a
-        policy feeds into the regression models (the hardened loop
-        installs :func:`repro.core.hardening.sanitize_reading`;
-        ``None`` — the unhardened default — uses readings verbatim).
-    """
-
-    task: PeriodicTask
-    subtask_index: int
-    assignment: ReplicaAssignment
-    system: System
-    estimator: TimingEstimator
-    deadlines: DeadlineAssignment
-    d_tracks: float
-    total_periodic_tracks: float
-    excluded_processors: frozenset[str] = frozenset()
-    reading_guard: Callable[[float], float] | None = None
+__all__ = list(_MOVED)
 
 
-@dataclass(frozen=True)
-class AllocationOutcome:
-    """What a policy did with one candidate.
+def __getattr__(name: str) -> Any:
+    """Serve the moved names from their new module, with a warning."""
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.core.allocator.{name} is deprecated; import {name} "
+            "from repro.core.allocation (or the repro.api facade) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.core import allocation
 
-    ``success`` mirrors Figure 5's SUCCESS/FAILURE: the predictive
-    policy reports FAILURE when it ran out of processors before the
-    forecast satisfied the budget (replicas added along the way are
-    kept, as in the paper's pseudo-code, which never rolls back).
-    """
-
-    subtask_index: int
-    success: bool
-    added_processors: tuple[str, ...] = field(default_factory=tuple)
-    forecast_latency: float | None = None
-
-    @property
-    def changed(self) -> bool:
-        """Whether the placement was modified."""
-        return bool(self.added_processors)
-
-
-class AllocationPolicy(Protocol):
-    """Step-2 algorithm interface."""
-
-    name: str
-
-    def replicate(self, request: AllocationRequest) -> AllocationOutcome:
-        """Handle one replication candidate (Figure 5 / Figure 7)."""
-        ...
-
-
-_REGISTRY: dict[str, Callable[..., AllocationPolicy]] = {}
-
-
-def register_policy(name: str, factory: Callable[..., AllocationPolicy]) -> None:
-    """Register a policy factory under ``name`` (overwrites silently
-    only for the same factory; otherwise raises)."""
-    existing = _REGISTRY.get(name)
-    if existing is not None and existing is not factory:
-        raise AllocationError(f"policy {name!r} already registered")
-    _REGISTRY[name] = factory
-
-
-def get_policy(name: str, **kwargs: object) -> AllocationPolicy:
-    """Instantiate a registered policy by name."""
-    try:
-        factory = _REGISTRY[name]
-    except KeyError:
-        raise AllocationError(
-            f"unknown policy {name!r}; registered: {sorted(_REGISTRY)}"
-        ) from None
-    return factory(**kwargs)
-
-
-def registered_policies() -> tuple[str, ...]:
-    """Names of all registered policies."""
-    return tuple(sorted(_REGISTRY))
+        return getattr(allocation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.allocator import (
+from repro.core.allocation import (
     AllocationOutcome,
     AllocationRequest,
     register_policy,

@@ -28,7 +28,7 @@ leaves every decision sequence bit-identical to the unhardened loop):
 
 :func:`sanitize_reading` is the last line of defense: the hardened
 manager installs it as the
-:attr:`~repro.core.allocator.AllocationRequest.reading_guard`, so a
+:attr:`~repro.core.allocation.AllocationRequest.reading_guard`, so a
 corrupted reading that slips past the placement guard (e.g. on a
 processor that already hosts a replica) is clamped before it can reach
 the regression models.

@@ -7,9 +7,12 @@ allocation takes effect immediately) the manager:
    stages;
 2. runs the :class:`~repro.core.monitoring.RuntimeMonitor` to classify
    every replicable subtask;
-3. hands each REPLICATE candidate to the configured allocation policy
-   (predictive Figure 5 or non-predictive Figure 7) and each SHUTDOWN
-   candidate to Figure 6's LIFO de-allocation;
+3. bundles every REPLICATE candidate into one cycle-scoped
+   :class:`~repro.core.allocation.AllocationContext` and hands it to the
+   configured :class:`~repro.core.allocation.Allocator` (per-candidate
+   policies — predictive Figure 5, non-predictive Figure 7 — ride
+   through :class:`~repro.core.allocation.CandidatePolicyAdapter`);
+   each SHUTDOWN candidate goes to Figure 6's LIFO de-allocation;
 4. re-assigns the EQF deadlines whenever the placement changed (§4.1:
    "at each time a resource management action ... is taken, the subtask
    deadlines are re-assigned"), feeding the estimator with *current*
@@ -25,10 +28,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.cluster.topology import System
-from repro.core.allocator import (
+from repro.core.allocation import (
+    AllocationContext,
     AllocationOutcome,
-    AllocationPolicy,
-    AllocationRequest,
+    Allocator,
+    AnyAllocator,
+    as_allocator,
 )
 from repro.core.deadlines import DeadlineAssignment, assign_deadlines
 from repro.core.hardening import (
@@ -147,19 +152,22 @@ class AdaptiveResourceManager:
         system: System,
         executor: PeriodicTaskExecutor,
         estimator: TimingEstimator,
-        policy: AllocationPolicy,
+        policy: AnyAllocator,
         config: RMConfig | None = None,
         shutdown_strategy: ShutdownStrategy | None = None,
         total_workload_fn: "Callable[[], float] | None" = None,
         hardening: HardeningConfig | None = None,
-        fallback_policy: AllocationPolicy | None = None,
+        fallback_policy: AnyAllocator | None = None,
     ) -> None:
         self.system = system
         self.executor = executor
         self.task = executor.task
         self.assignment: ReplicaAssignment = executor.assignment
         self.estimator = estimator
+        # Either contract level is accepted; the manager itself drives
+        # the cycle-scoped Allocator interface exclusively.
         self.policy = policy
+        self.allocator: Allocator = as_allocator(policy)
         self.config = config if config is not None else RMConfig()
         self.shutdown_strategy: ShutdownStrategy = (
             shutdown_strategy if shutdown_strategy is not None else LifoShutdown()
@@ -171,7 +179,8 @@ class AdaptiveResourceManager:
         self.guard: PlacementGuard | None = None
         self.backoff: AllocationBackoff | None = None
         self.breaker: ForecastCircuitBreaker | None = None
-        self.fallback_policy: AllocationPolicy | None = None
+        self.fallback_policy: AnyAllocator | None = None
+        self.fallback_allocator: Allocator | None = None
         if hardening is not None:
             self.guard = PlacementGuard(system, hardening)
             self.backoff = AllocationBackoff(hardening)
@@ -182,6 +191,7 @@ class AdaptiveResourceManager:
                     if fallback_policy is not None
                     else NonPredictivePolicy()
                 )
+                self.fallback_allocator = as_allocator(self.fallback_policy)
         #: Accepted Figure 5 forecasts awaiting realization, keyed by
         #: ``(subtask_index, replica_count)`` — the same matching rule
         #: telemetry spans use.
@@ -395,14 +405,14 @@ class AdaptiveResourceManager:
         total_tracks = max(total_tracks, d_tracks)
 
         excluded: frozenset[str] = frozenset()
-        active_policy: AllocationPolicy = self.policy
+        active: Allocator = self.allocator
         if self.hardening is not None:
             assert self.guard is not None
             self.guard.observe(now)
             excluded = self.guard.excluded(now)
             if self.breaker is not None and not self.breaker.allow_predictive(now):
-                assert self.fallback_policy is not None
-                active_policy = self.fallback_policy
+                assert self.fallback_allocator is not None
+                active = self.fallback_allocator
 
         reading_guard = None
         if self.hardening is not None:
@@ -411,31 +421,35 @@ class AdaptiveResourceManager:
             def reading_guard(reading: float) -> float:
                 return sanitize_reading(reading, fallback)
 
-        def request_for(subtask_index: int) -> AllocationRequest:
-            return AllocationRequest(
-                task=self.task,
-                subtask_index=subtask_index,
-                assignment=self.assignment,
-                system=self.system,
-                estimator=self.estimator,
-                deadlines=self.deadlines,
-                d_tracks=d_tracks,
-                total_periodic_tracks=total_tracks,
-                excluded_processors=excluded,
-                reading_guard=reading_guard,
-            )
-
         cycle = len(self.history)
-        outcomes: list[AllocationOutcome] = []
+        # Backoff filtering happens before the allocator sees the cycle:
+        # each subtask appears at most once per monitor report, so this
+        # is decision-identical to the historical interleaved check.
+        candidates = tuple(
+            verdict.subtask_index
+            for verdict in report.candidates(MonitorAction.REPLICATE)
+            if self.backoff is None
+            or self.backoff.should_attempt(verdict.subtask_index, cycle)
+        )
+        context = AllocationContext(
+            task=self.task,
+            assignment=self.assignment,
+            system=self.system,
+            estimator=self.estimator,
+            deadlines=self.deadlines,
+            d_tracks=d_tracks,
+            total_periodic_tracks=total_tracks,
+            candidates=candidates,
+            excluded_processors=excluded,
+            reading_guard=reading_guard,
+            cycle=cycle,
+            now=now,
+        )
         shutdowns: list[tuple[int, str]] = []
         place_handle = profiler.begin("rm.placement") if profiler is not None else 0
-        for verdict in report.candidates(MonitorAction.REPLICATE):
-            if self.backoff is not None and not self.backoff.should_attempt(
-                verdict.subtask_index, cycle
-            ):
-                continue
-            outcome = active_policy.replicate(request_for(verdict.subtask_index))
-            outcomes.append(outcome)
+        plan = active.allocate(context)
+        outcomes = list(plan.outcomes)
+        for outcome in outcomes:
             if self.backoff is not None:
                 if outcome.success:
                     self.backoff.record_success(outcome.subtask_index)
@@ -453,7 +467,7 @@ class AdaptiveResourceManager:
                 self._pending_forecasts[key] = outcome.forecast_latency
         for verdict in report.candidates(MonitorAction.SHUTDOWN):
             removed = self.shutdown_strategy.shutdown(
-                request_for(verdict.subtask_index)
+                context.request_for(verdict.subtask_index)
             )
             if removed is not None:
                 shutdowns.append((verdict.subtask_index, removed))
@@ -475,7 +489,7 @@ class AdaptiveResourceManager:
             total_replicas=self.assignment.total_replicas(),
             placement=self.assignment.snapshot(),
             recoveries=tuple(recoveries),
-            policy_name=active_policy.name,
+            policy_name=active.name,
         )
         if event.acted:
             self._reassign_deadlines(d_tracks)

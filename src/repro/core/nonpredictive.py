@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.allocator import (
+from repro.core.allocation import (
     AllocationOutcome,
     AllocationRequest,
     register_policy,

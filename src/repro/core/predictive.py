@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.allocator import (
+from repro.core.allocation import (
     AllocationOutcome,
     AllocationRequest,
     register_policy,

@@ -22,7 +22,7 @@ import numpy as np
 from repro.tasks.state import ReplicaAssignment
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.allocator import AllocationRequest
+    from repro.core.allocation import AllocationRequest
 
 
 def shut_down_a_replica(

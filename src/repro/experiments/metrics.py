@@ -18,17 +18,26 @@ Four per-experiment metrics, all reported as fractions in [0, 1]:
 The **combined performance metric** is their unweighted sum
 ``C = MD + U_cpu + U_net + R/Max(R)`` (lower is better), exactly the
 paper's aggregate.
+
+With the allocator zoo (:mod:`repro.core.zoo`) C also anchors a
+*regret* measure: :func:`regret_by_policy` scores each policy's C
+against the :class:`~repro.core.zoo.OracleAllocator`'s C on the same
+cell, isolating how much a policy gives up to imperfect forecasting.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.cluster.topology import System
 from repro.core.manager import AdaptiveResourceManager
 from repro.errors import ConfigurationError
 from repro.experiments.history_index import RunHistoryIndex
 from repro.runtime.executor import PeriodicTaskExecutor
+
+#: Registry name of the allocator whose C anchors the regret measure.
+ORACLE_POLICY = "oracle"
 
 
 @dataclass(frozen=True)
@@ -151,3 +160,31 @@ def compute_metrics(
             index.actions_taken() if index is not None else manager.actions_taken()
         ),
     )
+
+
+def regret_by_policy(
+    combined_by_policy: Mapping[str, float],
+    oracle_policy: str = ORACLE_POLICY,
+) -> dict[str, float]:
+    """Per-policy regret: ``C_policy - C_oracle`` on one cell.
+
+    Takes the combined metric C of several policies measured under
+    identical conditions (same pattern, workload, seed, scenario) and
+    returns how much C each gives up relative to the perfect-forecast
+    reference — 0.0 for the oracle itself, positive when a policy's
+    imperfect forecasting cost it, negative in the (possible) event a
+    heuristic beat the oracle's greedy plan on that cell.
+
+    Raises :class:`~repro.errors.ConfigurationError` when the reference
+    policy is missing from the input.
+    """
+    if oracle_policy not in combined_by_policy:
+        raise ConfigurationError(
+            f"regret needs the reference policy {oracle_policy!r}; got "
+            f"{sorted(combined_by_policy)}"
+        )
+    reference = combined_by_policy[oracle_policy]
+    return {
+        policy: combined - reference
+        for policy, combined in combined_by_policy.items()
+    }

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING
 
 from repro.bench.app import aaw_task, default_initial_placement
 from repro.cluster.topology import System, build_system
-from repro.core.allocator import get_policy
+from repro.core.allocation import get_policy
 from repro.core.hardening import HardeningConfig
 from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.nonpredictive import NonPredictivePolicy
@@ -90,12 +90,21 @@ def __getattr__(name: str):
 
 
 def _make_policy(config: ExperimentConfig):
-    """Instantiate the configured step-2 policy with Table 1 parameters."""
+    """Instantiate the configured step-2 allocator with Table 1 parameters.
+
+    Returns either contract level — the manager lifts per-candidate
+    policies through :func:`repro.core.allocation.as_allocator`.
+    """
     if config.policy == "predictive":
         return PredictivePolicy(slack_fraction=config.baseline.slack_fraction)
     if config.policy == "nonpredictive":
         return NonPredictivePolicy(
             utilization_threshold=config.baseline.utilization_threshold
+        )
+    if config.policy in ("market", "fairshare", "oracle"):
+        # The zoo reuses Figure 5's slack target as its acceptance bound.
+        return get_policy(
+            config.policy, slack_fraction=config.baseline.slack_fraction
         )
     # Fall through to the registry for user-registered policies.
     return get_policy(config.policy)

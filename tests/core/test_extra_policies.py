@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.allocator import get_policy, registered_policies
+from repro.core.allocation import get_policy, registered_policies
 from repro.core.extra_policies import (
     HybridPolicy,
     NoAdaptationPolicy,

@@ -7,7 +7,7 @@ import pytest
 
 from repro.bench.app import aaw_task, default_initial_placement
 from repro.cluster.topology import build_system
-from repro.core.allocator import (
+from repro.core.allocation import (
     AllocationRequest,
     get_policy,
     register_policy,

@@ -1,0 +1,148 @@
+"""Unit tests for the allocator zoo (market, fairshare, oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.zoo import FairShareAllocator, MarketAllocator, OracleAllocator
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import regret_by_policy
+
+from tests.core.test_allocation_api import make_context
+
+ZOO = (MarketAllocator, FairShareAllocator, OracleAllocator)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_bad_slack_fraction_rejected(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(slack_fraction=1.0)
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_bad_max_rounds_rejected(self, cls):
+        with pytest.raises(ConfigurationError):
+            cls(max_rounds=0)
+
+    def test_market_price_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            MarketAllocator(price_floor=0.0)
+        with pytest.raises(ConfigurationError):
+            MarketAllocator(congestion_increment=-0.1)
+
+
+class TestCommonBehavior:
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_empty_candidate_list_is_a_noop(self, cls):
+        context = make_context(candidates=())
+        before = context.assignment.snapshot()
+        plan = cls().allocate(context)
+        assert plan.outcomes == ()
+        assert not plan.changed
+        assert context.assignment.snapshot() == before
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_outcomes_keep_candidate_order(self, cls):
+        context = make_context(candidates=(5, 3), budget=0.35)
+        plan = cls().allocate(context)
+        assert [o.subtask_index for o in plan.outcomes] == [5, 3]
+        assert plan.allocator_name == cls().name
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_replicates_under_pressure(self, cls):
+        """A tight budget at high workload forces replica growth."""
+        context = make_context(d_tracks=5000.0, budget=0.35)
+        plan = cls().allocate(context)
+        outcome = plan.outcome_for(3)
+        assert outcome.success
+        assert outcome.added_processors
+        assert context.assignment.replica_count(3) > 1
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_respects_exclusions(self, cls):
+        context = make_context(
+            d_tracks=20000.0, budget=0.05,
+            excluded=frozenset({"p1", "p2", "p4", "p5"}),
+        )
+        plan = cls().allocate(context)
+        for outcome in plan.outcomes:
+            assert not set(outcome.added_processors) & {"p1", "p2", "p4", "p5"}
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_failure_when_processors_exhausted(self, cls):
+        """An unmeetable budget with a tiny cluster reports FAILURE."""
+        context = make_context(d_tracks=20000.0, budget=0.05, n_processors=3)
+        plan = cls().allocate(context)
+        outcome = plan.outcome_for(3)
+        assert not outcome.success
+        # Paper semantics: replicas added along the way are kept.
+        assert context.assignment.replica_count(3) >= 1
+
+    @pytest.mark.parametrize("cls", ZOO)
+    def test_deterministic_across_repeats(self, cls):
+        plans = []
+        for _ in range(2):
+            context = make_context(candidates=(3, 5), d_tracks=5000.0)
+            plans.append(cls().allocate(context).outcomes)
+        assert plans[0] == plans[1]
+
+
+class TestMarketAllocator:
+    def test_trades_prefer_cheap_processors(self):
+        """A pre-loaded processor is expensive and picked last."""
+        context = make_context(d_tracks=5000.0, budget=0.35)
+        context.system.processor("p6").run_for(10.0)
+        context.system.engine.run_until(4.0)
+        plan = MarketAllocator().allocate(context)
+        outcome = plan.outcome_for(3)
+        assert outcome.added_processors
+        assert "p6" not in outcome.added_processors
+
+    def test_price_inflation_spreads_load(self):
+        """Two hungry candidates should not both pile onto one processor."""
+        context = make_context(candidates=(3, 5), d_tracks=8000.0, budget=0.3)
+        plan = MarketAllocator().allocate(context)
+        added = [name for o in plan.outcomes for name in o.added_processors]
+        # Replicas of one subtask are on distinct processors by invariant;
+        # across subtasks the price mechanism must still spread the first
+        # trades rather than reuse the single cheapest processor forever.
+        assert len(added) == len(set(added)) or len(set(added)) > 1
+
+
+class TestFairShareAllocator:
+    def test_smaller_dominant_share_served_first(self):
+        """With equal replica counts the heavier-wire candidate yields."""
+        allocator = FairShareAllocator()
+        context = make_context(candidates=(3, 5), d_tracks=5000.0)
+        live = len(context.system.live_processors())
+        # Subtask 3's incoming message carries more bytes than subtask 5's
+        # in the benchmark task, so 5 has the smaller dominant share.
+        share3 = allocator._dominant_share(context, 3, live)
+        share5 = allocator._dominant_share(context, 5, live)
+        assert share3 >= share5
+
+    def test_first_stage_has_no_network_share(self):
+        allocator = FairShareAllocator()
+        context = make_context()
+        assert allocator._wire_bytes(context, 1) == 0.0
+
+
+class TestOracleAllocator:
+    def test_uses_ground_truth_demand(self):
+        """The oracle's forecast tracks the noise-free service model."""
+        context = make_context(d_tracks=5000.0, budget=0.35)
+        allocator = OracleAllocator()
+        snapshot = context.utilization_snapshot()
+        latency = allocator._true_latency(context, 3, snapshot)
+        share = context.d_tracks / context.assignment.replica_count(3)
+        demand = context.task.subtask(3).service.demand(share, None)
+        assert latency >= demand  # stretch never shrinks the demand
+
+    def test_oracle_regret_is_zero_for_itself(self):
+        regrets = regret_by_policy({"oracle": 0.9, "predictive": 1.1})
+        assert regrets["oracle"] == 0.0
+        assert regrets["predictive"] == pytest.approx(0.2)
+
+    def test_regret_requires_reference(self):
+        with pytest.raises(ConfigurationError):
+            regret_by_policy({"predictive": 1.1})

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.bench.app import aaw_task, default_initial_placement
 from repro.cluster.topology import build_system
-from repro.core.allocator import get_policy
+from repro.core.allocation import get_policy
 from repro.core.manager import AdaptiveResourceManager, RMConfig
 from repro.core.shutdown import ForecastAwareShutdown, LifoShutdown
 from repro.runtime.executor import ExecutorConfig, PeriodicTaskExecutor
@@ -25,7 +25,8 @@ from tests.conftest import exact_estimator
 configurations = st.fixed_dictionaries(
     {
         "policy": st.sampled_from(
-            ["predictive", "nonpredictive", "staticmax", "noadapt", "hybrid"]
+            ["predictive", "nonpredictive", "staticmax", "noadapt", "hybrid",
+             "market", "fairshare", "oracle"]
         ),
         "pattern": st.sampled_from(
             ["increasing", "decreasing", "triangular", "constant", "step",

@@ -1,0 +1,165 @@
+"""Property tests for the allocator zoo's hardening contracts.
+
+Two invariants every cycle-scoped allocator must uphold regardless of
+workload, budget, or cluster size:
+
+* **exclusion safety** — a processor in
+  ``AllocationContext.excluded_processors`` never receives a replica;
+* **capacity-floor compatibility** — exclusion sets produced by
+  :class:`~repro.core.hardening.PlacementGuard` honor the
+  ``guard_min_available`` floor, and under any such set the allocators
+  still place only on admissible processors while at least the floor's
+  worth of the live cluster stays schedulable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.app import aaw_task, default_initial_placement
+from repro.cluster.topology import build_system
+from repro.core.allocation import AllocationContext
+from repro.core.deadlines import DeadlineAssignment
+from repro.core.hardening import (
+    HardeningConfig,
+    PlacementGuard,
+    sanitize_reading,
+)
+from repro.core.zoo import FairShareAllocator, MarketAllocator, OracleAllocator
+from repro.tasks.state import ReplicaAssignment
+
+from tests.conftest import exact_estimator
+
+ZOO = (MarketAllocator, FairShareAllocator, OracleAllocator)
+
+scenarios = st.fixed_dictionaries(
+    {
+        "allocator": st.sampled_from(range(len(ZOO))),
+        "n_processors": st.integers(min_value=2, max_value=8),
+        "d_tracks": st.floats(
+            min_value=100.0, max_value=20_000.0, allow_nan=False
+        ),
+        "budget": st.floats(min_value=0.02, max_value=1.0, allow_nan=False),
+        "excluded_mask": st.integers(min_value=0, max_value=255),
+        "seed": st.integers(min_value=0, max_value=20),
+    }
+)
+
+
+def _make_context(n_processors, d_tracks, budget, excluded, seed):
+    """A single-cycle context over the benchmark task."""
+    system = build_system(n_processors=n_processors, seed=seed)
+    task = aaw_task(noise_sigma=0.0)
+    placement = default_initial_placement(
+        task, [p.name for p in system.processors]
+    )
+    assignment = ReplicaAssignment(task, placement)
+    deadlines = DeadlineAssignment(
+        subtask_deadlines={s.index: budget for s in task.subtasks},
+        message_deadlines={m.index: 0.0 for m in task.messages},
+        strategy="test",
+    )
+    return AllocationContext(
+        task=task,
+        assignment=assignment,
+        system=system,
+        estimator=exact_estimator(task),
+        deadlines=deadlines,
+        d_tracks=d_tracks,
+        total_periodic_tracks=d_tracks,
+        candidates=(3, 5),
+        excluded_processors=excluded,
+    )
+
+
+class TestExclusionSafety:
+    @settings(max_examples=80, deadline=None)
+    @given(config=scenarios)
+    def test_excluded_processors_never_receive_replicas(self, config):
+        names = [f"p{i + 1}" for i in range(config["n_processors"])]
+        excluded = frozenset(
+            name
+            for bit, name in enumerate(names)
+            if config["excluded_mask"] >> bit & 1
+        )
+        context = _make_context(
+            config["n_processors"],
+            config["d_tracks"],
+            config["budget"],
+            excluded,
+            config["seed"],
+        )
+        allocator = ZOO[config["allocator"]]()
+        before = {
+            s.index: set(context.assignment.processors_of(s.index))
+            for s in context.task.subtasks
+        }
+        plan = allocator.allocate(context)
+        for outcome in plan.outcomes:
+            assert not set(outcome.added_processors) & excluded
+        # The full placement diff agrees with the reported outcomes.
+        for subtask in context.task.subtasks:
+            grown = (
+                set(context.assignment.processors_of(subtask.index))
+                - before[subtask.index]
+            )
+            assert not grown & excluded
+
+
+class TestCapacityFloor:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_processors=st.integers(min_value=2, max_value=8),
+        floor=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        corrupt_mask=st.integers(min_value=0, max_value=255),
+        allocator_index=st.sampled_from(range(len(ZOO))),
+    )
+    def test_guard_exclusions_leave_floor_and_stay_respected(
+        self, n_processors, floor, corrupt_mask, allocator_index
+    ):
+        system = build_system(n_processors=n_processors, seed=0)
+        config = HardeningConfig(guard_min_available=floor)
+        guard = PlacementGuard(system, config)
+        # Corrupt a random subset of utilization readings so the guard
+        # has something to exclude (NaN can never be a busy fraction).
+        corrupted = set()
+        for bit, processor in enumerate(system.processors):
+            if corrupt_mask >> bit & 1:
+                processor.reading_fault = lambda reading: float("nan")
+                corrupted.add(processor.name)
+        guard.observe(1.0)
+        excluded = guard.excluded(1.0)
+
+        live = {p.name for p in system.processors if not p.failed}
+        min_available = math.ceil(len(live) * floor)
+        assert len(live - excluded) >= min_available
+        # Everything the guard *did* exclude was genuinely corrupted.
+        assert excluded <= corrupted
+        # Under the floor's budget the guard sheds worst-first until it
+        # would starve placement.
+        assert len(excluded) == min(len(corrupted & live), len(live) - min_available)
+
+        context = _make_context(
+            n_processors, 5000.0, 0.1, excluded, seed=1
+        )
+        for processor in context.system.processors:
+            if processor.name in corrupted:
+                processor.reading_fault = lambda reading: float("nan")
+        context = AllocationContext(
+            task=context.task,
+            assignment=context.assignment,
+            system=context.system,
+            estimator=context.estimator,
+            deadlines=context.deadlines,
+            d_tracks=context.d_tracks,
+            total_periodic_tracks=context.total_periodic_tracks,
+            candidates=context.candidates,
+            excluded_processors=excluded,
+            reading_guard=lambda reading: sanitize_reading(reading, 1.0),
+        )
+        plan = ZOO[allocator_index]().allocate(context)
+        for outcome in plan.outcomes:
+            assert not set(outcome.added_processors) & excluded

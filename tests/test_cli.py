@@ -28,6 +28,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["table", "4"])
 
+    def test_rejects_unknown_policy_listing_registry(self, capsys):
+        """--policy is validated at parse time against the registry."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--policy", "bogus"])
+        err = capsys.readouterr().err
+        assert "unknown policy 'bogus'" in err
+        for name in ("market", "fairshare", "oracle", "predictive"):
+            assert name in err
+
+    def test_campaign_policies_validated_too(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["campaign", "--policies", "predictive", "alchemy"]
+            )
+        assert "unknown policy 'alchemy'" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("name", ["market", "fairshare", "oracle"])
+    def test_zoo_policies_parse(self, name):
+        args = build_parser().parse_args(["run", "--policy", name])
+        assert args.policy == name
+
 
 class TestTableCommands:
     def test_table1(self, capsys):

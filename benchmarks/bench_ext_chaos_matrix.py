@@ -217,9 +217,9 @@ def check_report(report: dict) -> list[str]:
 
 
 def write_report(report: dict) -> Path:
-    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
-    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return OUT_PATH
+    from repro.experiments.export import atomic_write_json
+
+    return atomic_write_json(OUT_PATH, report)
 
 
 @pytest.mark.slow

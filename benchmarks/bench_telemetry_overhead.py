@@ -154,9 +154,9 @@ def write_report() -> Path:
         "engine": measure(),
         "full_run": measure_observed(),
     }
-    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
-    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    return OUT_PATH
+    from repro.experiments.export import atomic_write_json
+
+    return atomic_write_json(OUT_PATH, report)
 
 
 def test_disabled_telemetry_is_free():

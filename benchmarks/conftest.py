@@ -67,12 +67,14 @@ def estimator(baseline, cache_dir):
 @pytest.fixture(scope="session")
 def emit():
     """Print a bench artefact and persist it under benchmarks/out/."""
+    from repro.experiments.export import atomic_write_text
+
     OUT_DIR.mkdir(exist_ok=True)
 
     def _emit(name: str, text: str) -> None:
         print()
         print(text)
-        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(OUT_DIR / f"{name}.txt", text + "\n")
 
     return _emit
 

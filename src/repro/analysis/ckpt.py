@@ -1,0 +1,212 @@
+"""Checkpoint-safety lint: snapshot-reachable state must pickle.
+
+:mod:`repro.recovery` snapshots a run by pickling the whole world —
+engine calendar, rng streams, cluster, controller, telemetry — as one
+object.  Anything on that graph that cannot pickle turns the *first
+checkpoint* into a crash, and anything that pickles by reference to a
+vanished local scope fails even later, at restore.  These rules move
+both failures to lint time, scoped to the packages a snapshot can reach
+(:data:`SNAPSHOT_SCOPE`):
+
+``CKPT-LAMBDA-CB``
+    A ``lambda`` passed to the engine scheduling surface
+    (``schedule``/``schedule_at``/``schedule_many``/``every``).  The
+    calendar pickles its callbacks *and their arguments*; lambdas
+    cannot pickle.
+``CKPT-LOCAL-CB``
+    A function defined inside another function passed to the
+    scheduling surface — closures pickle by reference to a module
+    attribute that does not exist.
+``CKPT-HANDLE``
+    A class in snapshot scope that stores an OS-level resource (open
+    file handle, thread, lock) on ``self`` without defining
+    ``__getstate__``/``__reduce__`` to exclude or re-open it (the
+    :class:`~repro.telemetry.sinks.JsonlTraceSink` pattern).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.model import ModuleInfo, Rule, Violation
+
+RULES = (
+    Rule(
+        "CKPT-LAMBDA-CB",
+        "no lambdas on the engine calendar",
+        "checkpoints pickle the calendar; a scheduled lambda makes the "
+        "first snapshot raise instead of the run resuming",
+    ),
+    Rule(
+        "CKPT-LOCAL-CB",
+        "calendar callbacks must be module-level or bound methods",
+        "a closure scheduled on the calendar pickles by reference to a "
+        "local scope that no longer exists at restore time",
+    ),
+    Rule(
+        "CKPT-HANDLE",
+        "snapshot-reachable classes holding OS resources need __getstate__",
+        "open files, threads and locks cannot cross the pickle boundary; "
+        "without __getstate__/__reduce__ the first checkpoint crashes "
+        "the run",
+    ),
+)
+
+#: Packages a :func:`repro.recovery.take_snapshot` payload can reach.
+SNAPSHOT_SCOPE = frozenset(
+    {
+        "sim",
+        "cluster",
+        "runtime",
+        "core",
+        "tasks",
+        "workloads",
+        "chaos",
+        "recovery",
+        "telemetry",
+        "experiments",
+    }
+)
+
+#: Engine methods whose arguments land on the pickled calendar.
+SCHEDULING_SURFACE = frozenset(
+    {"schedule", "schedule_at", "schedule_many", "every"}
+)
+
+#: Keywords of the scheduling surface that are never pickled payloads.
+NON_PAYLOAD_KEYWORDS = frozenset({"priority", "label", "labels", "start_delay"})
+
+#: Constructor names whose results are OS resources (not picklable).
+HANDLE_FACTORIES = frozenset(
+    {"open", "Lock", "RLock", "Event", "Condition", "Semaphore", "Thread"}
+)
+
+#: Dunder methods that let a class control its pickled form.
+PICKLE_HOOKS = frozenset(
+    {"__getstate__", "__reduce__", "__reduce_ex__", "__getnewargs__"}
+)
+
+
+def _callee_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _local_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside other functions."""
+    local: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for inner in ast.walk(node):
+                if inner is node:
+                    continue
+                if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local.add(inner.name)
+    return local
+
+
+def check(info: ModuleInfo) -> list[Violation]:
+    """Run the checkpoint-safety rules over one module."""
+    if not info.module.startswith("repro"):
+        return []
+    if info.package() not in SNAPSHOT_SCOPE:
+        return []
+    violations: list[Violation] = []
+    local_funcs = _local_function_names(info.tree)
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Call):
+            callee = _callee_name(node.func)
+            if callee in SCHEDULING_SURFACE:
+                violations.extend(_check_callback_args(info, node, callee, local_funcs))
+        elif isinstance(node, ast.ClassDef):
+            violations.extend(_check_handle_state(info, node))
+    return violations
+
+
+def _check_callback_args(
+    info: ModuleInfo,
+    node: ast.Call,
+    callee: str,
+    local_funcs: set[str],
+) -> list[Violation]:
+    out: list[Violation] = []
+    kw_values = [
+        kw.value
+        for kw in node.keywords
+        if kw.arg not in NON_PAYLOAD_KEYWORDS
+    ]
+    for arg in [*node.args, *kw_values]:
+        if isinstance(arg, ast.Lambda):
+            out.append(
+                Violation(
+                    "CKPT-LAMBDA-CB",
+                    info.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"lambda passed to `{callee}` lands on the pickled "
+                    "calendar",
+                    "use a bound method or a module-level callable class",
+                )
+            )
+        elif isinstance(arg, ast.Name) and arg.id in local_funcs:
+            out.append(
+                Violation(
+                    "CKPT-LOCAL-CB",
+                    info.path,
+                    arg.lineno,
+                    arg.col_offset,
+                    f"locally-defined function `{arg.id}` passed to "
+                    f"`{callee}` cannot be restored from a snapshot",
+                    "hoist it to module level or make it a method",
+                )
+            )
+    return out
+
+
+def _check_handle_state(
+    info: ModuleInfo, klass: ast.ClassDef
+) -> list[Violation]:
+    """Flag classes that stash OS resources on ``self`` with no
+    ``__getstate__``/``__reduce__`` to keep them out of snapshots."""
+    has_hook = any(
+        isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and item.name in PICKLE_HOOKS
+        for item in klass.body
+    )
+    if has_hook:
+        return []
+    out: list[Violation] = []
+    for node in ast.walk(klass):
+        if not isinstance(node, ast.Assign):
+            continue
+        stores_on_self = any(
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            for target in node.targets
+        )
+        if not stores_on_self:
+            continue
+        for call in ast.walk(node.value):
+            if (
+                isinstance(call, ast.Call)
+                and _callee_name(call.func) in HANDLE_FACTORIES
+            ):
+                out.append(
+                    Violation(
+                        "CKPT-HANDLE",
+                        info.path,
+                        node.lineno,
+                        node.col_offset,
+                        f"class `{klass.name}` stores a "
+                        f"`{_callee_name(call.func)}(...)` result on self "
+                        "without __getstate__",
+                        "exclude the handle from pickling and re-open it "
+                        "on restore (see JsonlTraceSink)",
+                    )
+                )
+                break
+    return out

@@ -8,8 +8,8 @@ unit tests use with synthetic sources.
 
 The run is split into two kinds of work:
 
-* **Per-file passes** (DET/UNIT/LAY/PCK/VEC, plus the per-file API
-  rule) see one module at a time and cache cleanly per content hash.
+* **Per-file passes** (DET/UNIT/LAY/PCK/CKPT/VEC, plus the per-file
+  API rule) see one module at a time and cache cleanly per content hash.
 * **Project passes** (CONC-* over the call graph, API-SNAPSHOT) see a
   :class:`~repro.analysis.project.ProjectModel` over every file in the
   run and cache against the signature of the whole file set.
@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.analysis import (
+    ckpt,
     concurrency,
     determinism,
     facade_lint,
@@ -80,6 +81,7 @@ ALL_RULES: dict[str, Rule] = {
         units_lint.RULES,
         layering.RULES,
         pickling.RULES,
+        ckpt.RULES,
         vector_lint.RULES,
         concurrency.RULES,
         facade_lint.RULES,
@@ -103,6 +105,7 @@ def _raw_local_violations(
         *units_lint.check(info),
         *layering.check(info, contract=contract),
         *pickling.check(info),
+        *ckpt.check(info),
         *vector_lint.check(info, contract=contract),
         *facade_lint.check(info, contract),
     ]

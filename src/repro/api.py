@@ -90,6 +90,7 @@ from repro.core.zoo import (
 from repro.errors import ChaosError, ConfigurationError, ReproError
 from repro.experiments.breakdown import LatencyBreakdown, compute_breakdown
 from repro.experiments.campaign import (
+    CampaignFailure,
     CampaignResult,
     CampaignSpec,
     rollup_campaign,
@@ -124,7 +125,16 @@ from repro.experiments.runner import (
 )
 from repro.experiments.timeline import Timeline, extract_timeline, render_timeline
 from repro.experiments.validation import validate_reproduction
-from repro.parallel import ShardPlan, plan_shards, run_sharded
+from repro.experiments.journal import CampaignJournal
+from repro.parallel import JobFailure, ShardPlan, plan_shards, run_sharded
+from repro.recovery import (
+    Checkpointer,
+    FailoverCoordinator,
+    SimSnapshot,
+    restore_snapshot,
+    resume_experiment,
+    take_snapshot,
+)
 from repro.regression.estimator import TimingEstimator
 from repro.regression.latency_model import ExecutionLatencyModel
 from repro.regression.serialization import (
@@ -217,6 +227,8 @@ __all__ = [
     "BaselineConfig",
     "BurstyPattern",
     "CalibrationReport",
+    "CampaignFailure",
+    "CampaignJournal",
     "CampaignResult",
     "CampaignRollup",
     "CampaignSpec",
@@ -225,6 +237,7 @@ __all__ = [
     "ChaosError",
     "ChaosInjector",
     "ChaosScenario",
+    "Checkpointer",
     "ConfigurationError",
     "DEFAULT_SLO_RULES",
     "DEFAULT_SWEEP_UNITS",
@@ -233,12 +246,14 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentMetrics",
     "ExperimentResult",
+    "FailoverCoordinator",
     "FailureEvent",
     "FailureInjector",
     "FairShareAllocator",
     "ForecastCircuitBreaker",
     "HardeningConfig",
     "IndexStats",
+    "JobFailure",
     "JsonlTraceSink",
     "LatencyBreakdown",
     "LinearServiceModel",
@@ -261,6 +276,7 @@ __all__ = [
     "RunProfiler",
     "SCHEMA_VERSION",
     "ShardPlan",
+    "SimSnapshot",
     "SloEngine",
     "SloReport",
     "SloRule",
@@ -310,6 +326,8 @@ __all__ = [
     "render_report",
     "render_timeline",
     "replicate_experiment",
+    "restore_snapshot",
+    "resume_experiment",
     "rollup_campaign",
     "run_campaign",
     "run_chaos_experiment",
@@ -318,6 +336,7 @@ __all__ = [
     "scenario_names",
     "shut_down_a_replica",
     "sweep_workloads",
+    "take_snapshot",
     "validate_reproduction",
     "write_report",
 ]

@@ -31,6 +31,7 @@ from repro.chaos.faults import (
     Injection,
     LossSpikeSpec,
     PartitionSpec,
+    RMCrashSpec,
     SensorDropoutSpec,
     StaleUtilizationSpec,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "Injection",
     "LossSpikeSpec",
     "PartitionSpec",
+    "RMCrashSpec",
     "ResilienceScorecard",
     "SensorDropoutSpec",
     "StaleUtilizationSpec",
@@ -79,6 +81,7 @@ def run_chaos_experiment(
     estimator=None,
     seed_offset: int = 0,
     telemetry=None,
+    failover: bool = False,
 ):
     """Run one experiment under a named chaos scenario.
 
@@ -87,7 +90,9 @@ def run_chaos_experiment(
     :class:`~repro.experiments.config.ExperimentConfig` filled in; the
     returned :class:`~repro.experiments.runner.ExperimentResult` carries
     the :class:`~repro.chaos.scorecard.ResilienceScorecard` in its
-    ``scorecard`` field.
+    ``scorecard`` field.  ``failover=True`` arms the standby controller
+    (see :class:`repro.recovery.FailoverCoordinator`) — relevant under
+    the ``rm_crash*`` scenarios.
     """
     from repro.experiments.config import BaselineConfig, ExperimentConfig
     from repro.experiments.runner import run_experiment
@@ -100,6 +105,7 @@ def run_chaos_experiment(
         baseline=baseline if baseline is not None else BaselineConfig(),
         chaos_scenario=scenario,
         hardened=hardened,
+        failover=failover,
     )
     return run_experiment(
         config,

@@ -44,7 +44,7 @@ class Injection:
         Dispatch key for the injector (``"crash"``, ``"loss_spike"``,
         ``"bandwidth_spike"``, ``"clock_step"``, ``"sensor_dropout"``,
         ``"reading_freeze"``, ``"reading_corrupt"``,
-        ``"estimator_bias"``).
+        ``"estimator_bias"``, ``"rm_crash"``).
     target:
         Processor name, or a symbolic target (``"network"``,
         ``"sensor"``, ``"estimator"``).
@@ -442,6 +442,43 @@ class CorruptUtilizationSpec:
             )
             t += self.duration_s + float(rng.exponential(self.interval_s))
         return injections
+
+
+@dataclass(frozen=True, kw_only=True)
+class RMCrashSpec:
+    """The resource-manager controller process dies mid-run.
+
+    A point fault at ``crash_s`` (jittered by up to ``jitter_s`` so the
+    crash does not always land on a monitoring-period boundary): the
+    primary controller's scheduled monitoring steps are cancelled and
+    no further adaptation happens — unless a standby controller
+    (:class:`repro.recovery.failover.FailoverCoordinator`) is armed, in
+    which case its lease watchdog detects the silence and promotes the
+    standby from the last controller-state checkpoint.
+    """
+
+    crash_s: float = 15.0
+    jitter_s: float = 0.0
+    stream: str = "rm-crash"
+
+    def __post_init__(self) -> None:
+        _require_positive("crash_s", self.crash_s)
+        if self.jitter_s < 0.0:
+            raise ChaosError(f"jitter_s must be >= 0, got {self.jitter_s}")
+
+    def compile(
+        self,
+        rng: np.random.Generator,
+        horizon_s: float,
+        processor_names: tuple[str, ...],
+    ) -> list[Injection]:
+        """Emit the single controller-crash point fault."""
+        t = self.crash_s
+        if self.jitter_s > 0.0:
+            t += float(rng.uniform(0.0, self.jitter_s))
+        if t >= horizon_s:
+            return []
+        return [Injection(time=t, kind="rm_crash", target="manager")]
 
 
 @dataclass(frozen=True, kw_only=True)

@@ -30,6 +30,78 @@ from repro.cluster.topology import System
 from repro.errors import ChaosError
 
 
+class _ConstantReading:
+    """A reading fault that reports a fixed utilization value.
+
+    Module-level (not a lambda) so faulted processors pickle for run
+    snapshots (:mod:`repro.recovery`).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self, reading: float) -> float:
+        return self.value
+
+    def __getstate__(self) -> dict[str, float]:
+        return {"value": self.value}
+
+    def __setstate__(self, state: dict[str, float]) -> None:
+        self.value = state["value"]
+
+
+class _WindowEnd:
+    """Scheduled end of a loss/bandwidth spike window."""
+
+    __slots__ = ("injector", "attr", "value", "apply_name")
+
+    def __init__(
+        self, injector: "ChaosInjector", attr: str, value: float, apply_name: str
+    ) -> None:
+        self.injector = injector
+        self.attr = attr  # injector attribute holding the active list
+        self.value = value
+        self.apply_name = apply_name
+
+    def __call__(self) -> None:
+        active: list[float] = getattr(self.injector, self.attr)
+        active.remove(self.value)
+        getattr(self.injector, self.apply_name)()
+
+    def __getstate__(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+class _ReadingFaultEnd:
+    """Scheduled end of a reading freeze/corrupt window."""
+
+    __slots__ = ("injector", "name")
+
+    def __init__(self, injector: "ChaosInjector", name: str) -> None:
+        self.injector = injector
+        self.name = name
+
+    def __call__(self) -> None:
+        injector = self.injector
+        remaining = injector._active_reading_faults[self.name] - 1
+        injector._active_reading_faults[self.name] = remaining
+        if remaining == 0:
+            injector.system.processor(self.name).reading_fault = None
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"injector": self.injector, "name": self.name}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.injector = state["injector"]
+        self.name = state["name"]
+
+
 class ChaosInjector:
     """Applies a :class:`~repro.chaos.scenario.ChaosScenario` to a system."""
 
@@ -49,6 +121,11 @@ class ChaosInjector:
         self._active_reading_faults: dict[str, int] = {}
         self._sensor_windows: list[tuple[float, float]] = []
         self._estimator_windows: list[tuple[float, float, float]] = []
+        #: Handler for ``rm_crash`` injections.  The failover coordinator
+        #: (:mod:`repro.recovery.failover`) registers itself here; without
+        #: a handler the injection is recorded but has no effect (the
+        #: controller has no separate process to kill in a plain run).
+        self.on_rm_crash: Callable[[Injection], None] | None = None
 
     # -- life-cycle ---------------------------------------------------------
 
@@ -127,14 +204,14 @@ class ChaosInjector:
             self._inject_crash(injection)
         elif injection.kind == "loss_spike":
             self._begin_window(
-                injection, self._active_losses, injection.value, self._apply_loss
+                injection, "_active_losses", injection.value, "_apply_loss"
             )
         elif injection.kind == "bandwidth_spike":
             self._begin_window(
                 injection,
-                self._active_bandwidth_factors,
+                "_active_bandwidth_factors",
                 injection.value,
-                self._apply_bandwidth,
+                "_apply_bandwidth",
             )
         elif injection.kind == "clock_step":
             self.system.clock_of(injection.target).offset += injection.value
@@ -143,10 +220,12 @@ class ChaosInjector:
             frozen = processor.meter.utilization(
                 self.system.engine.now, processor.utilization_window
             )
-            self._set_reading_fault(injection, lambda reading: frozen)
+            self._set_reading_fault(injection, _ConstantReading(frozen))
         elif injection.kind == "reading_corrupt":
-            value = injection.value
-            self._set_reading_fault(injection, lambda reading: value)
+            self._set_reading_fault(injection, _ConstantReading(injection.value))
+        elif injection.kind == "rm_crash":
+            if self.on_rm_crash is not None:
+                self.on_rm_crash(injection)
         # sensor_dropout / estimator_bias act through the wrappers; the
         # scheduled event exists for the trace and telemetry records.
 
@@ -161,22 +240,16 @@ class ChaosInjector:
             )
 
     def _begin_window(
-        self,
-        injection: Injection,
-        active: list[float],
-        value: float,
-        apply: Callable[[], None],
+        self, injection: Injection, attr: str, value: float, apply_name: str
     ) -> None:
         assert injection.duration_s is not None
+        active: list[float] = getattr(self, attr)
         active.append(value)
-        apply()
-
-        def end() -> None:
-            active.remove(value)
-            apply()
-
+        getattr(self, apply_name)()
         self.system.engine.schedule(
-            injection.duration_s, end, label=f"chaos.end.{injection.kind}"
+            injection.duration_s,
+            _WindowEnd(self, attr, value, apply_name),
+            label=f"chaos.end.{injection.kind}",
         )
 
     def _apply_loss(self) -> None:
@@ -198,15 +271,10 @@ class ChaosInjector:
         self._active_reading_faults[name] = (
             self._active_reading_faults.get(name, 0) + 1
         )
-
-        def end() -> None:
-            remaining = self._active_reading_faults[name] - 1
-            self._active_reading_faults[name] = remaining
-            if remaining == 0:
-                processor.reading_fault = None
-
         self.system.engine.schedule(
-            injection.duration_s, end, label=f"chaos.end.{injection.kind}"
+            injection.duration_s,
+            _ReadingFaultEnd(self, name),
+            label=f"chaos.end.{injection.kind}",
         )
 
     # -- wrappers -----------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.chaos.faults import (
     FaultSpec,
     LossSpikeSpec,
     PartitionSpec,
+    RMCrashSpec,
     SensorDropoutSpec,
     StaleUtilizationSpec,
 )
@@ -125,6 +126,21 @@ SCENARIOS: dict[str, ChaosScenario] = {
             ),
             description="A node reports utilization -1 and wins every "
             "least-utilized query.",
+        ),
+        ChaosScenario(
+            name="rm_crash",
+            faults=(RMCrashSpec(crash_s=15.0, jitter_s=0.4),),
+            description="The RM controller process dies mid-run; without "
+            "failover no further adaptation happens.",
+        ),
+        ChaosScenario(
+            name="rm_crash_under_load",
+            faults=(
+                RMCrashSpec(crash_s=15.0, jitter_s=0.4),
+                CrashRecoverySpec(mtbf_s=18.0, mttr_s=5.0),
+            ),
+            description="Controller crash on top of node crash/recovery "
+            "churn — the case failover must survive.",
         ),
         ChaosScenario(
             name="estimator_bias",

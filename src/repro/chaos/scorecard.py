@@ -54,6 +54,17 @@ class ResilienceScorecard:
     unrecovered_faults: int = 0
     rm_actions: int = 0
     actions_per_fault: float = 0.0
+    #: Controller crashes injected (``rm_crash`` faults before horizon).
+    rm_crashes: int = 0
+    #: Crash-to-takeover latency of the standby controller, averaged
+    #: over crashes (``None``: no failover armed or no crash fired).
+    takeover_latency_s: float | None = None
+    #: Monitoring-period boundaries that elapsed with no live
+    #: controller (primary dead, standby not yet promoted).
+    missed_rm_cycles: int = 0
+    #: Decision events that differ from the uninterrupted reference
+    #: run's sequence (``None``: no reference was compared).
+    decision_divergence: int | None = None
 
     def as_dict(self) -> dict:
         """JSON-friendly representation."""
@@ -72,6 +83,10 @@ class ResilienceScorecard:
             "unrecovered_faults": self.unrecovered_faults,
             "rm_actions": self.rm_actions,
             "actions_per_fault": self.actions_per_fault,
+            "rm_crashes": self.rm_crashes,
+            "takeover_latency_s": self.takeover_latency_s,
+            "missed_rm_cycles": self.missed_rm_cycles,
+            "decision_divergence": self.decision_divergence,
         }
 
     def to_registry(self, registry: "MetricsRegistry") -> None:
@@ -86,13 +101,21 @@ class ResilienceScorecard:
         registry.gauge("chaos.disrupted_faults").set(self.disrupted_faults)
         registry.gauge("chaos.unrecovered_faults").set(self.unrecovered_faults)
         registry.gauge("chaos.actions_per_fault").set(self.actions_per_fault)
+        if self.rm_crashes:
+            registry.gauge("chaos.rm_crashes").set(self.rm_crashes)
+            registry.gauge("chaos.missed_rm_cycles").set(self.missed_rm_cycles)
+        if self.takeover_latency_s is not None:
+            registry.gauge("chaos.takeover_latency_seconds").set(
+                self.takeover_latency_s
+            )
 
     def write_json(self, path: str | Path) -> Path:
-        """Persist :meth:`as_dict` as pretty-printed JSON."""
+        """Persist :meth:`as_dict` as pretty-printed JSON (atomically)."""
+        from repro.experiments.export import atomic_write_text
+
         target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(
-            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
+        atomic_write_text(
+            target, json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n"
         )
         return target
 

@@ -39,11 +39,15 @@ Commands
     ``--scenarios`` / ``--hardened-axis`` extend the grid along the
     chaos axes, ``--slo`` evaluates rules per cell and ``--rollup``
     writes the order-independent campaign rollup JSON.
+    ``--journal PATH`` appends every finished cell durably;
+    ``--resume`` re-runs only the missing cells after a crash and
+    ``--retries N`` survives dying worker processes.
 ``chaos``
     One experiment under a named fault-injection scenario, reporting
     the resilience scorecard; ``--compare`` runs the hardened and
-    unhardened RM side by side, ``--list`` prints the scenario
-    catalogue.
+    unhardened RM side by side, ``--failover`` arms the standby
+    controller for the ``rm_crash*`` scenarios, ``--list`` prints the
+    scenario catalogue.
 ``lint``
     Static-analysis suite over a source tree (determinism, unit-safety,
     layering, pickling rules); exit code 1 on violations.
@@ -231,6 +235,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         max_workload_units=args.max_units,
         baseline=baseline,
         engine=_engine_from_args(args),
+        checkpoint=args.checkpoint,
     )
     estimator = get_estimator(baseline, cache_dir=_cache_dir_from_args(args))
 
@@ -619,7 +624,17 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         cache_dir=_cache_dir_from_args(args),
         progress=None if args.quiet else print,
         shards=_shards_from_args(args),
+        journal=args.journal,
+        resume=args.resume,
+        retries=args.retries,
     )
+    if result.failed:
+        for failure in result.failed:
+            print(
+                f"FAILED cell {failure.index} ({failure.tag}): "
+                f"{failure.error} [{failure.attempts} attempt(s)]",
+                file=sys.stderr,
+            )
     print(result.render(metric=args.metric))
     if args.json:
         target = result.write_json(args.json)
@@ -629,7 +644,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
 
         target = rollup_campaign(result).write(args.rollup)
         print(f"campaign rollup written to {target}")
-    return 0
+    return 1 if result.failed else 0
 
 
 def cmd_chaos(args: argparse.Namespace) -> int:
@@ -662,6 +677,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 baseline=baseline,
                 hardened=hardened,
                 estimator=estimator,
+                failover=args.failover,
             )
         except ReproError as exc:
             if not args.compare:
@@ -700,6 +716,18 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             f"{args.max_units:g} units",
         )
     )
+    for label, (scorecard, _) in scorecards.items():
+        if scorecard.rm_crashes:
+            latency = (
+                "-"
+                if scorecard.takeover_latency_s is None
+                else f"{scorecard.takeover_latency_s:.3f} s"
+            )
+            print(
+                f"{label}: {scorecard.rm_crashes} controller crash(es), "
+                f"takeover latency {latency}, "
+                f"{scorecard.missed_rm_cycles} missed monitoring cycle(s)"
+            )
     if args.json:
         import json as _json
         from pathlib import Path
@@ -878,6 +906,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream a JSONL trace and metrics snapshots (JSON + "
         "Prometheus text) into this directory (single runs only)",
     )
+    p_run.add_argument(
+        "--checkpoint", type=float, metavar="SECONDS",
+        help="arm periodic in-run snapshots at this sim-time interval "
+        "(see repro.recovery; decisions are unchanged)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser(
@@ -943,6 +976,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--rollup",
         help="write the order-independent campaign rollup JSON here",
     )
+    p_campaign.add_argument(
+        "--journal", metavar="PATH",
+        help="crash-tolerant cell journal (JSONL): every finished cell "
+        "is durably appended here as the campaign runs",
+    )
+    p_campaign.add_argument(
+        "--resume", action="store_true",
+        help="reload completed cells from --journal and run only the "
+        "missing ones (merged result is byte-identical to an "
+        "uninterrupted campaign)",
+    )
+    p_campaign.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="resubmit jobs whose worker process died up to N extra "
+        "times; unrecoverable cells are recorded instead of aborting "
+        "(exit code 1 if any remain)",
+    )
     p_campaign.set_defaults(func=cmd_campaign)
 
     p_slo = sub.add_parser(
@@ -988,6 +1038,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--compare", action="store_true",
         help="run hardened and unhardened back to back",
+    )
+    p_chaos.add_argument(
+        "--failover", action="store_true",
+        help="arm the standby controller (takes over after an rm_crash "
+        "fault kills the primary; see repro.recovery)",
     )
     p_chaos.add_argument("--json", help="write the scorecard JSON here")
     p_chaos.add_argument(

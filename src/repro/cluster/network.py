@@ -20,16 +20,16 @@ provide the "average network utilization" metric of §5.2.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Callable
 
 from repro.cluster.metering import UtilizationMeter
 from repro.errors import ClusterError
+from repro.sim.counters import IdCounter
 from repro.sim.engine import Engine
 from repro.units import ETHERNET_100_MBPS, transmission_time
 
-_message_ids = itertools.count(1)
+_message_ids = IdCounter(1)
 
 
 class Message:

@@ -22,17 +22,17 @@ the trailing ``utilization_window`` seconds, provided by
 from __future__ import annotations
 
 import enum
-import itertools
 from collections import deque
 from typing import Callable
 
 from repro.cluster.metering import UtilizationMeter
 from repro.errors import ClusterError
+from repro.sim.counters import IdCounter
 from repro.sim.engine import Engine
 from repro.sim.events import Event
 from repro.units import MS
 
-_job_ids = itertools.count(1)
+_job_ids = IdCounter(1)
 
 
 class Discipline(enum.Enum):

@@ -215,6 +215,13 @@ class AdaptiveResourceManager:
         )
         self.history: list[RMEvent] = []
         self.deadlines: DeadlineAssignment = self._initial_deadlines()
+        #: True once :meth:`kill` ran (controller crash fault).
+        self.killed = False
+        #: Pending step-event handles (cancelled by :meth:`kill`).
+        self._step_events: list = []
+        #: Simulation time of the most recent completed step — the
+        #: heartbeat the failover coordinator's lease check reads.
+        self.last_step_time = float("-inf")
 
     # -- deadline management --------------------------------------------------------
 
@@ -285,12 +292,116 @@ class AdaptiveResourceManager:
         it replaces while letting an array-backed calendar sort the
         whole run's steps once.
         """
-        self.system.engine.schedule_many(
+        self._step_events = self.system.engine.schedule_many(
             [first_release + c * self.task.period for c in range(n_periods)],
             self.step,
             priority=RM_PRIORITY,
             labels="rm.step",
         )
+
+    def kill(self) -> int:
+        """Crash the controller: cancel every pending step, permanently.
+
+        Models the ``rm_crash`` chaos fault — the executor keeps
+        releasing periods, but no monitoring or adaptation happens until
+        a standby takes over (:mod:`repro.recovery.failover`).  Returns
+        the number of steps cancelled; idempotent.
+        """
+        if self.killed:
+            return 0
+        self.killed = True
+        cancelled = sum(1 for event in self._step_events if event.cancel())
+        self._step_events = []
+        self.system.engine.tracer.record(
+            self.system.engine.now, "rm", "rm.crash", {"cancelled": cancelled}
+        )
+        return cancelled
+
+    def on_rm_crash(self, injection) -> None:
+        """Chaos hook for the ``rm_crash`` fault (no-failover baseline)."""
+        self.kill()
+
+    # -- controller state (failover / snapshots) -----------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """The controller's pure mutable state, deep-copied.
+
+        Everything a standby manager needs to continue the decision
+        sequence from this point: deadlines, decision history, pending
+        forecast bookkeeping, and the hardening components' counters.
+        Shared live objects (system, executor, estimator) are *not*
+        included — a standby attaches to the same instances.
+        """
+        state: dict[str, object] = {
+            "deadlines": self.deadlines,
+            "history": list(self.history),
+            "pending_forecasts": dict(self._pending_forecasts),
+            "breaker_seen": set(self._breaker_seen),
+            "last_observed_period": getattr(self, "_last_observed_period", -1),
+            "last_step_time": self.last_step_time,
+        }
+        if self.guard is not None:
+            state["guard"] = {
+                "last_counts": dict(self.guard._last_counts),
+                "crash_times": {
+                    name: list(times)
+                    for name, times in self.guard._crash_times.items()
+                },
+                "exclusions": dict(self.guard.exclusions),
+            }
+        if self.backoff is not None:
+            state["backoff"] = {
+                "consecutive": dict(self.backoff._consecutive),
+                "next_allowed": dict(self.backoff._next_allowed),
+                "suppressed": self.backoff.suppressed,
+            }
+        if self.breaker is not None:
+            state["breaker"] = {
+                "state": self.breaker.state,
+                "trips": self.breaker.trips,
+                "observations": self.breaker.observations,
+                "mispredictions": self.breaker.mispredictions,
+                "errors": list(self.breaker._errors),
+                "opened_at": self.breaker._opened_at,
+            }
+        return state
+
+    def load_state_dict(self, state: dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output into this manager."""
+        import copy as _copy
+        from collections import deque as _deque
+
+        state = _copy.deepcopy(state)
+        self.deadlines = state["deadlines"]  # type: ignore[assignment]
+        self.history = list(state["history"])  # type: ignore[arg-type]
+        self._pending_forecasts = dict(state["pending_forecasts"])  # type: ignore[arg-type]
+        self._breaker_seen = set(state["breaker_seen"])  # type: ignore[arg-type]
+        self._last_observed_period = state["last_observed_period"]
+        self.last_step_time = float(state["last_step_time"])  # type: ignore[arg-type]
+        guard_state = state.get("guard")
+        if self.guard is not None and guard_state is not None:
+            self.guard._last_counts = dict(guard_state["last_counts"])
+            self.guard._crash_times = {
+                name: _deque(times)
+                for name, times in guard_state["crash_times"].items()
+            }
+            self.guard.exclusions = dict(guard_state["exclusions"])
+        backoff_state = state.get("backoff")
+        if self.backoff is not None and backoff_state is not None:
+            self.backoff._consecutive = dict(backoff_state["consecutive"])
+            self.backoff._next_allowed = dict(backoff_state["next_allowed"])
+            self.backoff.suppressed = backoff_state["suppressed"]
+        breaker_state = state.get("breaker")
+        if self.breaker is not None and breaker_state is not None:
+            self.breaker.state = breaker_state["state"]
+            self.breaker.trips = breaker_state["trips"]
+            self.breaker.observations = breaker_state["observations"]
+            self.breaker.mispredictions = breaker_state["mispredictions"]
+            self.breaker._errors = _deque(
+                breaker_state["errors"],
+                maxlen=self.breaker.config.breaker_window,
+            )
+            self.breaker._opened_at = breaker_state["opened_at"]
 
     def _handle_failures(self) -> list[tuple[int, str, str | None]]:
         """Evict/migrate replicas stranded on failed processors.
@@ -519,6 +630,7 @@ class AdaptiveResourceManager:
                     telemetry.slo.on_decision_latency(now, step_wall)
             telemetry.end_decision(self.system.engine.now, event)
         self.history.append(event)
+        self.last_step_time = now
         return event
 
     # -- metric views -----------------------------------------------------------------

@@ -172,6 +172,25 @@ class CampaignRow:
 
 
 @dataclass(frozen=True)
+class CampaignFailure:
+    """One grid cell that produced no row (crash-tolerant mode)."""
+
+    index: int
+    tag: str
+    error: str
+    attempts: int
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation."""
+        return {
+            "index": self.index,
+            "tag": self.tag,
+            "error": self.error,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass(frozen=True)
 class CampaignResult:
     """Every row of a finished campaign plus run-level accounting."""
 
@@ -179,6 +198,9 @@ class CampaignResult:
     rows: tuple[CampaignRow, ...]
     n_jobs: int
     elapsed_s: float
+    #: Cells that died unrecoverably (``retries`` mode); empty on the
+    #: historical any-failure-aborts path.
+    failed: tuple[CampaignFailure, ...] = ()
 
     def deterministic_json(self) -> str:
         """Canonical JSON of every row's deterministic content.
@@ -291,14 +313,33 @@ class CampaignResult:
             "total_job_wall_clock_s": sum(r.wall_clock_s for r in self.rows),
             "max_rss_kb": max((r.max_rss_kb for r in self.rows), default=0),
             "rows": [row.as_dict() for row in self.rows],
+            "failed": [failure.as_dict() for failure in self.failed],
         }
 
     def write_json(self, path: str | Path) -> Path:
-        """Persist :meth:`to_dict` as pretty-printed JSON."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        return target
+        """Persist :meth:`to_dict` as pretty-printed JSON (atomically)."""
+        from repro.experiments.export import atomic_write_json
+
+        return atomic_write_json(Path(path), self.to_dict())
+
+
+def _row_from_job(job_result) -> CampaignRow:
+    """Fold one :class:`~repro.parallel.jobs.JobResult` into a row."""
+    return CampaignRow(
+        policy=job_result.spec.config.policy,
+        pattern=job_result.spec.config.pattern,
+        max_workload_units=job_result.spec.config.max_workload_units,
+        seed_offset=job_result.spec.seed_offset,
+        metrics=job_result.metrics,
+        wall_clock_s=job_result.wall_clock_s,
+        max_rss_kb=job_result.max_rss_kb,
+        pid=job_result.pid,
+        chaos_scenario=job_result.spec.config.chaos_scenario,
+        hardened=job_result.spec.config.hardened,
+        decision_digest=job_result.decision_digest,
+        tag=job_result.spec.tag,
+        slo=job_result.slo,
+    )
 
 
 def run_campaign(
@@ -307,6 +348,9 @@ def run_campaign(
     cache_dir: str | Path | None = None,
     progress: Progress | None = None,
     shards: int = 0,
+    journal: str | Path | None = None,
+    resume: bool = False,
+    retries: int = 0,
 ) -> CampaignResult:
     """Execute every cell of the grid; results keep enumeration order.
 
@@ -320,16 +364,47 @@ def run_campaign(
     executed serially inside one worker process (overrides ``n_jobs``).
     Deterministic row content is byte-identical either way —
     :meth:`CampaignResult.deterministic_json` pins it.
-    """
-    from repro.parallel import effective_n_jobs, run_configs_parallel
 
+    Crash tolerance (:mod:`repro.experiments.journal`): with ``journal``
+    set, every completed cell is durably appended to that JSONL file as
+    it finishes; ``resume=True`` reloads a prior journal for the same
+    spec, re-runs only the missing cells, and merges —
+    ``deterministic_json()`` of the merged result is byte-identical to
+    an uninterrupted campaign.  ``retries > 0`` additionally survives
+    dying worker *processes* (bounded resubmission; unrecoverable cells
+    land in :attr:`CampaignResult.failed` instead of aborting).
+    """
+    from repro.experiments.journal import CampaignJournal
+    from repro.parallel import JobFailure, effective_n_jobs, run_configs_parallel
+
+    if resume and journal is None:
+        raise ConfigurationError("resume=True requires a journal path")
     n_jobs = effective_n_jobs(n_jobs)
     cells = spec.enumerate()
-    configs = [config for config, _, _ in cells]
-    offsets = [offset for _, offset, _ in cells]
-    tags = [tag for _, _, tag in cells]
+    done: dict[int, CampaignRow] = {}
+    journal_obj: CampaignJournal | None = None
+    if journal is not None:
+        journal_obj = CampaignJournal(journal)
+        if resume and journal_obj.exists():
+            done = journal_obj.load(spec)
+            # Rewrite cleanly before appending: a torn tail from the
+            # crash would otherwise corrupt the first new row line.
+            journal_obj.compact(spec, n_cells=len(cells), rows=done)
+            if progress is not None and done:
+                progress(
+                    f"resuming: {len(done)}/{len(cells)} cells already "
+                    f"journaled in {journal_obj.path}"
+                )
+        else:
+            journal_obj.start(spec, n_cells=len(cells))
+    pending = [i for i in range(len(cells)) if i not in done]
+    configs = [cells[i][0] for i in pending]
+    offsets = [cells[i][1] for i in pending]
+    tags = [cells[i][2] for i in pending]
 
     def on_result(index: int, total: int, job_result) -> None:
+        if journal_obj is not None:
+            journal_obj.append_row(pending[index], _row_from_job(job_result))
         if progress is None:
             return
         progress(
@@ -340,36 +415,50 @@ def run_campaign(
         )
 
     start = time.perf_counter()
-    job_results = run_configs_parallel(
-        configs,
-        n_jobs=n_jobs,
-        cache_dir=cache_dir,
-        seed_offsets=offsets,
-        repetitions=spec.repetitions,
-        tags=tags,
-        on_result=on_result,
-        shards=shards,
+    job_results = (
+        run_configs_parallel(
+            configs,
+            n_jobs=n_jobs,
+            cache_dir=cache_dir,
+            seed_offsets=offsets,
+            repetitions=spec.repetitions,
+            tags=tags,
+            on_result=on_result,
+            shards=shards,
+            retries=retries,
+        )
+        if pending
+        else []
     )
     elapsed = time.perf_counter() - start
+    rows_by_cell = dict(done)
+    failures: list[CampaignFailure] = []
+    for job_index, job_result in enumerate(job_results):
+        cell_index = pending[job_index]
+        if isinstance(job_result, JobFailure):
+            failure = CampaignFailure(
+                index=cell_index,
+                tag=tags[job_index],
+                error=job_result.error,
+                attempts=job_result.attempts,
+            )
+            failures.append(failure)
+            if journal_obj is not None:
+                journal_obj.append_failure(
+                    cell_index, failure.tag, failure.error, failure.attempts
+                )
+            continue
+        rows_by_cell[cell_index] = _row_from_job(job_result)
     rows = tuple(
-        CampaignRow(
-            policy=jr.spec.config.policy,
-            pattern=jr.spec.config.pattern,
-            max_workload_units=jr.spec.config.max_workload_units,
-            seed_offset=jr.spec.seed_offset,
-            metrics=jr.metrics,
-            wall_clock_s=jr.wall_clock_s,
-            max_rss_kb=jr.max_rss_kb,
-            pid=jr.pid,
-            chaos_scenario=jr.spec.config.chaos_scenario,
-            hardened=jr.spec.config.hardened,
-            decision_digest=jr.decision_digest,
-            tag=jr.spec.tag,
-            slo=jr.slo,
-        )
-        for jr in job_results
+        rows_by_cell[i] for i in range(len(cells)) if i in rows_by_cell
     )
-    return CampaignResult(spec=spec, rows=rows, n_jobs=n_jobs, elapsed_s=elapsed)
+    return CampaignResult(
+        spec=spec,
+        rows=rows,
+        n_jobs=n_jobs,
+        elapsed_s=elapsed,
+        failed=tuple(failures),
+    )
 
 
 def rollup_campaign(result: CampaignResult) -> CampaignRollup:

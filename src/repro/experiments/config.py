@@ -186,6 +186,17 @@ class ExperimentConfig:
         when rules are present, so SLO verdicts work even for callers
         that never touch telemetry.  The decision sequence is
         unaffected either way.
+    checkpoint:
+        Sim-time interval (seconds) between periodic run snapshots
+        (:mod:`repro.recovery`).  ``None`` (the default) never
+        checkpoints.  Checkpoint events never change decisions: a
+        checkpointed run's decision digest equals the unarmed run's.
+    failover:
+        Arm a standby controller with heartbeat/lease detection
+        (:class:`repro.recovery.failover.FailoverCoordinator`); on an
+        ``rm_crash`` chaos fault the standby takes over from the last
+        controller-state checkpoint instead of leaving the run without
+        adaptation.
     """
 
     policy: str
@@ -196,6 +207,8 @@ class ExperimentConfig:
     hardened: bool = False
     engine: str = "scalar"
     slo: tuple[SloRule, ...] | None = None
+    checkpoint: float | None = None
+    failover: bool = False
 
     def __post_init__(self) -> None:
         if self.max_workload_units <= 0.0:
@@ -206,6 +219,10 @@ class ExperimentConfig:
         if self.engine not in ("scalar", "vectorized"):
             raise ConfigurationError(
                 f"engine must be 'scalar' or 'vectorized', got {self.engine!r}"
+            )
+        if self.checkpoint is not None and self.checkpoint <= 0.0:
+            raise ConfigurationError(
+                f"checkpoint interval must be positive, got {self.checkpoint}"
             )
 
     def with_overrides(self, **overrides: Any) -> "ExperimentConfig":

@@ -3,12 +3,20 @@
 Figures and sweeps become portable data files so downstream users can
 plot them with their own tooling.  The formats are deliberately plain:
 CSV with a header row for series, flat JSON for metric sets.
+
+Every writer lands its payload *atomically* via
+:func:`atomic_write_text` / :func:`atomic_write_json`: the bytes go to a
+``<name>.tmp`` sibling first and ``os.replace`` swaps it into place, so
+a crash mid-write (the case :mod:`repro.recovery` resumes from) leaves
+either the previous complete artefact or the new one — never a
+truncated file.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+import os
 import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING
@@ -28,16 +36,51 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 SCHEMA_VERSION = 2
 
 
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp sibling + rename).
+
+    Parent directories are created.  The temporary file lives next to
+    the target (same filesystem, so ``os.replace`` is atomic) and is
+    removed if the write fails.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        with tmp.open("w", encoding="utf-8", newline="") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return target
+
+
+def atomic_write_json(path: str | Path, payload: object, **dumps_kwargs) -> Path:
+    """Serialize ``payload`` as JSON and land it atomically.
+
+    ``dumps_kwargs`` pass through to :func:`json.dumps`; the default
+    style matches the repository's artefacts (two-space indent, sorted
+    keys, trailing newline).
+    """
+    dumps_kwargs.setdefault("indent", 2)
+    dumps_kwargs.setdefault("sort_keys", True)
+    return atomic_write_text(path, json.dumps(payload, **dumps_kwargs) + "\n")
+
+
 def figure_to_csv(data: "FigureData", path: str | Path) -> Path:
     """Write a figure's x-axis and series as CSV (one row per x)."""
-    path = Path(path)
+    import io
+
     names = list(data.series)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow([data.x_label] + names)
-        for i, x in enumerate(data.x_values):
-            writer.writerow([x] + [data.series[name][i] for name in names])
-    return path
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([data.x_label] + names)
+    for i, x in enumerate(data.x_values):
+        writer.writerow([x] + [data.series[name][i] for name in names])
+    return atomic_write_text(path, buffer.getvalue())
 
 
 def figure_from_csv(path: str | Path) -> tuple[str, list[float], dict[str, list[float]]]:
@@ -81,8 +124,7 @@ def metrics_to_json(
     if extra:
         payload.update(extra)
     payload["schema_version"] = SCHEMA_VERSION
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
-    return path
+    return atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True))
 
 
 def metrics_from_json(path: str | Path) -> dict:
@@ -146,11 +188,10 @@ def rm_history_to_csv(
 
         index = RunHistoryIndex(manager.executor, manager)
     index.update()
-    path = Path(path)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(
-            ["time", "kind", "subtask", "processors", "total_replicas"]
-        )
-        writer.writerows(index.action_rows())
-    return path
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["time", "kind", "subtask", "processors", "total_replicas"])
+    writer.writerows(index.action_rows())
+    return atomic_write_text(path, buffer.getvalue())

@@ -1,0 +1,217 @@
+"""Crash-tolerant campaign journal.
+
+One JSONL file per campaign run: a header line binding the journal to
+its :class:`~repro.experiments.campaign.CampaignSpec` (by fingerprint),
+then one line per finished grid cell, appended — flushed and fsynced —
+the moment the cell completes.  A campaign killed at any point leaves a
+valid journal: ``repro campaign --resume`` reloads the completed rows,
+re-runs only the missing cells, and merges to a
+:class:`~repro.experiments.campaign.CampaignResult` whose
+``deterministic_json()`` is byte-identical to an uninterrupted run
+(rows are pure functions of config and seed, so where they were
+computed — and across how many crashes — cannot show).
+
+Row lines carry *every* :class:`~repro.experiments.metrics.ExperimentMetrics`
+dataclass field (not the derived ``as_dict`` view), so reloaded rows
+reconstruct the exact frozen metrics object; floats survive the JSON
+round trip exactly (``repr``-based serialization).  A torn final line
+(crash mid-append) is tolerated on load, like
+:func:`repro.telemetry.sinks.read_jsonl`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import ExperimentMetrics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.campaign import CampaignRow, CampaignSpec
+
+#: Journal layout version.  History: v1 — header + row/failed lines.
+JOURNAL_SCHEMA_VERSION = 1
+
+
+def spec_fingerprint(spec: "CampaignSpec") -> str:
+    """A stable digest of the full campaign grid definition.
+
+    Dataclass ``repr`` is deterministic field-by-field (baselines,
+    chaos axes, SLO rules included), so two specs fingerprint equal iff
+    they enumerate identical grids.
+    """
+    return hashlib.sha256(repr(spec).encode("utf-8")).hexdigest()
+
+
+def _row_payload(row: "CampaignRow") -> dict[str, Any]:
+    payload = row.as_dict()
+    # as_dict carries the derived metrics view; reconstruction needs
+    # the dataclass fields themselves.
+    payload["metrics"] = dataclasses.asdict(row.metrics)
+    return payload
+
+
+def _row_from_payload(payload: dict[str, Any]) -> "CampaignRow":
+    from repro.experiments.campaign import CampaignRow
+
+    return CampaignRow(
+        policy=payload["policy"],
+        pattern=payload["pattern"],
+        max_workload_units=payload["max_workload_units"],
+        seed_offset=payload["seed_offset"],
+        metrics=ExperimentMetrics(**payload["metrics"]),
+        wall_clock_s=payload["wall_clock_s"],
+        max_rss_kb=payload["max_rss_kb"],
+        pid=payload["pid"],
+        chaos_scenario=payload["chaos_scenario"],
+        hardened=payload["hardened"],
+        decision_digest=payload["decision_digest"],
+        tag=payload["tag"],
+        slo=payload["slo"],
+    )
+
+
+class CampaignJournal:
+    """Atomic-append cell journal for one campaign run."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        """Whether a journal file is present (resumable)."""
+        return self.path.is_file()
+
+    def start(self, spec: "CampaignSpec", n_cells: int) -> None:
+        """Begin a fresh journal (truncates any previous one)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._write_line(
+            {
+                "kind": "header",
+                "schema_version": JOURNAL_SCHEMA_VERSION,
+                "fingerprint": spec_fingerprint(spec),
+                "n_cells": n_cells,
+            },
+            mode="w",
+        )
+
+    def append_row(self, index: int, row: "CampaignRow") -> None:
+        """Durably record one completed cell."""
+        self._write_line(
+            {"kind": "row", "index": index, "row": _row_payload(row)}
+        )
+
+    def append_failure(self, index: int, tag: str, error: str, attempts: int) -> None:
+        """Durably record one unrecoverable cell."""
+        self._write_line(
+            {
+                "kind": "failed",
+                "index": index,
+                "tag": tag,
+                "error": error,
+                "attempts": attempts,
+            }
+        )
+
+    def compact(
+        self, spec: "CampaignSpec", n_cells: int, rows: dict[int, "CampaignRow"]
+    ) -> None:
+        """Atomically rewrite the journal to header + the given rows.
+
+        Run before resuming: drops any torn tail (which would otherwise
+        corrupt the first post-resume append) and stale failure records
+        for cells about to be retried.  Uses a tmp-sibling +
+        ``os.replace`` so a crash mid-compaction leaves the old journal
+        intact.
+        """
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                records: list[dict[str, Any]] = [
+                    {
+                        "kind": "header",
+                        "schema_version": JOURNAL_SCHEMA_VERSION,
+                        "fingerprint": spec_fingerprint(spec),
+                        "n_cells": n_cells,
+                    }
+                ]
+                records.extend(
+                    {"kind": "row", "index": index, "row": _row_payload(row)}
+                    for index, row in sorted(rows.items())
+                )
+                for record in records:
+                    handle.write(
+                        json.dumps(record, separators=(",", ":"), sort_keys=True)
+                    )
+                    handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        os.replace(tmp, self.path)
+
+    def _write_line(self, record: dict[str, Any], mode: str = "a") -> None:
+        # One line per write, flushed and fsynced before returning: a
+        # crash between cells never loses a completed cell, and a crash
+        # mid-write tears at most the final line (tolerated on load).
+        with self.path.open(mode, encoding="utf-8") as handle:
+            handle.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self, spec: "CampaignSpec") -> dict[int, "CampaignRow"]:
+        """Reload completed rows, keyed by grid-cell index.
+
+        Verifies the header binds to ``spec`` (a journal from a
+        different grid raises instead of silently merging mismatched
+        cells).  Failed cells are *not* returned — a resume retries
+        them.  Duplicate indices keep the last record.
+        """
+        try:
+            lines = self.path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read campaign journal {self.path}: {exc}"
+            ) from exc
+        records: list[dict[str, Any]] = []
+        for i, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if i == len(lines) - 1:
+                    break  # torn tail from the crash being resumed
+                raise ConfigurationError(
+                    f"{self.path}:{i + 1}: malformed journal line: {exc}"
+                ) from exc
+        if not records or records[0].get("kind") != "header":
+            raise ConfigurationError(
+                f"{self.path} is not a campaign journal (missing header)"
+            )
+        header = records[0]
+        version = header.get("schema_version")
+        if version != JOURNAL_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"{self.path}: journal schema version {version!r} is not "
+                f"supported (expected {JOURNAL_SCHEMA_VERSION})"
+            )
+        expected = spec_fingerprint(spec)
+        if header.get("fingerprint") != expected:
+            raise ConfigurationError(
+                f"{self.path} was written for a different campaign spec "
+                "(fingerprint mismatch); refusing to merge its rows"
+            )
+        rows: dict[int, "CampaignRow"] = {}
+        for record in records[1:]:
+            if record.get("kind") != "row":
+                continue
+            rows[int(record["index"])] = _row_from_payload(record["row"])
+        return rows

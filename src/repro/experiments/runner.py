@@ -5,6 +5,14 @@ task, profiled estimator, executor, policy, resource manager — runs the
 configured number of periods, and returns the §5.2 metrics.
 :func:`sweep_workloads` repeats it over the Figure 9-13 x-axis.
 
+The assembly and the finalization are independently reusable:
+:func:`build_world` returns a started :class:`RunWorld` (the object
+:mod:`repro.recovery` snapshots), and :func:`finalize_world` turns a
+finished world into the :class:`ExperimentResult` —
+``run_experiment`` is exactly ``build_world`` + ``run_until`` +
+``finalize_world``, and a checkpoint-resumed run reuses the same two
+halves around a restored world.
+
 Profiling the regression models is the expensive step, so estimators
 are cached: in-process by configuration key, and optionally on disk via
 :mod:`repro.regression.serialization`.
@@ -12,7 +20,7 @@ are cached: in-process by configuration key, and optionally on disk via
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dataclass_replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -89,6 +97,41 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
+@dataclass
+class RunWorld:
+    """One assembled, started run — everything a snapshot must capture.
+
+    :func:`build_world` returns one with the manager and executor
+    already started; driving ``system.engine.run_until(end_time)`` and
+    handing it to :func:`finalize_world` completes the experiment.
+    :mod:`repro.recovery` pickles this object whole (shared references
+    and the event calendar included), which is why it is a plain
+    mutable dataclass of live components rather than derived views.
+    """
+
+    config: ExperimentConfig
+    system: System
+    task: object
+    assignment: ReplicaAssignment
+    executor: PeriodicTaskExecutor
+    manager: AdaptiveResourceManager
+    injector: object | None
+    horizon: float
+    #: Where ``run_experiment`` drives the engine (horizon + cooldown).
+    end_time: float
+    #: Armed when ``config.checkpoint`` is set.
+    checkpointer: "object | None" = None
+    #: Armed when ``config.failover`` is set.
+    failover: "object | None" = None
+
+    @property
+    def controller(self) -> AdaptiveResourceManager:
+        """The manager currently in charge (standby after a takeover)."""
+        if self.failover is not None:
+            return self.failover.active  # type: ignore[attr-defined]
+        return self.manager
+
+
 def _make_policy(config: ExperimentConfig):
     """Instantiate the configured step-2 allocator with Table 1 parameters.
 
@@ -110,32 +153,21 @@ def _make_policy(config: ExperimentConfig):
     return get_policy(config.policy)
 
 
-def run_experiment(
+def build_world(
     config: ExperimentConfig,
     estimator: TimingEstimator | None = None,
     seed_offset: int = 0,
     tracer: Tracer | None = None,
     telemetry: TelemetryHub | None = None,
-) -> ExperimentResult:
-    """Run one experiment end to end and compute its metrics.
+) -> RunWorld:
+    """Assemble and start one experiment, returning its live world.
 
-    Parameters
-    ----------
-    config:
-        The experiment descriptor.
-    estimator:
-        A pre-built estimator (profiled once, shared across a sweep).
-        Built on demand when omitted.
-    seed_offset:
-        Added to the baseline seed for replication studies.
-    tracer:
-        Optional tracer wired into the engine (e.g. a
-        :class:`~repro.sim.trace.StreamingTracer` writing JSONL).
-    telemetry:
-        Optional :class:`~repro.telemetry.hub.TelemetryHub`; instrumented
-        components report to it and the run's per-processor utilizations
-        are recorded as gauges before returning.  The caller owns the
-        hub (and closes its sink).
+    Everything through ``manager.start`` / ``executor.start`` happens
+    here — including arming chaos, the checkpointer
+    (``config.checkpoint``) and controller failover
+    (``config.failover``).  The caller drives
+    ``world.system.engine.run_until(world.end_time)`` and then
+    :func:`finalize_world`.
     """
     baseline = config.baseline
     if estimator is None:
@@ -238,9 +270,48 @@ def run_experiment(
         )
     manager.start(baseline.n_periods)
     executor.start(baseline.n_periods)
-    # Let stragglers finish or hit the shedding watchdog.
-    system.engine.run_until(horizon + (baseline.drop_factor + 1.0) * baseline.period)
+    end_time = horizon + (baseline.drop_factor + 1.0) * baseline.period
+    world = RunWorld(
+        config=config,
+        system=system,
+        task=task,
+        assignment=assignment,
+        executor=executor,
+        manager=manager,
+        injector=injector,
+        horizon=horizon,
+        end_time=end_time,
+    )
+    if injector is not None:
+        # The rm_crash fault actually kills the controller: without
+        # failover armed, no further adaptation happens (the baseline
+        # the failover gate compares against).
+        injector.on_rm_crash = manager.on_rm_crash
+    if config.failover:
+        # Imported lazily: repro.recovery sits above experiments in the
+        # layering contract (it snapshots whole RunWorlds).
+        from repro.recovery.failover import FailoverCoordinator
 
+        coordinator = FailoverCoordinator(manager).arm(baseline.n_periods)
+        world.failover = coordinator
+        if injector is not None:
+            injector.on_rm_crash = coordinator.on_rm_crash
+    if config.checkpoint is not None:
+        from repro.recovery.checkpoint import Checkpointer
+
+        world.checkpointer = Checkpointer(world, config.checkpoint).arm()
+    return world
+
+
+def finalize_world(world: RunWorld) -> ExperimentResult:
+    """Compute one finished world's metrics, reports, and digest."""
+    config = world.config
+    baseline = config.baseline
+    system = world.system
+    executor = world.executor
+    manager = world.controller
+    horizon = world.horizon
+    hub = system.engine.telemetry
     # One indexed pass over the run's histories feeds the metrics and
     # the calibration pairing below (no consumer rescans the history).
     index = RunHistoryIndex(executor, manager).update()
@@ -256,12 +327,13 @@ def run_experiment(
         from repro.experiments.forecast_eval import calibration_from_run
 
         forecasts = calibration_from_run(
-            task, executor, manager, baseline.n_periods, index=index
+            world.task, executor, manager, baseline.n_periods, index=index
         )
     scorecard: "ResilienceScorecard | None" = None
-    if injector is not None:
+    if world.injector is not None:
         from repro.chaos import compute_scorecard
 
+        injector = world.injector
         scorecard = compute_scorecard(
             executor.completed_records(),
             injector.fault_log,
@@ -269,6 +341,7 @@ def run_experiment(
             rm_actions=manager.actions_taken(),
             faults_by_kind=injector.faults_by_kind(),
         )
+        scorecard = _with_failover_fields(scorecard, world)
         if hub.enabled:
             scorecard.to_registry(hub.registry)
     slo_report: "SloReport | None" = None
@@ -280,12 +353,89 @@ def run_experiment(
     return ExperimentResult(
         config=config,
         metrics=metrics,
-        final_placement=assignment.snapshot(),
+        final_placement=world.assignment.snapshot(),
         forecasts=forecasts,
         scorecard=scorecard,
         decision_digest=index.decision_digest,
         slo=slo_report,
     )
+
+
+def _with_failover_fields(
+    scorecard: "ResilienceScorecard", world: RunWorld
+) -> "ResilienceScorecard":
+    """Fill the scorecard's controller-crash fields from the run."""
+    injector = world.injector
+    assert injector is not None
+    horizon = world.horizon
+    crash_times = [
+        injection.time
+        for injection in injector.fault_log
+        if injection.kind == "rm_crash" and injection.time < horizon
+    ]
+    if not crash_times:
+        return scorecard
+    coordinator = world.failover
+    if coordinator is not None:
+        return dataclass_replace(
+            scorecard,
+            rm_crashes=len(crash_times),
+            takeover_latency_s=coordinator.takeover_latency_s,
+            missed_rm_cycles=coordinator.missed_cycles(),
+        )
+    # No failover: every monitoring boundary after the first crash was
+    # silently skipped.
+    crash_t = min(crash_times)
+    period = world.config.baseline.period
+    missed = sum(
+        1
+        for c in range(world.config.baseline.n_periods)
+        if c * period > crash_t
+    )
+    return dataclass_replace(
+        scorecard,
+        rm_crashes=len(crash_times),
+        missed_rm_cycles=missed,
+    )
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    estimator: TimingEstimator | None = None,
+    seed_offset: int = 0,
+    tracer: Tracer | None = None,
+    telemetry: TelemetryHub | None = None,
+) -> ExperimentResult:
+    """Run one experiment end to end and compute its metrics.
+
+    Parameters
+    ----------
+    config:
+        The experiment descriptor.
+    estimator:
+        A pre-built estimator (profiled once, shared across a sweep).
+        Built on demand when omitted.
+    seed_offset:
+        Added to the baseline seed for replication studies.
+    tracer:
+        Optional tracer wired into the engine (e.g. a
+        :class:`~repro.sim.trace.StreamingTracer` writing JSONL).
+    telemetry:
+        Optional :class:`~repro.telemetry.hub.TelemetryHub`; instrumented
+        components report to it and the run's per-processor utilizations
+        are recorded as gauges before returning.  The caller owns the
+        hub (and closes its sink).
+    """
+    world = build_world(
+        config,
+        estimator=estimator,
+        seed_offset=seed_offset,
+        tracer=tracer,
+        telemetry=telemetry,
+    )
+    # Let stragglers finish or hit the shedding watchdog.
+    world.system.engine.run_until(world.end_time)
+    return finalize_world(world)
 
 
 def sweep_workloads(

@@ -21,10 +21,11 @@ and shared-estimator rationale.
 
 from repro.parallel.dispatch import run_configs_parallel
 from repro.parallel.jobs import JobResult, JobSpec, run_job
-from repro.parallel.pool import effective_n_jobs, map_jobs
+from repro.parallel.pool import JobFailure, effective_n_jobs, map_jobs
 from repro.parallel.shards import ShardPlan, plan_shards, run_shard, run_sharded
 
 __all__ = [
+    "JobFailure",
     "JobResult",
     "JobSpec",
     "ShardPlan",

@@ -50,6 +50,7 @@ def run_configs_parallel(
     tags: Sequence[str] | None = None,
     on_result: OnResult | None = None,
     shards: int = 0,
+    retries: int = 0,
 ) -> list[JobResult]:
     """Run every config (paired with its seed offset) across the pool.
 
@@ -64,6 +65,12 @@ def run_configs_parallel(
     worker process — cheaper per run for large campaigns of short runs,
     and still byte-identical to serial (``shards`` overrides
     ``n_jobs``; the seed of every job is derived before dispatch).
+
+    ``retries > 0`` arms :func:`~repro.parallel.pool.map_jobs`'s
+    crash-tolerant mode: died-worker jobs are resubmitted boundedly and
+    unrecoverable slots return as
+    :class:`~repro.parallel.pool.JobFailure` records (not supported
+    together with ``shards``).
     """
     configs = list(configs)
     if seed_offsets is None:
@@ -95,7 +102,18 @@ def run_configs_parallel(
             for i, (config, offset) in enumerate(zip(configs, seed_offsets))
         ]
         if shards >= 1:
+            if retries > 0:
+                raise ConfigurationError(
+                    "retries are not supported with sharded dispatch; "
+                    "use per-job dispatch (shards=0) for crash tolerance"
+                )
             from repro.parallel.shards import run_sharded
 
             return run_sharded(specs, shards, on_result=on_result)
-        return map_jobs(specs, n_jobs=n_jobs, worker=run_job, on_result=on_result)
+        return map_jobs(
+            specs,
+            n_jobs=n_jobs,
+            worker=run_job,
+            on_result=on_result,
+            retries=retries,
+        )

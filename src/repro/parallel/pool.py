@@ -10,12 +10,25 @@ jobs and results.  Determinism guarantees:
   in-process, in order (the exact pre-parallel code path);
 * a failing job surfaces as :class:`~repro.errors.ParallelExecutionError`
   naming the job index, with the original exception chained.
+
+With ``retries > 0`` the map becomes crash-tolerant instead: a job
+whose worker process *dies* (SIGKILL, OOM — surfacing as
+``BrokenProcessPool``) is resubmitted to a fresh pool up to ``retries``
+extra times; a job that exhausts its retries, or raises a regular
+exception inside the worker, occupies its result slot with a
+:class:`JobFailure` record instead of aborting the whole map.  Because
+a dead worker takes the entire pool down, every in-flight job is
+charged one attempt when that happens — attempts stay bounded at
+``retries + 1`` per job regardless of which job caused the crash.
 """
 
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import ConfigurationError, ParallelExecutionError
@@ -23,6 +36,25 @@ from repro.errors import ConfigurationError, ParallelExecutionError
 #: Progress callback: ``on_result(index, total, result)``; called as each
 #: job finishes (completion order), before results are reassembled.
 OnResult = Callable[[int, int, Any], None]
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """A job slot that could not produce a result (``retries > 0`` mode).
+
+    Attributes
+    ----------
+    index:
+        The job's position in the input sequence.
+    error:
+        Human-readable cause (exception text, or the died-worker note).
+    attempts:
+        Times the job was submitted before giving up.
+    """
+
+    index: int
+    error: str
+    attempts: int
 
 
 def effective_n_jobs(n_jobs: int) -> int:
@@ -38,6 +70,7 @@ def map_jobs(
     worker: Callable[[Any], Any] | None = None,
     on_result: OnResult | None = None,
     max_in_flight: int | None = None,
+    retries: int = 0,
 ) -> list[Any]:
     """Run ``worker(job)`` for every job, returning results in job order.
 
@@ -57,11 +90,20 @@ def map_jobs(
     max_in_flight:
         Cap on simultaneously submitted jobs (default: ``4 * n_jobs``),
         bounding parent-side memory for very large campaigns.
+    retries:
+        ``0`` (default): any failure raises
+        :class:`~repro.errors.ParallelExecutionError` (the historical
+        contract).  ``> 0``: crash-tolerant mode — died-worker jobs are
+        resubmitted up to this many extra times, and unrecoverable
+        slots come back as :class:`JobFailure` records instead of
+        aborting the map (see the module docstring).
     """
     if worker is None:
         from repro.parallel.jobs import run_job
 
         worker = run_job
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
     jobs = list(jobs)
     total = len(jobs)
     if not jobs:
@@ -73,6 +115,15 @@ def map_jobs(
             try:
                 result = worker(job)
             except Exception as exc:
+                if retries > 0:
+                    results.append(
+                        JobFailure(
+                            index=index,
+                            error=f"{type(exc).__name__}: {exc}",
+                            attempts=1,
+                        )
+                    )
+                    continue
                 raise ParallelExecutionError(
                     f"job {index}/{total} failed in-process: {exc}"
                 ) from exc
@@ -85,26 +136,66 @@ def map_jobs(
     if window < 1:
         raise ConfigurationError(f"max_in_flight must be >= 1, got {window}")
     results: dict[int, Any] = {}
-    with ProcessPoolExecutor(max_workers=min(n_jobs, total)) as pool:
-        index_of = {}
-        pending = set()
-        next_index = 0
-        while len(results) < total:
-            while next_index < total and len(pending) < window:
-                future = pool.submit(worker, jobs[next_index])
-                index_of[future] = next_index
-                pending.add(future)
-                next_index += 1
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+    failures: dict[int, JobFailure] = {}
+    attempts = [0] * total
+    queue: deque[int] = deque(range(total))
+
+    def give_up(index: int, error: str) -> None:
+        if retries == 0:
+            raise ParallelExecutionError(f"job {index}/{total} {error}")
+        failures[index] = JobFailure(
+            index=index, error=error, attempts=attempts[index]
+        )
+
+    def requeue_or_fail(index: int) -> None:
+        # The worker died under this job (or its pool-mate's): charge
+        # one attempt; resubmit while the budget lasts.
+        if attempts[index] <= retries:
+            queue.append(index)
+        else:
+            give_up(index, "worker process died (BrokenProcessPool)")
+
+    pool = ProcessPoolExecutor(max_workers=min(n_jobs, total))
+    in_flight: dict[Any, int] = {}
+    try:
+        while len(results) + len(failures) < total:
+            while queue and len(in_flight) < window:
+                index = queue.popleft()
+                attempts[index] += 1
+                future = pool.submit(worker, jobs[index])
+                in_flight[future] = index
+            done, _ = wait(set(in_flight), return_when=FIRST_COMPLETED)
+            broken = False
             for future in done:
-                index = index_of.pop(future)
+                index = in_flight.pop(future)
                 exc = future.exception()
-                if exc is not None:
-                    raise ParallelExecutionError(
-                        f"job {index}/{total} failed in worker: {exc}"
-                    ) from exc
-                result = future.result()
-                if on_result is not None:
-                    on_result(index, total, result)
-                results[index] = result
-    return [results[i] for i in range(total)]
+                if exc is None:
+                    result = future.result()
+                    if on_result is not None:
+                        on_result(index, total, result)
+                    results[index] = result
+                elif isinstance(exc, BrokenProcessPool):
+                    broken = True
+                    requeue_or_fail(index)
+                else:
+                    # The job raised inside a healthy worker: it would
+                    # fail identically on retry, so record it as-is.
+                    if retries == 0:
+                        raise ParallelExecutionError(
+                            f"job {index}/{total} failed in worker: {exc}"
+                        ) from exc
+                    give_up(index, f"{type(exc).__name__}: {exc}")
+            if broken:
+                # A dead worker poisons the whole executor: every other
+                # in-flight future is doomed too.  Recycle them and the
+                # pool together.
+                for index in in_flight.values():
+                    requeue_or_fail(index)
+                in_flight.clear()
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = ProcessPoolExecutor(max_workers=min(n_jobs, total))
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [
+        results[i] if i in results else failures[i] for i in range(total)
+    ]

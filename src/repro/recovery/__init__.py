@@ -1,0 +1,61 @@
+"""Crash-safe runs: checkpoint/restore, controller failover, resume.
+
+Three layers, one goal — no run and no campaign loses work to a crash:
+
+* :mod:`repro.recovery.snapshot` — :class:`SimSnapshot`, a versioned,
+  deterministic capture of the *whole* run world (event calendar, rng
+  streams, cluster/network/runtime state, controller state and module
+  id counters).  Restoring one and running to the horizon is
+  bit-identical to never having stopped.
+* :mod:`repro.recovery.checkpoint` — :class:`Checkpointer`, periodic
+  in-run snapshots armed via
+  :class:`repro.experiments.config.ExperimentConfig` ``checkpoint=``.
+  Checkpoint events never change decisions.
+* :mod:`repro.recovery.failover` — :class:`FailoverCoordinator`, a
+  standby resource manager with a heartbeat lease over the primary; on
+  the ``rm_crash`` chaos fault it promotes the standby from the last
+  captured controller state instead of leaving the run without
+  adaptation.
+
+Campaign-level resume (crash-tolerant cell journal, ``repro campaign
+--resume``) builds on the same guarantees in
+:mod:`repro.experiments.campaign`.
+"""
+
+from __future__ import annotations
+
+from repro.recovery.checkpoint import CHECKPOINT_PRIORITY, Checkpointer
+from repro.recovery.failover import FailoverCoordinator
+from repro.recovery.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SimSnapshot,
+    restore_snapshot,
+    take_snapshot,
+)
+
+__all__ = [
+    "CHECKPOINT_PRIORITY",
+    "Checkpointer",
+    "FailoverCoordinator",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "SimSnapshot",
+    "restore_snapshot",
+    "resume_experiment",
+    "take_snapshot",
+]
+
+
+def resume_experiment(snapshot: "SimSnapshot"):
+    """Continue a checkpointed run to its horizon and finalize it.
+
+    Restores the snapshot's world, runs the engine to the original end
+    time, and returns the same
+    :class:`~repro.experiments.runner.ExperimentResult` an uninterrupted
+    :func:`~repro.experiments.runner.run_experiment` would have — bit
+    for bit: identical decision digest, identical metrics.
+    """
+    from repro.experiments.runner import finalize_world
+
+    world = restore_snapshot(snapshot)
+    world.system.engine.run_until(world.end_time)
+    return finalize_world(world)

@@ -88,6 +88,130 @@ class _InFlight:
         self.jobs: list[tuple[str, Job]] = []  # (processor name, job)
         self.done = False
 
+    def __getstate__(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+class _StageBarrier:
+    """Stage-completion barrier: fires when the last replica job finishes.
+
+    Module-level (not a closure over ``_start_stage`` locals) so in-flight
+    periods pickle for run snapshots.  Semantics are identical to the old
+    nested ``job_done``: decrement, and on the last completion stamp the
+    finishing node's clock and advance the pipeline.
+    """
+
+    __slots__ = ("executor", "flight", "subtask_index", "stage", "remaining")
+
+    def __init__(
+        self,
+        executor: "PeriodicTaskExecutor",
+        flight: _InFlight,
+        subtask_index: int,
+        stage: StageRecord,
+        remaining: int,
+    ) -> None:
+        self.executor = executor
+        self.flight = flight
+        self.subtask_index = subtask_index
+        self.stage = stage
+        self.remaining = remaining
+
+    def job_done(self, job: Job, t: float, name: str) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and not self.flight.done:
+            self.stage.exec_finish_time = self.executor._stamp(name)
+            self.executor._stage_finished(self.flight, self.subtask_index)
+
+    def __getstate__(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+class _ReplicaDone:
+    """Per-replica ``on_complete`` adapter binding the replica's name."""
+
+    __slots__ = ("barrier", "name")
+
+    def __init__(self, barrier: _StageBarrier, name: str) -> None:
+        self.barrier = barrier
+        self.name = name
+
+    def __call__(self, job: Job, t: float) -> None:
+        self.barrier.job_done(job, t, self.name)
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"barrier": self.barrier, "name": self.name}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.barrier = state["barrier"]
+        self.name = state["name"]
+
+
+class _DeliveryBarrier:
+    """Message-burst barrier: starts the next stage after the last delivery."""
+
+    __slots__ = ("executor", "flight", "next_index", "sent_at", "remaining")
+
+    def __init__(
+        self,
+        executor: "PeriodicTaskExecutor",
+        flight: _InFlight,
+        next_index: int,
+        sent_at: float,
+        remaining: int,
+    ) -> None:
+        self.executor = executor
+        self.flight = flight
+        self.next_index = next_index
+        self.sent_at = sent_at
+        self.remaining = remaining
+
+    def delivered(self, message: Message, t: float, receiver: str) -> None:
+        self.remaining -= 1
+        if self.remaining == 0 and not self.flight.done:
+            # Monitoring sees the cross-node delay: receiver stamp minus
+            # sender stamp (clock error included when node clocks are
+            # enabled; never below zero).
+            delay = max(0.0, self.executor._stamp(receiver) - self.sent_at)
+            self.executor._start_stage(
+                self.flight, self.next_index, message_in_delay=delay
+            )
+
+    def __getstate__(self) -> dict[str, object]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+class _MessageDone:
+    """Per-receiver ``on_delivered`` adapter binding the receiver's name."""
+
+    __slots__ = ("barrier", "receiver")
+
+    def __init__(self, barrier: _DeliveryBarrier, receiver: str) -> None:
+        self.barrier = barrier
+        self.receiver = receiver
+
+    def __call__(self, message: Message, t: float) -> None:
+        self.barrier.delivered(message, t, self.receiver)
+
+    def __getstate__(self) -> dict[str, object]:
+        return {"barrier": self.barrier, "receiver": self.receiver}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.barrier = state["barrier"]
+        self.receiver = state["receiver"]
+
 
 class PeriodicTaskExecutor:
     """Drives one periodic task against the system.
@@ -207,15 +331,9 @@ class PeriodicTaskExecutor:
         )
         flight.record.stages.append(stage)
         share = flight.record.d_tracks / len(replicas)
-        remaining = {"count": len(replicas)}
+        barrier = _StageBarrier(self, flight, subtask_index, stage, len(replicas))
 
-        def job_done(job: Job, t: float, name: str) -> None:
-            remaining["count"] -= 1
-            if remaining["count"] == 0 and not flight.done:
-                stage.exec_finish_time = self._stamp(name)
-                self._stage_finished(flight, subtask_index)
-
-        if self._submit_stage_batch(flight, subtask_index, replicas, share, job_done):
+        if self._submit_stage_batch(flight, subtask_index, replicas, share, barrier):
             return
         for name in replicas:
             processor = self.system.processor(name)
@@ -224,7 +342,7 @@ class PeriodicTaskExecutor:
                 demand,
                 kind="app",
                 label=f"{self.task.name}.st{subtask_index}",
-                on_complete=lambda job, t, _n=name: job_done(job, t, _n),
+                on_complete=_ReplicaDone(barrier, name),
             )
             flight.jobs.append((name, job))
 
@@ -234,7 +352,7 @@ class PeriodicTaskExecutor:
         subtask_index: int,
         replicas: tuple[str, ...] | list[str],
         share: float,
-        job_done: Callable[[Job, float, str], None],
+        barrier: _StageBarrier,
     ) -> bool:
         """Submit the stage's replica jobs as one batched calendar insert.
 
@@ -293,7 +411,7 @@ class PeriodicTaskExecutor:
                 demand,
                 kind="app",
                 label=label,
-                on_complete=lambda job, t, _n=name: job_done(job, t, _n),
+                on_complete=_ReplicaDone(barrier, name),
             )
             job.arrival_time = now
             p._ps_age()
@@ -324,16 +442,7 @@ class PeriodicTaskExecutor:
         senders = self.assignment.processors_of(subtask_index)
         share = flight.record.d_tracks / len(receivers)
         sent_at = self._stamp(senders[0])
-        remaining = {"count": len(receivers)}
-
-        def delivered(message: Message, t: float, receiver: str) -> None:
-            remaining["count"] -= 1
-            if remaining["count"] == 0 and not flight.done:
-                # Monitoring sees the cross-node delay: receiver stamp
-                # minus sender stamp (clock error included when node
-                # clocks are enabled; never below zero).
-                delay = max(0.0, self._stamp(receiver) - sent_at)
-                self._start_stage(flight, next_index, message_in_delay=delay)
+        barrier = _DeliveryBarrier(self, flight, next_index, sent_at, len(receivers))
 
         for position, receiver in enumerate(receivers):
             sender = senders[position % len(senders)]
@@ -342,7 +451,7 @@ class PeriodicTaskExecutor:
                 source=sender,
                 destination=receiver,
                 label=f"{self.task.name}.m{subtask_index}",
-                on_delivered=lambda m, t, _r=receiver: delivered(m, t, _r),
+                on_delivered=_MessageDone(barrier, receiver),
             )
 
     # -- completion / shedding ----------------------------------------------------------

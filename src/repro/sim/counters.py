@@ -1,0 +1,47 @@
+"""Picklable monotonic ID counters.
+
+:class:`IdCounter` replaces the ``itertools.count`` module globals that
+used to hand out job and message IDs.  Those IDs are decision-relevant
+(the PS discipline tie-breaks equal remaining demands on ``job_id``), so
+run snapshots (:mod:`repro.recovery`) must capture and restore a
+counter's position — ``itertools.count`` can neither be inspected nor
+rewound.  ``IdCounter`` supports both without consuming a value.
+"""
+
+from __future__ import annotations
+
+
+class IdCounter:
+    """A ``next()``-able integer counter whose position can be saved.
+
+    Drop-in for ``itertools.count(start)`` at the call sites
+    (``next(counter)``), plus :attr:`value` to read the *next* ID that
+    will be handed out and :meth:`reset` to rewind/advance it.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, start: int = 1) -> None:
+        #: The next ID that will be returned.
+        self.value = start
+
+    def __next__(self) -> int:
+        value = self.value
+        self.value = value + 1
+        return value
+
+    def __iter__(self) -> "IdCounter":
+        return self
+
+    def reset(self, value: int) -> None:
+        """Set the next ID to ``value`` (snapshot restore)."""
+        self.value = value
+
+    def __getstate__(self) -> int:
+        return self.value
+
+    def __setstate__(self, state: int) -> None:
+        self.value = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IdCounter(next={self.value})"

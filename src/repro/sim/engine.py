@@ -33,6 +33,57 @@ from repro.telemetry.hub import NULL_TELEMETRY, TelemetryHub
 _PENDING = EventState.PENDING
 
 
+class _Recurrence:
+    """The self-rescheduling callback behind :meth:`Engine.every`.
+
+    A module-level class (not a closure) so a recurring event on the
+    calendar — and the stop handle held by its owner — survive snapshot
+    pickling (:mod:`repro.recovery`) with identity intact.
+    """
+
+    __slots__ = ("engine", "interval_s", "callback", "args", "priority", "label",
+                 "stopped", "event")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        interval_s: float,
+        callback: Callable[..., Any],
+        args: tuple[Any, ...],
+        priority: int,
+        label: str,
+    ) -> None:
+        self.engine = engine
+        self.interval_s = interval_s
+        self.callback = callback
+        self.args = args
+        self.priority = priority
+        self.label = label
+        self.stopped = False
+        self.event: Event | None = None
+
+    def fire(self) -> None:
+        if self.stopped:
+            return
+        self.callback(*self.args)
+        if not self.stopped:
+            self.event = self.engine.schedule(
+                self.interval_s, self.fire, priority=self.priority, label=self.label
+            )
+
+    def stop(self) -> None:
+        self.stopped = True
+        if self.event is not None:
+            self.event.cancel()
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
 class Engine:
     """A deterministic discrete-event simulation engine.
 
@@ -289,27 +340,12 @@ class Engine:
         """
         if interval_s <= 0.0:
             raise SchedulingError(f"interval must be positive, got {interval_s}")
-        state: dict[str, Any] = {"stopped": False, "event": None}
-
-        def fire() -> None:
-            if state["stopped"]:
-                return
-            callback(*args)
-            if not state["stopped"]:
-                state["event"] = self.schedule(
-                    interval_s, fire, priority=priority, label=label
-                )
-
+        recurrence = _Recurrence(self, interval_s, callback, args, priority, label)
         first = interval_s if start_delay is None else start_delay
-        state["event"] = self.schedule(first, fire, priority=priority, label=label)
-
-        def stop() -> None:
-            state["stopped"] = True
-            event = state["event"]
-            if event is not None:
-                event.cancel()
-
-        return stop
+        recurrence.event = self.schedule(
+            first, recurrence.fire, priority=priority, label=label
+        )
+        return recurrence.stop
 
     def drain(self) -> Iterator[Event]:
         """Cancel and yield all pending events (mainly for tests/teardown)."""

@@ -378,6 +378,13 @@ class NullTelemetry(TelemetryHub):
 
     enabled = False
 
+    def __reduce__(self) -> str:
+        # Pickle as a reference to the module-level singleton: engine
+        # hot loops compare ``telemetry.enabled`` on the shared default
+        # hub, and a run snapshot must restore to the *same* object, not
+        # a copy carrying fresh registries.
+        return "NULL_TELEMETRY"
+
     def emit(self, record: dict[str, Any]) -> None:
         """Drop the record."""
         return

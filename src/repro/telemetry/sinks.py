@@ -71,15 +71,41 @@ class JsonlTraceSink(TraceSink):
     flush_every:
         Records between explicit flushes.  Buffered I/O keeps the write
         cheap; periodic flushing bounds how much a crash can lose.
+    append:
+        Open the file in append mode instead of truncating.  This is
+        what a resumed run (:mod:`repro.recovery`) needs: records
+        written before the checkpoint survive and the continuation's
+        records concatenate after them.
     """
 
-    def __init__(self, path: str | Path, flush_every: int = 256) -> None:
+    def __init__(
+        self, path: str | Path, flush_every: int = 256, append: bool = False
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh: IO[str] | None = self.path.open("w", encoding="utf-8")
+        mode = "a" if append else "w"
+        self._fh: IO[str] | None = self.path.open(mode, encoding="utf-8")
         self._flush_every = max(1, int(flush_every))
         self._unflushed = 0
         self.written = 0
+
+    def __getstate__(self) -> dict[str, Any]:
+        # The OS file handle cannot cross a pickle boundary.  Snapshot
+        # the configuration and counters; restore reopens in *append*
+        # mode so the resumed run extends the trace instead of
+        # truncating what the original run already persisted.
+        state = dict(self.__dict__)
+        state["_fh"] = None
+        state["_was_open"] = self._fh is not None
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        was_open = state.pop("_was_open", False)
+        self.__dict__.update(state)
+        self._unflushed = 0
+        if was_open:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a", encoding="utf-8")
 
     def write(self, record: dict[str, Any]) -> None:
         """Serialize the record as one compact JSON line."""

@@ -94,7 +94,8 @@ class TestRendering:
         # a rule from the catalogue.  Spot-check the expected families.
         families = {rid.split("-")[0] for rid in ALL_RULES}
         assert families == {
-            "DET", "UNIT", "LAY", "PCK", "VEC", "CONC", "API", "LINT",
+            "DET", "UNIT", "LAY", "PCK", "CKPT", "VEC", "CONC", "API",
+            "LINT",
         }
 
 

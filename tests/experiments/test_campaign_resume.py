@@ -1,0 +1,156 @@
+"""Resumable campaigns: journal, crash, resume, byte-identical merge.
+
+The acceptance gate: a campaign killed mid-flight (including by
+``SIGKILL``, which runs no cleanup handlers) and resumed with
+``--resume`` produces a :meth:`CampaignResult.deterministic_json`
+byte-identical to an uninterrupted run of the same spec.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.experiments.config import BaselineConfig
+from repro.experiments.journal import CampaignJournal
+
+SPEC = CampaignSpec(
+    policies=("predictive", "nonpredictive"),
+    units=(10.0, 20.0),
+    baseline=BaselineConfig(n_periods=8, seed=3),
+    repetitions=1,
+)
+
+
+@pytest.fixture(scope="module")
+def reference_json(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("estimators")
+    result = run_campaign(SPEC, n_jobs=1, cache_dir=cache)
+    return result.deterministic_json(), cache
+
+
+class TestJournaledRuns:
+    def test_journal_records_every_cell(self, reference_json, tmp_path):
+        ref, cache = reference_json
+        journal = tmp_path / "j.jsonl"
+        result = run_campaign(SPEC, n_jobs=1, cache_dir=cache, journal=journal)
+        assert result.deterministic_json() == ref
+        loaded = CampaignJournal(journal).load(SPEC)
+        assert sorted(loaded) == list(range(SPEC.n_runs))
+
+    def test_resume_after_torn_crash_is_byte_identical(
+        self, reference_json, tmp_path
+    ):
+        ref, cache = reference_json
+        journal = tmp_path / "j.jsonl"
+        run_campaign(SPEC, n_jobs=1, cache_dir=cache, journal=journal)
+        lines = journal.read_text().splitlines()
+        # Keep the header + one complete row, tear the second row.
+        journal.write_text(
+            "\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2]
+        )
+        resumed = run_campaign(
+            SPEC, n_jobs=1, cache_dir=cache, journal=journal, resume=True
+        )
+        assert resumed.deterministic_json() == ref
+        assert sorted(CampaignJournal(journal).load(SPEC)) == list(
+            range(SPEC.n_runs)
+        )
+
+    def test_resume_with_complete_journal_runs_nothing(
+        self, reference_json, tmp_path
+    ):
+        ref, cache = reference_json
+        journal = tmp_path / "j.jsonl"
+        run_campaign(SPEC, n_jobs=1, cache_dir=cache, journal=journal)
+        progress_lines: list[str] = []
+        resumed = run_campaign(
+            SPEC,
+            n_jobs=1,
+            cache_dir=cache,
+            journal=journal,
+            resume=True,
+            progress=progress_lines.append,
+        )
+        assert resumed.deterministic_json() == ref
+        # Only the resume banner — no per-cell progress lines.
+        assert len(progress_lines) == 1
+        assert progress_lines[0].startswith("resuming:")
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ConfigurationError, match="requires a journal"):
+            run_campaign(SPEC, resume=True)
+
+    def test_resume_rejects_foreign_journal(self, reference_json, tmp_path):
+        _, cache = reference_json
+        journal = tmp_path / "j.jsonl"
+        run_campaign(SPEC, n_jobs=1, cache_dir=cache, journal=journal)
+        other = CampaignSpec(
+            policies=("predictive",),
+            units=(10.0,),
+            baseline=BaselineConfig(n_periods=8, seed=3),
+            repetitions=1,
+        )
+        with pytest.raises(ConfigurationError, match="different campaign spec"):
+            run_campaign(
+                other, n_jobs=1, cache_dir=cache, journal=journal, resume=True
+            )
+
+
+class TestSigkillResume:
+    def test_sigkilled_campaign_resumes_byte_identically(
+        self, reference_json, tmp_path
+    ):
+        """Kill the campaign process with SIGKILL after two journaled
+        cells, resume, and require a byte-identical merged result."""
+        ref, cache = reference_json
+        journal = tmp_path / "j.jsonl"
+        script = textwrap.dedent(
+            f"""
+            import os, signal
+            from repro.experiments.campaign import CampaignSpec, run_campaign
+            from repro.experiments.config import BaselineConfig
+
+            spec = CampaignSpec(
+                policies=("predictive", "nonpredictive"),
+                units=(10.0, 20.0),
+                baseline=BaselineConfig(n_periods=8, seed=3),
+                repetitions=1,
+            )
+            count = 0
+            def progress(line):
+                global count
+                count += 1
+                # The journal append for this cell already happened:
+                # SIGKILL here models dying between cells with no
+                # cleanup (atexit, finally) running at all.
+                if count == 2:
+                    os.kill(os.getpid(), signal.SIGKILL)
+            run_campaign(
+                spec, n_jobs=1, cache_dir={str(cache)!r},
+                journal={str(journal)!r}, progress=progress,
+            )
+            """
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script], env=env, capture_output=True
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+        journaled = CampaignJournal(journal).load(SPEC)
+        assert sorted(journaled) == [0, 1]
+
+        resumed = run_campaign(
+            SPEC, n_jobs=1, cache_dir=cache, journal=journal, resume=True
+        )
+        assert resumed.deterministic_json() == ref
+        assert resumed.failed == ()

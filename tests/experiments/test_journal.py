@@ -1,0 +1,154 @@
+"""Unit tests for :mod:`repro.experiments.journal`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.campaign import CampaignRow, CampaignSpec
+from repro.experiments.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    CampaignJournal,
+    spec_fingerprint,
+)
+from repro.experiments.metrics import ExperimentMetrics
+
+SPEC = CampaignSpec(units=(10.0, 20.0))
+OTHER_SPEC = CampaignSpec(units=(10.0, 30.0))
+
+
+def _row(i: int) -> CampaignRow:
+    return CampaignRow(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=10.0 * (i + 1),
+        seed_offset=0,
+        metrics=ExperimentMetrics(
+            missed_deadline_ratio=0.1 * i,
+            avg_cpu_utilization=0.5,
+            avg_network_utilization=0.25,
+            avg_replicas=2.5,
+            max_replicas=4,
+            periods_released=60,
+            periods_missed=6 * i,
+            periods_aborted=0,
+            rm_actions=7,
+        ),
+        wall_clock_s=1.25,
+        max_rss_kb=1000,
+        pid=4242,
+        decision_digest=f"digest-{i}",
+        tag=f"cell-{i}",
+    )
+
+
+class TestFingerprint:
+    def test_stable_for_equal_specs(self):
+        assert spec_fingerprint(SPEC) == spec_fingerprint(CampaignSpec(units=(10.0, 20.0)))
+
+    def test_differs_across_specs(self):
+        assert spec_fingerprint(SPEC) != spec_fingerprint(OTHER_SPEC)
+
+
+class TestRoundTrip:
+    def test_rows_reload_exactly(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.append_row(2, _row(2))
+        loaded = CampaignJournal(journal.path).load(SPEC)
+        assert sorted(loaded) == [0, 2]
+        assert loaded[0] == _row(0)
+        assert loaded[2] == _row(2)
+        # Exact float reconstruction matters for byte-identical merges.
+        assert loaded[2].metrics.missed_deadline_ratio == 0.2
+
+    def test_failed_cells_are_not_returned(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.append_failure(1, "cell-1", "worker died", attempts=3)
+        loaded = journal.load(SPEC)
+        assert sorted(loaded) == [0]
+
+    def test_duplicate_index_keeps_last(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.append_row(0, _row(1))
+        assert journal.load(SPEC)[0] == _row(1)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.append_row(1, _row(1))
+        text = journal.path.read_text()
+        lines = text.splitlines()
+        journal.path.write_text(
+            "\n".join(lines[:-1]) + "\n" + lines[-1][: len(lines[-1]) // 2]
+        )
+        assert sorted(journal.load(SPEC)) == [0]
+
+    def test_malformed_interior_line_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        with journal.path.open("a") as fh:
+            fh.write("{broken\n")
+        journal.append_row(0, _row(0))
+        with pytest.raises(ConfigurationError, match="malformed"):
+            journal.load(SPEC)
+
+
+class TestHeaderChecks:
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind":"row","index":0}\n')
+        with pytest.raises(ConfigurationError, match="header"):
+            CampaignJournal(path).load(SPEC)
+
+    def test_fingerprint_mismatch_raises(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        with pytest.raises(ConfigurationError, match="different campaign spec"):
+            journal.load(OTHER_SPEC)
+
+    def test_unsupported_schema_version_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {
+            "kind": "header",
+            "schema_version": JOURNAL_SCHEMA_VERSION + 1,
+            "fingerprint": spec_fingerprint(SPEC),
+            "n_cells": 4,
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ConfigurationError, match="schema version"):
+            CampaignJournal(path).load(SPEC)
+
+    def test_start_truncates_previous_journal(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.start(SPEC, n_cells=4)
+        assert journal.load(SPEC) == {}
+
+
+class TestCompact:
+    def test_compact_drops_tail_and_failures(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "j.jsonl")
+        journal.start(SPEC, n_cells=4)
+        journal.append_row(0, _row(0))
+        journal.append_failure(1, "cell-1", "boom", attempts=2)
+        with journal.path.open("a") as fh:
+            fh.write('{"kind":"row","ind')  # torn tail
+        rows = journal.load(SPEC)
+        journal.compact(SPEC, n_cells=4, rows=rows)
+        text = journal.path.read_text()
+        assert text.endswith("\n")
+        assert '"kind":"failed"' not in text
+        assert journal.load(SPEC) == rows
+        # Appending after compaction yields clean lines again.
+        journal.append_row(3, _row(3))
+        assert sorted(journal.load(SPEC)) == [0, 3]

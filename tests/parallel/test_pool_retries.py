@@ -1,0 +1,89 @@
+"""Crash-tolerant ``map_jobs`` (``retries > 0``): died workers, retries,
+bounded attempts, and :class:`JobFailure` slots."""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.errors import ConfigurationError, ParallelExecutionError
+from repro.parallel import JobFailure, map_jobs
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _die_once(job) -> int:
+    """SIGKILL this worker the first time each index is seen."""
+    index, marker_dir = job
+    marker = os.path.join(marker_dir, f"died_{index}")
+    if index == 2 and not os.path.exists(marker):
+        open(marker, "w").close()
+        os.kill(os.getpid(), signal.SIGKILL)
+    return index * 10
+
+
+def _always_die(_job) -> None:
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _raise_on_one(x: int) -> int:
+    if x == 1:
+        raise ValueError("deterministic boom")
+    return x
+
+
+class TestValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            map_jobs([1], worker=_square, retries=-1)
+
+
+class TestDiedWorkers:
+    def test_job_that_dies_once_is_retried_to_success(self, tmp_path):
+        jobs = [(i, str(tmp_path)) for i in range(5)]
+        out = map_jobs(jobs, n_jobs=2, worker=_die_once, retries=2)
+        assert out == [0, 10, 20, 30, 40]
+
+    def test_exhausted_retries_become_job_failure(self):
+        out = map_jobs([(0, "")], n_jobs=2, worker=_always_die, retries=1)
+        assert len(out) == 1
+        failure = out[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.index == 0
+        assert failure.attempts == 2  # first try + one retry
+        assert "BrokenProcessPool" in failure.error
+
+    def test_retries_zero_keeps_abort_contract(self):
+        with pytest.raises(ParallelExecutionError):
+            map_jobs([(0, "")], n_jobs=2, worker=_always_die, retries=0)
+
+
+class TestDeterministicExceptions:
+    def test_worker_exception_is_not_retried(self):
+        out = map_jobs([0, 1, 2], n_jobs=2, worker=_raise_on_one, retries=3)
+        assert out[0] == 0
+        assert out[2] == 2
+        failure = out[1]
+        assert isinstance(failure, JobFailure)
+        assert failure.attempts == 1
+        assert "deterministic boom" in failure.error
+
+    def test_serial_path_records_failures_too(self):
+        out = map_jobs([0, 1, 2], n_jobs=1, worker=_raise_on_one, retries=1)
+        assert out[0] == 0 and out[2] == 2
+        assert isinstance(out[1], JobFailure)
+
+    def test_serial_path_without_retries_still_raises(self):
+        with pytest.raises(ParallelExecutionError):
+            map_jobs([0, 1, 2], n_jobs=1, worker=_raise_on_one, retries=0)
+
+
+class TestOrderAndCompleteness:
+    def test_successes_keep_input_order_around_failures(self, tmp_path):
+        jobs = [(i, str(tmp_path)) for i in range(8)]
+        out = map_jobs(jobs, n_jobs=3, worker=_die_once, retries=1)
+        assert out == [i * 10 for i in range(8)]

@@ -1,0 +1,122 @@
+"""Property-based tests for snapshot round-trips (:mod:`repro.recovery`).
+
+Three layers, three invariants:
+
+* an rng stream pickled mid-sequence continues with exactly the draws
+  the original would have produced (common-random-numbers survive a
+  checkpoint);
+* an engine calendar pickled mid-run fires the remaining events in
+  exactly the original order, whatever mix of times/priorities it holds;
+* a whole run world snapshotted at an arbitrary point replays to the
+  reference decision digest and metrics.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+draw_counts = st.integers(min_value=0, max_value=64)
+stream_names = st.sampled_from(["noise", "background", "jitter", "workload"])
+
+
+class _Recorder:
+    """Module-level callable class: picklable calendar callback."""
+
+    def __init__(self, engine: Engine, log: list) -> None:
+        self.engine = engine
+        self.log = log
+
+    def __call__(self, tag: int) -> None:
+        self.log.append((self.engine.now, tag))
+
+
+class TestRngStreamRoundTrip:
+    @given(seed=seeds, name=stream_names, before=draw_counts, after=draw_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_pickled_stream_continues_identically(self, seed, name, before, after):
+        registry = RngRegistry(seed)
+        stream = registry.stream(name)
+        stream.random(before)  # advance to an arbitrary mid-point
+        clone = pickle.loads(pickle.dumps(registry)).stream(name)
+        assert stream.random(after).tolist() == clone.random(after).tolist()
+
+    @given(seed=seeds, before=draw_counts)
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_preserves_bit_generator_state(self, seed, before):
+        stream = RngRegistry(seed).stream("noise")
+        stream.random(before)
+        clone = pickle.loads(pickle.dumps(stream))
+        assert (
+            clone.bit_generator.state == stream.bit_generator.state
+        )
+
+
+events = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.integers(min_value=-10, max_value=100),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestEngineCalendarRoundTrip:
+    @given(events=events, cut=st.floats(min_value=0.0, max_value=50.0))
+    @settings(max_examples=40, deadline=None)
+    def test_pickled_calendar_fires_remaining_events_in_order(self, events, cut):
+        engine = Engine()
+        log: list = []
+        recorder = _Recorder(engine, log)
+        for tag, (time, priority) in enumerate(events):
+            engine.schedule(time, recorder, tag, priority=priority)
+        engine.run_until(cut)
+        prefix = list(log)
+
+        clone = pickle.loads(pickle.dumps(engine))
+        engine.run_until(60.0)
+        # The clone's recorder logs into the *cloned* list; find it by
+        # firing the remaining events and comparing orders.
+        clone_log = None
+        for event in clone._heap:
+            if not event.cancelled:
+                clone_log = event.callback.log
+                break
+        clone.run_until(60.0)
+        if clone_log is None:
+            clone_log = prefix  # nothing was pending at the cut
+        assert clone_log == log
+        assert clone_log[: len(prefix)] == prefix
+
+
+class TestWorldSnapshotRoundTrip:
+    @given(
+        units=st.sampled_from([8.0, 15.0, 25.0]),
+        snap_at=st.floats(min_value=0.5, max_value=8.0),
+        policy=st.sampled_from(["predictive", "nonpredictive"]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_resume_matches_reference(self, units, snap_at, policy, fitted_estimator):
+        from repro.experiments.config import BaselineConfig, ExperimentConfig
+        from repro.experiments.runner import build_world, run_experiment
+        from repro.recovery import resume_experiment, take_snapshot
+
+        config = ExperimentConfig(
+            policy=policy,
+            pattern="triangular",
+            max_workload_units=units,
+            baseline=BaselineConfig(n_periods=8, seed=3),
+        )
+        reference = run_experiment(config, estimator=fitted_estimator)
+        world = build_world(config, estimator=fitted_estimator)
+        world.system.engine.run_until(snap_at)
+        resumed = resume_experiment(take_snapshot(world))
+        assert resumed.decision_digest == reference.decision_digest
+        assert resumed.metrics.as_dict() == reference.metrics.as_dict()

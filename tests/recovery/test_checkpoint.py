@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.recovery.checkpoint`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.runner import build_world, finalize_world
+from repro.recovery import (
+    Checkpointer,
+    SimSnapshot,
+    restore_snapshot,
+    resume_experiment,
+)
+
+BASELINE = BaselineConfig(n_periods=8, seed=3)
+
+
+def _config(**overrides) -> ExperimentConfig:
+    return ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=12.0,
+        baseline=BASELINE,
+        **overrides,
+    )
+
+
+class TestValidation:
+    def test_non_positive_interval_rejected(self, fitted_estimator):
+        world = build_world(_config(), estimator=fitted_estimator)
+        with pytest.raises(ConfigurationError):
+            Checkpointer(world, 0.0)
+        with pytest.raises(ConfigurationError):
+            Checkpointer(world, -1.0)
+
+    def test_keep_must_be_positive(self, fitted_estimator):
+        world = build_world(_config(), estimator=fitted_estimator)
+        with pytest.raises(ConfigurationError):
+            Checkpointer(world, 1.0, keep=0)
+
+    def test_config_checkpoint_validation(self):
+        with pytest.raises(ConfigurationError):
+            _config(checkpoint=0.0)
+        with pytest.raises(ConfigurationError):
+            _config(checkpoint=-2.5)
+
+
+class TestCadence:
+    def test_config_arms_checkpointer(self, fitted_estimator):
+        world = build_world(_config(checkpoint=2.0), estimator=fitted_estimator)
+        assert isinstance(world.checkpointer, Checkpointer)
+        world.system.engine.run_until(world.end_time)
+        # 8 periods at 1 s + drain: captures every 2 s until the end.
+        assert world.checkpointer.taken >= 4
+        assert world.checkpointer.latest is not None
+
+    def test_keep_bounds_the_buffer(self, fitted_estimator):
+        world = build_world(_config(), estimator=fitted_estimator)
+        ckpt = Checkpointer(world, 1.0, keep=3).arm()
+        world.checkpointer = ckpt
+        world.system.engine.run_until(world.end_time)
+        assert ckpt.taken > 3
+        assert len(ckpt.snapshots) == 3
+        labels = [s.meta["label"] for s in ckpt.snapshots]
+        assert labels == [f"ckpt-{ckpt.taken - 3 + i}" for i in range(3)]
+
+    def test_directory_persists_every_capture(self, fitted_estimator, tmp_path):
+        world = build_world(_config(), estimator=fitted_estimator)
+        ckpt = Checkpointer(world, 3.0, directory=tmp_path).arm()
+        world.checkpointer = ckpt
+        world.system.engine.run_until(world.end_time)
+        files = sorted(tmp_path.glob("ckpt_*.pkl"))
+        assert len(files) == ckpt.taken
+        loaded = SimSnapshot.load(files[0])
+        assert loaded.time == pytest.approx(3.0)
+
+    def test_snapshots_never_nest(self, fitted_estimator):
+        # A capture taken by a checkpointed world must not embed the
+        # earlier captures (snapshot-in-snapshot would grow quadratically).
+        world = build_world(_config(checkpoint=2.0), estimator=fitted_estimator)
+        world.system.engine.run_until(6.5)
+        snapshot = world.checkpointer.latest
+        assert snapshot is not None
+        resumed_world = restore_snapshot(snapshot)
+        assert resumed_world.checkpointer.snapshots == []
+        # Cadence configuration survives, so the resumed run keeps
+        # checkpointing from the captured calendar.
+        assert resumed_world.checkpointer.interval_s == 2.0
+
+    def test_resumed_run_keeps_checkpointing(self, fitted_estimator):
+        world = build_world(_config(checkpoint=2.0), estimator=fitted_estimator)
+        world.system.engine.run_until(4.5)
+        snapshot = world.checkpointer.latest
+        result = resume_experiment(snapshot)
+        assert result.metrics.periods_released == BASELINE.n_periods
+        resumed_world = restore_snapshot(snapshot)
+        resumed_world.system.engine.run_until(resumed_world.end_time)
+        assert resumed_world.checkpointer.taken > 0
+        result2 = finalize_world(resumed_world)
+        assert result2.metrics.as_dict() == result.metrics.as_dict()

@@ -1,0 +1,114 @@
+"""Controller failover: standby takeover under the ``rm_crash*`` scenarios.
+
+The headline acceptance gate lives here: under ``rm_crash_under_load``
+(controller killed while nodes churn) the failover-armed run must beat
+the no-failover baseline *strictly* on availability and on total
+deadline-miss window — without a controller there is nobody to recover
+failed replicas, so coasting on the frozen allocation loses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import BaselineConfig, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.recovery import FailoverCoordinator
+
+BASELINE = BaselineConfig(n_periods=24, seed=5)
+
+
+def _run(scenario, failover, estimator, policy="predictive"):
+    config = ExperimentConfig(
+        policy=policy,
+        pattern="triangular",
+        max_workload_units=25.0,
+        baseline=BASELINE,
+        chaos_scenario=scenario,
+        hardened=scenario is not None,
+        failover=failover,
+    )
+    return run_experiment(config, estimator=estimator)
+
+
+class TestFailoverGate:
+    @pytest.fixture(scope="class")
+    def pair(self, request):
+        estimator = request.getfixturevalue("fitted_estimator")
+        without = _run("rm_crash_under_load", False, estimator)
+        with_fo = _run("rm_crash_under_load", True, estimator)
+        return without, with_fo
+
+    def test_failover_strictly_beats_no_failover_on_availability(self, pair):
+        without, with_fo = pair
+        assert with_fo.scorecard.availability > without.scorecard.availability
+
+    def test_failover_strictly_shrinks_miss_window(self, pair):
+        without, with_fo = pair
+        assert with_fo.scorecard.miss_window_s < without.scorecard.miss_window_s
+
+    def test_takeover_latency_is_reported_and_bounded(self, pair):
+        _, with_fo = pair
+        latency = with_fo.scorecard.takeover_latency_s
+        assert latency is not None
+        # Detection needs one missed lease (1.6 periods) plus at most
+        # one watch interval (period/4) of slack.
+        period = BASELINE.period
+        assert 0.0 < latency <= 1.6 * period + 2 * (period / 4)
+
+    def test_missed_monitoring_cycles(self, pair):
+        without, with_fo = pair
+        assert without.scorecard.takeover_latency_s is None
+        assert with_fo.scorecard.missed_rm_cycles < without.scorecard.missed_rm_cycles
+        # Takeover within ~1.7 s at a 1 s monitoring period: at most
+        # two boundaries can fall inside the outage.
+        assert with_fo.scorecard.missed_rm_cycles <= 2
+
+    def test_crash_is_counted_once(self, pair):
+        without, with_fo = pair
+        assert without.scorecard.rm_crashes == 1
+        assert with_fo.scorecard.rm_crashes == 1
+
+
+class TestFailoverInertWithoutCrash:
+    def test_armed_failover_changes_nothing_fault_free(self, fitted_estimator):
+        plain = _run(None, False, fitted_estimator)
+        armed = _run(None, True, fitted_estimator)
+        assert armed.decision_digest == plain.decision_digest
+        assert armed.metrics.as_dict() == plain.metrics.as_dict()
+        assert armed.final_placement == plain.final_placement
+
+    def test_scorecard_fields_stay_empty_fault_free(self, fitted_estimator):
+        armed = _run(None, True, fitted_estimator)
+        assert armed.scorecard is None or armed.scorecard.rm_crashes == 0
+
+    def test_armed_failover_changes_nothing_under_other_faults(
+        self, fitted_estimator
+    ):
+        # A scenario without rm_crash faults never triggers the
+        # watchdog: the armed run stays bit-identical.
+        plain = _run("crashes", False, fitted_estimator)
+        armed = _run("crashes", True, fitted_estimator)
+        assert armed.decision_digest == plain.decision_digest
+        assert armed.metrics.as_dict() == plain.metrics.as_dict()
+
+
+class TestCoordinatorValidation:
+    def test_requires_positive_lease(self, fitted_estimator):
+        from repro.errors import ConfigurationError
+        from repro.experiments.runner import build_world
+
+        world = build_world(_config_plain(), estimator=fitted_estimator)
+        with pytest.raises(ConfigurationError):
+            FailoverCoordinator(world.manager, lease_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FailoverCoordinator(world.manager, watch_interval_s=-1.0)
+
+
+def _config_plain() -> ExperimentConfig:
+    return ExperimentConfig(
+        policy="predictive",
+        pattern="triangular",
+        max_workload_units=12.0,
+        baseline=BaselineConfig(n_periods=6, seed=1),
+    )
